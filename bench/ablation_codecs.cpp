@@ -1,0 +1,65 @@
+// Ablation: the speed/ratio frontier of every codec in the library,
+// measured with google-benchmark on a real rendered frame. This is the
+// §4.2 selection argument in numbers: LZO fast but modest, BZIP tighter
+// but slower, JPEG (lossy) dominating both, chains adding a little more.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "codec/image_codec.hpp"
+
+using namespace tvviz;
+
+namespace {
+
+const render::Image& shared_frame() {
+  static const render::Image frame =
+      bench::render_frame(field::DatasetKind::kTurbulentJet, 256);
+  return frame;
+}
+
+void BM_Encode(benchmark::State& state, const char* name) {
+  const auto codec = codec::make_image_codec(name, 75);
+  const auto& frame = shared_frame();
+  std::size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto packed = codec->encode(frame);
+    out_bytes = packed.size();
+    benchmark::DoNotOptimize(packed);
+  }
+  state.counters["bytes"] = static_cast<double>(out_bytes);
+  state.counters["ratio"] =
+      static_cast<double>(frame.width()) * frame.height() * 3 /
+      static_cast<double>(out_bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          frame.width() * frame.height() * 3);
+}
+
+void BM_Decode(benchmark::State& state, const char* name) {
+  const auto codec = codec::make_image_codec(name, 75);
+  const auto packed = codec->encode(shared_frame());
+  for (auto _ : state) {
+    auto img = codec->decode(packed);
+    benchmark::DoNotOptimize(img);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          shared_frame().width() * shared_frame().height() * 3);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Encode, raw, "raw");
+BENCHMARK_CAPTURE(BM_Encode, rle, "rle");
+BENCHMARK_CAPTURE(BM_Encode, lzo, "lzo");
+BENCHMARK_CAPTURE(BM_Encode, bzip, "bzip");
+BENCHMARK_CAPTURE(BM_Encode, jpeg, "jpeg");
+BENCHMARK_CAPTURE(BM_Encode, jpeg_lzo, "jpeg+lzo");
+BENCHMARK_CAPTURE(BM_Encode, jpeg_bzip, "jpeg+bzip");
+BENCHMARK_CAPTURE(BM_Decode, raw, "raw");
+BENCHMARK_CAPTURE(BM_Decode, rle, "rle");
+BENCHMARK_CAPTURE(BM_Decode, lzo, "lzo");
+BENCHMARK_CAPTURE(BM_Decode, bzip, "bzip");
+BENCHMARK_CAPTURE(BM_Decode, jpeg, "jpeg");
+BENCHMARK_CAPTURE(BM_Decode, jpeg_lzo, "jpeg+lzo");
+BENCHMARK_CAPTURE(BM_Decode, jpeg_bzip, "jpeg+bzip");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Ablation: load-balanced slab decomposition. The cost model's
+// render-imbalance term (the left side of the Figure 6 U-curve) comes from
+// uneven work across a group's nodes; weighting slab boundaries by a probe
+// of the visible-work distribution flattens it. REAL measurement: per-node
+// sample counts and the group-critical-path time (max node) for even vs
+// weighted slabs.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "field/decompose.hpp"
+#include "field/preview.hpp"
+#include "render/raycast.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+using namespace tvviz;
+
+namespace {
+struct GroupRun {
+  double max_seconds = 0.0;
+  double sum_seconds = 0.0;
+  std::size_t max_samples = 0;
+  std::size_t sum_samples = 0;
+};
+
+GroupRun run_group(const field::DatasetDesc& desc, const field::VolumeF&,
+                   const std::vector<field::Box>& boxes, int size,
+                   const render::TransferFunction& tf) {
+  GroupRun out;
+  render::RayCaster caster;
+  const render::Camera camera(size, size);
+  for (const auto& box : boxes) {
+    render::Subvolume sub;
+    sub.storage_box = field::with_ghost(box, desc.dims, 1);
+    sub.data = field::generate_box(desc, desc.steps / 2, sub.storage_box);
+    sub.render_box = box;
+    sub.attach_skipper(tf);
+    util::WallTimer t;
+    (void)caster.render(sub, desc.dims, camera, tf);
+    const double s = t.seconds();
+    out.max_seconds = std::max(out.max_seconds, s);
+    out.sum_seconds += s;
+    out.max_samples = std::max(out.max_samples, caster.last_sample_count());
+    out.sum_samples += caster.last_sample_count();
+  }
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int size = static_cast<int>(flags.get_int("size", 256));
+
+  bench::print_header(
+      "Ablation — load-balanced slab decomposition",
+      "turbulent jet, per-node work with even vs weighted boundaries");
+
+  const auto desc = field::turbulent_jet_desc();
+  const auto volume = field::generate(desc, desc.steps / 2);
+  const auto tf = bench::colormap_for(field::DatasetKind::kTurbulentJet);
+
+  std::printf("%-8s %-22s %-22s %-12s\n", "nodes", "even (crit/avg time)",
+              "balanced (crit/avg)", "crit. gain");
+  for (const int nodes : {2, 4, 8, 16}) {
+    const auto even = field::decompose_slabs(desc.dims, nodes, 2);
+    const auto weights = field::estimate_plane_weights(
+        desc, desc.steps / 2, 2,
+        [&](float v) { return tf.sample(v).alpha > 0.0; }, 64);
+    const auto balanced =
+        field::decompose_slabs_weighted(desc.dims, nodes, 2, weights);
+
+    const GroupRun e = run_group(desc, volume, even, size, tf);
+    const GroupRun b = run_group(desc, volume, balanced, size, tf);
+    std::printf("%-8d %9s / %-9s %9s / %-9s %9.2fx\n", nodes,
+                bench::fmt_seconds(e.max_seconds).c_str(),
+                bench::fmt_seconds(e.sum_seconds / nodes).c_str(),
+                bench::fmt_seconds(b.max_seconds).c_str(),
+                bench::fmt_seconds(b.sum_seconds / nodes).c_str(),
+                e.max_seconds / b.max_seconds);
+  }
+  std::printf(
+      "\nShape: the group's frame time is its slowest node (critical path).\n"
+      "Weighted boundaries pull the critical path toward the average —\n"
+      "directly attacking the imbalance overhead the Figure 6 model charges\n"
+      "against small partition counts.\n");
+  return 0;
+}

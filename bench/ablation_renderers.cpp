@@ -1,0 +1,76 @@
+// Ablation (§6 discussion): ray casting versus shear-warp for time-varying
+// data. Shear-warp renders each frame faster, but its per-time-step
+// preprocessing (classification + run-length encoding) must be repeated for
+// every volume of the sequence — "a shear-warp image and a ray-cast image
+// could take almost the same amount of time to generate".
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "render/raycast.hpp"
+#include "render/shearwarp.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+using namespace tvviz;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int steps = static_cast<int>(flags.get_int("steps", 6));
+  const int image = static_cast<int>(flags.get_int("image", 192));
+  const int scale = static_cast<int>(flags.get_int("scale", 2));
+
+  bench::print_header(
+      "Ablation — ray casting vs shear-warp on a time-varying sequence",
+      std::to_string(steps) + " steps of the turbulent jet (1/" +
+          std::to_string(scale) + " scale), " + std::to_string(image) +
+          "^2 images");
+
+  auto desc = field::scaled(field::turbulent_jet_desc(), scale, steps);
+  const render::Camera camera(image, image, 0.5, 0.3);
+  const auto tf = render::TransferFunction::fire();
+
+  render::RenderOptions opt;
+  opt.shading = false;  // compare like with like (shear-warp is unshaded)
+  render::RayCaster caster(opt);
+  render::ShearWarpRenderer sw;
+
+  double t_raycast = 0.0, t_sw_pre = 0.0, t_sw_render = 0.0, t_gen = 0.0;
+  for (int step = 0; step < desc.steps; ++step) {
+    util::WallTimer tg;
+    const auto vol = field::generate(desc, step);
+    t_gen += tg.seconds();
+
+    util::WallTimer t1;
+    (void)caster.render_full(vol, camera, tf);
+    t_raycast += t1.seconds();
+
+    util::WallTimer t2;
+    const auto classified = sw.preprocess(vol, tf);
+    t_sw_pre += t2.seconds();
+    util::WallTimer t3;
+    (void)sw.render(classified, camera);
+    t_sw_render += t3.seconds();
+  }
+
+  const auto per = [&](double t) { return t / desc.steps; };
+  std::printf("%-34s %s/frame\n", "ray casting (render only):",
+              bench::fmt_seconds(per(t_raycast)).c_str());
+  std::printf("%-34s %s/frame\n", "shear-warp render only:",
+              bench::fmt_seconds(per(t_sw_render)).c_str());
+  std::printf("%-34s %s/frame\n", "shear-warp preprocessing:",
+              bench::fmt_seconds(per(t_sw_pre)).c_str());
+  std::printf("%-34s %s/frame\n", "shear-warp TOTAL (time-varying):",
+              bench::fmt_seconds(per(t_sw_pre + t_sw_render)).c_str());
+  std::printf(
+      "\npreprocessing / shear-warp render = %.1fx — for time-varying data\n"
+      "the per-step preprocessing dominates shear-warp's own render time,\n"
+      "erasing most of its speed advantage (the §6 argument).\n",
+      t_sw_pre / t_sw_render);
+  std::printf(
+      "shear-warp total / ray-cast = %.2f  (paper: \"almost the same\";\n"
+      "our ray caster lacks space leaping, so it samples the jet's empty\n"
+      "space that shear-warp's run-length encoding skips — the residual\n"
+      "gap is that optimization, not the factorization itself)\n",
+      (t_sw_pre + t_sw_render) / t_raycast);
+  return 0;
+}

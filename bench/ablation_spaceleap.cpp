@@ -1,0 +1,75 @@
+// Ablation (§7.1 preprocessing "hints to the renderer"): min-max block
+// space leaping in the ray caster. Real measurement: samples evaluated and
+// wall time per frame with and without leaping, across the three datasets.
+// The image is bit-identical either way (skipped blocks classify to zero
+// opacity); only the cost changes — and it changes most for sparse data.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "field/generators.hpp"
+#include "render/raycast.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+using namespace tvviz;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int size = static_cast<int>(flags.get_int("size", 256));
+
+  bench::print_header(
+      "Ablation — min-max space leaping in the ray caster (§7.1)",
+      "per-frame samples and wall time, with/without leaping");
+
+  struct Case {
+    field::DatasetKind kind;
+    int scale;
+  };
+  const Case cases[] = {{field::DatasetKind::kTurbulentJet, 1},
+                        {field::DatasetKind::kTurbulentVortex, 1},
+                        {field::DatasetKind::kShockMixing, 4}};
+
+  std::printf("%-18s %-12s %-14s %-14s %-10s %-10s\n", "dataset", "coverage",
+              "plain", "leaping", "samples", "identical");
+  for (const auto& c : cases) {
+    field::DatasetDesc desc;
+    switch (c.kind) {
+      case field::DatasetKind::kTurbulentJet:
+        desc = field::turbulent_jet_desc();
+        break;
+      case field::DatasetKind::kTurbulentVortex:
+        desc = field::turbulent_vortex_desc();
+        break;
+      case field::DatasetKind::kShockMixing:
+        desc = field::scaled(field::shock_mixing_desc(), c.scale, 265);
+        break;
+    }
+    const auto volume = field::generate(desc, desc.steps / 2);
+    const auto tf = bench::colormap_for(c.kind);
+    const render::Camera camera(size, size);
+    render::RayCaster caster;
+
+    util::WallTimer t_plain;
+    const auto plain = caster.render_full(volume, camera, tf, false);
+    const double plain_s = t_plain.seconds();
+    const auto samples_plain = caster.last_sample_count();
+
+    util::WallTimer t_leap;
+    const auto leap = caster.render_full(volume, camera, tf, true);
+    const double leap_s = t_leap.seconds();
+    const auto samples_leap = caster.last_sample_count();
+
+    std::printf("%-18s %10.1f%% %-14s %-14s %9.2fx %-10s\n",
+                field::dataset_name(c.kind), 100.0 * volume.coverage(0.1f),
+                bench::fmt_seconds(plain_s).c_str(),
+                bench::fmt_seconds(leap_s).c_str(),
+                static_cast<double>(samples_plain) /
+                    static_cast<double>(std::max<std::size_t>(1, samples_leap)),
+                plain == leap ? "yes" : "NO");
+  }
+  std::printf(
+      "\nShape: leaping pays off in inverse proportion to coverage — the\n"
+      "sparse jet skips most of its samples, the dense vortex almost none.\n"
+      "Output images are bit-identical (the 'identical' column).\n");
+  return 0;
+}

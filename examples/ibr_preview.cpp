@@ -1,0 +1,69 @@
+// Image-based remote preview (§7.1, Visapult-style): the server renders a
+// ring of views of one time step, ships them as a compressed view set, and
+// the "client" explores arbitrary azimuths locally by reconstructing from
+// the set — no further server round-trips. Prints the bandwidth trade-off
+// (one view set vs streaming individual frames) and the reconstruction
+// quality against ground-truth renders.
+//
+//   ./ibr_preview [--views 12] [--size 128] [--probes 8]
+#include <cstdio>
+
+#include "codec/image_codec.hpp"
+#include "field/generators.hpp"
+#include "render/ibr.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+using namespace tvviz;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int views = static_cast<int>(flags.get_int("views", 12));
+  const int size = static_cast<int>(flags.get_int("size", 128));
+  const int probes = static_cast<int>(flags.get_int("probes", 8));
+
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 2, 150);
+  const field::VolumeF volume = field::generate(desc, 75);
+  const auto tf = render::TransferFunction::fire();
+
+  std::printf("server: rendering a %d-view set at %dx%d...\n", views, size,
+              size);
+  util::WallTimer t_capture;
+  const render::ViewSet set =
+      render::ViewSet::capture(volume, tf, views, size);
+  std::printf("  captured in %.2f s\n", t_capture.seconds());
+
+  const auto codec = codec::make_image_codec("jpeg+lzo", 75);
+  const auto wire = set.serialize(*codec);
+  std::printf("  view set on the wire: %zu bytes (%.1f kB per view; one\n"
+              "  interactive frame streamed the usual way is ~%zu bytes)\n",
+              wire.size(), wire.size() / 1024.0 / views,
+              codec->encode(set.view(0)).size());
+
+  std::printf("\nclient: reconstructing %d novel azimuths locally...\n",
+              probes);
+  const render::ViewSet received = render::ViewSet::deserialize(wire, *codec);
+  render::RayCaster caster;
+  double worst = 1e300;
+  for (int i = 0; i < probes; ++i) {
+    // Probe midway between key views: the hardest case for blending.
+    const double azimuth =
+        received.azimuth_of(i % views) + 3.14159265 / views;
+    util::WallTimer t_rec;
+    const render::Image approx = received.reconstruct(azimuth);
+    const double rec_s = t_rec.seconds();
+    const render::Camera camera(size, size, azimuth, received.elevation());
+    const render::Image truth = caster.render_full(volume, camera, tf, true);
+    const double quality = render::psnr(truth, approx);
+    worst = std::min(worst, quality);
+    std::printf("  azimuth %5.2f rad: reconstruct %-10s psnr %.1f dB\n",
+                azimuth, (std::to_string(static_cast<int>(rec_s * 1e6)) +
+                          " us").c_str(),
+                quality);
+  }
+  std::printf("\nworst-case reconstruction: %.1f dB. The client explores any\n"
+              "view on this ring for the price of ONE view-set transfer —\n"
+              "the §7.1 trade of bandwidth for client-side graphics.\n",
+              worst);
+  return 0;
+}

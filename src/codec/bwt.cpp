@@ -1,0 +1,265 @@
+#include "codec/bwt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+#include "codec/huffman.hpp"
+
+namespace tvviz::codec {
+
+util::Bytes bwt_forward(std::span<const std::uint8_t> block,
+                        std::uint32_t& primary_index) {
+  const std::size_t n = block.size();
+  if (n == 0) {
+    primary_index = 0;
+    return {};
+  }
+  // Sort cyclic rotations by prefix-doubling: after round k, `rank` orders
+  // rotations by their first 2^k characters.
+  std::vector<std::int32_t> sa(n), rank(n), next_rank(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = block[i];
+
+  for (std::size_t k = 1;; k <<= 1) {
+    const auto key = [&](std::int32_t i) {
+      return std::pair<std::int32_t, std::int32_t>(
+          rank[static_cast<std::size_t>(i)],
+          rank[(static_cast<std::size_t>(i) + k) % n]);
+    };
+    std::sort(sa.begin(), sa.end(),
+              [&](std::int32_t a, std::int32_t b) { return key(a) < key(b); });
+    next_rank[static_cast<std::size_t>(sa[0])] = 0;
+    bool all_distinct = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      const bool equal = key(sa[i]) == key(sa[i - 1]);
+      next_rank[static_cast<std::size_t>(sa[i])] =
+          next_rank[static_cast<std::size_t>(sa[i - 1])] + (equal ? 0 : 1);
+      all_distinct &= !equal;
+    }
+    rank.swap(next_rank);
+    if (all_distinct || k >= n) break;
+  }
+
+  util::Bytes last(n);
+  primary_index = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto start = static_cast<std::size_t>(sa[i]);
+    last[i] = block[(start + n - 1) % n];
+    if (start == 0) primary_index = static_cast<std::uint32_t>(i);
+  }
+  return last;
+}
+
+util::Bytes bwt_inverse(std::span<const std::uint8_t> last_column,
+                        std::uint32_t primary_index) {
+  const std::size_t n = last_column.size();
+  if (n == 0) return {};
+  if (primary_index >= n) throw std::runtime_error("bwt: bad primary index");
+
+  // LF mapping: row i's predecessor rotation is row
+  // C[L[i]] + occ(L[i], i), where C is the cumulative character count.
+  std::array<std::size_t, 256> counts{};
+  for (std::uint8_t c : last_column) ++counts[c];
+  std::array<std::size_t, 256> cumulative{};
+  std::size_t acc = 0;
+  for (int c = 0; c < 256; ++c) {
+    cumulative[static_cast<std::size_t>(c)] = acc;
+    acc += counts[static_cast<std::size_t>(c)];
+  }
+  std::vector<std::size_t> lf(n);
+  std::array<std::size_t, 256> seen{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t c = last_column[i];
+    lf[i] = cumulative[c] + seen[c]++;
+  }
+
+  util::Bytes out(n);
+  std::size_t row = primary_index;
+  for (std::size_t j = n; j-- > 0;) {
+    out[j] = last_column[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> mtf_forward(std::span<const std::uint8_t> data) {
+  std::array<std::uint8_t, 256> table;
+  for (int i = 0; i < 256; ++i) table[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t c = data[i];
+    std::uint8_t pos = 0;
+    while (table[pos] != c) ++pos;
+    out[i] = pos;
+    // Move to front.
+    for (std::uint8_t j = pos; j > 0; --j) table[j] = table[j - 1];
+    table[0] = c;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> mtf_inverse(std::span<const std::uint8_t> data) {
+  std::array<std::uint8_t, 256> table;
+  for (int i = 0; i < 256; ++i) table[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t pos = data[i];
+    const std::uint8_t c = table[pos];
+    out[i] = c;
+    for (std::uint8_t j = pos; j > 0; --j) table[j] = table[j - 1];
+    table[0] = c;
+  }
+  return out;
+}
+
+namespace {
+// Alphabet for the entropy stage (bzip2-style):
+//   0 = RUNA, 1 = RUNB (bijective base-2 zero-run digits)
+//   2..256 = MTF symbol value (1..255) + 1
+//   257 = end of block
+constexpr int kRunA = 0;
+constexpr int kRunB = 1;
+constexpr int kEob = 257;
+constexpr int kAlphabet = 258;
+
+std::vector<std::uint16_t> zle_encode(std::span<const std::uint8_t> mtf) {
+  std::vector<std::uint16_t> out;
+  out.reserve(mtf.size() / 2 + 8);
+  std::size_t i = 0;
+  while (i < mtf.size()) {
+    if (mtf[i] == 0) {
+      std::size_t run = 0;
+      while (i < mtf.size() && mtf[i] == 0) {
+        ++run;
+        ++i;
+      }
+      // Bijective base 2: run = sum over digits d_k in {1(RUNA), 2(RUNB)}
+      // of d_k * 2^k.
+      while (run > 0) {
+        if (run & 1) {
+          out.push_back(kRunA);
+          run = (run - 1) / 2;
+        } else {
+          out.push_back(kRunB);
+          run = (run - 2) / 2;
+        }
+      }
+    } else {
+      out.push_back(static_cast<std::uint16_t>(mtf[i] + 1));
+      ++i;
+    }
+  }
+  out.push_back(kEob);
+  return out;
+}
+
+std::vector<std::uint8_t> zle_decode(const std::vector<std::uint16_t>& symbols,
+                                     std::size_t max_output) {
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < symbols.size() && symbols[i] != kEob) {
+    if (symbols[i] == kRunA || symbols[i] == kRunB) {
+      std::size_t run = 0, weight = 1;
+      while (i < symbols.size() &&
+             (symbols[i] == kRunA || symbols[i] == kRunB)) {
+        run += (symbols[i] == kRunA ? 1u : 2u) * weight;
+        weight *= 2;
+        ++i;
+        // Corrupted streams can claim astronomically long zero runs;
+        // anything past the block length is invalid either way.
+        if (run > max_output)
+          throw std::runtime_error("bwt: zero run exceeds block length");
+      }
+      if (out.size() + run > max_output)
+        throw std::runtime_error("bwt: zle output exceeds block length");
+      out.insert(out.end(), run, 0);
+    } else {
+      const int v = symbols[i] - 1;
+      if (v < 1 || v > 255) throw std::runtime_error("bwt: bad zle symbol");
+      if (out.size() >= max_output)
+        throw std::runtime_error("bwt: zle output exceeds block length");
+      out.push_back(static_cast<std::uint8_t>(v));
+      ++i;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+BwtCodec::BwtCodec(std::size_t block_size) : block_size_(block_size) {
+  if (block_size_ < 16)
+    throw std::invalid_argument("BwtCodec: block size too small");
+}
+
+util::Bytes BwtCodec::encode(std::span<const std::uint8_t> input) const {
+  util::ByteWriter out(input.size() / 2 + 64);
+  out.varint(input.size());
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    const std::size_t len = std::min(block_size_, input.size() - offset);
+    const auto block = input.subspan(offset, len);
+    offset += len;
+
+    std::uint32_t primary = 0;
+    const util::Bytes last = bwt_forward(block, primary);
+    const auto mtf = mtf_forward(last);
+    const auto symbols = zle_encode(mtf);
+
+    std::vector<std::uint64_t> freqs(kAlphabet, 0);
+    for (std::uint16_t s : symbols) ++freqs[s];
+    const HuffmanCode code = HuffmanCode::from_frequencies(freqs);
+
+    util::BitWriter bits;
+    for (std::uint16_t s : symbols) code.encode(bits, s);
+    const util::Bytes payload = bits.finish();
+
+    out.varint(len);
+    out.u32(primary);
+    code.write_lengths(out);
+    out.varint(symbols.size());
+    out.varint(payload.size());
+    out.raw(payload);
+  }
+  return out.take();
+}
+
+util::Bytes BwtCodec::decode(std::span<const std::uint8_t> input) const {
+  util::ByteReader in(input);
+  const std::size_t total = in.varint();
+  // Corrupted headers can claim absurd sizes. A valid stream expands by at
+  // most ~block_size / log2(block_size) (a block of identical bytes costs
+  // ~17 run symbols), so a 64Ki-fold bound is safely above any real ratio.
+  if (total > input.size() * 65536 + 65536)
+    throw std::runtime_error("bwt: implausible decoded size");
+  util::Bytes out;
+  out.reserve(total);
+  while (out.size() < total) {
+    const std::size_t block_len = in.varint();
+    if (block_len > total)
+      throw std::runtime_error("bwt: block exceeds stream size");
+    const std::uint32_t primary = in.u32();
+    const HuffmanCode code = HuffmanCode::read_lengths(in);
+    const std::size_t symbol_count = in.varint();
+    const std::size_t payload_len = in.varint();
+    const auto payload = in.raw(payload_len);
+
+    if (symbol_count > 2 * block_len + 64)
+      throw std::runtime_error("bwt: implausible symbol count");
+    util::BitReader bits(payload);
+    std::vector<std::uint16_t> symbols(symbol_count);
+    for (auto& s : symbols) s = static_cast<std::uint16_t>(code.decode(bits));
+
+    const auto mtf = zle_decode(symbols, block_len);
+    if (mtf.size() != block_len)
+      throw std::runtime_error("bwt: block length mismatch");
+    const auto last = mtf_inverse(mtf);
+    const auto block = bwt_inverse(last, primary);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  if (out.size() != total) throw std::runtime_error("bwt: size mismatch");
+  return out;
+}
+
+}  // namespace tvviz::codec

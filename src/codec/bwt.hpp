@@ -1,0 +1,40 @@
+// BZIP-style block-sorting compressor: Burrows-Wheeler transform + move-to-
+// front + zero-run coding + Huffman. Better ratios than LZ at higher CPU
+// cost — the placement the paper reports for BZIP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/byte_codec.hpp"
+
+namespace tvviz::codec {
+
+/// Burrows-Wheeler transform of `block` (cyclic-rotation sort). Returns the
+/// last column; `primary_index` receives the row holding the original block.
+util::Bytes bwt_forward(std::span<const std::uint8_t> block,
+                        std::uint32_t& primary_index);
+
+/// Inverse BWT.
+util::Bytes bwt_inverse(std::span<const std::uint8_t> last_column,
+                        std::uint32_t primary_index);
+
+/// Move-to-front transform and its inverse (byte alphabet).
+std::vector<std::uint8_t> mtf_forward(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> mtf_inverse(std::span<const std::uint8_t> data);
+
+class BwtCodec final : public ByteCodec {
+ public:
+  explicit BwtCodec(std::size_t block_size = 64 * 1024);
+
+  std::string name() const override { return "bzip"; }
+  std::size_t block_size() const noexcept { return block_size_; }
+
+  util::Bytes encode(std::span<const std::uint8_t> input) const override;
+  util::Bytes decode(std::span<const std::uint8_t> input) const override;
+
+ private:
+  std::size_t block_size_;
+};
+
+}  // namespace tvviz::codec

@@ -1,0 +1,67 @@
+#include "codec/byte_codec.hpp"
+
+#include <stdexcept>
+
+namespace tvviz::codec {
+
+// PackBits framing: control byte c
+//   c in [0, 127]   -> copy the next c+1 literal bytes
+//   c in [129, 255] -> repeat the next byte 257-c times
+//   c == 128        -> unused (reserved)
+util::Bytes RleCodec::encode(std::span<const std::uint8_t> input) const {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    // Find run length of identical bytes starting at i.
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] && run < 128)
+      ++run;
+    if (run >= 3) {
+      out.push_back(static_cast<std::uint8_t>(257 - run));
+      out.push_back(input[i]);
+      i += run;
+      continue;
+    }
+    // Literal run: until the next >=3 repeat or 128 bytes.
+    std::size_t lit_end = i + 1;
+    while (lit_end < input.size() && lit_end - i < 128) {
+      if (lit_end + 2 < input.size() && input[lit_end] == input[lit_end + 1] &&
+          input[lit_end] == input[lit_end + 2])
+        break;
+      ++lit_end;
+    }
+    const std::size_t lit = lit_end - i;
+    out.push_back(static_cast<std::uint8_t>(lit - 1));
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+               input.begin() + static_cast<std::ptrdiff_t>(lit_end));
+    i = lit_end;
+  }
+  return out;
+}
+
+util::Bytes RleCodec::decode(std::span<const std::uint8_t> input) const {
+  util::Bytes out;
+  out.reserve(input.size() * 2);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t c = input[i++];
+    if (c <= 127) {
+      const std::size_t n = static_cast<std::size_t>(c) + 1;
+      if (i + n > input.size())
+        throw std::runtime_error("rle: truncated literal run");
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else if (c >= 129) {
+      if (i >= input.size()) throw std::runtime_error("rle: truncated repeat");
+      const std::size_t n = 257 - static_cast<std::size_t>(c);
+      out.insert(out.end(), n, input[i++]);
+    } else {
+      throw std::runtime_error("rle: reserved control byte");
+    }
+  }
+  return out;
+}
+
+}  // namespace tvviz::codec

@@ -1,0 +1,49 @@
+// Lossless byte-stream codecs. The paper evaluates LZO (fast LZ77) and BZIP
+// (Burrows-Wheeler) both directly on raw images and as a second pass over
+// JPEG output; all implementations here are from scratch.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace tvviz::codec {
+
+class ByteCodec {
+ public:
+  virtual ~ByteCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compress `input`; the result decodes back to exactly `input`.
+  virtual util::Bytes encode(std::span<const std::uint8_t> input) const = 0;
+
+  /// Decompress. Throws std::runtime_error / std::out_of_range on corrupt
+  /// streams.
+  virtual util::Bytes decode(std::span<const std::uint8_t> input) const = 0;
+};
+
+/// Identity codec (the "Raw" row of Table 1).
+class RawCodec final : public ByteCodec {
+ public:
+  std::string name() const override { return "raw"; }
+  util::Bytes encode(std::span<const std::uint8_t> input) const override {
+    return util::Bytes(input.begin(), input.end());
+  }
+  util::Bytes decode(std::span<const std::uint8_t> input) const override {
+    return util::Bytes(input.begin(), input.end());
+  }
+};
+
+/// PackBits-style run-length encoding: the "simple lossless scheme" renderer
+/// implementations traditionally used (§4).
+class RleCodec final : public ByteCodec {
+ public:
+  std::string name() const override { return "rle"; }
+  util::Bytes encode(std::span<const std::uint8_t> input) const override;
+  util::Bytes decode(std::span<const std::uint8_t> input) const override;
+};
+
+}  // namespace tvviz::codec

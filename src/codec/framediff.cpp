@@ -1,0 +1,87 @@
+#include "codec/framediff.hpp"
+
+#include <stdexcept>
+
+namespace tvviz::codec {
+
+namespace {
+constexpr std::uint8_t kKeyFrame = 0;
+constexpr std::uint8_t kDeltaFrame = 1;
+
+util::Bytes rgb_of(const render::Image& img) {
+  util::Bytes rgb;
+  rgb.reserve(static_cast<std::size_t>(img.width()) * img.height() * 3);
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const auto* p = img.pixel(x, y);
+      rgb.push_back(p[0]);
+      rgb.push_back(p[1]);
+      rgb.push_back(p[2]);
+    }
+  return rgb;
+}
+
+render::Image image_of(int w, int h, std::span<const std::uint8_t> rgb) {
+  render::Image img(w, h);
+  std::size_t i = 0;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      img.set(x, y, rgb[i], rgb[i + 1], rgb[i + 2], 255);
+      i += 3;
+    }
+  return img;
+}
+}  // namespace
+
+FrameDiffEncoder::FrameDiffEncoder(std::shared_ptr<const ByteCodec> inner)
+    : inner_(std::move(inner)) {}
+
+util::Bytes FrameDiffEncoder::encode_frame(const render::Image& frame) {
+  const bool key = !previous_ || previous_->width() != frame.width() ||
+                   previous_->height() != frame.height();
+  util::Bytes payload = rgb_of(frame);
+  if (!key) {
+    const util::Bytes prev = rgb_of(*previous_);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<std::uint8_t>(payload[i] - prev[i]);
+  }
+  const util::Bytes packed = inner_->encode(payload);
+
+  util::ByteWriter out(packed.size() + 16);
+  out.u8(key ? kKeyFrame : kDeltaFrame);
+  out.u32(static_cast<std::uint32_t>(frame.width()));
+  out.u32(static_cast<std::uint32_t>(frame.height()));
+  out.varint(packed.size());
+  out.raw(packed);
+  previous_ = frame;
+  return out.take();
+}
+
+FrameDiffDecoder::FrameDiffDecoder(std::shared_ptr<const ByteCodec> inner)
+    : inner_(std::move(inner)) {}
+
+render::Image FrameDiffDecoder::decode_frame(std::span<const std::uint8_t> data) {
+  util::ByteReader in(data);
+  const std::uint8_t kind = in.u8();
+  const int w = static_cast<int>(in.u32());
+  const int h = static_cast<int>(in.u32());
+  const std::size_t packed_len = in.varint();
+  util::Bytes payload = inner_->decode(in.raw(packed_len));
+  if (payload.size() != static_cast<std::size_t>(w) * h * 3)
+    throw std::runtime_error("framediff: payload size mismatch");
+
+  if (kind == kDeltaFrame) {
+    if (!previous_ || previous_->width() != w || previous_->height() != h)
+      throw std::runtime_error("framediff: delta without matching key frame");
+    const util::Bytes prev = rgb_of(*previous_);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<std::uint8_t>(payload[i] + prev[i]);
+  } else if (kind != kKeyFrame) {
+    throw std::runtime_error("framediff: unknown frame kind");
+  }
+  render::Image img = image_of(w, h, payload);
+  previous_ = img;
+  return img;
+}
+
+}  // namespace tvviz::codec

@@ -1,0 +1,50 @@
+// Temporal frame differencing (Crockett-style, §7.1): frames after the
+// first are encoded as byte-wise deltas against the previous frame, then
+// run through a lossless byte codec. Animation sequences with coherent
+// backgrounds compress far better than independent frames.
+//
+// Encoder and decoder are stateful and must see the same frame sequence.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "codec/byte_codec.hpp"
+#include "render/image.hpp"
+
+namespace tvviz::codec {
+
+class FrameDiffEncoder {
+ public:
+  explicit FrameDiffEncoder(std::shared_ptr<const ByteCodec> inner);
+
+  /// Encode the next frame of the sequence. Emits a key frame for the first
+  /// frame and whenever the image size changes.
+  util::Bytes encode_frame(const render::Image& frame);
+
+  /// Force the next frame to be a key frame (e.g. after a lost packet).
+  void reset() noexcept { previous_.reset(); }
+
+  std::string name() const { return "framediff+" + inner_->name(); }
+
+ private:
+  std::shared_ptr<const ByteCodec> inner_;
+  std::optional<render::Image> previous_;
+};
+
+class FrameDiffDecoder {
+ public:
+  explicit FrameDiffDecoder(std::shared_ptr<const ByteCodec> inner);
+
+  /// Decode the next frame. Throws std::runtime_error if a delta frame
+  /// arrives without a preceding key frame.
+  render::Image decode_frame(std::span<const std::uint8_t> data);
+
+  void reset() noexcept { previous_.reset(); }
+
+ private:
+  std::shared_ptr<const ByteCodec> inner_;
+  std::optional<render::Image> previous_;
+};
+
+}  // namespace tvviz::codec

@@ -1,0 +1,189 @@
+#include "codec/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace tvviz::codec {
+
+namespace {
+/// Compute code lengths from frequencies via a Huffman tree (priority queue).
+/// Returns empty when no symbol has a non-zero frequency.
+std::vector<std::uint8_t> tree_lengths(std::span<const std::uint64_t> freqs) {
+  struct Node {
+    std::uint64_t freq;
+    int index;  ///< < alphabet: leaf symbol; else internal node id.
+  };
+  const auto cmp = [](const Node& a, const Node& b) {
+    return a.freq != b.freq ? a.freq > b.freq : a.index > b.index;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+
+  const int n = static_cast<int>(freqs.size());
+  for (int i = 0; i < n; ++i)
+    if (freqs[static_cast<std::size_t>(i)] > 0)
+      heap.push(Node{freqs[static_cast<std::size_t>(i)], i});
+  if (heap.empty()) return {};
+
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  if (heap.size() == 1) {
+    lengths[static_cast<std::size_t>(heap.top().index)] = 1;
+    return lengths;
+  }
+
+  // parent[] over leaves and internal nodes; depths computed by walking up.
+  std::vector<int> parent(freqs.size(), -1);
+  int next_internal = n;
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    parent.push_back(-1);  // slot for the new internal node
+    const int id = next_internal++;
+    parent[static_cast<std::size_t>(a.index)] = id;
+    parent[static_cast<std::size_t>(b.index)] = id;
+    heap.push(Node{a.freq + b.freq, id});
+  }
+  for (int i = 0; i < n; ++i) {
+    if (freqs[static_cast<std::size_t>(i)] == 0) continue;
+    int depth = 0;
+    for (int v = i; parent[static_cast<std::size_t>(v)] != -1;
+         v = parent[static_cast<std::size_t>(v)])
+      ++depth;
+    lengths[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(depth);
+  }
+  return lengths;
+}
+}  // namespace
+
+HuffmanCode HuffmanCode::from_frequencies(std::span<const std::uint64_t> freqs) {
+  std::vector<std::uint64_t> scaled(freqs.begin(), freqs.end());
+  for (;;) {
+    auto lengths = tree_lengths(scaled);
+    if (lengths.empty())
+      throw std::invalid_argument("huffman: all frequencies zero");
+    const auto max_len =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (max_len <= kMaxBits) return HuffmanCode(std::move(lengths));
+    // Depth limiting by frequency flattening; converges to uniform lengths.
+    for (auto& f : scaled)
+      if (f > 0) f = f / 2 + 1;
+  }
+}
+
+HuffmanCode HuffmanCode::from_lengths(std::vector<std::uint8_t> lengths) {
+  return HuffmanCode(std::move(lengths));
+}
+
+HuffmanCode::HuffmanCode(std::vector<std::uint8_t> lengths)
+    : lengths_(std::move(lengths)) {
+  build_tables();
+}
+
+void HuffmanCode::build_tables() {
+  codes_.assign(lengths_.size(), 0);
+  sorted_symbols_.clear();
+  std::fill(std::begin(count_), std::end(count_), 0);
+
+  for (std::uint8_t len : lengths_) {
+    if (len > kMaxBits) throw std::invalid_argument("huffman: length overflow");
+    if (len > 0) ++count_[len];
+  }
+  // Canonical first codes per length.
+  std::uint32_t code = 0;
+  std::int32_t index = 0;
+  for (int len = 1; len <= kMaxBits; ++len) {
+    code = (code + count_[len - 1]) << 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    index += count_[len];
+  }
+  // Kraft check: the code must be complete or under-full, never over-full.
+  std::uint64_t kraft = 0;
+  for (int len = 1; len <= kMaxBits; ++len)
+    kraft += static_cast<std::uint64_t>(count_[len]) << (kMaxBits - len);
+  if (kraft > (1ull << kMaxBits))
+    throw std::invalid_argument("huffman: invalid length set (over-full)");
+
+  // Assign codes to symbols sorted by (length, symbol value).
+  sorted_symbols_.resize(static_cast<std::size_t>(index));
+  std::uint32_t next_code[kMaxBits + 2];
+  std::int32_t next_index[kMaxBits + 2];
+  std::copy(std::begin(first_code_), std::end(first_code_), next_code);
+  std::copy(std::begin(first_index_), std::end(first_index_), next_index);
+  for (std::size_t sym = 0; sym < lengths_.size(); ++sym) {
+    const std::uint8_t len = lengths_[sym];
+    if (len == 0) continue;
+    codes_[sym] = next_code[len]++;
+    sorted_symbols_[static_cast<std::size_t>(next_index[len]++)] =
+        static_cast<std::uint16_t>(sym);
+  }
+}
+
+void HuffmanCode::encode(util::BitWriter& out, int symbol) const {
+  const std::uint8_t len = lengths_.at(static_cast<std::size_t>(symbol));
+  if (len == 0) throw std::invalid_argument("huffman: symbol has no code");
+  out.bits(codes_[static_cast<std::size_t>(symbol)], len);
+}
+
+int HuffmanCode::decode(util::BitReader& in) const {
+  std::uint32_t code = 0;
+  for (int len = 1; len <= kMaxBits; ++len) {
+    code = (code << 1) | (in.bit() ? 1u : 0u);
+    if (count_[len] != 0 && code >= first_code_[len] &&
+        code < first_code_[len] + count_[len]) {
+      return sorted_symbols_[static_cast<std::size_t>(
+          first_index_[len] + static_cast<std::int32_t>(code - first_code_[len]))];
+    }
+  }
+  throw std::runtime_error("huffman: invalid code in stream");
+}
+
+void HuffmanCode::write_lengths(util::ByteWriter& out) const {
+  out.varint(lengths_.size());
+  std::size_t i = 0;
+  while (i < lengths_.size()) {
+    if (lengths_[i] == 0) {
+      std::size_t run = 1;
+      while (i + run < lengths_.size() && lengths_[i + run] == 0) ++run;
+      out.u8(0);
+      out.varint(run);
+      i += run;
+    } else {
+      out.u8(lengths_[i]);
+      ++i;
+    }
+  }
+}
+
+HuffmanCode HuffmanCode::read_lengths(util::ByteReader& in) {
+  const std::size_t n = in.varint();
+  if (n > 1u << 20) throw std::runtime_error("huffman: absurd alphabet size");
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(n);
+  while (lengths.size() < n) {
+    const std::uint8_t v = in.u8();
+    if (v == 0) {
+      const std::size_t run = in.varint();
+      if (lengths.size() + run > n)
+        throw std::runtime_error("huffman: zero run overflows alphabet");
+      lengths.insert(lengths.end(), run, 0);
+    } else {
+      lengths.push_back(v);
+    }
+  }
+  return from_lengths(std::move(lengths));
+}
+
+double HuffmanCode::expected_bits(std::span<const std::uint64_t> freqs) const {
+  std::uint64_t total = 0, bits = 0;
+  for (std::size_t i = 0; i < freqs.size() && i < lengths_.size(); ++i) {
+    total += freqs[i];
+    bits += freqs[i] * lengths_[i];
+  }
+  return total > 0 ? static_cast<double>(bits) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace tvviz::codec

@@ -1,0 +1,55 @@
+// Canonical Huffman coding over an arbitrary symbol alphabet, shared by the
+// BWT codec's entropy stage and the JPEG codec's coefficient coder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace tvviz::codec {
+
+/// Canonical Huffman code for `alphabet_size` symbols with code lengths
+/// capped at kMaxBits. Build from frequencies, then encode/decode symbols
+/// through Bit{Writer,Reader}. Lengths serialize compactly so the decoder
+/// can reconstruct the identical canonical code.
+class HuffmanCode {
+ public:
+  static constexpr int kMaxBits = 15;
+
+  /// Build an optimal (length-limited) code. Symbols with zero frequency get
+  /// no code; encoding such a symbol throws. At least one frequency must be
+  /// non-zero.
+  static HuffmanCode from_frequencies(std::span<const std::uint64_t> freqs);
+
+  /// Rebuild from serialized code lengths.
+  static HuffmanCode from_lengths(std::vector<std::uint8_t> lengths);
+
+  int alphabet_size() const noexcept { return static_cast<int>(lengths_.size()); }
+  const std::vector<std::uint8_t>& lengths() const noexcept { return lengths_; }
+
+  void encode(util::BitWriter& out, int symbol) const;
+  int decode(util::BitReader& in) const;
+
+  /// Serialize code lengths (run-length compressed) / parse them back.
+  void write_lengths(util::ByteWriter& out) const;
+  static HuffmanCode read_lengths(util::ByteReader& in);
+
+  /// Mean code length in bits under the given symbol distribution.
+  double expected_bits(std::span<const std::uint64_t> freqs) const;
+
+ private:
+  explicit HuffmanCode(std::vector<std::uint8_t> lengths);
+  void build_tables();
+
+  std::vector<std::uint8_t> lengths_;   ///< Per-symbol code length (0 = absent).
+  std::vector<std::uint32_t> codes_;    ///< Canonical code bits per symbol.
+  // Canonical decoding tables indexed by code length.
+  std::uint32_t first_code_[kMaxBits + 2] = {};
+  std::int32_t first_index_[kMaxBits + 2] = {};
+  std::uint16_t count_[kMaxBits + 2] = {};
+  std::vector<std::uint16_t> sorted_symbols_;  ///< Symbols by (length, value).
+};
+
+}  // namespace tvviz::codec

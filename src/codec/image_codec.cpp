@@ -1,0 +1,85 @@
+#include "codec/image_codec.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "codec/bwt.hpp"
+#include "codec/jpeg.hpp"
+#include "codec/lz.hpp"
+
+namespace tvviz::codec {
+
+namespace {
+/// RGB payload framing shared by Raw and ByteImageCodec.
+util::Bytes pack_rgb(const render::Image& image) {
+  util::ByteWriter w(static_cast<std::size_t>(image.width()) * image.height() * 3 + 16);
+  w.u32(static_cast<std::uint32_t>(image.width()));
+  w.u32(static_cast<std::uint32_t>(image.height()));
+  for (int y = 0; y < image.height(); ++y)
+    for (int x = 0; x < image.width(); ++x) {
+      const auto* p = image.pixel(x, y);
+      w.u8(p[0]);
+      w.u8(p[1]);
+      w.u8(p[2]);
+    }
+  return w.take();
+}
+
+render::Image unpack_rgb(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  const int w = static_cast<int>(r.u32());
+  const int h = static_cast<int>(r.u32());
+  if (w < 0 || h < 0 || r.remaining() < static_cast<std::size_t>(w) * h * 3)
+    throw std::runtime_error("image: truncated RGB payload");
+  render::Image image(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const std::uint8_t red = r.u8(), green = r.u8(), blue = r.u8();
+      image.set(x, y, red, green, blue, 255);
+    }
+  return image;
+}
+}  // namespace
+
+util::Bytes RawImageCodec::encode(const render::Image& image) const {
+  return pack_rgb(image);
+}
+
+render::Image RawImageCodec::decode(std::span<const std::uint8_t> data) const {
+  return unpack_rgb(data);
+}
+
+util::Bytes ByteImageCodec::encode(const render::Image& image) const {
+  return bytes_->encode(pack_rgb(image));
+}
+
+render::Image ByteImageCodec::decode(std::span<const std::uint8_t> data) const {
+  return unpack_rgb(bytes_->decode(data));
+}
+
+std::shared_ptr<const ImageCodec> make_image_codec(const std::string& name,
+                                                   int quality) {
+  if (name == "raw") return std::make_shared<RawImageCodec>();
+  if (name == "rle")
+    return std::make_shared<ByteImageCodec>(std::make_shared<RleCodec>());
+  if (name == "lzo")
+    return std::make_shared<ByteImageCodec>(std::make_shared<LzCodec>());
+  if (name == "bzip")
+    return std::make_shared<ByteImageCodec>(std::make_shared<BwtCodec>());
+  if (name == "jpeg") return std::make_shared<JpegCodec>(quality);
+  if (name == "jpeg+lzo")
+    return std::make_shared<ChainImageCodec>(std::make_shared<JpegCodec>(quality),
+                                             std::make_shared<LzCodec>());
+  if (name == "jpeg+bzip")
+    return std::make_shared<ChainImageCodec>(std::make_shared<JpegCodec>(quality),
+                                             std::make_shared<BwtCodec>());
+  throw std::invalid_argument("make_image_codec: unknown codec " + name);
+}
+
+const std::vector<std::string>& table1_codec_names() {
+  static const std::vector<std::string> names = {
+      "raw", "lzo", "bzip", "jpeg", "jpeg+lzo", "jpeg+bzip"};
+  return names;
+}
+
+}  // namespace tvviz::codec

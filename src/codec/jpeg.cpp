@@ -1,0 +1,520 @@
+#include "codec/jpeg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "codec/jpeg_detail.hpp"
+
+namespace tvviz::codec {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54504a31;  // "1JPT"
+
+// ITU-T T.81 Annex K quantization tables (quality 50 reference).
+constexpr int kLumaBase[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr int kChromaBase[64] = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+// Zigzag scan order: index -> (row * 8 + col).
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+/// Orthonormal 8-point DCT basis: A[u][x]; 2D DCT = A * g * A^T. This
+/// normalization coincides with the JPEG fDCT definition.
+struct DctBasis {
+  double a[8][8];
+  DctBasis() {
+    for (int u = 0; u < 8; ++u) {
+      const double alpha = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x)
+        a[u][x] = alpha * std::cos((2 * x + 1) * u * 3.14159265358979323846 / 16.0);
+    }
+  }
+};
+const DctBasis kDct;
+
+void fdct8x8(const double in[64], double out[64]) {
+  double tmp[64];
+  for (int u = 0; u < 8; ++u)
+    for (int y = 0; y < 8; ++y) {
+      double acc = 0.0;
+      for (int x = 0; x < 8; ++x) acc += kDct.a[u][x] * in[x * 8 + y];
+      tmp[u * 8 + y] = acc;
+    }
+  for (int u = 0; u < 8; ++u)
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0.0;
+      for (int y = 0; y < 8; ++y) acc += tmp[u * 8 + y] * kDct.a[v][y];
+      out[u * 8 + v] = acc;
+    }
+}
+
+void idct8x8(const double in[64], double out[64]) {
+  double tmp[64];
+  for (int x = 0; x < 8; ++x)
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0.0;
+      for (int u = 0; u < 8; ++u) acc += kDct.a[u][x] * in[u * 8 + v];
+      tmp[x * 8 + v] = acc;
+    }
+  for (int x = 0; x < 8; ++x)
+    for (int y = 0; y < 8; ++y) {
+      double acc = 0.0;
+      for (int v = 0; v < 8; ++v) acc += tmp[x * 8 + v] * kDct.a[v][y];
+      out[x * 8 + y] = acc;
+    }
+}
+
+/// Magnitude category (bit size) of a coefficient value.
+int category(int v) noexcept {
+  int a = v < 0 ? -v : v;
+  int s = 0;
+  while (a) {
+    ++s;
+    a >>= 1;
+  }
+  return s;
+}
+
+std::uint32_t magnitude_bits(int v, int size) noexcept {
+  return v >= 0 ? static_cast<std::uint32_t>(v)
+                : static_cast<std::uint32_t>(v + (1 << size) - 1);
+}
+
+int magnitude_value(std::uint32_t bits, int size) noexcept {
+  if (size == 0) return 0;
+  const std::uint32_t half = 1u << (size - 1);
+  return bits >= half ? static_cast<int>(bits)
+                      : static_cast<int>(bits) - (1 << size) + 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- detail ----
+
+namespace detail {
+
+float Plane::at(int x, int y) const {
+  x = std::clamp(x, 0, w - 1);
+  y = std::clamp(y, 0, h - 1);
+  return data[static_cast<std::size_t>(y) * w + x];
+}
+
+Planes to_planes(const render::Image& img, bool subsample) {
+  Planes p;
+  p.y.w = img.width();
+  p.y.h = img.height();
+  p.y.data.resize(static_cast<std::size_t>(p.y.w) * p.y.h);
+  std::vector<float> cb(p.y.data.size()), cr(p.y.data.size());
+  for (int yy = 0; yy < img.height(); ++yy)
+    for (int xx = 0; xx < img.width(); ++xx) {
+      const auto* px = img.pixel(xx, yy);
+      const double r = px[0], g = px[1], b = px[2];
+      const std::size_t i = static_cast<std::size_t>(yy) * p.y.w + xx;
+      p.y.data[i] = static_cast<float>(0.299 * r + 0.587 * g + 0.114 * b - 128.0);
+      cb[i] = static_cast<float>(-0.168736 * r - 0.331264 * g + 0.5 * b);
+      cr[i] = static_cast<float>(0.5 * r - 0.418688 * g - 0.081312 * b);
+    }
+  if (subsample) {
+    p.cb.w = (img.width() + 1) / 2;
+    p.cb.h = (img.height() + 1) / 2;
+    p.cr.w = p.cb.w;
+    p.cr.h = p.cb.h;
+    p.cb.data.resize(static_cast<std::size_t>(p.cb.w) * p.cb.h);
+    p.cr.data.resize(p.cb.data.size());
+    for (int yy = 0; yy < p.cb.h; ++yy)
+      for (int xx = 0; xx < p.cb.w; ++xx) {
+        double scb = 0.0, scr = 0.0;
+        int n = 0;
+        for (int dy = 0; dy < 2; ++dy)
+          for (int dx = 0; dx < 2; ++dx) {
+            const int sx = 2 * xx + dx, sy = 2 * yy + dy;
+            if (sx >= img.width() || sy >= img.height()) continue;
+            const std::size_t i = static_cast<std::size_t>(sy) * p.y.w + sx;
+            scb += cb[i];
+            scr += cr[i];
+            ++n;
+          }
+        const std::size_t o = static_cast<std::size_t>(yy) * p.cb.w + xx;
+        p.cb.data[o] = static_cast<float>(scb / n);
+        p.cr.data[o] = static_cast<float>(scr / n);
+      }
+  } else {
+    p.cb.w = p.cr.w = p.y.w;
+    p.cb.h = p.cr.h = p.y.h;
+    p.cb.data = std::move(cb);
+    p.cr.data = std::move(cr);
+  }
+  return p;
+}
+
+render::Image from_planes(const Planes& p, bool subsample) {
+  render::Image img(p.y.w, p.y.h);
+  for (int yy = 0; yy < p.y.h; ++yy)
+    for (int xx = 0; xx < p.y.w; ++xx) {
+      const double lum = p.y.at(xx, yy) + 128.0;
+      const int cx = subsample ? xx / 2 : xx;
+      const int cy = subsample ? yy / 2 : yy;
+      const double cb = p.cb.at(cx, cy);
+      const double cr = p.cr.at(cx, cy);
+      const auto q = [](double v) {
+        return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+      };
+      img.set(xx, yy, q(lum + 1.402 * cr),
+              q(lum - 0.344136 * cb - 0.714136 * cr), q(lum + 1.772 * cb),
+              255);
+    }
+  return img;
+}
+
+void build_quant_tables(int quality, std::uint16_t luma[64],
+                        std::uint16_t chroma[64]) {
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  for (int i = 0; i < 64; ++i) {
+    luma[i] = static_cast<std::uint16_t>(
+        std::clamp((kLumaBase[kZigzag[i]] * scale + 50) / 100, 1, 255));
+    chroma[i] = static_cast<std::uint16_t>(
+        std::clamp((kChromaBase[kZigzag[i]] * scale + 50) / 100, 1, 255));
+  }
+}
+
+std::vector<std::array<int, 64>> quantize_plane(const Plane& plane,
+                                                const std::uint16_t quant[64]) {
+  const int bw = (plane.w + 7) / 8, bh = (plane.h + 7) / 8;
+  std::vector<std::array<int, 64>> blocks;
+  blocks.reserve(static_cast<std::size_t>(bw) * bh);
+  double raw[64], freq[64];
+  for (int by = 0; by < bh; ++by)
+    for (int bx = 0; bx < bw; ++bx) {
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          raw[y * 8 + x] = plane.at(bx * 8 + x, by * 8 + y);
+      fdct8x8(raw, freq);
+      std::array<int, 64> zz;
+      for (int i = 0; i < 64; ++i) {
+        const double q = freq[kZigzag[i]] / quant[i];
+        zz[static_cast<std::size_t>(i)] =
+            static_cast<int>(q >= 0 ? q + 0.5 : q - 0.5);
+      }
+      blocks.push_back(zz);
+    }
+  return blocks;
+}
+
+Plane dequantize_plane(const std::vector<std::array<int, 64>>& blocks, int w,
+                       int h, const std::uint16_t quant[64]) {
+  Plane plane;
+  plane.w = w;
+  plane.h = h;
+  plane.data.assign(static_cast<std::size_t>(w) * h, 0.0f);
+  const int bw = (w + 7) / 8;
+  double freq[64], raw[64];
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const int bx = static_cast<int>(b) % bw;
+    const int by = static_cast<int>(b) / bw;
+    std::fill(std::begin(freq), std::end(freq), 0.0);
+    for (int i = 0; i < 64; ++i)
+      freq[kZigzag[i]] =
+          static_cast<double>(blocks[b][static_cast<std::size_t>(i)]) * quant[i];
+    idct8x8(freq, raw);
+    for (int y = 0; y < 8; ++y) {
+      const int py = by * 8 + y;
+      if (py >= h) continue;
+      for (int x = 0; x < 8; ++x) {
+        const int px = bx * 8 + x;
+        if (px >= w) continue;
+        plane.data[static_cast<std::size_t>(py) * w + px] =
+            static_cast<float>(raw[y * 8 + x]);
+      }
+    }
+  }
+  return plane;
+}
+
+SymbolStream tokenize(const std::vector<std::array<int, 64>>& blocks) {
+  SymbolStream s;
+  s.dc.reserve(blocks.size());
+  s.ac.reserve(blocks.size());
+  int prev_dc = 0;
+  for (const auto& zz : blocks) {
+    const int diff = zz[0] - prev_dc;
+    prev_dc = zz[0];
+    const int dsize = category(diff);
+    s.dc.push_back({dsize, magnitude_bits(diff, dsize)});
+
+    std::vector<SymbolStream::AcSym> ac;
+    int run = 0;
+    for (int i = 1; i < 64; ++i) {
+      const int v = zz[static_cast<std::size_t>(i)];
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      while (run >= 16) {
+        ac.push_back({0xF0, 0, 0});
+        run -= 16;
+      }
+      const int size = category(v);
+      ac.push_back({run * 16 + size, size, magnitude_bits(v, size)});
+      run = 0;
+    }
+    if (run > 0) ac.push_back({0x00, 0, 0});  // EOB
+    s.ac.push_back(std::move(ac));
+  }
+  return s;
+}
+
+void accumulate_frequencies(const SymbolStream& stream,
+                            std::vector<std::uint64_t>& dc_freq,
+                            std::vector<std::uint64_t>& ac_freq) {
+  dc_freq.resize(16, 0);
+  ac_freq.resize(256, 0);
+  for (const auto& d : stream.dc) ++dc_freq[static_cast<std::size_t>(d.size)];
+  for (const auto& per_block : stream.ac)
+    for (const auto& a : per_block) ++ac_freq[static_cast<std::size_t>(a.symbol)];
+}
+
+void emit_stream(util::BitWriter& bits, const SymbolStream& stream,
+                 const HuffmanCode& dc, const HuffmanCode& ac) {
+  for (std::size_t b = 0; b < stream.dc.size(); ++b) {
+    const auto& d = stream.dc[b];
+    dc.encode(bits, d.size);
+    if (d.size > 0) bits.bits(d.bits, d.size);
+    for (const auto& a : stream.ac[b]) {
+      ac.encode(bits, a.symbol);
+      if (a.size > 0) bits.bits(a.bits, a.size);
+    }
+  }
+}
+
+std::vector<std::array<int, 64>> decode_blocks(util::BitReader& bits,
+                                               std::size_t count,
+                                               const HuffmanCode& dc,
+                                               const HuffmanCode& ac) {
+  std::vector<std::array<int, 64>> blocks(count);
+  int prev_dc = 0;
+  for (auto& zz : blocks) {
+    zz.fill(0);
+    const int dsize = dc.decode(bits);
+    const int diff = dsize > 0 ? magnitude_value(bits.bits(dsize), dsize) : 0;
+    prev_dc += diff;
+    zz[0] = prev_dc;
+    int i = 1;
+    while (i < 64) {
+      const int sym = ac.decode(bits);
+      if (sym == 0x00) break;  // EOB
+      if (sym == 0xF0) {       // ZRL
+        i += 16;
+        continue;
+      }
+      const int run = sym >> 4;
+      const int size = sym & 0xF;
+      i += run;
+      if (i >= 64) throw std::runtime_error("jpeg: AC index overflow");
+      zz[static_cast<std::size_t>(i)] = magnitude_value(bits.bits(size), size);
+      ++i;
+    }
+  }
+  return blocks;
+}
+
+}  // namespace detail
+
+// ----------------------------------------------------------- JpegCodec ----
+
+using detail::Plane;
+using detail::Planes;
+using detail::SymbolStream;
+
+JpegCodec::JpegCodec(int quality, bool subsample_chroma)
+    : quality_(quality), subsample_(subsample_chroma) {
+  if (quality < 1 || quality > 100)
+    throw std::invalid_argument("JpegCodec: quality must be 1..100");
+  detail::build_quant_tables(quality, luma_quant_, chroma_quant_);
+}
+
+util::Bytes JpegCodec::encode(const render::Image& image) const {
+  const Planes planes = detail::to_planes(image, subsample_);
+  const Plane* plane_ptrs[3] = {&planes.y, &planes.cb, &planes.cr};
+  const std::uint16_t* quants[3] = {luma_quant_, chroma_quant_, chroma_quant_};
+
+  // Pass 1: quantize + tokenize, gathering Huffman statistics.
+  SymbolStream streams[3];
+  std::vector<std::uint64_t> dc_freq, ac_freq;
+  for (int c = 0; c < 3; ++c) {
+    const auto blocks = detail::quantize_plane(*plane_ptrs[c], quants[c]);
+    streams[c] = detail::tokenize(blocks);
+    detail::accumulate_frequencies(streams[c], dc_freq, ac_freq);
+  }
+  const HuffmanCode dc_code = HuffmanCode::from_frequencies(dc_freq);
+  const HuffmanCode ac_code = HuffmanCode::from_frequencies(ac_freq);
+
+  // Pass 2: emit.
+  util::BitWriter bits;
+  for (const auto& stream : streams)
+    detail::emit_stream(bits, stream, dc_code, ac_code);
+  const util::Bytes payload = bits.finish();
+
+  util::ByteWriter out(payload.size() + 256);
+  out.u32(kMagic);
+  out.u32(static_cast<std::uint32_t>(image.width()));
+  out.u32(static_cast<std::uint32_t>(image.height()));
+  out.u8(static_cast<std::uint8_t>(quality_));
+  out.u8(subsample_ ? 1 : 0);
+  for (int i = 0; i < 64; ++i) out.u16(luma_quant_[i]);
+  for (int i = 0; i < 64; ++i) out.u16(chroma_quant_[i]);
+  dc_code.write_lengths(out);
+  ac_code.write_lengths(out);
+  out.varint(payload.size());
+  out.raw(payload);
+  return out.take();
+}
+
+namespace {
+/// Entropy-decoded stream: quantized zigzag blocks of every plane plus the
+/// header metadata, shared by full and fast reconstruction.
+struct ParsedStream {
+  int w = 0, h = 0;
+  bool subsample = false;
+  std::uint16_t luma_q[64], chroma_q[64];
+  std::vector<std::array<int, 64>> blocks[3];
+  int plane_w[3], plane_h[3];
+};
+
+ParsedStream parse_stream(std::span<const std::uint8_t> data) {
+  ParsedStream s;
+  util::ByteReader in(data);
+  if (in.u32() != kMagic) throw std::runtime_error("jpeg: bad magic");
+  s.w = static_cast<int>(in.u32());
+  s.h = static_cast<int>(in.u32());
+  (void)in.u8();  // quality (informational; tables are explicit)
+  s.subsample = in.u8() != 0;
+  for (auto& q : s.luma_q) q = in.u16();
+  for (auto& q : s.chroma_q) q = in.u16();
+  const HuffmanCode dc_code = HuffmanCode::read_lengths(in);
+  const HuffmanCode ac_code = HuffmanCode::read_lengths(in);
+  const std::size_t payload_len = in.varint();
+  util::BitReader bits(in.raw(payload_len));
+
+  const int cw = s.subsample ? (s.w + 1) / 2 : s.w;
+  const int ch = s.subsample ? (s.h + 1) / 2 : s.h;
+  s.plane_w[0] = s.w;
+  s.plane_h[0] = s.h;
+  s.plane_w[1] = s.plane_w[2] = cw;
+  s.plane_h[1] = s.plane_h[2] = ch;
+
+  for (int c = 0; c < 3; ++c)
+    s.blocks[c] = detail::decode_blocks(
+        bits, detail::block_count(s.plane_w[c], s.plane_h[c]), dc_code,
+        ac_code);
+  return s;
+}
+
+/// Orthonormal m-point DCT basis for the reduced-resolution inverse.
+struct SmallBasis {
+  double a[8][8] = {};
+  explicit SmallBasis(int m) {
+    for (int u = 0; u < m; ++u) {
+      const double alpha = u == 0 ? std::sqrt(1.0 / m) : std::sqrt(2.0 / m);
+      for (int x = 0; x < m; ++x)
+        a[u][x] = alpha *
+                  std::cos((2 * x + 1) * u * 3.14159265358979323846 / (2 * m));
+    }
+  }
+};
+
+/// Reconstruct a plane at 1/scale resolution from the (8/scale)^2
+/// lowest-frequency coefficients of each block (libjpeg's scaled IDCT).
+Plane dequantize_plane_scaled(const std::vector<std::array<int, 64>>& blocks,
+                              int w, int h, const std::uint16_t quant[64],
+                              int scale) {
+  const int m = 8 / scale;
+  const SmallBasis basis(m);
+  const int pw = (w + scale - 1) / scale;
+  const int ph = (h + scale - 1) / scale;
+  Plane plane;
+  plane.w = pw;
+  plane.h = ph;
+  plane.data.assign(static_cast<std::size_t>(pw) * ph, 0.0f);
+  const int bw = (w + 7) / 8;
+
+  double freq[64], tmp[64], raw[64];
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const int bx = static_cast<int>(b) % bw;
+    const int by = static_cast<int>(b) / bw;
+    std::fill(std::begin(freq), std::end(freq), 0.0);
+    const double rescale = static_cast<double>(m) / 8.0;
+    for (int i = 0; i < 64; ++i) {
+      const int r = kZigzag[i] / 8, c = kZigzag[i] % 8;
+      if (r < m && c < m)
+        freq[r * 8 + c] =
+            static_cast<double>(blocks[b][static_cast<std::size_t>(i)]) *
+            quant[i] * rescale;
+    }
+    for (int x = 0; x < m; ++x)
+      for (int v = 0; v < m; ++v) {
+        double acc = 0.0;
+        for (int u = 0; u < m; ++u) acc += basis.a[u][x] * freq[u * 8 + v];
+        tmp[x * 8 + v] = acc;
+      }
+    for (int x = 0; x < m; ++x)
+      for (int y = 0; y < m; ++y) {
+        double acc = 0.0;
+        for (int v = 0; v < m; ++v) acc += tmp[x * 8 + v] * basis.a[v][y];
+        raw[x * 8 + y] = acc;
+      }
+    for (int y = 0; y < m; ++y) {
+      const int py = by * m + y;
+      if (py >= ph) continue;
+      for (int x = 0; x < m; ++x) {
+        const int px = bx * m + x;
+        if (px >= pw) continue;
+        plane.data[static_cast<std::size_t>(py) * pw + px] =
+            static_cast<float>(raw[y * 8 + x]);
+      }
+    }
+  }
+  return plane;
+}
+}  // namespace
+
+render::Image JpegCodec::decode(std::span<const std::uint8_t> data) const {
+  ParsedStream s = parse_stream(data);
+  const std::uint16_t* quants[3] = {s.luma_q, s.chroma_q, s.chroma_q};
+  Planes planes;
+  Plane* outs[3] = {&planes.y, &planes.cb, &planes.cr};
+  for (int c = 0; c < 3; ++c)
+    *outs[c] = detail::dequantize_plane(s.blocks[c], s.plane_w[c],
+                                        s.plane_h[c], quants[c]);
+  return detail::from_planes(planes, s.subsample);
+}
+
+render::Image JpegCodec::decode_fast(std::span<const std::uint8_t> data,
+                                     int scale) const {
+  if (scale == 1) return decode(data);
+  if (scale != 2 && scale != 4 && scale != 8)
+    throw std::invalid_argument("jpeg: decode_fast scale must be 1/2/4/8");
+  ParsedStream s = parse_stream(data);
+  const std::uint16_t* quants[3] = {s.luma_q, s.chroma_q, s.chroma_q};
+  Planes planes;
+  Plane* outs[3] = {&planes.y, &planes.cb, &planes.cr};
+  for (int c = 0; c < 3; ++c)
+    *outs[c] = dequantize_plane_scaled(s.blocks[c], s.plane_w[c],
+                                       s.plane_h[c], quants[c], scale);
+  return detail::from_planes(planes, s.subsample);
+}
+
+}  // namespace tvviz::codec

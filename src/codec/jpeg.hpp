@@ -1,0 +1,44 @@
+// Baseline-JPEG-style lossy transform codec, written from scratch:
+// RGB -> YCbCr, 4:2:0 chroma subsampling, 8x8 DCT, quality-scaled
+// quantization, zigzag ordering, differential DC + run/size AC symbols,
+// canonical Huffman entropy coding (tables optimized per image).
+//
+// Not the interchange format (no marker segments), but the identical
+// algorithmic structure — so compression ratios, quality behaviour and the
+// encode/decode cost profile land where libjpeg's would (§4.2).
+#pragma once
+
+#include "codec/image_codec.hpp"
+
+namespace tvviz::codec {
+
+class JpegCodec final : public ImageCodec {
+ public:
+  /// `quality` 1..100 scales the quantization tables exactly as libjpeg
+  /// does (50 = the Annex K tables, 100 = near-lossless).
+  explicit JpegCodec(int quality = 75, bool subsample_chroma = true);
+
+  std::string name() const override { return "jpeg"; }
+  bool lossless() const override { return false; }
+  int quality() const noexcept { return quality_; }
+
+  util::Bytes encode(const render::Image& image) const override;
+  render::Image decode(std::span<const std::uint8_t> data) const override;
+
+  /// §4.2: "the decoder can also trade off decoding speed against image
+  /// quality, by using fast but inaccurate approximations ... Remarkable
+  /// speedups". `scale` in {1, 2, 4, 8}: reconstruct at 1/scale resolution
+  /// using only the (8/scale)^2 lowest-frequency coefficients per block
+  /// (scale 8 = DC only). The returned image is (w+scale-1)/scale by
+  /// (h+scale-1)/scale; upscale with render::upscale for display.
+  render::Image decode_fast(std::span<const std::uint8_t> data,
+                            int scale) const;
+
+ private:
+  int quality_;
+  bool subsample_;
+  std::uint16_t luma_quant_[64];
+  std::uint16_t chroma_quant_[64];
+};
+
+}  // namespace tvviz::codec

@@ -1,0 +1,84 @@
+// Internal building blocks of the JPEG-style codec, exposed so the
+// collective parallel-compression stage (§4.1) can share Huffman statistics
+// across ranks while each rank transforms and emits only its own strip.
+// Not a stable public API; prefer JpegCodec unless you are implementing a
+// new compression stage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "codec/huffman.hpp"
+#include "render/image.hpp"
+
+namespace tvviz::codec::detail {
+
+/// Level-shifted (value - 128 for luma) sample plane.
+struct Plane {
+  int w = 0, h = 0;
+  std::vector<float> data;
+
+  float at(int x, int y) const;
+};
+
+struct Planes {
+  Plane y, cb, cr;
+};
+
+/// RGB -> YCbCr (optionally 4:2:0-subsampled chroma) and back.
+Planes to_planes(const render::Image& img, bool subsample);
+render::Image from_planes(const Planes& planes, bool subsample);
+
+/// libjpeg-style quality scaling of the Annex K tables (zigzag order).
+void build_quant_tables(int quality, std::uint16_t luma[64],
+                        std::uint16_t chroma[64]);
+
+/// Forward path: 8x8 DCT + quantization -> zigzag coefficient blocks.
+std::vector<std::array<int, 64>> quantize_plane(const Plane& plane,
+                                                const std::uint16_t quant[64]);
+
+/// Inverse path.
+Plane dequantize_plane(const std::vector<std::array<int, 64>>& blocks, int w,
+                       int h, const std::uint16_t quant[64]);
+
+/// Entropy symbols of a plane's blocks: differential DC (size, bits) and
+/// run/size AC pairs.
+struct SymbolStream {
+  struct DcSym {
+    int size;
+    std::uint32_t bits;
+  };
+  struct AcSym {
+    int symbol;  ///< run * 16 + size; 0x00 = EOB, 0xF0 = ZRL.
+    int size;
+    std::uint32_t bits;
+  };
+  std::vector<DcSym> dc;
+  std::vector<std::vector<AcSym>> ac;  ///< Per block.
+};
+
+SymbolStream tokenize(const std::vector<std::array<int, 64>>& blocks);
+
+/// Histogram the stream's symbols into dc (16 entries) / ac (256 entries).
+void accumulate_frequencies(const SymbolStream& stream,
+                            std::vector<std::uint64_t>& dc_freq,
+                            std::vector<std::uint64_t>& ac_freq);
+
+/// Entropy-code a stream with the given canonical tables.
+void emit_stream(util::BitWriter& bits, const SymbolStream& stream,
+                 const HuffmanCode& dc, const HuffmanCode& ac);
+
+/// Entropy-decode `block_count` blocks back to coefficients.
+std::vector<std::array<int, 64>> decode_blocks(util::BitReader& bits,
+                                               std::size_t block_count,
+                                               const HuffmanCode& dc,
+                                               const HuffmanCode& ac);
+
+/// Blocks per plane for a plane of w x h samples.
+inline std::size_t block_count(int w, int h) {
+  return static_cast<std::size_t>((w + 7) / 8) *
+         static_cast<std::size_t>((h + 7) / 8);
+}
+
+}  // namespace tvviz::codec::detail

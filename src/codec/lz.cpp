@@ -1,0 +1,190 @@
+#include "codec/lz.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tvviz::codec {
+
+namespace {
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 16;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emit a literal run [begin, end).
+void emit_literals(util::Bytes& out, const std::uint8_t* begin,
+                   const std::uint8_t* end) {
+  while (begin < end) {
+    std::size_t n = static_cast<std::size_t>(end - begin);
+    if (n < 127) {
+      out.push_back(static_cast<std::uint8_t>(n));
+    } else {
+      out.push_back(127);
+      std::size_t extra = n - 127;
+      while (extra >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(extra) | 0x80);
+        extra >>= 7;
+      }
+      out.push_back(static_cast<std::uint8_t>(extra));
+    }
+    out.insert(out.end(), begin, begin + n);
+    begin += n;
+  }
+}
+
+void emit_match(util::Bytes& out, std::size_t length, std::size_t offset) {
+  const std::size_t coded = length - kMinMatch;
+  if (coded < 127) {
+    out.push_back(static_cast<std::uint8_t>(coded) | 0x80);
+  } else {
+    out.push_back(0x80 | 127);
+    std::size_t extra = coded - 127;
+    while (extra >= 0x80) {
+      out.push_back(static_cast<std::uint8_t>(extra) | 0x80);
+      extra >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(extra));
+  }
+  out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+  out.push_back(static_cast<std::uint8_t>(offset >> 8));
+}
+}  // namespace
+
+LzCodec::LzCodec(int level) : level_(level) {
+  if (level < 1 || level > 9)
+    throw std::invalid_argument("LzCodec: level must be 1..9");
+  max_chain_ = 1 << (level - 1);  // 1 .. 256 probes
+}
+
+util::Bytes LzCodec::encode(std::span<const std::uint8_t> input) const {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  {
+    util::ByteWriter header;
+    header.varint(input.size());
+    const auto h = header.take();
+    out.insert(out.end(), h.begin(), h.end());
+  }
+  if (input.empty()) return out;
+
+  // head[h]: most recent position with hash h; prev[i & mask]: previous
+  // position in the chain for position i (window-limited).
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(std::min<std::size_t>(input.size(), kMaxOffset + 1));
+  const std::size_t prev_mask = prev.size();
+
+  const std::uint8_t* base = input.data();
+  const std::size_t n = input.size();
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  const auto insert_pos = [&](std::size_t p) {
+    if (p + 4 > n) return;
+    const std::uint32_t h = hash4(base + p);
+    prev[p % prev_mask] = head[h];
+    head[h] = static_cast<std::int64_t>(p);
+  };
+
+  while (pos + kMinMatch <= n) {
+    // Search the hash chain for the longest match.
+    std::size_t best_len = 0, best_off = 0;
+    const std::uint32_t h = hash4(base + pos);
+    std::int64_t cand = head[h];
+    int chain = max_chain_;
+    while (cand >= 0 && chain-- > 0) {
+      const std::size_t cpos = static_cast<std::size_t>(cand);
+      if (pos - cpos > kMaxOffset) break;
+      const std::size_t limit = n - pos;
+      std::size_t len = 0;
+      while (len < limit && base[cpos + len] == base[pos + len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        best_off = pos - cpos;
+        if (len >= limit) break;
+      }
+      cand = prev[cpos % prev_mask];
+    }
+
+    if (best_len >= kMinMatch) {
+      emit_literals(out, base + literal_start, base + pos);
+      emit_match(out, best_len, best_off);
+      // Index the positions the match covers (sparsely for speed at low
+      // levels, densely at high levels).
+      const std::size_t stride = level_ >= 7 ? 1 : (level_ >= 4 ? 2 : 4);
+      for (std::size_t p = pos; p < pos + best_len; p += stride) insert_pos(p);
+      pos += best_len;
+      literal_start = pos;
+    } else {
+      insert_pos(pos);
+      ++pos;
+    }
+  }
+  emit_literals(out, base + literal_start, base + n);
+  return out;
+}
+
+util::Bytes LzCodec::decode(std::span<const std::uint8_t> input) const {
+  util::ByteReader header(input);
+  const std::size_t expected = header.varint();
+  // A valid LZ stream expands at most ~(64k+4)/3 per match op; corrupted
+  // headers claiming more would otherwise drive a huge allocation.
+  if (expected > input.size() * 32768 + 4096)
+    throw std::runtime_error("lz: implausible decoded size");
+  std::size_t i = input.size() - header.remaining();
+
+  util::Bytes out;
+  out.reserve(expected);
+  const auto read_varint = [&]() {
+    std::size_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (i >= input.size()) throw std::runtime_error("lz: truncated varint");
+      const std::uint8_t b = input[i++];
+      v |= static_cast<std::size_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+      if (shift > 56) throw std::runtime_error("lz: varint overflow");
+    }
+  };
+
+  while (i < input.size()) {
+    const std::uint8_t op = input[i++];
+    if ((op & 0x80) == 0) {
+      // Literal run.
+      std::size_t len = op;
+      if (op == 127) len += read_varint();
+      if (len == 0) throw std::runtime_error("lz: zero literal run");
+      if (i + len > input.size()) throw std::runtime_error("lz: truncated literals");
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + len));
+      i += len;
+    } else {
+      std::size_t len = op & 0x7f;
+      if ((op & 0x7f) == 127) len += read_varint();
+      len += kMinMatch;
+      if (i + 2 > input.size()) throw std::runtime_error("lz: truncated offset");
+      const std::size_t offset =
+          static_cast<std::size_t>(input[i]) |
+          (static_cast<std::size_t>(input[i + 1]) << 8);
+      i += 2;
+      if (offset == 0 || offset > out.size())
+        throw std::runtime_error("lz: bad match offset");
+      // Byte-wise copy handles overlapping matches (run replication).
+      std::size_t src = out.size() - offset;
+      for (std::size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    }
+    if (out.size() > expected)
+      throw std::runtime_error("lz: output exceeds declared size");
+  }
+  if (out.size() != expected)
+    throw std::runtime_error("lz: size mismatch after decode");
+  return out;
+}
+
+}  // namespace tvviz::codec

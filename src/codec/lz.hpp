@@ -1,0 +1,26 @@
+// LZO-style byte-oriented LZ77: moderate compression, cheap encoding, very
+// fast allocation-free decoding — the properties §4.2 selects LZO for.
+#pragma once
+
+#include "codec/byte_codec.hpp"
+
+namespace tvviz::codec {
+
+class LzCodec final : public ByteCodec {
+ public:
+  /// `level` 1..9 trades encode speed for ratio (match-chain search depth),
+  /// mirroring LZO's slower-but-tighter levels. Decode speed is unaffected.
+  explicit LzCodec(int level = 5);
+
+  std::string name() const override { return "lzo"; }
+  int level() const noexcept { return level_; }
+
+  util::Bytes encode(std::span<const std::uint8_t> input) const override;
+  util::Bytes decode(std::span<const std::uint8_t> input) const override;
+
+ private:
+  int level_;
+  int max_chain_;
+};
+
+}  // namespace tvviz::codec

@@ -1,0 +1,276 @@
+#include "codec/motion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "codec/jpeg_detail.hpp"
+
+namespace tvviz::codec {
+
+namespace jd = detail;
+
+namespace {
+
+constexpr std::uint8_t kIFrame = 0;
+constexpr std::uint8_t kPFrame = 1;
+
+struct MotionVector {
+  int dx = 0, dy = 0;
+};
+
+int macroblocks_along(int extent, int mb) { return (extent + mb - 1) / mb; }
+
+/// Sum of absolute differences between a cur macroblock at (x0, y0) and the
+/// reference block displaced by (dx, dy); border samples clamp.
+double block_sad(const jd::Plane& cur, const jd::Plane& ref, int x0, int y0,
+                 int mb, int dx, int dy, double bail_out) {
+  double sad = 0.0;
+  for (int y = 0; y < mb; ++y) {
+    for (int x = 0; x < mb; ++x) {
+      const float a = cur.at(x0 + x, y0 + y);
+      const float b = ref.at(x0 + x + dx, y0 + y + dy);
+      sad += std::abs(static_cast<double>(a) - b);
+    }
+    if (sad >= bail_out) return sad;  // early exit
+  }
+  return sad;
+}
+
+/// Full-search motion estimation for every luma macroblock.
+std::vector<MotionVector> estimate_motion(const jd::Plane& cur,
+                                          const jd::Plane& ref, int mb,
+                                          int range) {
+  const int mbx = macroblocks_along(cur.w, mb);
+  const int mby = macroblocks_along(cur.h, mb);
+  std::vector<MotionVector> mvs(static_cast<std::size_t>(mbx) * mby);
+  for (int j = 0; j < mby; ++j)
+    for (int i = 0; i < mbx; ++i) {
+      const int x0 = i * mb, y0 = j * mb;
+      MotionVector best;
+      // Zero displacement first: it is the common case and sets the bar.
+      double best_sad = block_sad(cur, ref, x0, y0, mb, 0, 0, 1e300);
+      for (int dy = -range; dy <= range; ++dy)
+        for (int dx = -range; dx <= range; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const double sad = block_sad(cur, ref, x0, y0, mb, dx, dy, best_sad);
+          if (sad < best_sad) {
+            best_sad = sad;
+            best = MotionVector{dx, dy};
+          }
+        }
+      mvs[static_cast<std::size_t>(j) * mbx + i] = best;
+    }
+  return mvs;
+}
+
+/// Motion-compensated prediction of a plane. `scale` halves the vectors for
+/// the subsampled chroma planes; `mb` is the plane-local macroblock edge.
+jd::Plane predict(const jd::Plane& ref, const std::vector<MotionVector>& mvs,
+                  int mbx, int mb, int scale) {
+  jd::Plane out;
+  out.w = ref.w;
+  out.h = ref.h;
+  out.data.resize(static_cast<std::size_t>(ref.w) * ref.h);
+  const int mby = macroblocks_along(ref.h, mb);
+  for (int j = 0; j < mby; ++j)
+    for (int i = 0; i < macroblocks_along(ref.w, mb); ++i) {
+      const auto& mv = mvs[static_cast<std::size_t>(j) * mbx + i];
+      const int dx = mv.dx / scale, dy = mv.dy / scale;
+      for (int y = j * mb; y < std::min(ref.h, (j + 1) * mb); ++y)
+        for (int x = i * mb; x < std::min(ref.w, (i + 1) * mb); ++x)
+          out.data[static_cast<std::size_t>(y) * ref.w + x] =
+              ref.at(x + dx, y + dy);
+    }
+  return out;
+}
+
+jd::Plane subtract(const jd::Plane& a, const jd::Plane& b) {
+  jd::Plane out = a;
+  for (std::size_t i = 0; i < out.data.size(); ++i) out.data[i] -= b.data[i];
+  return out;
+}
+
+jd::Plane add(const jd::Plane& a, const jd::Plane& b) {
+  jd::Plane out = a;
+  for (std::size_t i = 0; i < out.data.size(); ++i) out.data[i] += b.data[i];
+  return out;
+}
+
+/// Quantize + entropy-code three residual planes into `out`.
+void encode_residual(util::ByteWriter& out, const jd::Planes& residual,
+                     const std::uint16_t* quants[3]) {
+  const jd::Plane* planes[3] = {&residual.y, &residual.cb, &residual.cr};
+  jd::SymbolStream streams[3];
+  std::vector<std::uint64_t> dc_freq, ac_freq;
+  for (int c = 0; c < 3; ++c) {
+    const auto blocks = jd::quantize_plane(*planes[c], quants[c]);
+    streams[c] = jd::tokenize(blocks);
+    jd::accumulate_frequencies(streams[c], dc_freq, ac_freq);
+  }
+  if (std::all_of(dc_freq.begin(), dc_freq.end(), [](auto v) { return v == 0; }))
+    dc_freq[0] = 1;
+  if (std::all_of(ac_freq.begin(), ac_freq.end(), [](auto v) { return v == 0; }))
+    ac_freq[0] = 1;
+  const HuffmanCode dc = HuffmanCode::from_frequencies(dc_freq);
+  const HuffmanCode ac = HuffmanCode::from_frequencies(ac_freq);
+  util::BitWriter bits;
+  for (const auto& s : streams) jd::emit_stream(bits, s, dc, ac);
+  const util::Bytes payload = bits.finish();
+  dc.write_lengths(out);
+  ac.write_lengths(out);
+  out.varint(payload.size());
+  out.raw(payload);
+}
+
+/// Inverse of encode_residual; plane dims supplied by the caller.
+jd::Planes decode_residual(util::ByteReader& in, const int plane_w[3],
+                           const int plane_h[3],
+                           const std::uint16_t* quants[3]) {
+  const HuffmanCode dc = HuffmanCode::read_lengths(in);
+  const HuffmanCode ac = HuffmanCode::read_lengths(in);
+  const std::size_t payload_len = in.varint();
+  util::BitReader bits(in.raw(payload_len));
+  jd::Planes planes;
+  jd::Plane* outs[3] = {&planes.y, &planes.cb, &planes.cr};
+  for (int c = 0; c < 3; ++c) {
+    const auto blocks = jd::decode_blocks(
+        bits, jd::block_count(plane_w[c], plane_h[c]), dc, ac);
+    *outs[c] = jd::dequantize_plane(blocks, plane_w[c], plane_h[c], quants[c]);
+  }
+  return planes;
+}
+
+}  // namespace
+
+MotionEncoder::MotionEncoder(MotionCodecOptions options)
+    : options_(options), intra_(options.quality, true) {
+  if (options.macroblock % 8 != 0 || options.macroblock < 8)
+    throw std::invalid_argument("MotionEncoder: macroblock must be 8k");
+  if (options.gop < 1) throw std::invalid_argument("MotionEncoder: gop");
+  if (options.search_range < 0 || options.search_range > 127)
+    throw std::invalid_argument("MotionEncoder: search range");
+}
+
+util::Bytes MotionEncoder::encode_frame(const render::Image& frame) {
+  const bool need_i = frames_since_i_ < 0 ||
+                      frames_since_i_ + 1 >= options_.gop || !reference_ ||
+                      reference_->width() != frame.width() ||
+                      reference_->height() != frame.height();
+  util::ByteWriter out;
+  if (need_i) {
+    const util::Bytes intra = intra_.encode(frame);
+    out.u8(kIFrame);
+    out.varint(intra.size());
+    out.raw(intra);
+    // Decoder-side reconstruction becomes the reference (no drift).
+    reference_ = intra_.decode(intra);
+    frames_since_i_ = 0;
+    return out.take();
+  }
+  ++frames_since_i_;
+
+  const jd::Planes cur = jd::to_planes(frame, true);
+  const jd::Planes ref = jd::to_planes(*reference_, true);
+  const int mb = options_.macroblock;
+  const auto mvs = estimate_motion(cur.y, ref.y, mb, options_.search_range);
+  const int mbx = macroblocks_along(cur.y.w, mb);
+
+  jd::Planes prediction;
+  prediction.y = predict(ref.y, mvs, mbx, mb, 1);
+  prediction.cb = predict(ref.cb, mvs, mbx, mb / 2, 2);
+  prediction.cr = predict(ref.cr, mvs, mbx, mb / 2, 2);
+
+  jd::Planes residual;
+  residual.y = subtract(cur.y, prediction.y);
+  residual.cb = subtract(cur.cb, prediction.cb);
+  residual.cr = subtract(cur.cr, prediction.cr);
+
+  std::uint16_t luma_q[64], chroma_q[64];
+  jd::build_quant_tables(options_.quality, luma_q, chroma_q);
+  const std::uint16_t* quants[3] = {luma_q, chroma_q, chroma_q};
+
+  out.u8(kPFrame);
+  out.u32(static_cast<std::uint32_t>(frame.width()));
+  out.u32(static_cast<std::uint32_t>(frame.height()));
+  for (const auto& mv : mvs) {
+    out.u8(static_cast<std::uint8_t>(mv.dx + 128));
+    out.u8(static_cast<std::uint8_t>(mv.dy + 128));
+  }
+  encode_residual(out, residual, quants);
+
+  // Reconstruct exactly as the decoder will, from quantized residuals.
+  util::Bytes packed = out.take();
+  {
+    util::ByteReader in(packed);
+    (void)in.u8();
+    (void)in.u32();
+    (void)in.u32();
+    for (std::size_t i = 0; i < mvs.size(); ++i) {
+      (void)in.u8();
+      (void)in.u8();
+    }
+    const int plane_w[3] = {cur.y.w, cur.cb.w, cur.cr.w};
+    const int plane_h[3] = {cur.y.h, cur.cb.h, cur.cr.h};
+    const jd::Planes dq = decode_residual(in, plane_w, plane_h, quants);
+    jd::Planes recon;
+    recon.y = add(prediction.y, dq.y);
+    recon.cb = add(prediction.cb, dq.cb);
+    recon.cr = add(prediction.cr, dq.cr);
+    reference_ = jd::from_planes(recon, true);
+  }
+  return packed;
+}
+
+MotionDecoder::MotionDecoder(MotionCodecOptions options)
+    : options_(options), intra_(options.quality, true) {}
+
+render::Image MotionDecoder::decode_frame(std::span<const std::uint8_t> data) {
+  util::ByteReader in(data);
+  const std::uint8_t type = in.u8();
+  if (type == kIFrame) {
+    const std::size_t len = in.varint();
+    render::Image frame = intra_.decode(in.raw(len));
+    reference_ = frame;
+    return frame;
+  }
+  if (type != kPFrame) throw std::runtime_error("motion: unknown frame type");
+  if (!reference_) throw std::runtime_error("motion: P-frame without reference");
+
+  const int w = static_cast<int>(in.u32());
+  const int h = static_cast<int>(in.u32());
+  if (reference_->width() != w || reference_->height() != h)
+    throw std::runtime_error("motion: reference size mismatch");
+
+  const int mb = options_.macroblock;
+  const int mbx = macroblocks_along(w, mb);
+  const int mby = macroblocks_along(h, mb);
+  std::vector<MotionVector> mvs(static_cast<std::size_t>(mbx) * mby);
+  for (auto& mv : mvs) {
+    mv.dx = static_cast<int>(in.u8()) - 128;
+    mv.dy = static_cast<int>(in.u8()) - 128;
+  }
+
+  const jd::Planes ref = jd::to_planes(*reference_, true);
+  jd::Planes prediction;
+  prediction.y = predict(ref.y, mvs, mbx, mb, 1);
+  prediction.cb = predict(ref.cb, mvs, mbx, mb / 2, 2);
+  prediction.cr = predict(ref.cr, mvs, mbx, mb / 2, 2);
+
+  std::uint16_t luma_q[64], chroma_q[64];
+  jd::build_quant_tables(options_.quality, luma_q, chroma_q);
+  const std::uint16_t* quants[3] = {luma_q, chroma_q, chroma_q};
+  const int plane_w[3] = {ref.y.w, ref.cb.w, ref.cr.w};
+  const int plane_h[3] = {ref.y.h, ref.cb.h, ref.cr.h};
+  const jd::Planes residual = decode_residual(in, plane_w, plane_h, quants);
+
+  jd::Planes recon;
+  recon.y = add(prediction.y, residual.y);
+  recon.cb = add(prediction.cb, residual.cb);
+  recon.cr = add(prediction.cr, residual.cr);
+  render::Image frame = jd::from_planes(recon, true);
+  reference_ = frame;
+  return frame;
+}
+
+}  // namespace tvviz::codec

@@ -1,0 +1,66 @@
+// MPEG-style motion-compensated video codec (§4.2): the paper considers
+// MPEG and rejects it for the interactive setting — "each image is
+// generated on the fly and to be displayed in real time ... the overhead
+// would be too high to make both the encoding and decoding efficient in
+// software". This implementation exists to quantify that trade-off
+// (bench/ablation_mpeg): fewer bits per frame than independent JPEG, at a
+// much higher encoding cost.
+//
+// Structure: GOP of one JPEG-coded I-frame followed by P-frames. P-frames
+// predict each 16x16 luma macroblock (8x8 chroma) by a full-search motion
+// vector into the previously *reconstructed* frame, then DCT-quantize and
+// entropy-code the residual.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "codec/jpeg.hpp"
+#include "render/image.hpp"
+
+namespace tvviz::codec {
+
+struct MotionCodecOptions {
+  int quality = 75;        ///< Quantizer quality, I-frames and residuals.
+  int gop = 12;            ///< I-frame interval.
+  int search_range = 8;    ///< Motion search window (+/- pixels).
+  int macroblock = 16;     ///< Luma macroblock edge (multiple of 8).
+};
+
+class MotionEncoder {
+ public:
+  explicit MotionEncoder(MotionCodecOptions options = {});
+
+  /// Encode the next frame of the sequence. Frame sizes must stay constant
+  /// within a GOP; a size change forces an I-frame.
+  util::Bytes encode_frame(const render::Image& frame);
+
+  /// Force the next frame to be an I-frame.
+  void reset() noexcept { frames_since_i_ = -1; }
+
+  const MotionCodecOptions& options() const noexcept { return options_; }
+
+ private:
+  MotionCodecOptions options_;
+  JpegCodec intra_;
+  int frames_since_i_ = -1;  ///< -1 = no reference yet.
+  std::optional<render::Image> reference_;  ///< Last reconstructed frame.
+};
+
+class MotionDecoder {
+ public:
+  explicit MotionDecoder(MotionCodecOptions options = {});
+
+  /// Decode the next frame. Throws std::runtime_error on a P-frame without
+  /// a reference.
+  render::Image decode_frame(std::span<const std::uint8_t> data);
+
+  void reset() noexcept { reference_.reset(); }
+
+ private:
+  MotionCodecOptions options_;
+  JpegCodec intra_;
+  std::optional<render::Image> reference_;
+};
+
+}  // namespace tvviz::codec

@@ -1,0 +1,163 @@
+#include "compositing/binary_swap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compositing/over.hpp"
+
+namespace tvviz::compositing {
+
+namespace {
+constexpr int kFoldTag = 100;
+constexpr int kSwapTag = 101;
+constexpr int kGatherTag = 102;
+
+/// Composite two buffers covering the same frame region, nearer-first.
+render::PartialImage composite_pair(const render::PartialImage& a,
+                                    const render::PartialImage& b) {
+  const render::PartialImage& front = a.depth() <= b.depth() ? a : b;
+  const render::PartialImage& back = a.depth() <= b.depth() ? b : a;
+  render::PartialImage out(front.x0(), front.y0(), front.width(),
+                           front.height());
+  out.set_depth(front.depth());
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x)
+      out.at(x, y) = front.at(x, y).over(back.at(x, y));
+  return out;
+}
+
+/// Expand a partial image into a full-frame float buffer (region [0, h)).
+render::PartialImage to_full_frame(const render::PartialImage& part, int width,
+                                   int height) {
+  render::PartialImage frame(0, 0, width, height);
+  frame.set_depth(part.depth());
+  for (int y = 0; y < part.height(); ++y) {
+    const int fy = part.y0() + y;
+    if (fy < 0 || fy >= height) continue;
+    for (int x = 0; x < part.width(); ++x) {
+      const int fx = part.x0() + x;
+      if (fx < 0 || fx >= width) continue;
+      frame.at(fx, fy) = part.at(x, y);
+    }
+  }
+  return frame;
+}
+}  // namespace
+
+render::Image direct_send(const vmp::Communicator& comm,
+                          const render::PartialImage& mine, int width,
+                          int height, int root) {
+  auto gathered = comm.gather(root, mine.serialize());
+  if (comm.rank() != root) return {};
+  std::vector<render::PartialImage> partials;
+  partials.reserve(gathered.size());
+  for (const auto& bytes : gathered)
+    partials.push_back(render::PartialImage::deserialize(bytes));
+  return composite_reference(std::move(partials), width, height);
+}
+
+FrameSlice binary_swap(const vmp::Communicator& comm,
+                       const render::PartialImage& mine, int width,
+                       int height) {
+  // Correctness contract: partial-image depths must be monotone in rank
+  // (ascending or descending), as a slab decomposition guarantees under an
+  // orthographic view. Pairwise merges then always combine depth-contiguous
+  // runs, and compositing by the runs' minimum depth reproduces the global
+  // order exactly (`over` is associative).
+  const int p = comm.size();
+  int p2 = 1;
+  while (p2 * 2 <= p) p2 *= 2;
+  const int extras = p - p2;  // folded in a pre-round
+
+  // Fold phase: the first 2*extras ranks composite pairwise (adjacent ranks
+  // = adjacent depths, preserving run contiguity); odd members then hold an
+  // empty slice. Participants get virtual labels 0..p2-1 in rank order.
+  render::PartialImage buf;
+  if (comm.rank() < 2 * extras && (comm.rank() & 1) == 1) {
+    comm.send(comm.rank() - 1, kFoldTag, mine.serialize());
+    return FrameSlice{0, render::PartialImage(0, 0, 0, 0)};
+  }
+  buf = to_full_frame(mine, width, height);
+  if (comm.rank() < 2 * extras) {
+    const auto msg = comm.recv(comm.rank() + 1, kFoldTag);
+    const auto other =
+        to_full_frame(render::PartialImage::deserialize(msg.payload), width,
+                      height);
+    buf = composite_pair(buf, other);
+  }
+  const int vlabel =
+      comm.rank() < 2 * extras ? comm.rank() / 2 : comm.rank() - extras;
+  const auto physical = [&](int label) {
+    return label < extras ? 2 * label : label + extras;
+  };
+
+  // Swap phase among the p2 participants: each stage halves the rows this
+  // rank is responsible for and exchanges the other half with its peer.
+  int row0 = 0, row1 = height;
+  for (int bit = 1; bit < p2; bit <<= 1) {
+    const int peer = physical(vlabel ^ bit);
+    const int mid = row0 + (row1 - row0) / 2;
+    const bool keep_low = (vlabel & bit) == 0;
+    const int keep0 = keep_low ? row0 : mid;
+    const int keep1 = keep_low ? mid : row1;
+    const int send0 = keep_low ? mid : row0;
+    const int send1 = keep_low ? row1 : mid;
+
+    // Rows are relative to buf (whose y0 == row0).
+    const render::PartialImage outgoing =
+        buf.crop_rows(send0 - row0, send1 - row0);
+    const auto reply = comm.sendrecv(peer, kSwapTag, outgoing.serialize());
+    const render::PartialImage incoming =
+        render::PartialImage::deserialize(reply.payload);
+
+    render::PartialImage kept = buf.crop_rows(keep0 - row0, keep1 - row0);
+    if (incoming.width() != kept.width() || incoming.height() != kept.height())
+      throw std::runtime_error("binary_swap: region mismatch");
+    buf = composite_pair(kept, incoming);
+    row0 = keep0;
+    row1 = keep1;
+  }
+  return FrameSlice{row0, std::move(buf)};
+}
+
+render::Image gather_frame(const vmp::Communicator& comm,
+                           const FrameSlice& slice, int width, int height,
+                           int root) {
+  auto gathered = comm.gather(root, slice.image.serialize());
+  if (comm.rank() != root) return {};
+  render::Image frame(width, height);
+  for (const auto& bytes : gathered) {
+    const auto part = render::PartialImage::deserialize(bytes);
+    part.splat_to(frame);
+  }
+  return frame;
+}
+
+render::Image tree_composite(const vmp::Communicator& comm,
+                             const render::PartialImage& mine, int width,
+                             int height) {
+  // Level k: ranks with bit k set send their accumulated buffer to the
+  // partner with that bit clear, which merges (order by run depth). Merged
+  // runs are rank-contiguous, so the monotone-depth contract keeps the
+  // global over-ordering exact.
+  render::PartialImage buf = to_full_frame(mine, width, height);
+  const int p = comm.size();
+  for (int bit = 1; bit < p; bit <<= 1) {
+    if ((comm.rank() & bit) != 0) {
+      comm.send(comm.rank() & ~bit, kGatherTag, buf.serialize());
+      render::Image empty;
+      return empty;  // this rank is done
+    }
+    const int partner = comm.rank() | bit;
+    if (partner < p) {
+      const auto msg = comm.recv(partner, kGatherTag);
+      buf = composite_pair(buf,
+                           render::PartialImage::deserialize(msg.payload));
+    }
+  }
+  render::Image frame(width, height);
+  buf.splat_to(frame);
+  return frame;
+}
+
+}  // namespace tvviz::compositing

@@ -1,0 +1,52 @@
+// Parallel sort-last image compositing over the vmp runtime:
+//   * direct-send — every node ships its whole partial image to a collector
+//   * binary-swap — log2(P) pairwise half-image exchanges (Ma et al. 1994),
+//     leaving each node with 1/P of the final frame; the paper's renderer
+//     composites this way before the image-output stage.
+#pragma once
+
+#include "render/image.hpp"
+#include "vmp/communicator.hpp"
+
+namespace tvviz::compositing {
+
+/// A node's share of the final frame after binary-swap: full frame width,
+/// rows [row0, row0 + height).
+struct FrameSlice {
+  int row0 = 0;
+  render::PartialImage image;  ///< x0 = 0, y0 = row0, width = frame width.
+};
+
+/// Direct-send compositing: every rank sends its partial image to `root`,
+/// which depth-sorts and composites. Returns the frame at root, an empty
+/// image elsewhere. Collective over `comm`.
+render::Image direct_send(const vmp::Communicator& comm,
+                          const render::PartialImage& mine, int width,
+                          int height, int root = 0);
+
+/// Binary-swap compositing. Collective over `comm` (any size; with a
+/// non-power-of-two count, adjacent rank pairs pre-composite in a fold
+/// round). Each rank returns its slice of the fully composited frame.
+///
+/// Requires partial-image depths monotone in rank (ascending or
+/// descending) — what a slab decomposition yields under an orthographic
+/// camera. Use direct_send for arbitrary depth orders.
+FrameSlice binary_swap(const vmp::Communicator& comm,
+                       const render::PartialImage& mine, int width,
+                       int height);
+
+/// Assemble binary-swap slices into the full frame at `root` (collective).
+render::Image gather_frame(const vmp::Communicator& comm,
+                           const FrameSlice& slice, int width, int height,
+                           int root = 0);
+
+/// Binary-tree compositing: pairs merge and forward up log2(P) levels until
+/// rank 0 holds the frame. The classic middle ground between direct-send
+/// (flat, collector-bound) and binary-swap (fully balanced): communication
+/// halves per level but the upper levels concentrate whole-frame traffic.
+/// Same depth-monotone-in-rank requirement as binary_swap.
+render::Image tree_composite(const vmp::Communicator& comm,
+                             const render::PartialImage& mine, int width,
+                             int height);
+
+}  // namespace tvviz::compositing

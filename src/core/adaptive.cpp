@@ -1,0 +1,56 @@
+#include "core/adaptive.hpp"
+
+#include <stdexcept>
+
+namespace tvviz::core {
+
+AdaptiveCodecController::AdaptiveCodecController(double target_frame_seconds,
+                                                 std::vector<std::string> ladder,
+                                                 std::size_t initial)
+    : target_(target_frame_seconds), ladder_(std::move(ladder)), index_(initial) {
+  if (ladder_.empty())
+    throw std::invalid_argument("AdaptiveCodecController: empty ladder");
+  if (index_ >= ladder_.size())
+    throw std::invalid_argument("AdaptiveCodecController: bad initial index");
+  if (target_ <= 0.0)
+    throw std::invalid_argument("AdaptiveCodecController: bad target");
+}
+
+std::vector<net::ControlEvent> AdaptiveCodecController::on_frame(
+    double display_seconds) {
+  // Hysteresis: escalate after two consecutive over-budget frames; relax
+  // only after four comfortably-under-budget frames (half the budget), so
+  // the codec does not flap around the threshold.
+  std::vector<net::ControlEvent> events;
+  if (display_seconds > target_) {
+    ++over_budget_streak_;
+    under_budget_streak_ = 0;
+    if (over_budget_streak_ >= 2 && index_ + 1 < ladder_.size()) {
+      ++index_;
+      ++switches_;
+      over_budget_streak_ = 0;
+      net::ControlEvent e;
+      e.kind = net::ControlKind::kSetCodec;
+      e.name = ladder_[index_];
+      events.push_back(e);
+    }
+  } else if (display_seconds < 0.5 * target_) {
+    ++under_budget_streak_;
+    over_budget_streak_ = 0;
+    if (under_budget_streak_ >= 4 && index_ > 0) {
+      --index_;
+      ++switches_;
+      under_budget_streak_ = 0;
+      net::ControlEvent e;
+      e.kind = net::ControlKind::kSetCodec;
+      e.name = ladder_[index_];
+      events.push_back(e);
+    }
+  } else {
+    over_budget_streak_ = 0;
+    under_budget_streak_ = 0;
+  }
+  return events;
+}
+
+}  // namespace tvviz::core

@@ -1,0 +1,43 @@
+// Adaptive compression control (§4.1: "The communication path can instruct
+// the system to change the compression method"). A display-side controller
+// watches the per-frame display-path budget and issues kSetCodec control
+// events: if frames arrive too slowly it escalates to stronger compression;
+// if there is ample headroom it relaxes toward cheaper / lossless codecs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace tvviz::core {
+
+class AdaptiveCodecController {
+ public:
+  /// `target_frame_seconds`: the display-path budget per frame.
+  /// `ladder`: codec names ordered from cheapest/largest to strongest
+  /// compression. The controller starts at `initial` (index into ladder).
+  AdaptiveCodecController(double target_frame_seconds,
+                          std::vector<std::string> ladder = {"raw", "lzo",
+                                                             "jpeg",
+                                                             "jpeg+lzo"},
+                          std::size_t initial = 1);
+
+  /// Report one displayed frame: the observed display-path time and the
+  /// frame's wire size. Returns the control events to send (empty if the
+  /// current codec should stay).
+  std::vector<net::ControlEvent> on_frame(double display_seconds);
+
+  const std::string& current() const { return ladder_[index_]; }
+  int switches() const noexcept { return switches_; }
+
+ private:
+  double target_;
+  std::vector<std::string> ladder_;
+  std::size_t index_;
+  int switches_ = 0;
+  int over_budget_streak_ = 0;
+  int under_budget_streak_ = 0;
+};
+
+}  // namespace tvviz::core

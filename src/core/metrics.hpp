@@ -1,0 +1,59 @@
+// The three performance metrics of §3 for a time-varying rendering run:
+// start-up latency, overall execution time, and inter-frame delay, computed
+// from per-frame display timestamps.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tvviz::core {
+
+/// Timeline of one rendered time step (seconds; simulator or wall clock).
+struct FrameRecord {
+  int step = 0;
+  int group = 0;
+  double input_start = 0.0;
+  double input_done = 0.0;
+  double render_done = 0.0;
+  double composite_done = 0.0;
+  double sent = 0.0;       ///< Compressed frame fully on the wire.
+  double displayed = 0.0;  ///< Visible at the remote client.
+};
+
+struct Metrics {
+  double startup_latency = 0.0;    ///< First frame displayed.
+  double overall_time = 0.0;       ///< Last frame displayed.
+  double inter_frame_delay = 0.0;  ///< Mean gap between consecutive displays.
+  std::size_t frames = 0;
+
+  /// Aggregate (in display order sorted by time). Frames must be non-empty.
+  static Metrics from_records(std::vector<FrameRecord> records) {
+    if (records.empty()) throw std::invalid_argument("Metrics: no frames");
+    std::sort(records.begin(), records.end(),
+              [](const FrameRecord& a, const FrameRecord& b) {
+                return a.displayed < b.displayed;
+              });
+    Metrics m;
+    m.frames = records.size();
+    m.startup_latency = records.front().displayed;
+    m.overall_time = records.back().displayed;
+    if (records.size() > 1) {
+      double sum = 0.0;
+      for (std::size_t i = 1; i < records.size(); ++i)
+        sum += records[i].displayed - records[i - 1].displayed;
+      m.inter_frame_delay = sum / static_cast<double>(records.size() - 1);
+    }
+    return m;
+  }
+
+  double frames_per_second() const noexcept {
+    return inter_frame_delay > 0.0 ? 1.0 / inter_frame_delay
+           : overall_time > 0.0
+               ? static_cast<double>(frames) / overall_time
+               : 0.0;
+  }
+};
+
+}  // namespace tvviz::core

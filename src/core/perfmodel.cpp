@@ -1,0 +1,92 @@
+#include "core/perfmodel.hpp"
+
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvviz::core {
+
+ModelPrediction predict_pipeline(const PipelineConfig& config) {
+  const int p = config.processors;
+  const int l = config.groups;
+  const int steps = config.steps();
+  const std::size_t pixels = config.pixels();
+  const std::size_t voxels = config.dataset.dims.voxels();
+  const std::size_t vol_bytes = config.dataset.bytes_per_step();
+  const StageCosts& c = config.costs;
+
+  // Group size: use the actual partition, and only the groups that receive
+  // work (with steps < L the round-robin assignment touches just the first
+  // `steps` groups, which are the larger ones). The smallest working group
+  // is the bottleneck.
+  const Partition partition(p, l);
+  const int working_groups = std::min(l, steps);
+  int gi = p;
+  for (int gidx = 0; gidx < working_groups; ++gidx)
+    gi = std::min(gi, partition.group_size(gidx));
+  gi = std::max(1, gi);
+
+  // Per-volume stage times.
+  const double t_input =
+      c.input_seconds(vol_bytes, l, config.io_servers) +
+      c.distribute_seconds(vol_bytes);
+  const double t_render =
+      c.render_seconds_group(voxels, pixels, gi, vol_bytes);
+  const double t_composite = c.composite_seconds(pixels, gi);
+  double t_compress = 0.0, t_transfer = 0.0, t_client = 0.0;
+  if (config.output == OutputMode::kDaemonCompressed) {
+    t_compress = config.codec.compress_seconds(pixels);
+    if (config.parallel_compression) t_compress /= gi;
+    const auto bytes =
+        static_cast<std::size_t>(config.codec.compressed_bytes(pixels));
+    t_transfer = c.wan.transfer_seconds(bytes);
+    t_client = config.codec.decompress_seconds(pixels) +
+               static_cast<double>(pixels) * c.client_display_s_per_pixel +
+               c.display_path_overhead_s;
+  } else {
+    t_transfer = c.x_display.frame_seconds(pixels * 3);
+    t_client = static_cast<double>(pixels) * c.client_display_s_per_pixel +
+               c.display_path_overhead_s;
+  }
+
+  // Group engine cycle; under X the transfer synchronously occupies the
+  // engine as well (Figure 9, top).
+  double cycle = t_render + t_composite + t_compress;
+  if (config.output == OutputMode::kXWindow) cycle += t_transfer;
+
+  // Steady-state system inter-frame interval: the slowest shared stage.
+  const double compute_rate_interval =
+      cycle / working_groups;  // working groups run in parallel
+  const double input_interval = t_input;            // sequential input
+  const double output_interval =
+      config.output == OutputMode::kXWindow ? t_transfer : t_transfer;
+  const double client_interval = t_client;
+  const double interval =
+      std::max({compute_rate_interval, input_interval, output_interval,
+                client_interval});
+
+  ModelPrediction out;
+  out.input_bound = input_interval >= compute_rate_interval;
+  out.inter_frame_delay = interval;
+  out.startup_latency = t_input + cycle + t_transfer + t_client;
+  out.overall_time =
+      out.startup_latency + interval * std::max(0, steps - 1);
+  return out;
+}
+
+int optimal_partitions(PipelineConfig config) {
+  int best_l = 1;
+  double best_t = -1.0;
+  for (int l = 1; l <= config.processors; ++l) {
+    config.groups = l;
+    const double t = predict_pipeline(config).overall_time;
+    if (best_t < 0.0 || t < best_t) {
+      best_t = t;
+      best_l = l;
+    }
+  }
+  return best_l;
+}
+
+}  // namespace tvviz::core

@@ -1,0 +1,25 @@
+// Closed-form performance model of the partitioned pipeline, in the spirit
+// of the paper's reference [15] ("Processors Management for Rendering
+// Time-varying Volume Data Sets"). The discrete-event simulator is the
+// ground truth; this model explains the U-shape and predicts the optimal
+// partition count cheaply.
+#pragma once
+
+#include "core/pipesim.hpp"
+
+namespace tvviz::core {
+
+struct ModelPrediction {
+  double startup_latency = 0.0;
+  double inter_frame_delay = 0.0;
+  double overall_time = 0.0;
+  bool input_bound = false;  ///< Shared input is the pipeline bottleneck.
+};
+
+/// Predict the three §3 metrics for `config` without simulating.
+ModelPrediction predict_pipeline(const PipelineConfig& config);
+
+/// Partition count L in [1, P] minimizing predicted overall time.
+int optimal_partitions(PipelineConfig config);
+
+}  // namespace tvviz::core

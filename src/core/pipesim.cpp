@@ -1,0 +1,197 @@
+#include "core/pipesim.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sevt/resource.hpp"
+#include "sevt/simulator.hpp"
+
+namespace tvviz::core {
+
+namespace {
+
+/// One simulation run. Groups pull their assigned steps in order; input is
+/// serialized on the shared disk + LAN; render/composite/compress occupy
+/// the group's engine; output occupies the WAN and then the client.
+class PipelineSim {
+ public:
+  explicit PipelineSim(const PipelineConfig& config)
+      : cfg_(config),
+        partition_(config.processors, config.groups),
+        disk_(sim_, 1, "disk"),
+        lan_(sim_, 1, "lan"),
+        wan_(sim_, 1, "wan"),
+        client_(sim_, 1, "client") {
+    if (cfg_.steps() <= 0) throw std::invalid_argument("pipesim: no steps");
+    groups_.reserve(static_cast<std::size_t>(cfg_.groups));
+    for (int g = 0; g < cfg_.groups; ++g) {
+      groups_.push_back(std::make_unique<GroupState>(GroupState{
+          std::make_unique<sevt::Resource>(sim_, 1, "group"), {}, 0, 0}));
+      auto& st = *groups_.back();
+      st.steps = partition_.steps_for_group(g, cfg_.steps());
+    }
+  }
+
+  PipelineResult run() {
+    for (int g = 0; g < cfg_.groups; ++g) {
+      // Fill the input pipeline up to the prefetch bound.
+      const int want = std::min<int>(cfg_.prefetch_depth + 1,
+                                     static_cast<int>(groups_[static_cast<std::size_t>(g)]->steps.size()));
+      for (int i = 0; i < want; ++i) request_input(g);
+    }
+    sim_.run();
+
+    PipelineResult result;
+    result.frames = std::move(records_);
+    result.metrics = Metrics::from_records(result.frames);
+    const double horizon = result.metrics.overall_time;
+    result.disk_utilization = disk_.utilization(horizon);
+    result.wan_utilization = wan_.utilization(horizon);
+    const auto n = static_cast<double>(result.frames.size());
+    result.breakdown.input = total_input_ / n;
+    result.breakdown.render = total_render_ / n;
+    result.breakdown.composite = total_composite_ / n;
+    result.breakdown.compress = total_compress_ / n;
+    result.breakdown.transfer = total_transfer_ / n;
+    result.breakdown.client = total_client_ / n;
+    result.compressed_bytes_per_frame = total_bytes_ / n;
+    return result;
+  }
+
+ private:
+  struct GroupState {
+    std::unique_ptr<sevt::Resource> engine;
+    std::vector<int> steps;
+    int next_input = 0;   ///< Index into `steps` of the next input to issue.
+    int next_render = 0;  ///< Index into `steps` of the next frame to render.
+  };
+
+  int group_size(int g) const { return partition_.group_size(g); }
+
+  /// Issue the data-input chain for the next not-yet-read step of group g.
+  void request_input(int g) {
+    auto& st = *groups_[static_cast<std::size_t>(g)];
+    if (st.next_input >= static_cast<int>(st.steps.size())) return;
+    const int step = st.steps[static_cast<std::size_t>(st.next_input)];
+    ++st.next_input;
+
+    const std::size_t vol_bytes = cfg_.dataset.bytes_per_step();
+    const double t_read =
+        cfg_.costs.input_seconds(vol_bytes, cfg_.groups, cfg_.io_servers);
+    const double t_dist = cfg_.costs.distribute_seconds(vol_bytes);
+
+    FrameRecord rec;
+    rec.step = step;
+    rec.group = g;
+    rec.input_start = -1.0;  // patched when the disk job actually starts
+
+    // Disk (shared, FIFO) then LAN distribution (shared).
+    const double requested = sim_.now();
+    disk_.use(t_read, [this, g, step, t_dist, requested, t_read] {
+      const double read_done = sim_.now();
+      lan_.use(t_dist, [this, g, step, requested, t_read, t_dist, read_done] {
+        FrameRecord rec;
+        rec.step = step;
+        rec.group = g;
+        rec.input_start = requested;
+        rec.input_done = sim_.now();
+        total_input_ += t_read + t_dist;
+        (void)read_done;
+        on_input_ready(g, rec);
+      });
+    });
+  }
+
+  /// A volume is resident in the group's memory: render when the engine
+  /// frees up. Frames of a group are rendered in input order because the
+  /// engine resource is FIFO.
+  void on_input_ready(int g, FrameRecord rec) {
+    auto& st = *groups_[static_cast<std::size_t>(g)];
+    const int gsz = group_size(g);
+    const std::size_t pixels = cfg_.pixels();
+    const std::size_t voxels = cfg_.dataset.dims.voxels();
+
+    const double t_render = cfg_.costs.render_seconds_group(
+        voxels, pixels, gsz, cfg_.dataset.bytes_per_step());
+    const double t_composite = cfg_.costs.composite_seconds(pixels, gsz);
+    // Compression: collective (each node does its slice) or by the
+    // assembling node alone. X-Window output ships raw, no compression.
+    double t_compress = 0.0;
+    if (cfg_.output == OutputMode::kDaemonCompressed) {
+      t_compress = cfg_.codec.compress_seconds(pixels);
+      if (cfg_.parallel_compression) t_compress /= gsz;
+    }
+
+    const double engine_time = t_render + t_composite + t_compress;
+    st.engine->use(engine_time, [this, g, rec, t_render, t_composite,
+                                 t_compress, pixels]() mutable {
+      rec.render_done = sim_.now() - t_composite - t_compress;
+      rec.composite_done = sim_.now() - t_compress;
+      total_render_ += t_render;
+      total_composite_ += t_composite;
+      total_compress_ += t_compress;
+
+      // Buffer slot freed: pull the next volume from disk.
+      request_input(g);
+      on_frame_ready(g, rec, pixels);
+    });
+  }
+
+  /// Image output: WAN transfer, then client decompress + display.
+  void on_frame_ready(int g, FrameRecord rec, std::size_t pixels) {
+    double t_transfer = 0.0;
+    double t_client = 0.0;
+    double bytes = 0.0;
+    if (cfg_.output == OutputMode::kXWindow) {
+      bytes = static_cast<double>(pixels) * 3.0;
+      t_transfer = cfg_.costs.x_display.frame_seconds(
+          static_cast<std::size_t>(bytes));
+      t_client = static_cast<double>(pixels) *
+                     cfg_.costs.client_display_s_per_pixel +
+                 cfg_.costs.display_path_overhead_s;
+      // Remote X is synchronous: the sending node (and with it the group's
+      // engine) is held for the duration of the transfer (Figure 9, top).
+      auto& st = *groups_[static_cast<std::size_t>(g)];
+      st.engine->use(t_transfer, [] {});
+    } else {
+      const int pieces = cfg_.parallel_compression ? group_size(g) : 1;
+      bytes = cfg_.codec.compressed_bytes(pixels);
+      t_transfer = cfg_.costs.wan.transfer_seconds(
+          static_cast<std::size_t>(bytes), pieces);
+      t_client = cfg_.codec.decompress_seconds(pixels) +
+                 static_cast<double>(pixels) *
+                     cfg_.costs.client_display_s_per_pixel +
+                 cfg_.costs.display_path_overhead_s;
+    }
+    total_bytes_ += bytes;
+
+    wan_.use(t_transfer, [this, rec, t_transfer, t_client]() mutable {
+      rec.sent = sim_.now();
+      total_transfer_ += t_transfer;
+      client_.use(t_client, [this, rec, t_client]() mutable {
+        rec.displayed = sim_.now();
+        total_client_ += t_client;
+        records_.push_back(rec);
+      });
+    });
+  }
+
+  PipelineConfig cfg_;
+  Partition partition_;
+  sevt::Simulator sim_;
+  sevt::Resource disk_, lan_, wan_, client_;
+  std::vector<std::unique_ptr<GroupState>> groups_;
+  std::vector<FrameRecord> records_;
+  double total_input_ = 0.0, total_render_ = 0.0, total_composite_ = 0.0,
+         total_compress_ = 0.0, total_transfer_ = 0.0, total_client_ = 0.0,
+         total_bytes_ = 0.0;
+};
+
+}  // namespace
+
+PipelineResult simulate_pipeline(const PipelineConfig& config) {
+  PipelineSim sim(config);
+  return sim.run();
+}
+
+}  // namespace tvviz::core

@@ -1,0 +1,76 @@
+// Discrete-event simulator of the complete remote rendering pipeline
+// (Figure 1 + Figure 2): shared sequential data input, L render groups,
+// binary-swap compositing, compression, wide-area image output, client
+// decompression/display. Stage durations come from StageCosts; this is how
+// the partition sweeps (Figures 6/7) and the transport comparisons
+// (Figures 8/9/11, Table 2) run at paper scale on one host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/costs.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "field/generators.hpp"
+
+namespace tvviz::core {
+
+/// How rendered frames reach the remote display.
+enum class OutputMode {
+  kXWindow,           ///< Raw frames through remote X (synchronous).
+  kDaemonCompressed,  ///< Compressed frames through the display daemon.
+};
+
+struct PipelineConfig {
+  int processors = 32;
+  int groups = 4;
+  field::DatasetDesc dataset = field::turbulent_jet_desc();
+  int steps_limit = -1;  ///< Cap on time steps (-1 = all).
+  int image_width = 256;
+  int image_height = 256;
+  OutputMode output = OutputMode::kDaemonCompressed;
+  CodecProfile codec = CodecProfile::paper("jpeg+lzo");
+  StageCosts costs = StageCosts::rwcp_paper();
+  /// Parallel compression (§6): each of the group's nodes compresses and
+  /// ships its own sub-image; skips assembly but multiplies WAN messages
+  /// and client decompression overhead.
+  bool parallel_compression = false;
+  /// Volumes a group may buffer ahead of rendering (pipelined input).
+  int prefetch_depth = 1;
+  /// §7.1 parallel I/O: number of independent I/O servers each volume is
+  /// striped across (1 = the paper's sequential-input environment).
+  int io_servers = 1;
+
+  int steps() const noexcept {
+    return steps_limit > 0 && steps_limit < dataset.steps ? steps_limit
+                                                          : dataset.steps;
+  }
+  std::size_t pixels() const noexcept {
+    return static_cast<std::size_t>(image_width) * image_height;
+  }
+};
+
+/// Per-frame mean stage durations (seconds) for breakdown reporting.
+struct StageBreakdown {
+  double input = 0.0;
+  double render = 0.0;
+  double composite = 0.0;
+  double compress = 0.0;
+  double transfer = 0.0;
+  double client = 0.0;  ///< Decompression + display at the client.
+};
+
+struct PipelineResult {
+  Metrics metrics;
+  std::vector<FrameRecord> frames;
+  StageBreakdown breakdown;
+  double disk_utilization = 0.0;
+  double wan_utilization = 0.0;
+  double compressed_bytes_per_frame = 0.0;
+};
+
+/// Run the pipeline simulation to completion.
+PipelineResult simulate_pipeline(const PipelineConfig& config);
+
+}  // namespace tvviz::core

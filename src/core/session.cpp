@@ -1,0 +1,494 @@
+#include "core/session.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "codec/image_codec.hpp"
+#include "compositing/binary_swap.hpp"
+#include "compositing/collective_compress.hpp"
+#include "core/partition.hpp"
+#include "field/decompose.hpp"
+#include "field/store.hpp"
+#include "field/preview.hpp"
+#include "field/striped.hpp"
+#include "net/daemon.hpp"
+#include "net/tcp.hpp"
+#include "util/timer.hpp"
+#include "vmp/communicator.hpp"
+
+namespace tvviz::core {
+
+namespace {
+
+render::TransferFunction colormap_by_name(const std::string& name) {
+  if (name == "fire") return render::TransferFunction::fire();
+  if (name == "dense") return render::TransferFunction::dense_cool_warm();
+  if (name == "shock") return render::TransferFunction::shock();
+  throw std::invalid_argument("session: unknown colormap " + name);
+}
+
+/// Mutable view/codec state, updated by buffered control events between
+/// frames (§5) — never mid-frame.
+struct ViewState {
+  double azimuth, elevation, zoom;
+  std::string colormap;
+  std::string codec;
+  bool stopped = false;
+
+  void apply(const net::ControlEvent& e) {
+    switch (e.kind) {
+      case net::ControlKind::kSetView:
+        azimuth = e.azimuth;
+        elevation = e.elevation;
+        zoom = e.zoom;
+        break;
+      case net::ControlKind::kSetColorMap:
+        colormap = e.name;
+        break;
+      case net::ControlKind::kSetCodec:
+        codec = e.name;
+        break;
+      case net::ControlKind::kStop:
+        stopped = true;
+        break;
+      case net::ControlKind::kStart:
+        break;
+    }
+  }
+
+  util::Bytes serialize() const {
+    util::ByteWriter w;
+    w.f64(azimuth);
+    w.f64(elevation);
+    w.f64(zoom);
+    w.str(colormap);
+    w.str(codec);
+    w.u8(stopped ? 1 : 0);
+    return w.take();
+  }
+
+  static ViewState deserialize(std::span<const std::uint8_t> data) {
+    util::ByteReader r(data);
+    ViewState v{r.f64(), r.f64(), r.f64(), "", "", false};
+    v.colormap = r.str();
+    v.codec = r.str();
+    v.stopped = r.u8() != 0;
+    return v;
+  }
+};
+
+/// Encode a binary-swap slice as a framed sub-image piece.
+util::Bytes pack_piece(int y0, const util::Bytes& encoded) {
+  util::ByteWriter w(encoded.size() + 8);
+  w.u32(static_cast<std::uint32_t>(y0));
+  w.varint(encoded.size());
+  w.raw(encoded);
+  return w.take();
+}
+
+}  // namespace
+
+SessionResult run_session(const SessionConfig& cfg) {
+  if (cfg.processors < 1 || cfg.groups < 1 || cfg.groups > cfg.processors)
+    throw std::invalid_argument("session: bad processors/groups");
+  for (int mapped : cfg.step_map)
+    if (mapped < 0 || mapped >= cfg.dataset.steps)
+      throw std::invalid_argument("session: step_map entry out of range");
+  const Partition partition(cfg.processors, cfg.groups);
+  const int steps = cfg.effective_steps();
+  const std::size_t pixels =
+      static_cast<std::size_t>(cfg.image_width) * cfg.image_height;
+
+  // Transport: the in-process relay by default, or a real TCP daemon on
+  // localhost (`use_tcp`) — same wire semantics either way, behind two
+  // minimal adapter interfaces.
+  struct RendererPortIface {
+    virtual ~RendererPortIface() = default;
+    virtual void send(net::NetMessage msg) = 0;
+    virtual std::optional<net::ControlEvent> poll_control() = 0;
+  };
+  struct DisplayPortIface {
+    virtual ~DisplayPortIface() = default;
+    virtual std::optional<net::NetMessage> next() = 0;
+    virtual void send_control(const net::ControlEvent& event) = 0;
+  };
+  struct LocalRendererPort final : RendererPortIface {
+    std::shared_ptr<net::DisplayDaemon::RendererPort> port;
+    void send(net::NetMessage msg) override { port->send(std::move(msg)); }
+    std::optional<net::ControlEvent> poll_control() override {
+      return port->poll_control();
+    }
+  };
+  struct LocalDisplayPort final : DisplayPortIface {
+    std::shared_ptr<net::DisplayDaemon::DisplayPort> port;
+    std::optional<net::NetMessage> next() override { return port->next(); }
+    void send_control(const net::ControlEvent& event) override {
+      port->send_control(event);
+    }
+  };
+  struct TcpRendererPort final : RendererPortIface {
+    std::unique_ptr<net::TcpRendererLink> link;
+    void send(net::NetMessage msg) override { link->send(msg); }
+    std::optional<net::ControlEvent> poll_control() override {
+      return link->poll_control();
+    }
+  };
+  struct TcpDisplayPort final : DisplayPortIface {
+    std::unique_ptr<net::TcpDisplayLink> link;
+    std::optional<net::NetMessage> next() override { return link->next(); }
+    void send_control(const net::ControlEvent& event) override {
+      link->send_control(event);
+    }
+  };
+
+  std::optional<net::DisplayDaemon> local_daemon;
+  std::unique_ptr<net::TcpDaemonServer> tcp_daemon;
+  std::vector<std::unique_ptr<RendererPortIface>> ports;
+  std::unique_ptr<DisplayPortIface> display;
+  if (cfg.use_tcp) {
+    tcp_daemon = std::make_unique<net::TcpDaemonServer>();
+    for (int g = 0; g < cfg.groups; ++g) {
+      auto port = std::make_unique<TcpRendererPort>();
+      port->link =
+          std::make_unique<net::TcpRendererLink>(tcp_daemon->port());
+      ports.push_back(std::move(port));
+    }
+    auto dp = std::make_unique<TcpDisplayPort>();
+    dp->link = std::make_unique<net::TcpDisplayLink>(tcp_daemon->port());
+    display = std::move(dp);
+    // Let the server register every connection before frames flow.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  } else {
+    local_daemon.emplace();
+    for (int g = 0; g < cfg.groups; ++g) {
+      auto port = std::make_unique<LocalRendererPort>();
+      port->port = local_daemon->connect_renderer();
+      ports.push_back(std::move(port));
+    }
+    auto dp = std::make_unique<LocalDisplayPort>();
+    dp->port = local_daemon->connect_display();
+    display = std::move(dp);
+  }
+
+  util::WallTimer clock;
+  std::mutex records_mutex;
+  std::map<int, FrameRecord> records;  // keyed by step
+
+  SessionResult result;
+
+  // ---- display client ------------------------------------------------------
+  // Frames can arrive out of step order (groups finish independently);
+  // keep them keyed by step so SessionResult::displayed is step-ordered.
+  std::map<int, render::Image> kept_frames;
+  std::thread client([&] {
+    // Sub-image reassembly state per step.
+    struct Pending {
+      render::Image frame;
+      int received = 0;
+      int expected = 0;
+    };
+    std::map<int, Pending> pending;
+    int frames_done = 0;
+    const int total_frames = steps;
+    while (frames_done < total_frames) {
+      auto msg = display->next();
+      if (!msg) break;  // daemon shut down
+      if (msg->type == net::MsgType::kShutdown) break;
+
+      render::Image* completed = nullptr;
+      if (msg->type == net::MsgType::kFrame) {
+        auto& slot = pending[msg->frame_index];
+        if (msg->codec == "collective-jpeg") {
+          slot.frame = compositing::collective_jpeg_decode(msg->payload);
+        } else {
+          const auto codec =
+              codec::make_image_codec(msg->codec, cfg.jpeg_quality);
+          slot.frame = codec->decode(msg->payload);
+        }
+        completed = &slot.frame;
+      } else if (msg->type == net::MsgType::kSubImage) {
+        const auto codec =
+            codec::make_image_codec(msg->codec, cfg.jpeg_quality);
+        auto& slot = pending[msg->frame_index];
+        if (slot.expected == 0) {
+          slot.expected = msg->piece_count;
+          slot.frame = render::Image(cfg.image_width, cfg.image_height);
+        }
+        util::ByteReader r(msg->payload);
+        const int y0 = static_cast<int>(r.u32());
+        const std::size_t len = r.varint();
+        const render::Image piece = codec->decode(r.raw(len));
+        for (int y = 0; y < piece.height(); ++y) {
+          const int fy = y0 + y;
+          if (fy < 0 || fy >= slot.frame.height()) continue;
+          for (int x = 0; x < piece.width() && x < slot.frame.width(); ++x) {
+            const auto* p = piece.pixel(x, y);
+            slot.frame.set(x, fy, p[0], p[1], p[2], p[3]);
+          }
+        }
+        if (++slot.received < slot.expected) continue;
+        completed = &slot.frame;
+      } else {
+        continue;
+      }
+
+      const double now = clock.seconds();
+      {
+        std::lock_guard lock(records_mutex);
+        records[msg->frame_index].displayed = now;
+        records[msg->frame_index].step = msg->frame_index;
+      }
+      if (cfg.on_frame) {
+        for (const auto& event : cfg.on_frame(msg->frame_index, *completed))
+          display->send_control(event);
+      }
+      if (cfg.keep_frames)
+        kept_frames[msg->frame_index] = std::move(*completed);
+      pending.erase(msg->frame_index);
+      ++frames_done;
+    }
+  });
+
+  // ---- parallel renderer ----------------------------------------------------
+  std::atomic<int> control_events{0};
+  std::atomic<std::uint64_t> wire_bytes{0};
+  // If a rank fails, the client thread must still be unblocked and joined
+  // before the exception leaves this frame.
+  std::exception_ptr renderer_error;
+  const auto run_ranks = [&](const vmp::Cluster::RankFn& fn) {
+    try {
+      vmp::Cluster::run(cfg.processors, fn);
+    } catch (...) {
+      renderer_error = std::current_exception();
+    }
+  };
+  run_ranks([&](vmp::Communicator& world) {
+    const int g = partition.group_of_rank(world.rank());
+    vmp::Communicator group = world.split(g);
+    const bool leader = group.rank() == 0;
+
+    ViewState view{cfg.camera_azimuth, cfg.camera_elevation, cfg.camera_zoom,
+                   cfg.colormap, cfg.codec, false};
+
+    // Slab decomposition keeps subvolume depths monotone in rank, which the
+    // binary-swap compositor requires for exact visibility ordering.
+    const auto even_boxes =
+        field::decompose_slabs(cfg.dataset.dims, group.size(), /*axis=*/2);
+
+    std::optional<field::VolumeStore> store;
+    std::optional<field::StripedVolumeStore> striped;
+    if (cfg.store_dir) {
+      if (cfg.io_stripes > 0)
+        striped.emplace(*cfg.store_dir, cfg.io_stripes);
+      else
+        store.emplace(*cfg.store_dir);
+    }
+
+    render::RayCaster caster(cfg.render_options);
+
+    const auto my_steps = partition.steps_for_group(g, steps);
+    for (std::size_t idx = 0; idx < my_steps.size(); ++idx) {
+      const int step = my_steps[idx];
+      // Preview mode renders a planned subset of the dataset's steps.
+      const int dataset_step =
+          cfg.step_map.empty() ? step
+                               : cfg.step_map[static_cast<std::size_t>(step)];
+
+      // Leader drains buffered control events and broadcasts the resulting
+      // state so every node of the group renders consistently (§5).
+      if (leader) {
+        while (auto event = ports[static_cast<std::size_t>(g)]->poll_control()) {
+          view.apply(*event);
+          control_events.fetch_add(1);
+        }
+      }
+      view = ViewState::deserialize(group.bcast(0, view.serialize()));
+      if (view.stopped) break;
+      const render::TransferFunction tf = colormap_by_name(view.colormap);
+
+      // This node's slab: even planes, or work-balanced boundaries from a
+      // deterministic probe of the step's visible-work distribution (every
+      // rank computes the identical weights, so no exchange is needed).
+      field::Box my_box = even_boxes[static_cast<std::size_t>(group.rank())];
+      if (cfg.load_balanced && !store && !striped &&
+          group.size() <= cfg.dataset.dims.nz) {
+        const auto weights = field::estimate_plane_weights(
+            cfg.dataset, dataset_step, /*axis=*/2,
+            [&tf](float v) { return tf.sample(v).alpha > 0.0; });
+        const auto balanced = field::decompose_slabs_weighted(
+            cfg.dataset.dims, group.size(), /*axis=*/2, weights);
+        my_box = balanced[static_cast<std::size_t>(group.rank())];
+      }
+
+      const double input_start = clock.seconds();
+      // Data input: read (or generate) this node's subvolume with a ghost
+      // layer for seamless interpolation across node boundaries.
+      const field::Box ghost_box =
+          field::with_ghost(my_box, cfg.dataset.dims, 1);
+      // Run-time tracking (§2.1): the simulation may still be computing
+      // this step; poll the store until the (atomically renamed) file lands.
+      if (cfg.wait_for_store && (striped || store)) {
+        util::WallTimer waited;
+        const auto available = [&] {
+          return striped ? striped->has(dataset_step)
+                         : store->has(dataset_step);
+        };
+        while (!available()) {
+          if (waited.seconds() > cfg.input_wait_timeout_s)
+            throw std::runtime_error(
+                "session: timed out waiting for step " +
+                std::to_string(dataset_step));
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      render::Subvolume sub;
+      if (striped) {
+        sub.data = striped->read_box(dataset_step, ghost_box);
+      } else if (store) {
+        sub.data = store->read_box(dataset_step, ghost_box);
+      } else {
+        sub.data = field::generate_box(cfg.dataset, dataset_step, ghost_box);
+      }
+      sub.storage_box = ghost_box;
+      sub.render_box = my_box;
+      const double input_done = clock.seconds();
+
+      // Local rendering.
+      render::Camera camera(cfg.image_width, cfg.image_height,
+                            view.azimuth + cfg.azimuth_per_step * dataset_step,
+                            view.elevation, view.zoom);
+      if (cfg.space_leaping) sub.attach_skipper(tf);
+      const render::PartialImage partial =
+          caster.render(sub, cfg.dataset.dims, camera, tf);
+      const double render_done = clock.seconds();
+
+      // Global compositing (binary-swap) leaves each node a frame slice.
+      const compositing::FrameSlice slice = compositing::binary_swap(
+          group, partial, cfg.image_width, cfg.image_height);
+      const double composite_done = clock.seconds();
+
+      const auto mode = cfg.parallel_compression
+                            ? SessionConfig::Compression::kParallelPieces
+                            : cfg.compression;
+      if (mode == SessionConfig::Compression::kCollective) {
+        // §4.1 collective compression: slices are transformed and entropy
+        // coded in place with Huffman tables fitted to the whole frame.
+        render::Image own(cfg.image_width, std::max(0, slice.image.height()));
+        for (int y = 0; y < slice.image.height(); ++y)
+          for (int x = 0; x < cfg.image_width; ++x) {
+            const auto& px = slice.image.at(x, y);
+            const auto q = [](double v) {
+              return static_cast<std::uint8_t>(util::clamp01(v) * 255.0 + 0.5);
+            };
+            own.set(x, y, q(px.r), q(px.g), q(px.b), 255);
+          }
+        util::Bytes encoded = compositing::collective_jpeg_encode(
+            group, own, slice.row0, cfg.image_width, cfg.image_height,
+            cfg.jpeg_quality);
+        if (leader) {
+          net::NetMessage msg;
+          msg.type = net::MsgType::kFrame;
+          msg.frame_index = step;
+          msg.codec = "collective-jpeg";
+          msg.payload = std::move(encoded);
+          wire_bytes.fetch_add(msg.payload.size());
+          ports[static_cast<std::size_t>(g)]->send(std::move(msg));
+        }
+      } else if (mode == SessionConfig::Compression::kParallelPieces) {
+        const auto image_codec =
+            codec::make_image_codec(view.codec, cfg.jpeg_quality);
+        // Each node compresses its own slice; the leader relays the
+        // non-empty pieces in rank order as separate sub-image messages.
+        util::Bytes piece;
+        if (slice.image.height() > 0) {
+          // Convert the slice to a stand-alone image of its own rows.
+          render::Image own(cfg.image_width, slice.image.height());
+          for (int y = 0; y < slice.image.height(); ++y)
+            for (int x = 0; x < cfg.image_width; ++x) {
+              const auto& px = slice.image.at(x, y);
+              const auto q = [](double v) {
+                return static_cast<std::uint8_t>(util::clamp01(v) * 255.0 + 0.5);
+              };
+              own.set(x, y, q(px.r), q(px.g), q(px.b), 255);
+            }
+          piece = pack_piece(slice.row0, image_codec->encode(own));
+        }
+        const auto gathered = group.gather(0, piece);
+        if (leader) {
+          std::vector<const util::Bytes*> nonempty;
+          for (const auto& p : gathered)
+            if (!p.empty()) nonempty.push_back(&p);
+          for (std::size_t i = 0; i < nonempty.size(); ++i) {
+            net::NetMessage msg;
+            msg.type = net::MsgType::kSubImage;
+            msg.frame_index = step;
+            msg.piece = static_cast<int>(i);
+            msg.piece_count = static_cast<int>(nonempty.size());
+            msg.codec = view.codec;
+            msg.payload = *nonempty[i];
+            wire_bytes.fetch_add(msg.payload.size());
+            ports[static_cast<std::size_t>(g)]->send(std::move(msg));
+          }
+        }
+      } else {
+        const render::Image frame = compositing::gather_frame(
+            group, slice, cfg.image_width, cfg.image_height);
+        if (leader) {
+          const auto image_codec =
+              codec::make_image_codec(view.codec, cfg.jpeg_quality);
+          net::NetMessage msg;
+          msg.type = net::MsgType::kFrame;
+          msg.frame_index = step;
+          msg.codec = view.codec;
+          msg.payload = image_codec->encode(frame);
+          wire_bytes.fetch_add(msg.payload.size());
+          ports[static_cast<std::size_t>(g)]->send(std::move(msg));
+        }
+      }
+
+      if (leader) {
+        const double sent = clock.seconds();
+        std::lock_guard lock(records_mutex);
+        auto& rec = records[step];
+        rec.step = step;
+        rec.group = g;
+        rec.input_start = input_start;
+        rec.input_done = input_done;
+        rec.render_done = render_done;
+        rec.composite_done = composite_done;
+        rec.sent = sent;
+      }
+    }
+  });
+
+  // Renderers are done; tell the client in case it is short of frames
+  // (e.g. a kStop control event ended the run early).
+  {
+    net::NetMessage bye;
+    bye.type = net::MsgType::kShutdown;
+    ports[0]->send(std::move(bye));
+  }
+  client.join();
+  if (local_daemon) local_daemon->shutdown();
+  if (tcp_daemon) tcp_daemon->shutdown();
+  if (renderer_error) std::rethrow_exception(renderer_error);
+
+  result.wire_bytes = wire_bytes.load();
+  for (auto& [step, image] : kept_frames)
+    result.displayed.push_back(std::move(image));
+  result.control_events_applied = control_events.load();
+  result.raw_bytes = static_cast<std::uint64_t>(pixels) * 3 *
+                     static_cast<std::uint64_t>(steps);
+  // Keep only frames that actually reached the display.
+  for (auto& [step, rec] : records)
+    if (rec.displayed > 0.0) result.frames.push_back(rec);
+  if (result.frames.empty())
+    for (auto& [step, rec] : records) result.frames.push_back(rec);
+  result.metrics = Metrics::from_records(result.frames);
+  return result;
+}
+
+}  // namespace tvviz::core

@@ -1,0 +1,102 @@
+// RemoteVizSession: the real end-to-end system (not the simulator). A vmp
+// cluster renders the time series in L processor groups with binary-swap
+// compositing; group leaders compress frames and ship them through the
+// display daemon; a display client decompresses, records timing, and feeds
+// user-control events back (§5: events are buffered and affect only later
+// frames).
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "field/generators.hpp"
+#include "net/protocol.hpp"
+#include "render/image.hpp"
+#include "render/raycast.hpp"
+
+namespace tvviz::core {
+
+struct SessionConfig {
+  field::DatasetDesc dataset = field::scaled(field::turbulent_jet_desc(), 4, 8);
+  int processors = 4;
+  int groups = 2;
+  int image_width = 128;
+  int image_height = 128;
+  std::string codec = "jpeg+lzo";
+  int jpeg_quality = 75;
+  /// How the image-output stage compresses frames (§4.1/§6):
+  ///  * kAssembled — the group leader gathers the frame and compresses it
+  ///    whole (the paper's default path).
+  ///  * kParallelPieces — every node compresses its own binary-swap slice
+  ///    independently and ships it as a sub-image (fast, worse ratio).
+  ///  * kCollective — nodes share Huffman statistics via allreduce and
+  ///    entropy-code their slices with common whole-frame tables (§4.1's
+  ///    "collectively compress" variant; JPEG-based, `codec` is ignored).
+  enum class Compression { kAssembled, kParallelPieces, kCollective };
+  Compression compression = Compression::kAssembled;
+  /// Back-compat alias for kParallelPieces.
+  bool parallel_compression = false;
+  /// Build a per-subvolume min-max block structure each step and leap over
+  /// transparent blocks (§7.1 preprocessing; identical images, less work).
+  bool space_leaping = true;
+  /// Load-balanced slab decomposition: per step, probe the dataset's
+  /// visible-work distribution along z and size each node's slab for equal
+  /// work instead of equal planes. Generator-backed input only (falls back
+  /// to even slabs when reading from a store).
+  bool load_balanced = false;
+  render::RenderOptions render_options{};
+  std::string colormap = "fire";  ///< "fire", "dense", or "shock".
+  double camera_azimuth = 0.6;
+  double camera_elevation = 0.35;
+  double camera_zoom = 1.0;
+  /// View rotation per time step (animation when nonzero).
+  double azimuth_per_step = 0.0;
+  /// If set, steps are read from a VolumeStore at this directory (must have
+  /// been materialized); otherwise subvolumes are generated in place.
+  std::optional<std::filesystem::path> store_dir;
+  /// With store_dir: > 0 reads through a StripedVolumeStore with this many
+  /// stripes (§7.1 parallel I/O); 0 uses the plain sequential store.
+  int io_stripes = 0;
+  /// Run-time tracking (§2.1): wait for a step's file to appear in the
+  /// store instead of failing — the simulation is still computing it.
+  bool wait_for_store = false;
+  /// Give up after this long waiting for one step (wait_for_store).
+  double input_wait_timeout_s = 30.0;
+  /// Preview mode (§7.1): when non-empty, only these dataset steps are
+  /// rendered, in order (see field::TemporalSummary for planners). Every
+  /// entry must lie in [0, dataset.steps).
+  std::vector<int> step_map;
+
+  int effective_steps() const noexcept {
+    return step_map.empty() ? dataset.steps
+                            : static_cast<int>(step_map.size());
+  }
+  /// Keep decoded frames in the result (memory permitting).
+  bool keep_frames = false;
+  /// Invoked by the client after each displayed frame; may push control
+  /// events (returns events to send toward the renderer).
+  std::function<std::vector<net::ControlEvent>(int step, const render::Image&)>
+      on_frame;
+  /// Route every frame and control event through a real TCP daemon on
+  /// localhost instead of the in-process relay — the deployable transport.
+  bool use_tcp = false;
+};
+
+struct SessionResult {
+  Metrics metrics;  ///< Wall-clock, relative to session start.
+  std::vector<FrameRecord> frames;
+  std::vector<render::Image> displayed;  ///< If keep_frames; step-ordered.
+  std::uint64_t wire_bytes = 0;          ///< Compressed bytes shipped.
+  std::uint64_t raw_bytes = 0;           ///< Uncompressed RGB equivalent.
+  int control_events_applied = 0;
+};
+
+/// Run the full pipeline to completion. Throws on configuration errors or
+/// rank failures.
+SessionResult run_session(const SessionConfig& config);
+
+}  // namespace tvviz::core

@@ -1,0 +1,179 @@
+#include "field/delta_store.hpp"
+
+#include <cstring>
+
+#include "util/vecmath.hpp"
+#include <fstream>
+#include <stdexcept>
+
+namespace tvviz::field {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54564456;  // "VDVT"
+constexpr std::uint8_t kKey = 0;
+constexpr std::uint8_t kDelta = 1;
+
+using Precision = DeltaVolumeStore::Precision;
+
+util::Bytes raw_bytes_of(const VolumeF& volume, Precision precision) {
+  if (precision == Precision::kQuantized8) {
+    util::Bytes out(volume.voxels());
+    const auto data = volume.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const float v = data[i];
+      out[i] = static_cast<std::uint8_t>(
+          util::clamp01(static_cast<double>(v)) * 255.0 + 0.5);
+    }
+    return out;
+  }
+  util::Bytes out(volume.bytes());
+  std::memcpy(out.data(), volume.data().data(), out.size());
+  return out;
+}
+
+VolumeF volume_of(const Dims& dims, std::span<const std::uint8_t> raw,
+                  Precision precision) {
+  VolumeF volume(dims);
+  if (precision == Precision::kQuantized8) {
+    if (raw.size() != dims.voxels())
+      throw std::runtime_error("DeltaVolumeStore: payload size mismatch");
+    auto data = volume.data();
+    for (std::size_t i = 0; i < raw.size(); ++i)
+      data[i] = static_cast<float>(raw[i]) / 255.0f;
+    return volume;
+  }
+  if (raw.size() != dims.voxels() * sizeof(float))
+    throw std::runtime_error("DeltaVolumeStore: payload size mismatch");
+  std::memcpy(volume.data().data(), raw.data(), raw.size());
+  return volume;
+}
+}  // namespace
+
+DeltaVolumeStore::DeltaVolumeStore(std::filesystem::path dir, int key_interval,
+                                   int lz_level, Precision precision)
+    : dir_(std::move(dir)),
+      key_interval_(key_interval),
+      lz_(lz_level),
+      precision_(precision) {
+  if (key_interval < 1)
+    throw std::invalid_argument("DeltaVolumeStore: key interval");
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path DeltaVolumeStore::path_for(int step) const {
+  return dir_ / ("step_" + std::to_string(step) + ".dvol");
+}
+
+bool DeltaVolumeStore::has(int step) const {
+  return std::filesystem::exists(path_for(step));
+}
+
+void DeltaVolumeStore::write(int step, const VolumeF& volume) {
+  // A step becomes a key frame at the configured interval, and whenever the
+  // delta chain has no immediate predecessor (first write, out-of-order
+  // write, or size change).
+  const bool key = is_key(step) || last_written_step_ != step - 1 ||
+                   !last_written_ || last_written_->dims() != volume.dims();
+
+  util::Bytes payload = raw_bytes_of(volume, precision_);
+  if (!key) {
+    const util::Bytes prev = raw_bytes_of(*last_written_, precision_);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<std::uint8_t>(payload[i] - prev[i]);
+  }
+  const util::Bytes packed = lz_.encode(payload);
+
+  util::ByteWriter out(packed.size() + 32);
+  out.u32(kMagic);
+  out.u8(key ? kKey : kDelta);
+  out.u8(precision_ == Precision::kQuantized8 ? 1 : 0);
+  out.u32(static_cast<std::uint32_t>(volume.dims().nx));
+  out.u32(static_cast<std::uint32_t>(volume.dims().ny));
+  out.u32(static_cast<std::uint32_t>(volume.dims().nz));
+  out.varint(packed.size());
+  out.raw(packed);
+
+  const auto final_path = path_for(step);
+  const auto tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("DeltaVolumeStore: open for write");
+    const auto& bytes = out.bytes();
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f) throw std::runtime_error("DeltaVolumeStore: write failed");
+  }
+  std::filesystem::rename(tmp_path, final_path);
+
+  last_written_ = volume;
+  last_written_step_ = step;
+}
+
+VolumeF DeltaVolumeStore::read(int step) {
+  if (step < 0) throw std::out_of_range("DeltaVolumeStore: negative step");
+  if (cached_ && cached_step_ == step) return *cached_;
+  // Reconstruct from the nearest usable base: the read cache if it is the
+  // immediate predecessor, else the preceding key frame.
+  int base = step;
+  if (cached_step_ >= 0 && cached_step_ < step &&
+      cached_step_ >= (step / key_interval_) * key_interval_)
+    base = cached_step_ + 1;
+  else
+    base = (step / key_interval_) * key_interval_;
+
+  for (int s = base; s <= step; ++s) {
+    std::ifstream f(path_for(s), std::ios::binary);
+    if (!f)
+      throw std::runtime_error("DeltaVolumeStore: missing step " +
+                               std::to_string(s));
+    util::Bytes file((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    util::ByteReader in(file);
+    if (in.u32() != kMagic)
+      throw std::runtime_error("DeltaVolumeStore: bad magic");
+    const std::uint8_t type = in.u8();
+    const std::uint8_t stored_precision = in.u8();
+    if ((stored_precision == 1) != (precision_ == Precision::kQuantized8))
+      throw std::runtime_error("DeltaVolumeStore: precision mismatch");
+    const Dims dims{static_cast<int>(in.u32()), static_cast<int>(in.u32()),
+                    static_cast<int>(in.u32())};
+    const std::size_t packed_len = in.varint();
+    util::Bytes payload = lz_.decode(in.raw(packed_len));
+
+    if (type == kDelta) {
+      if (!cached_ || cached_step_ != s - 1 || cached_->dims() != dims)
+        throw std::runtime_error("DeltaVolumeStore: broken delta chain at " +
+                                 std::to_string(s));
+      const util::Bytes prev = raw_bytes_of(*cached_, precision_);
+      if (payload.size() != prev.size())
+        throw std::runtime_error("DeltaVolumeStore: delta size mismatch");
+      for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(payload[i] + prev[i]);
+    } else if (type != kKey) {
+      throw std::runtime_error("DeltaVolumeStore: unknown frame type");
+    }
+    cached_ = volume_of(dims, payload, precision_);
+    cached_step_ = s;
+  }
+  return *cached_;
+}
+
+std::size_t DeltaVolumeStore::stored_bytes(int count) const {
+  std::size_t total = 0;
+  for (int s = 0; s < count; ++s)
+    if (has(s)) total += std::filesystem::file_size(path_for(s));
+  return total;
+}
+
+std::pair<std::size_t, std::size_t> DeltaVolumeStore::materialize(
+    const DatasetDesc& desc) {
+  std::size_t raw = 0;
+  for (int s = 0; s < desc.steps; ++s) {
+    const VolumeF volume = generate(desc, s);
+    raw += volume.bytes();
+    write(s, volume);
+  }
+  return {raw, stored_bytes(desc.steps)};
+}
+
+}  // namespace tvviz::field

@@ -1,0 +1,69 @@
+// Differential time-step storage (§2.1: Shen & Johnson's differential
+// volume rendering "reduce[d] not only the rendering time but also the
+// storage space by 90%"). Steps are stored as LZ-compressed deltas against
+// the previous step, with periodic key frames; temporal coherence in the
+// simulation makes the deltas cheap. This attacks the paper's data-input
+// bottleneck from the storage side: less disk space AND fewer bytes through
+// the shared sequential input channel.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "codec/lz.hpp"
+#include "field/generators.hpp"
+#include "field/volume.hpp"
+
+namespace tvviz::field {
+
+class DeltaVolumeStore {
+ public:
+  enum class Precision {
+    kFloat32,     ///< Bit-exact round trip.
+    kQuantized8,  ///< 8-bit quantized [0,1] values: visually lossless for
+                  ///< rendering, 4x smaller before compression, and far
+                  ///< better delta compression (§2.1's 90% regime).
+  };
+
+  /// `key_interval` steps between self-contained key frames; smaller means
+  /// cheaper random access, larger means better compression.
+  DeltaVolumeStore(std::filesystem::path dir, int key_interval = 16,
+                   int lz_level = 5,
+                   Precision precision = Precision::kFloat32);
+
+  /// Write step `step`. Sequential writes produce deltas; a write without
+  /// its immediate predecessor (first write, out-of-order, size change)
+  /// becomes a key frame regardless of position.
+  void write(int step, const VolumeF& volume);
+
+  /// Read a step, reconstructing through the delta chain from the nearest
+  /// key frame at or before it. Sequential reads are cached: reading steps
+  /// in ascending order costs one delta application each.
+  VolumeF read(int step);
+
+  bool has(int step) const;
+  int key_interval() const noexcept { return key_interval_; }
+
+  /// Total bytes on disk for steps [0, count).
+  std::size_t stored_bytes(int count) const;
+
+  /// Materialize a dataset; returns (raw bytes, stored bytes).
+  std::pair<std::size_t, std::size_t> materialize(const DatasetDesc& desc);
+
+ private:
+  std::filesystem::path path_for(int step) const;
+  bool is_key(int step) const { return step % key_interval_ == 0; }
+
+  std::filesystem::path dir_;
+  int key_interval_;
+  codec::LzCodec lz_;
+  Precision precision_;
+  // Write-side chain state.
+  std::optional<VolumeF> last_written_;
+  int last_written_step_ = -1;
+  // Read-side cache.
+  std::optional<VolumeF> cached_;
+  int cached_step_ = -1;
+};
+
+}  // namespace tvviz::field

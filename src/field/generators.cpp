@@ -1,0 +1,165 @@
+#include "field/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "field/noise.hpp"
+#include "util/vecmath.hpp"
+
+namespace tvviz::field {
+
+const char* dataset_name(DatasetKind kind) noexcept {
+  switch (kind) {
+    case DatasetKind::kTurbulentJet: return "turbulent-jet";
+    case DatasetKind::kTurbulentVortex: return "turbulent-vortex";
+    case DatasetKind::kShockMixing: return "shock-mixing";
+  }
+  return "?";
+}
+
+DatasetDesc turbulent_jet_desc() {
+  return DatasetDesc{DatasetKind::kTurbulentJet, Dims{129, 129, 104}, 150, 11};
+}
+
+DatasetDesc turbulent_vortex_desc() {
+  return DatasetDesc{DatasetKind::kTurbulentVortex, Dims{128, 128, 128}, 100, 23};
+}
+
+DatasetDesc shock_mixing_desc() {
+  return DatasetDesc{DatasetKind::kShockMixing, Dims{640, 256, 256}, 265, 37};
+}
+
+DatasetDesc scaled(DatasetDesc desc, int factor, int max_steps) {
+  if (factor < 1) throw std::invalid_argument("scaled: factor must be >= 1");
+  desc.dims.nx = std::max(8, desc.dims.nx / factor);
+  desc.dims.ny = std::max(8, desc.dims.ny / factor);
+  desc.dims.nz = std::max(8, desc.dims.nz / factor);
+  desc.steps = std::max(1, std::min(desc.steps, max_steps));
+  return desc;
+}
+
+namespace {
+
+constexpr double kTau = 6.283185307179586;
+
+/// Normalized coordinates in [0,1] for a global voxel index.
+struct Norm {
+  double x, y, z;
+};
+
+Norm normalize(const Dims& dims, int x, int y, int z) {
+  return {dims.nx > 1 ? static_cast<double>(x) / (dims.nx - 1) : 0.0,
+          dims.ny > 1 ? static_cast<double>(y) / (dims.ny - 1) : 0.0,
+          dims.nz > 1 ? static_cast<double>(z) / (dims.nz - 1) : 0.0};
+}
+
+/// Clamp to [0,1] and floor near-zero values to an exact 0, like the
+/// denormal/output cutoffs of real CFD solvers. Exact zeros make the empty
+/// regions temporally identical, which the differential store exploits.
+float finalize(double v) {
+  const double clamped = util::clamp01(v);
+  return clamped < 2e-3 ? 0.0f : static_cast<float>(clamped);
+}
+
+/// Turbulent jet: a meandering plume along +y with advected small-scale
+/// turbulence. Most of the domain is empty -> sparse images.
+float jet_value(const Norm& p, double t, std::uint64_t seed) {
+  // Plume axis meanders slowly with height and time.
+  const double ax = 0.5 + 0.08 * std::sin(kTau * (0.7 * p.y + 0.3 * t));
+  const double az = 0.5 + 0.08 * std::cos(kTau * (0.9 * p.y + 0.2 * t));
+  const double dx = p.x - ax, dz = p.z - az;
+  const double r2 = dx * dx + dz * dz;
+  // Cone widens with height; nothing below the nozzle.
+  const double width = 0.035 + 0.16 * p.y;
+  const double envelope = std::exp(-r2 / (2.0 * width * width));
+  // Advected turbulence: noise coordinates drift downstream with time.
+  const double turb =
+      fbm(6.0 * p.x, 6.0 * p.y - 5.0 * t, 6.0 * p.z, 4, seed);
+  const double v = envelope * (0.35 + 0.9 * turb);
+  return finalize(v);
+}
+
+/// Turbulent vortex: several strong vortex tubes plus a broad background
+/// vorticity floor. Touches most of the domain -> dense images.
+float vortex_value(const Norm& p, double t, std::uint64_t seed) {
+  double v = 0.0;
+  constexpr int kTubes = 10;
+  for (int k = 0; k < kTubes; ++k) {
+    const double phase = static_cast<double>(k) / kTubes;
+    // Tube axis: vertical line that orbits and bends sinusoidally.
+    const double cx = 0.5 + 0.33 * std::cos(kTau * (phase + 0.15 * t)) +
+                      0.05 * std::sin(kTau * (2.0 * p.y + phase));
+    const double cz = 0.5 + 0.33 * std::sin(kTau * (phase + 0.15 * t)) +
+                      0.05 * std::cos(kTau * (2.0 * p.y + 3.0 * phase));
+    const double dx = p.x - cx, dz = p.z - cz;
+    const double d2 = dx * dx + dz * dz;
+    const double strength = 0.55 + 0.45 * std::sin(kTau * (phase * 3.1 + 0.23 * t));
+    v += strength * std::exp(-d2 / (2.0 * 0.06 * 0.06));
+  }
+  // Background turbulence keeps coverage high everywhere.
+  const double background =
+      0.22 + 0.3 * fbm(4.0 * p.x + 9.0 * t, 4.0 * p.y, 4.0 * p.z + 3.0 * t, 4, seed);
+  return finalize(0.75 * v + background);
+}
+
+/// Shock/bubble mixing: a planar shock sweeps along +x through an ambient
+/// medium containing a denser bubble; a turbulent mixing zone grows behind
+/// the front.
+float shock_value(const Norm& p, double t, std::uint64_t seed) {
+  // Shock front position sweeps the domain over the run.
+  const double front = 0.05 + 0.95 * t;
+  const double behind = front - p.x;  // > 0 once the shock has passed
+  // Thin bright shell at the front.
+  const double shell = std::exp(-(behind * behind) / (2.0 * 0.015 * 0.015));
+  // Bubble: dense sphere that compresses and drifts once shocked.
+  const double bubble_cx = 0.45 + 0.12 * std::max(0.0, t - 0.35);
+  const double bx = (p.x - bubble_cx) / (1.0 - 0.35 * t);  // compression
+  const double by = p.y - 0.5, bz = p.z - 0.5;
+  const double bd2 = bx * bx + by * by + bz * bz;
+  const double bubble = 0.8 * std::exp(-bd2 / (2.0 * 0.13 * 0.13));
+  // Mixing turbulence grows in the shocked region.
+  double mixing = 0.0;
+  if (behind > 0.0) {
+    const double zone = std::min(1.0, behind / 0.3);
+    mixing = 0.5 * zone *
+             fbm(8.0 * p.x + 2.0 * t, 8.0 * p.y, 8.0 * p.z, 4, seed);
+  }
+  const double ambient = 0.06;
+  return finalize(ambient + 0.85 * shell + bubble + mixing);
+}
+
+}  // namespace
+
+VolumeF generate_box(const DatasetDesc& desc, int step, const Box& box) {
+  if (step < 0 || step >= desc.steps)
+    throw std::out_of_range("generate: step out of range");
+  const double t =
+      desc.steps > 1 ? static_cast<double>(step) / (desc.steps - 1) : 0.0;
+  VolumeF vol(box.dims());
+  for (int z = box.lo[2]; z < box.hi[2]; ++z)
+    for (int y = box.lo[1]; y < box.hi[1]; ++y)
+      for (int x = box.lo[0]; x < box.hi[0]; ++x) {
+        const Norm p = normalize(desc.dims, x, y, z);
+        float v = 0.0f;
+        switch (desc.kind) {
+          case DatasetKind::kTurbulentJet: v = jet_value(p, t, desc.seed); break;
+          case DatasetKind::kTurbulentVortex:
+            v = vortex_value(p, t, desc.seed);
+            break;
+          case DatasetKind::kShockMixing: v = shock_value(p, t, desc.seed); break;
+        }
+        vol.at(x - box.lo[0], y - box.lo[1], z - box.lo[2]) = v;
+      }
+  return vol;
+}
+
+VolumeF generate(const DatasetDesc& desc, int step) {
+  Box whole;
+  whole.hi[0] = desc.dims.nx;
+  whole.hi[1] = desc.dims.ny;
+  whole.hi[2] = desc.dims.nz;
+  return generate_box(desc, step, whole);
+}
+
+}  // namespace tvviz::field

@@ -1,0 +1,55 @@
+// Procedural time-varying scalar fields standing in for the paper's three
+// CFD datasets. Each generator is deterministic in (dims, step, steps, seed)
+// and is parameterized to reproduce the dataset property the paper's
+// experiments depend on:
+//   * turbulent jet   — sparse pixel coverage (compresses very well)
+//   * turbulent vortex— dense coverage (compresses worse; transport-bound)
+//   * shock / mixing  — much larger volume (render-bound)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "field/volume.hpp"
+
+namespace tvviz::field {
+
+enum class DatasetKind { kTurbulentJet, kTurbulentVortex, kShockMixing };
+
+const char* dataset_name(DatasetKind kind) noexcept;
+
+/// Description of a time-varying dataset: the paper's three presets plus
+/// arbitrary custom configurations.
+struct DatasetDesc {
+  DatasetKind kind = DatasetKind::kTurbulentJet;
+  Dims dims;
+  int steps = 1;
+  std::uint64_t seed = 1;
+
+  std::size_t bytes_per_step() const noexcept {
+    return dims.voxels() * sizeof(float);
+  }
+  std::size_t total_bytes() const noexcept {
+    return bytes_per_step() * static_cast<std::size_t>(steps);
+  }
+};
+
+/// Paper presets at full resolution (44 GB mixing set included — callers
+/// normally scale these down with `scaled`).
+DatasetDesc turbulent_jet_desc();    ///< 129 x 129 x 104, 150 steps
+DatasetDesc turbulent_vortex_desc(); ///< 128^3, 100 steps
+DatasetDesc shock_mixing_desc();     ///< 640 x 256 x 256, 265 steps
+
+/// Shrink a dataset description by `factor` along every axis (>= 1) and cap
+/// the number of time steps; preserves the dataset's character.
+DatasetDesc scaled(DatasetDesc desc, int factor, int max_steps);
+
+/// Generate time step `step` (0-based, of `desc.steps`) of the dataset.
+/// Values are normalized to [0, 1].
+VolumeF generate(const DatasetDesc& desc, int step);
+
+/// Generate only `box` of time step `step` — what one render node holds.
+/// at(i,j,k) of the result equals the global voxel at box.lo + (i,j,k).
+VolumeF generate_box(const DatasetDesc& desc, int step, const Box& box);
+
+}  // namespace tvviz::field

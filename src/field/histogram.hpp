@@ -1,0 +1,59 @@
+// Value histograms over volumes: used for transfer-function design and for
+// characterizing dataset density (which drives compression behaviour).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/volume.hpp"
+
+namespace tvviz::field {
+
+class Histogram {
+ public:
+  explicit Histogram(int bins = 64) : counts_(static_cast<std::size_t>(bins), 0) {}
+
+  /// Accumulate all voxels of `vol`; values are clamped into [0, 1].
+  void accumulate(const VolumeF& vol) {
+    for (float v : vol.data()) {
+      const double c = v < 0.f ? 0.0 : (v > 1.f ? 1.0 : static_cast<double>(v));
+      auto bin = static_cast<std::size_t>(c * static_cast<double>(counts_.size()));
+      if (bin >= counts_.size()) bin = counts_.size() - 1;
+      ++counts_[bin];
+      ++total_;
+    }
+  }
+
+  int bins() const noexcept { return static_cast<int>(counts_.size()); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t count(int bin) const { return counts_.at(static_cast<std::size_t>(bin)); }
+
+  /// Fraction of samples at or above value `v` in [0, 1].
+  double fraction_above(double v) const noexcept {
+    if (total_ == 0) return 0.0;
+    const auto first =
+        static_cast<std::size_t>(v * static_cast<double>(counts_.size()));
+    std::size_t n = 0;
+    for (std::size_t b = first; b < counts_.size(); ++b) n += counts_[b];
+    return static_cast<double>(n) / static_cast<double>(total_);
+  }
+
+  /// Value below which fraction `q` in [0,1] of the samples fall.
+  double quantile(double q) const noexcept {
+    if (total_ == 0) return 0.0;
+    const auto target = static_cast<std::size_t>(q * static_cast<double>(total_));
+    std::size_t acc = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      acc += counts_[b];
+      if (acc >= target)
+        return static_cast<double>(b + 1) / static_cast<double>(counts_.size());
+    }
+    return 1.0;
+  }
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tvviz::field

@@ -1,0 +1,53 @@
+#include "field/minmax.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tvviz::field {
+
+MinMaxGrid::MinMaxGrid(const VolumeF& volume, int block_size)
+    : block_(block_size), vol_dims_(volume.dims()) {
+  if (block_size < 2) throw std::invalid_argument("MinMaxGrid: block too small");
+  grid_.nx = (vol_dims_.nx + block_ - 1) / block_;
+  grid_.ny = (vol_dims_.ny + block_ - 1) / block_;
+  grid_.nz = (vol_dims_.nz + block_ - 1) / block_;
+  grid_.nx = std::max(grid_.nx, 1);
+  grid_.ny = std::max(grid_.ny, 1);
+  grid_.nz = std::max(grid_.nz, 1);
+  ranges_.assign(grid_.voxels(), {0.0f, 0.0f});
+
+  for (int bz = 0; bz < grid_.nz; ++bz)
+    for (int by = 0; by < grid_.ny; ++by)
+      for (int bx = 0; bx < grid_.nx; ++bx) {
+        // One-voxel border so samples interpolating across the block edge
+        // are bounded by this block's range too.
+        const int x0 = std::max(0, bx * block_ - 1);
+        const int y0 = std::max(0, by * block_ - 1);
+        const int z0 = std::max(0, bz * block_ - 1);
+        const int x1 = std::min(vol_dims_.nx, (bx + 1) * block_ + 1);
+        const int y1 = std::min(vol_dims_.ny, (by + 1) * block_ + 1);
+        const int z1 = std::min(vol_dims_.nz, (bz + 1) * block_ + 1);
+        float lo = volume.at(x0, y0, z0), hi = lo;
+        for (int z = z0; z < z1; ++z)
+          for (int y = y0; y < y1; ++y)
+            for (int x = x0; x < x1; ++x) {
+              const float v = volume.at(x, y, z);
+              lo = std::min(lo, v);
+              hi = std::max(hi, v);
+            }
+        ranges_[index(bx, by, bz)] = {lo, hi};
+      }
+}
+
+int MinMaxGrid::block_of(double v, int axis) const {
+  const int extent = axis == 0 ? grid_.nx : axis == 1 ? grid_.ny : grid_.nz;
+  int b = static_cast<int>(v) / block_;
+  return std::clamp(b, 0, extent - 1);
+}
+
+std::pair<float, float> MinMaxGrid::range_at(double x, double y,
+                                             double z) const {
+  return ranges_[index(block_of(x, 0), block_of(y, 1), block_of(z, 2))];
+}
+
+}  // namespace tvviz::field

@@ -1,0 +1,65 @@
+#include "field/noise.hpp"
+
+#include <cmath>
+
+namespace tvviz::field {
+
+double lattice_hash(int x, int y, int z, std::uint64_t seed) noexcept {
+  // splitmix64-style avalanche over the packed coordinates.
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) * 0xd6e8feb86659fd93ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(z)) * 0xa0761d6478bd642fULL;
+  h ^= h >> 31;
+  h *= 0x2545f4914f6cdd1dULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+namespace {
+constexpr double smooth(double t) noexcept { return t * t * (3.0 - 2.0 * t); }
+}  // namespace
+
+double value_noise(double x, double y, double z, std::uint64_t seed) noexcept {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const int z0 = static_cast<int>(std::floor(z));
+  const double fx = smooth(x - x0);
+  const double fy = smooth(y - y0);
+  const double fz = smooth(z - z0);
+
+  double c[2][2][2];
+  for (int dz = 0; dz <= 1; ++dz)
+    for (int dy = 0; dy <= 1; ++dy)
+      for (int dx = 0; dx <= 1; ++dx)
+        c[dz][dy][dx] = lattice_hash(x0 + dx, y0 + dy, z0 + dz, seed);
+
+  const double x00 = c[0][0][0] + (c[0][0][1] - c[0][0][0]) * fx;
+  const double x01 = c[0][1][0] + (c[0][1][1] - c[0][1][0]) * fx;
+  const double x10 = c[1][0][0] + (c[1][0][1] - c[1][0][0]) * fx;
+  const double x11 = c[1][1][0] + (c[1][1][1] - c[1][1][0]) * fx;
+  const double y0v = x00 + (x01 - x00) * fy;
+  const double y1v = x10 + (x11 - x10) * fy;
+  return y0v + (y1v - y0v) * fz;
+}
+
+double fbm(double x, double y, double z, int octaves,
+           std::uint64_t seed) noexcept {
+  double sum = 0.0;
+  double amplitude = 0.5;
+  double total = 0.0;
+  double fx = x, fy = y, fz = z;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amplitude * value_noise(fx, fy, fz, seed + static_cast<std::uint64_t>(o));
+    total += amplitude;
+    amplitude *= 0.5;
+    fx *= 2.0;
+    fy *= 2.0;
+    fz *= 2.0;
+  }
+  return total > 0.0 ? sum / total : 0.0;
+}
+
+}  // namespace tvviz::field

@@ -1,0 +1,21 @@
+// Lattice value noise and fractional Brownian motion used by the procedural
+// dataset generators. Deterministic in (coordinates, seed) so every run and
+// every rank regenerates identical data.
+#pragma once
+
+#include <cstdint>
+
+namespace tvviz::field {
+
+/// Hash of an integer lattice point to [0, 1).
+double lattice_hash(int x, int y, int z, std::uint64_t seed) noexcept;
+
+/// Smooth trilinear value noise at a continuous point, in [0, 1).
+double value_noise(double x, double y, double z, std::uint64_t seed) noexcept;
+
+/// Fractional Brownian motion: `octaves` layers of value noise with
+/// per-octave frequency doubling and amplitude halving. Output in [0, 1).
+double fbm(double x, double y, double z, int octaves,
+           std::uint64_t seed) noexcept;
+
+}  // namespace tvviz::field

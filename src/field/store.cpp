@@ -1,0 +1,115 @@
+#include "field/store.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tvviz::field {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54565631;  // "TVV1"
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t nx, ny, nz;
+};
+static_assert(sizeof(Header) == 16);
+}  // namespace
+
+VolumeStore::VolumeStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path VolumeStore::path_for(int step) const {
+  return dir_ / ("step_" + std::to_string(step) + ".vol");
+}
+
+bool VolumeStore::has(int step) const {
+  return std::filesystem::exists(path_for(step));
+}
+
+void VolumeStore::write(int step, const VolumeF& volume) const {
+  // Write to a temporary and rename: readers polling for new steps (the
+  // run-time tracking scenario) never observe a half-written file.
+  const auto final_path = path_for(step);
+  const auto tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("VolumeStore: cannot open for write");
+    const Header h{kMagic, static_cast<std::uint32_t>(volume.dims().nx),
+                   static_cast<std::uint32_t>(volume.dims().ny),
+                   static_cast<std::uint32_t>(volume.dims().nz)};
+    out.write(reinterpret_cast<const char*>(&h), sizeof h);
+    out.write(reinterpret_cast<const char*>(volume.data().data()),
+              static_cast<std::streamsize>(volume.bytes()));
+    if (!out) throw std::runtime_error("VolumeStore: write failed");
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+namespace {
+Header read_header(std::ifstream& in, const std::filesystem::path& path) {
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!in || h.magic != kMagic)
+    throw std::runtime_error("VolumeStore: bad header in " + path.string());
+  return h;
+}
+}  // namespace
+
+VolumeF VolumeStore::read(int step) const {
+  const auto path = path_for(step);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("VolumeStore: missing " + path.string());
+  const Header h = read_header(in, path);
+  VolumeF vol(Dims{static_cast<int>(h.nx), static_cast<int>(h.ny),
+                   static_cast<int>(h.nz)});
+  in.read(reinterpret_cast<char*>(vol.data().data()),
+          static_cast<std::streamsize>(vol.bytes()));
+  if (!in) throw std::runtime_error("VolumeStore: truncated " + path.string());
+  return vol;
+}
+
+VolumeF VolumeStore::read_box(int step, const Box& box) const {
+  const auto path = path_for(step);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("VolumeStore: missing " + path.string());
+  const Header h = read_header(in, path);
+  const Dims dims{static_cast<int>(h.nx), static_cast<int>(h.ny),
+                  static_cast<int>(h.nz)};
+  if (box.hi[0] > dims.nx || box.hi[1] > dims.ny || box.hi[2] > dims.nz ||
+      box.lo[0] < 0 || box.lo[1] < 0 || box.lo[2] < 0)
+    throw std::out_of_range("VolumeStore: box outside stored volume");
+
+  VolumeF vol(box.dims());
+  const int run = box.hi[0] - box.lo[0];
+  std::vector<float> row(static_cast<std::size_t>(run));
+  for (int z = box.lo[2]; z < box.hi[2]; ++z) {
+    for (int y = box.lo[1]; y < box.hi[1]; ++y) {
+      const std::size_t voxel_index =
+          (static_cast<std::size_t>(z) * dims.ny + static_cast<std::size_t>(y)) *
+              dims.nx +
+          static_cast<std::size_t>(box.lo[0]);
+      in.seekg(static_cast<std::streamoff>(sizeof(Header) +
+                                           voxel_index * sizeof(float)));
+      in.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+      if (!in) throw std::runtime_error("VolumeStore: truncated " + path.string());
+      for (int x = 0; x < run; ++x)
+        vol.at(x, y - box.lo[1], z - box.lo[2]) = row[static_cast<std::size_t>(x)];
+    }
+  }
+  return vol;
+}
+
+std::size_t VolumeStore::materialize(const DatasetDesc& desc) const {
+  std::size_t total = 0;
+  for (int step = 0; step < desc.steps; ++step) {
+    const VolumeF vol = generate(desc, step);
+    write(step, vol);
+    total += vol.bytes() + sizeof(Header);
+  }
+  return total;
+}
+
+}  // namespace tvviz::field

@@ -1,0 +1,52 @@
+// On-disk time-step store (the mass-storage device of the paper's scenario)
+// plus an analytic disk model for the data-input pipeline stage.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "field/generators.hpp"
+#include "field/volume.hpp"
+
+namespace tvviz::field {
+
+/// Sequential-disk cost model: the time to read `bytes` contiguous bytes.
+/// Defaults approximate a late-1990s workstation disk over NFS/fast LAN,
+/// the paper's "no parallel I/O" environment.
+struct DiskModel {
+  double seek_seconds = 0.012;        ///< Per-request positioning cost.
+  double bandwidth_bytes_per_s = 25e6;  ///< Sustained sequential bandwidth.
+
+  double read_seconds(std::size_t bytes) const noexcept {
+    return seek_seconds + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+/// Writes and reads time-step volumes as raw little-endian f32 files with a
+/// small header, one file per step: <dir>/step_<k>.vol
+class VolumeStore {
+ public:
+  explicit VolumeStore(std::filesystem::path dir);
+
+  /// Persist one time step. Overwrites any existing file for `step`.
+  void write(int step, const VolumeF& volume) const;
+
+  /// Load a whole time step. Throws std::runtime_error on missing/corrupt file.
+  VolumeF read(int step) const;
+
+  /// Load only `box` of a time step (reads just the needed scanlines).
+  VolumeF read_box(int step, const Box& box) const;
+
+  /// Materialize `desc` to disk (all steps). Returns total bytes written.
+  std::size_t materialize(const DatasetDesc& desc) const;
+
+  bool has(int step) const;
+  std::filesystem::path path_for(int step) const;
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace tvviz::field

@@ -1,0 +1,59 @@
+// Striped (parallel) volume storage — the §7.1 future-work item: "Parallel
+// I/O, if available, can be incorporated into the pipeline rendering
+// process quite straightforwardly, and would improve the overall system
+// performance."
+//
+// Each time step is striped round-robin by z-slab across K independent
+// stores (modelling K I/O servers / disks, à la MPI-2 file views). A
+// rank's subvolume read touches only the stripes covering its slabs, so K
+// readers proceed concurrently with no shared sequential channel.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "field/store.hpp"
+
+namespace tvviz::field {
+
+class StripedVolumeStore {
+ public:
+  /// `stripes` independent stores under <dir>/stripe_<k>; `slab_height`
+  /// voxels of z per stripe unit.
+  StripedVolumeStore(std::filesystem::path dir, int stripes,
+                     int slab_height = 8);
+
+  int stripes() const noexcept { return static_cast<int>(stores_.size()); }
+  int slab_height() const noexcept { return slab_; }
+
+  /// Stripe that stores the slab unit containing global z.
+  int stripe_of(int z) const noexcept { return (z / slab_) % stripes(); }
+
+  /// Persist one time step across the stripes.
+  void write(int step, const VolumeF& volume);
+
+  /// Load a whole time step (gathers every stripe).
+  VolumeF read(int step) const;
+
+  /// Load only `box` of a time step, touching only the stripes that hold
+  /// the covered slab units.
+  VolumeF read_box(int step, const Box& box) const;
+
+  /// Materialize a dataset (all steps). Returns total bytes written.
+  std::size_t materialize(const DatasetDesc& desc);
+
+  bool has(int step) const;
+
+ private:
+  /// Per-stripe slab file: stripe k, step s holds the concatenation of its
+  /// slab units in ascending z, each tagged with its z origin.
+  std::filesystem::path path_for(int stripe, int step) const;
+
+  std::filesystem::path dir_;
+  int slab_;
+  std::vector<std::filesystem::path> stores_;
+  // Cached per-step dims (from stripe 0's header).
+  Dims read_dims(int step) const;
+};
+
+}  // namespace tvviz::field

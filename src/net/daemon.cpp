@@ -1,0 +1,98 @@
+#include "net/daemon.hpp"
+
+#include <chrono>
+
+namespace tvviz::net {
+
+void DisplayDaemon::RendererPort::send(NetMessage msg) {
+  daemon_->inbox_.push(Inbound{false, std::move(msg), {}});
+}
+
+std::optional<ControlEvent> DisplayDaemon::RendererPort::poll_control() {
+  return control_.try_pop();
+}
+
+std::optional<NetMessage> DisplayDaemon::DisplayPort::next() {
+  return frames_.pop();
+}
+
+void DisplayDaemon::DisplayPort::send_control(const ControlEvent& event) {
+  daemon_->inbox_.push(Inbound{true, {}, event});
+}
+
+DisplayDaemon::DisplayDaemon(std::size_t display_buffer_frames)
+    : display_buffer_frames_(display_buffer_frames),
+      relay_thread_([this] { relay_loop(); }) {}
+
+DisplayDaemon::~DisplayDaemon() {
+  shutdown();
+  if (relay_thread_.joinable()) relay_thread_.join();
+}
+
+std::shared_ptr<DisplayDaemon::RendererPort> DisplayDaemon::connect_renderer() {
+  std::lock_guard lock(ports_mutex_);
+  auto port = std::shared_ptr<RendererPort>(new RendererPort(this));
+  renderers_.push_back(port);
+  return port;
+}
+
+std::shared_ptr<DisplayDaemon::DisplayPort> DisplayDaemon::connect_display() {
+  std::lock_guard lock(ports_mutex_);
+  auto port = std::shared_ptr<DisplayPort>(
+      new DisplayPort(this, display_buffer_frames_));
+  displays_.push_back(port);
+  return port;
+}
+
+void DisplayDaemon::set_wan_throttle(LinkModel link, double time_scale) {
+  std::lock_guard lock(ports_mutex_);
+  throttle_link_ = link;
+  throttle_scale_ = time_scale;
+}
+
+void DisplayDaemon::shutdown() {
+  if (!running_.exchange(false)) return;
+  inbox_.close();
+  std::lock_guard lock(ports_mutex_);
+  for (auto& d : displays_) d->frames_.close();
+  for (auto& r : renderers_) r->control_.close();
+}
+
+void DisplayDaemon::broadcast_control(const ControlEvent& event) {
+  std::lock_guard lock(ports_mutex_);
+  for (auto& r : renderers_) r->control_.push(event);
+}
+
+void DisplayDaemon::relay_loop() {
+  for (;;) {
+    auto item = inbox_.pop();
+    if (!item) return;  // shut down
+    if (item->is_control) {
+      broadcast_control(item->control);
+      continue;
+    }
+    NetMessage& msg = item->msg;
+    const std::size_t wire = msg.wire_size();
+
+    double throttle_s = 0.0;
+    std::vector<std::shared_ptr<DisplayPort>> displays;
+    {
+      std::lock_guard lock(ports_mutex_);
+      displays = displays_;
+      if (throttle_scale_ > 0.0)
+        throttle_s = throttle_link_.transfer_seconds(wire) * throttle_scale_;
+    }
+    if (throttle_s > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(throttle_s));
+
+    frames_relayed_.fetch_add(msg.type == MsgType::kFrame ||
+                                      (msg.type == MsgType::kSubImage &&
+                                       msg.piece == msg.piece_count - 1)
+                                  ? 1
+                                  : 0);
+    bytes_relayed_.fetch_add(wire);
+    for (auto& d : displays) d->frames_.push(msg);
+  }
+}
+
+}  // namespace tvviz::net

@@ -1,0 +1,106 @@
+// The display daemon and its two interfaces (§4.1). The daemon decouples the
+// parallel renderer from the display: it accepts any number of renderer and
+// display connections, relays (compressed) frames forward, and carries user
+// control events ("remote callbacks") back to every renderer interface.
+//
+// This is an in-process implementation: connections are queue pairs and the
+// daemon is a relay thread. The WAN hop daemon -> display can optionally be
+// throttled against a LinkModel so interactive examples feel the network.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/protocol.hpp"
+#include "net/queue.hpp"
+
+namespace tvviz::net {
+
+class DisplayDaemon {
+ public:
+  /// Renderer-side connection: the renderer interface of §4.1.
+  class RendererPort {
+   public:
+    /// Ship a frame or sub-image toward the display(s).
+    void send(NetMessage msg);
+
+    /// Buffered user-control events, oldest first (applied between frames).
+    std::optional<ControlEvent> poll_control();
+
+   private:
+    friend class DisplayDaemon;
+    explicit RendererPort(DisplayDaemon* daemon) : daemon_(daemon) {}
+    DisplayDaemon* daemon_;
+    BlockingQueue<ControlEvent> control_{1024};
+  };
+
+  /// Display-side connection: the display interface of §4.1.
+  class DisplayPort {
+   public:
+    /// Next relayed message; blocks. std::nullopt after daemon shutdown.
+    std::optional<NetMessage> next();
+
+    /// Non-blocking variant.
+    std::optional<NetMessage> try_next() { return frames_.try_pop(); }
+
+    /// Send a user-control event toward every renderer interface.
+    void send_control(const ControlEvent& event);
+
+    std::size_t buffered() const { return frames_.size(); }
+
+   private:
+    friend class DisplayDaemon;
+    DisplayPort(DisplayDaemon* daemon, std::size_t buffer_frames)
+        : daemon_(daemon), frames_(buffer_frames) {}
+    DisplayDaemon* daemon_;
+    BlockingQueue<NetMessage> frames_;
+  };
+
+  /// `display_buffer_frames` bounds each display port's image buffer (§6).
+  explicit DisplayDaemon(std::size_t display_buffer_frames = 8);
+  ~DisplayDaemon();
+
+  DisplayDaemon(const DisplayDaemon&) = delete;
+  DisplayDaemon& operator=(const DisplayDaemon&) = delete;
+
+  std::shared_ptr<RendererPort> connect_renderer();
+  std::shared_ptr<DisplayPort> connect_display();
+
+  /// Throttle daemon->display forwarding against `link`, with virtual time
+  /// scaled by `time_scale` (0 disables; 0.1 = 10x faster than real).
+  void set_wan_throttle(LinkModel link, double time_scale);
+
+  /// Orderly shutdown: stop relaying, wake all blocked endpoints.
+  void shutdown();
+
+  std::uint64_t frames_relayed() const noexcept { return frames_relayed_.load(); }
+  std::uint64_t bytes_relayed() const noexcept { return bytes_relayed_.load(); }
+
+ private:
+  void relay_loop();
+  void broadcast_control(const ControlEvent& event);
+
+  struct Inbound {
+    bool is_control = false;
+    NetMessage msg;
+    ControlEvent control;
+  };
+
+  BlockingQueue<Inbound> inbox_{4096};
+  std::mutex ports_mutex_;
+  std::vector<std::shared_ptr<RendererPort>> renderers_;
+  std::vector<std::shared_ptr<DisplayPort>> displays_;
+  std::size_t display_buffer_frames_;
+  LinkModel throttle_link_{};
+  double throttle_scale_ = 0.0;
+  std::atomic<std::uint64_t> frames_relayed_{0};
+  std::atomic<std::uint64_t> bytes_relayed_{0};
+  std::atomic<bool> running_{true};
+  std::thread relay_thread_;
+};
+
+}  // namespace tvviz::net

@@ -1,0 +1,31 @@
+#include "net/protocol.hpp"
+
+namespace tvviz::net {
+
+util::Bytes serialize_message(const NetMessage& msg) {
+  util::ByteWriter w(msg.payload.size() + msg.codec.size() + 24);
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  w.u32(static_cast<std::uint32_t>(msg.frame_index));
+  w.u32(static_cast<std::uint32_t>(msg.piece));
+  w.u32(static_cast<std::uint32_t>(msg.piece_count));
+  w.str(msg.codec);
+  w.varint(msg.payload.size());
+  w.raw(msg.payload);
+  return w.take();
+}
+
+NetMessage deserialize_message(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  NetMessage msg;
+  msg.type = static_cast<MsgType>(r.u8());
+  msg.frame_index = static_cast<std::int32_t>(r.u32());
+  msg.piece = static_cast<std::int32_t>(r.u32());
+  msg.piece_count = static_cast<std::int32_t>(r.u32());
+  msg.codec = r.str();
+  const std::size_t len = r.varint();
+  const auto s = r.raw(len);
+  msg.payload.assign(s.begin(), s.end());
+  return msg;
+}
+
+}  // namespace tvviz::net

@@ -1,0 +1,78 @@
+// Wire protocol of the image-transport framework (§4.1): frames and
+// sub-images flow renderer -> daemon -> display; control events ("remote
+// callbacks") flow display -> daemon -> every renderer interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace tvviz::net {
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,        ///< Endpoint registration (payload: role string).
+  kFrame = 1,        ///< Complete compressed frame for one time step.
+  kSubImage = 2,     ///< One compressed sub-image piece (parallel compression).
+  kControl = 3,      ///< User-control event toward the renderer.
+  kShutdown = 4,     ///< Orderly teardown.
+};
+
+/// User-control events the display client can send (§5). They are buffered
+/// by the renderer and applied to the *next* frame; in-flight rendering is
+/// never interrupted.
+enum class ControlKind : std::uint8_t {
+  kSetView = 0,       ///< New azimuth/elevation (radians) and zoom.
+  kSetColorMap = 1,   ///< Switch transfer-function preset by name.
+  kSetCodec = 2,      ///< Switch compression method by name.
+  kStart = 3,
+  kStop = 4,
+};
+
+struct ControlEvent {
+  ControlKind kind = ControlKind::kStart;
+  double azimuth = 0.0, elevation = 0.0, zoom = 1.0;
+  std::string name;  ///< Colormap or codec name.
+
+  util::Bytes serialize() const {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.f64(azimuth);
+    w.f64(elevation);
+    w.f64(zoom);
+    w.str(name);
+    return w.take();
+  }
+
+  static ControlEvent deserialize(std::span<const std::uint8_t> data) {
+    util::ByteReader r(data);
+    ControlEvent e;
+    e.kind = static_cast<ControlKind>(r.u8());
+    e.azimuth = r.f64();
+    e.elevation = r.f64();
+    e.zoom = r.f64();
+    e.name = r.str();
+    return e;
+  }
+};
+
+/// Framed daemon message.
+struct NetMessage {
+  MsgType type = MsgType::kHello;
+  std::int32_t frame_index = -1;  ///< Time step for kFrame/kSubImage.
+  std::int32_t piece = 0;         ///< Sub-image index within the frame.
+  std::int32_t piece_count = 1;   ///< Total sub-images for this frame.
+  std::string codec;              ///< Codec name the payload was encoded with.
+  util::Bytes payload;
+
+  std::size_t wire_size() const noexcept {
+    // Framing overhead: type + indices + codec-name + length prefix.
+    return payload.size() + 16 + codec.size();
+  }
+};
+
+/// Flat wire encoding of a NetMessage (the TCP transport's frame body).
+util::Bytes serialize_message(const NetMessage& msg);
+NetMessage deserialize_message(std::span<const std::uint8_t> data);
+
+}  // namespace tvviz::net

@@ -1,0 +1,265 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tvviz::net {
+
+namespace {
+sockaddr_in loopback(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return addr;
+}
+
+NetMessage hello(const char* role) {
+  NetMessage msg;
+  msg.type = MsgType::kHello;
+  msg.codec = role;
+  return msg;
+}
+}  // namespace
+
+// ------------------------------------------------------- TcpConnection ----
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpConnection> TcpConnection::connect_local(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("tcp: socket() failed");
+  const sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("tcp: connect to 127.0.0.1:" +
+                             std::to_string(port) + " failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<TcpConnection>(fd);
+}
+
+void TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n <= 0) throw std::runtime_error("tcp: send failed");
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n == 0) return false;  // orderly close
+    if (n < 0) return false;   // error/shutdown: treat as closed
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpConnection::send_message(const NetMessage& msg) {
+  const util::Bytes body = serialize_message(msg);
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(body.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  write_all(header, 4);
+  write_all(body.data(), body.size());
+}
+
+std::optional<NetMessage> TcpConnection::recv_message() {
+  std::uint8_t header[4];
+  if (!read_all(header, 4)) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > (1u << 30)) throw std::runtime_error("tcp: absurd frame length");
+  util::Bytes body(len);
+  if (!read_all(body.data(), body.size())) return std::nullopt;
+  return deserialize_message(body);
+}
+
+void TcpConnection::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ------------------------------------------------------ TcpDaemonServer ----
+
+TcpDaemonServer::TcpDaemonServer(int port, std::size_t display_buffer_frames)
+    : daemon_(display_buffer_frames) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("tcp: bind failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("tcp: listen failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpDaemonServer::~TcpDaemonServer() { shutdown(); }
+
+void TcpDaemonServer::shutdown() {
+  if (!running_.exchange(false)) return;
+  // Closing the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  daemon_.shutdown();
+  {
+    std::lock_guard lock(threads_mutex_);
+    for (auto& c : connections_) c->shutdown();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(threads_mutex_);
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+void TcpDaemonServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed
+    auto conn = std::make_shared<TcpConnection>(fd);
+    // Role handshake.
+    auto first = conn->recv_message();
+    if (!first || first->type != MsgType::kHello) continue;  // drop
+    std::lock_guard lock(threads_mutex_);
+    connections_.push_back(conn);
+    if (first->codec == "renderer")
+      workers_.emplace_back([this, conn] { serve_renderer(conn); });
+    else if (first->codec == "display")
+      workers_.emplace_back([this, conn] { serve_display(conn); });
+  }
+}
+
+void TcpDaemonServer::serve_renderer(std::shared_ptr<TcpConnection> conn) {
+  auto port = daemon_.connect_renderer();
+  // Writer: forward buffered control events toward the renderer.
+  std::atomic<bool> reading{true};
+  std::thread writer([&] {
+    while (reading.load() && running_.load()) {
+      bool sent = false;
+      while (auto event = port->poll_control()) {
+        NetMessage msg;
+        msg.type = MsgType::kControl;
+        msg.payload = event->serialize();
+        try {
+          conn->send_message(msg);
+        } catch (const std::exception&) {
+          return;
+        }
+        sent = true;
+      }
+      if (!sent)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Reader: frames from the renderer into the daemon.
+  while (running_.load()) {
+    auto msg = conn->recv_message();
+    if (!msg) break;
+    port->send(std::move(*msg));
+  }
+  reading.store(false);
+  writer.join();
+}
+
+void TcpDaemonServer::serve_display(std::shared_ptr<TcpConnection> conn) {
+  auto port = daemon_.connect_display();
+  // Reader: control events from the display client.
+  std::thread reader([&] {
+    while (running_.load()) {
+      auto msg = conn->recv_message();
+      if (!msg) return;
+      if (msg->type == MsgType::kControl)
+        port->send_control(ControlEvent::deserialize(msg->payload));
+    }
+  });
+  // Writer: relay frames to the display client.
+  while (running_.load()) {
+    auto msg = port->next();
+    if (!msg) break;  // daemon shut down
+    try {
+      conn->send_message(*msg);
+    } catch (const std::exception&) {
+      break;
+    }
+  }
+  conn->shutdown();  // unblock the reader
+  reader.join();
+}
+
+// ------------------------------------------------------ client endpoints ----
+
+TcpRendererLink::TcpRendererLink(int port)
+    : conn_(TcpConnection::connect_local(port)) {
+  conn_->send_message(hello("renderer"));
+  reader_ = std::thread([this] {
+    while (true) {
+      auto msg = conn_->recv_message();
+      if (!msg) return;
+      if (msg->type != MsgType::kControl) continue;
+      std::lock_guard lock(mutex_);
+      pending_.push_back(ControlEvent::deserialize(msg->payload));
+    }
+  });
+}
+
+std::optional<ControlEvent> TcpRendererLink::poll_control() {
+  std::lock_guard lock(mutex_);
+  if (pending_.empty()) return std::nullopt;
+  ControlEvent event = pending_.front();
+  pending_.erase(pending_.begin());
+  return event;
+}
+
+void TcpRendererLink::close() {
+  if (conn_) conn_->shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+TcpRendererLink::~TcpRendererLink() { close(); }
+
+TcpDisplayLink::TcpDisplayLink(int port)
+    : conn_(TcpConnection::connect_local(port)) {
+  conn_->send_message(hello("display"));
+}
+
+void TcpDisplayLink::send_control(const ControlEvent& event) {
+  NetMessage msg;
+  msg.type = MsgType::kControl;
+  msg.payload = event.serialize();
+  conn_->send_message(msg);
+}
+
+void TcpDisplayLink::close() {
+  if (conn_) conn_->shutdown();
+}
+
+TcpDisplayLink::~TcpDisplayLink() { close(); }
+
+}  // namespace tvviz::net

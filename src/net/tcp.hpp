@@ -1,0 +1,120 @@
+// Real TCP transport for the §4.1 framework: the display daemon served
+// over sockets, with renderer and display endpoints connecting from other
+// processes (or machines). This is what an actual deployment of the
+// paper's system uses; the in-process DisplayDaemon remains the transport
+// for single-process sessions and tests.
+//
+// Wire protocol: each frame is [u32 little-endian length][NetMessage body
+// per serialize_message]. The first message on every connection must be a
+// kHello whose codec field carries the role: "renderer" or "display".
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/daemon.hpp"
+#include "net/protocol.hpp"
+
+namespace tvviz::net {
+
+/// Blocking, length-framed message socket (RAII over the fd).
+class TcpConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
+  static std::unique_ptr<TcpConnection> connect_local(int port);
+
+  /// Send one framed message (full write; throws on error).
+  void send_message(const NetMessage& msg);
+
+  /// Receive one framed message. std::nullopt on orderly peer close.
+  std::optional<NetMessage> recv_message();
+
+  /// Shut down both directions (unblocks a reader in another thread).
+  void shutdown();
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t len);
+  bool read_all(std::uint8_t* data, std::size_t len);
+
+  int fd_;
+};
+
+/// The display daemon behind a listening socket. Accepts any number of
+/// renderer and display connections (§4.1) and bridges them onto an
+/// in-process DisplayDaemon.
+class TcpDaemonServer {
+ public:
+  /// Listen on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  explicit TcpDaemonServer(int port = 0, std::size_t display_buffer_frames = 8);
+  ~TcpDaemonServer();
+
+  int port() const noexcept { return port_; }
+  DisplayDaemon& daemon() noexcept { return daemon_; }
+
+  /// Stop accepting, close every connection, join all threads.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void serve_renderer(std::shared_ptr<TcpConnection> conn);
+  void serve_display(std::shared_ptr<TcpConnection> conn);
+
+  DisplayDaemon daemon_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<TcpConnection>> connections_;
+};
+
+/// Renderer-side endpoint over TCP: send frames, poll control events.
+class TcpRendererLink {
+ public:
+  explicit TcpRendererLink(int port);
+
+  void send(const NetMessage& msg) { conn_->send_message(msg); }
+
+  /// Non-blocking-ish control poll: events the daemon pushed since the
+  /// last call (drained by a background reader thread).
+  std::optional<ControlEvent> poll_control();
+
+  void close();
+  ~TcpRendererLink();
+
+ private:
+  std::unique_ptr<TcpConnection> conn_;
+  std::thread reader_;
+  std::mutex mutex_;
+  std::vector<ControlEvent> pending_;
+};
+
+/// Display-side endpoint over TCP.
+class TcpDisplayLink {
+ public:
+  explicit TcpDisplayLink(int port);
+
+  /// Blocking receive; std::nullopt when the daemon closes.
+  std::optional<NetMessage> next() { return conn_->recv_message(); }
+
+  void send_control(const ControlEvent& event);
+
+  void close();
+  ~TcpDisplayLink();
+
+ private:
+  std::unique_ptr<TcpConnection> conn_;
+};
+
+}  // namespace tvviz::net

@@ -1,0 +1,101 @@
+#include "render/ibr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tvviz::render {
+
+namespace {
+constexpr double kTau = 6.283185307179586;
+}
+
+ViewSet ViewSet::capture(const field::VolumeF& volume,
+                         const TransferFunction& tf, int views, int size,
+                         double elevation, double zoom,
+                         const RayCaster& caster) {
+  if (views < 2) throw std::invalid_argument("ViewSet: need >= 2 views");
+  ViewSet set;
+  set.size_ = size;
+  set.elevation_ = elevation;
+  set.zoom_ = zoom;
+  set.images_.reserve(static_cast<std::size_t>(views));
+  Subvolume sub = Subvolume::whole(volume);
+  sub.attach_skipper(tf);
+  for (int v = 0; v < views; ++v) {
+    const double azimuth = kTau * v / views;
+    const Camera camera(size, size, azimuth, elevation, zoom);
+    const PartialImage part = caster.render(sub, volume.dims(), camera, tf);
+    Image frame(size, size);
+    part.splat_to(frame);
+    set.images_.push_back(std::move(frame));
+  }
+  return set;
+}
+
+double ViewSet::azimuth_of(int index) const {
+  return kTau * index / view_count();
+}
+
+Image ViewSet::reconstruct(double azimuth) const {
+  const int n = view_count();
+  double a = std::fmod(azimuth, kTau);
+  if (a < 0) a += kTau;
+  const double slot = a / kTau * n;
+  const int lo = static_cast<int>(slot) % n;
+  const int hi = (lo + 1) % n;
+  const double w = slot - std::floor(slot);
+
+  const Image& left = images_[static_cast<std::size_t>(lo)];
+  const Image& right = images_[static_cast<std::size_t>(hi)];
+  Image out(size_, size_);
+  for (int y = 0; y < size_; ++y)
+    for (int x = 0; x < size_; ++x) {
+      const auto* pl = left.pixel(x, y);
+      const auto* pr = right.pixel(x, y);
+      std::uint8_t rgba[4];
+      for (int c = 0; c < 4; ++c)
+        rgba[c] = static_cast<std::uint8_t>((1.0 - w) * pl[c] + w * pr[c] + 0.5);
+      out.set(x, y, rgba[0], rgba[1], rgba[2], rgba[3]);
+    }
+  return out;
+}
+
+util::Bytes ViewSet::serialize(const codec::ImageCodec& codec) const {
+  util::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(view_count()));
+  out.u32(static_cast<std::uint32_t>(size_));
+  out.f64(elevation_);
+  out.f64(zoom_);
+  out.str(codec.name());
+  for (const auto& img : images_) {
+    const auto packed = codec.encode(img);
+    out.varint(packed.size());
+    out.raw(packed);
+  }
+  return out.take();
+}
+
+ViewSet ViewSet::deserialize(std::span<const std::uint8_t> data,
+                             const codec::ImageCodec& codec) {
+  util::ByteReader in(data);
+  ViewSet set;
+  const int views = static_cast<int>(in.u32());
+  set.size_ = static_cast<int>(in.u32());
+  set.elevation_ = in.f64();
+  set.zoom_ = in.f64();
+  const std::string codec_name = in.str();
+  if (codec_name != codec.name())
+    throw std::runtime_error("ViewSet: encoded with codec " + codec_name);
+  set.images_.reserve(static_cast<std::size_t>(views));
+  for (int v = 0; v < views; ++v) {
+    const std::size_t len = in.varint();
+    set.images_.push_back(codec.decode(in.raw(len)));
+  }
+  return set;
+}
+
+std::size_t ViewSet::wire_bytes(const codec::ImageCodec& codec) const {
+  return serialize(codec).size();
+}
+
+}  // namespace tvviz::render

@@ -1,0 +1,55 @@
+// Image-based remote viewing (§7.1, after Bethel's Visapult): instead of
+// shipping one frame per time step, the server renders a *set* of views of
+// a time step, ships it compressed, and the client reconstructs arbitrary
+// nearby viewpoints from the set with its own (cheap) graphics — no server
+// round-trip per mouse move.
+//
+// The reconstruction here is angular blending between the two nearest
+// captured azimuths — the simplest member of the IBR family, enough to
+// exercise the protocol and the bandwidth trade-off.
+#pragma once
+
+#include <vector>
+
+#include "codec/image_codec.hpp"
+#include "field/volume.hpp"
+#include "render/raycast.hpp"
+
+namespace tvviz::render {
+
+class ViewSet {
+ public:
+  /// Server side: render `views` key images evenly spaced in azimuth
+  /// [0, 2*pi) at the given elevation/zoom.
+  static ViewSet capture(const field::VolumeF& volume,
+                         const TransferFunction& tf, int views, int size,
+                         double elevation = 0.35, double zoom = 1.0,
+                         const RayCaster& caster = RayCaster());
+
+  int view_count() const noexcept { return static_cast<int>(images_.size()); }
+  int size() const noexcept { return size_; }
+  double elevation() const noexcept { return elevation_; }
+  const Image& view(int index) const { return images_.at(static_cast<std::size_t>(index)); }
+  double azimuth_of(int index) const;
+
+  /// Client side: reconstruct the view at `azimuth` by blending the two
+  /// nearest key images (wrap-around aware).
+  Image reconstruct(double azimuth) const;
+
+  /// Ship the whole set through an image codec (what crosses the WAN).
+  util::Bytes serialize(const codec::ImageCodec& codec) const;
+  static ViewSet deserialize(std::span<const std::uint8_t> data,
+                             const codec::ImageCodec& codec);
+
+  /// Total compressed wire size via `codec`.
+  std::size_t wire_bytes(const codec::ImageCodec& codec) const;
+
+ private:
+  ViewSet() = default;
+  int size_ = 0;
+  double elevation_ = 0.0;
+  double zoom_ = 1.0;
+  std::vector<Image> images_;
+};
+
+}  // namespace tvviz::render

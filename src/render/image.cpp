@@ -1,0 +1,193 @@
+#include "render/image.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace tvviz::render {
+
+void Image::write_ppm(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Image: cannot open " + path.string());
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x) {
+      const auto* p = pixel(x, y);
+      out.put(static_cast<char>(p[0]));
+      out.put(static_cast<char>(p[1]));
+      out.put(static_cast<char>(p[2]));
+    }
+  if (!out) throw std::runtime_error("Image: write failed " + path.string());
+}
+
+Image Image::read_ppm(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Image: cannot open " + path.string());
+  // Header tokens separated by whitespace; '#' starts a comment line.
+  const auto next_token = [&in, &path]() -> std::string {
+    std::string token;
+    for (;;) {
+      const int c = in.get();
+      if (c == EOF)
+        throw std::runtime_error("Image: truncated PPM header " + path.string());
+      if (c == '#') {
+        while (in.good() && in.get() != '\n') {
+        }
+        continue;
+      }
+      if (std::isspace(c)) {
+        if (!token.empty()) return token;
+        continue;
+      }
+      token.push_back(static_cast<char>(c));
+    }
+  };
+  if (next_token() != "P6")
+    throw std::runtime_error("Image: not a binary PPM: " + path.string());
+  const int width = std::stoi(next_token());
+  const int height = std::stoi(next_token());
+  const int maxval = std::stoi(next_token());
+  if (width <= 0 || height <= 0 || maxval != 255)
+    throw std::runtime_error("Image: unsupported PPM geometry " + path.string());
+  // Exactly one whitespace byte separates the header from the raster; the
+  // token reader has already consumed it.
+  Image img(width, height);
+  std::vector<char> row(static_cast<std::size_t>(width) * 3);
+  for (int y = 0; y < height; ++y) {
+    in.read(row.data(), static_cast<std::streamsize>(row.size()));
+    if (!in) throw std::runtime_error("Image: truncated PPM " + path.string());
+    for (int x = 0; x < width; ++x)
+      img.set(x, y, static_cast<std::uint8_t>(row[x * 3]),
+              static_cast<std::uint8_t>(row[x * 3 + 1]),
+              static_cast<std::uint8_t>(row[x * 3 + 2]), 255);
+  }
+  return img;
+}
+
+util::Bytes PartialImage::serialize() const {
+  util::ByteWriter w(pixels_.size() * 16 + 32);
+  w.u32(static_cast<std::uint32_t>(x0_));
+  w.u32(static_cast<std::uint32_t>(y0_));
+  w.u32(static_cast<std::uint32_t>(width_));
+  w.u32(static_cast<std::uint32_t>(height_));
+  w.f64(depth_);
+  // f32 per channel keeps exchange volume realistic for the network model.
+  for (const Rgba& p : pixels_) {
+    w.f32(static_cast<float>(p.r));
+    w.f32(static_cast<float>(p.g));
+    w.f32(static_cast<float>(p.b));
+    w.f32(static_cast<float>(p.a));
+  }
+  return w.take();
+}
+
+PartialImage PartialImage::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  const int x0 = static_cast<int>(r.u32());
+  const int y0 = static_cast<int>(r.u32());
+  const int w = static_cast<int>(r.u32());
+  const int h = static_cast<int>(r.u32());
+  PartialImage img(x0, y0, w, h);
+  img.set_depth(r.f64());
+  for (Rgba& p : img.pixels_) {
+    p.r = r.f32();
+    p.g = r.f32();
+    p.b = r.f32();
+    p.a = r.f32();
+  }
+  return img;
+}
+
+PartialImage PartialImage::crop_rows(int row_begin, int row_end) const {
+  if (row_begin < 0 || row_end > height_ || row_begin > row_end)
+    throw std::out_of_range("PartialImage::crop_rows");
+  PartialImage out(x0_, y0_ + row_begin, width_, row_end - row_begin);
+  out.set_depth(depth_);
+  for (int y = row_begin; y < row_end; ++y)
+    for (int x = 0; x < width_; ++x) out.at(x, y - row_begin) = at(x, y);
+  return out;
+}
+
+void PartialImage::splat_to(Image& frame) const {
+  for (int y = 0; y < height_; ++y) {
+    const int fy = y0_ + y;
+    if (fy < 0 || fy >= frame.height()) continue;
+    for (int x = 0; x < width_; ++x) {
+      const int fx = x0_ + x;
+      if (fx < 0 || fx >= frame.width()) continue;
+      const Rgba& p = at(x, y);
+      const auto q = [](double v) {
+        const double c = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+        return static_cast<std::uint8_t>(c * 255.0 + 0.5);
+      };
+      frame.set(fx, fy, q(p.r), q(p.g), q(p.b), q(p.a));
+    }
+  }
+}
+
+Image upscale(const Image& src, int factor) {
+  if (factor < 1) throw std::invalid_argument("upscale: factor must be >= 1");
+  Image out(src.width() * factor, src.height() * factor);
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x) {
+      const auto* p = src.pixel(x / factor, y / factor);
+      out.set(x, y, p[0], p[1], p[2], p[3]);
+    }
+  return out;
+}
+
+Image resize_bilinear(const Image& src, int width, int height) {
+  if (width <= 0 || height <= 0)
+    throw std::invalid_argument("resize_bilinear: bad size");
+  Image out(width, height);
+  if (src.width() == 0 || src.height() == 0) return out;
+  const double sx = static_cast<double>(src.width()) / width;
+  const double sy = static_cast<double>(src.height()) / height;
+  for (int y = 0; y < height; ++y) {
+    const double fy = std::min((y + 0.5) * sy - 0.5,
+                               static_cast<double>(src.height() - 1));
+    const int y0 = std::max(0, static_cast<int>(fy));
+    const int y1 = std::min(src.height() - 1, y0 + 1);
+    const double wy = std::max(0.0, fy - y0);
+    for (int x = 0; x < width; ++x) {
+      const double fx = std::min((x + 0.5) * sx - 0.5,
+                                 static_cast<double>(src.width() - 1));
+      const int x0 = std::max(0, static_cast<int>(fx));
+      const int x1 = std::min(src.width() - 1, x0 + 1);
+      const double wx = std::max(0.0, fx - x0);
+      const auto* p00 = src.pixel(x0, y0);
+      const auto* p10 = src.pixel(x1, y0);
+      const auto* p01 = src.pixel(x0, y1);
+      const auto* p11 = src.pixel(x1, y1);
+      std::uint8_t rgba[4];
+      for (int ch = 0; ch < 4; ++ch) {
+        const double v = (1 - wy) * ((1 - wx) * p00[ch] + wx * p10[ch]) +
+                         wy * ((1 - wx) * p01[ch] + wx * p11[ch]);
+        rgba[ch] = static_cast<std::uint8_t>(v + 0.5);
+      }
+      out.set(x, y, rgba[0], rgba[1], rgba[2], rgba[3]);
+    }
+  }
+  return out;
+}
+
+double psnr(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height())
+    throw std::invalid_argument("psnr: size mismatch");
+  const auto pa = a.bytes();
+  const auto pb = b.bytes();
+  double mse = 0.0;
+  std::size_t samples = 0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (i % 4 == 3) continue;  // alpha is not transported
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    mse += d * d;
+    ++samples;
+  }
+  if (samples == 0) return std::numeric_limits<double>::infinity();
+  mse /= static_cast<double>(samples);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace tvviz::render

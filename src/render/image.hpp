@@ -1,0 +1,136 @@
+// Image types: 8-bit RGBA for transport/display and premultiplied float RGBA
+// for compositing partial images across render nodes.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace tvviz::render {
+
+/// Premultiplied RGBA color (compositing math operates on these).
+struct Rgba {
+  double r = 0.0, g = 0.0, b = 0.0, a = 0.0;
+
+  /// Front-to-back "over": this (front) over `back`.
+  Rgba over(const Rgba& back) const noexcept {
+    const double t = 1.0 - a;
+    return {r + t * back.r, g + t * back.g, b + t * back.b, a + t * back.a};
+  }
+};
+
+/// 8-bit RGBA raster, row-major, top-left origin.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height)
+      : width_(width),
+        height_(height),
+        pixels_(static_cast<std::size_t>(width) * height * 4, 0) {
+    if (width < 0 || height < 0)
+      throw std::invalid_argument("Image: negative size");
+  }
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  std::size_t byte_size() const noexcept { return pixels_.size(); }
+
+  std::uint8_t* pixel(int x, int y) {
+    return &pixels_[(static_cast<std::size_t>(y) * width_ + x) * 4];
+  }
+  const std::uint8_t* pixel(int x, int y) const {
+    return &pixels_[(static_cast<std::size_t>(y) * width_ + x) * 4];
+  }
+
+  void set(int x, int y, std::uint8_t r, std::uint8_t g, std::uint8_t b,
+           std::uint8_t a = 255) {
+    auto* p = pixel(x, y);
+    p[0] = r; p[1] = g; p[2] = b; p[3] = a;
+  }
+
+  std::span<const std::uint8_t> bytes() const noexcept { return pixels_; }
+  std::span<std::uint8_t> bytes() noexcept { return pixels_; }
+
+  /// Write binary PPM (alpha dropped) for eyeballing results.
+  void write_ppm(const std::filesystem::path& path) const;
+
+  /// Read a binary (P6) PPM written by write_ppm or any standard tool.
+  /// Alpha is reconstructed as opaque. Throws std::runtime_error on
+  /// malformed input.
+  static Image read_ppm(const std::filesystem::path& path);
+
+  bool operator==(const Image&) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Float RGBA (premultiplied) raster used during compositing; carries the
+/// screen region it covers and a view depth so partial images from different
+/// subvolumes can be ordered.
+class PartialImage {
+ public:
+  PartialImage() = default;
+  PartialImage(int x0, int y0, int width, int height)
+      : x0_(x0), y0_(y0), width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height) {}
+
+  int x0() const noexcept { return x0_; }
+  int y0() const noexcept { return y0_; }
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  /// Mean distance of the originating subvolume along the view direction;
+  /// smaller = closer to the eye = composited in front.
+  double depth() const noexcept { return depth_; }
+  void set_depth(double d) noexcept { depth_ = d; }
+
+  Rgba& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const Rgba& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  std::span<const Rgba> pixels() const noexcept { return pixels_; }
+  std::span<Rgba> pixels() noexcept { return pixels_; }
+
+  /// Serialize to bytes (for exchange between ranks) and back.
+  util::Bytes serialize() const;
+  static PartialImage deserialize(std::span<const std::uint8_t> data);
+
+  /// Crop rows [row_begin, row_end) (relative to this image) into a new
+  /// partial image — the unit binary-swap exchanges.
+  PartialImage crop_rows(int row_begin, int row_end) const;
+
+  /// Convert to 8-bit RGBA over a black background, into a full-frame image
+  /// of size (frame_w, frame_h) at this partial image's offset.
+  void splat_to(Image& frame) const;
+
+ private:
+  int x0_ = 0, y0_ = 0;
+  int width_ = 0, height_ = 0;
+  double depth_ = 0.0;
+  std::vector<Rgba> pixels_;
+};
+
+/// Nearest-neighbour upscale by an integer factor (display-side companion
+/// to JpegCodec::decode_fast's reduced-resolution output).
+Image upscale(const Image& src, int factor);
+
+/// Bilinear resize to an arbitrary size (used by the image-based viewer).
+Image resize_bilinear(const Image& src, int width, int height);
+
+/// Peak signal-to-noise ratio between two equal-size images, in dB
+/// (infinity for identical images), over the RGB channels. Alpha is
+/// excluded: frames travel the wire as 24-bit RGB (Table 1 counts three
+/// bytes per pixel) and decoders reconstruct opaque alpha.
+double psnr(const Image& a, const Image& b);
+
+}  // namespace tvviz::render

@@ -1,0 +1,162 @@
+#include "render/raycast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvviz::render {
+
+namespace {
+/// Screen-space bounding box (pixel rect) of a voxel box under `camera`.
+/// Returns false if the box projects outside the frame entirely.
+bool screen_bounds(const field::Box& box, const field::Dims& dims,
+                   const Camera& camera, int& px0, int& py0, int& px1,
+                   int& py1) {
+  const double he = camera.half_extent(dims);
+  const util::Vec3 c = camera.center(dims);
+  const util::Vec3 right = camera.right_dir();
+  const util::Vec3 up = camera.up_dir();
+  double umin = 1e300, umax = -1e300, vmin = 1e300, vmax = -1e300;
+  for (int corner = 0; corner < 8; ++corner) {
+    const util::Vec3 p{
+        static_cast<double>((corner & 1) ? box.hi[0] - 1 : box.lo[0]),
+        static_cast<double>((corner & 2) ? box.hi[1] - 1 : box.lo[1]),
+        static_cast<double>((corner & 4) ? box.hi[2] - 1 : box.lo[2])};
+    const util::Vec3 d = p - c;
+    const double u = d.dot(right);
+    const double v = d.dot(up);
+    umin = std::min(umin, u);
+    umax = std::max(umax, u);
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  // Invert the pixel mapping of Camera::ray_for.
+  const auto to_px = [&](double u) {
+    return (u / he + 1.0) * 0.5 * camera.width() - 0.5;
+  };
+  const auto to_py = [&](double v) {
+    return (1.0 - v / he) * 0.5 * camera.height() - 0.5;
+  };
+  px0 = std::max(0, static_cast<int>(std::floor(to_px(umin))) - 1);
+  px1 = std::min(camera.width(), static_cast<int>(std::ceil(to_px(umax))) + 2);
+  py0 = std::max(0, static_cast<int>(std::floor(to_py(vmax))) - 1);
+  py1 = std::min(camera.height(), static_cast<int>(std::ceil(to_py(vmin))) + 2);
+  return px0 < px1 && py0 < py1;
+}
+}  // namespace
+
+Rgba RayCaster::march(const util::Ray& ray, double t0, double t1,
+                      const Subvolume& sub, const TransferFunction& tf) const {
+  Rgba acc;  // premultiplied, front-to-back
+  const double step = options_.step;
+  const util::Vec3 light = options_.light_dir.normalized();
+  // Half-open [t0, t1): a sample landing exactly on a shared subvolume plane
+  // belongs to the far box, so parallel renders tile the serial result.
+  for (double t = t0; t < t1; t += step) {
+    const util::Vec3 p = ray.at(t);
+    if (sub.skipper) {
+      const util::Vec3 local{p.x - sub.storage_box.lo[0],
+                             p.y - sub.storage_box.lo[1],
+                             p.z - sub.storage_box.lo[2]};
+      if (sub.skipper->invisible_at(local.x, local.y, local.z)) {
+        // Leap to this block's exit, then snap back onto the global sample
+        // grid: every skipped sample classifies to zero opacity, so the
+        // image is bit-identical with or without leaping.
+        const double t_exit =
+            sub.skipper->block_exit(local, ray.direction, t);
+        const double snapped = std::ceil(t_exit / step) * step;
+        t = std::max(snapped, t + step) - step;  // loop adds one step
+        continue;
+      }
+    }
+    const double value = sub.sample_global(p.x, p.y, p.z);
+    ++samples_;
+    const auto cp = tf.sample(value);
+    if (cp.alpha <= 0.0) continue;
+    // Opacity correction: control-point alpha is per unit sample distance.
+    const double alpha = 1.0 - std::pow(1.0 - cp.alpha, step);
+    double r = cp.r, g = cp.g, b = cp.b;
+    if (options_.shading) {
+      const util::Vec3 grad = sub.gradient_global(p.x, p.y, p.z);
+      const double len = grad.length();
+      if (len > 1e-8) {
+        const util::Vec3 n = grad / len;
+        const double ndl = std::abs(n.dot(light));
+        const util::Vec3 h = (light - ray.direction).normalized();
+        const double ndh = std::abs(n.dot(h));
+        const double lum = options_.ambient + options_.diffuse * ndl;
+        const double spec =
+            options_.specular * std::pow(ndh, options_.specular_exp);
+        r = util::clamp01(r * lum + spec);
+        g = util::clamp01(g * lum + spec);
+        b = util::clamp01(b * lum + spec);
+      } else {
+        const double lum = options_.ambient + 0.5 * options_.diffuse;
+        r *= lum;
+        g *= lum;
+        b *= lum;
+      }
+    }
+    const double w = (1.0 - acc.a) * alpha;
+    acc.r += w * r;
+    acc.g += w * g;
+    acc.b += w * b;
+    acc.a += w;
+    if (acc.a >= options_.early_termination) break;
+  }
+  return acc;
+}
+
+PartialImage RayCaster::render(const Subvolume& sub,
+                               const field::Dims& global_dims,
+                               const Camera& camera,
+                               const TransferFunction& tf) const {
+  samples_ = 0;
+  int px0, py0, px1, py1;
+  if (!screen_bounds(sub.render_box, global_dims, camera, px0, py0, px1, py1)) {
+    PartialImage empty(0, 0, 0, 0);
+    empty.set_depth(1e300);
+    return empty;
+  }
+  PartialImage out(px0, py0, px1 - px0, py1 - py0);
+  const util::Vec3 box_center{
+      (sub.render_box.lo[0] + sub.render_box.hi[0] - 1) * 0.5,
+      (sub.render_box.lo[1] + sub.render_box.hi[1] - 1) * 0.5,
+      (sub.render_box.lo[2] + sub.render_box.hi[2] - 1) * 0.5};
+  out.set_depth(camera.depth_of(box_center));
+
+  // Sample-domain box: a subvolume owns samples in [lo, hi) along each axis
+  // where a neighbour continues, and [lo, hi-1] at the global border.
+  // intersect_box treats hi-1 as the far bound, so extend interior faces.
+  field::Box domain = sub.render_box;
+  const int extent[3] = {global_dims.nx, global_dims.ny, global_dims.nz};
+  for (int axis = 0; axis < 3; ++axis)
+    if (domain.hi[axis] < extent[axis]) ++domain.hi[axis];
+
+  for (int py = py0; py < py1; ++py) {
+    for (int px = px0; px < px1; ++px) {
+      const util::Ray ray = camera.ray_for(px, py, global_dims);
+      double t0, t1;
+      if (!intersect_box(ray, domain, t0, t1)) continue;
+      t0 = std::max(t0, 0.0);
+      if (t0 > t1) continue;
+      // Snap the first sample to a global step grid so adjacent subvolumes
+      // sample the same points and parallel == serial compositing holds.
+      const double snapped = std::ceil(t0 / options_.step) * options_.step;
+      out.at(px - px0, py - py0) = march(ray, snapped, t1, sub, tf);
+    }
+  }
+  return out;
+}
+
+Image RayCaster::render_full(const field::VolumeF& volume, const Camera& camera,
+                             const TransferFunction& tf,
+                             bool space_leaping) const {
+  Subvolume sub = Subvolume::whole(volume);
+  if (space_leaping) sub.attach_skipper(tf);
+  const PartialImage partial = render(sub, volume.dims(), camera, tf);
+  Image frame(camera.width(), camera.height());
+  partial.splat_to(frame);
+  return frame;
+}
+
+}  // namespace tvviz::render

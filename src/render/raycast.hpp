@@ -1,0 +1,97 @@
+// Parallel ray-casting volume renderer (after Ma et al., "Parallel Volume
+// Rendering Using Binary-Swap Compositing", the renderer the paper uses).
+// Each node renders its subvolume into a PartialImage; a compositor merges
+// them in view order.
+#pragma once
+
+#include <memory>
+
+#include "field/volume.hpp"
+#include "render/camera.hpp"
+#include "render/image.hpp"
+#include "render/spaceskip.hpp"
+#include "render/transfer.hpp"
+
+namespace tvviz::render {
+
+/// A node's share of the global volume: the voxels it stores (possibly with
+/// a ghost layer) and the region it is responsible for rendering.
+struct Subvolume {
+  field::VolumeF data;      ///< Voxels covering `storage_box`.
+  field::Box storage_box;   ///< Where `data` sits in global coordinates.
+  field::Box render_box;    ///< Region this node renders (within storage).
+  /// Optional §7.1 preprocessing product: blocks of `data` the transfer
+  /// function maps to zero opacity are leapt over. Build with
+  /// `attach_skipper`; must be rebuilt when data or TF changes.
+  std::shared_ptr<const BlockVisibility> skipper;
+
+  /// Build and attach the space-leaping structure for `tf`.
+  void attach_skipper(const TransferFunction& tf, int block_size = 8) {
+    skipper = std::make_shared<BlockVisibility>(data, tf, block_size);
+  }
+
+  /// Wrap a full volume: one node owns everything.
+  static Subvolume whole(field::VolumeF volume) {
+    field::Box box;
+    box.hi[0] = volume.dims().nx;
+    box.hi[1] = volume.dims().ny;
+    box.hi[2] = volume.dims().nz;
+    return Subvolume{std::move(volume), box, box, nullptr};
+  }
+
+  /// Sample at global voxel coordinates (clamps inside storage).
+  double sample_global(double x, double y, double z) const noexcept {
+    return data.sample(x - storage_box.lo[0], y - storage_box.lo[1],
+                       z - storage_box.lo[2]);
+  }
+
+  util::Vec3 gradient_global(double x, double y, double z) const noexcept {
+    return data.gradient(x - storage_box.lo[0], y - storage_box.lo[1],
+                         z - storage_box.lo[2]);
+  }
+};
+
+struct RenderOptions {
+  double step = 0.8;            ///< Ray-march step in voxel units.
+  double early_termination = 0.98;  ///< Stop once accumulated alpha exceeds.
+  bool shading = true;          ///< Phong shading from the scalar gradient.
+  double ambient = 0.25;
+  double diffuse = 0.70;
+  double specular = 0.25;
+  double specular_exp = 24.0;
+  util::Vec3 light_dir{0.4, 0.8, 0.45};  ///< Toward the light (normalized internally).
+};
+
+class RayCaster {
+ public:
+  explicit RayCaster(RenderOptions options = {}) : options_(options) {}
+
+  const RenderOptions& options() const noexcept { return options_; }
+  RenderOptions& options() noexcept { return options_; }
+
+  /// Render `sub.render_box` of the global volume `global_dims` as seen by
+  /// `camera`. The result covers only the screen-space bounding box of the
+  /// subvolume and carries its view depth.
+  PartialImage render(const Subvolume& sub, const field::Dims& global_dims,
+                      const Camera& camera, const TransferFunction& tf) const;
+
+  /// Convenience: single-node render of a whole volume to an 8-bit frame.
+  /// With `space_leaping`, a BlockVisibility structure is built first and
+  /// empty blocks are leapt over (identical image, fewer samples).
+  Image render_full(const field::VolumeF& volume, const Camera& camera,
+                    const TransferFunction& tf,
+                    bool space_leaping = false) const;
+
+  /// Samples actually evaluated by the last render() call on this thread's
+  /// instance (for cost-model calibration).
+  std::size_t last_sample_count() const noexcept { return samples_; }
+
+ private:
+  Rgba march(const util::Ray& ray, double t0, double t1, const Subvolume& sub,
+             const TransferFunction& tf) const;
+
+  RenderOptions options_;
+  mutable std::size_t samples_ = 0;
+};
+
+}  // namespace tvviz::render

@@ -1,0 +1,274 @@
+#include "render/shearwarp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvviz::render {
+
+ClassifiedVolume::ClassifiedVolume(const field::VolumeF& volume,
+                                   const TransferFunction& tf,
+                                   double opacity_epsilon)
+    : dims_(volume.dims()), cells_(volume.voxels()) {
+  std::size_t opaque = 0;
+  std::size_t i = 0;
+  for (int z = 0; z < dims_.nz; ++z)
+    for (int y = 0; y < dims_.ny; ++y)
+      for (int x = 0; x < dims_.nx; ++x, ++i) {
+        const auto cp = tf.sample(static_cast<double>(volume.at(x, y, z)));
+        const bool visible = cp.alpha > opacity_epsilon;
+        cells_[i] = Classified{static_cast<float>(cp.r), static_cast<float>(cp.g),
+                               static_cast<float>(cp.b),
+                               visible ? static_cast<float>(cp.alpha) : 0.0f};
+        opaque += visible ? 1u : 0u;
+      }
+  coverage_ = volume.voxels() > 0
+                  ? static_cast<double>(opaque) / static_cast<double>(volume.voxels())
+                  : 0.0;
+
+  // Run-length encode opaque spans along each principal axis.
+  const int extents[3] = {dims_.nx, dims_.ny, dims_.nz};
+  for (int axis = 0; axis < 3; ++axis) {
+    const int na = extents[transverse_[axis][0]];
+    const int nb = extents[transverse_[axis][1]];
+    spans_[axis].resize(static_cast<std::size_t>(na) * nb);
+    for (int b = 0; b < nb; ++b)
+      for (int a = 0; a < na; ++a) {
+        auto& line = spans_[axis][static_cast<std::size_t>(b) * na + a];
+        int run_start = -1;
+        for (int k = 0; k < extents[axis]; ++k) {
+          int xyz[3];
+          xyz[axis] = k;
+          xyz[transverse_[axis][0]] = a;
+          xyz[transverse_[axis][1]] = b;
+          const bool visible =
+              cells_[index(xyz[0], xyz[1], xyz[2])].alpha > 0.0f;
+          if (visible && run_start < 0) run_start = k;
+          if (!visible && run_start >= 0) {
+            line.emplace_back(run_start, k);
+            run_start = -1;
+          }
+        }
+        if (run_start >= 0) line.emplace_back(run_start, extents[axis]);
+      }
+  }
+}
+
+const std::vector<std::pair<int, int>>& ClassifiedVolume::spans(int axis, int a,
+                                                                int b) const {
+  const int extents[3] = {dims_.nx, dims_.ny, dims_.nz};
+  const int na = extents[transverse_[axis][0]];
+  return spans_[axis][static_cast<std::size_t>(b) * na + a];
+}
+
+std::size_t ClassifiedVolume::encoded_bytes() const noexcept {
+  std::size_t bytes = cells_.size() * sizeof(Classified);
+  for (const auto& per_axis : spans_)
+    for (const auto& line : per_axis)
+      bytes += line.size() * sizeof(std::pair<int, int>) + sizeof(void*);
+  return bytes;
+}
+
+namespace {
+struct AccumPixel {
+  double r = 0.0, g = 0.0, b = 0.0, a = 0.0;
+};
+
+/// Opaque spans of the scanline that runs along axis `ua` at transverse
+/// position v (on axis `va`) within slice k (on axis `p`).
+const std::vector<std::pair<int, int>>& spans_for(const ClassifiedVolume& cv,
+                                                  int ua, int va, int p, int v,
+                                                  int k) {
+  int coord[3] = {0, 0, 0};
+  coord[va] = v;
+  coord[p] = k;
+  // ClassifiedVolume orders a scanline's transverse coordinates by ascending
+  // axis index.
+  const int other0 = ua == 0 ? 1 : 0;
+  const int other1 = ua == 2 ? 1 : 2;
+  return cv.spans(ua, coord[other0], coord[other1]);
+}
+}  // namespace
+
+Image ShearWarpRenderer::render(const ClassifiedVolume& classified,
+                                const Camera& camera) const {
+  const field::Dims dims = classified.dims();
+  const util::Vec3 d = camera.view_dir();
+  const double comp[3] = {d.x, d.y, d.z};
+
+  // Principal axis: the largest |view| component; slices are perpendicular.
+  int p = 0;
+  for (int axis = 1; axis < 3; ++axis)
+    if (std::abs(comp[axis]) > std::abs(comp[p])) p = axis;
+  const int ua = p == 0 ? 1 : 0;             // first transverse axis
+  const int va = p == 2 ? 1 : 2;             // second transverse axis
+  const int extents[3] = {dims.nx, dims.ny, dims.nz};
+  const int nu = extents[ua], nv = extents[va], np = extents[p];
+
+  // Shear per slice: moving one voxel along +p shifts the ray footprint by
+  // (-d_u/d_p, -d_v/d_p) in transverse voxel units.
+  const double shear_u = -comp[ua] / comp[p];
+  const double shear_v = -comp[va] / comp[p];
+  // Slice traversal order: front-to-back along the view direction.
+  const bool forward = comp[p] > 0.0;
+
+  // Intermediate image: transverse grid plus room for the maximum shear.
+  const double max_shift_u = shear_u * (np - 1);
+  const double max_shift_v = shear_v * (np - 1);
+  const int off_u = static_cast<int>(std::ceil(std::max(0.0, -std::min(0.0, max_shift_u))));
+  const int off_v = static_cast<int>(std::ceil(std::max(0.0, -std::min(0.0, max_shift_v))));
+  const int iw = nu + static_cast<int>(std::ceil(std::abs(max_shift_u))) + 2;
+  const int ih = nv + static_cast<int>(std::ceil(std::abs(max_shift_v))) + 2;
+  std::vector<AccumPixel> inter(static_cast<std::size_t>(iw) * ih);
+
+  // Distance between consecutive slice crossings along the (unit) ray.
+  const double step = 1.0 / std::abs(comp[p]);
+
+  for (int s = 0; s < np; ++s) {
+    const int k = forward ? s : np - 1 - s;
+    const double su = shear_u * k + off_u;
+    const double sv = shear_v * k + off_v;
+    // Iterate scanlines of the slice (v direction), resampling into the
+    // sheared intermediate image with bilinear weights.
+    for (int v = 0; v < nv; ++v) {
+      // Opaque spans of the two contributing source scanlines (v and v+1
+      // via bilinear in v); restrict work to their union.
+      // Scanline along u at (v, k): use spans(axis=ua) with (a, b) mapping.
+      const auto& spans_lo = spans_for(classified, ua, va, p, v, k);
+      const auto& spans_hi =
+          v + 1 < nv ? spans_for(classified, ua, va, p, v + 1, k) : spans_lo;
+
+      // Merge the span lists.
+      std::size_t ilo = 0, ihi = 0;
+      while (ilo < spans_lo.size() || ihi < spans_hi.size()) {
+        std::pair<int, int> run;
+        if (ihi >= spans_hi.size() ||
+            (ilo < spans_lo.size() && spans_lo[ilo].first <= spans_hi[ihi].first)) {
+          run = spans_lo[ilo++];
+        } else {
+          run = spans_hi[ihi++];
+        }
+        // Extend with overlapping runs from either list.
+        bool grew = true;
+        while (grew) {
+          grew = false;
+          if (ilo < spans_lo.size() && spans_lo[ilo].first <= run.second) {
+            run.second = std::max(run.second, spans_lo[ilo].second);
+            ++ilo;
+            grew = true;
+          }
+          if (ihi < spans_hi.size() && spans_hi[ihi].first <= run.second) {
+            run.second = std::max(run.second, spans_hi[ihi].second);
+            ++ihi;
+            grew = true;
+          }
+        }
+
+        // Composite the run into the intermediate image. A source span
+        // [u0, u1) influences intermediate pixels floor(u0+su)..u1+su.
+        const int iu_begin = std::max(0, static_cast<int>(std::floor(run.first + su)) - 1);
+        const int iu_end = std::min(iw, static_cast<int>(std::ceil(run.second + su)) + 1);
+        // The unique intermediate row whose pre-image falls in [v, v+1):
+        // iv - sv in [v, v+1)  <=>  iv = ceil(v + sv). Each intermediate
+        // pixel is therefore fed exactly once per slice.
+        const int iv = static_cast<int>(std::ceil(v + sv));
+        if (iv < 0 || iv >= ih) continue;
+        for (int iu = iu_begin; iu < iu_end; ++iu) {
+          AccumPixel& px = inter[static_cast<std::size_t>(iv) * iw + iu];
+          if (px.a >= options_.early_termination) continue;
+          const double srcu = iu - su;
+          const double srcv = iv - sv;
+          if (srcu < 0.0 || srcu > nu - 1 || srcv < 0.0 || srcv > nv - 1)
+            continue;
+          // Bilinear classified fetch.
+          const int u0 = static_cast<int>(srcu);
+          const int v0 = static_cast<int>(srcv);
+          // Only process when this pixel's v pre-image maps into the current
+          // scanline pair (avoid double compositing across v iterations).
+          if (v0 != v) continue;
+          const double fu = srcu - u0;
+          const double fv2 = srcv - v0;
+          auto fetch = [&](int uu, int vv) -> ClassifiedVolume::Classified {
+            uu = std::clamp(uu, 0, nu - 1);
+            vv = std::clamp(vv, 0, nv - 1);
+            int xyz[3];
+            xyz[ua] = uu;
+            xyz[va] = vv;
+            xyz[p] = k;
+            return classified.at(xyz[0], xyz[1], xyz[2]);
+          };
+          const auto c00 = fetch(u0, v0), c10 = fetch(u0 + 1, v0);
+          const auto c01 = fetch(u0, v0 + 1), c11 = fetch(u0 + 1, v0 + 1);
+          const double w00 = (1 - fu) * (1 - fv2), w10 = fu * (1 - fv2);
+          const double w01 = (1 - fu) * fv2, w11 = fu * fv2;
+          const double alpha_cls = w00 * c00.alpha + w10 * c10.alpha +
+                                   w01 * c01.alpha + w11 * c11.alpha;
+          if (alpha_cls <= 0.0) continue;
+          const double r = w00 * c00.r + w10 * c10.r + w01 * c01.r + w11 * c11.r;
+          const double g = w00 * c00.g + w10 * c10.g + w01 * c01.g + w11 * c11.g;
+          const double b = w00 * c00.b + w10 * c10.b + w01 * c01.b + w11 * c11.b;
+          const double alpha = 1.0 - std::pow(1.0 - alpha_cls, step);
+          const double w = (1.0 - px.a) * alpha;
+          px.r += w * r;
+          px.g += w * g;
+          px.b += w * b;
+          px.a += w;
+        }
+      }
+    }
+  }
+
+  // Warp: map each final pixel to intermediate coordinates. A point at
+  // slice 0 with transverse coordinates (i - off_u, j - off_v) sits at
+  // volume position lo + e_u*(i-off_u) + e_v*(j-off_v); its camera-plane
+  // coordinates are affine in (i, j). Invert that 2x2 system per pixel.
+  util::Vec3 e[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const util::Vec3 right = camera.right_dir();
+  const util::Vec3 up = camera.up_dir();
+  const util::Vec3 c = camera.center(dims);
+  // Base point of intermediate pixel (0, 0): volume coordinates.
+  const util::Vec3 base = e[ua] * (0.0 - off_u) + e[va] * (0.0 - off_v) - c;
+  const double a00 = e[ua].dot(right), a01 = e[va].dot(right);
+  const double a10 = e[ua].dot(up), a11 = e[va].dot(up);
+  const double b0 = base.dot(right), b1 = base.dot(up);
+  const double det = a00 * a11 - a01 * a10;
+
+  Image frame(camera.width(), camera.height());
+  if (std::abs(det) < 1e-12) return frame;
+  const double he = camera.half_extent(dims);
+  for (int py = 0; py < camera.height(); ++py) {
+    for (int px = 0; px < camera.width(); ++px) {
+      const double cu = ((px + 0.5) / camera.width() * 2.0 - 1.0) * he;
+      const double cv = (1.0 - (py + 0.5) / camera.height() * 2.0) * he;
+      // Solve a * (i, j) + b = (cu, cv).
+      const double rx = cu - b0, ry = cv - b1;
+      const double i = (rx * a11 - a01 * ry) / det;
+      const double j = (a00 * ry - rx * a10) / det;
+      if (i < 0.0 || i > iw - 1 || j < 0.0 || j > ih - 1) continue;
+      const int i0 = static_cast<int>(i), j0 = static_cast<int>(j);
+      const double fi = i - i0, fj = j - j0;
+      auto at = [&](int ii, int jj) -> const AccumPixel& {
+        ii = std::clamp(ii, 0, iw - 1);
+        jj = std::clamp(jj, 0, ih - 1);
+        return inter[static_cast<std::size_t>(jj) * iw + ii];
+      };
+      const AccumPixel &p00 = at(i0, j0), &p10 = at(i0 + 1, j0);
+      const AccumPixel &p01 = at(i0, j0 + 1), &p11 = at(i0 + 1, j0 + 1);
+      const double w00 = (1 - fi) * (1 - fj), w10 = fi * (1 - fj);
+      const double w01 = (1 - fi) * fj, w11 = fi * fj;
+      const auto mix = [&](double v00, double v10, double v01, double v11) {
+        return w00 * v00 + w10 * v10 + w01 * v01 + w11 * v11;
+      };
+      const double r = mix(p00.r, p10.r, p01.r, p11.r);
+      const double g = mix(p00.g, p10.g, p01.g, p11.g);
+      const double b = mix(p00.b, p10.b, p01.b, p11.b);
+      const double a = mix(p00.a, p10.a, p01.a, p11.a);
+      const auto q = [](double v) {
+        return static_cast<std::uint8_t>(util::clamp01(v) * 255.0 + 0.5);
+      };
+      frame.set(px, py, q(r), q(g), q(b), q(a));
+    }
+  }
+  return frame;
+}
+
+}  // namespace tvviz::render

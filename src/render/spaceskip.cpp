@@ -1,0 +1,53 @@
+#include "render/spaceskip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvviz::render {
+
+double max_alpha_in_range(const TransferFunction& tf, double lo, double hi) {
+  double best = std::max(tf.sample(lo).alpha, tf.sample(hi).alpha);
+  for (const auto& cp : tf.points())
+    if (cp.value > lo && cp.value < hi) best = std::max(best, cp.alpha);
+  return best;
+}
+
+BlockVisibility::BlockVisibility(const field::VolumeF& volume,
+                                 const TransferFunction& tf, int block_size)
+    : grid_(volume, block_size) {
+  const auto dims = grid_.grid_dims();
+  visible_.assign(grid_.blocks(), true);
+  std::size_t i = 0;
+  for (int bz = 0; bz < dims.nz; ++bz)
+    for (int by = 0; by < dims.ny; ++by)
+      for (int bx = 0; bx < dims.nx; ++bx, ++i) {
+        const auto [lo, hi] = grid_.range(bx, by, bz);
+        visible_[i] = max_alpha_in_range(tf, lo, hi) > 0.0;
+      }
+}
+
+double BlockVisibility::block_exit(const util::Vec3& p, const util::Vec3& dir,
+                                   double t) const {
+  const int b = grid_.block_size();
+  const double coords[3] = {p.x, p.y, p.z};
+  const double d[3] = {dir.x, dir.y, dir.z};
+  double exit = 1e300;
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::abs(d[axis]) < 1e-12) continue;
+    const double block_lo = std::floor(coords[axis] / b) * b;
+    const double bound = d[axis] > 0 ? block_lo + b : block_lo;
+    const double dt = (bound - coords[axis]) / d[axis];
+    if (dt > 1e-9) exit = std::min(exit, dt);
+  }
+  // Nudge past the face so the next block is entered for sure.
+  return exit == 1e300 ? t + b : t + exit + 1e-6;
+}
+
+double BlockVisibility::visible_fraction() const {
+  if (visible_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (bool v : visible_) n += v ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(visible_.size());
+}
+
+}  // namespace tvviz::render

@@ -1,0 +1,58 @@
+// Space leaping: combine a MinMaxGrid with a transfer function to mark
+// blocks whose entire value range classifies to zero opacity, and let rays
+// jump over them. Because skipped samples contribute exactly zero, space
+// leaping changes nothing in the rendered image — only its cost.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "field/minmax.hpp"
+#include "render/transfer.hpp"
+
+namespace tvviz::render {
+
+/// Exact maximum opacity the (piecewise-linear) transfer function assigns
+/// anywhere in [lo, hi]: the max over the endpoints and every control
+/// point inside the interval.
+double max_alpha_in_range(const TransferFunction& tf, double lo, double hi);
+
+class BlockVisibility {
+ public:
+  /// `volume` must be the data the rays will sample (a node's subvolume,
+  /// ghost layer included). Blocks are in that volume's local coordinates.
+  BlockVisibility(const field::VolumeF& volume, const TransferFunction& tf,
+                  int block_size = 8);
+
+  /// True if the block containing local voxel coordinates (x, y, z) cannot
+  /// contribute (max classified opacity is zero).
+  bool invisible_at(double x, double y, double z) const {
+    const auto [lo, hi] = grid_.range_at(x, y, z);
+    (void)lo;
+    (void)hi;
+    return !visible_[block_index(x, y, z)];
+  }
+
+  /// Ray parameter at which the ray leaves the block containing the point
+  /// `origin + t * dir` (all in local voxel coordinates). Strictly > t.
+  double block_exit(const util::Vec3& p, const util::Vec3& dir,
+                    double t) const;
+
+  /// Fraction of blocks marked visible (diagnostics).
+  double visible_fraction() const;
+
+  int block_size() const noexcept { return grid_.block_size(); }
+
+ private:
+  std::size_t block_index(double x, double y, double z) const {
+    const auto d = grid_.grid_dims();
+    return (static_cast<std::size_t>(grid_.block_of(z, 2)) * d.ny +
+            static_cast<std::size_t>(grid_.block_of(y, 1))) * d.nx +
+           static_cast<std::size_t>(grid_.block_of(x, 0));
+  }
+
+  field::MinMaxGrid grid_;
+  std::vector<bool> visible_;
+};
+
+}  // namespace tvviz::render

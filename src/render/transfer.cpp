@@ -1,0 +1,70 @@
+#include "render/transfer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tvviz::render {
+
+TransferFunction::TransferFunction(std::vector<ControlPoint> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2)
+    throw std::invalid_argument("TransferFunction: need >= 2 control points");
+  if (!std::is_sorted(points_.begin(), points_.end(),
+                      [](const ControlPoint& a, const ControlPoint& b) {
+                        return a.value < b.value;
+                      }))
+    throw std::invalid_argument("TransferFunction: control points unsorted");
+}
+
+TransferFunction::ControlPoint TransferFunction::sample(double v) const noexcept {
+  if (v <= points_.front().value) return points_.front();
+  if (v >= points_.back().value) return points_.back();
+  // Binary search for the segment containing v.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), v,
+      [](double x, const ControlPoint& p) { return x < p.value; });
+  const ControlPoint& hi = *it;
+  const ControlPoint& lo = *(it - 1);
+  const double span = hi.value - lo.value;
+  const double t = span > 0.0 ? (v - lo.value) / span : 0.0;
+  return {v,
+          lo.r + t * (hi.r - lo.r),
+          lo.g + t * (hi.g - lo.g),
+          lo.b + t * (hi.b - lo.b),
+          lo.alpha + t * (hi.alpha - lo.alpha)};
+}
+
+TransferFunction TransferFunction::fire(double threshold) {
+  return TransferFunction({
+      {0.0, 0.0, 0.0, 0.0, 0.0},
+      {threshold, 0.0, 0.0, 0.1, 0.0},
+      {threshold + 0.08, 0.1, 0.15, 0.7, 0.02},
+      {0.55, 0.9, 0.45, 0.10, 0.10},
+      {0.75, 1.0, 0.75, 0.20, 0.25},
+      {1.0, 1.0, 1.0, 0.95, 0.50},
+  });
+}
+
+TransferFunction TransferFunction::dense_cool_warm(double threshold) {
+  return TransferFunction({
+      {0.0, 0.0, 0.0, 0.0, 0.0},
+      {threshold, 0.15, 0.25, 0.6, 0.015},
+      {0.35, 0.35, 0.6, 0.8, 0.05},
+      {0.6, 0.85, 0.85, 0.5, 0.12},
+      {0.8, 0.95, 0.55, 0.25, 0.22},
+      {1.0, 1.0, 0.95, 0.85, 0.40},
+  });
+}
+
+TransferFunction TransferFunction::shock(double threshold) {
+  return TransferFunction({
+      {0.0, 0.0, 0.0, 0.0, 0.0},
+      {threshold, 0.25, 0.3, 0.45, 0.0},
+      {0.35, 0.4, 0.55, 0.8, 0.05},
+      {0.6, 0.75, 0.8, 0.9, 0.15},
+      {0.85, 1.0, 0.9, 0.6, 0.35},
+      {1.0, 1.0, 1.0, 1.0, 0.55},
+  });
+}
+
+}  // namespace tvviz::render

@@ -1,0 +1,43 @@
+// Transfer functions: map scalar values in [0, 1] to color and opacity.
+// Piecewise-linear over control points, the classic volume-rendering design.
+#pragma once
+
+#include <vector>
+
+#include "render/image.hpp"
+
+namespace tvviz::render {
+
+class TransferFunction {
+ public:
+  struct ControlPoint {
+    double value = 0.0;  ///< Scalar position in [0, 1].
+    double r = 0.0, g = 0.0, b = 0.0;
+    double alpha = 0.0;  ///< Opacity per unit of (reference) sample distance.
+  };
+
+  /// Control points must be sorted by `value`; endpoints are clamped.
+  explicit TransferFunction(std::vector<ControlPoint> points);
+
+  /// Non-premultiplied color + opacity at scalar `v`.
+  ControlPoint sample(double v) const noexcept;
+
+  const std::vector<ControlPoint>& points() const noexcept { return points_; }
+
+  /// "Hot body" map for the jet dataset: transparent below a threshold, then
+  /// blue -> orange -> white with rising opacity. Sparse-looking images.
+  static TransferFunction fire(double threshold = 0.30);
+
+  /// High-coverage map for the vortex dataset: opacity from low values up,
+  /// cool-to-warm colors. Produces dense images (worse compression).
+  static TransferFunction dense_cool_warm(double threshold = 0.10);
+
+  /// Grey-blue map highlighting shock shells and the bubble for the mixing
+  /// dataset.
+  static TransferFunction shock(double threshold = 0.18);
+
+ private:
+  std::vector<ControlPoint> points_;
+};
+
+}  // namespace tvviz::render

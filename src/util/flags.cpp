@@ -1,0 +1,63 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tvviz::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag acts as boolean
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto s = get(name, "");
+  if (s.empty()) return fallback;
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto s = get(name, "");
+  if (s.empty()) return fallback;
+  return std::strtod(s.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto s = get(name, "");
+  if (s.empty()) return fallback;
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [name, _] : values_)
+    if (!queried_.count(name)) result.push_back(name);
+  return result;
+}
+
+}  // namespace tvviz::util

@@ -1,0 +1,40 @@
+// Leveled logging to stderr. Thread-safe at line granularity; quiet by
+// default so test and benchmark output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tvviz::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line (used by the LOG macro; prefer the macro).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, out_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace tvviz::util
+
+#define TVVIZ_LOG(level)                                             \
+  if (::tvviz::util::log_level() <= ::tvviz::util::LogLevel::level) \
+  ::tvviz::util::detail::LogStream(::tvviz::util::LogLevel::level)

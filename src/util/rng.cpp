@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace tvviz::util {
+
+double Rng::normal() noexcept {
+  // Box-Muller; u1 in (0,1] so the log is finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace tvviz::util

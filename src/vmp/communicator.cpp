@@ -1,0 +1,319 @@
+#include "vmp/communicator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+namespace tvviz::vmp {
+
+/// Shared state of the virtual machine: one mailbox per world rank and a
+/// context-id allocator for derived communicators.
+class World {
+ public:
+  explicit World(int size) : mailboxes_(static_cast<std::size_t>(size)) {}
+
+  Mailbox& mailbox(int world_rank) {
+    return mailboxes_.at(static_cast<std::size_t>(world_rank));
+  }
+
+  /// Reserve `count` consecutive context ids; returns the first.
+  std::uint32_t allocate_contexts(std::uint32_t count) {
+    return context_counter_.fetch_add(count) + 1;
+  }
+
+  void poison_all() {
+    for (auto& mb : mailboxes_) mb.poison();
+  }
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+ private:
+  std::vector<Mailbox> mailboxes_;
+  std::atomic<std::uint32_t> context_counter_{0};
+};
+
+namespace {
+// Reserved tags for collectives; user traffic must use tags >= 0, and the
+// communicator context already isolates different communicators.
+constexpr int kBarrierTag = -1000;
+constexpr int kBcastTag = -1001;
+constexpr int kGatherTag = -1002;
+constexpr int kReduceTag = -1003;
+
+util::Bytes pack_doubles(const std::vector<double>& v) {
+  util::ByteWriter w(v.size() * 8 + 4);
+  w.varint(v.size());
+  for (double x : v) w.f64(x);
+  return w.take();
+}
+
+std::vector<double> unpack_doubles(const util::Bytes& b) {
+  util::ByteReader r(b);
+  std::vector<double> v(r.varint());
+  for (auto& x : v) x = r.f64();
+  return v;
+}
+
+void apply_reduce(std::vector<double>& acc, const std::vector<double>& in,
+                  ReduceOp op) {
+  if (acc.size() != in.size())
+    throw std::runtime_error("vmp: reduce length mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kSum: acc[i] += in[i]; break;
+      case ReduceOp::kMin: acc[i] = std::min(acc[i], in[i]); break;
+      case ReduceOp::kMax: acc[i] = std::max(acc[i], in[i]); break;
+    }
+  }
+}
+}  // namespace
+
+int Communicator::local_rank_of_global(int global) const {
+  const auto it = std::find(ranks_.begin(), ranks_.end(), global);
+  if (it == ranks_.end())
+    throw std::runtime_error("vmp: message from rank outside communicator");
+  return static_cast<int>(it - ranks_.begin());
+}
+
+void Communicator::send(int dest, int tag, util::Bytes payload) const {
+  world_->mailbox(global_rank(dest))
+      .push(Message(global_rank(rank_), tag, context_, std::move(payload)));
+}
+
+void Communicator::send(int dest, int tag,
+                        std::span<const std::uint8_t> payload) const {
+  send(dest, tag, util::Bytes(payload.begin(), payload.end()));
+}
+
+Message Communicator::recv(int source, int tag) const {
+  const int global_src = source == kAnySource ? kAnySource : global_rank(source);
+  Message msg = world_->mailbox(global_rank(rank_)).pop(context_, global_src, tag);
+  msg.source = local_rank_of_global(msg.source);
+  return msg;
+}
+
+bool Communicator::probe(int source, int tag) const {
+  const int global_src = source == kAnySource ? kAnySource : global_rank(source);
+  return world_->mailbox(global_rank(rank_)).probe(context_, global_src, tag);
+}
+
+std::optional<Message> Communicator::try_recv(int source, int tag) const {
+  const int global_src = source == kAnySource ? kAnySource : global_rank(source);
+  auto msg = world_->mailbox(global_rank(rank_)).try_pop(context_, global_src, tag);
+  if (msg) msg->source = local_rank_of_global(msg->source);
+  return msg;
+}
+
+Message Communicator::sendrecv(int peer, int tag, util::Bytes payload) const {
+  // Mailboxes buffer eagerly, so a plain send-then-recv cannot deadlock.
+  send(peer, tag, std::move(payload));
+  return recv(peer, tag);
+}
+
+void Communicator::barrier() const {
+  // Dissemination barrier: O(log P) rounds, exact-source matching.
+  const int p = size();
+  for (int step = 1; step < p; step <<= 1) {
+    const int to = (rank_ + step) % p;
+    const int from = (rank_ - step % p + p) % p;
+    send(to, kBarrierTag, util::Bytes{});
+    (void)recv(from, kBarrierTag);
+  }
+}
+
+util::Bytes Communicator::bcast(int root, util::Bytes payload) const {
+  // Binomial tree rotated so that `root` maps to virtual rank 0. Every rank
+  // receives from a deterministic parent (exact-source match), so two
+  // back-to-back broadcasts on the same communicator cannot cross-talk.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int recv_step;  // the bit at which this vrank hangs off the tree
+  if (vrank == 0) {
+    recv_step = 1;
+    while (recv_step < p) recv_step <<= 1;
+  } else {
+    recv_step = vrank & -vrank;
+    const int vparent = vrank - recv_step;
+    payload = recv((vparent + root) % p, kBcastTag).payload;
+  }
+  for (int step = recv_step >> 1; step >= 1; step >>= 1) {
+    const int vchild = vrank + step;
+    if (vchild < p) send((vchild + root) % p, kBcastTag, payload);
+  }
+  return payload;
+}
+
+std::vector<util::Bytes> Communicator::gather(int root, util::Bytes payload) const {
+  // Flat gather with per-source receives: correct under repeated gathers
+  // because mailbox delivery is FIFO per (source, context, tag).
+  if (rank_ == root) {
+    std::vector<util::Bytes> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = std::move(payload);
+    for (int src = 0; src < size(); ++src) {
+      if (src == root) continue;
+      out[static_cast<std::size_t>(src)] = recv(src, kGatherTag).payload;
+    }
+    return out;
+  }
+  send(root, kGatherTag, std::move(payload));
+  return {};
+}
+
+util::Bytes Communicator::scatter(int root,
+                                  std::vector<util::Bytes> payloads) const {
+  constexpr int kScatterTag = -1004;
+  if (rank_ == root) {
+    if (payloads.size() != static_cast<std::size_t>(size()))
+      throw std::invalid_argument("vmp: scatter payload count != size()");
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == root) continue;
+      send(dst, kScatterTag, std::move(payloads[static_cast<std::size_t>(dst)]));
+    }
+    return std::move(payloads[static_cast<std::size_t>(root)]);
+  }
+  return recv(root, kScatterTag).payload;
+}
+
+std::vector<util::Bytes> Communicator::allgather(util::Bytes payload) const {
+  // Gather at rank 0, then broadcast the packed table.
+  auto all = gather(0, std::move(payload));
+  util::Bytes table;
+  if (rank_ == 0) {
+    util::ByteWriter w;
+    w.varint(all.size());
+    for (const auto& b : all) {
+      w.varint(b.size());
+      w.raw(b);
+    }
+    table = w.take();
+  }
+  table = bcast(0, std::move(table));
+  util::ByteReader r(table);
+  std::vector<util::Bytes> out(r.varint());
+  for (auto& b : out) {
+    const std::size_t len = r.varint();
+    const auto s = r.raw(len);
+    b.assign(s.begin(), s.end());
+  }
+  return out;
+}
+
+std::vector<double> Communicator::reduce(int root, std::vector<double> values,
+                                         ReduceOp op) const {
+  // Binomial-tree reduction toward virtual rank 0 (= root).
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  for (int step = 1; step < p; step <<= 1) {
+    if ((vrank & step) != 0) {
+      const int parent = ((vrank - step) + root) % p;
+      send(parent, kReduceTag, pack_doubles(values));
+      return {};  // contributed; done
+    }
+    const int vchild = vrank + step;
+    if (vchild < p) {
+      const Message msg = recv((vchild + root) % p, kReduceTag);
+      apply_reduce(values, unpack_doubles(msg.payload), op);
+    }
+  }
+  return values;
+}
+
+std::vector<double> Communicator::allreduce(std::vector<double> values,
+                                            ReduceOp op) const {
+  auto reduced = reduce(0, std::move(values), op);
+  auto packed = bcast(0, rank_ == 0 ? pack_doubles(reduced) : util::Bytes{});
+  return unpack_doubles(packed);
+}
+
+std::uint32_t Communicator::allocate_contexts(int count) const {
+  util::Bytes packed;
+  if (rank_ == 0) {
+    util::ByteWriter w;
+    w.u32(world_->allocate_contexts(static_cast<std::uint32_t>(count)));
+    packed = w.take();
+  }
+  packed = bcast(0, std::move(packed));
+  return util::ByteReader(packed).u32();
+}
+
+Communicator Communicator::subgroup_internal(const std::vector<int>& members,
+                                             std::uint32_t context) const {
+  std::vector<int> global;
+  global.reserve(members.size());
+  int my_pos = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == rank_) my_pos = static_cast<int>(i);
+    global.push_back(global_rank(members[i]));
+  }
+  if (my_pos < 0) return Communicator(world_, 0, -1, {});  // null communicator
+  return Communicator(world_, context, my_pos, std::move(global));
+}
+
+Communicator Communicator::subgroup(const std::vector<int>& members) const {
+  const std::uint32_t ctx = allocate_contexts(1);
+  return subgroup_internal(members, ctx);
+}
+
+Communicator Communicator::split(int color) const {
+  // Exchange colors, then derive one fresh context per distinct color so the
+  // resulting sibling communicators cannot observe each other's traffic.
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(color));
+  auto all = gather(0, w.take());
+  util::Bytes table;
+  if (rank_ == 0) {
+    util::ByteWriter tw;
+    for (const auto& b : all) tw.u32(util::ByteReader(b).u32());
+    table = tw.take();
+  }
+  table = bcast(0, std::move(table));
+  util::ByteReader r(table);
+  std::vector<int> colors(static_cast<std::size_t>(size()));
+  for (auto& c : colors) c = static_cast<int>(r.u32());
+
+  // Distinct colors in order of first appearance define context offsets.
+  std::vector<int> distinct;
+  for (int c : colors)
+    if (std::find(distinct.begin(), distinct.end(), c) == distinct.end())
+      distinct.push_back(c);
+  const std::uint32_t base =
+      allocate_contexts(static_cast<int>(distinct.size()));
+  const auto color_index = static_cast<std::uint32_t>(
+      std::find(distinct.begin(), distinct.end(), color) - distinct.begin());
+
+  std::vector<int> members;
+  for (int i = 0; i < size(); ++i)
+    if (colors[static_cast<std::size_t>(i)] == color) members.push_back(i);
+  return subgroup_internal(members, base + color_index);
+}
+
+void Cluster::run(int num_ranks, const RankFn& fn) {
+  if (num_ranks <= 0) throw std::invalid_argument("vmp: num_ranks must be > 0");
+  auto world = std::make_shared<World>(num_ranks);
+  const std::uint32_t ctx = world->allocate_contexts(1);
+
+  std::vector<int> identity(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) identity[static_cast<std::size_t>(i)] = i;
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(world, ctx, r, identity);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        world->poison_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& err : errors)
+    if (err) std::rethrow_exception(err);
+}
+
+}  // namespace tvviz::vmp

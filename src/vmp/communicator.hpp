@@ -1,0 +1,140 @@
+// Communicator: a rank's view of a process group, in the style of MPI.
+// Point-to-point operations go through per-rank mailboxes; collectives are
+// implemented as binomial trees / dissemination patterns over point-to-point,
+// so they exercise the same messaging substrate a real cluster would.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "vmp/mailbox.hpp"
+
+namespace tvviz::vmp {
+
+class World;
+
+/// Reduction operators for reduce/allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return static_cast<int>(ranks_.size()); }
+
+  // -- point to point ------------------------------------------------------
+
+  /// Send bytes to `dest` (rank within this communicator) with `tag`.
+  /// Non-blocking in the eager-buffered sense: copies into the mailbox.
+  void send(int dest, int tag, util::Bytes payload) const;
+  void send(int dest, int tag, std::span<const std::uint8_t> payload) const;
+
+  /// Blocking receive. source/tag accept kAnySource / kAnyTag.
+  /// The returned Message::source is translated to this communicator's ranks.
+  Message recv(int source = kAnySource, int tag = kAnyTag) const;
+
+  /// Non-blocking probe / receive.
+  bool probe(int source = kAnySource, int tag = kAnyTag) const;
+  std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag) const;
+
+  /// Combined exchange (deadlock-free pairwise swap, as in binary-swap).
+  Message sendrecv(int peer, int tag, util::Bytes payload) const;
+
+  // -- typed convenience wrappers -----------------------------------------
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    util::Bytes buf(sizeof(T));
+    std::memcpy(buf.data(), &value, sizeof(T));
+    send(dest, tag, std::move(buf));
+  }
+
+  template <typename T>
+  T recv_value(int source = kAnySource, int tag = kAnyTag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message msg = recv(source, tag);
+    T value;
+    if (msg.payload.size() != sizeof(T))
+      throw std::runtime_error("vmp: recv_value size mismatch");
+    std::memcpy(&value, msg.payload.data(), sizeof(T));
+    return value;
+  }
+
+  // -- collectives (must be called by every rank of the communicator) ------
+
+  /// Dissemination barrier: O(log P) rounds.
+  void barrier() const;
+
+  /// Binomial-tree broadcast from `root`; returns the broadcast bytes.
+  util::Bytes bcast(int root, util::Bytes payload) const;
+
+  /// Gather each rank's bytes at `root` (index = rank). Non-roots get {}.
+  std::vector<util::Bytes> gather(int root, util::Bytes payload) const;
+
+  /// Scatter: `root` provides one payload per rank (size() entries, ignored
+  /// elsewhere); every rank returns its own.
+  util::Bytes scatter(int root, std::vector<util::Bytes> payloads) const;
+
+  /// Allgather: every rank contributes bytes and receives everyone's,
+  /// indexed by rank.
+  std::vector<util::Bytes> allgather(util::Bytes payload) const;
+
+  /// Element-wise reduction of equal-length double vectors at `root`.
+  std::vector<double> reduce(int root, std::vector<double> values,
+                             ReduceOp op) const;
+
+  /// Reduce + broadcast.
+  std::vector<double> allreduce(std::vector<double> values, ReduceOp op) const;
+
+  /// Partition into sub-communicators by `color` (ranks with equal color end
+  /// up together, ordered by current rank). Every rank must call this.
+  Communicator split(int color) const;
+
+  /// Sub-communicator over an explicit subset of this communicator's ranks
+  /// (same list on every rank). Ranks not listed get a null communicator
+  /// (size 0) and must not use it.
+  Communicator subgroup(const std::vector<int>& members) const;
+
+  bool is_null() const noexcept { return ranks_.empty(); }
+
+ private:
+  friend class Cluster;
+  friend class World;
+  Communicator(std::shared_ptr<World> world, std::uint32_t context, int rank,
+               std::vector<int> ranks)
+      : world_(std::move(world)),
+        context_(context),
+        rank_(rank),
+        ranks_(std::move(ranks)) {}
+
+  int global_rank(int local) const { return ranks_.at(static_cast<std::size_t>(local)); }
+  int local_rank_of_global(int global) const;
+  Communicator subgroup_internal(const std::vector<int>& members,
+                                 std::uint32_t context) const;
+  /// Collective: parent rank 0 allocates `count` fresh context ids and
+  /// broadcasts the first; ids are consecutive.
+  std::uint32_t allocate_contexts(int count) const;
+
+  std::shared_ptr<World> world_;
+  std::uint32_t context_ = 0;
+  int rank_ = -1;               ///< This rank within the communicator.
+  std::vector<int> ranks_;      ///< local rank -> world rank.
+};
+
+/// Launches P rank threads, each receiving a Communicator over the full world.
+/// Exceptions thrown by any rank poison the world (unblocking peers) and the
+/// first one is rethrown from run().
+class Cluster {
+ public:
+  using RankFn = std::function<void(Communicator&)>;
+
+  /// Run `fn` on `num_ranks` virtual processors and wait for completion.
+  static void run(int num_ranks, const RankFn& fn);
+};
+
+}  // namespace tvviz::vmp

@@ -1,0 +1,63 @@
+#include "vmp/mailbox.hpp"
+
+#include <stdexcept>
+
+namespace tvviz::vmp {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::extract_locked(std::uint32_t context, int source,
+                                               int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, context, source, tag)) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::pop(std::uint32_t context, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto msg = extract_locked(context, source, tag)) return std::move(*msg);
+    if (poisoned_)
+      throw std::runtime_error("vmp: world poisoned while waiting for message");
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(std::uint32_t context, int source, int tag) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& m : queue_)
+    if (matches(m, context, source, tag)) return true;
+  return false;
+}
+
+std::optional<Message> Mailbox::try_pop(std::uint32_t context, int source,
+                                        int tag) {
+  std::lock_guard lock(mutex_);
+  return extract_locked(context, source, tag);
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace tvviz::vmp

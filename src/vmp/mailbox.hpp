@@ -1,0 +1,50 @@
+// Per-rank mailbox: an unbounded MPSC queue with blocking receive matched on
+// (context, tag, source). One mailbox per virtual processor node.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "vmp/message.hpp"
+
+namespace tvviz::vmp {
+
+class Mailbox {
+ public:
+  /// Enqueue a message (called by any sender thread).
+  void push(Message msg);
+
+  /// Block until a message matching (context, tag, source) is available and
+  /// remove it. tag/source may be kAnyTag/kAnySource.
+  /// Throws std::runtime_error if the world was poisoned (a peer died).
+  Message pop(std::uint32_t context, int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(std::uint32_t context, int source, int tag) const;
+
+  /// Non-blocking receive; std::nullopt when no match is queued.
+  std::optional<Message> try_pop(std::uint32_t context, int source, int tag);
+
+  /// Wake all blocked receivers with an error (peer rank failed).
+  void poison();
+
+  std::size_t pending() const;
+
+ private:
+  static bool matches(const Message& m, std::uint32_t context, int source,
+                      int tag) {
+    return m.context == context && (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+  std::optional<Message> extract_locked(std::uint32_t context, int source,
+                                        int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace tvviz::vmp

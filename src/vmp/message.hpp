@@ -1,0 +1,26 @@
+// Message envelope for the virtual message-passing runtime.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace tvviz::vmp {
+
+/// Wildcards for receive matching (MPI_ANY_SOURCE / MPI_ANY_TAG analogues).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;       ///< Sending rank within the communicator's world.
+  int tag = 0;          ///< Application tag.
+  std::uint32_t context = 0;  ///< Communicator context id (isolates traffic).
+  util::Bytes payload;
+
+  Message() = default;
+  Message(int src, int tag_, std::uint32_t ctx, util::Bytes data)
+      : source(src), tag(tag_), context(ctx), payload(std::move(data)) {}
+};
+
+}  // namespace tvviz::vmp

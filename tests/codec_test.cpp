@@ -1,0 +1,460 @@
+// Tests for the compression substrate: byte codecs (RLE / LZ / BWT),
+// Huffman coding, the JPEG-style image codec, codec chaining, and frame
+// differencing. Property-style roundtrips run as parameterized suites.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/bwt.hpp"
+#include "codec/byte_codec.hpp"
+#include "codec/framediff.hpp"
+#include "codec/huffman.hpp"
+#include "codec/image_codec.hpp"
+#include "codec/jpeg.hpp"
+#include "codec/lz.hpp"
+#include "field/generators.hpp"
+#include "render/raycast.hpp"
+#include "render/transfer.hpp"
+#include "util/rng.hpp"
+
+namespace tvviz {
+namespace {
+
+using codec::BwtCodec;
+using codec::ByteCodec;
+using codec::HuffmanCode;
+using codec::JpegCodec;
+using codec::LzCodec;
+using codec::RawCodec;
+using codec::RleCodec;
+using render::Image;
+using util::Bytes;
+
+Bytes pattern_bytes(std::size_t n, int kind) {
+  Bytes out(n);
+  util::Rng rng(kind * 977 + 13);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (kind) {
+      case 0: out[i] = 0; break;                                    // zeros
+      case 1: out[i] = static_cast<std::uint8_t>(i & 0xff); break;  // ramp
+      case 2: out[i] = static_cast<std::uint8_t>(rng()); break;     // noise
+      case 3:  // text-like repetition
+        out[i] = static_cast<std::uint8_t>("the quick brown fox "[i % 20]);
+        break;
+      case 4:  // long runs with occasional breaks
+        out[i] = static_cast<std::uint8_t>((i / 300) & 0xff);
+        break;
+      default:  // sparse image-like: mostly zero with bursts
+        out[i] = (i % 97 < 5) ? static_cast<std::uint8_t>(rng()) : 0;
+        break;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------- byte codec roundtrips ----
+
+struct ByteCodecCase {
+  std::string name;
+  std::shared_ptr<const ByteCodec> codec;
+};
+
+class ByteCodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ public:
+  static std::shared_ptr<const ByteCodec> make(int which) {
+    switch (which) {
+      case 0: return std::make_shared<RawCodec>();
+      case 1: return std::make_shared<RleCodec>();
+      case 2: return std::make_shared<LzCodec>(1);
+      case 3: return std::make_shared<LzCodec>(5);
+      case 4: return std::make_shared<LzCodec>(9);
+      case 5: return std::make_shared<BwtCodec>(1024);
+      default: return std::make_shared<BwtCodec>(64 * 1024);
+    }
+  }
+};
+
+TEST_P(ByteCodecRoundTrip, DecodeInvertsEncode) {
+  const auto [which, kind, size] = GetParam();
+  const auto codec = make(which);
+  const Bytes input = pattern_bytes(static_cast<std::size_t>(size), kind);
+  const Bytes packed = codec->encode(input);
+  const Bytes out = codec->decode(packed);
+  EXPECT_EQ(out, input) << codec->name() << " kind=" << kind
+                        << " size=" << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsPatternsSizes, ByteCodecRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(0, 1, 2, 100, 4093, 70000)));
+
+TEST(ByteCodecs, CompressibleDataShrinks) {
+  const Bytes zeros = pattern_bytes(50000, 0);
+  EXPECT_LT(RleCodec().encode(zeros).size(), zeros.size() / 50);
+  EXPECT_LT(LzCodec().encode(zeros).size(), zeros.size() / 50);
+  EXPECT_LT(BwtCodec().encode(zeros).size(), zeros.size() / 50);
+}
+
+TEST(ByteCodecs, BwtBeatsLzOnStatisticallyRedundantData) {
+  // The paper's placement: BZIP compresses better than LZO (Table 1);
+  // block-sorting + entropy coding exploits statistical redundancy that
+  // LZ77 match-finding cannot (few literal repeats, low byte entropy).
+  util::Rng rng(99);
+  Bytes data(60000);
+  for (auto& b : data) b = static_cast<std::uint8_t>((rng() & 0x07) * 13);
+  EXPECT_LT(BwtCodec().encode(data).size(), LzCodec().encode(data).size());
+}
+
+TEST(ByteCodecs, HigherLzLevelCompressesBetter) {
+  const Bytes data = pattern_bytes(60000, 5);
+  const auto fast = LzCodec(1).encode(data);
+  const auto tight = LzCodec(9).encode(data);
+  EXPECT_LE(tight.size(), fast.size());
+}
+
+TEST(ByteCodecs, CorruptStreamsThrow) {
+  const Bytes data = pattern_bytes(1000, 3);
+  auto packed = LzCodec().encode(data);
+  packed.resize(packed.size() / 2);  // truncate
+  EXPECT_THROW(LzCodec().decode(packed), std::exception);
+
+  auto bwt_packed = BwtCodec().encode(data);
+  bwt_packed.resize(bwt_packed.size() / 2);
+  EXPECT_THROW(BwtCodec().decode(bwt_packed), std::exception);
+
+  const Bytes reserved = {128};
+  EXPECT_THROW(RleCodec().decode(reserved), std::runtime_error);
+}
+
+TEST(ByteCodecs, LzRejectsBadLevel) {
+  EXPECT_THROW(LzCodec(0), std::invalid_argument);
+  EXPECT_THROW(LzCodec(10), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- bwt ----
+
+TEST(Bwt, KnownExample) {
+  // Classic "banana" rotation-sort example.
+  const Bytes input = {'b', 'a', 'n', 'a', 'n', 'a'};
+  std::uint32_t primary = 0;
+  const Bytes last = codec::bwt_forward(input, primary);
+  EXPECT_EQ(last, (Bytes{'n', 'n', 'b', 'a', 'a', 'a'}));
+  EXPECT_EQ(codec::bwt_inverse(last, primary), input);
+}
+
+TEST(Bwt, EmptyAndSingle) {
+  std::uint32_t primary = 9;
+  EXPECT_TRUE(codec::bwt_forward({}, primary).empty());
+  const Bytes one = {'x'};
+  const Bytes last = codec::bwt_forward(one, primary);
+  EXPECT_EQ(codec::bwt_inverse(last, primary), one);
+}
+
+TEST(Bwt, InverseRejectsBadPrimary) {
+  const Bytes last = {'a', 'b'};
+  EXPECT_THROW(codec::bwt_inverse(last, 5), std::runtime_error);
+}
+
+TEST(Mtf, RoundTripAndFrontLoading) {
+  const Bytes input = {'a', 'a', 'a', 'b', 'b', 'a'};
+  const auto mtf = codec::mtf_forward(input);
+  // Repeated symbols become zeros.
+  EXPECT_EQ(mtf[1], 0);
+  EXPECT_EQ(mtf[2], 0);
+  EXPECT_EQ(mtf[4], 0);
+  EXPECT_EQ(codec::mtf_inverse(mtf), std::vector<std::uint8_t>(input.begin(), input.end()));
+}
+
+// ------------------------------------------------------------- huffman ----
+
+TEST(Huffman, RoundTripSkewedDistribution) {
+  std::vector<std::uint64_t> freqs = {1000, 200, 50, 10, 1, 0, 3};
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  util::BitWriter w;
+  const int symbols[] = {0, 1, 0, 2, 6, 0, 4, 3, 0, 1};
+  for (int s : symbols) code.encode(w, s);
+  const auto bytes = w.finish();
+  util::BitReader r(bytes);
+  for (int s : symbols) EXPECT_EQ(code.decode(r), s);
+}
+
+TEST(Huffman, ShorterCodesForFrequentSymbols) {
+  std::vector<std::uint64_t> freqs = {1000000, 1, 1, 1};
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  EXPECT_LT(code.lengths()[0], code.lengths()[3]);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freqs = {0, 42, 0};
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  util::BitWriter w;
+  code.encode(w, 1);
+  const auto bytes = w.finish();
+  util::BitReader r(bytes);
+  EXPECT_EQ(code.decode(r), 1);
+}
+
+TEST(Huffman, LengthsSerializeRoundTrip) {
+  std::vector<std::uint64_t> freqs(300, 0);
+  freqs[5] = 100;
+  freqs[100] = 50;
+  freqs[299] = 1;
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  util::ByteWriter w;
+  code.write_lengths(w);
+  util::ByteReader r(w.bytes());
+  const auto restored = HuffmanCode::read_lengths(r);
+  EXPECT_EQ(restored.lengths(), code.lengths());
+}
+
+TEST(Huffman, DepthLimitedUnderManySymbols) {
+  // Fibonacci-like frequencies force deep trees; lengths must stay capped.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(a);
+    const auto next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  for (auto len : code.lengths()) EXPECT_LE(len, HuffmanCode::kMaxBits);
+  // Still decodable.
+  util::BitWriter w;
+  for (int s = 0; s < 40; ++s) code.encode(w, s);
+  const auto bytes = w.finish();
+  util::BitReader r(bytes);
+  for (int s = 0; s < 40; ++s) EXPECT_EQ(code.decode(r), s);
+}
+
+TEST(Huffman, AllZeroFrequenciesThrow) {
+  std::vector<std::uint64_t> freqs(8, 0);
+  EXPECT_THROW(HuffmanCode::from_frequencies(freqs), std::invalid_argument);
+}
+
+TEST(Huffman, ExpectedBitsMatchesEntropyOrder) {
+  std::vector<std::uint64_t> uniform(16, 100);
+  const auto code = HuffmanCode::from_frequencies(uniform);
+  EXPECT_NEAR(code.expected_bits(uniform), 4.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- jpeg ----
+
+Image test_frame(int size, const char* kind = "jet") {
+  auto desc = std::string(kind) == "jet"
+                  ? field::scaled(field::turbulent_jet_desc(), 4, 2)
+                  : field::scaled(field::turbulent_vortex_desc(), 4, 2);
+  const auto vol = field::generate(desc, 1);
+  render::RayCaster caster;
+  const auto tf = std::string(kind) == "jet"
+                      ? render::TransferFunction::fire()
+                      : render::TransferFunction::dense_cool_warm();
+  return caster.render_full(vol, render::Camera(size, size), tf);
+}
+
+TEST(Jpeg, RoundTripQuality) {
+  const Image frame = test_frame(128);
+  const JpegCodec codec(85);
+  const auto packed = codec.encode(frame);
+  const Image out = codec.decode(packed);
+  EXPECT_EQ(out.width(), 128);
+  EXPECT_EQ(out.height(), 128);
+  EXPECT_GT(render::psnr(frame, out), 30.0);
+  // And it actually compresses hard (paper: 96%+ reduction).
+  EXPECT_LT(packed.size(), static_cast<std::size_t>(128 * 128 * 3) / 10);
+}
+
+TEST(Jpeg, QualityKnobTradesSizeForFidelity) {
+  const Image frame = test_frame(96);
+  const auto lo = JpegCodec(20).encode(frame);
+  const auto hi = JpegCodec(90).encode(frame);
+  EXPECT_LT(lo.size(), hi.size());
+  const double psnr_lo = render::psnr(frame, JpegCodec(20).decode(lo));
+  const double psnr_hi = render::psnr(frame, JpegCodec(90).decode(hi));
+  EXPECT_LT(psnr_lo, psnr_hi);
+}
+
+TEST(Jpeg, OddSizesAndTinyImages) {
+  for (const auto& [w, h] : {std::pair{1, 1}, {7, 5}, {17, 9}, {8, 8}}) {
+    Image img(w, h);
+    util::Rng rng(w * 100 + h);
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        img.set(x, y, static_cast<std::uint8_t>(rng()),
+                static_cast<std::uint8_t>(rng()),
+                static_cast<std::uint8_t>(rng()));
+    const JpegCodec codec(75);
+    const Image out = codec.decode(codec.encode(img));
+    EXPECT_EQ(out.width(), w);
+    EXPECT_EQ(out.height(), h);
+  }
+}
+
+TEST(Jpeg, FlatImageNearlyExact) {
+  Image img(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) img.set(x, y, 120, 60, 200);
+  const JpegCodec codec(90);
+  const Image out = codec.decode(codec.encode(img));
+  EXPECT_GT(render::psnr(img, out), 38.0);
+}
+
+TEST(Jpeg, SubsamplingShrinksOutput) {
+  const Image frame = test_frame(96, "vortex");
+  const auto sub = JpegCodec(80, true).encode(frame);
+  const auto full = JpegCodec(80, false).encode(frame);
+  EXPECT_LT(sub.size(), full.size());
+}
+
+TEST(Jpeg, RejectsBadQualityAndMagic) {
+  EXPECT_THROW(JpegCodec(0), std::invalid_argument);
+  EXPECT_THROW(JpegCodec(101), std::invalid_argument);
+  const Bytes garbage = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  EXPECT_THROW(JpegCodec(75).decode(garbage), std::exception);
+}
+
+// --------------------------------------------------------- image codecs ----
+
+class ImageCodecCase : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ImageCodecCase, RoundTripShapeAndQuality) {
+  const auto codec = codec::make_image_codec(GetParam(), 85);
+  const Image frame = test_frame(96);
+  const auto packed = codec->encode(frame);
+  const Image out = codec->decode(packed);
+  EXPECT_EQ(out.width(), frame.width());
+  EXPECT_EQ(out.height(), frame.height());
+  if (codec->lossless()) {
+    // RGB must match exactly (alpha is reconstructed as opaque).
+    for (int y = 0; y < frame.height(); y += 7)
+      for (int x = 0; x < frame.width(); x += 7) {
+        EXPECT_EQ(out.pixel(x, y)[0], frame.pixel(x, y)[0]);
+        EXPECT_EQ(out.pixel(x, y)[1], frame.pixel(x, y)[1]);
+        EXPECT_EQ(out.pixel(x, y)[2], frame.pixel(x, y)[2]);
+      }
+  } else {
+    EXPECT_GT(render::psnr(frame, out), 28.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNames, ImageCodecCase,
+                         ::testing::Values("raw", "rle", "lzo", "bzip", "jpeg",
+                                           "jpeg+lzo", "jpeg+bzip"));
+
+TEST(ImageCodecs, UnknownNameThrows) {
+  EXPECT_THROW(codec::make_image_codec("mpeg"), std::invalid_argument);
+}
+
+TEST(ImageCodecs, Table1SizeOrdering) {
+  // Raw >> LZO > BZIP >> JPEG, and chaining LZO/BZIP after JPEG shrinks it
+  // further — the orderings Table 1 reports for the jet frames.
+  const Image frame = test_frame(128);
+  const auto size_of = [&](const char* name) {
+    return codec::make_image_codec(name, 75)->encode(frame).size();
+  };
+  const auto raw = size_of("raw");
+  const auto lzo = size_of("lzo");
+  const auto bzip = size_of("bzip");
+  const auto jpeg = size_of("jpeg");
+  const auto jpeg_lzo = size_of("jpeg+lzo");
+  EXPECT_LT(lzo, raw);
+  EXPECT_LT(bzip, lzo);
+  EXPECT_LT(jpeg, bzip);
+  EXPECT_LT(jpeg_lzo, jpeg);
+  // Paper: overall compression 96% and up at 256^2; check the 128^2 frame
+  // is already past 90%.
+  EXPECT_LT(static_cast<double>(jpeg_lzo) / static_cast<double>(raw), 0.10);
+}
+
+TEST(ImageCodecs, ChainNamesCompose) {
+  const auto c = codec::make_image_codec("jpeg+bzip", 60);
+  EXPECT_EQ(c->name(), "jpeg+bzip");
+  EXPECT_FALSE(c->lossless());
+  EXPECT_EQ(codec::make_image_codec("lzo")->lossless(), true);
+}
+
+TEST(ImageCodecs, Table1NamesListed) {
+  const auto& names = codec::table1_codec_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "raw");
+  EXPECT_EQ(names.back(), "jpeg+bzip");
+}
+
+// ----------------------------------------------------------- framediff ----
+
+TEST(FrameDiff, SequenceRoundTripLossless) {
+  auto inner = std::make_shared<LzCodec>();
+  codec::FrameDiffEncoder enc(inner);
+  codec::FrameDiffDecoder dec(inner);
+  auto desc = field::scaled(field::turbulent_jet_desc(), 6, 5);
+  render::RayCaster caster;
+  for (int step = 0; step < 5; ++step) {
+    const Image frame = caster.render_full(field::generate(desc, step),
+                                           render::Camera(64, 64),
+                                           render::TransferFunction::fire());
+    const auto packed = enc.encode_frame(frame);
+    const Image out = dec.decode_frame(packed);
+    for (int y = 0; y < 64; y += 9)
+      for (int x = 0; x < 64; x += 9) {
+        EXPECT_EQ(out.pixel(x, y)[0], frame.pixel(x, y)[0]);
+        EXPECT_EQ(out.pixel(x, y)[2], frame.pixel(x, y)[2]);
+      }
+  }
+}
+
+TEST(FrameDiff, DeltasSmallerThanKeyFramesForCoherentAnimation) {
+  auto inner = std::make_shared<LzCodec>();
+  codec::FrameDiffEncoder enc(inner);
+  auto desc = field::scaled(field::turbulent_jet_desc(), 6, 60);
+  render::RayCaster caster;
+  // Adjacent time steps — §7.1: temporal coherence makes deltas cheap.
+  const Image f0 = caster.render_full(field::generate(desc, 30),
+                                      render::Camera(64, 64),
+                                      render::TransferFunction::fire());
+  const Image f1 = caster.render_full(field::generate(desc, 31),
+                                      render::Camera(64, 64),
+                                      render::TransferFunction::fire());
+  const auto key = enc.encode_frame(f0);
+  const auto delta = enc.encode_frame(f1);
+  EXPECT_LT(delta.size(), key.size());
+}
+
+TEST(FrameDiff, ResizeForcesKeyFrame) {
+  auto inner = std::make_shared<RleCodec>();
+  codec::FrameDiffEncoder enc(inner);
+  codec::FrameDiffDecoder dec(inner);
+  Image small(8, 8), big(16, 16);
+  small.set(1, 1, 50, 60, 70);
+  big.set(2, 2, 80, 90, 100);
+  (void)dec.decode_frame(enc.encode_frame(small));
+  const Image out = dec.decode_frame(enc.encode_frame(big));
+  EXPECT_EQ(out.width(), 16);
+  EXPECT_EQ(out.pixel(2, 2)[0], 80);
+}
+
+TEST(FrameDiff, DeltaWithoutKeyThrows) {
+  auto inner = std::make_shared<RleCodec>();
+  codec::FrameDiffEncoder enc(inner);
+  Image img(8, 8);
+  (void)enc.encode_frame(img);           // key
+  const auto delta = enc.encode_frame(img);  // delta
+  codec::FrameDiffDecoder fresh(inner);
+  EXPECT_THROW(fresh.decode_frame(delta), std::runtime_error);
+}
+
+TEST(FrameDiff, ResetForcesNewKey) {
+  auto inner = std::make_shared<RleCodec>();
+  codec::FrameDiffEncoder enc(inner);
+  Image img(8, 8);
+  (void)enc.encode_frame(img);
+  enc.reset();
+  const auto packed = enc.encode_frame(img);
+  codec::FrameDiffDecoder dec(inner);
+  EXPECT_NO_THROW(dec.decode_frame(packed));  // decodable without history
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,0 +1,174 @@
+// Tests for §4.1 collective parallel compression: ranks share Huffman
+// statistics and entropy-code their strips with whole-frame-optimal tables.
+#include <gtest/gtest.h>
+
+#include "codec/image_codec.hpp"
+#include "compositing/collective_compress.hpp"
+#include "core/session.hpp"
+#include "field/generators.hpp"
+#include "render/raycast.hpp"
+#include "vmp/communicator.hpp"
+
+namespace tvviz {
+namespace {
+
+using compositing::collective_jpeg_decode;
+using compositing::collective_jpeg_encode;
+using render::Image;
+
+Image test_frame(int size) {
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 3, 4);
+  render::RayCaster caster;
+  return caster.render_full(field::generate(desc, 2),
+                            render::Camera(size, size),
+                            render::TransferFunction::fire(), true);
+}
+
+/// Split `frame` into `parts` strips and collectively encode over a vmp
+/// cluster; returns the root's encoded frame.
+util::Bytes encode_with(const Image& frame, int parts, int quality = 75) {
+  util::Bytes wire;
+  vmp::Cluster::run(parts, [&](vmp::Communicator& comm) {
+    const int h = frame.height();
+    const int base = h / parts, extra = h % parts;
+    int y0 = 0;
+    for (int r = 0; r < comm.rank(); ++r) y0 += base + (r < extra ? 1 : 0);
+    const int sh = base + (comm.rank() < extra ? 1 : 0);
+    Image strip(frame.width(), sh);
+    for (int y = 0; y < sh; ++y)
+      for (int x = 0; x < frame.width(); ++x) {
+        const auto* p = frame.pixel(x, y0 + y);
+        strip.set(x, y, p[0], p[1], p[2], p[3]);
+      }
+    auto encoded = collective_jpeg_encode(comm, strip, y0, frame.width(),
+                                          frame.height(), quality);
+    if (comm.rank() == 0) wire = std::move(encoded);
+  });
+  return wire;
+}
+
+TEST(CollectiveJpeg, RoundTripQuality) {
+  const Image frame = test_frame(96);
+  const auto wire = encode_with(frame, 4, 85);
+  ASSERT_FALSE(wire.empty());
+  const Image out = collective_jpeg_decode(wire);
+  EXPECT_EQ(out.width(), 96);
+  EXPECT_EQ(out.height(), 96);
+  EXPECT_GT(render::psnr(frame, out), 28.0);
+}
+
+class CollectiveJpegRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveJpegRanks, AnyGroupSizeDecodes) {
+  const int ranks = GetParam();
+  const Image frame = test_frame(64);
+  const auto wire = encode_with(frame, ranks);
+  const Image out = collective_jpeg_decode(wire);
+  EXPECT_GT(render::psnr(frame, out), 26.0) << "ranks=" << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveJpegRanks,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(CollectiveJpeg, RatioNearWholeFrameBeatsIndependentPieces) {
+  // The §4.1 claim: collective compression "would give the best
+  // compression results". Shared tables must land near the assembled
+  // whole-frame encoder and beat independently-compressed pieces.
+  const Image frame = test_frame(128);
+  constexpr int kParts = 8;
+
+  const auto collective = encode_with(frame, kParts);
+
+  const auto jpeg = codec::make_image_codec("jpeg", 75);
+  const std::size_t whole = jpeg->encode(frame).size();
+  std::size_t independent = 0;
+  const int strip_h = frame.height() / kParts;
+  for (int piece = 0; piece < kParts; ++piece) {
+    Image strip(frame.width(), strip_h);
+    for (int y = 0; y < strip_h; ++y)
+      for (int x = 0; x < frame.width(); ++x) {
+        const auto* p = frame.pixel(x, piece * strip_h + y);
+        strip.set(x, y, p[0], p[1], p[2], p[3]);
+      }
+    independent += jpeg->encode(strip).size();
+  }
+  EXPECT_LT(collective.size(), independent);
+  EXPECT_LT(static_cast<double>(collective.size()),
+            1.35 * static_cast<double>(whole));
+}
+
+TEST(CollectiveJpeg, EmptyStripsHandled) {
+  // Rank 1 contributes nothing (e.g. a folded binary-swap rank).
+  Image frame(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      frame.set(x, y, static_cast<std::uint8_t>(x * 8), 0,
+                static_cast<std::uint8_t>(y * 8));
+  util::Bytes wire;
+  vmp::Cluster::run(3, [&](vmp::Communicator& comm) {
+    Image strip(0, 0);
+    int y0 = 0;
+    if (comm.rank() == 0) {
+      strip = Image(32, 16);
+      for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 32; ++x) {
+          const auto* p = frame.pixel(x, y);
+          strip.set(x, y, p[0], p[1], p[2], p[3]);
+        }
+    } else if (comm.rank() == 2) {
+      y0 = 16;
+      strip = Image(32, 16);
+      for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 32; ++x) {
+          const auto* p = frame.pixel(x, 16 + y);
+          strip.set(x, y, p[0], p[1], p[2], p[3]);
+        }
+    }
+    auto encoded = collective_jpeg_encode(comm, strip, y0, 32, 32, 90);
+    if (comm.rank() == 0) wire = std::move(encoded);
+  });
+  const Image out = collective_jpeg_decode(wire);
+  EXPECT_GT(render::psnr(frame, out), 25.0);
+}
+
+TEST(CollectiveJpeg, AllEmptyFrameDecodesBlack) {
+  util::Bytes wire;
+  vmp::Cluster::run(2, [&](vmp::Communicator& comm) {
+    auto encoded = collective_jpeg_encode(comm, Image(0, 0), 0, 16, 16, 75);
+    if (comm.rank() == 0) wire = std::move(encoded);
+  });
+  const Image out = collective_jpeg_decode(wire);
+  EXPECT_EQ(out.width(), 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) EXPECT_EQ(out.pixel(x, y)[3], 0);
+}
+
+TEST(CollectiveJpeg, BadMagicThrows) {
+  const util::Bytes garbage = {9, 9, 9, 9, 9, 9, 9, 9};
+  EXPECT_THROW(collective_jpeg_decode(garbage), std::runtime_error);
+}
+
+TEST(CollectiveSession, EndToEndThroughDaemon) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 5, 4);
+  cfg.processors = 4;
+  cfg.groups = 2;
+  cfg.image_width = cfg.image_height = 64;
+  cfg.compression = core::SessionConfig::Compression::kCollective;
+  cfg.keep_frames = true;
+  const auto result = core::run_session(cfg);
+  EXPECT_EQ(result.displayed.size(), 4u);
+  EXPECT_GT(result.wire_bytes, 0u);
+  EXPECT_LT(result.wire_bytes, result.raw_bytes / 5);
+
+  // Must visually match the assembled-compression path.
+  core::SessionConfig assembled = cfg;
+  assembled.compression = core::SessionConfig::Compression::kAssembled;
+  assembled.codec = "jpeg";
+  const auto reference = core::run_session(assembled);
+  for (std::size_t i = 0; i < result.displayed.size(); ++i)
+    EXPECT_GT(render::psnr(reference.displayed[i], result.displayed[i]), 25.0);
+}
+
+}  // namespace
+}  // namespace tvviz

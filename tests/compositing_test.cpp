@@ -1,0 +1,209 @@
+// Tests for sort-last compositing: the sequential reference, direct-send,
+// and binary-swap over the vmp runtime (parameterized over rank counts,
+// including non-powers of two).
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "compositing/binary_swap.hpp"
+#include "compositing/over.hpp"
+#include "util/rng.hpp"
+#include "vmp/communicator.hpp"
+
+namespace tvviz {
+namespace {
+
+using compositing::binary_swap;
+using compositing::composite_reference;
+using compositing::direct_send;
+using compositing::gather_frame;
+using render::Image;
+using render::PartialImage;
+using render::Rgba;
+
+/// Deterministic pseudo-random partial image for `rank`: random footprint,
+/// random semi-transparent pixels, depth = rank with a shuffled offset.
+PartialImage random_partial(int rank, int frame_w, int frame_h,
+                            std::uint64_t seed) {
+  util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(rank));
+  const int w = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(frame_w)));
+  const int h = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(frame_h)));
+  const int x0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(frame_w - w + 1)));
+  const int y0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(frame_h - h + 1)));
+  PartialImage p(x0, y0, w, h);
+  p.set_depth(rng.uniform(-10.0, 10.0));
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const double a = rng.uniform(0.0, 0.8);
+      p.at(x, y) = Rgba{a * rng.uniform(), a * rng.uniform(), a * rng.uniform(), a};
+    }
+  return p;
+}
+
+double max_channel_diff(const Image& a, const Image& b) {
+  EXPECT_EQ(a.width(), b.width());
+  EXPECT_EQ(a.height(), b.height());
+  double worst = 0.0;
+  const auto pa = a.bytes(), pb = b.bytes();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    worst = std::max(worst, std::abs(static_cast<double>(pa[i]) - pb[i]));
+  return worst;
+}
+
+// ----------------------------------------------------------- reference ----
+
+TEST(CompositeReference, DepthOrderIndependentOfInputOrder) {
+  PartialImage front(0, 0, 2, 2), back(0, 0, 2, 2);
+  front.set_depth(-1.0);
+  back.set_depth(1.0);
+  front.at(0, 0) = Rgba{1, 0, 0, 1};  // opaque red in front
+  back.at(0, 0) = Rgba{0, 0, 1, 1};   // opaque blue behind
+  const Image ab = composite_reference({front, back}, 2, 2);
+  const Image ba = composite_reference({back, front}, 2, 2);
+  EXPECT_EQ(ab.pixel(0, 0)[0], 255);
+  EXPECT_EQ(ab.pixel(0, 0)[2], 0);
+  EXPECT_EQ(max_channel_diff(ab, ba), 0.0);
+}
+
+TEST(CompositeReference, SemiTransparentBlend) {
+  PartialImage front(0, 0, 1, 1), back(0, 0, 1, 1);
+  front.set_depth(0.0);
+  back.set_depth(1.0);
+  front.at(0, 0) = Rgba{0.5, 0, 0, 0.5};  // premultiplied half-red
+  back.at(0, 0) = Rgba{0, 1, 0, 1};
+  const Image out = composite_reference({front, back}, 1, 1);
+  EXPECT_EQ(out.pixel(0, 0)[0], 128);
+  EXPECT_EQ(out.pixel(0, 0)[1], 128);
+}
+
+TEST(CompositeReference, OffsetsRespected) {
+  PartialImage p(2, 1, 1, 1);
+  p.set_depth(0);
+  p.at(0, 0) = Rgba{1, 1, 1, 1};
+  const Image out = composite_reference({p}, 4, 4);
+  EXPECT_EQ(out.pixel(2, 1)[0], 255);
+  EXPECT_EQ(out.pixel(0, 0)[0], 0);
+}
+
+TEST(CompositeReference, ClipsOutOfFramePartials) {
+  PartialImage p(-2, -2, 8, 8);
+  p.set_depth(0);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) p.at(x, y) = Rgba{1, 1, 1, 1};
+  const Image out = composite_reference({p}, 4, 4);
+  EXPECT_EQ(out.pixel(3, 3)[0], 255);  // covered portion
+}
+
+// --------------------------------------------------------- parallel ----
+
+class ParallelCompositing : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelCompositing, DirectSendMatchesReference) {
+  const int ranks = GetParam();
+  constexpr int kW = 24, kH = 20;
+
+  std::vector<PartialImage> partials;
+  for (int r = 0; r < ranks; ++r) partials.push_back(random_partial(r, kW, kH, 1));
+  const Image expected = composite_reference(partials, kW, kH);
+
+  Image actual;
+  vmp::Cluster::run(ranks, [&](vmp::Communicator& comm) {
+    const Image img = direct_send(
+        comm, partials[static_cast<std::size_t>(comm.rank())], kW, kH);
+    if (comm.rank() == 0) actual = img;
+  });
+  EXPECT_EQ(max_channel_diff(expected, actual), 0.0) << "ranks=" << ranks;
+}
+
+/// Binary-swap requires depths monotone in rank (slab decomposition); run
+/// the suite in both ascending and descending depth order.
+class BinarySwapParam
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(BinarySwapParam, MatchesReference) {
+  const auto [ranks, ascending] = GetParam();
+  constexpr int kW = 24, kH = 20;
+
+  std::vector<PartialImage> partials;
+  for (int r = 0; r < ranks; ++r) {
+    PartialImage p = random_partial(r, kW, kH, 2);
+    p.set_depth(ascending ? r : -r);  // monotone in rank
+    partials.push_back(std::move(p));
+  }
+  const Image expected = composite_reference(partials, kW, kH);
+
+  Image actual;
+  vmp::Cluster::run(ranks, [&](vmp::Communicator& comm) {
+    const auto slice = binary_swap(
+        comm, partials[static_cast<std::size_t>(comm.rank())], kW, kH);
+    const Image img = gather_frame(comm, slice, kW, kH);
+    if (comm.rank() == 0) actual = img;
+  });
+  EXPECT_LE(max_channel_diff(expected, actual), 1.0)
+      << "ranks=" << ranks << " ascending=" << ascending;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankCounts, BinarySwapParam,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Bool()));
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelCompositing,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BinarySwap, SlicesPartitionTheFrame) {
+  constexpr int kRanks = 4, kW = 16, kH = 16;
+  std::vector<int> rows_covered(kH, 0);
+  std::mutex mtx;
+  std::vector<PartialImage> partials;
+  for (int r = 0; r < kRanks; ++r) {
+    PartialImage p = random_partial(r, kW, kH, 3);
+    p.set_depth(r);
+    partials.push_back(std::move(p));
+  }
+  vmp::Cluster::run(kRanks, [&](vmp::Communicator& comm) {
+    const auto slice = binary_swap(
+        comm, partials[static_cast<std::size_t>(comm.rank())], kW, kH);
+    std::lock_guard lock(mtx);
+    for (int y = 0; y < slice.image.height(); ++y)
+      ++rows_covered[static_cast<std::size_t>(slice.row0 + y)];
+  });
+  for (int y = 0; y < kH; ++y) EXPECT_EQ(rows_covered[static_cast<std::size_t>(y)], 1);
+}
+
+TEST(BinarySwap, EmptyPartialsComposeToBlack) {
+  constexpr int kW = 8, kH = 8;
+  Image actual;
+  vmp::Cluster::run(4, [&](vmp::Communicator& comm) {
+    PartialImage empty(0, 0, 0, 0);
+    empty.set_depth(comm.rank());
+    const auto slice = binary_swap(comm, empty, kW, kH);
+    const Image img = gather_frame(comm, slice, kW, kH);
+    if (comm.rank() == 0) actual = img;
+  });
+  for (int y = 0; y < kH; ++y)
+    for (int x = 0; x < kW; ++x) EXPECT_EQ(actual.pixel(x, y)[3], 0);
+}
+
+TEST(BinarySwap, DeterministicAcrossRuns) {
+  constexpr int kRanks = 6, kW = 12, kH = 12;
+  std::vector<PartialImage> partials;
+  for (int r = 0; r < kRanks; ++r) {
+    PartialImage p = random_partial(r, kW, kH, 4);
+    p.set_depth(kRanks - r);  // descending
+    partials.push_back(std::move(p));
+  }
+  Image first, second;
+  for (Image* out : {&first, &second}) {
+    vmp::Cluster::run(kRanks, [&](vmp::Communicator& comm) {
+      const auto slice = binary_swap(
+          comm, partials[static_cast<std::size_t>(comm.rank())], kW, kH);
+      const Image img = gather_frame(comm, slice, kW, kH);
+      if (comm.rank() == 0) *out = img;
+    });
+  }
+  EXPECT_EQ(max_channel_diff(first, second), 0.0);
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,0 +1,378 @@
+// Tests for the volume substrate: volumes, decomposition, procedural
+// dataset generators, the on-disk store, and histograms.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "field/decompose.hpp"
+#include "field/generators.hpp"
+#include "field/histogram.hpp"
+#include "field/noise.hpp"
+#include "field/store.hpp"
+#include "field/volume.hpp"
+
+namespace tvviz {
+namespace {
+
+using field::Box;
+using field::DatasetDesc;
+using field::DatasetKind;
+using field::Dims;
+using field::VolumeF;
+
+// -------------------------------------------------------------- volume ----
+
+TEST(Volume, IndexingAndDims) {
+  VolumeF v(Dims{3, 4, 5}, 0.5f);
+  EXPECT_EQ(v.voxels(), 60u);
+  EXPECT_EQ(v.bytes(), 240u);
+  v.at(2, 3, 4) = 1.0f;
+  EXPECT_FLOAT_EQ(v.at(2, 3, 4), 1.0f);
+  EXPECT_FLOAT_EQ(v.at(0, 0, 0), 0.5f);
+}
+
+TEST(Volume, ClampedAccessAtBorders) {
+  VolumeF v(Dims{2, 2, 2});
+  v.at(1, 1, 1) = 3.0f;
+  EXPECT_FLOAT_EQ(v.clamped(5, 5, 5), 3.0f);
+  EXPECT_FLOAT_EQ(v.clamped(-1, -1, -1), v.at(0, 0, 0));
+}
+
+TEST(Volume, TrilinearSampleInterpolates) {
+  VolumeF v(Dims{2, 2, 2});
+  v.at(1, 0, 0) = 1.0f;  // gradient along x
+  EXPECT_NEAR(v.sample(0.5, 0.0, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(v.sample(0.25, 0.0, 0.0), 0.25, 1e-12);
+  // Exact at voxel centers.
+  EXPECT_NEAR(v.sample(1.0, 0.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Volume, GradientPointsUphill) {
+  VolumeF v(Dims{5, 5, 5});
+  v.fill_from([](int x, int, int) { return static_cast<float>(x) * 0.1f; });
+  const auto g = v.gradient(2, 2, 2);
+  EXPECT_NEAR(g.x, 0.2, 1e-6);  // central difference of 0.1/voxel over 2
+  EXPECT_NEAR(g.y, 0.0, 1e-6);
+  EXPECT_NEAR(g.z, 0.0, 1e-6);
+}
+
+TEST(Volume, ExtractSubBox) {
+  VolumeF v(Dims{4, 4, 4});
+  v.fill_from([](int x, int y, int z) {
+    return static_cast<float>(x + 10 * y + 100 * z);
+  });
+  const Box box{{1, 2, 0}, {3, 4, 2}};
+  const VolumeF sub = v.extract(box);
+  EXPECT_EQ(sub.dims(), (Dims{2, 2, 2}));
+  EXPECT_FLOAT_EQ(sub.at(0, 0, 0), v.at(1, 2, 0));
+  EXPECT_FLOAT_EQ(sub.at(1, 1, 1), v.at(2, 3, 1));
+}
+
+TEST(Volume, StatsAndCoverage) {
+  VolumeF v(Dims{10, 1, 1});
+  for (int x = 0; x < 10; ++x) v.at(x, 0, 0) = static_cast<float>(x) / 10.0f;
+  EXPECT_FLOAT_EQ(v.min_value(), 0.0f);
+  EXPECT_FLOAT_EQ(v.max_value(), 0.9f);
+  EXPECT_NEAR(v.mean_value(), 0.45, 1e-6);
+  EXPECT_NEAR(v.coverage(0.5f), 0.4, 1e-12);  // 0.6..0.9
+}
+
+// ----------------------------------------------------------- decompose ----
+
+TEST(Decompose, Split1dBalanced) {
+  const auto parts = field::split_1d(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], std::make_pair(0, 4));
+  EXPECT_EQ(parts[1], std::make_pair(4, 7));
+  EXPECT_EQ(parts[2], std::make_pair(7, 10));
+}
+
+class DecomposeParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposeParam, SlabsTileTheVolume) {
+  const int parts = GetParam();
+  const Dims dims{16, 20, 24};
+  const auto boxes = field::decompose_slabs(dims, parts, 2);
+  ASSERT_EQ(static_cast<int>(boxes.size()), parts);
+  std::size_t total = 0;
+  for (const auto& b : boxes) total += b.voxels();
+  EXPECT_EQ(total, dims.voxels());
+  // Disjoint: consecutive slabs share boundaries exactly.
+  for (std::size_t i = 1; i < boxes.size(); ++i)
+    EXPECT_EQ(boxes[i].lo[2], boxes[i - 1].hi[2]);
+}
+
+TEST_P(DecomposeParam, BlocksTileTheVolume) {
+  const int parts = GetParam();
+  const Dims dims{16, 20, 24};
+  const auto boxes = field::decompose_blocks(dims, parts);
+  ASSERT_EQ(static_cast<int>(boxes.size()), parts);
+  std::size_t total = 0;
+  for (const auto& b : boxes) total += b.voxels();
+  EXPECT_EQ(total, dims.voxels());
+  // Every voxel belongs to exactly one box (checked on a lattice sample).
+  for (int z = 0; z < dims.nz; z += 3)
+    for (int y = 0; y < dims.ny; y += 3)
+      for (int x = 0; x < dims.nx; x += 3) {
+        int owners = 0;
+        for (const auto& b : boxes) owners += b.contains(x, y, z) ? 1 : 0;
+        EXPECT_EQ(owners, 1) << x << "," << y << "," << z;
+      }
+}
+
+TEST_P(DecomposeParam, BlocksReasonablyBalanced) {
+  const int parts = GetParam();
+  const Dims dims{32, 32, 32};
+  const auto boxes = field::decompose_blocks(dims, parts);
+  std::size_t min_v = SIZE_MAX, max_v = 0;
+  for (const auto& b : boxes) {
+    min_v = std::min(min_v, b.voxels());
+    max_v = std::max(max_v, b.voxels());
+  }
+  EXPECT_LE(static_cast<double>(max_v) / static_cast<double>(min_v), 2.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, DecomposeParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(Decompose, WithGhostClipsAtBorders) {
+  const Dims dims{10, 10, 10};
+  const Box inner{{2, 2, 2}, {5, 5, 5}};
+  const Box g = field::with_ghost(inner, dims, 2);
+  EXPECT_EQ(g.lo[0], 0);
+  EXPECT_EQ(g.hi[0], 7);
+  const Box edge{{0, 0, 8}, {10, 10, 10}};
+  const Box ge = field::with_ghost(edge, dims, 1);
+  EXPECT_EQ(ge.lo[2], 7);
+  EXPECT_EQ(ge.hi[2], 10);
+}
+
+TEST(Decompose, InvalidArgumentsThrow) {
+  EXPECT_THROW(field::decompose_slabs(Dims{4, 4, 4}, 0), std::invalid_argument);
+  EXPECT_THROW(field::decompose_slabs(Dims{4, 4, 4}, 2, 5),
+               std::invalid_argument);
+  EXPECT_THROW(field::decompose_blocks(Dims{2, 2, 2}, 100),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- noise ----
+
+TEST(Noise, DeterministicAndInRange) {
+  for (int i = 0; i < 100; ++i) {
+    const double a = field::value_noise(i * 0.37, i * 0.11, i * 0.73, 7);
+    const double b = field::value_noise(i * 0.37, i * 0.11, i * 0.73, 7);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Noise, SeedChangesField) {
+  int diff = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double a = field::fbm(i * 0.21, 0.5, 0.9, 4, 1);
+    const double b = field::fbm(i * 0.21, 0.5, 0.9, 4, 2);
+    diff += std::abs(a - b) > 1e-9 ? 1 : 0;
+  }
+  EXPECT_GT(diff, 40);
+}
+
+TEST(Noise, SmoothAtLatticePoints) {
+  // Value noise at integer coordinates equals the lattice hash.
+  EXPECT_NEAR(field::value_noise(3.0, 4.0, 5.0, 11),
+              field::lattice_hash(3, 4, 5, 11), 1e-12);
+}
+
+// ---------------------------------------------------------- generators ----
+
+class GeneratorParam : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorParam, ValuesNormalizedAndDeterministic) {
+  DatasetDesc desc;
+  desc.kind = GetParam();
+  desc.dims = Dims{16, 16, 16};
+  desc.steps = 4;
+  const VolumeF a = field::generate(desc, 2);
+  const VolumeF b = field::generate(desc, 2);
+  EXPECT_EQ(a.dims(), desc.dims);
+  for (int z = 0; z < 16; z += 5)
+    for (int y = 0; y < 16; y += 5)
+      for (int x = 0; x < 16; x += 5) {
+        EXPECT_EQ(a.at(x, y, z), b.at(x, y, z));
+        EXPECT_GE(a.at(x, y, z), 0.0f);
+        EXPECT_LE(a.at(x, y, z), 1.0f);
+      }
+}
+
+TEST_P(GeneratorParam, TimeEvolves) {
+  DatasetDesc desc;
+  desc.kind = GetParam();
+  desc.dims = Dims{12, 12, 12};
+  desc.steps = 10;
+  const VolumeF a = field::generate(desc, 0);
+  const VolumeF b = field::generate(desc, 9);
+  double diff = 0.0;
+  for (int z = 0; z < 12; ++z)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        diff += std::abs(a.at(x, y, z) - b.at(x, y, z));
+  EXPECT_GT(diff / a.voxels(), 0.005);
+}
+
+TEST_P(GeneratorParam, BoxGenerationMatchesWhole) {
+  DatasetDesc desc;
+  desc.kind = GetParam();
+  desc.dims = Dims{14, 10, 12};
+  desc.steps = 3;
+  const VolumeF whole = field::generate(desc, 1);
+  const Box box{{3, 2, 4}, {9, 8, 10}};
+  const VolumeF part = field::generate_box(desc, 1, box);
+  for (int z = box.lo[2]; z < box.hi[2]; ++z)
+    for (int y = box.lo[1]; y < box.hi[1]; ++y)
+      for (int x = box.lo[0]; x < box.hi[0]; ++x)
+        EXPECT_EQ(part.at(x - box.lo[0], y - box.lo[1], z - box.lo[2]),
+                  whole.at(x, y, z));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorParam,
+                         ::testing::Values(DatasetKind::kTurbulentJet,
+                                           DatasetKind::kTurbulentVortex,
+                                           DatasetKind::kShockMixing));
+
+TEST(Generators, PresetsMatchPaperShapes) {
+  const auto jet = field::turbulent_jet_desc();
+  EXPECT_EQ(jet.dims, (Dims{129, 129, 104}));
+  EXPECT_EQ(jet.steps, 150);
+  const auto vortex = field::turbulent_vortex_desc();
+  EXPECT_EQ(vortex.dims, (Dims{128, 128, 128}));
+  EXPECT_EQ(vortex.steps, 100);
+  const auto mixing = field::shock_mixing_desc();
+  EXPECT_EQ(mixing.dims, (Dims{640, 256, 256}));
+  EXPECT_EQ(mixing.steps, 265);
+  // The mixing dataset is ~16x the data points of the small sets (§6).
+  EXPECT_GT(static_cast<double>(mixing.dims.voxels()) /
+                static_cast<double>(vortex.dims.voxels()),
+            15.0);
+}
+
+TEST(Generators, VortexDenserThanJet) {
+  // §6: vortex frames have more pixel coverage than jet frames, so the
+  // volume itself must be denser above the visibility threshold.
+  auto jet = field::scaled(field::turbulent_jet_desc(), 4, 4);
+  auto vortex = field::scaled(field::turbulent_vortex_desc(), 4, 4);
+  const double jet_cov = field::generate(jet, 2).coverage(0.3f);
+  const double vortex_cov = field::generate(vortex, 2).coverage(0.3f);
+  EXPECT_GT(vortex_cov, 2.0 * jet_cov);
+}
+
+TEST(Generators, ScaledShrinksButKeepsSteps) {
+  const auto s = field::scaled(field::shock_mixing_desc(), 4, 20);
+  EXPECT_EQ(s.dims, (Dims{160, 64, 64}));
+  EXPECT_EQ(s.steps, 20);
+  EXPECT_THROW(field::scaled(s, 0, 1), std::invalid_argument);
+}
+
+TEST(Generators, StepOutOfRangeThrows) {
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 8, 4);
+  EXPECT_THROW(field::generate(desc, 4), std::out_of_range);
+  EXPECT_THROW(field::generate(desc, -1), std::out_of_range);
+}
+
+// --------------------------------------------------------------- store ----
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tvviz_store_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(StoreTest, WriteReadRoundTrip) {
+  field::VolumeStore store(dir_);
+  VolumeF v(Dims{6, 5, 4});
+  v.fill_from([](int x, int y, int z) {
+    return static_cast<float>(x) + 0.5f * y - 0.25f * z;
+  });
+  store.write(3, v);
+  EXPECT_TRUE(store.has(3));
+  EXPECT_FALSE(store.has(2));
+  const VolumeF r = store.read(3);
+  EXPECT_EQ(r.dims(), v.dims());
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 6; ++x) EXPECT_EQ(r.at(x, y, z), v.at(x, y, z));
+}
+
+TEST_F(StoreTest, ReadBoxMatchesFullRead) {
+  field::VolumeStore store(dir_);
+  DatasetDesc desc;
+  desc.dims = Dims{12, 10, 8};
+  desc.steps = 2;
+  store.write(0, field::generate(desc, 0));
+  const VolumeF whole = store.read(0);
+  const Box box{{2, 3, 1}, {9, 7, 6}};
+  const VolumeF part = store.read_box(0, box);
+  EXPECT_EQ(part.dims(), box.dims());
+  for (int z = 0; z < part.dims().nz; ++z)
+    for (int y = 0; y < part.dims().ny; ++y)
+      for (int x = 0; x < part.dims().nx; ++x)
+        EXPECT_EQ(part.at(x, y, z),
+                  whole.at(x + box.lo[0], y + box.lo[1], z + box.lo[2]));
+}
+
+TEST_F(StoreTest, MaterializeWritesAllSteps) {
+  field::VolumeStore store(dir_);
+  DatasetDesc desc;
+  desc.dims = Dims{8, 8, 8};
+  desc.steps = 5;
+  const std::size_t bytes = store.materialize(desc);
+  EXPECT_GT(bytes, 5u * 8 * 8 * 8 * 4);
+  for (int s = 0; s < 5; ++s) EXPECT_TRUE(store.has(s));
+}
+
+TEST_F(StoreTest, MissingStepThrows) {
+  field::VolumeStore store(dir_);
+  EXPECT_THROW(store.read(9), std::runtime_error);
+}
+
+TEST_F(StoreTest, BoxOutsideVolumeThrows) {
+  field::VolumeStore store(dir_);
+  store.write(0, VolumeF(Dims{4, 4, 4}));
+  EXPECT_THROW(store.read_box(0, Box{{0, 0, 0}, {5, 4, 4}}), std::out_of_range);
+}
+
+TEST(DiskModel, ReadTimeIsAffine) {
+  const field::DiskModel disk{0.01, 100e6};
+  EXPECT_NEAR(disk.read_seconds(0), 0.01, 1e-12);
+  EXPECT_NEAR(disk.read_seconds(100'000'000), 1.01, 1e-9);
+}
+
+// ----------------------------------------------------------- histogram ----
+
+TEST(Histogram, QuantilesAndFractions) {
+  field::Histogram h(10);
+  VolumeF v(Dims{10, 10, 1});
+  v.fill_from([](int x, int, int) { return static_cast<float>(x) / 10.0f; });
+  h.accumulate(v);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.fraction_above(0.5), 0.5, 0.05);
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.1);
+  EXPECT_NEAR(h.fraction_above(0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  field::Histogram h(4);
+  VolumeF v(Dims{2, 1, 1});
+  v.at(0, 0, 0) = -1.0f;
+  v.at(1, 0, 0) = 2.0f;
+  h.accumulate(v);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,0 +1,182 @@
+// Tests for the §7.1 remote-viewing extensions: image-based view sets and
+// the temporal preview planner (time-step skipping).
+#include <gtest/gtest.h>
+
+#include "codec/image_codec.hpp"
+#include "core/session.hpp"
+#include "field/generators.hpp"
+#include "field/preview.hpp"
+#include "render/ibr.hpp"
+
+namespace tvviz {
+namespace {
+
+using field::TemporalSummary;
+using render::Image;
+using render::ViewSet;
+
+field::VolumeF test_volume() {
+  return field::generate(field::scaled(field::turbulent_jet_desc(), 4, 4), 2);
+}
+
+// ----------------------------------------------------------------- ibr ----
+
+TEST(ViewSet, CaptureProducesRequestedViews) {
+  const auto set = ViewSet::capture(test_volume(),
+                                    render::TransferFunction::fire(), 8, 48);
+  EXPECT_EQ(set.view_count(), 8);
+  EXPECT_EQ(set.size(), 48);
+  EXPECT_NEAR(set.azimuth_of(2), 2.0 * 6.283185307 / 8.0, 1e-6);
+  EXPECT_THROW(
+      ViewSet::capture(test_volume(), render::TransferFunction::fire(), 1, 32),
+      std::invalid_argument);
+}
+
+TEST(ViewSet, ReconstructionAtKeyViewIsExact) {
+  const auto set = ViewSet::capture(test_volume(),
+                                    render::TransferFunction::fire(), 6, 48);
+  for (int v = 0; v < 6; ++v) {
+    const Image rec = set.reconstruct(set.azimuth_of(v));
+    EXPECT_TRUE(std::isinf(render::psnr(set.view(v), rec))) << v;
+  }
+}
+
+TEST(ViewSet, ReconstructionWrapsAround) {
+  const auto set = ViewSet::capture(test_volume(),
+                                    render::TransferFunction::fire(), 6, 48);
+  // Just below 2*pi blends view 5 with view 0 and stays close to both.
+  const Image rec = set.reconstruct(6.28);
+  EXPECT_GT(render::psnr(set.view(0), rec), 20.0);
+  // Negative azimuths are normalized.
+  const Image neg = set.reconstruct(-6.283185307 / 6.0);
+  EXPECT_GT(render::psnr(set.view(5), neg), 30.0);
+}
+
+TEST(ViewSet, MidpointReconstructionApproximatesTruth) {
+  const field::VolumeF vol = test_volume();
+  const auto tf = render::TransferFunction::fire();
+  const auto set = ViewSet::capture(vol, tf, 16, 64);
+  const double azimuth = set.azimuth_of(4) + 6.283185307 / 32.0;
+  const Image rec = set.reconstruct(azimuth);
+  render::RayCaster caster;
+  const Image truth = caster.render_full(
+      vol, render::Camera(64, 64, azimuth, set.elevation()), tf, true);
+  EXPECT_GT(render::psnr(truth, rec), 22.0);
+}
+
+TEST(ViewSet, SerializeRoundTripLossless) {
+  const auto codec = codec::make_image_codec("lzo");
+  const auto set = ViewSet::capture(test_volume(),
+                                    render::TransferFunction::fire(), 5, 40);
+  const auto wire = set.serialize(*codec);
+  const auto back = ViewSet::deserialize(wire, *codec);
+  EXPECT_EQ(back.view_count(), 5);
+  EXPECT_EQ(back.size(), 40);
+  for (int v = 0; v < 5; ++v)
+    EXPECT_TRUE(std::isinf(render::psnr(set.view(v), back.view(v))));
+}
+
+TEST(ViewSet, DeserializeRejectsCodecMismatch) {
+  const auto lzo = codec::make_image_codec("lzo");
+  const auto jpeg = codec::make_image_codec("jpeg");
+  const auto set = ViewSet::capture(test_volume(),
+                                    render::TransferFunction::fire(), 3, 32);
+  const auto wire = set.serialize(*lzo);
+  EXPECT_THROW(ViewSet::deserialize(wire, *jpeg), std::runtime_error);
+}
+
+TEST(ViewSet, CompressedSetCheaperThanRawViews) {
+  const auto jpeg = codec::make_image_codec("jpeg+lzo", 75);
+  const auto set = ViewSet::capture(test_volume(),
+                                    render::TransferFunction::fire(), 8, 64);
+  EXPECT_LT(set.wire_bytes(*jpeg), 8u * 64 * 64 * 3 / 10);
+}
+
+// --------------------------------------------------------------- preview ----
+
+TEST(TemporalSummary, DeltasReflectEvolution) {
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 6, 12);
+  const auto summary = TemporalSummary::analyze(desc, 512);
+  EXPECT_EQ(summary.steps(), 12);
+  EXPECT_DOUBLE_EQ(summary.delta(0), 0.0);
+  for (int s = 1; s < 12; ++s) EXPECT_GT(summary.delta(s), 0.0) << s;
+  EXPECT_GT(summary.total_change(), 0.0);
+}
+
+TEST(TemporalSummary, ThresholdZeroKeepsEverything) {
+  const auto desc = field::scaled(field::turbulent_vortex_desc(), 8, 10);
+  const auto summary = TemporalSummary::analyze(desc, 256);
+  const auto all = summary.select_steps(0.0);
+  EXPECT_EQ(static_cast<int>(all.size()), 10);
+}
+
+TEST(TemporalSummary, HigherThresholdKeepsFewerSteps) {
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 6, 16);
+  const auto summary = TemporalSummary::analyze(desc, 512);
+  const double unit = summary.total_change() / 16.0;
+  const auto fine = summary.select_steps(unit);
+  const auto coarse = summary.select_steps(4.0 * unit);
+  EXPECT_LT(coarse.size(), fine.size());
+  // Both keep the endpoints and are strictly increasing.
+  for (const auto& sel : {fine, coarse}) {
+    EXPECT_EQ(sel.front(), 0);
+    EXPECT_EQ(sel.back(), 15);
+    for (std::size_t i = 1; i < sel.size(); ++i)
+      EXPECT_GT(sel[i], sel[i - 1]);
+  }
+}
+
+TEST(TemporalSummary, BudgetSelectionRespectsCount) {
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 6, 20);
+  const auto summary = TemporalSummary::analyze(desc, 256);
+  const auto sel = summary.select_budget(6);
+  EXPECT_LE(sel.size(), 6u);
+  EXPECT_GE(sel.size(), 2u);
+  EXPECT_EQ(sel.front(), 0);
+  EXPECT_EQ(sel.back(), 19);
+  EXPECT_THROW(summary.select_budget(1), std::invalid_argument);
+}
+
+TEST(TemporalSummary, DeterministicForSeed) {
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 8, 6);
+  const auto a = TemporalSummary::analyze(desc, 128, 77);
+  const auto b = TemporalSummary::analyze(desc, 128, 77);
+  for (int s = 0; s < 6; ++s) EXPECT_EQ(a.delta(s), b.delta(s));
+}
+
+// ---------------------------------------------------- preview in session ----
+
+TEST(PreviewSession, RendersOnlySelectedSteps) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 6, 10);
+  cfg.processors = 4;
+  cfg.groups = 2;
+  cfg.image_width = cfg.image_height = 32;
+  cfg.codec = "raw";
+  cfg.keep_frames = true;
+  cfg.step_map = {0, 3, 7, 9};
+  const auto result = core::run_session(cfg);
+  EXPECT_EQ(result.frames.size(), 4u);
+  EXPECT_EQ(result.displayed.size(), 4u);
+
+  // Preview frame k must equal a full-session render of dataset step
+  // step_map[k].
+  core::SessionConfig full = cfg;
+  full.step_map.clear();
+  const auto everything = core::run_session(full);
+  ASSERT_EQ(everything.displayed.size(), 10u);
+  for (std::size_t k = 0; k < cfg.step_map.size(); ++k)
+    EXPECT_TRUE(std::isinf(render::psnr(
+        result.displayed[k],
+        everything.displayed[static_cast<std::size_t>(cfg.step_map[k])])));
+}
+
+TEST(PreviewSession, RejectsOutOfRangeMap) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 4);
+  cfg.step_map = {0, 4};  // 4 is out of range
+  EXPECT_THROW(core::run_session(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvviz

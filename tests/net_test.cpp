@@ -1,0 +1,261 @@
+// Tests for the network layer: link models and presets, the X-display and
+// daemon transport models, the blocking queue, the wire protocol, and the
+// display daemon relay with control-event backchannel.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/daemon.hpp"
+#include "net/link.hpp"
+#include "net/protocol.hpp"
+#include "net/queue.hpp"
+
+namespace tvviz {
+namespace {
+
+using net::BlockingQueue;
+using net::ControlEvent;
+using net::ControlKind;
+using net::DisplayDaemon;
+using net::LinkModel;
+using net::MsgType;
+using net::NetMessage;
+
+// ---------------------------------------------------------------- link ----
+
+TEST(LinkModel, TransferTimeIsAffine) {
+  const LinkModel link{"t", 0.1, 1000.0};
+  EXPECT_NEAR(link.transfer_seconds(0), 0.1, 1e-12);
+  EXPECT_NEAR(link.transfer_seconds(1000), 1.1, 1e-12);
+  EXPECT_NEAR(link.transfer_seconds(1000, 3), 1.3, 1e-12);
+}
+
+TEST(LinkModel, PresetsOrdering) {
+  const auto lan = net::lan_fast();
+  const auto nasa = net::wan_nasa_ucd();
+  const auto japan = net::wan_japan_ucd();
+  EXPECT_GT(lan.bandwidth_bytes_per_s, nasa.bandwidth_bytes_per_s);
+  EXPECT_GT(nasa.bandwidth_bytes_per_s, japan.bandwidth_bytes_per_s);
+  EXPECT_LT(lan.latency_s, nasa.latency_s);
+  EXPECT_LT(nasa.latency_s, japan.latency_s);
+}
+
+TEST(XDisplayModel, PaysRoundTripsPerChunk) {
+  net::XDisplayModel x{net::wan_nasa_ucd(), 64 * 1024, 1.0, 0.55};
+  // Twice the bytes, at least twice the chunks: superlinear versus a single
+  // streaming transfer.
+  const double t_small = x.frame_seconds(128 * 128 * 3);
+  const double t_large = x.frame_seconds(1024 * 1024 * 3);
+  EXPECT_GT(t_large, 40.0 * t_small / (4.0));  // grows much faster than bytes
+  EXPECT_GT(t_large, 10.0);                    // 3 MB over remote X is slow
+}
+
+TEST(XDisplayModel, CompressionBeatsXForLargeFrames) {
+  // The Figure 8 relationship: daemon transport of the compressed frame is
+  // far cheaper than X transport of the raw frame, and the gap widens.
+  net::XDisplayModel x{net::wan_nasa_ucd(), 64 * 1024, 1.0, 0.55};
+  net::DaemonTransportModel daemon{net::wan_nasa_ucd()};
+  for (const std::size_t size : {256u, 512u, 1024u}) {
+    const std::size_t raw = size * size * 3;
+    const std::size_t compressed = raw / 60;  // typical JPEG+LZO ratio
+    EXPECT_GT(x.frame_seconds(raw), 4.0 * daemon.frame_seconds(compressed))
+        << size;
+  }
+}
+
+TEST(XDisplayModel, JapanLinkRoughlyTwiceNasa) {
+  // §6 / Figure 11: the Japan->UCD X display took about twice the NASA case.
+  net::XDisplayModel nasa{net::wan_nasa_ucd(), 64 * 1024, 1.0, 0.55};
+  net::XDisplayModel japan{net::wan_japan_ucd(), 64 * 1024, 1.0, 0.55};
+  const std::size_t raw = 512 * 512 * 3;
+  const double ratio = japan.frame_seconds(raw) / nasa.frame_seconds(raw);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 4.5);
+}
+
+// --------------------------------------------------------------- queue ----
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueue, BoundedBlocksProducerUntilConsumed) {
+  BlockingQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BlockingQueue, BlockedConsumerWakesOnPush) {
+  BlockingQueue<int> q;
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.push(42);
+  consumer.join();
+  EXPECT_EQ(got, 42);
+}
+
+// ------------------------------------------------------------ protocol ----
+
+TEST(Protocol, ControlEventRoundTrip) {
+  ControlEvent e;
+  e.kind = ControlKind::kSetView;
+  e.azimuth = 1.25;
+  e.elevation = -0.5;
+  e.zoom = 2.0;
+  e.name = "fire";
+  const auto bytes = e.serialize();
+  const ControlEvent out = ControlEvent::deserialize(bytes);
+  EXPECT_EQ(out.kind, ControlKind::kSetView);
+  EXPECT_DOUBLE_EQ(out.azimuth, 1.25);
+  EXPECT_DOUBLE_EQ(out.elevation, -0.5);
+  EXPECT_DOUBLE_EQ(out.zoom, 2.0);
+  EXPECT_EQ(out.name, "fire");
+}
+
+TEST(Protocol, WireSizeAccountsForFraming) {
+  NetMessage msg;
+  msg.codec = "jpeg+lzo";
+  msg.payload = util::Bytes(100);
+  EXPECT_GT(msg.wire_size(), 100u);
+  EXPECT_LT(msg.wire_size(), 160u);
+}
+
+// -------------------------------------------------------------- daemon ----
+
+TEST(Daemon, RelaysFramesToDisplay) {
+  DisplayDaemon daemon;
+  auto renderer = daemon.connect_renderer();
+  auto display = daemon.connect_display();
+
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = 3;
+  msg.codec = "raw";
+  msg.payload = {1, 2, 3};
+  renderer->send(msg);
+
+  const auto got = display->next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->frame_index, 3);
+  EXPECT_EQ(got->payload, (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(daemon.frames_relayed(), 1u);
+  EXPECT_GT(daemon.bytes_relayed(), 3u);
+}
+
+TEST(Daemon, BroadcastsControlToAllRenderers) {
+  DisplayDaemon daemon;
+  auto r1 = daemon.connect_renderer();
+  auto r2 = daemon.connect_renderer();
+  auto display = daemon.connect_display();
+
+  ControlEvent e;
+  e.kind = ControlKind::kSetColorMap;
+  e.name = "dense";
+  display->send_control(e);
+
+  // Control events travel through the relay thread; poll briefly.
+  const auto wait_for = [](DisplayDaemon::RendererPort& port) {
+    for (int i = 0; i < 200; ++i) {
+      if (auto ev = port.poll_control()) return ev;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return std::optional<ControlEvent>{};
+  };
+  const auto e1 = wait_for(*r1);
+  const auto e2 = wait_for(*r2);
+  ASSERT_TRUE(e1.has_value());
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e1->name, "dense");
+  EXPECT_EQ(e2->name, "dense");
+}
+
+TEST(Daemon, MultipleDisplaysEachGetFrames) {
+  DisplayDaemon daemon;
+  auto renderer = daemon.connect_renderer();
+  auto d1 = daemon.connect_display();
+  auto d2 = daemon.connect_display();
+
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = 1;
+  renderer->send(msg);
+  EXPECT_TRUE(d1->next().has_value());
+  EXPECT_TRUE(d2->next().has_value());
+}
+
+TEST(Daemon, ShutdownUnblocksDisplay) {
+  DisplayDaemon daemon;
+  auto display = daemon.connect_display();
+  std::optional<NetMessage> got = NetMessage{};
+  std::thread consumer([&] { got = display->next(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  daemon.shutdown();
+  consumer.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Daemon, SubImagePiecesCountOneFrame) {
+  DisplayDaemon daemon;
+  auto renderer = daemon.connect_renderer();
+  auto display = daemon.connect_display();
+  for (int piece = 0; piece < 4; ++piece) {
+    NetMessage msg;
+    msg.type = MsgType::kSubImage;
+    msg.frame_index = 0;
+    msg.piece = piece;
+    msg.piece_count = 4;
+    renderer->send(msg);
+  }
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(display->next().has_value());
+  EXPECT_EQ(daemon.frames_relayed(), 1u);
+}
+
+TEST(Daemon, ThrottleDelaysForwarding) {
+  DisplayDaemon daemon;
+  // 1 kB payload at 10 kB/s, scaled 1:1 -> ~0.1 s delay.
+  daemon.set_wan_throttle(LinkModel{"slow", 0.0, 10000.0}, 1.0);
+  auto renderer = daemon.connect_renderer();
+  auto display = daemon.connect_display();
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.payload = util::Bytes(1000);
+  const auto t0 = std::chrono::steady_clock::now();
+  renderer->send(msg);
+  ASSERT_TRUE(display->next().has_value());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(elapsed, 0.08);
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,0 +1,430 @@
+// Tests for the rendering substrate: images, transfer functions, camera
+// geometry, the ray caster (including parallel==serial subvolume tiling),
+// and the shear-warp baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "compositing/over.hpp"
+#include "field/decompose.hpp"
+#include "field/generators.hpp"
+#include "render/camera.hpp"
+#include "render/image.hpp"
+#include "render/raycast.hpp"
+#include "render/shearwarp.hpp"
+#include "render/transfer.hpp"
+
+namespace tvviz {
+namespace {
+
+using field::Box;
+using field::Dims;
+using field::VolumeF;
+using render::Camera;
+using render::Image;
+using render::PartialImage;
+using render::RayCaster;
+using render::RenderOptions;
+using render::Rgba;
+using render::Subvolume;
+using render::TransferFunction;
+
+// --------------------------------------------------------------- image ----
+
+TEST(Image, SetAndGetPixels) {
+  Image img(4, 3);
+  img.set(2, 1, 10, 20, 30, 40);
+  const auto* p = img.pixel(2, 1);
+  EXPECT_EQ(p[0], 10);
+  EXPECT_EQ(p[1], 20);
+  EXPECT_EQ(p[2], 30);
+  EXPECT_EQ(p[3], 40);
+  EXPECT_EQ(img.byte_size(), 48u);
+}
+
+TEST(Image, PsnrIdenticalIsInfinite) {
+  Image a(8, 8), b(8, 8);
+  a.set(1, 1, 100, 100, 100);
+  b.set(1, 1, 100, 100, 100);
+  EXPECT_TRUE(std::isinf(render::psnr(a, b)));
+}
+
+TEST(Image, PsnrDropsWithError) {
+  Image a(8, 8), b(8, 8), c(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      a.set(x, y, 128, 128, 128);
+      b.set(x, y, 130, 130, 130);  // small error
+      c.set(x, y, 200, 200, 200);  // large error
+    }
+  EXPECT_GT(render::psnr(a, b), render::psnr(a, c));
+  EXPECT_THROW(render::psnr(a, Image(4, 4)), std::invalid_argument);
+}
+
+TEST(Image, PpmRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "tvviz_test.ppm";
+  Image img(3, 2);
+  img.set(0, 0, 255, 0, 0);
+  img.set(2, 1, 10, 20, 30);
+  img.write_ppm(path);
+  const Image back = Image::read_ppm(path);
+  EXPECT_EQ(back.width(), 3);
+  EXPECT_EQ(back.height(), 2);
+  EXPECT_EQ(back.pixel(0, 0)[0], 255);
+  EXPECT_EQ(back.pixel(2, 1)[2], 30);
+  EXPECT_EQ(back.pixel(2, 1)[3], 255);  // alpha reconstructed opaque
+  std::filesystem::remove(path);
+}
+
+TEST(Image, ReadPpmRejectsGarbage) {
+  const auto path = std::filesystem::temp_directory_path() / "tvviz_bad.ppm";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P3\n2 2\n255\n";  // ASCII PPM: unsupported
+  }
+  EXPECT_THROW(Image::read_ppm(path), std::runtime_error);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "P6\n# truncated raster\n4 4\n255\nxx";
+  }
+  EXPECT_THROW(Image::read_ppm(path), std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW(Image::read_ppm(path), std::runtime_error);  // missing file
+}
+
+TEST(PartialImage, SerializeRoundTrip) {
+  PartialImage p(3, 5, 4, 2);
+  p.set_depth(-7.25);
+  p.at(1, 1) = Rgba{0.25, 0.5, 0.75, 1.0};
+  const auto bytes = p.serialize();
+  const PartialImage q = PartialImage::deserialize(bytes);
+  EXPECT_EQ(q.x0(), 3);
+  EXPECT_EQ(q.y0(), 5);
+  EXPECT_EQ(q.width(), 4);
+  EXPECT_EQ(q.height(), 2);
+  EXPECT_DOUBLE_EQ(q.depth(), -7.25);
+  EXPECT_NEAR(q.at(1, 1).g, 0.5, 1e-6);
+}
+
+TEST(PartialImage, CropRowsKeepsOffsets) {
+  PartialImage p(2, 10, 3, 6);
+  for (int y = 0; y < 6; ++y) p.at(0, y).r = y;
+  const PartialImage c = p.crop_rows(2, 5);
+  EXPECT_EQ(c.y0(), 12);
+  EXPECT_EQ(c.height(), 3);
+  EXPECT_DOUBLE_EQ(c.at(0, 0).r, 2.0);
+  EXPECT_THROW(p.crop_rows(-1, 3), std::out_of_range);
+  EXPECT_THROW(p.crop_rows(0, 7), std::out_of_range);
+}
+
+TEST(PartialImage, SplatClampsAndQuantizes) {
+  PartialImage p(-1, -1, 3, 3);
+  p.at(1, 1) = Rgba{2.0, 0.5, -1.0, 1.0};  // out-of-range channels
+  Image frame(2, 2);
+  p.splat_to(frame);
+  const auto* px = frame.pixel(0, 0);
+  EXPECT_EQ(px[0], 255);
+  EXPECT_EQ(px[1], 128);
+  EXPECT_EQ(px[2], 0);
+}
+
+TEST(Rgba, OverOperatorComposites) {
+  const Rgba opaque_red{1, 0, 0, 1};
+  const Rgba blue{0, 0, 0.5, 0.5};
+  const Rgba out = opaque_red.over(blue);
+  EXPECT_DOUBLE_EQ(out.r, 1.0);
+  EXPECT_DOUBLE_EQ(out.b, 0.0);  // fully hidden
+  const Rgba half = blue.over(opaque_red);
+  EXPECT_DOUBLE_EQ(half.a, 1.0);
+  EXPECT_DOUBLE_EQ(half.r, 0.5);
+}
+
+// ------------------------------------------------------------ transfer ----
+
+TEST(TransferFunction, InterpolatesBetweenControlPoints) {
+  TransferFunction tf({{0.0, 0, 0, 0, 0.0}, {1.0, 1, 0.5, 0, 1.0}});
+  const auto mid = tf.sample(0.5);
+  EXPECT_NEAR(mid.r, 0.5, 1e-12);
+  EXPECT_NEAR(mid.g, 0.25, 1e-12);
+  EXPECT_NEAR(mid.alpha, 0.5, 1e-12);
+}
+
+TEST(TransferFunction, ClampsOutsideRange) {
+  TransferFunction tf({{0.2, 1, 1, 1, 0.1}, {0.8, 0, 0, 0, 0.9}});
+  EXPECT_NEAR(tf.sample(0.0).alpha, 0.1, 1e-12);
+  EXPECT_NEAR(tf.sample(1.0).alpha, 0.9, 1e-12);
+}
+
+TEST(TransferFunction, RejectsBadInput) {
+  EXPECT_THROW(TransferFunction({{0.0, 0, 0, 0, 0}}), std::invalid_argument);
+  EXPECT_THROW(TransferFunction({{0.5, 0, 0, 0, 0}, {0.2, 0, 0, 0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(TransferFunction, PresetsTransparentBelowThreshold) {
+  for (const auto& tf : {TransferFunction::fire(),
+                         TransferFunction::dense_cool_warm(),
+                         TransferFunction::shock()}) {
+    EXPECT_DOUBLE_EQ(tf.sample(0.0).alpha, 0.0);
+    EXPECT_GT(tf.sample(0.95).alpha, 0.1);
+  }
+}
+
+TEST(TransferFunction, DensePresetOpaqueEarlier) {
+  // The vortex map must classify low values visible where fire does not —
+  // that is what drives the coverage difference in §6.
+  const auto fire = TransferFunction::fire();
+  const auto dense = TransferFunction::dense_cool_warm();
+  EXPECT_GT(dense.sample(0.2).alpha, fire.sample(0.2).alpha);
+}
+
+// -------------------------------------------------------------- camera ----
+
+TEST(Camera, BasisIsOrthonormal) {
+  const Camera cam(64, 64, 0.8, 0.4);
+  const auto d = cam.view_dir(), r = cam.right_dir(), u = cam.up_dir();
+  EXPECT_NEAR(d.length(), 1.0, 1e-12);
+  EXPECT_NEAR(r.length(), 1.0, 1e-12);
+  EXPECT_NEAR(u.length(), 1.0, 1e-12);
+  EXPECT_NEAR(d.dot(r), 0.0, 1e-12);
+  EXPECT_NEAR(d.dot(u), 0.0, 1e-12);
+  EXPECT_NEAR(r.dot(u), 0.0, 1e-12);
+}
+
+TEST(Camera, CenterRayHitsVolumeCenter) {
+  const Dims dims{32, 32, 32};
+  const Camera cam(64, 64, 0.3, 0.2);
+  const auto ray = cam.ray_for(32, 32, dims);  // image center (approx)
+  const auto c = cam.center(dims);
+  const auto to_c = c - ray.origin;
+  const auto closest = ray.origin + ray.direction * to_c.dot(ray.direction);
+  EXPECT_LT((closest - c).length(), 1.5);
+}
+
+TEST(Camera, RaysAreParallel) {
+  const Dims dims{16, 16, 16};
+  const Camera cam(32, 32, 1.1, -0.4);
+  const auto a = cam.ray_for(0, 0, dims);
+  const auto b = cam.ray_for(31, 31, dims);
+  EXPECT_NEAR((a.direction - b.direction).length(), 0.0, 1e-12);
+}
+
+TEST(IntersectBox, HitsAndMisses) {
+  const Box box{{0, 0, 0}, {10, 10, 10}};
+  double t0, t1;
+  // Straight through the middle along +x.
+  EXPECT_TRUE(render::intersect_box({{-5, 4, 4}, {1, 0, 0}}, box, t0, t1));
+  EXPECT_NEAR(t0, 5.0, 1e-9);
+  EXPECT_NEAR(t1, 14.0, 1e-9);  // sample domain ends at hi-1 = 9
+  // Parallel ray outside the slab misses.
+  EXPECT_FALSE(render::intersect_box({{-5, 20, 4}, {1, 0, 0}}, box, t0, t1));
+  // Diagonal hit.
+  EXPECT_TRUE(render::intersect_box({{-1, -1, -1}, {1, 1, 1}}, box, t0, t1));
+}
+
+// ------------------------------------------------------------ raycast ----
+
+VolumeF uniform_volume(float value, int n = 16) {
+  VolumeF v(Dims{n, n, n}, value);
+  return v;
+}
+
+TEST(RayCaster, TransparentVolumeYieldsEmptyImage) {
+  RayCaster caster;
+  const auto tf = TransferFunction::fire();  // 0 alpha below threshold
+  const Image img = caster.render_full(uniform_volume(0.05f), Camera(32, 32),
+                                       tf);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_EQ(img.pixel(x, y)[0], 0);
+      EXPECT_EQ(img.pixel(x, y)[3], 0);
+    }
+}
+
+TEST(RayCaster, DenseVolumeSaturatesCenterAlpha) {
+  RenderOptions opt;
+  opt.shading = false;
+  RayCaster caster(opt);
+  TransferFunction tf({{0.0, 1, 1, 1, 0.5}, {1.0, 1, 1, 1, 0.5}});
+  const Image img =
+      caster.render_full(uniform_volume(0.9f, 24), Camera(33, 33), tf);
+  // Center pixel passes through ~24 voxels at alpha 0.5/unit: opaque.
+  EXPECT_GT(img.pixel(16, 16)[3], 250);
+}
+
+TEST(RayCaster, EarlyTerminationReducesWork) {
+  TransferFunction tf({{0.0, 1, 1, 1, 0.9}, {1.0, 1, 1, 1, 0.9}});
+  RenderOptions early;
+  early.shading = false;
+  RenderOptions full = early;
+  full.early_termination = 2.0;  // never terminate
+
+  RayCaster a(early), b(full);
+  const VolumeF vol = uniform_volume(0.9f, 24);
+  const Camera cam(33, 33);
+  (void)a.render(Subvolume::whole(vol), vol.dims(), cam, tf);
+  const auto samples_early = a.last_sample_count();
+  (void)b.render(Subvolume::whole(vol), vol.dims(), cam, tf);
+  const auto samples_full = b.last_sample_count();
+  EXPECT_LT(samples_early, samples_full / 2);
+}
+
+TEST(RayCaster, ShadingChangesPixels) {
+  auto desc = field::scaled(field::turbulent_jet_desc(), 8, 2);
+  const VolumeF vol = field::generate(desc, 1);
+  RenderOptions with;
+  RenderOptions without;
+  without.shading = false;
+  const Camera cam(48, 48);
+  const auto tf = TransferFunction::fire();
+  const Image a = RayCaster(with).render_full(vol, cam, tf);
+  const Image b = RayCaster(without).render_full(vol, cam, tf);
+  EXPECT_LT(render::psnr(a, b), 60.0);  // visibly different
+}
+
+TEST(RayCaster, PartialImageCoversSubvolumeFootprint) {
+  auto desc = field::scaled(field::turbulent_vortex_desc(), 8, 2);
+  const VolumeF vol = field::generate(desc, 0);
+  const Camera cam(64, 64);
+  RayCaster caster;
+  const auto part = caster.render(Subvolume::whole(vol), vol.dims(), cam,
+                                  TransferFunction::dense_cool_warm());
+  EXPECT_GT(part.width(), 0);
+  EXPECT_GT(part.height(), 0);
+  EXPECT_LE(part.width(), 64);
+  EXPECT_LE(part.height(), 64);
+}
+
+/// Parallel == serial: subvolume renders composited in depth order must
+/// reproduce the single-node render (shading off, ghost layer 1, early
+/// termination off — sample-grid snapping + half-open boundary ownership
+/// make the tiling exact up to float roundoff).
+class RayCastTiling
+    : public ::testing::TestWithParam<std::tuple<int, bool, double>> {};
+
+TEST_P(RayCastTiling, SubvolumesTileExactly) {
+  const int parts = std::get<0>(GetParam());
+  const bool slabs = std::get<1>(GetParam());
+  const double azimuth = std::get<2>(GetParam());
+
+  auto desc = field::scaled(field::turbulent_jet_desc(), 6, 2);
+  const VolumeF whole = field::generate(desc, 1);
+  const Dims dims = whole.dims();
+  const Camera cam(56, 56, azimuth, 0.3);
+  const auto tf = TransferFunction::fire();
+
+  RenderOptions opt;
+  opt.shading = false;          // border gradients would need ghost=2
+  opt.early_termination = 2.0;  // keep compositing algebra exact
+
+  RayCaster caster(opt);
+  const PartialImage reference =
+      caster.render(Subvolume::whole(whole), dims, cam, tf);
+  Image ref_img(56, 56);
+  reference.splat_to(ref_img);
+
+  // Alternate among slab, block, and work-weighted slab decompositions:
+  // the tiling identity must hold for all of them.
+  std::vector<field::Box> boxes;
+  if (slabs) {
+    boxes = field::decompose_slabs(dims, parts);
+  } else if (parts % 2 == 0) {
+    boxes = field::decompose_blocks(dims, parts);
+  } else {
+    std::vector<double> weights(static_cast<std::size_t>(dims.nz));
+    for (int k = 0; k < dims.nz; ++k)
+      weights[static_cast<std::size_t>(k)] = 1.0 + (k % 5);
+    boxes = field::decompose_slabs_weighted(dims, parts, 2, weights);
+  }
+  std::vector<PartialImage> partials;
+  for (const auto& box : boxes) {
+    Subvolume sub;
+    sub.storage_box = field::with_ghost(box, dims, 1);
+    sub.data = field::generate_box(desc, 1, sub.storage_box);
+    sub.render_box = box;
+    partials.push_back(caster.render(sub, dims, cam, tf));
+  }
+  const Image composed = compositing::composite_reference(partials, 56, 56);
+  EXPECT_GT(render::psnr(ref_img, composed), 45.0)
+      << "parts=" << parts << " slabs=" << slabs << " az=" << azimuth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, RayCastTiling,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(true, false),
+                       ::testing::Values(0.6, 2.2)));
+
+// ----------------------------------------------------------- shearwarp ----
+
+TEST(ClassifiedVolume, CoverageAndSpans) {
+  VolumeF v(Dims{8, 8, 8}, 0.0f);
+  for (int x = 2; x < 6; ++x) v.at(x, 4, 4) = 0.9f;
+  TransferFunction tf({{0.0, 0, 0, 0, 0.0},
+                       {0.5, 0, 0, 0, 0.0},
+                       {0.9, 1, 1, 1, 0.8},
+                       {1.0, 1, 1, 1, 0.8}});
+  render::ClassifiedVolume cv(v, tf);
+  EXPECT_NEAR(cv.opacity_coverage(), 4.0 / 512.0, 1e-9);
+  // Scanline along x at (y=4, z=4) has exactly one span [2, 6).
+  const auto& line = cv.spans(0, 4, 4);
+  ASSERT_EQ(line.size(), 1u);
+  EXPECT_EQ(line[0], std::make_pair(2, 6));
+  // Empty scanline.
+  EXPECT_TRUE(cv.spans(0, 0, 0).empty());
+  EXPECT_GT(cv.encoded_bytes(), 512u * 16);
+}
+
+TEST(ShearWarp, MatchesRayCastingRoughly) {
+  auto desc = field::scaled(field::turbulent_vortex_desc(), 8, 2);
+  const VolumeF vol = field::generate(desc, 1);
+  const Camera cam(48, 48, 0.4, 0.25);
+  const auto tf = TransferFunction::dense_cool_warm();
+
+  render::ShearWarpRenderer sw;
+  const auto classified = sw.preprocess(vol, tf);
+  const Image sw_img = sw.render(classified, cam);
+
+  RenderOptions opt;
+  opt.shading = false;  // shear-warp implementation is unshaded
+  const Image rc_img = RayCaster(opt).render_full(vol, cam, tf);
+
+  // §6: shear-warp trades quality for speed (2D filtering); expect rough
+  // but clearly-correlated agreement.
+  EXPECT_GT(render::psnr(rc_img, sw_img), 15.0);
+}
+
+TEST(ShearWarp, WorksFromEveryPrincipalAxis) {
+  auto desc = field::scaled(field::turbulent_jet_desc(), 8, 2);
+  const VolumeF vol = field::generate(desc, 0);
+  render::ShearWarpRenderer sw;
+  const auto classified = sw.preprocess(vol, TransferFunction::fire());
+  // Azimuths/elevations picking each axis as principal.
+  const double views[][2] = {{0.0, 0.1},   // -z principal
+                             {1.57, 0.1},  // -x principal
+                             {0.3, 1.4}};  // -y principal
+  for (const auto& v : views) {
+    const Image img = sw.render(classified, Camera(40, 40, v[0], v[1]));
+    int nonzero = 0;
+    for (int y = 0; y < 40; ++y)
+      for (int x = 0; x < 40; ++x) nonzero += img.pixel(x, y)[3] > 8 ? 1 : 0;
+    EXPECT_GT(nonzero, 10) << "az=" << v[0] << " el=" << v[1];
+  }
+}
+
+TEST(ShearWarp, PreprocessingIsPerTimeStep) {
+  // The §6 argument: the classification encodes the volume AND transfer
+  // function; a new time step invalidates it. Different steps must produce
+  // different classifications.
+  auto desc = field::scaled(field::turbulent_jet_desc(), 8, 4);
+  render::ShearWarpRenderer sw;
+  const auto tf = TransferFunction::fire();
+  const auto c0 = sw.preprocess(field::generate(desc, 0), tf);
+  const auto c3 = sw.preprocess(field::generate(desc, 3), tf);
+  EXPECT_NE(c0.opacity_coverage(), c3.opacity_coverage());
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,0 +1,240 @@
+// Integration tests: the real end-to-end remote visualization session —
+// vmp cluster rendering, binary-swap compositing, compression, display
+// daemon transport, client decode, and §5 user control.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "codec/image_codec.hpp"
+#include "compositing/over.hpp"
+#include "core/session.hpp"
+#include "field/store.hpp"
+#include "render/raycast.hpp"
+#include "render/transfer.hpp"
+
+namespace tvviz {
+namespace {
+
+using core::SessionConfig;
+using core::SessionResult;
+using render::Image;
+
+SessionConfig small_config() {
+  SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 6, 6);
+  cfg.processors = 4;
+  cfg.groups = 2;
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  cfg.codec = "jpeg+lzo";
+  cfg.keep_frames = true;
+  return cfg;
+}
+
+TEST(Session, DeliversEveryFrame) {
+  const SessionConfig cfg = small_config();
+  const SessionResult result = core::run_session(cfg);
+  EXPECT_EQ(result.frames.size(), 6u);
+  EXPECT_EQ(result.displayed.size(), 6u);
+  EXPECT_EQ(result.metrics.frames, 6u);
+  EXPECT_GT(result.metrics.overall_time, 0.0);
+  EXPECT_GE(result.metrics.overall_time, result.metrics.startup_latency);
+  EXPECT_GT(result.wire_bytes, 0u);
+  // Compression must actually compress on the wire.
+  EXPECT_LT(result.wire_bytes, result.raw_bytes / 4);
+}
+
+TEST(Session, TimelinesOrderedPerFrame) {
+  const SessionResult result = core::run_session(small_config());
+  for (const auto& f : result.frames) {
+    EXPECT_LE(f.input_start, f.input_done);
+    EXPECT_LE(f.input_done, f.render_done);
+    EXPECT_LE(f.render_done, f.composite_done);
+    EXPECT_LE(f.composite_done, f.sent);
+  }
+}
+
+TEST(Session, LosslessTransportMatchesLocalRender) {
+  // With a lossless codec and one group, the image the client displays must
+  // equal a local single-node render of the same step.
+  SessionConfig cfg = small_config();
+  cfg.codec = "lzo";
+  cfg.processors = 3;
+  cfg.groups = 1;
+  cfg.dataset.steps = 2;
+  const SessionResult result = core::run_session(cfg);
+  ASSERT_EQ(result.displayed.size(), 2u);
+
+  render::RayCaster caster(cfg.render_options);
+  const render::Camera camera(cfg.image_width, cfg.image_height,
+                              cfg.camera_azimuth, cfg.camera_elevation,
+                              cfg.camera_zoom);
+  const Image local = caster.render_full(field::generate(cfg.dataset, 0),
+                                         camera,
+                                         render::TransferFunction::fire());
+  // Binary-swap + slab tiling should match the local render closely; the
+  // only differences are border-gradient shading (ghost = 1) and early
+  // termination across slab boundaries.
+  EXPECT_GT(render::psnr(local, result.displayed[0]), 32.0);
+}
+
+TEST(Session, ParallelCompressionMatchesAssembled) {
+  SessionConfig cfg = small_config();
+  cfg.codec = "lzo";  // lossless so the two paths must agree exactly
+  cfg.dataset.steps = 2;
+  const SessionResult assembled = core::run_session(cfg);
+  cfg.parallel_compression = true;
+  const SessionResult pieces = core::run_session(cfg);
+  ASSERT_EQ(assembled.displayed.size(), pieces.displayed.size());
+  for (std::size_t i = 0; i < assembled.displayed.size(); ++i) {
+    const auto& a = assembled.displayed[i];
+    const auto& b = pieces.displayed[i];
+    for (int y = 0; y < a.height(); y += 5)
+      for (int x = 0; x < a.width(); x += 5) {
+        EXPECT_EQ(a.pixel(x, y)[0], b.pixel(x, y)[0]) << x << "," << y;
+        EXPECT_EQ(a.pixel(x, y)[2], b.pixel(x, y)[2]) << x << "," << y;
+      }
+  }
+}
+
+TEST(Session, SubImagePiecesCompressWorseThanWholeFrame) {
+  // §6: "Compressing each image piece independent of other pieces would
+  // result in poor compression rates."
+  SessionConfig cfg = small_config();
+  cfg.processors = 6;
+  cfg.groups = 1;  // six pieces per frame
+  cfg.dataset.steps = 3;
+  cfg.image_width = cfg.image_height = 96;
+  const SessionResult assembled = core::run_session(cfg);
+  cfg.parallel_compression = true;
+  const SessionResult pieces = core::run_session(cfg);
+  EXPECT_GT(pieces.wire_bytes, assembled.wire_bytes);
+}
+
+TEST(Session, StoreBackedInputMatchesGenerated) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tvviz_session_store_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  SessionConfig cfg = small_config();
+  cfg.codec = "raw";
+  cfg.dataset.steps = 2;
+  field::VolumeStore store(dir);
+  store.materialize(cfg.dataset);
+
+  const SessionResult generated = core::run_session(cfg);
+  cfg.store_dir = dir;
+  const SessionResult from_disk = core::run_session(cfg);
+  ASSERT_EQ(generated.displayed.size(), from_disk.displayed.size());
+  for (std::size_t i = 0; i < generated.displayed.size(); ++i)
+    EXPECT_TRUE(std::isinf(
+        render::psnr(generated.displayed[i], from_disk.displayed[i])));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Session, ControlEventChangesLaterFramesOnly) {
+  SessionConfig cfg = small_config();
+  cfg.codec = "raw";
+  cfg.dataset.steps = 8;
+  cfg.groups = 1;  // single group: strict frame order at the client
+  cfg.processors = 2;
+
+  // Reference run without control events.
+  const SessionResult plain = core::run_session(cfg);
+
+  // Push a drastic view change after the first displayed frame.
+  SessionConfig controlled = cfg;
+  controlled.on_frame = [](int step, const Image&) {
+    std::vector<net::ControlEvent> events;
+    if (step == 0) {
+      net::ControlEvent e;
+      e.kind = net::ControlKind::kSetView;
+      e.azimuth = 2.6;
+      e.elevation = -0.7;
+      e.zoom = 1.4;
+      events.push_back(e);
+    }
+    return events;
+  };
+  const SessionResult steered = core::run_session(controlled);
+  ASSERT_EQ(steered.displayed.size(), plain.displayed.size());
+  EXPECT_GT(steered.control_events_applied, 0);
+  // Frame 0 rendered before the event: identical.
+  EXPECT_TRUE(std::isinf(render::psnr(plain.displayed[0], steered.displayed[0])));
+  // A later frame must reflect the new view.
+  EXPECT_LT(render::psnr(plain.displayed.back(), steered.displayed.back()),
+            30.0);
+}
+
+TEST(Session, StopControlEndsRunEarly) {
+  SessionConfig cfg = small_config();
+  cfg.dataset.steps = 12;
+  cfg.groups = 1;
+  cfg.processors = 2;
+  cfg.on_frame = [](int step, const Image&) {
+    std::vector<net::ControlEvent> events;
+    if (step == 2) {
+      net::ControlEvent e;
+      e.kind = net::ControlKind::kStop;
+      events.push_back(e);
+    }
+    return events;
+  };
+  const SessionResult result = core::run_session(cfg);
+  EXPECT_LT(result.frames.size(), 12u);
+  EXPECT_GE(result.frames.size(), 3u);
+}
+
+TEST(Session, CodecSwitchMidRun) {
+  SessionConfig cfg = small_config();
+  cfg.codec = "raw";
+  cfg.dataset.steps = 8;
+  cfg.groups = 1;
+  cfg.processors = 2;
+  cfg.on_frame = [](int step, const Image&) {
+    std::vector<net::ControlEvent> events;
+    if (step == 1) {
+      net::ControlEvent e;
+      e.kind = net::ControlKind::kSetCodec;
+      e.name = "jpeg+lzo";
+      events.push_back(e);
+    }
+    return events;
+  };
+  const SessionResult result = core::run_session(cfg);
+  EXPECT_EQ(result.displayed.size(), 8u);
+  // Wire bytes must be far below the all-raw equivalent once JPEG kicks in.
+  EXPECT_LT(result.wire_bytes, result.raw_bytes / 2);
+}
+
+TEST(Session, GroupCountsDivideWork) {
+  // L groups each render steps g, g+L, ... (§3's hybrid approach).
+  SessionConfig cfg = small_config();
+  cfg.dataset.steps = 6;
+  cfg.processors = 4;
+  cfg.groups = 2;
+  const SessionResult result = core::run_session(cfg);
+  for (const auto& f : result.frames) EXPECT_EQ(f.group, f.step % 2);
+}
+
+TEST(Session, InvalidConfigThrows) {
+  SessionConfig cfg = small_config();
+  cfg.groups = 9;  // > processors
+  EXPECT_THROW(core::run_session(cfg), std::invalid_argument);
+}
+
+TEST(Session, NonPowerOfTwoGroupSizes) {
+  SessionConfig cfg = small_config();
+  cfg.processors = 5;
+  cfg.groups = 1;  // one group of 5 (binary-swap folds the extra rank)
+  cfg.dataset.steps = 2;
+  const SessionResult result = core::run_session(cfg);
+  EXPECT_EQ(result.displayed.size(), 2u);
+  int nonzero = 0;
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 48; ++x)
+      nonzero += result.displayed[0].pixel(x, y)[0] > 0 ? 1 : 0;
+  EXPECT_GT(nonzero, 10);
+}
+
+}  // namespace
+}  // namespace tvviz

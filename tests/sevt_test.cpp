@@ -1,0 +1,138 @@
+// Tests for the discrete-event simulation core: clock semantics, ordering,
+// and FIFO resource queueing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sevt/resource.hpp"
+#include "sevt/simulator.hpp"
+
+namespace tvviz {
+namespace {
+
+using sevt::Resource;
+using sevt::Simulator;
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, EqualTimesAreStable) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(1.0, [&, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.after(1.0, step);
+  };
+  sim.after(1.0, step);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.at(2.0, [&] {
+    EXPECT_THROW(sim.at(1.0, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Resource, SingleServerSerializesFifo) {
+  Simulator sim;
+  Resource res(sim, 1, "disk");
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i)
+    res.use(2.0, [&] { completions.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 4.0);
+  EXPECT_DOUBLE_EQ(completions[2], 6.0);
+  EXPECT_EQ(res.jobs_served(), 3u);
+  EXPECT_DOUBLE_EQ(res.total_busy_time(), 6.0);
+  EXPECT_DOUBLE_EQ(res.utilization(6.0), 1.0);
+}
+
+TEST(Resource, MultiServerRunsConcurrently) {
+  Simulator sim;
+  Resource res(sim, 2, "cpu");
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i)
+    res.use(3.0, [&] { completions.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_DOUBLE_EQ(completions[0], 3.0);
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);
+  EXPECT_DOUBLE_EQ(completions[2], 6.0);
+  EXPECT_DOUBLE_EQ(completions[3], 6.0);
+}
+
+TEST(Resource, WaitTimeAccounted) {
+  Simulator sim;
+  Resource res(sim, 1, "link");
+  res.use(5.0);
+  res.use(1.0);  // waits 5 seconds
+  sim.run();
+  EXPECT_DOUBLE_EQ(res.total_wait_time(), 5.0);
+}
+
+TEST(Resource, JobsArrivingLaterInterleave) {
+  Simulator sim;
+  Resource res(sim, 1, "disk");
+  std::vector<std::pair<int, double>> completions;
+  sim.at(0.0, [&] { res.use(2.0, [&] { completions.emplace_back(0, sim.now()); }); });
+  sim.at(1.0, [&] { res.use(2.0, [&] { completions.emplace_back(1, sim.now()); }); });
+  sim.at(10.0, [&] { res.use(2.0, [&] { completions.emplace_back(2, sim.now()); }); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(completions[1].second, 4.0);  // queued behind job 0
+  EXPECT_DOUBLE_EQ(completions[2].second, 12.0); // idle gap before job 2
+  EXPECT_NEAR(res.utilization(12.0), 6.0 / 12.0, 1e-12);
+}
+
+TEST(Resource, InvalidServerCountThrows) {
+  Simulator sim;
+  EXPECT_THROW(Resource(sim, 0, "bad"), std::invalid_argument);
+}
+
+TEST(Resource, CompletionCallbackMayChainUse) {
+  Simulator sim;
+  Resource res(sim, 1, "stage");
+  double second_done = -1.0;
+  res.use(1.0, [&] { res.use(2.0, [&] { second_done = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_done, 3.0);
+}
+
+}  // namespace
+}  // namespace tvviz

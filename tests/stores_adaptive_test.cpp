@@ -1,0 +1,202 @@
+// Tests for the differential volume store (§2.1 temporal encoding) and the
+// adaptive compression controller (§4.1 "change the compression method").
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/adaptive.hpp"
+#include "core/session.hpp"
+#include "field/delta_store.hpp"
+#include "field/generators.hpp"
+#include "field/store.hpp"
+
+namespace tvviz {
+namespace {
+
+using field::DeltaVolumeStore;
+using field::Dims;
+using field::VolumeF;
+
+class DeltaStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tvviz_delta_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DeltaStoreTest, SequentialRoundTripIsLossless) {
+  DeltaVolumeStore store(dir_, 4);
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 6, 10);
+  for (int s = 0; s < desc.steps; ++s) store.write(s, field::generate(desc, s));
+  // Fresh store object: no write-side cache to lean on.
+  DeltaVolumeStore reader(dir_, 4);
+  for (int s = 0; s < desc.steps; ++s) {
+    const VolumeF expect = field::generate(desc, s);
+    const VolumeF got = reader.read(s);
+    ASSERT_EQ(got.dims(), expect.dims());
+    for (int z = 0; z < got.dims().nz; z += 3)
+      for (int y = 0; y < got.dims().ny; y += 3)
+        for (int x = 0; x < got.dims().nx; x += 3)
+          ASSERT_EQ(got.at(x, y, z), expect.at(x, y, z)) << s;
+  }
+}
+
+TEST_F(DeltaStoreTest, RandomAccessThroughKeyFrames) {
+  DeltaVolumeStore store(dir_, 3);
+  const auto desc = field::scaled(field::turbulent_vortex_desc(), 8, 8);
+  for (int s = 0; s < desc.steps; ++s) store.write(s, field::generate(desc, s));
+  DeltaVolumeStore reader(dir_, 3);
+  for (const int s : {7, 0, 5, 2, 7, 3}) {  // arbitrary order
+    const VolumeF expect = field::generate(desc, s);
+    const VolumeF got = reader.read(s);
+    ASSERT_EQ(got.at(4, 4, 4), expect.at(4, 4, 4)) << s;
+    ASSERT_EQ(got.at(1, 2, 3), expect.at(1, 2, 3)) << s;
+  }
+}
+
+TEST_F(DeltaStoreTest, FloatDeltasSaveSpaceOnCoherentData) {
+  DeltaVolumeStore store(dir_, 16);
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 4, 8);
+  const auto [raw, stored] = store.materialize(desc);
+  EXPECT_LT(stored, (raw * 7) / 10);  // bit-exact floats: moderate savings
+  EXPECT_EQ(store.stored_bytes(desc.steps), stored);
+}
+
+TEST_F(DeltaStoreTest, QuantizedDeltasReachTheNinetyPercentRegime) {
+  // §2.1 (Shen & Johnson): storage reduced by ~90% — achieved with the
+  // visually-lossless 8-bit precision mode.
+  DeltaVolumeStore store(dir_, 16, 5,
+                         DeltaVolumeStore::Precision::kQuantized8);
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 4, 8);
+  const auto [raw, stored] = store.materialize(desc);
+  EXPECT_LT(stored, raw / 6);
+}
+
+TEST_F(DeltaStoreTest, QuantizedRoundTripWithinHalfStep) {
+  DeltaVolumeStore store(dir_, 4, 5,
+                         DeltaVolumeStore::Precision::kQuantized8);
+  const auto desc = field::scaled(field::turbulent_jet_desc(), 8, 6);
+  for (int s = 0; s < desc.steps; ++s) store.write(s, field::generate(desc, s));
+  DeltaVolumeStore reader(dir_, 4, 5,
+                          DeltaVolumeStore::Precision::kQuantized8);
+  for (int s = 0; s < desc.steps; ++s) {
+    const VolumeF expect = field::generate(desc, s);
+    const VolumeF got = reader.read(s);
+    for (int z = 0; z < got.dims().nz; z += 2)
+      for (int y = 0; y < got.dims().ny; y += 2)
+        for (int x = 0; x < got.dims().nx; x += 2)
+          ASSERT_NEAR(got.at(x, y, z), expect.at(x, y, z), 0.5 / 255.0);
+  }
+}
+
+TEST_F(DeltaStoreTest, PrecisionMismatchDetected) {
+  DeltaVolumeStore writer(dir_, 4, 5,
+                          DeltaVolumeStore::Precision::kQuantized8);
+  writer.write(0, VolumeF(Dims{8, 8, 8}, 0.5f));
+  DeltaVolumeStore reader(dir_, 4);  // float reader on quantized data
+  EXPECT_THROW(reader.read(0), std::runtime_error);
+}
+
+TEST_F(DeltaStoreTest, OutOfOrderWriteBecomesKeyFrame) {
+  DeltaVolumeStore store(dir_, 100);
+  VolumeF a(Dims{8, 8, 8}, 0.25f), b(Dims{8, 8, 8}, 0.75f);
+  store.write(0, a);
+  store.write(5, b);  // no predecessor -> key
+  DeltaVolumeStore reader(dir_, 100);
+  EXPECT_EQ(reader.read(0).at(1, 1, 1), 0.25f);
+  // Step 5's segment starts at key 0; steps 1..4 are missing, but 5 itself
+  // is a key, so the chain stops there... the reader walks from the aligned
+  // key; missing intermediate steps must fail loudly.
+  EXPECT_THROW(reader.read(5), std::runtime_error);
+  // Unless the chain is complete:
+  for (int s = 1; s <= 4; ++s) store.write(s, a);
+  store.write(5, b);
+  DeltaVolumeStore reader2(dir_, 100);
+  EXPECT_EQ(reader2.read(5).at(2, 2, 2), 0.75f);
+}
+
+TEST_F(DeltaStoreTest, MissingStepThrows) {
+  DeltaVolumeStore store(dir_, 4);
+  EXPECT_THROW(store.read(0), std::runtime_error);
+  EXPECT_THROW(store.read(-1), std::out_of_range);
+  EXPECT_FALSE(store.has(3));
+}
+
+TEST_F(DeltaStoreTest, InvalidKeyIntervalThrows) {
+  EXPECT_THROW(DeltaVolumeStore(dir_, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- adaptive ----
+
+TEST(AdaptiveCodec, EscalatesUnderPressure) {
+  core::AdaptiveCodecController ctl(0.1, {"raw", "lzo", "jpeg"}, 0);
+  EXPECT_EQ(ctl.current(), "raw");
+  EXPECT_TRUE(ctl.on_frame(0.5).empty());   // one bad frame: hold
+  const auto events = ctl.on_frame(0.5);    // second: escalate
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, net::ControlKind::kSetCodec);
+  EXPECT_EQ(events[0].name, "lzo");
+  EXPECT_EQ(ctl.current(), "lzo");
+  (void)ctl.on_frame(0.5);
+  const auto more = ctl.on_frame(0.5);
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0].name, "jpeg");
+  // At the top of the ladder: stays put.
+  (void)ctl.on_frame(0.5);
+  EXPECT_TRUE(ctl.on_frame(0.5).empty());
+  EXPECT_EQ(ctl.switches(), 2);
+}
+
+TEST(AdaptiveCodec, RelaxesWithHeadroom) {
+  core::AdaptiveCodecController ctl(0.1, {"raw", "jpeg"}, 1);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(ctl.on_frame(0.01).empty());
+  const auto events = ctl.on_frame(0.01);  // fourth fast frame: relax
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "raw");
+}
+
+TEST(AdaptiveCodec, HysteresisPreventsFlapping) {
+  core::AdaptiveCodecController ctl(0.1, {"raw", "jpeg"}, 0);
+  // Alternating slow/fast frames never build a streak.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(ctl.on_frame(i % 2 ? 0.2 : 0.07).empty()) << i;
+  }
+  EXPECT_EQ(ctl.switches(), 0);
+}
+
+TEST(AdaptiveCodec, RejectsBadConfig) {
+  EXPECT_THROW(core::AdaptiveCodecController(0.1, {}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(core::AdaptiveCodecController(0.1, {"raw"}, 5),
+               std::invalid_argument);
+  EXPECT_THROW(core::AdaptiveCodecController(-1.0), std::invalid_argument);
+}
+
+TEST(AdaptiveCodec, DrivesARealSession) {
+  // Wire the controller into the session's on_frame hook with a target no
+  // real frame can meet: it must escalate codec at least once, and the
+  // renderer must apply the events.
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 6, 10);
+  cfg.processors = 2;
+  cfg.groups = 1;
+  cfg.image_width = cfg.image_height = 48;
+  cfg.codec = "raw";
+  auto ctl = std::make_shared<core::AdaptiveCodecController>(
+      1e-9, std::vector<std::string>{"raw", "lzo", "jpeg+lzo"}, 0);
+  cfg.on_frame = [ctl](int, const render::Image&) {
+    return ctl->on_frame(1.0);  // report hopelessly over budget
+  };
+  const auto result = core::run_session(cfg);
+  EXPECT_GT(ctl->switches(), 0);
+  EXPECT_GT(result.control_events_applied, 0);
+  // Escalation to JPEG mid-run must show up as real compression.
+  EXPECT_LT(result.wire_bytes, result.raw_bytes);
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,0 +1,221 @@
+// Tests for the real-socket transport: framing, the daemon served over
+// TCP, multi-client relaying, and the control backchannel — the deployable
+// form of the §4.1 framework.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "codec/image_codec.hpp"
+#include "core/session.hpp"
+#include "field/generators.hpp"
+#include "net/tcp.hpp"
+#include "render/image.hpp"
+#include "util/rng.hpp"
+
+namespace tvviz {
+namespace {
+
+using net::ControlEvent;
+using net::ControlKind;
+using net::MsgType;
+using net::NetMessage;
+using net::TcpDaemonServer;
+using net::TcpDisplayLink;
+using net::TcpRendererLink;
+
+TEST(Protocol, MessageSerializationRoundTrip) {
+  NetMessage msg;
+  msg.type = MsgType::kSubImage;
+  msg.frame_index = 42;
+  msg.piece = 3;
+  msg.piece_count = 8;
+  msg.codec = "jpeg+lzo";
+  msg.payload = {9, 8, 7, 6};
+  const auto wire = net::serialize_message(msg);
+  const NetMessage out = net::deserialize_message(wire);
+  EXPECT_EQ(out.type, MsgType::kSubImage);
+  EXPECT_EQ(out.frame_index, 42);
+  EXPECT_EQ(out.piece, 3);
+  EXPECT_EQ(out.piece_count, 8);
+  EXPECT_EQ(out.codec, "jpeg+lzo");
+  EXPECT_EQ(out.payload, (util::Bytes{9, 8, 7, 6}));
+}
+
+TEST(Tcp, FramesFlowRendererToDisplay) {
+  TcpDaemonServer server;
+  TcpDisplayLink display(server.port());
+  TcpRendererLink renderer(server.port());
+  // Give the server a moment to register the display connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  for (int i = 0; i < 3; ++i) {
+    NetMessage msg;
+    msg.type = MsgType::kFrame;
+    msg.frame_index = i;
+    msg.codec = "raw";
+    msg.payload = util::Bytes{static_cast<std::uint8_t>(i), 2, 3};
+    renderer.send(msg);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto got = display.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->frame_index, i);
+    EXPECT_EQ(got->payload[0], i);
+  }
+  server.shutdown();
+}
+
+TEST(Tcp, LargePayloadIntegrity) {
+  TcpDaemonServer server;
+  TcpDisplayLink display(server.port());
+  TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  util::Rng rng(7);
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.payload.resize(3 << 20);  // 3 MB: spans many TCP segments
+  for (auto& b : msg.payload) b = static_cast<std::uint8_t>(rng());
+  const util::Bytes sent = msg.payload;
+  renderer.send(msg);
+  const auto got = display.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, sent);
+  server.shutdown();
+}
+
+TEST(Tcp, ControlEventsFlowBack) {
+  TcpDaemonServer server;
+  TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  TcpDisplayLink display(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  ControlEvent e;
+  e.kind = ControlKind::kSetColorMap;
+  e.name = "dense";
+  display.send_control(e);
+
+  std::optional<ControlEvent> got;
+  for (int i = 0; i < 300 && !got; ++i) {
+    got = renderer.poll_control();
+    if (!got) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, ControlKind::kSetColorMap);
+  EXPECT_EQ(got->name, "dense");
+  server.shutdown();
+}
+
+TEST(Tcp, MultipleDisplaysEachReceive) {
+  TcpDaemonServer server;
+  TcpDisplayLink d1(server.port());
+  TcpDisplayLink d2(server.port());
+  TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = 7;
+  renderer.send(msg);
+  const auto g1 = d1.next();
+  const auto g2 = d2.next();
+  ASSERT_TRUE(g1 && g2);
+  EXPECT_EQ(g1->frame_index, 7);
+  EXPECT_EQ(g2->frame_index, 7);
+  server.shutdown();
+}
+
+TEST(Tcp, CompressedFrameRoundTripOverSockets) {
+  // The full §4.1 path for real: render -> JPEG+LZO -> socket -> daemon ->
+  // socket -> decode.
+  render::Image frame(48, 48);
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 48; ++x)
+      frame.set(x, y, static_cast<std::uint8_t>(x * 5),
+                static_cast<std::uint8_t>(y * 5), 100);
+  const auto codec = codec::make_image_codec("jpeg+lzo", 85);
+
+  TcpDaemonServer server;
+  TcpDisplayLink display(server.port());
+  TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.codec = "jpeg+lzo";
+  msg.payload = codec->encode(frame);
+  renderer.send(msg);
+
+  const auto got = display.next();
+  ASSERT_TRUE(got.has_value());
+  const render::Image out = codec->decode(got->payload);
+  EXPECT_GT(render::psnr(frame, out), 30.0);
+  server.shutdown();
+}
+
+TEST(Tcp, ServerShutdownUnblocksClients) {
+  auto server = std::make_unique<TcpDaemonServer>();
+  TcpDisplayLink display(server->port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::optional<NetMessage> got = NetMessage{};
+  std::thread waiter([&] { got = display.next(); });
+  server->shutdown();
+  waiter.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+  int dead_port;
+  {
+    TcpDaemonServer server;
+    dead_port = server.port();
+  }
+  EXPECT_THROW(TcpDisplayLink link(dead_port), std::runtime_error);
+}
+
+TEST(Tcp, SessionOverRealSockets) {
+  // The flagship path with use_tcp: every frame and control event crosses
+  // localhost TCP. Results must match the in-process transport exactly for
+  // a lossless codec.
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 6, 4);
+  cfg.processors = 4;
+  cfg.groups = 2;
+  cfg.image_width = cfg.image_height = 40;
+  cfg.codec = "lzo";
+  cfg.keep_frames = true;
+  const auto local = core::run_session(cfg);
+  cfg.use_tcp = true;
+  const auto tcp = core::run_session(cfg);
+  ASSERT_EQ(local.displayed.size(), tcp.displayed.size());
+  for (std::size_t i = 0; i < local.displayed.size(); ++i)
+    EXPECT_TRUE(std::isinf(render::psnr(local.displayed[i], tcp.displayed[i])));
+  EXPECT_EQ(local.wire_bytes, tcp.wire_bytes);
+}
+
+TEST(Tcp, SessionControlEventsOverSockets) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 8);
+  cfg.processors = 2;
+  cfg.groups = 1;
+  cfg.image_width = cfg.image_height = 24;
+  cfg.codec = "raw";
+  cfg.use_tcp = true;
+  cfg.on_frame = [](int step, const render::Image&) {
+    std::vector<net::ControlEvent> events;
+    if (step == 1) {
+      net::ControlEvent e;
+      e.kind = net::ControlKind::kSetCodec;
+      e.name = "jpeg";
+      events.push_back(e);
+    }
+    return events;
+  };
+  const auto result = core::run_session(cfg);
+  EXPECT_EQ(result.frames.size(), 8u);
+  EXPECT_GT(result.control_events_applied, 0);
+}
+
+}  // namespace
+}  // namespace tvviz

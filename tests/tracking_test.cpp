@@ -1,0 +1,88 @@
+// Run-time tracking (§2.1): the session waits for steps a concurrent
+// producer is still committing, and atomic store writes guarantee readers
+// never observe partial files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "core/session.hpp"
+#include "field/store.hpp"
+#include "render/image.hpp"
+
+namespace tvviz {
+namespace {
+
+class TrackingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tvviz_tracking_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TrackingTest, SessionTracksLiveProducer) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 5);
+  cfg.processors = 2;
+  cfg.groups = 1;
+  cfg.image_width = cfg.image_height = 32;
+  cfg.codec = "raw";
+  cfg.keep_frames = true;
+  cfg.store_dir = dir_;
+  cfg.wait_for_store = true;
+
+  field::VolumeStore store(dir_);
+  std::thread producer([&] {
+    for (int s = 0; s < cfg.dataset.steps; ++s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+      store.write(s, field::generate(cfg.dataset, s));
+    }
+  });
+  const auto tracked = core::run_session(cfg);
+  producer.join();
+  ASSERT_EQ(tracked.displayed.size(), 5u);
+
+  // Same frames as a post-processing run over the completed store.
+  core::SessionConfig post = cfg;
+  post.wait_for_store = false;
+  const auto offline = core::run_session(post);
+  for (std::size_t i = 0; i < tracked.displayed.size(); ++i)
+    EXPECT_TRUE(std::isinf(
+        render::psnr(tracked.displayed[i], offline.displayed[i])));
+
+  // Tracking could not have finished before the producer's last commit.
+  EXPECT_GT(tracked.metrics.overall_time, 5 * 0.015);
+}
+
+TEST_F(TrackingTest, TimesOutWhenProducerStalls) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 3);
+  cfg.processors = 2;
+  cfg.groups = 1;
+  cfg.image_width = cfg.image_height = 16;
+  cfg.store_dir = dir_;
+  cfg.wait_for_store = true;
+  cfg.input_wait_timeout_s = 0.1;
+
+  field::VolumeStore store(dir_);
+  store.write(0, field::generate(cfg.dataset, 0));  // only the first step
+
+  EXPECT_THROW(core::run_session(cfg), std::runtime_error);
+}
+
+TEST_F(TrackingTest, WithoutWaitMissingStepFailsFast) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 2);
+  cfg.processors = 2;
+  cfg.groups = 1;
+  cfg.image_width = cfg.image_height = 16;
+  cfg.store_dir = dir_;  // nothing materialized
+  EXPECT_THROW(core::run_session(cfg), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,0 +1,309 @@
+// Unit tests for src/util: PRNG, statistics, byte/bit serialization, flag
+// parsing and 3D math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/vecmath.hpp"
+
+namespace tvviz {
+namespace {
+
+using util::BitReader;
+using util::BitWriter;
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::Rng;
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(13);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= v == -2;
+    hi_seen |= v == 2;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng rng(17);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(RunningStats, BasicMoments) {
+  util::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  util::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50), 25.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(util::percentile({}, 50), 0.0);
+}
+
+// -------------------------------------------------------------- bytes ----
+
+TEST(ByteIo, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  w.str("hello");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteIo, VarintRoundTripBoundaries) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0, 1, 127, 128, 16383, 16384,
+                                  (1ull << 32), UINT64_MAX};
+  for (auto v : values) w.varint(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(ByteIo, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  (void)r.u8();
+  (void)r.u8();
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(ByteIo, RawSpanRoundTrip) {
+  ByteWriter w;
+  const Bytes payload = {1, 2, 3, 4, 5};
+  w.varint(payload.size());
+  w.raw(payload);
+  ByteReader r(w.bytes());
+  const auto n = r.varint();
+  const auto s = r.raw(n);
+  EXPECT_EQ(Bytes(s.begin(), s.end()), payload);
+}
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true,
+                          false, true, true, true};
+  for (bool b : pattern) w.bit(b);
+  const Bytes bytes = w.finish();
+  BitReader r(bytes);
+  for (bool b : pattern) EXPECT_EQ(r.bit(), b);
+}
+
+TEST(BitIo, MultiBitFieldsRoundTrip) {
+  BitWriter w;
+  w.bits(0x5, 3);
+  w.bits(0xABC, 12);
+  w.bits(1, 1);
+  w.bits(0xFFFF, 16);
+  const Bytes bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.bits(3), 0x5u);
+  EXPECT_EQ(r.bits(12), 0xABCu);
+  EXPECT_EQ(r.bits(1), 1u);
+  EXPECT_EQ(r.bits(16), 0xFFFFu);
+}
+
+TEST(BitIo, RandomRoundTrip) {
+  Rng rng(33);
+  std::vector<std::pair<std::uint32_t, int>> fields;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const int count = 1 + static_cast<int>(rng.below(24));
+    const auto value = static_cast<std::uint32_t>(rng()) &
+                       ((count == 32) ? 0xFFFFFFFFu : ((1u << count) - 1));
+    fields.emplace_back(value, count);
+    w.bits(value, count);
+  }
+  const Bytes bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [value, count] : fields) EXPECT_EQ(r.bits(count), value);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.bit(true);
+  const Bytes bytes = w.finish();  // padded to one byte
+  BitReader r(bytes);
+  (void)r.bits(8);
+  EXPECT_THROW(r.bit(), std::out_of_range);
+}
+
+// -------------------------------------------------------------- flags ----
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3",  "--beta", "7", "--gamma",
+                        "pos1", "--flag"};
+  util::Flags flags(7, argv);
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_EQ(flags.get_int("beta", 0), 7);
+  // --gamma consumes "pos1"? No: "pos1" does not start with --, so it is
+  // taken as gamma's value.
+  EXPECT_EQ(flags.get("gamma", ""), "pos1");
+  EXPECT_TRUE(flags.get_bool("flag", false));
+}
+
+TEST(Flags, FallbacksAndTypes) {
+  const char* argv[] = {"prog", "--x=2.5", "--b=true"};
+  util::Flags flags(3, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 0.0), 2.5);
+  EXPECT_TRUE(flags.get_bool("b", false));
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_EQ(flags.get("missing2", "dflt"), "dflt");
+}
+
+TEST(Flags, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  util::Flags flags(3, argv);
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+// ------------------------------------------------------------ vecmath ----
+
+TEST(VecMath, DotAndCross) {
+  const util::Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  const auto c = x.cross(y);
+  EXPECT_DOUBLE_EQ(c.x, z.x);
+  EXPECT_DOUBLE_EQ(c.y, z.y);
+  EXPECT_DOUBLE_EQ(c.z, z.z);
+}
+
+TEST(VecMath, NormalizedLength) {
+  const util::Vec3 v{3, 4, 12};
+  EXPECT_DOUBLE_EQ(v.length(), 13.0);
+  EXPECT_NEAR(v.normalized().length(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(util::Vec3{}.normalized().length(), 0.0);
+}
+
+TEST(VecMath, MatrixTranslateAndScalePoints) {
+  const auto m = util::Mat4::translate({1, 2, 3}) *
+                 util::Mat4::scale({2, 2, 2});
+  const auto p = m.point({1, 1, 1});
+  EXPECT_DOUBLE_EQ(p.x, 3.0);
+  EXPECT_DOUBLE_EQ(p.y, 4.0);
+  EXPECT_DOUBLE_EQ(p.z, 5.0);
+  // Directions ignore translation.
+  const auto d = m.dir({1, 0, 0});
+  EXPECT_DOUBLE_EQ(d.x, 2.0);
+  EXPECT_DOUBLE_EQ(d.y, 0.0);
+}
+
+TEST(VecMath, RotationPreservesLength) {
+  const auto m = util::Mat4::rotate_y(0.7) * util::Mat4::rotate_x(-0.3);
+  const util::Vec3 v{1, 2, 3};
+  EXPECT_NEAR(m.dir(v).length(), v.length(), 1e-12);
+}
+
+TEST(VecMath, RayAt) {
+  const util::Ray r{{1, 0, 0}, {0, 2, 0}};
+  const auto p = r.at(1.5);
+  EXPECT_DOUBLE_EQ(p.x, 1.0);
+  EXPECT_DOUBLE_EQ(p.y, 3.0);
+}
+
+TEST(VecMath, Clamp01) {
+  EXPECT_DOUBLE_EQ(util::clamp01(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(util::clamp01(2.0), 1.0);
+}
+
+}  // namespace
+}  // namespace tvviz

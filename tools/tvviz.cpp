@@ -1,0 +1,328 @@
+// tvviz — command-line front end to the library. Subcommands cover the
+// workflows a user of the paper's system runs: materializing datasets,
+// rendering stills, playing a remote session, choosing a partitioning,
+// planning previews and comparing codecs.
+//
+//   tvviz info
+//   tvviz materialize --dataset jet --scale 4 --steps 16 --dir data [--stripes 4]
+//   tvviz render      --dataset jet --step 75 --size 256 --out jet.ppm
+//                     [--renderer shearwarp] [--azimuth 0.6] [--elevation 0.35]
+//   tvviz play        --dataset jet --processors 6 --groups 2 --steps 8
+//                     [--codec jpeg+lzo] [--size 128] [--outdir frames]
+//   tvviz sweep       --processors 32 [--machine rwcp|o2k] [--steps 128]
+//   tvviz analyze     --dataset jet --steps 32 [--budget 8]
+//   tvviz codecs      [--size 256] [--quality 75]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "codec/image_codec.hpp"
+#include "core/perfmodel.hpp"
+#include "core/pipesim.hpp"
+#include "core/session.hpp"
+#include "field/preview.hpp"
+#include "field/store.hpp"
+#include "field/delta_store.hpp"
+#include "field/striped.hpp"
+#include "render/shearwarp.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+using namespace tvviz;
+
+namespace {
+
+field::DatasetDesc dataset_from_flags(const util::Flags& flags) {
+  const std::string name = flags.get("dataset", "jet");
+  const int scale = static_cast<int>(flags.get_int("scale", 1));
+  const int steps = static_cast<int>(flags.get_int("steps", 0));
+  field::DatasetDesc desc;
+  if (name == "jet")
+    desc = field::turbulent_jet_desc();
+  else if (name == "vortex")
+    desc = field::turbulent_vortex_desc();
+  else if (name == "mixing")
+    desc = field::shock_mixing_desc();
+  else
+    throw std::invalid_argument("unknown dataset '" + name +
+                                "' (jet|vortex|mixing)");
+  if (scale > 1 || steps > 0)
+    desc = field::scaled(desc, std::max(1, scale),
+                         steps > 0 ? steps : desc.steps);
+  return desc;
+}
+
+render::TransferFunction colormap_for(const field::DatasetDesc& desc) {
+  switch (desc.kind) {
+    case field::DatasetKind::kTurbulentVortex:
+      return render::TransferFunction::dense_cool_warm();
+    case field::DatasetKind::kShockMixing:
+      return render::TransferFunction::shock();
+    default:
+      return render::TransferFunction::fire();
+  }
+}
+
+int cmd_info(const util::Flags&) {
+  std::printf("datasets (paper presets; shrink with --scale/--steps):\n");
+  for (const auto& desc :
+       {field::turbulent_jet_desc(), field::turbulent_vortex_desc(),
+        field::shock_mixing_desc()}) {
+    std::printf("  %-18s %4d x %3d x %3d, %3d steps, %7.1f MB/step\n",
+                field::dataset_name(desc.kind), desc.dims.nx, desc.dims.ny,
+                desc.dims.nz, desc.steps,
+                static_cast<double>(desc.bytes_per_step()) / 1e6);
+  }
+  std::printf("\ncodecs: ");
+  for (const auto& name : codec::table1_codec_names())
+    std::printf("%s ", name.c_str());
+  std::printf("rle framediff mpeg collective-jpeg\n");
+  std::printf("machine profiles: rwcp (Japan cluster), o2k (NASA Ames)\n");
+  std::printf("colormaps: fire dense shock\n");
+  return 0;
+}
+
+int cmd_materialize(const util::Flags& flags) {
+  const auto desc = dataset_from_flags(flags);
+  const std::filesystem::path dir = flags.get("dir", "data");
+  const int stripes = static_cast<int>(flags.get_int("stripes", 0));
+  const bool delta = flags.get_bool("delta", false);
+  util::WallTimer timer;
+  std::size_t bytes = 0;
+  std::string layout = "raw steps";
+  if (delta) {
+    const auto precision = flags.get_bool("quantize", false)
+                               ? field::DeltaVolumeStore::Precision::kQuantized8
+                               : field::DeltaVolumeStore::Precision::kFloat32;
+    field::DeltaVolumeStore store(
+        dir, static_cast<int>(flags.get_int("key-interval", 16)), 5, precision);
+    const auto [raw, stored] = store.materialize(desc);
+    bytes = stored;
+    layout = "differential (" +
+             std::string(flags.get_bool("quantize", false) ? "8-bit" : "float") +
+             ", " + std::to_string(static_cast<int>(
+                        100.0 * (1.0 - static_cast<double>(stored) / raw))) +
+             "% smaller)";
+  } else if (stripes > 0) {
+    field::StripedVolumeStore store(dir, stripes);
+    bytes = store.materialize(desc);
+    layout = std::to_string(stripes) + " stripes";
+  } else {
+    field::VolumeStore store(dir);
+    bytes = store.materialize(desc);
+  }
+  std::printf("materialized %s: %d steps, %.1f MB (%s) -> %s in %.1f s\n",
+              field::dataset_name(desc.kind), desc.steps,
+              static_cast<double>(bytes) / 1e6, layout.c_str(),
+              dir.string().c_str(), timer.seconds());
+  return 0;
+}
+
+int cmd_render(const util::Flags& flags) {
+  const auto desc = dataset_from_flags(flags);
+  const int step = static_cast<int>(flags.get_int("step", desc.steps / 2));
+  const int size = static_cast<int>(flags.get_int("size", 256));
+  const std::string out = flags.get("out", "frame.ppm");
+  const std::string renderer = flags.get("renderer", "raycast");
+
+  const auto volume = field::generate(desc, step);
+  const auto tf = colormap_for(desc);
+  const render::Camera camera(size, size, flags.get_double("azimuth", 0.6),
+                              flags.get_double("elevation", 0.35),
+                              flags.get_double("zoom", 1.0));
+  util::WallTimer timer;
+  render::Image frame;
+  if (renderer == "shearwarp") {
+    render::ShearWarpRenderer sw;
+    frame = sw.render(sw.preprocess(volume, tf), camera);
+  } else {
+    render::RayCaster caster;
+    frame = caster.render_full(volume, camera, tf,
+                               flags.get_bool("space-leap", true));
+  }
+  const double t = timer.seconds();
+  frame.write_ppm(out);
+
+  const std::string codec_name = flags.get("codec", "jpeg+lzo");
+  const auto codec = codec::make_image_codec(
+      codec_name, static_cast<int>(flags.get_int("quality", 75)));
+  const auto packed = codec->encode(frame);
+  std::printf("%s step %d -> %s (%dx%d, %s, %.2f s); %s: %zu bytes "
+              "(%.1f%% reduction)\n",
+              field::dataset_name(desc.kind), step, out.c_str(), size, size,
+              renderer.c_str(), t, codec_name.c_str(), packed.size(),
+              100.0 * (1.0 - static_cast<double>(packed.size()) /
+                                 (static_cast<double>(size) * size * 3)));
+  return 0;
+}
+
+int cmd_play(const util::Flags& flags) {
+  core::SessionConfig cfg;
+  cfg.dataset = dataset_from_flags(flags);
+  if (cfg.dataset.dims.voxels() > 64ull << 20)
+    std::printf("note: large dataset; consider --scale\n");
+  cfg.processors = static_cast<int>(flags.get_int("processors", 4));
+  cfg.groups = static_cast<int>(flags.get_int("groups", 2));
+  cfg.image_width = cfg.image_height =
+      static_cast<int>(flags.get_int("size", 128));
+  cfg.codec = flags.get("codec", "jpeg+lzo");
+  cfg.jpeg_quality = static_cast<int>(flags.get_int("quality", 75));
+  cfg.colormap = cfg.dataset.kind == field::DatasetKind::kTurbulentVortex
+                     ? "dense"
+                 : cfg.dataset.kind == field::DatasetKind::kShockMixing
+                     ? "shock"
+                     : "fire";
+  cfg.azimuth_per_step = flags.get_double("spin", 0.0);
+  if (flags.has("store")) cfg.store_dir = flags.get("store", "data");
+  cfg.io_stripes = static_cast<int>(flags.get_int("stripes", 0));
+  cfg.wait_for_store = flags.get_bool("follow", false);
+  cfg.use_tcp = flags.get_bool("tcp", false);
+  cfg.load_balanced = flags.get_bool("balance", false);
+  if (flags.get("compression", "") == "pieces")
+    cfg.compression = core::SessionConfig::Compression::kParallelPieces;
+  if (flags.get("compression", "") == "collective")
+    cfg.compression = core::SessionConfig::Compression::kCollective;
+  const bool save = flags.has("outdir");
+  cfg.keep_frames = save;
+
+  const auto result = core::run_session(cfg);
+  std::printf("frames: %zu | startup %.3f s | overall %.3f s | "
+              "inter-frame %.3f s (%.1f fps) | wire %.1f kB (%.1fx reduction)\n",
+              result.frames.size(), result.metrics.startup_latency,
+              result.metrics.overall_time, result.metrics.inter_frame_delay,
+              result.metrics.frames_per_second(),
+              static_cast<double>(result.wire_bytes) / 1024.0,
+              static_cast<double>(result.raw_bytes) /
+                  static_cast<double>(std::max<std::uint64_t>(1, result.wire_bytes)));
+  if (save) {
+    const std::filesystem::path outdir = flags.get("outdir", "frames");
+    std::filesystem::create_directories(outdir);
+    for (std::size_t i = 0; i < result.displayed.size(); ++i) {
+      char name[32];
+      std::snprintf(name, sizeof name, "frame_%04zu.ppm", i);
+      result.displayed[i].write_ppm(outdir / name);
+    }
+    std::printf("wrote %zu frames to %s/\n", result.displayed.size(),
+                outdir.string().c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const util::Flags& flags) {
+  core::PipelineConfig cfg;
+  cfg.processors = static_cast<int>(flags.get_int("processors", 32));
+  cfg.dataset = dataset_from_flags(flags);
+  cfg.steps_limit = static_cast<int>(flags.get_int("sim-steps", 128));
+  cfg.image_width = cfg.image_height =
+      static_cast<int>(flags.get_int("size", 256));
+  cfg.costs = flags.get("machine", "rwcp") == "o2k"
+                  ? core::StageCosts::o2k_paper()
+                  : core::StageCosts::rwcp_paper();
+  cfg.codec = core::CodecProfile::paper(flags.get("codec", "jpeg+lzo"));
+  cfg.io_servers = static_cast<int>(flags.get_int("io-servers", 1));
+
+  std::printf("%-6s %-12s %-12s %-12s\n", "L", "overall", "startup",
+              "inter-frame");
+  int best = 1;
+  double best_t = 1e300;
+  for (int l = 1; l <= cfg.processors; l *= 2) {
+    cfg.groups = l;
+    const auto r = core::simulate_pipeline(cfg);
+    std::printf("%-6d %8.1f s %10.2f s %10.2f s\n", l,
+                r.metrics.overall_time, r.metrics.startup_latency,
+                r.metrics.inter_frame_delay);
+    if (r.metrics.overall_time < best_t) {
+      best_t = r.metrics.overall_time;
+      best = l;
+    }
+  }
+  std::printf("recommended partitions: %d (analytic model: %d)\n", best,
+              core::optimal_partitions(cfg));
+  return 0;
+}
+
+int cmd_analyze(const util::Flags& flags) {
+  const auto desc = dataset_from_flags(flags);
+  const auto summary = field::TemporalSummary::analyze(
+      desc, static_cast<int>(flags.get_int("probes", 1024)));
+  std::printf("%s: %d steps, total change %.3f\n",
+              field::dataset_name(desc.kind), summary.steps(),
+              summary.total_change());
+  std::printf("step deltas: ");
+  for (int s = 0; s < summary.steps(); ++s)
+    std::printf("%.3f ", summary.delta(s));
+  std::printf("\n");
+  const int budget = static_cast<int>(flags.get_int("budget", 8));
+  const auto plan = summary.select_budget(budget);
+  std::printf("preview plan (budget %d): ", budget);
+  for (int s : plan) std::printf("%d ", s);
+  std::printf("\n(pass these to the session's step_map for preview mode)\n");
+  return 0;
+}
+
+int cmd_codecs(const util::Flags& flags) {
+  const auto desc = dataset_from_flags(flags);
+  const int size = static_cast<int>(flags.get_int("size", 256));
+  const int quality = static_cast<int>(flags.get_int("quality", 75));
+  render::RayCaster caster;
+  const auto frame =
+      caster.render_full(field::generate(desc, desc.steps / 2),
+                         render::Camera(size, size), colormap_for(desc), true);
+  std::printf("%-12s %12s %10s %12s %12s %10s\n", "codec", "bytes", "ratio",
+              "encode", "decode", "psnr");
+  for (const auto& name : codec::table1_codec_names()) {
+    const auto codec = codec::make_image_codec(name, quality);
+    util::WallTimer te;
+    const auto packed = codec->encode(frame);
+    const double enc = te.seconds();
+    util::WallTimer td;
+    const auto out = codec->decode(packed);
+    const double dec = td.seconds();
+    const double psnr = render::psnr(frame, out);
+    std::printf("%-12s %12zu %9.1fx %10.1f ms %10.1f ms %9.1f\n",
+                name.c_str(), packed.size(),
+                static_cast<double>(size) * size * 3 / packed.size(),
+                enc * 1e3, dec * 1e3, psnr);
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "tvviz — remote parallel visualization of time-varying volume data\n"
+      "usage: tvviz <command> [--flags]\n"
+      "commands:\n"
+      "  info          list datasets, codecs and machine profiles\n"
+      "  materialize   write a dataset's time steps to a (striped) store\n"
+      "  render        render one time step to a PPM\n"
+      "  play          run the full remote pipeline and report §3 metrics\n"
+      "  sweep         sweep the processor partitioning (Figure 6 tool)\n"
+      "  analyze       temporal summary + preview plan (§7.1)\n"
+      "  codecs        compare the compressors on a rendered frame\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const util::Flags flags(argc - 1, argv + 1);
+  try {
+    if (command == "info") return cmd_info(flags);
+    if (command == "materialize") return cmd_materialize(flags);
+    if (command == "render") return cmd_render(flags);
+    if (command == "play") return cmd_play(flags);
+    if (command == "sweep") return cmd_sweep(flags);
+    if (command == "analyze") return cmd_analyze(flags);
+    if (command == "codecs") return cmd_codecs(flags);
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tvviz %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}

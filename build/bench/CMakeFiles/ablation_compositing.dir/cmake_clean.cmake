@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compositing.dir/ablation_compositing.cpp.o"
+  "CMakeFiles/ablation_compositing.dir/ablation_compositing.cpp.o.d"
+  "ablation_compositing"
+  "ablation_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deltastore.dir/ablation_deltastore.cpp.o"
+  "CMakeFiles/ablation_deltastore.dir/ablation_deltastore.cpp.o.d"
+  "ablation_deltastore"
+  "ablation_deltastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deltastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_framediff.dir/ablation_framediff.cpp.o"
+  "CMakeFiles/ablation_framediff.dir/ablation_framediff.cpp.o.d"
+  "ablation_framediff"
+  "ablation_framediff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_framediff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpeg.dir/ablation_mpeg.cpp.o"
+  "CMakeFiles/ablation_mpeg.dir/ablation_mpeg.cpp.o.d"
+  "ablation_mpeg"
+  "ablation_mpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

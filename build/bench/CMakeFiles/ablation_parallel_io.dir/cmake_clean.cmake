@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_io.dir/ablation_parallel_io.cpp.o"
+  "CMakeFiles/ablation_parallel_io.dir/ablation_parallel_io.cpp.o.d"
+  "ablation_parallel_io"
+  "ablation_parallel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_renderers.dir/ablation_renderers.cpp.o"
+  "CMakeFiles/ablation_renderers.dir/ablation_renderers.cpp.o.d"
+  "ablation_renderers"
+  "ablation_renderers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_renderers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

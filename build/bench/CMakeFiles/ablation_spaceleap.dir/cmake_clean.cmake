@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spaceleap.dir/ablation_spaceleap.cpp.o"
+  "CMakeFiles/ablation_spaceleap.dir/ablation_spaceleap.cpp.o.d"
+  "ablation_spaceleap"
+  "ablation_spaceleap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spaceleap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

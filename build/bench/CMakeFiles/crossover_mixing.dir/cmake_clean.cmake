@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_mixing.dir/crossover_mixing.cpp.o"
+  "CMakeFiles/crossover_mixing.dir/crossover_mixing.cpp.o.d"
+  "crossover_mixing"
+  "crossover_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

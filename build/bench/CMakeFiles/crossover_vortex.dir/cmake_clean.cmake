@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_vortex.dir/crossover_vortex.cpp.o"
+  "CMakeFiles/crossover_vortex.dir/crossover_vortex.cpp.o.d"
+  "crossover_vortex"
+  "crossover_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

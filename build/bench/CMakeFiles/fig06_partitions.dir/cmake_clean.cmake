@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_partitions.dir/fig06_partitions.cpp.o"
+  "CMakeFiles/fig06_partitions.dir/fig06_partitions.cpp.o.d"
+  "fig06_partitions"
+  "fig06_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

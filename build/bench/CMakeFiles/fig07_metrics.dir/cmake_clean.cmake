@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_metrics.dir/fig07_metrics.cpp.o"
+  "CMakeFiles/fig07_metrics.dir/fig07_metrics.cpp.o.d"
+  "fig07_metrics"
+  "fig07_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_transfer.dir/fig08_transfer.cpp.o"
+  "CMakeFiles/fig08_transfer.dir/fig08_transfer.cpp.o.d"
+  "fig08_transfer"
+  "fig08_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_subimages.dir/fig10_subimages.cpp.o"
+  "CMakeFiles/fig10_subimages.dir/fig10_subimages.cpp.o.d"
+  "fig10_subimages"
+  "fig10_subimages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_subimages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

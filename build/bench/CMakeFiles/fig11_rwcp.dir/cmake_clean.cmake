@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rwcp.dir/fig11_rwcp.cpp.o"
+  "CMakeFiles/fig11_rwcp.dir/fig11_rwcp.cpp.o.d"
+  "fig11_rwcp"
+  "fig11_rwcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rwcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_compression.dir/table1_compression.cpp.o"
+  "CMakeFiles/table1_compression.dir/table1_compression.cpp.o.d"
+  "table1_compression"
+  "table1_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

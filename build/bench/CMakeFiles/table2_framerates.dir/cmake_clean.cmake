@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_framerates.dir/table2_framerates.cpp.o"
+  "CMakeFiles/table2_framerates.dir/table2_framerates.cpp.o.d"
+  "table2_framerates"
+  "table2_framerates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_framerates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtvviz_bench_common.a"
+)

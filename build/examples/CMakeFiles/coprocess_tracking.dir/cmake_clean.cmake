@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coprocess_tracking.dir/coprocess_tracking.cpp.o"
+  "CMakeFiles/coprocess_tracking.dir/coprocess_tracking.cpp.o.d"
+  "coprocess_tracking"
+  "coprocess_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coprocess_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

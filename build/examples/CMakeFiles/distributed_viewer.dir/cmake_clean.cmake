@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_viewer.dir/distributed_viewer.cpp.o"
+  "CMakeFiles/distributed_viewer.dir/distributed_viewer.cpp.o.d"
+  "distributed_viewer"
+  "distributed_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibr_preview.dir/ibr_preview.cpp.o"
+  "CMakeFiles/ibr_preview.dir/ibr_preview.cpp.o.d"
+  "ibr_preview"
+  "ibr_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibr_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ibr_preview.
+# This may be replaced when dependencies are built.

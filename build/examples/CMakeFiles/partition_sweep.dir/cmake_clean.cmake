@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_sweep.dir/partition_sweep.cpp.o"
+  "CMakeFiles/partition_sweep.dir/partition_sweep.cpp.o.d"
+  "partition_sweep"
+  "partition_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/framediff.cpp" "src/codec/CMakeFiles/tvviz_codec.dir/framediff.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec.dir/framediff.cpp.o.d"
+  "/root/repo/src/codec/image_codec.cpp" "src/codec/CMakeFiles/tvviz_codec.dir/image_codec.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec.dir/image_codec.cpp.o.d"
+  "/root/repo/src/codec/jpeg.cpp" "src/codec/CMakeFiles/tvviz_codec.dir/jpeg.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec.dir/jpeg.cpp.o.d"
+  "/root/repo/src/codec/motion.cpp" "src/codec/CMakeFiles/tvviz_codec.dir/motion.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec.dir/motion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/tvviz_codec_bytes.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/tvviz_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/tvviz_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tvviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_codec.dir/framediff.cpp.o"
+  "CMakeFiles/tvviz_codec.dir/framediff.cpp.o.d"
+  "CMakeFiles/tvviz_codec.dir/image_codec.cpp.o"
+  "CMakeFiles/tvviz_codec.dir/image_codec.cpp.o.d"
+  "CMakeFiles/tvviz_codec.dir/jpeg.cpp.o"
+  "CMakeFiles/tvviz_codec.dir/jpeg.cpp.o.d"
+  "CMakeFiles/tvviz_codec.dir/motion.cpp.o"
+  "CMakeFiles/tvviz_codec.dir/motion.cpp.o.d"
+  "libtvviz_codec.a"
+  "libtvviz_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bwt.cpp" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/bwt.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/bwt.cpp.o.d"
+  "/root/repo/src/codec/byte_codec.cpp" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/byte_codec.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/byte_codec.cpp.o.d"
+  "/root/repo/src/codec/huffman.cpp" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/huffman.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/huffman.cpp.o.d"
+  "/root/repo/src/codec/lz.cpp" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/lz.cpp.o" "gcc" "src/codec/CMakeFiles/tvviz_codec_bytes.dir/lz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tvviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

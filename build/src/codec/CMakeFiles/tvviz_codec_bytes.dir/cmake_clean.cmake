@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_codec_bytes.dir/bwt.cpp.o"
+  "CMakeFiles/tvviz_codec_bytes.dir/bwt.cpp.o.d"
+  "CMakeFiles/tvviz_codec_bytes.dir/byte_codec.cpp.o"
+  "CMakeFiles/tvviz_codec_bytes.dir/byte_codec.cpp.o.d"
+  "CMakeFiles/tvviz_codec_bytes.dir/huffman.cpp.o"
+  "CMakeFiles/tvviz_codec_bytes.dir/huffman.cpp.o.d"
+  "CMakeFiles/tvviz_codec_bytes.dir/lz.cpp.o"
+  "CMakeFiles/tvviz_codec_bytes.dir/lz.cpp.o.d"
+  "libtvviz_codec_bytes.a"
+  "libtvviz_codec_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_codec_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

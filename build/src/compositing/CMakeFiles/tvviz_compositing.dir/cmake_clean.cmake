@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_compositing.dir/binary_swap.cpp.o"
+  "CMakeFiles/tvviz_compositing.dir/binary_swap.cpp.o.d"
+  "CMakeFiles/tvviz_compositing.dir/collective_compress.cpp.o"
+  "CMakeFiles/tvviz_compositing.dir/collective_compress.cpp.o.d"
+  "CMakeFiles/tvviz_compositing.dir/over.cpp.o"
+  "CMakeFiles/tvviz_compositing.dir/over.cpp.o.d"
+  "libtvviz_compositing.a"
+  "libtvviz_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_core.dir/adaptive.cpp.o"
+  "CMakeFiles/tvviz_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/tvviz_core.dir/costs.cpp.o"
+  "CMakeFiles/tvviz_core.dir/costs.cpp.o.d"
+  "CMakeFiles/tvviz_core.dir/partition.cpp.o"
+  "CMakeFiles/tvviz_core.dir/partition.cpp.o.d"
+  "CMakeFiles/tvviz_core.dir/perfmodel.cpp.o"
+  "CMakeFiles/tvviz_core.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/tvviz_core.dir/pipesim.cpp.o"
+  "CMakeFiles/tvviz_core.dir/pipesim.cpp.o.d"
+  "CMakeFiles/tvviz_core.dir/session.cpp.o"
+  "CMakeFiles/tvviz_core.dir/session.cpp.o.d"
+  "libtvviz_core.a"
+  "libtvviz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/decompose.cpp" "src/field/CMakeFiles/tvviz_field.dir/decompose.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/decompose.cpp.o.d"
+  "/root/repo/src/field/delta_store.cpp" "src/field/CMakeFiles/tvviz_field.dir/delta_store.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/delta_store.cpp.o.d"
+  "/root/repo/src/field/generators.cpp" "src/field/CMakeFiles/tvviz_field.dir/generators.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/generators.cpp.o.d"
+  "/root/repo/src/field/minmax.cpp" "src/field/CMakeFiles/tvviz_field.dir/minmax.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/minmax.cpp.o.d"
+  "/root/repo/src/field/noise.cpp" "src/field/CMakeFiles/tvviz_field.dir/noise.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/noise.cpp.o.d"
+  "/root/repo/src/field/preview.cpp" "src/field/CMakeFiles/tvviz_field.dir/preview.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/preview.cpp.o.d"
+  "/root/repo/src/field/store.cpp" "src/field/CMakeFiles/tvviz_field.dir/store.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/store.cpp.o.d"
+  "/root/repo/src/field/striped.cpp" "src/field/CMakeFiles/tvviz_field.dir/striped.cpp.o" "gcc" "src/field/CMakeFiles/tvviz_field.dir/striped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/tvviz_codec_bytes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tvviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

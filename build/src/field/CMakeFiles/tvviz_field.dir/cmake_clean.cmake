@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_field.dir/decompose.cpp.o"
+  "CMakeFiles/tvviz_field.dir/decompose.cpp.o.d"
+  "CMakeFiles/tvviz_field.dir/delta_store.cpp.o"
+  "CMakeFiles/tvviz_field.dir/delta_store.cpp.o.d"
+  "CMakeFiles/tvviz_field.dir/generators.cpp.o"
+  "CMakeFiles/tvviz_field.dir/generators.cpp.o.d"
+  "CMakeFiles/tvviz_field.dir/minmax.cpp.o"
+  "CMakeFiles/tvviz_field.dir/minmax.cpp.o.d"
+  "CMakeFiles/tvviz_field.dir/noise.cpp.o"
+  "CMakeFiles/tvviz_field.dir/noise.cpp.o.d"
+  "CMakeFiles/tvviz_field.dir/preview.cpp.o"
+  "CMakeFiles/tvviz_field.dir/preview.cpp.o.d"
+  "CMakeFiles/tvviz_field.dir/store.cpp.o"
+  "CMakeFiles/tvviz_field.dir/store.cpp.o.d"
+  "CMakeFiles/tvviz_field.dir/striped.cpp.o"
+  "CMakeFiles/tvviz_field.dir/striped.cpp.o.d"
+  "libtvviz_field.a"
+  "libtvviz_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

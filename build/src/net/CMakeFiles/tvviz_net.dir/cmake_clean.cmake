@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_net.dir/daemon.cpp.o"
+  "CMakeFiles/tvviz_net.dir/daemon.cpp.o.d"
+  "CMakeFiles/tvviz_net.dir/link.cpp.o"
+  "CMakeFiles/tvviz_net.dir/link.cpp.o.d"
+  "CMakeFiles/tvviz_net.dir/protocol.cpp.o"
+  "CMakeFiles/tvviz_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/tvviz_net.dir/tcp.cpp.o"
+  "CMakeFiles/tvviz_net.dir/tcp.cpp.o.d"
+  "libtvviz_net.a"
+  "libtvviz_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

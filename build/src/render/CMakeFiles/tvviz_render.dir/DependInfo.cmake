@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/ibr.cpp" "src/render/CMakeFiles/tvviz_render.dir/ibr.cpp.o" "gcc" "src/render/CMakeFiles/tvviz_render.dir/ibr.cpp.o.d"
+  "/root/repo/src/render/image.cpp" "src/render/CMakeFiles/tvviz_render.dir/image.cpp.o" "gcc" "src/render/CMakeFiles/tvviz_render.dir/image.cpp.o.d"
+  "/root/repo/src/render/raycast.cpp" "src/render/CMakeFiles/tvviz_render.dir/raycast.cpp.o" "gcc" "src/render/CMakeFiles/tvviz_render.dir/raycast.cpp.o.d"
+  "/root/repo/src/render/shearwarp.cpp" "src/render/CMakeFiles/tvviz_render.dir/shearwarp.cpp.o" "gcc" "src/render/CMakeFiles/tvviz_render.dir/shearwarp.cpp.o.d"
+  "/root/repo/src/render/spaceskip.cpp" "src/render/CMakeFiles/tvviz_render.dir/spaceskip.cpp.o" "gcc" "src/render/CMakeFiles/tvviz_render.dir/spaceskip.cpp.o.d"
+  "/root/repo/src/render/transfer.cpp" "src/render/CMakeFiles/tvviz_render.dir/transfer.cpp.o" "gcc" "src/render/CMakeFiles/tvviz_render.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/field/CMakeFiles/tvviz_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tvviz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/tvviz_codec_bytes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_render.dir/ibr.cpp.o"
+  "CMakeFiles/tvviz_render.dir/ibr.cpp.o.d"
+  "CMakeFiles/tvviz_render.dir/image.cpp.o"
+  "CMakeFiles/tvviz_render.dir/image.cpp.o.d"
+  "CMakeFiles/tvviz_render.dir/raycast.cpp.o"
+  "CMakeFiles/tvviz_render.dir/raycast.cpp.o.d"
+  "CMakeFiles/tvviz_render.dir/shearwarp.cpp.o"
+  "CMakeFiles/tvviz_render.dir/shearwarp.cpp.o.d"
+  "CMakeFiles/tvviz_render.dir/spaceskip.cpp.o"
+  "CMakeFiles/tvviz_render.dir/spaceskip.cpp.o.d"
+  "CMakeFiles/tvviz_render.dir/transfer.cpp.o"
+  "CMakeFiles/tvviz_render.dir/transfer.cpp.o.d"
+  "libtvviz_render.a"
+  "libtvviz_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

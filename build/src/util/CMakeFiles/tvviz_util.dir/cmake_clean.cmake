@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_util.dir/flags.cpp.o"
+  "CMakeFiles/tvviz_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tvviz_util.dir/log.cpp.o"
+  "CMakeFiles/tvviz_util.dir/log.cpp.o.d"
+  "CMakeFiles/tvviz_util.dir/rng.cpp.o"
+  "CMakeFiles/tvviz_util.dir/rng.cpp.o.d"
+  "libtvviz_util.a"
+  "libtvviz_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_vmp.dir/communicator.cpp.o"
+  "CMakeFiles/tvviz_vmp.dir/communicator.cpp.o.d"
+  "CMakeFiles/tvviz_vmp.dir/mailbox.cpp.o"
+  "CMakeFiles/tvviz_vmp.dir/mailbox.cpp.o.d"
+  "libtvviz_vmp.a"
+  "libtvviz_vmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_vmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

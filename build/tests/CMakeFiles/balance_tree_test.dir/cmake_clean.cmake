@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_tree_test.dir/balance_tree_test.cpp.o"
+  "CMakeFiles/balance_tree_test.dir/balance_tree_test.cpp.o.d"
+  "balance_tree_test"
+  "balance_tree_test.pdb"
+  "balance_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compositing_test.dir/compositing_test.cpp.o"
+  "CMakeFiles/compositing_test.dir/compositing_test.cpp.o.d"
+  "compositing_test"
+  "compositing_test.pdb"
+  "compositing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compositing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibr_preview_test.dir/ibr_preview_test.cpp.o"
+  "CMakeFiles/ibr_preview_test.dir/ibr_preview_test.cpp.o.d"
+  "ibr_preview_test"
+  "ibr_preview_test.pdb"
+  "ibr_preview_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibr_preview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevt_test.dir/sevt_test.cpp.o"
+  "CMakeFiles/sevt_test.dir/sevt_test.cpp.o.d"
+  "sevt_test"
+  "sevt_test.pdb"
+  "sevt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stores_adaptive_test.dir/stores_adaptive_test.cpp.o"
+  "CMakeFiles/stores_adaptive_test.dir/stores_adaptive_test.cpp.o.d"
+  "stores_adaptive_test"
+  "stores_adaptive_test.pdb"
+  "stores_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stores_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

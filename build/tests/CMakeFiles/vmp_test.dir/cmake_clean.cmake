@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_test.dir/vmp_test.cpp.o"
+  "CMakeFiles/vmp_test.dir/vmp_test.cpp.o.d"
+  "vmp_test"
+  "vmp_test.pdb"
+  "vmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz.dir/tvviz.cpp.o"
+  "CMakeFiles/tvviz.dir/tvviz.cpp.o.d"
+  "tvviz"
+  "tvviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,6 +1,37 @@
 #include "bench/common.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace tvviz::bench {
+
+namespace {
+std::string g_trace_out;
+std::string g_counters_out;
+}  // namespace
+
+void init_observability(const util::Flags& flags) {
+  g_trace_out = flags.get("trace-out", "");
+  g_counters_out = flags.get("counters-json", "");
+  if (!g_trace_out.empty()) obs::enable_tracing(true);
+}
+
+void finish_observability() {
+  if (!g_trace_out.empty()) {
+    if (obs::write_chrome_trace_file(g_trace_out))
+      std::printf("\ntrace written to %s\n", g_trace_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   g_trace_out.c_str());
+  }
+  if (!g_counters_out.empty()) {
+    if (obs::write_counters_json_file(g_counters_out))
+      std::printf("counters written to %s\n", g_counters_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write counters to %s\n",
+                   g_counters_out.c_str());
+  }
+}
 
 render::Image render_frame(field::DatasetKind kind, int size,
                            double step_fraction) {

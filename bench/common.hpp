@@ -11,6 +11,7 @@
 #include "render/image.hpp"
 #include "render/raycast.hpp"
 #include "render/transfer.hpp"
+#include "util/flags.hpp"
 
 namespace tvviz::bench {
 
@@ -38,5 +39,13 @@ std::string fmt_seconds(double s);
 
 /// Thousands-separated byte count.
 std::string fmt_bytes(double bytes);
+
+/// Observability plumbing shared by every harness: `--trace-out <file>`
+/// turns on span recording and arranges a Chrome trace_event JSON dump
+/// (loadable in Perfetto / chrome://tracing); `--counters-json <file>`
+/// arranges a dump of the counter registry. Call init before the workload
+/// and finish after it.
+void init_observability(const util::Flags& flags);
+void finish_observability();
 
 }  // namespace tvviz::bench

@@ -15,6 +15,7 @@ using namespace tvviz;
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const int p = static_cast<int>(flags.get_int("processors", 32));
+  bench::init_observability(flags);
 
   bench::print_header(
       "Figure 7 — metrics vs #partitions, P = " + std::to_string(p) +
@@ -46,5 +47,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nstart-up latency monotone increasing in L: %s (paper: yes)\n",
               latency_monotone ? "yes" : "NO");
+  bench::finish_observability();
   return 0;
 }

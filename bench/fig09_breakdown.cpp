@@ -34,6 +34,7 @@ void run_chart(core::PipelineConfig cfg, const char* title) {
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  bench::init_observability(flags);
   bench::print_header(
       "Figure 9 — render vs display time per frame (16 procs, O2K)",
       "turbulent jet; top: remote X; bottom: compression-based daemon");
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
       "\nPaper shape: with X the display time can take as much as the\n"
       "rendering time (ratio near or above 1); with the daemon the frame\n"
       "rate is dominated by rendering, not image transmission (ratio << 1).\n");
+  bench::finish_observability();
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace tvviz;
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const int max_size = static_cast<int>(flags.get_int("max-size", 1024));
+  bench::init_observability(flags);
 
   bench::print_header("Table 2 — actual frame rates NASA Ames -> UC Davis "
                       "(frames/second)",
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
   std::printf("\ncompression >= 2x X rate for every size >= 256^2: %s "
               "(paper shape)\n",
               crossover_ok ? "yes" : "NO");
+  bench::finish_observability();
   return 0;
 }

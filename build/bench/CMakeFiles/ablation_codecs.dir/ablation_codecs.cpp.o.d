@@ -260,5 +260,5 @@ bench/CMakeFiles/ablation_codecs.dir/ablation_codecs.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/render/spaceskip.hpp /root/repo/src/field/minmax.hpp \
- /root/repo/src/render/transfer.hpp /root/repo/src/codec/image_codec.hpp \
- /root/repo/src/codec/byte_codec.hpp
+ /root/repo/src/render/transfer.hpp /root/repo/src/util/flags.hpp \
+ /root/repo/src/codec/image_codec.hpp /root/repo/src/codec/byte_codec.hpp

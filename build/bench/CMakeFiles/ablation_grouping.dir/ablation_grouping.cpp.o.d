@@ -259,8 +259,11 @@ bench/CMakeFiles/ablation_grouping.dir/ablation_grouping.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/render/spaceskip.hpp /root/repo/src/field/minmax.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/render/transfer.hpp /root/repo/src/codec/image_codec.hpp \
- /root/repo/src/codec/byte_codec.hpp \
+ /root/repo/src/render/transfer.hpp /root/repo/src/util/flags.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/codec/image_codec.hpp /root/repo/src/codec/byte_codec.hpp \
  /root/repo/src/compositing/collective_compress.hpp \
  /root/repo/src/vmp/communicator.hpp /root/repo/src/vmp/mailbox.hpp \
  /usr/include/c++/12/condition_variable \
@@ -273,8 +276,5 @@ bench/CMakeFiles/ablation_grouping.dir/ablation_grouping.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/optional \
- /root/repo/src/vmp/message.hpp /root/repo/src/util/flags.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/timer.hpp \
+ /root/repo/src/vmp/message.hpp /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono

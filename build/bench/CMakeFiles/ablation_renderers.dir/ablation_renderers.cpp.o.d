@@ -258,8 +258,9 @@ bench/CMakeFiles/ablation_renderers.dir/ablation_renderers.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/render/spaceskip.hpp /root/repo/src/field/minmax.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/render/transfer.hpp /root/repo/src/render/shearwarp.hpp \
- /root/repo/src/util/flags.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/timer.hpp \
+ /root/repo/src/render/transfer.hpp /root/repo/src/util/flags.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/render/shearwarp.hpp /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono

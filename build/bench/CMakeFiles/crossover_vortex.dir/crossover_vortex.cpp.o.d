@@ -258,10 +258,11 @@ bench/CMakeFiles/crossover_vortex.dir/crossover_vortex.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/render/spaceskip.hpp /root/repo/src/field/minmax.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/render/transfer.hpp /root/repo/src/codec/image_codec.hpp \
- /root/repo/src/codec/byte_codec.hpp /root/repo/src/core/costs.hpp \
- /root/repo/src/field/store.hpp /root/repo/src/net/link.hpp \
- /root/repo/src/util/flags.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/timer.hpp \
+ /root/repo/src/render/transfer.hpp /root/repo/src/util/flags.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/codec/image_codec.hpp /root/repo/src/codec/byte_codec.hpp \
+ /root/repo/src/core/costs.hpp /root/repo/src/field/store.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono

@@ -258,10 +258,10 @@ bench/CMakeFiles/fig07_metrics.dir/fig07_metrics.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/render/spaceskip.hpp /root/repo/src/field/minmax.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/render/transfer.hpp /root/repo/src/core/pipesim.hpp \
- /root/repo/src/core/costs.hpp /root/repo/src/field/store.hpp \
- /root/repo/src/net/link.hpp /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/partition.hpp /root/repo/src/util/flags.hpp \
+ /root/repo/src/render/transfer.hpp /root/repo/src/util/flags.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/pipesim.hpp \
+ /root/repo/src/core/costs.hpp /root/repo/src/field/store.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/core/metrics.hpp \
+ /root/repo/src/core/partition.hpp

@@ -261,6 +261,6 @@ bench/CMakeFiles/table1_compression.dir/table1_compression.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/render/spaceskip.hpp /root/repo/src/field/minmax.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/render/transfer.hpp /root/repo/src/codec/image_codec.hpp \
- /root/repo/src/codec/byte_codec.hpp /root/repo/src/util/flags.hpp \
+ /root/repo/src/render/transfer.hpp /root/repo/src/util/flags.hpp \
+ /root/repo/src/codec/image_codec.hpp /root/repo/src/codec/byte_codec.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/compositing/CMakeFiles/tvviz_compositing.dir/DependInfo.cmake"
   "/root/repo/build/src/field/CMakeFiles/tvviz_field.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/tvviz_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/tvviz_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/render/CMakeFiles/tvviz_render.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/tvviz_util.dir/DependInfo.cmake"
   "/root/repo/build/src/vmp/CMakeFiles/tvviz_vmp.dir/DependInfo.cmake"

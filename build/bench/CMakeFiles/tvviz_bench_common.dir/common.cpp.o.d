@@ -258,4 +258,8 @@ bench/CMakeFiles/tvviz_bench_common.dir/common.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/render/spaceskip.hpp /root/repo/src/field/minmax.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/render/transfer.hpp
+ /root/repo/src/render/transfer.hpp /root/repo/src/util/flags.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/counters.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/obs/trace.hpp

@@ -259,6 +259,8 @@ examples/CMakeFiles/remote_viewer.dir/remote_viewer.cpp.o: \
  /root/repo/src/render/camera.hpp /root/repo/src/render/spaceskip.hpp \
  /root/repo/src/field/minmax.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/render/transfer.hpp \
- /root/repo/src/util/flags.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/obs/counters.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/obs/trace.hpp /root/repo/src/util/flags.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/codec/CMakeFiles/tvviz_codec_bytes.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/tvviz_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/render/CMakeFiles/tvviz_render.dir/DependInfo.cmake"
   "/root/repo/build/src/field/CMakeFiles/tvviz_field.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/tvviz_util.dir/DependInfo.cmake"

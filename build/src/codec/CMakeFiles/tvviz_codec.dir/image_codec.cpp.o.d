@@ -217,5 +217,6 @@ src/codec/CMakeFiles/tvviz_codec.dir/image_codec.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/codec/bwt.hpp /root/repo/src/codec/jpeg.hpp \
- /root/repo/src/codec/lz.hpp
+ /usr/include/c++/12/chrono /root/repo/src/codec/bwt.hpp \
+ /root/repo/src/codec/jpeg.hpp /root/repo/src/codec/lz.hpp \
+ /root/repo/src/obs/counters.hpp /usr/include/c++/12/atomic

@@ -253,7 +253,7 @@ src/core/CMakeFiles/tvviz_core.dir/pipesim.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/obs/trace.hpp \
  /root/repo/src/sevt/resource.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sevt/simulator.hpp /usr/include/c++/12/queue \

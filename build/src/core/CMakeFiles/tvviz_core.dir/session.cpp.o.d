@@ -279,5 +279,5 @@ src/core/CMakeFiles/tvviz_core.dir/session.cpp.o: \
  /root/repo/src/field/store.hpp /root/repo/src/field/preview.hpp \
  /root/repo/src/field/striped.hpp /root/repo/src/net/daemon.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/net/queue.hpp \
- /root/repo/src/net/tcp.hpp /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono
+ /root/repo/src/net/tcp.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono

@@ -217,4 +217,5 @@ src/net/CMakeFiles/tvviz_net.dir/daemon.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/counters.hpp \
+ /root/repo/src/obs/trace.hpp

@@ -231,4 +231,5 @@ src/net/CMakeFiles/tvviz_net.dir/tcp.cpp.o: /root/repo/src/net/tcp.cpp \
  /usr/include/x86_64-linux-gnu/asm/sockios.h \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
- /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/netinet/tcp.h
+ /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/netinet/tcp.h \
+ /root/repo/src/obs/counters.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvviz_obs.dir/counters.cpp.o"
+  "CMakeFiles/tvviz_obs.dir/counters.cpp.o.d"
+  "CMakeFiles/tvviz_obs.dir/trace.cpp.o"
+  "CMakeFiles/tvviz_obs.dir/trace.cpp.o.d"
+  "libtvviz_obs.a"
+  "libtvviz_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvviz_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

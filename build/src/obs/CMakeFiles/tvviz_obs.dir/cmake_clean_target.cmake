@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtvviz_obs.a"
+)

@@ -229,4 +229,5 @@ src/vmp/CMakeFiles/tvviz_vmp.dir/communicator.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/thread \
+ /root/repo/src/obs/counters.hpp

@@ -206,4 +206,4 @@ src/vmp/CMakeFiles/tvviz_vmp.dir/mailbox.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/counters.hpp

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tvviz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/tvviz_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compositing/CMakeFiles/tvviz_compositing.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/tvviz_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tvviz_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/tvviz_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/tvviz_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tvviz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmp/CMakeFiles/tvviz_vmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/tvviz_codec_bytes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -12,6 +12,7 @@ include("/root/repo/build/tests/render_test[1]_include.cmake")
 include("/root/repo/build/tests/codec_test[1]_include.cmake")
 include("/root/repo/build/tests/compositing_test[1]_include.cmake")
 include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/session_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")

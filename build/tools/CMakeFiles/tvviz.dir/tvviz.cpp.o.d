@@ -264,8 +264,9 @@ tools/CMakeFiles/tvviz.dir/tvviz.cpp.o: /root/repo/tools/tvviz.cpp \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/render/transfer.hpp \
  /root/repo/src/field/preview.hpp /root/repo/src/field/delta_store.hpp \
  /root/repo/src/codec/lz.hpp /root/repo/src/field/striped.hpp \
- /root/repo/src/render/shearwarp.hpp /root/repo/src/util/flags.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/obs/counters.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/obs/trace.hpp /root/repo/src/render/shearwarp.hpp \
+ /root/repo/src/util/flags.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/timer.hpp \
  /usr/include/c++/12/chrono

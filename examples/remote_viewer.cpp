@@ -7,17 +7,23 @@
 //   ./remote_viewer [--dataset jet|vortex|mixing] [--processors 6]
 //                   [--groups 2] [--steps 8] [--size 128]
 //                   [--codec jpeg+lzo] [--parallel-compression]
-//                   [--outdir frames]
+//                   [--outdir frames] [--trace-out trace.json]
+//                   [--counters-json counters.json]
 #include <cstdio>
 #include <filesystem>
 
 #include "core/session.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/flags.hpp"
 
 using namespace tvviz;
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  const std::string trace_out = flags.get("trace-out", "");
+  const std::string counters_out = flags.get("counters-json", "");
+  if (!trace_out.empty()) obs::enable_tracing(true);
 
   core::SessionConfig cfg;
   const std::string dataset = flags.get("dataset", "jet");
@@ -76,5 +82,19 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %zu frames to %s/\n", result.displayed.size(),
               outdir.string().c_str());
+  if (!trace_out.empty()) {
+    if (obs::write_chrome_trace_file(trace_out))
+      std::printf("trace written to %s (open in Perfetto)\n",
+                  trace_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+  }
+  if (!counters_out.empty()) {
+    if (obs::write_counters_json_file(counters_out))
+      std::printf("counters written to %s\n", counters_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write counters to %s\n",
+                   counters_out.c_str());
+  }
   return 0;
 }

@@ -1,15 +1,71 @@
 #include "codec/image_codec.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <vector>
 
 #include "codec/bwt.hpp"
 #include "codec/jpeg.hpp"
 #include "codec/lz.hpp"
+#include "obs/counters.hpp"
 
 namespace tvviz::codec {
 
 namespace {
+
+/// Decorator: feed per-codec call counts, byte totals, and wall time into
+/// the obs registry on every encode/decode. name()/lossless() pass through,
+/// so wire codec names are unchanged.
+class InstrumentedImageCodec final : public ImageCodec {
+ public:
+  explicit InstrumentedImageCodec(std::shared_ptr<const ImageCodec> inner)
+      : inner_(std::move(inner)) {
+    const std::string prefix = "codec." + inner_->name() + ".";
+    encode_calls_ = &obs::counter(prefix + "encode_calls");
+    encode_us_ = &obs::counter(prefix + "encode_us");
+    bytes_in_ = &obs::counter(prefix + "bytes_in");
+    bytes_out_ = &obs::counter(prefix + "bytes_out");
+    decode_calls_ = &obs::counter(prefix + "decode_calls");
+    decode_us_ = &obs::counter(prefix + "decode_us");
+  }
+
+  std::string name() const override { return inner_->name(); }
+  bool lossless() const override { return inner_->lossless(); }
+
+  util::Bytes encode(const render::Image& image) const override {
+    const auto t0 = std::chrono::steady_clock::now();
+    util::Bytes out = inner_->encode(image);
+    const auto t1 = std::chrono::steady_clock::now();
+    encode_calls_->add(1);
+    encode_us_->add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
+    bytes_in_->add(static_cast<std::uint64_t>(image.width()) *
+                   static_cast<std::uint64_t>(image.height()) * 3);
+    bytes_out_->add(out.size());
+    return out;
+  }
+
+  render::Image decode(std::span<const std::uint8_t> data) const override {
+    const auto t0 = std::chrono::steady_clock::now();
+    render::Image out = inner_->decode(data);
+    const auto t1 = std::chrono::steady_clock::now();
+    decode_calls_->add(1);
+    decode_us_->add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const ImageCodec> inner_;
+  obs::Counter* encode_calls_;
+  obs::Counter* encode_us_;
+  obs::Counter* bytes_in_;
+  obs::Counter* bytes_out_;
+  obs::Counter* decode_calls_;
+  obs::Counter* decode_us_;
+};
 /// RGB payload framing shared by Raw and ByteImageCodec.
 util::Bytes pack_rgb(const render::Image& image) {
   util::ByteWriter w(static_cast<std::size_t>(image.width()) * image.height() * 3 + 16);
@@ -59,21 +115,27 @@ render::Image ByteImageCodec::decode(std::span<const std::uint8_t> data) const {
 
 std::shared_ptr<const ImageCodec> make_image_codec(const std::string& name,
                                                    int quality) {
-  if (name == "raw") return std::make_shared<RawImageCodec>();
-  if (name == "rle")
-    return std::make_shared<ByteImageCodec>(std::make_shared<RleCodec>());
-  if (name == "lzo")
-    return std::make_shared<ByteImageCodec>(std::make_shared<LzCodec>());
-  if (name == "bzip")
-    return std::make_shared<ByteImageCodec>(std::make_shared<BwtCodec>());
-  if (name == "jpeg") return std::make_shared<JpegCodec>(quality);
-  if (name == "jpeg+lzo")
-    return std::make_shared<ChainImageCodec>(std::make_shared<JpegCodec>(quality),
-                                             std::make_shared<LzCodec>());
-  if (name == "jpeg+bzip")
-    return std::make_shared<ChainImageCodec>(std::make_shared<JpegCodec>(quality),
-                                             std::make_shared<BwtCodec>());
-  throw std::invalid_argument("make_image_codec: unknown codec " + name);
+  std::shared_ptr<const ImageCodec> codec;
+  if (name == "raw") {
+    codec = std::make_shared<RawImageCodec>();
+  } else if (name == "rle") {
+    codec = std::make_shared<ByteImageCodec>(std::make_shared<RleCodec>());
+  } else if (name == "lzo") {
+    codec = std::make_shared<ByteImageCodec>(std::make_shared<LzCodec>());
+  } else if (name == "bzip") {
+    codec = std::make_shared<ByteImageCodec>(std::make_shared<BwtCodec>());
+  } else if (name == "jpeg") {
+    codec = std::make_shared<JpegCodec>(quality);
+  } else if (name == "jpeg+lzo") {
+    codec = std::make_shared<ChainImageCodec>(
+        std::make_shared<JpegCodec>(quality), std::make_shared<LzCodec>());
+  } else if (name == "jpeg+bzip") {
+    codec = std::make_shared<ChainImageCodec>(
+        std::make_shared<JpegCodec>(quality), std::make_shared<BwtCodec>());
+  } else {
+    throw std::invalid_argument("make_image_codec: unknown codec " + name);
+  }
+  return std::make_shared<InstrumentedImageCodec>(std::move(codec));
 }
 
 const std::vector<std::string>& table1_codec_names() {

@@ -23,22 +23,35 @@ struct FrameRecord {
 };
 
 struct Metrics {
-  double startup_latency = 0.0;    ///< First frame displayed.
-  double overall_time = 0.0;       ///< Last frame displayed.
+  double startup_latency = 0.0;    ///< First frame displayed, from run start.
+  double overall_time = 0.0;       ///< Last frame displayed, from run start.
   double inter_frame_delay = 0.0;  ///< Mean gap between consecutive displays.
   std::size_t frames = 0;
 
   /// Aggregate (in display order sorted by time). Frames must be non-empty.
+  /// startup_latency and overall_time are durations measured from the run's
+  /// time origin — the earliest input_start across the records — so records
+  /// carrying absolute (wall-clock) timestamps aggregate correctly. Records
+  /// whose time origin is 0 (simulator runs, session-relative clocks) are
+  /// unaffected. input_start values < 0 mean "not recorded" and are ignored
+  /// when locating the origin.
   static Metrics from_records(std::vector<FrameRecord> records) {
     if (records.empty()) throw std::invalid_argument("Metrics: no frames");
     std::sort(records.begin(), records.end(),
               [](const FrameRecord& a, const FrameRecord& b) {
                 return a.displayed < b.displayed;
               });
+    double origin = 0.0;
+    bool have_origin = false;
+    for (const FrameRecord& r : records) {
+      if (r.input_start < 0.0) continue;
+      if (!have_origin || r.input_start < origin) origin = r.input_start;
+      have_origin = true;
+    }
     Metrics m;
     m.frames = records.size();
-    m.startup_latency = records.front().displayed;
-    m.overall_time = records.back().displayed;
+    m.startup_latency = records.front().displayed - origin;
+    m.overall_time = records.back().displayed - origin;
     if (records.size() > 1) {
       double sum = 0.0;
       for (std::size_t i = 1; i < records.size(); ++i)

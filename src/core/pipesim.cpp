@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "sevt/resource.hpp"
 #include "sevt/simulator.hpp"
 
@@ -29,6 +31,15 @@ class PipelineSim {
           std::make_unique<sevt::Resource>(sim_, 1, "group"), {}, 0, 0}));
       auto& st = *groups_.back();
       st.steps = partition_.steps_for_group(g, cfg_.steps());
+    }
+    // Trace lanes, resolved once: one per renderer group plus the WAN and
+    // client hops. Simulator spans carry virtual times, so they go through
+    // record_span rather than the wall-clock RAII Span.
+    if (obs::tracing_enabled()) {
+      for (int g = 0; g < cfg_.groups; ++g)
+        group_lanes_.push_back(obs::lane_id("sim group " + std::to_string(g)));
+      wan_lane_ = obs::lane_id("sim wan");
+      client_lane_ = obs::lane_id("sim client");
     }
   }
 
@@ -97,6 +108,9 @@ class PipelineSim {
         rec.input_done = sim_.now();
         total_input_ += t_read + t_dist;
         (void)read_done;
+        if (!group_lanes_.empty())
+          obs::record_span(group_lanes_[static_cast<std::size_t>(g)], "input",
+                           rec.input_start, rec.input_done, step, g);
         on_input_ready(g, rec);
       });
     });
@@ -130,6 +144,16 @@ class PipelineSim {
       total_render_ += t_render;
       total_composite_ += t_composite;
       total_compress_ += t_compress;
+      if (!group_lanes_.empty()) {
+        const int lane = group_lanes_[static_cast<std::size_t>(g)];
+        obs::record_span(lane, "render", rec.render_done - t_render,
+                         rec.render_done, rec.step, g);
+        obs::record_span(lane, "composite", rec.render_done,
+                         rec.composite_done, rec.step, g);
+        if (t_compress > 0.0)
+          obs::record_span(lane, "compress", rec.composite_done, sim_.now(),
+                           rec.step, g);
+      }
 
       // Buffer slot freed: pull the next volume from disk.
       request_input(g);
@@ -168,9 +192,15 @@ class PipelineSim {
     wan_.use(t_transfer, [this, rec, t_transfer, t_client]() mutable {
       rec.sent = sim_.now();
       total_transfer_ += t_transfer;
+      if (wan_lane_ >= 0)
+        obs::record_span(wan_lane_, "send", rec.sent - t_transfer, rec.sent,
+                         rec.step, rec.group);
       client_.use(t_client, [this, rec, t_client]() mutable {
         rec.displayed = sim_.now();
         total_client_ += t_client;
+        if (client_lane_ >= 0)
+          obs::record_span(client_lane_, "display", rec.displayed - t_client,
+                           rec.displayed, rec.step, rec.group);
         records_.push_back(rec);
       });
     });
@@ -182,6 +212,9 @@ class PipelineSim {
   sevt::Resource disk_, lan_, wan_, client_;
   std::vector<std::unique_ptr<GroupState>> groups_;
   std::vector<FrameRecord> records_;
+  std::vector<int> group_lanes_;  ///< Empty when tracing is disabled.
+  int wan_lane_ = -1;
+  int client_lane_ = -1;
   double total_input_ = 0.0, total_render_ = 0.0, total_composite_ = 0.0,
          total_compress_ = 0.0, total_transfer_ = 0.0, total_client_ = 0.0,
          total_bytes_ = 0.0;

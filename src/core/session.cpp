@@ -16,6 +16,7 @@
 #include "field/striped.hpp"
 #include "net/daemon.hpp"
 #include "net/tcp.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "vmp/communicator.hpp"
 
@@ -184,6 +185,7 @@ SessionResult run_session(const SessionConfig& cfg) {
   // keep them keyed by step so SessionResult::displayed is step-ordered.
   std::map<int, render::Image> kept_frames;
   std::thread client([&] {
+    obs::set_thread_lane("display");
     // Sub-image reassembly state per step.
     struct Pending {
       render::Image frame;
@@ -192,11 +194,19 @@ SessionResult run_session(const SessionConfig& cfg) {
     };
     std::map<int, Pending> pending;
     int frames_done = 0;
+    int shutdowns_seen = 0;
     const int total_frames = steps;
     while (frames_done < total_frames) {
       auto msg = display->next();
       if (!msg) break;  // daemon shut down
-      if (msg->type == net::MsgType::kShutdown) break;
+      if (msg->type == net::MsgType::kShutdown) {
+        // One shutdown arrives per renderer port. Frames from port g are
+        // relayed in order ahead of port g's shutdown, so only once every
+        // port has said goodbye can no more frames be in flight.
+        if (++shutdowns_seen >= cfg.groups) break;
+        continue;
+      }
+      obs::Span display_span("display", msg->frame_index);
 
       render::Image* completed = nullptr;
       if (msg->type == net::MsgType::kFrame) {
@@ -266,6 +276,7 @@ SessionResult run_session(const SessionConfig& cfg) {
     }
   };
   run_ranks([&](vmp::Communicator& world) {
+    obs::set_thread_lane("rank " + std::to_string(world.rank()));
     const int g = partition.group_of_rank(world.rank());
     vmp::Communicator group = world.split(g);
     const bool leader = group.rank() == 0;
@@ -324,6 +335,7 @@ SessionResult run_session(const SessionConfig& cfg) {
       }
 
       const double input_start = clock.seconds();
+      obs::Span input_span("input", step, g);
       // Data input: read (or generate) this node's subvolume with a ghost
       // layer for seamless interpolation across node boundaries.
       const field::Box ghost_box =
@@ -354,20 +366,25 @@ SessionResult run_session(const SessionConfig& cfg) {
       }
       sub.storage_box = ghost_box;
       sub.render_box = my_box;
+      input_span.end();
       const double input_done = clock.seconds();
 
       // Local rendering.
+      obs::Span render_span("render", step, g);
       render::Camera camera(cfg.image_width, cfg.image_height,
                             view.azimuth + cfg.azimuth_per_step * dataset_step,
                             view.elevation, view.zoom);
       if (cfg.space_leaping) sub.attach_skipper(tf);
       const render::PartialImage partial =
           caster.render(sub, cfg.dataset.dims, camera, tf);
+      render_span.end();
       const double render_done = clock.seconds();
 
       // Global compositing (binary-swap) leaves each node a frame slice.
+      obs::Span composite_span("composite", step, g);
       const compositing::FrameSlice slice = compositing::binary_swap(
           group, partial, cfg.image_width, cfg.image_height);
+      composite_span.end();
       const double composite_done = clock.seconds();
 
       const auto mode = cfg.parallel_compression
@@ -376,6 +393,7 @@ SessionResult run_session(const SessionConfig& cfg) {
       if (mode == SessionConfig::Compression::kCollective) {
         // §4.1 collective compression: slices are transformed and entropy
         // coded in place with Huffman tables fitted to the whole frame.
+        obs::Span compress_span("compress", step, g);
         render::Image own(cfg.image_width, std::max(0, slice.image.height()));
         for (int y = 0; y < slice.image.height(); ++y)
           for (int x = 0; x < cfg.image_width; ++x) {
@@ -388,7 +406,9 @@ SessionResult run_session(const SessionConfig& cfg) {
         util::Bytes encoded = compositing::collective_jpeg_encode(
             group, own, slice.row0, cfg.image_width, cfg.image_height,
             cfg.jpeg_quality);
+        compress_span.end();
         if (leader) {
+          obs::Span send_span("send", step, g);
           net::NetMessage msg;
           msg.type = net::MsgType::kFrame;
           msg.frame_index = step;
@@ -402,6 +422,7 @@ SessionResult run_session(const SessionConfig& cfg) {
             codec::make_image_codec(view.codec, cfg.jpeg_quality);
         // Each node compresses its own slice; the leader relays the
         // non-empty pieces in rank order as separate sub-image messages.
+        obs::Span compress_span("compress", step, g);
         util::Bytes piece;
         if (slice.image.height() > 0) {
           // Convert the slice to a stand-alone image of its own rows.
@@ -416,6 +437,8 @@ SessionResult run_session(const SessionConfig& cfg) {
             }
           piece = pack_piece(slice.row0, image_codec->encode(own));
         }
+        compress_span.end();
+        obs::Span send_span("send", step, g);
         const auto gathered = group.gather(0, piece);
         if (leader) {
           std::vector<const util::Bytes*> nonempty;
@@ -437,6 +460,7 @@ SessionResult run_session(const SessionConfig& cfg) {
         const render::Image frame = compositing::gather_frame(
             group, slice, cfg.image_width, cfg.image_height);
         if (leader) {
+          obs::Span compress_span("compress", step, g);
           const auto image_codec =
               codec::make_image_codec(view.codec, cfg.jpeg_quality);
           net::NetMessage msg;
@@ -444,6 +468,8 @@ SessionResult run_session(const SessionConfig& cfg) {
           msg.frame_index = step;
           msg.codec = view.codec;
           msg.payload = image_codec->encode(frame);
+          compress_span.end();
+          obs::Span send_span("send", step, g);
           wire_bytes.fetch_add(msg.payload.size());
           ports[static_cast<std::size_t>(g)]->send(std::move(msg));
         }
@@ -465,11 +491,15 @@ SessionResult run_session(const SessionConfig& cfg) {
   });
 
   // Renderers are done; tell the client in case it is short of frames
-  // (e.g. a kStop control event ended the run early).
-  {
+  // (e.g. a kStop control event ended the run early). Every port gets a
+  // shutdown: over TCP each renderer port is its own connection, and a
+  // frame from one connection can still be in flight when another
+  // connection's shutdown reaches the daemon — the client must hear from
+  // all of them before concluding the stream is over.
+  for (auto& port : ports) {
     net::NetMessage bye;
     bye.type = net::MsgType::kShutdown;
-    ports[0]->send(std::move(bye));
+    port->send(std::move(bye));
   }
   client.join();
   if (local_daemon) local_daemon->shutdown();

@@ -2,10 +2,22 @@
 
 #include <chrono>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace tvviz::net {
+
+namespace {
+obs::Gauge& inbox_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("net.daemon.inbox_depth");
+  return g;
+}
+}  // namespace
 
 void DisplayDaemon::RendererPort::send(NetMessage msg) {
   daemon_->inbox_.push(Inbound{false, std::move(msg), {}});
+  inbox_depth_gauge().update_max(
+      static_cast<std::int64_t>(daemon_->inbox_.size()));
 }
 
 std::optional<ControlEvent> DisplayDaemon::RendererPort::poll_control() {
@@ -18,6 +30,8 @@ std::optional<NetMessage> DisplayDaemon::DisplayPort::next() {
 
 void DisplayDaemon::DisplayPort::send_control(const ControlEvent& event) {
   daemon_->inbox_.push(Inbound{true, {}, event});
+  inbox_depth_gauge().update_max(
+      static_cast<std::int64_t>(daemon_->inbox_.size()));
 }
 
 DisplayDaemon::DisplayDaemon(std::size_t display_buffer_frames)
@@ -64,15 +78,24 @@ void DisplayDaemon::broadcast_control(const ControlEvent& event) {
 }
 
 void DisplayDaemon::relay_loop() {
+  obs::set_thread_lane("daemon relay");
+  static obs::Counter& frames_ctr = obs::counter("net.daemon.frames_relayed");
+  static obs::Counter& bytes_ctr = obs::counter("net.daemon.bytes_relayed");
+  static obs::Counter& controls_ctr =
+      obs::counter("net.daemon.controls_broadcast");
+  static obs::Gauge& buffer_depth =
+      obs::gauge("net.daemon.display_buffer_depth");
   for (;;) {
     auto item = inbox_.pop();
     if (!item) return;  // shut down
     if (item->is_control) {
+      controls_ctr.add(1);
       broadcast_control(item->control);
       continue;
     }
     NetMessage& msg = item->msg;
     const std::size_t wire = msg.wire_size();
+    obs::Span relay_span("relay", msg.frame_index);
 
     double throttle_s = 0.0;
     std::vector<std::shared_ptr<DisplayPort>> displays;
@@ -85,13 +108,17 @@ void DisplayDaemon::relay_loop() {
     if (throttle_s > 0.0)
       std::this_thread::sleep_for(std::chrono::duration<double>(throttle_s));
 
-    frames_relayed_.fetch_add(msg.type == MsgType::kFrame ||
-                                      (msg.type == MsgType::kSubImage &&
-                                       msg.piece == msg.piece_count - 1)
-                                  ? 1
-                                  : 0);
+    const bool whole_frame = msg.type == MsgType::kFrame ||
+                             (msg.type == MsgType::kSubImage &&
+                              msg.piece == msg.piece_count - 1);
+    frames_relayed_.fetch_add(whole_frame ? 1 : 0);
     bytes_relayed_.fetch_add(wire);
-    for (auto& d : displays) d->frames_.push(msg);
+    if (whole_frame) frames_ctr.add(1);
+    bytes_ctr.add(wire);
+    for (auto& d : displays) {
+      d->frames_.push(msg);
+      buffer_depth.update_max(static_cast<std::int64_t>(d->frames_.size()));
+    }
   }
 }
 

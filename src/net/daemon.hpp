@@ -44,8 +44,19 @@ class DisplayDaemon {
     /// Next relayed message; blocks. std::nullopt after daemon shutdown.
     std::optional<NetMessage> next();
 
-    /// Non-blocking variant.
+    /// Non-blocking variant. kItem fills `out`; kEmpty means no frame is
+    /// buffered yet; kClosed means the daemon shut down and the buffer is
+    /// drained — stop polling.
+    TryPopResult try_next(NetMessage& out) { return frames_.try_pop(out); }
+
+    /// Non-blocking variant, optional form. nullopt for *both* "no frame
+    /// yet" and "shut down"; check closed() (or use the TryPopResult
+    /// overload) so polling loops terminate after DisplayDaemon::shutdown().
     std::optional<NetMessage> try_next() { return frames_.try_pop(); }
+
+    /// True once the daemon has shut down. Buffered frames may remain —
+    /// keep draining with try_next until it reports kClosed.
+    bool closed() const { return frames_.closed(); }
 
     /// Send a user-control event toward every renderer interface.
     void send_control(const ControlEvent& event);

@@ -1,5 +1,7 @@
 #include "net/protocol.hpp"
 
+#include <stdexcept>
+
 namespace tvviz::net {
 
 util::Bytes serialize_message(const NetMessage& msg) {
@@ -15,17 +17,43 @@ util::Bytes serialize_message(const NetMessage& msg) {
 }
 
 NetMessage deserialize_message(std::span<const std::uint8_t> data) {
-  util::ByteReader r(data);
-  NetMessage msg;
-  msg.type = static_cast<MsgType>(r.u8());
-  msg.frame_index = static_cast<std::int32_t>(r.u32());
-  msg.piece = static_cast<std::int32_t>(r.u32());
-  msg.piece_count = static_cast<std::int32_t>(r.u32());
-  msg.codec = r.str();
-  const std::size_t len = r.varint();
-  const auto s = r.raw(len);
-  msg.payload.assign(s.begin(), s.end());
-  return msg;
+  // A corrupt or truncated WAN frame must fail loudly and descriptively, not
+  // produce an out-of-range enum or trigger an over-long read. Every length
+  // is validated against the bytes actually present before it is trusted.
+  try {
+    util::ByteReader r(data);
+    NetMessage msg;
+    const std::uint8_t raw_type = r.u8();
+    if (raw_type > static_cast<std::uint8_t>(MsgType::kShutdown))
+      throw std::runtime_error("net: invalid message type " +
+                               std::to_string(raw_type));
+    msg.type = static_cast<MsgType>(raw_type);
+    msg.frame_index = static_cast<std::int32_t>(r.u32());
+    msg.piece = static_cast<std::int32_t>(r.u32());
+    msg.piece_count = static_cast<std::int32_t>(r.u32());
+    const std::size_t codec_len = r.varint();
+    if (codec_len > r.remaining())
+      throw std::runtime_error(
+          "net: codec name length " + std::to_string(codec_len) +
+          " exceeds the " + std::to_string(r.remaining()) +
+          " bytes remaining in the frame");
+    const auto codec_bytes = r.raw(codec_len);
+    msg.codec.assign(codec_bytes.begin(), codec_bytes.end());
+    const std::size_t len = r.varint();
+    if (len > r.remaining())
+      throw std::runtime_error(
+          "net: payload length " + std::to_string(len) + " exceeds the " +
+          std::to_string(r.remaining()) + " bytes remaining in the frame");
+    const auto s = r.raw(len);
+    msg.payload.assign(s.begin(), s.end());
+    if (!r.done())
+      throw std::runtime_error("net: " + std::to_string(r.remaining()) +
+                               " trailing bytes after message payload");
+    return msg;
+  } catch (const std::out_of_range& e) {
+    throw std::runtime_error(std::string("net: truncated message frame (") +
+                             e.what() + ")");
+  }
 }
 
 }  // namespace tvviz::net

@@ -10,6 +10,14 @@
 
 namespace tvviz::net {
 
+/// Result of a non-blocking pop: distinguishes "nothing right now" from
+/// "closed and fully drained" so pollers know when to stop.
+enum class TryPopResult {
+  kItem,    ///< An item was dequeued.
+  kEmpty,   ///< Momentarily empty; more items may still arrive.
+  kClosed,  ///< Closed and drained; no item will ever arrive again.
+};
+
 template <typename T>
 class BlockingQueue {
  public:
@@ -37,7 +45,21 @@ class BlockingQueue {
     return item;
   }
 
-  /// Non-blocking pop.
+  /// Non-blocking pop. kItem fills `out`; kEmpty means retry later; kClosed
+  /// means the queue was closed and every item has been drained.
+  TryPopResult try_pop(T& out) {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty())
+      return closed_ ? TryPopResult::kClosed : TryPopResult::kEmpty;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return TryPopResult::kItem;
+  }
+
+  /// Non-blocking pop, optional form. Cannot distinguish "empty" from
+  /// "closed and drained" — pollers that must terminate on close should use
+  /// the TryPopResult overload.
   std::optional<T> try_pop() {
     std::lock_guard lock(mutex_);
     if (queue_.empty()) return std::nullopt;

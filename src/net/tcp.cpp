@@ -6,12 +6,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "obs/counters.hpp"
 
 namespace tvviz::net {
 
 namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("tcp: " + what + ": " + std::strerror(errno));
+}
+
 sockaddr_in loopback(int port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -44,24 +51,40 @@ std::unique_ptr<TcpConnection> TcpConnection::connect_local(int port) {
                              std::to_string(port) + " failed");
   }
   const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) != 0) {
+    ::close(fd);
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
   return std::make_unique<TcpConnection>(fd);
 }
 
 void TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
+  // Loop over short writes (framed messages routinely exceed the socket
+  // buffer); retry interrupted syscalls; surface real errors with errno.
   while (len > 0) {
     const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
-    if (n <= 0) throw std::runtime_error("tcp: send failed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    if (n == 0) throw std::runtime_error("tcp: send made no progress");
     data += n;
     len -= static_cast<std::size_t>(n);
   }
 }
 
 bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
+  // Loop over short reads. Only an orderly close (recv() == 0) or a peer
+  // reset maps to "connection ended"; other errors are real failures and
+  // throw instead of masquerading as a clean shutdown.
   while (len > 0) {
     const ssize_t n = ::recv(fd_, data, len, 0);
     if (n == 0) return false;  // orderly close
-    if (n < 0) return false;   // error/shutdown: treat as closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return false;  // peer vanished mid-stream
+      throw_errno("recv");
+    }
     data += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -69,7 +92,11 @@ bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
 }
 
 void TcpConnection::send_message(const NetMessage& msg) {
+  static obs::Counter& msgs = obs::counter("net.tcp.messages_sent");
+  static obs::Counter& bytes = obs::counter("net.tcp.bytes_sent");
   const util::Bytes body = serialize_message(msg);
+  msgs.add(1);
+  bytes.add(body.size() + 4);
   std::uint8_t header[4];
   const auto len = static_cast<std::uint32_t>(body.size());
   header[0] = static_cast<std::uint8_t>(len);
@@ -90,6 +117,10 @@ std::optional<NetMessage> TcpConnection::recv_message() {
   if (len > (1u << 30)) throw std::runtime_error("tcp: absurd frame length");
   util::Bytes body(len);
   if (!read_all(body.data(), body.size())) return std::nullopt;
+  static obs::Counter& msgs = obs::counter("net.tcp.messages_received");
+  static obs::Counter& bytes = obs::counter("net.tcp.bytes_received");
+  msgs.add(1);
+  bytes.add(body.size() + 4);
   return deserialize_message(body);
 }
 
@@ -104,7 +135,11 @@ TcpDaemonServer::TcpDaemonServer(int port, std::size_t display_buffer_frames)
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("tcp: socket() failed");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) !=
+      0) {
+    ::close(listen_fd_);
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
   sockaddr_in addr = loopback(port);
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0) {
@@ -144,8 +179,14 @@ void TcpDaemonServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // listener closed
     auto conn = std::make_shared<TcpConnection>(fd);
-    // Role handshake.
-    auto first = conn->recv_message();
+    // Role handshake. A malformed first frame now throws; drop the
+    // connection rather than the whole accept loop.
+    std::optional<NetMessage> first;
+    try {
+      first = conn->recv_message();
+    } catch (const std::exception&) {
+      continue;  // drop
+    }
     if (!first || first->type != MsgType::kHello) continue;  // drop
     std::lock_guard lock(threads_mutex_);
     connections_.push_back(conn);

@@ -1,0 +1,123 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace tvviz::obs {
+
+namespace {
+
+/// std::map keeps node addresses stable across inserts, so references handed
+/// out by counter()/gauge() stay valid forever.
+struct CounterRegistry {
+  std::mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+};
+
+CounterRegistry& registry() {
+  static CounterRegistry* r = new CounterRegistry;  // leaked: teardown-safe
+  return *r;
+}
+
+void json_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  CounterRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.counters.find(name);
+  if (it != reg.counters.end()) return it->second;
+  return reg.counters.emplace(std::piecewise_construct,
+                              std::forward_as_tuple(name),
+                              std::forward_as_tuple())
+      .first->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  CounterRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.gauges.find(name);
+  if (it != reg.gauges.end()) return it->second;
+  return reg.gauges.emplace(std::piecewise_construct,
+                            std::forward_as_tuple(name),
+                            std::forward_as_tuple())
+      .first->second;
+}
+
+std::vector<CounterSample> counters_snapshot() {
+  CounterRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::vector<CounterSample> out;
+  out.reserve(reg.counters.size() + reg.gauges.size());
+  for (const auto& [name, c] : reg.counters) {
+    CounterSample s;
+    s.name = name;
+    s.value = c.value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : reg.gauges) {
+    CounterSample s;
+    s.name = name;
+    s.is_gauge = true;
+    s.level = g.value();
+    s.high_water = g.high_water();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void write_counters_json(std::ostream& out) {
+  const auto samples = counters_snapshot();
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (s.is_gauge) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"";
+    json_escaped(out, s.name);
+    out << "\": " << s.value;
+  }
+  out << "\n},\"gauges\":{";
+  first = true;
+  for (const auto& s : samples) {
+    if (!s.is_gauge) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"";
+    json_escaped(out, s.name);
+    out << "\": {\"value\": " << s.level
+        << ", \"high_water\": " << s.high_water << "}";
+  }
+  out << "\n}}\n";
+}
+
+bool write_counters_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_counters_json(out);
+  return out.good();
+}
+
+void reset_counters() {
+  CounterRegistry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (auto& [name, c] : reg.counters) c.reset();
+  for (auto& [name, g] : reg.gauges) g.reset();
+}
+
+}  // namespace tvviz::obs

@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace tvviz::obs {
+
+namespace {
+
+constexpr std::size_t kLaneCapacity = 1 << 16;  ///< Events kept per lane.
+
+std::atomic<bool> g_enabled{false};
+
+/// Single-writer ring buffer of completed spans. The mutex is uncontended in
+/// steady state (owner thread writes; snapshot/clear are rare readers).
+struct Lane {
+  Lane(int id_in, std::string name_in) : id(id_in), name(std::move(name_in)) {}
+
+  void push(const TraceEvent& e) {
+    std::lock_guard lock(mutex);
+    if (events.size() < kLaneCapacity) {
+      events.push_back(e);
+    } else {
+      events[wrap] = e;
+      wrap = (wrap + 1) % kLaneCapacity;
+      ++dropped;
+    }
+  }
+
+  const int id;
+  const std::string name;
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t wrap = 0;  ///< Oldest slot, once full.
+  std::uint64_t dropped = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Lane>> lanes;                    // by id order
+  std::unordered_map<std::string, std::shared_ptr<Lane>> named;
+  int next_id = 1;
+
+  std::shared_ptr<Lane> lane_for(const std::string& name) {
+    std::lock_guard lock(mutex);
+    auto it = named.find(name);
+    if (it != named.end()) return it->second;
+    auto lane = std::make_shared<Lane>(next_id++, name);
+    lanes.push_back(lane);
+    named.emplace(name, lane);
+    return lane;
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static teardown
+  return *r;
+}
+
+/// This thread's lane; shared_ptr keeps it readable after thread exit.
+thread_local std::shared_ptr<Lane> t_lane;
+
+Lane& thread_lane() {
+  if (!t_lane) {
+    static std::atomic<int> anon_counter{0};
+    t_lane = registry().lane_for("thread " +
+                                 std::to_string(anon_counter.fetch_add(1)));
+  }
+  return *t_lane;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void json_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void enable_tracing(bool on) noexcept {
+  if (on) (void)trace_epoch();  // pin the epoch before the first span
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+double trace_now_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       trace_epoch())
+      .count();
+}
+
+void set_thread_lane(const std::string& name) {
+  t_lane = registry().lane_for(name);
+}
+
+int lane_id(const std::string& name) { return registry().lane_for(name)->id; }
+
+void record_span(int lane, const char* name, double start_s, double end_s,
+                 int step, int group) {
+  if (!tracing_enabled()) return;
+  std::shared_ptr<Lane> target;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (const auto& l : reg.lanes)
+      if (l->id == lane) {
+        target = l;
+        break;
+      }
+  }
+  if (!target) return;  // unknown lane id: drop silently
+  target->push(TraceEvent{name, start_s, end_s, step, group});
+}
+
+Span::Span(const char* name, int step, int group)
+    : name_(name),
+      start_s_(0.0),
+      step_(step),
+      group_(group),
+      active_(tracing_enabled()) {
+  if (active_) start_s_ = trace_now_seconds();
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  thread_lane().push(
+      TraceEvent{name_, start_s_, trace_now_seconds(), step_, group_});
+}
+
+std::vector<LaneSnapshot> snapshot_trace() {
+  std::vector<std::shared_ptr<Lane>> lanes;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    lanes = reg.lanes;
+  }
+  std::vector<LaneSnapshot> out;
+  out.reserve(lanes.size());
+  for (const auto& lane : lanes) {
+    LaneSnapshot snap;
+    snap.id = lane->id;
+    snap.name = lane->name;
+    std::lock_guard lock(lane->mutex);
+    snap.events = lane->events;
+    snap.dropped = lane->dropped;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const auto lanes = snapshot_trace();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (const auto& lane : lanes) {
+    comma();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << lane.id
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escaped(out, lane.name);
+    out << "\"}}";
+    for (const auto& e : lane.events) {
+      comma();
+      out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << lane.id << ",\"name\":\"";
+      json_escaped(out, e.name);
+      out << "\",\"ts\":" << e.start_s * 1e6
+          << ",\"dur\":" << (e.end_s - e.start_s) * 1e6 << ",\"args\":{";
+      out << "\"step\":" << e.step << ",\"group\":" << e.group << "}}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+void clear_trace() {
+  std::vector<std::shared_ptr<Lane>> lanes;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    lanes = reg.lanes;
+  }
+  for (const auto& lane : lanes) {
+    std::lock_guard lock(lane->mutex);
+    lane->events.clear();
+    lane->wrap = 0;
+    lane->dropped = 0;
+  }
+}
+
+}  // namespace tvviz::obs

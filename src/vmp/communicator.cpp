@@ -4,7 +4,10 @@
 #include <atomic>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "obs/counters.hpp"
 
 namespace tvviz::vmp {
 
@@ -70,6 +73,22 @@ void apply_reduce(std::vector<double>& acc, const std::vector<double>& in,
 }
 }  // namespace
 
+Communicator::Communicator(std::shared_ptr<World> world, std::uint32_t context,
+                           int rank, std::vector<int> ranks)
+    : world_(std::move(world)),
+      context_(context),
+      rank_(rank),
+      ranks_(std::move(ranks)) {
+  if (rank_ >= 0 && !ranks_.empty()) {
+    // Counters are keyed by *world* rank, so split/subgroup communicators of
+    // the same processor feed the same per-rank lane.
+    const std::string prefix =
+        "vmp.rank" + std::to_string(ranks_[static_cast<std::size_t>(rank_)]);
+    msgs_sent_ = &obs::counter(prefix + ".messages_sent");
+    bytes_sent_ = &obs::counter(prefix + ".bytes_sent");
+  }
+}
+
 int Communicator::local_rank_of_global(int global) const {
   const auto it = std::find(ranks_.begin(), ranks_.end(), global);
   if (it == ranks_.end())
@@ -78,6 +97,14 @@ int Communicator::local_rank_of_global(int global) const {
 }
 
 void Communicator::send(int dest, int tag, util::Bytes payload) const {
+  static obs::Counter& msgs = obs::counter("vmp.messages_sent");
+  static obs::Counter& bytes = obs::counter("vmp.bytes_sent");
+  msgs.add(1);
+  bytes.add(payload.size());
+  if (msgs_sent_) {
+    msgs_sent_->add(1);
+    bytes_sent_->add(payload.size());
+  }
   world_->mailbox(global_rank(dest))
       .push(Message(global_rank(rank_), tag, context_, std::move(payload)));
 }

@@ -14,6 +14,10 @@
 #include "util/bytes.hpp"
 #include "vmp/mailbox.hpp"
 
+namespace tvviz::obs {
+class Counter;
+}
+
 namespace tvviz::vmp {
 
 class World;
@@ -106,11 +110,7 @@ class Communicator {
   friend class Cluster;
   friend class World;
   Communicator(std::shared_ptr<World> world, std::uint32_t context, int rank,
-               std::vector<int> ranks)
-      : world_(std::move(world)),
-        context_(context),
-        rank_(rank),
-        ranks_(std::move(ranks)) {}
+               std::vector<int> ranks);
 
   int global_rank(int local) const { return ranks_.at(static_cast<std::size_t>(local)); }
   int local_rank_of_global(int global) const;
@@ -124,6 +124,10 @@ class Communicator {
   std::uint32_t context_ = 0;
   int rank_ = -1;               ///< This rank within the communicator.
   std::vector<int> ranks_;      ///< local rank -> world rank.
+  // Per-world-rank send counters (obs registry entries; null for the null
+  // communicator). Resolved once at construction, bumped lock-free in send().
+  obs::Counter* msgs_sent_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
 };
 
 /// Launches P rank threads, each receiving a Communicator over the full world.

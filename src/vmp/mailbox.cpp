@@ -2,12 +2,16 @@
 
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+
 namespace tvviz::vmp {
 
 void Mailbox::push(Message msg) {
+  static obs::Gauge& depth = obs::gauge("vmp.mailbox.depth");
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(msg));
+    depth.update_max(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_all();
 }

@@ -101,6 +101,37 @@ TEST(Metrics, EmptyThrows) {
   EXPECT_THROW(Metrics::from_records({}), std::invalid_argument);
 }
 
+TEST(Metrics, NonzeroTimeOriginRebased) {
+  // Regression: records stamped with absolute (wall-clock-like) times used
+  // to report the raw `displayed` values as startup latency / overall time.
+  // Both are durations and must be measured from the earliest input_start.
+  std::vector<FrameRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    FrameRecord r;
+    r.step = i;
+    r.input_start = 1000.0 + i * 1.5;
+    r.displayed = 1002.0 + i * 1.5;
+    records.push_back(r);
+  }
+  const Metrics m = Metrics::from_records(records);
+  EXPECT_DOUBLE_EQ(m.startup_latency, 2.0);
+  EXPECT_DOUBLE_EQ(m.overall_time, 6.5);
+  EXPECT_DOUBLE_EQ(m.inter_frame_delay, 1.5);
+}
+
+TEST(Metrics, NegativeInputStartIgnoredForOrigin) {
+  // input_start < 0 means "not recorded" and must not drag the time origin
+  // below the real one.
+  std::vector<FrameRecord> records(2);
+  records[0].input_start = -1.0;
+  records[0].displayed = 12.0;
+  records[1].input_start = 10.0;
+  records[1].displayed = 13.0;
+  const Metrics m = Metrics::from_records(records);
+  EXPECT_DOUBLE_EQ(m.startup_latency, 2.0);
+  EXPECT_DOUBLE_EQ(m.overall_time, 3.0);
+}
+
 // ---------------------------------------------------------------- costs ----
 
 TEST(StageCosts, RenderScalesWithGroupSize) {

@@ -123,6 +123,24 @@ TEST(BlockingQueue, BlockedConsumerWakesOnPush) {
   EXPECT_EQ(got, 42);
 }
 
+TEST(BlockingQueue, TryPopDistinguishesEmptyFromClosed) {
+  // Regression: the optional-returning try_pop conflated "nothing buffered
+  // yet" with "closed and drained", so non-blocking pollers could never
+  // decide when to stop. The tri-state overload separates the cases.
+  BlockingQueue<int> q;
+  int out = 0;
+  EXPECT_EQ(q.try_pop(out), net::TryPopResult::kEmpty);
+  q.push(5);
+  q.push(6);
+  q.close();
+  EXPECT_EQ(q.try_pop(out), net::TryPopResult::kItem);
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(q.try_pop(out), net::TryPopResult::kItem);
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(q.try_pop(out), net::TryPopResult::kClosed);
+  EXPECT_EQ(q.try_pop(out), net::TryPopResult::kClosed);
+}
+
 // ------------------------------------------------------------ protocol ----
 
 TEST(Protocol, ControlEventRoundTrip) {
@@ -237,6 +255,76 @@ TEST(Daemon, SubImagePiecesCountOneFrame) {
   }
   for (int i = 0; i < 4; ++i) ASSERT_TRUE(display->next().has_value());
   EXPECT_EQ(daemon.frames_relayed(), 1u);
+}
+
+TEST(Daemon, TryNextPollerTerminatesAfterShutdown) {
+  // Regression companion to TryPopDistinguishesEmptyFromClosed at the
+  // DisplayPort level: a non-blocking poller must observe every buffered
+  // frame and then learn, unambiguously, that the daemon is gone.
+  DisplayDaemon daemon;
+  auto renderer = daemon.connect_renderer();
+  auto display = daemon.connect_display();
+  for (int i = 0; i < 3; ++i) {
+    NetMessage msg;
+    msg.type = MsgType::kFrame;
+    msg.frame_index = i;
+    renderer->send(msg);
+  }
+  // Let the relay move the frames into the display buffer before shutdown.
+  while (display->buffered() < 3)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  daemon.shutdown();
+
+  int frames_seen = 0;
+  std::thread poller([&] {
+    NetMessage out;
+    for (;;) {
+      const net::TryPopResult r = display->try_next(out);
+      if (r == net::TryPopResult::kClosed) return;
+      if (r == net::TryPopResult::kItem)
+        ++frames_seen;
+      else
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  poller.join();  // hangs forever if kClosed is never reported
+  EXPECT_EQ(frames_seen, 3);
+  EXPECT_TRUE(display->closed());
+}
+
+TEST(Protocol, RejectsInvalidMessageType) {
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.payload = {1, 2, 3};
+  auto wire = net::serialize_message(msg);
+  wire[0] = 0xEE;  // not a MsgType
+  EXPECT_THROW(net::deserialize_message(wire), std::runtime_error);
+}
+
+TEST(Protocol, RejectsTruncatedFrame) {
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.codec = "jpeg";
+  msg.payload = util::Bytes(64, 0xAB);
+  auto wire = net::serialize_message(msg);
+  // Drop the tail: the recorded payload length now exceeds the bytes
+  // actually present, which must surface as a descriptive runtime_error
+  // (not an out_of_range escaping from the byte reader).
+  wire.resize(wire.size() - 10);
+  EXPECT_THROW(net::deserialize_message(wire), std::runtime_error);
+  // Cutting into the fixed header must be caught too.
+  auto short_wire = net::serialize_message(msg);
+  short_wire.resize(4);
+  EXPECT_THROW(net::deserialize_message(short_wire), std::runtime_error);
+}
+
+TEST(Protocol, RejectsTrailingGarbage) {
+  NetMessage msg;
+  msg.type = MsgType::kControl;
+  msg.payload = {7, 7};
+  auto wire = net::serialize_message(msg);
+  wire.push_back(0x00);
+  EXPECT_THROW(net::deserialize_message(wire), std::runtime_error);
 }
 
 TEST(Daemon, ThrottleDelaysForwarding) {

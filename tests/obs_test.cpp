@@ -1,0 +1,304 @@
+// Tests for the observability layer: counter/gauge registry semantics and
+// concurrency, span recording across threads, and the Chrome trace_event
+// exporter fed by a real pipeline-simulator run.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipesim.hpp"
+#include "field/generators.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace tvviz {
+namespace {
+
+// ------------------------------------------------------------- counters ----
+
+TEST(Counters, RegistryReturnsSameInstanceForSameName) {
+  obs::Counter& a = obs::counter("obs_test.same_instance");
+  obs::Counter& b = obs::counter("obs_test.same_instance");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = obs::gauge("obs_test.same_gauge");
+  obs::Gauge& g2 = obs::gauge("obs_test.same_gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(Counters, ConcurrentIncrementsAreExact) {
+  obs::Counter& c = obs::counter("obs_test.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Counters, GaugeTracksLevelAndHighWater) {
+  obs::Gauge& g = obs::gauge("obs_test.gauge");
+  g.reset();
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high_water(), 12);
+  g.update_max(7);  // below the mark: no change
+  EXPECT_EQ(g.high_water(), 12);
+  g.update_max(20);
+  EXPECT_EQ(g.high_water(), 20);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(Counters, ConcurrentGaugeHighWaterIsMaximum) {
+  obs::Gauge& g = obs::gauge("obs_test.gauge_race");
+  g.reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 20000; ++i)
+        g.update_max(t * 20000 + i);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.high_water(), 7 * 20000 + 19999);
+}
+
+TEST(Counters, SnapshotIsSortedAndJsonWellFormed) {
+  obs::counter("obs_test.snap_a").add(2);
+  obs::gauge("obs_test.snap_b").set(4);
+  const auto samples = obs::counters_snapshot();
+  ASSERT_GE(samples.size(), 2u);
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  std::ostringstream out;
+  obs::write_counters_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.snap_a\": 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- spans ----
+
+/// Events recorded on the lane with `name`, if any.
+std::vector<obs::TraceEvent> events_of(const std::string& name) {
+  for (const auto& lane : obs::snapshot_trace())
+    if (lane.name == name) return lane.events;
+  return {};
+}
+
+TEST(Trace, DisabledTracingRecordsNothing) {
+  obs::enable_tracing(false);
+  obs::clear_trace();
+  obs::set_thread_lane("obs_test disabled");
+  { TVVIZ_SPAN("should-not-appear", 1, 2); }
+  EXPECT_TRUE(events_of("obs_test disabled").empty());
+}
+
+TEST(Trace, NestedSpansAcrossThreadsLandInTheirLanes) {
+  obs::enable_tracing(true);
+  obs::clear_trace();
+  std::thread a([] {
+    obs::set_thread_lane("obs_test lane a");
+    TVVIZ_SPAN("outer", 0, 0);
+    { TVVIZ_SPAN("inner", 0, 0); }
+  });
+  std::thread b([] {
+    obs::set_thread_lane("obs_test lane b");
+    TVVIZ_SPAN("other", 1, 0);
+  });
+  a.join();
+  b.join();
+  obs::enable_tracing(false);
+
+  const auto lane_a = events_of("obs_test lane a");
+  const auto lane_b = events_of("obs_test lane b");
+  ASSERT_EQ(lane_a.size(), 2u);
+  ASSERT_EQ(lane_b.size(), 1u);
+  // RAII order: the inner span ends (and is recorded) first, and nests
+  // inside the outer one's interval.
+  EXPECT_STREQ(lane_a[0].name, "inner");
+  EXPECT_STREQ(lane_a[1].name, "outer");
+  EXPECT_LE(lane_a[1].start_s, lane_a[0].start_s);
+  EXPECT_GE(lane_a[1].end_s, lane_a[0].end_s);
+  EXPECT_STREQ(lane_b[0].name, "other");
+}
+
+TEST(Trace, ExplicitTimesRecordedVerbatim) {
+  obs::enable_tracing(true);
+  obs::clear_trace();
+  const int lane = obs::lane_id("obs_test explicit");
+  obs::record_span(lane, "virtual", 1.5, 2.25, 7, 3);
+  obs::enable_tracing(false);
+  const auto events = events_of("obs_test explicit");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].start_s, 1.5);
+  EXPECT_DOUBLE_EQ(events[0].end_s, 2.25);
+  EXPECT_EQ(events[0].step, 7);
+  EXPECT_EQ(events[0].group, 3);
+}
+
+// ------------------------------------------------------ trace_event JSON ----
+
+/// Minimal JSON validity checker (objects, arrays, strings, numbers,
+/// true/false/null) — enough to prove the exporter emits well-formed JSON
+/// without depending on an external parser.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Trace, PipesimRunExportsAllSixStagesAsValidChromeTrace) {
+  // Golden check for the exporter: a small simulator run must produce
+  // well-formed trace_event JSON containing a span for every pipeline
+  // stage and a lane (thread_name metadata) per group plus WAN and client.
+  obs::enable_tracing(true);
+  obs::clear_trace();
+  core::PipelineConfig cfg;
+  cfg.processors = 4;
+  cfg.groups = 2;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 4);
+  cfg.steps_limit = 4;
+  cfg.image_width = cfg.image_height = 64;
+  cfg.costs = core::StageCosts::rwcp_paper();
+  cfg.codec = core::CodecProfile::paper("jpeg+lzo");
+  const auto result = core::simulate_pipeline(cfg);
+  obs::enable_tracing(false);
+  ASSERT_EQ(result.frames.size(), 4u);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  const std::string json = out.str();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (const char* stage :
+       {"input", "render", "composite", "compress", "send", "display"})
+    EXPECT_NE(json.find("\"name\":\"" + std::string(stage) + "\""),
+              std::string::npos)
+        << "missing stage span: " << stage;
+  for (const char* lane :
+       {"sim group 0", "sim group 1", "sim wan", "sim client"})
+    EXPECT_NE(json.find(lane), std::string::npos)
+        << "missing lane: " << lane;
+  // Lane names ride on thread_name metadata records.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, RingBufferOverflowCountsDrops) {
+  obs::enable_tracing(true);
+  obs::clear_trace();
+  const int lane = obs::lane_id("obs_test overflow");
+  // Capacity is 1<<16 events per lane; write past it.
+  for (int i = 0; i < (1 << 16) + 500; ++i)
+    obs::record_span(lane, "x", i * 1e-6, i * 1e-6 + 1e-7);
+  obs::enable_tracing(false);
+  for (const auto& snap : obs::snapshot_trace()) {
+    if (snap.name != "obs_test overflow") continue;
+    EXPECT_EQ(snap.events.size(), static_cast<std::size_t>(1) << 16);
+    EXPECT_EQ(snap.dropped, 500u);
+    return;
+  }
+  FAIL() << "overflow lane not found";
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -1,7 +1,9 @@
 // Tests for the real-socket transport: framing, the daemon served over
 // TCP, multi-client relaying, and the control backchannel — the deployable
 // form of the §4.1 framework.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <thread>
 
@@ -172,6 +174,57 @@ TEST(Tcp, ConnectToClosedPortThrows) {
     dead_port = server.port();
   }
   EXPECT_THROW(TcpDisplayLink link(dead_port), std::runtime_error);
+}
+
+TEST(Tcp, RecvErrorThrowsInsteadOfFakingClose) {
+  // Regression: recv() failures (here ENOTSOCK on a plain file descriptor)
+  // were folded into "orderly close", so a broken transport looked like a
+  // clean end-of-stream. Real errors must surface as exceptions.
+  const int fd = ::open("/dev/null", O_RDWR);
+  ASSERT_GE(fd, 0);
+  net::TcpConnection conn(fd);  // takes ownership of fd
+  EXPECT_THROW(conn.recv_message(), std::runtime_error);
+}
+
+TEST(Tcp, SendErrorThrowsDescriptively) {
+  const int fd = ::open("/dev/null", O_RDONLY);
+  ASSERT_GE(fd, 0);
+  net::TcpConnection conn(fd);
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.payload = util::Bytes(128, 1);
+  try {
+    conn.send_message(msg);
+    FAIL() << "send_message on a read-only non-socket fd must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("send"), std::string::npos);
+  }
+}
+
+TEST(Tcp, MalformedHandshakeDoesNotKillServer) {
+  // A client that speaks garbage on connect must be dropped without taking
+  // the accept loop (and with it every later client) down.
+  TcpDaemonServer server;
+  {
+    auto bad = net::TcpConnection::connect_local(server.port());
+    const std::uint8_t junk[8] = {4, 0, 0, 0, 0xEE, 0xFF, 0x01, 0x02};
+    ASSERT_EQ(::send(bad->fd(), junk, sizeof junk, 0),
+              static_cast<ssize_t>(sizeof junk));
+  }  // closes the bad connection
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // The server must still serve a well-behaved pair.
+  TcpDisplayLink display(server.port());
+  TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = 11;
+  renderer.send(msg);
+  const auto got = display.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->frame_index, 11);
+  server.shutdown();
 }
 
 TEST(Tcp, SessionOverRealSockets) {

@@ -24,6 +24,8 @@
 #include "field/store.hpp"
 #include "field/delta_store.hpp"
 #include "field/striped.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "render/shearwarp.hpp"
 #include "util/flags.hpp"
 #include "util/timer.hpp"
@@ -298,7 +300,11 @@ void usage() {
       "  play          run the full remote pipeline and report §3 metrics\n"
       "  sweep         sweep the processor partitioning (Figure 6 tool)\n"
       "  analyze       temporal summary + preview plan (§7.1)\n"
-      "  codecs        compare the compressors on a rendered frame\n");
+      "  codecs        compare the compressors on a rendered frame\n"
+      "observability (any command):\n"
+      "  --trace <file>          record pipeline spans, write Chrome\n"
+      "                          trace_event JSON (Perfetto-loadable)\n"
+      "  --counters-json <file>  dump the counter registry as JSON\n");
 }
 
 }  // namespace
@@ -310,17 +316,48 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const util::Flags flags(argc - 1, argv + 1);
+  const std::string trace_out = flags.get("trace", "");
+  const std::string counters_out = flags.get("counters-json", "");
+  if (!trace_out.empty()) obs::enable_tracing(true);
+  const auto dump_observability = [&] {
+    if (!trace_out.empty()) {
+      if (obs::write_chrome_trace_file(trace_out))
+        std::printf("trace written to %s\n", trace_out.c_str());
+      else
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_out.c_str());
+    }
+    if (!counters_out.empty()) {
+      if (obs::write_counters_json_file(counters_out))
+        std::printf("counters written to %s\n", counters_out.c_str());
+      else
+        std::fprintf(stderr, "failed to write counters to %s\n",
+                     counters_out.c_str());
+    }
+  };
   try {
-    if (command == "info") return cmd_info(flags);
-    if (command == "materialize") return cmd_materialize(flags);
-    if (command == "render") return cmd_render(flags);
-    if (command == "play") return cmd_play(flags);
-    if (command == "sweep") return cmd_sweep(flags);
-    if (command == "analyze") return cmd_analyze(flags);
-    if (command == "codecs") return cmd_codecs(flags);
-    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
-    usage();
-    return 2;
+    int rc = 2;
+    if (command == "info")
+      rc = cmd_info(flags);
+    else if (command == "materialize")
+      rc = cmd_materialize(flags);
+    else if (command == "render")
+      rc = cmd_render(flags);
+    else if (command == "play")
+      rc = cmd_play(flags);
+    else if (command == "sweep")
+      rc = cmd_sweep(flags);
+    else if (command == "analyze")
+      rc = cmd_analyze(flags);
+    else if (command == "codecs")
+      rc = cmd_codecs(flags);
+    else {
+      std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+      usage();
+      return 2;
+    }
+    dump_observability();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tvviz %s: %s\n", command.c_str(), e.what());
     return 1;

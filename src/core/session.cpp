@@ -9,12 +9,16 @@
 #include "codec/image_codec.hpp"
 #include "compositing/binary_swap.hpp"
 #include "compositing/collective_compress.hpp"
+#include "core/adaptive.hpp"
 #include "core/partition.hpp"
 #include "field/decompose.hpp"
 #include "field/store.hpp"
 #include "field/preview.hpp"
 #include "field/striped.hpp"
+#include "hub/hub.hpp"
+#include "hub/tcp_hub.hpp"
 #include "net/daemon.hpp"
+#include "net/link.hpp"
 #include "net/tcp.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -115,6 +119,8 @@ SessionResult run_session(const SessionConfig& cfg) {
     virtual ~DisplayPortIface() = default;
     virtual std::optional<net::NetMessage> next() = 0;
     virtual void send_control(const net::ControlEvent& event) = 0;
+    /// Acknowledge a displayed step (hub transports: the resume point).
+    virtual void ack(int /*step*/) {}
   };
   struct LocalRendererPort final : RendererPortIface {
     std::shared_ptr<net::DisplayDaemon::RendererPort> port;
@@ -144,12 +150,119 @@ SessionResult run_session(const SessionConfig& cfg) {
       link->send_control(event);
     }
   };
+  struct HubRendererPort final : RendererPortIface {
+    std::shared_ptr<hub::FrameHub::RendererPort> port;
+    void send(net::NetMessage msg) override { port->send(std::move(msg)); }
+    std::optional<net::ControlEvent> poll_control() override {
+      return port->poll_control();
+    }
+  };
+  struct HubDisplayPort final : DisplayPortIface {
+    std::shared_ptr<hub::FrameHub::ClientPort> port;
+    std::optional<net::NetMessage> next() override {
+      hub::FramePtr msg = port->next();
+      if (!msg) return std::nullopt;
+      return *msg;  // the decode path owns a mutable copy
+    }
+    void send_control(const net::ControlEvent& event) override {
+      port->send_control(event);
+    }
+    void ack(int step) override { port->ack(step); }
+  };
+  struct HubTcpDisplayPort final : DisplayPortIface {
+    std::unique_ptr<hub::HubTcpViewer> viewer;
+    std::optional<net::NetMessage> next() override { return viewer->next(); }
+    void send_control(const net::ControlEvent& event) override {
+      viewer->send_control(event);
+    }
+    void ack(int step) override { viewer->ack(step); }
+  };
 
   std::optional<net::DisplayDaemon> local_daemon;
   std::unique_ptr<net::TcpDaemonServer> tcp_daemon;
+  std::unique_ptr<hub::FrameHub> local_hub;
+  std::unique_ptr<hub::HubTcpServer> hub_server;
   std::vector<std::unique_ptr<RendererPortIface>> ports;
   std::unique_ptr<DisplayPortIface> display;
-  if (cfg.use_tcp) {
+  // Auxiliary hub viewers: drain-and-count clients alongside the primary
+  // (fan-out; the last one optionally throttled as the slow client).
+  std::vector<std::thread> aux_threads;
+  if (cfg.use_hub) {
+    hub::HubConfig hub_cfg;
+    hub_cfg.cache_steps = cfg.hub_cache_steps;
+    hub_cfg.client_queue_frames = cfg.hub_queue_frames;
+    hub_cfg.heartbeat_timeout_s = cfg.hub_heartbeat_timeout_s;
+    const int aux_clients = std::max(0, cfg.hub_clients - 1);
+    if (cfg.use_tcp) {
+      hub_server = std::make_unique<hub::HubTcpServer>(0, hub_cfg);
+      for (int g = 0; g < cfg.groups; ++g) {
+        // Renderers speak the v1 hello; the hub accepts both versions.
+        auto port = std::make_unique<TcpRendererPort>();
+        port->link =
+            std::make_unique<net::TcpRendererLink>(hub_server->port());
+        ports.push_back(std::move(port));
+      }
+      auto dp = std::make_unique<HubTcpDisplayPort>();
+      hub::HubTcpViewer::Options vo;
+      vo.client_id = "primary";
+      dp->viewer =
+          std::make_unique<hub::HubTcpViewer>(hub_server->port(), vo);
+      display = std::move(dp);
+      for (int k = 0; k < aux_clients; ++k) {
+        hub::HubTcpViewer::Options ao;
+        ao.client_id = "viewer-" + std::to_string(k);
+        auto viewer =
+            std::make_shared<hub::HubTcpViewer>(hub_server->port(), ao);
+        aux_threads.emplace_back([viewer, groups = cfg.groups] {
+          int shutdowns = 0;
+          while (auto msg = viewer->next()) {
+            if (msg->type == net::MsgType::kShutdown) {
+              if (++shutdowns >= groups) break;
+            } else if (msg->type == net::MsgType::kFrame ||
+                       (msg->type == net::MsgType::kSubImage &&
+                        msg->piece == msg->piece_count - 1)) {
+              viewer->ack(msg->frame_index);
+            }
+          }
+          viewer->close();
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    } else {
+      local_hub = std::make_unique<hub::FrameHub>(hub_cfg);
+      for (int g = 0; g < cfg.groups; ++g) {
+        auto port = std::make_unique<HubRendererPort>();
+        port->port = local_hub->connect_renderer();
+        ports.push_back(std::move(port));
+      }
+      auto dp = std::make_unique<HubDisplayPort>();
+      hub::ClientOptions po;
+      po.id = "primary";
+      dp->port = local_hub->connect_client(po);
+      display = std::move(dp);
+      for (int k = 0; k < aux_clients; ++k) {
+        hub::ClientOptions ao;
+        ao.id = "viewer-" + std::to_string(k);
+        if (cfg.hub_slow_client_scale > 0.0 && k == aux_clients - 1) {
+          ao.link = net::wan_nasa_ucd();
+          ao.link_time_scale = cfg.hub_slow_client_scale;
+        }
+        auto port = local_hub->connect_client(ao);
+        aux_threads.emplace_back([port, groups = cfg.groups] {
+          int shutdowns = 0;
+          while (auto msg = port->next()) {
+            if (msg->type == net::MsgType::kShutdown) {
+              if (++shutdowns >= groups) break;
+            } else if (msg->type == net::MsgType::kFrame ||
+                       (msg->type == net::MsgType::kSubImage &&
+                        msg->piece == msg->piece_count - 1)) {
+              port->ack(msg->frame_index);
+            }
+          }
+        });
+      }
+    }
+  } else if (cfg.use_tcp) {
     tcp_daemon = std::make_unique<net::TcpDaemonServer>();
     for (int g = 0; g < cfg.groups; ++g) {
       auto port = std::make_unique<TcpRendererPort>();
@@ -177,6 +290,7 @@ SessionResult run_session(const SessionConfig& cfg) {
   util::WallTimer clock;
   std::mutex records_mutex;
   std::map<int, FrameRecord> records;  // keyed by step
+  std::atomic<int> adaptive_switches{0};
 
   SessionResult result;
 
@@ -196,6 +310,12 @@ SessionResult run_session(const SessionConfig& cfg) {
     int frames_done = 0;
     int shutdowns_seen = 0;
     const int total_frames = steps;
+    // §4.1 adaptive quality: watch the display-path budget and feed codec
+    // switches back toward the renderers as control events.
+    std::optional<AdaptiveCodecController> adaptive;
+    if (cfg.adaptive_target_frame_s > 0.0)
+      adaptive.emplace(cfg.adaptive_target_frame_s);
+    double last_display_s = clock.seconds();
     while (frames_done < total_frames) {
       auto msg = display->next();
       if (!msg) break;  // daemon shut down
@@ -251,6 +371,12 @@ SessionResult run_session(const SessionConfig& cfg) {
         records[msg->frame_index].displayed = now;
         records[msg->frame_index].step = msg->frame_index;
       }
+      display->ack(msg->frame_index);
+      if (adaptive) {
+        for (const auto& event : adaptive->on_frame(now - last_display_s))
+          display->send_control(event);
+      }
+      last_display_s = now;
       if (cfg.on_frame) {
         for (const auto& event : cfg.on_frame(msg->frame_index, *completed))
           display->send_control(event);
@@ -260,6 +386,7 @@ SessionResult run_session(const SessionConfig& cfg) {
       pending.erase(msg->frame_index);
       ++frames_done;
     }
+    if (adaptive) adaptive_switches.store(adaptive->switches());
   });
 
   // ---- parallel renderer ----------------------------------------------------
@@ -502,9 +629,20 @@ SessionResult run_session(const SessionConfig& cfg) {
     port->send(std::move(bye));
   }
   client.join();
+  for (auto& t : aux_threads)
+    if (t.joinable()) t.join();
   if (local_daemon) local_daemon->shutdown();
   if (tcp_daemon) tcp_daemon->shutdown();
+  if (local_hub) {
+    local_hub->shutdown();
+    result.hub_client_stats = local_hub->client_stats();
+  }
+  if (hub_server) {
+    hub_server->shutdown();
+    result.hub_client_stats = hub_server->hub().client_stats();
+  }
   if (renderer_error) std::rethrow_exception(renderer_error);
+  result.adaptive_codec_switches = adaptive_switches.load();
 
   result.wire_bytes = wire_bytes.load();
   for (auto& [step, image] : kept_frames)

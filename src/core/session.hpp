@@ -14,6 +14,7 @@
 
 #include "core/metrics.hpp"
 #include "field/generators.hpp"
+#include "hub/hub.hpp"
 #include "net/protocol.hpp"
 #include "render/image.hpp"
 #include "render/raycast.hpp"
@@ -84,6 +85,24 @@ struct SessionConfig {
   /// Route every frame and control event through a real TCP daemon on
   /// localhost instead of the in-process relay — the deployable transport.
   bool use_tcp = false;
+  /// Serve the stream through the multi-client FrameHub instead of the
+  /// single-client daemon. With use_tcp the hub runs behind a HubTcpServer
+  /// on localhost; otherwise in process. The primary client (decodes,
+  /// records metrics, runs on_frame, acks steps) is joined by
+  /// `hub_clients - 1` auxiliary viewers that drain and count frames.
+  bool use_hub = false;
+  int hub_clients = 1;
+  std::size_t hub_cache_steps = 32;   ///< Frame-cache ring (resume window).
+  std::size_t hub_queue_frames = 8;   ///< Per-client send-queue bound.
+  double hub_heartbeat_timeout_s = 0.0;  ///< Reap idle clients; 0 = never.
+  /// When > 0, the last auxiliary viewer is throttled by the NASA->UCD WAN
+  /// link model scaled by this factor (in-process hub only) — the slow
+  /// client of the fan-out experiments.
+  double hub_slow_client_scale = 0.0;
+  /// When > 0, the primary client runs an AdaptiveCodecController with this
+  /// per-frame display budget and feeds its codec switches back to the
+  /// renderers (per-client quality downgrade under backpressure).
+  double adaptive_target_frame_s = 0.0;
 };
 
 struct SessionResult {
@@ -93,6 +112,9 @@ struct SessionResult {
   std::uint64_t wire_bytes = 0;          ///< Compressed bytes shipped.
   std::uint64_t raw_bytes = 0;           ///< Uncompressed RGB equivalent.
   int control_events_applied = 0;
+  /// Per-client delivery/drop/resume stats when use_hub (empty otherwise).
+  std::vector<hub::ClientStats> hub_client_stats;
+  int adaptive_codec_switches = 0;  ///< When adaptive_target_frame_s > 0.
 };
 
 /// Run the full pipeline to completion. Throws on configuration errors or

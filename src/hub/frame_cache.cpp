@@ -1,0 +1,112 @@
+#include "hub/frame_cache.hpp"
+
+#include "obs/counters.hpp"
+
+namespace tvviz::hub {
+
+namespace {
+obs::Counter& inserts_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.cache.inserts");
+  return c;
+}
+obs::Counter& evictions_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.cache.evictions");
+  return c;
+}
+obs::Counter& hits_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.cache.hits");
+  return c;
+}
+obs::Counter& misses_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.cache.misses");
+  return c;
+}
+obs::Gauge& occupancy_gauge() {
+  static obs::Gauge& g = obs::gauge("net.hub.cache.occupancy_steps");
+  return g;
+}
+obs::Gauge& bytes_gauge() {
+  static obs::Gauge& g = obs::gauge("net.hub.cache.bytes");
+  return g;
+}
+}  // namespace
+
+FrameCache::FrameCache(std::size_t capacity_steps)
+    : capacity_(capacity_steps == 0 ? 1 : capacity_steps) {}
+
+FramePtr FrameCache::insert(int step, net::NetMessage msg) {
+  auto shared = std::make_shared<const net::NetMessage>(std::move(msg));
+  std::lock_guard lock(mutex_);
+  auto& entry = steps_[step];
+  entry.step = step;
+  entry.bytes += shared->wire_size();
+  bytes_ += shared->wire_size();
+  entry.messages.push_back(shared);
+  inserts_ctr().add(1);
+  // Evict by step age until back within the ring capacity. The evicted
+  // buffers stay alive for any client queue still holding them — eviction
+  // only forgets the cache's own reference.
+  while (steps_.size() > capacity_) {
+    auto oldest = steps_.begin();
+    bytes_ -= oldest->second.bytes;
+    steps_.erase(oldest);
+    evictions_ctr().add(1);
+  }
+  occupancy_gauge().set(static_cast<std::int64_t>(steps_.size()));
+  bytes_gauge().set(static_cast<std::int64_t>(bytes_));
+  return shared;
+}
+
+std::vector<FramePtr> FrameCache::lookup(int step) {
+  std::lock_guard lock(mutex_);
+  const auto it = steps_.find(step);
+  if (it == steps_.end()) {
+    misses_ctr().add(1);
+    return {};
+  }
+  hits_ctr().add(it->second.messages.size());
+  return it->second.messages;
+}
+
+std::vector<FramePtr> FrameCache::messages_after(int after_step) {
+  std::lock_guard lock(mutex_);
+  std::vector<FramePtr> out;
+  if (!steps_.empty()) {
+    // Steps the caller needed but the ring has already forgotten.
+    const int oldest = steps_.begin()->first;
+    if (after_step + 1 < oldest)
+      misses_ctr().add(static_cast<std::uint64_t>(oldest - after_step - 1));
+  }
+  for (auto it = steps_.upper_bound(after_step); it != steps_.end(); ++it) {
+    hits_ctr().add(it->second.messages.size());
+    out.insert(out.end(), it->second.messages.begin(),
+               it->second.messages.end());
+  }
+  return out;
+}
+
+void FrameCache::note_fanout_hits(std::uint64_t n) { hits_ctr().add(n); }
+
+std::size_t FrameCache::occupancy() const {
+  std::lock_guard lock(mutex_);
+  return steps_.size();
+}
+
+std::size_t FrameCache::bytes() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+std::optional<int> FrameCache::oldest_step() const {
+  std::lock_guard lock(mutex_);
+  if (steps_.empty()) return std::nullopt;
+  return steps_.begin()->first;
+}
+
+std::optional<int> FrameCache::newest_step() const {
+  std::lock_guard lock(mutex_);
+  if (steps_.empty()) return std::nullopt;
+  return steps_.rbegin()->first;
+}
+
+}  // namespace tvviz::hub

@@ -1,0 +1,71 @@
+// Reference-counted cache of recent compressed frames, the scaling device
+// of the multi-client hub (after Bethel et al.'s network data cache): the
+// renderer's stream is encoded exactly once per time step, stored as shared
+// immutable buffers, and fanned out to any number of clients by reference.
+// Eviction is by step age — a ring of the most recent `capacity_steps`
+// steps — so a reconnecting client can be resumed from its last
+// acknowledged step without ever re-encoding.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace tvviz::hub {
+
+/// Immutable shared handle to one relayed message. Every client queue and
+/// the cache hold the same buffer; the payload is never copied on fan-out.
+using FramePtr = std::shared_ptr<const net::NetMessage>;
+
+/// Everything cached for one time step: a single kFrame message, or the
+/// kSubImage pieces of a parallel-compressed frame, in arrival order.
+struct CachedStep {
+  int step = -1;
+  std::vector<FramePtr> messages;
+  std::size_t bytes = 0;  ///< Sum of wire sizes.
+};
+
+/// Thread-safe ring of the most recent steps. Counters/gauges (registered
+/// under net.hub.cache.*): inserts, evictions, hits (deliveries served from
+/// a shared cached buffer), misses (resume requests for evicted steps),
+/// occupancy_steps and bytes gauges.
+class FrameCache {
+ public:
+  explicit FrameCache(std::size_t capacity_steps);
+
+  /// Append one message to `step`'s entry (creating it, evicting the oldest
+  /// step beyond capacity) and return the shared handle for fan-out.
+  FramePtr insert(int step, net::NetMessage msg);
+
+  /// All messages of one cached step (empty if evicted or never seen).
+  /// Counts a hit or miss.
+  std::vector<FramePtr> lookup(int step);
+
+  /// Messages of every cached step strictly greater than `after_step`, in
+  /// step order — the resume path. Steps in (after_step, oldest) that were
+  /// already evicted are counted as misses; each returned step is a hit.
+  std::vector<FramePtr> messages_after(int after_step);
+
+  /// Record `n` deliveries served from shared cached buffers (the hub's
+  /// fan-out path calls this; resume paths are counted internally).
+  void note_fanout_hits(std::uint64_t n);
+
+  std::size_t occupancy() const;
+  std::size_t bytes() const;
+  /// Oldest / newest cached step; nullopt while empty.
+  std::optional<int> oldest_step() const;
+  std::optional<int> newest_step() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int, CachedStep> steps_;
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace tvviz::hub

@@ -1,0 +1,414 @@
+#include "hub/hub.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace tvviz::hub {
+
+namespace {
+
+bool droppable(const FramePtr& msg) {
+  // Only image traffic participates in newest-frame-wins; control-plane
+  // messages (kShutdown in particular) must always reach the client.
+  return msg->type == net::MsgType::kFrame ||
+         msg->type == net::MsgType::kSubImage;
+}
+
+obs::Gauge& clients_gauge() {
+  static obs::Gauge& g = obs::gauge("net.hub.clients");
+  return g;
+}
+obs::Counter& skipped_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.steps_skipped");
+  return c;
+}
+
+}  // namespace
+
+/// Mutable per-client record. The queue is bounded by `capacity` with a
+/// drop-oldest-step policy, so pushing never blocks the relay thread.
+struct FrameHub::ClientState {
+  std::string id;
+  std::size_t capacity = 8;
+  net::LinkModel link{};
+  double link_scale = 0.0;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<FramePtr> queue;
+  bool closed = false;
+  bool connected = true;
+  std::uint64_t delivered = 0;
+  std::uint64_t steps_skipped = 0;
+  std::uint64_t resumed = 0;
+
+  std::atomic<int> last_acked{-1};
+  std::atomic<double> last_seen_s{0.0};
+
+  obs::Counter* delivered_ctr = nullptr;
+  obs::Counter* skipped_steps_ctr = nullptr;
+};
+
+// --------------------------------------------------------- RendererPort ----
+
+void FrameHub::RendererPort::send(net::NetMessage msg) {
+  hub_->inbox_.push(Inbound{false, std::move(msg), {}});
+  static obs::Gauge& depth = obs::gauge("net.hub.inbox_depth");
+  depth.update_max(static_cast<std::int64_t>(hub_->inbox_.size()));
+}
+
+std::optional<net::ControlEvent> FrameHub::RendererPort::poll_control() {
+  return control_.try_pop();
+}
+
+// ----------------------------------------------------------- ClientPort ----
+
+FramePtr FrameHub::ClientPort::next() {
+  return next_for(std::chrono::hours(24 * 365));
+}
+
+FramePtr FrameHub::ClientPort::next_for(std::chrono::milliseconds timeout) {
+  FramePtr msg;
+  {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait_for(lock, timeout, [&] {
+      return state_->closed || !state_->queue.empty();
+    });
+    if (state_->queue.empty()) return nullptr;  // timed out or closed+drained
+    msg = std::move(state_->queue.front());
+    state_->queue.pop_front();
+    ++state_->delivered;
+    if (state_->delivered_ctr) state_->delivered_ctr->add(1);
+  }
+  state_->last_seen_s.store(hub_->now_s());
+  // Simulated per-client WAN: the delivery pays this client's link cost
+  // without occupying the relay thread, so one slow link never delays the
+  // fan-out to anybody else.
+  if (state_->link_scale > 0.0) {
+    const double s =
+        state_->link.transfer_seconds(msg->wire_size()) * state_->link_scale;
+    if (s > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(s));
+  }
+  return msg;
+}
+
+void FrameHub::ClientPort::ack(int step) {
+  int prev = state_->last_acked.load();
+  while (step > prev && !state_->last_acked.compare_exchange_weak(prev, step)) {
+  }
+  state_->last_seen_s.store(hub_->now_s());
+  static obs::Counter& acks = obs::counter("net.hub.acks");
+  acks.add(1);
+}
+
+void FrameHub::ClientPort::heartbeat() {
+  state_->last_seen_s.store(hub_->now_s());
+  static obs::Counter& beats = obs::counter("net.hub.heartbeats");
+  beats.add(1);
+}
+
+void FrameHub::ClientPort::send_control(const net::ControlEvent& event) {
+  hub_->inbox_.push(Inbound{true, {}, event});
+}
+
+const std::string& FrameHub::ClientPort::id() const { return state_->id; }
+
+bool FrameHub::ClientPort::closed() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->closed;
+}
+
+std::size_t FrameHub::ClientPort::buffered() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->queue.size();
+}
+
+// -------------------------------------------------------------- FrameHub ----
+
+FrameHub::FrameHub(HubConfig config)
+    : config_(config),
+      cache_(config.cache_steps),
+      relay_thread_([this] { relay_loop(); }) {}
+
+FrameHub::~FrameHub() { shutdown(); }
+
+std::shared_ptr<FrameHub::RendererPort> FrameHub::connect_renderer() {
+  std::lock_guard lock(clients_mutex_);
+  auto port = std::shared_ptr<RendererPort>(new RendererPort(this));
+  renderers_.push_back(port);
+  return port;
+}
+
+std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
+    ClientOptions options) {
+  std::lock_guard lock(clients_mutex_);
+  if (!running_.load())
+    throw std::runtime_error("hub: connect_client after shutdown");
+
+  std::shared_ptr<ClientState>* slot = nullptr;
+  if (!options.id.empty())
+    for (auto& c : clients_)
+      if (c->id == options.id) {
+        slot = &c;
+        break;
+      }
+
+  std::size_t connected = 0;
+  for (const auto& c : clients_)
+    if (c->connected) ++connected;
+  if ((!slot || !(*slot)->connected) && connected >= config_.max_clients)
+    throw std::runtime_error(
+        "hub: at capacity (" + std::to_string(config_.max_clients) +
+        " clients)");
+
+  // Resume point: a returning client continues after its last acked step;
+  // a new client replays cached history only if asked to.
+  bool replay = options.replay_cache;
+  int resume_after = options.replay_after_step;
+  int carried_ack = -1;
+  if (slot) {
+    close_client(*slot);  // takeover: at most one live port per identity
+    carried_ack = (*slot)->last_acked.load();
+    replay = true;
+    resume_after = std::max(resume_after, carried_ack);
+  }
+
+  auto state = std::make_shared<ClientState>();
+  state->id = options.id.empty()
+                  ? "client-" + std::to_string(next_auto_id_++)
+                  : options.id;
+  state->capacity = options.queue_frames != 0 ? options.queue_frames
+                                              : config_.client_queue_frames;
+  state->link = options.link;
+  state->link_scale = options.link_time_scale;
+  state->last_acked.store(carried_ack);
+  state->last_seen_s.store(now_s());
+  state->delivered_ctr = &obs::counter("net.hub.client." + state->id +
+                                       ".messages_delivered");
+  state->skipped_steps_ctr =
+      &obs::counter("net.hub.client." + state->id + ".steps_skipped");
+
+  if (replay) {
+    obs::Span resume_span("resume", resume_after);
+    auto cached = cache_.messages_after(resume_after);
+    state->resumed = cached.size();
+    for (auto& m : cached) state->queue.push_back(std::move(m));
+    // Let the preload exceed the steady-state bound: backpressure applies
+    // to the live stream, not to the history the client explicitly asked
+    // to catch up on.
+    state->capacity = std::max(state->capacity,
+                               state->queue.size() + config_.client_queue_frames);
+    static obs::Counter& resumes = obs::counter("net.hub.resumes");
+    resumes.add(1);
+  }
+
+  // A client joining after the renderer already signed off would otherwise
+  // wait forever on a live stream that is never coming: replay ends with
+  // the end-of-stream marker the client missed.
+  if (stream_ended_.load()) {
+    net::NetMessage bye;
+    bye.type = net::MsgType::kShutdown;
+    state->queue.push_back(std::make_shared<const net::NetMessage>(bye));
+    state->capacity = std::max(state->capacity, state->queue.size());
+  }
+
+  if (slot)
+    *slot = state;
+  else
+    clients_.push_back(state);
+
+  std::size_t now_connected = 0;
+  for (const auto& c : clients_)
+    if (c->connected) ++now_connected;
+  clients_gauge().set(static_cast<std::int64_t>(now_connected));
+  return std::shared_ptr<ClientPort>(new ClientPort(this, state));
+}
+
+void FrameHub::disconnect_client(ClientPort& port) {
+  std::lock_guard lock(clients_mutex_);
+  close_client(port.state_);
+  std::size_t connected = 0;
+  for (const auto& c : clients_)
+    if (c->connected) ++connected;
+  clients_gauge().set(static_cast<std::int64_t>(connected));
+}
+
+void FrameHub::close_client(const std::shared_ptr<ClientState>& client) {
+  {
+    std::lock_guard lock(client->mutex);
+    client->closed = true;
+    client->connected = false;
+  }
+  client->cv.notify_all();
+}
+
+void FrameHub::shutdown() {
+  if (!running_.exchange(false)) return;
+  inbox_.close();
+  // Flush guarantee: the relay keeps draining the closed inbox, and client
+  // deliveries never block (drop policy), so every frame the renderers
+  // already handed over lands in a queue before any port closes.
+  if (relay_thread_.joinable()) relay_thread_.join();
+  std::lock_guard lock(clients_mutex_);
+  for (auto& c : clients_) close_client(c);
+  for (auto& r : renderers_) r->control_.close();
+  clients_gauge().set(0);
+}
+
+std::size_t FrameHub::connected_clients() const {
+  std::lock_guard lock(clients_mutex_);
+  std::size_t n = 0;
+  for (const auto& c : clients_)
+    if (c->connected) ++n;
+  return n;
+}
+
+std::vector<ClientStats> FrameHub::client_stats() const {
+  std::lock_guard lock(clients_mutex_);
+  std::vector<ClientStats> out;
+  out.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    ClientStats s;
+    s.id = c->id;
+    s.last_acked_step = c->last_acked.load();
+    {
+      std::lock_guard state_lock(c->mutex);
+      s.connected = c->connected;
+      s.messages_delivered = c->delivered;
+      s.steps_skipped = c->steps_skipped;
+      s.messages_resumed = c->resumed;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+ClientStats FrameHub::stats_for(const std::string& id) const {
+  for (auto& s : client_stats())
+    if (s.id == id) return s;
+  throw std::runtime_error("hub: unknown client '" + id + "'");
+}
+
+void FrameHub::broadcast_control(const net::ControlEvent& event) {
+  static obs::Counter& controls = obs::counter("net.hub.controls_broadcast");
+  controls.add(1);
+  std::lock_guard lock(clients_mutex_);
+  for (auto& r : renderers_) r->control_.push(event);
+}
+
+void FrameHub::deliver(const std::shared_ptr<ClientState>& client,
+                       FramePtr msg) {
+  const bool image = droppable(msg);
+  {
+    std::lock_guard lock(client->mutex);
+    if (client->closed) return;
+    if (image) {
+      // Newest-frame-wins: make room by dropping the oldest queued *step*
+      // (all of its sub-image pieces together, so the client never sees a
+      // partially-dropped frame). Non-droppable messages are kept.
+      while (client->queue.size() >= client->capacity) {
+        const auto victim_it =
+            std::find_if(client->queue.begin(), client->queue.end(), droppable);
+        if (victim_it == client->queue.end()) break;
+        const int victim_step = (*victim_it)->frame_index;
+        std::erase_if(client->queue, [&](const FramePtr& m) {
+          return droppable(m) && m->frame_index == victim_step;
+        });
+        ++client->steps_skipped;
+        if (client->skipped_steps_ctr) client->skipped_steps_ctr->add(1);
+        skipped_ctr().add(1);
+      }
+    }
+    client->queue.push_back(std::move(msg));
+  }
+  client->cv.notify_one();
+}
+
+void FrameHub::reap_idle_clients() {
+  if (config_.heartbeat_timeout_s <= 0.0) return;
+  const double cutoff = now_s() - config_.heartbeat_timeout_s;
+  std::vector<std::shared_ptr<ClientState>> dead;
+  {
+    std::lock_guard lock(clients_mutex_);
+    for (auto& c : clients_)
+      if (c->connected && c->last_seen_s.load() < cutoff) dead.push_back(c);
+  }
+  if (dead.empty()) return;
+  static obs::Counter& reaped = obs::counter("net.hub.clients_reaped");
+  for (auto& c : dead) {
+    close_client(c);
+    reaped.add(1);
+    clients_reaped_.fetch_add(1);
+  }
+  std::lock_guard lock(clients_mutex_);
+  std::size_t connected = 0;
+  for (const auto& c : clients_)
+    if (c->connected) ++connected;
+  clients_gauge().set(static_cast<std::int64_t>(connected));
+}
+
+void FrameHub::relay_loop() {
+  obs::set_thread_lane("hub relay");
+  static obs::Counter& steps_ctr = obs::counter("net.hub.steps_relayed");
+  static obs::Counter& bytes_ctr = obs::counter("net.hub.bytes_in");
+  static obs::Counter& fanout_ctr = obs::counter("net.hub.fanout_messages");
+
+  const bool reaping = config_.heartbeat_timeout_s > 0.0;
+  const auto tick = std::chrono::milliseconds(
+      reaping ? std::max<long>(2, static_cast<long>(
+                                      config_.heartbeat_timeout_s * 250.0))
+              : 50);
+  for (;;) {
+    std::optional<Inbound> item =
+        reaping ? inbox_.pop_for(tick) : inbox_.pop();
+    if (reaping) reap_idle_clients();
+    if (!item) {
+      if (!reaping || inbox_.closed()) return;  // shut down and drained
+      continue;                                 // reap tick
+    }
+    if (item->is_control) {
+      broadcast_control(item->control);
+      continue;
+    }
+
+    net::NetMessage& msg = item->msg;
+    if (msg.type == net::MsgType::kShutdown) stream_ended_.store(true);
+    const bool image = msg.type == net::MsgType::kFrame ||
+                       msg.type == net::MsgType::kSubImage;
+    const bool whole_frame =
+        msg.type == net::MsgType::kFrame ||
+        (msg.type == net::MsgType::kSubImage &&
+         msg.piece == msg.piece_count - 1);
+    obs::Span relay_span("relay", msg.frame_index);
+    bytes_ctr.add(msg.wire_size());
+
+    // One insert, N reference-counted deliveries: the frame was encoded
+    // exactly once upstream and is never re-encoded or copied here.
+    FramePtr shared;
+    if (image)
+      shared = cache_.insert(msg.frame_index, std::move(msg));
+    else
+      shared = std::make_shared<const net::NetMessage>(std::move(msg));
+
+    std::vector<std::shared_ptr<ClientState>> targets;
+    {
+      std::lock_guard lock(clients_mutex_);
+      for (auto& c : clients_)
+        if (c->connected) targets.push_back(c);
+    }
+    for (auto& c : targets) deliver(c, shared);
+    fanout_ctr.add(targets.size());
+    if (image && !targets.empty())
+      cache_.note_fanout_hits(targets.size() - 1);  // beyond the first copy
+    if (whole_frame) {
+      steps_relayed_.fetch_add(1);
+      steps_ctr.add(1);
+    }
+  }
+}
+
+}  // namespace tvviz::hub

@@ -1,0 +1,182 @@
+// FrameHub: the multi-client session broker. It sits where DisplayDaemon
+// sits — between the parallel renderer's interface and the display side of
+// §4.1 — but serves N viewers from one renderer stream:
+//
+//  * every compressed frame is stored once in a reference-counted
+//    FrameCache and fanned out to the clients by shared pointer, so the
+//    encode cost is paid once per time step no matter how many viewers
+//    are attached;
+//  * each client has its own bounded send queue with a newest-frame-wins
+//    drop policy: a slow client loses its own oldest frames (counted) and
+//    never stalls the renderer or the other clients;
+//  * clients carry liveness state (acks, heartbeats); a configurable idle
+//    timeout reaps dead clients, and a returning client reconnects by id
+//    and is resumed from the cache starting after its last acked step;
+//  * per-client LinkModel throttling simulates heterogeneous WAN paths in
+//    process (the real-socket form lives in hub/tcp_hub.hpp).
+//
+// Control events flow back from any client and are broadcast to every
+// renderer interface, exactly like the single-client daemon.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hub/frame_cache.hpp"
+#include "net/link.hpp"
+#include "net/protocol.hpp"
+#include "net/queue.hpp"
+#include "util/timer.hpp"
+
+namespace tvviz::hub {
+
+struct HubConfig {
+  std::size_t cache_steps = 32;         ///< Frame-cache ring capacity.
+  std::size_t client_queue_frames = 8;  ///< Default per-client send bound.
+  std::size_t max_clients = 64;
+  /// Reap a client idle (no pop/ack/heartbeat) longer than this. 0 = never.
+  double heartbeat_timeout_s = 0.0;
+};
+
+struct ClientOptions {
+  std::string id;                ///< Stable identity; empty = auto-assign.
+  std::size_t queue_frames = 0;  ///< 0 = the hub default.
+  /// Simulated delivery link: next() sleeps transfer_seconds * scale per
+  /// message. scale 0 disables (LAN-instant delivery).
+  net::LinkModel link{};
+  double link_time_scale = 0.0;
+  /// Serve cached history before the live stream (late joiner / explicit
+  /// resume): every cached step > replay_after_step is queued on connect.
+  bool replay_cache = false;
+  int replay_after_step = -1;
+};
+
+struct ClientStats {
+  std::string id;
+  bool connected = false;
+  int last_acked_step = -1;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t steps_skipped = 0;    ///< Whole steps dropped by backpressure.
+  std::uint64_t messages_resumed = 0; ///< Replayed from the cache on connect.
+};
+
+class FrameHub {
+ public:
+  /// Renderer-side connection; same shape as DisplayDaemon::RendererPort so
+  /// session code can drive either transport through one adapter.
+  class RendererPort {
+   public:
+    void send(net::NetMessage msg);
+    std::optional<net::ControlEvent> poll_control();
+
+   private:
+    friend class FrameHub;
+    explicit RendererPort(FrameHub* hub) : hub_(hub) {}
+    FrameHub* hub_;
+    net::BlockingQueue<net::ControlEvent> control_{1024};
+  };
+
+  struct ClientState;  // opaque; defined in hub.cpp's view of this header
+
+  /// Display-side connection. Frames come out as shared immutable buffers.
+  class ClientPort {
+   public:
+    /// Next message; blocks. nullptr once the client is closed (hub
+    /// shutdown, reap, or takeover by a reconnect) and its queue drained.
+    FramePtr next();
+    /// Bounded-wait variant; nullptr on timeout or closed (check closed()).
+    FramePtr next_for(std::chrono::milliseconds timeout);
+
+    /// Acknowledge that `step` was displayed (the resume point after a
+    /// disconnect). Also counts as liveness.
+    void ack(int step);
+    /// Liveness beacon for clients that are between frames.
+    void heartbeat();
+    /// User-control event toward every renderer interface.
+    void send_control(const net::ControlEvent& event);
+
+    const std::string& id() const;
+    bool closed() const;
+    std::size_t buffered() const;
+
+   private:
+    friend class FrameHub;
+    ClientPort(FrameHub* hub, std::shared_ptr<ClientState> state)
+        : hub_(hub), state_(std::move(state)) {}
+    FrameHub* hub_;
+    std::shared_ptr<ClientState> state_;
+  };
+
+  explicit FrameHub(HubConfig config = {});
+  ~FrameHub();
+
+  FrameHub(const FrameHub&) = delete;
+  FrameHub& operator=(const FrameHub&) = delete;
+
+  std::shared_ptr<RendererPort> connect_renderer();
+
+  /// Attach a client. If `options.id` names a client seen before, this is a
+  /// reconnect: the new port is resumed from the cache starting after the
+  /// client's last acked step (a still-open old port is closed — takeover).
+  /// Throws std::runtime_error at max_clients.
+  std::shared_ptr<ClientPort> connect_client(ClientOptions options = {});
+
+  /// Detach without forgetting: the client's last acked step is kept so a
+  /// later connect_client with the same id resumes where it left off.
+  void disconnect_client(ClientPort& port);
+
+  /// Orderly shutdown: drain every frame already accepted from the
+  /// renderers into the client queues (the flush guarantee), then close
+  /// all ports and wake every blocked endpoint.
+  void shutdown();
+
+  std::size_t connected_clients() const;
+  std::vector<ClientStats> client_stats() const;
+  ClientStats stats_for(const std::string& id) const;
+  std::uint64_t steps_relayed() const noexcept { return steps_relayed_.load(); }
+  std::uint64_t clients_reaped() const noexcept { return clients_reaped_.load(); }
+  FrameCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Inbound {
+    bool is_control = false;
+    net::NetMessage msg;
+    net::ControlEvent control;
+  };
+
+  void relay_loop();
+  void broadcast_control(const net::ControlEvent& event);
+  void deliver(const std::shared_ptr<ClientState>& client, FramePtr msg);
+  void reap_idle_clients();
+  void close_client(const std::shared_ptr<ClientState>& client);
+  double now_s() const { return clock_.seconds(); }
+
+  HubConfig config_;
+  FrameCache cache_;
+  util::WallTimer clock_;
+  net::BlockingQueue<Inbound> inbox_{4096};
+
+  mutable std::mutex clients_mutex_;
+  /// Every client ever seen, connected or not (the "not" keep last_acked
+  /// for resume). Ordered by insertion for deterministic stats output.
+  std::vector<std::shared_ptr<ClientState>> clients_;
+  std::vector<std::shared_ptr<RendererPort>> renderers_;
+  int next_auto_id_ = 0;
+
+  std::atomic<std::uint64_t> steps_relayed_{0};
+  std::atomic<std::uint64_t> clients_reaped_{0};
+  /// Set once a kShutdown crosses the relay: clients connecting after the
+  /// stream ended get the end-of-stream marker appended to their replay.
+  std::atomic<bool> stream_ended_{false};
+  std::atomic<bool> running_{true};
+  std::thread relay_thread_;
+};
+
+}  // namespace tvviz::hub

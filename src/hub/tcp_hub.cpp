@@ -1,0 +1,294 @@
+#include "hub/tcp_hub.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/counters.hpp"
+
+namespace tvviz::hub {
+
+using net::HelloInfo;
+using net::MsgType;
+using net::NetMessage;
+using net::TcpConnection;
+
+HubTcpServer::HubTcpServer(int port, HubConfig config) : hub_(config) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("hub: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("hub: bind failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("hub: listen failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+HubTcpServer::~HubTcpServer() { shutdown(); }
+
+void HubTcpServer::shutdown() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  // Order matters for the flush guarantee: first unblock the renderer
+  // readers (everything they received is already in the hub inbox), then
+  // drain the hub into the client queues, and only then join the display
+  // workers — their writers flush those queues over the still-open sockets
+  // before closing them.
+  {
+    std::lock_guard lock(threads_mutex_);
+    for (auto& c : renderer_conns_) c->shutdown();
+  }
+  hub_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(threads_mutex_);
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+  for (auto& c : display_conns_) c->shutdown();
+}
+
+void HubTcpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed
+    auto conn = std::make_shared<TcpConnection>(fd);
+    std::optional<NetMessage> first;
+    try {
+      first = conn->recv_message();
+    } catch (const std::exception&) {
+      continue;  // malformed first frame: drop the connection, keep serving
+    }
+    if (!first || first->type != MsgType::kHello) continue;
+    static obs::Counter& rejected = obs::counter("net.hub.hello_rejected");
+    const auto refuse = [&](const std::string& reason) {
+      rejected.add(1);
+      try {
+        conn->send_message(net::make_error(reason));
+      } catch (const std::exception&) {
+      }
+    };
+    HelloInfo info;
+    try {
+      info = net::parse_hello(*first);
+    } catch (const std::exception& e) {
+      refuse(std::string("malformed hello: ") + e.what());
+      continue;
+    }
+    if (info.version == 0 || info.version > net::kProtocolVersion) {
+      refuse("unsupported protocol version " + std::to_string(info.version) +
+             " (this hub speaks 1.." + std::to_string(net::kProtocolVersion) +
+             ")");
+      continue;
+    }
+    if (info.role != "renderer" && info.role != "display") {
+      refuse("unknown endpoint role '" + info.role +
+             "' (expected 'renderer' or 'display')");
+      continue;
+    }
+    std::lock_guard lock(threads_mutex_);
+    if (info.role == "renderer") {
+      renderer_conns_.push_back(conn);
+      workers_.emplace_back([this, conn] { serve_renderer(conn); });
+    } else {
+      display_conns_.push_back(conn);
+      workers_.emplace_back(
+          [this, conn, info = std::move(info)]() mutable {
+            serve_display(conn, std::move(info));
+          });
+    }
+  }
+}
+
+void HubTcpServer::serve_renderer(std::shared_ptr<TcpConnection> conn) {
+  auto port = hub_.connect_renderer();
+  std::atomic<bool> reading{true};
+  std::thread writer([&] {
+    while (reading.load() && running_.load()) {
+      bool sent = false;
+      while (auto event = port->poll_control()) {
+        NetMessage msg;
+        msg.type = MsgType::kControl;
+        msg.payload = event->serialize();
+        try {
+          conn->send_message(msg);
+        } catch (const std::exception&) {
+          return;
+        }
+        sent = true;
+      }
+      if (!sent) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  while (running_.load()) {
+    auto msg = conn->recv_message();
+    if (!msg) break;
+    port->send(std::move(*msg));
+  }
+  reading.store(false);
+  writer.join();
+}
+
+void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
+                                 HelloInfo info) {
+  ClientOptions options;
+  options.id = info.client_id;
+  options.queue_frames = info.queue_frames;
+  if (info.last_acked_step >= 0) {
+    // An explicit resume point also applies to ids the hub has never seen
+    // (e.g. the hub restarted and lost its registry but the cache refilled).
+    options.replay_cache = true;
+    options.replay_after_step = info.last_acked_step;
+  }
+  std::shared_ptr<FrameHub::ClientPort> port;
+  try {
+    port = hub_.connect_client(std::move(options));
+  } catch (const std::exception& e) {
+    try {
+      conn->send_message(net::make_error(e.what()));
+    } catch (const std::exception&) {
+    }
+    return;
+  }
+  if (info.last_acked_step >= 0) port->ack(info.last_acked_step);
+  {
+    NetMessage ok;
+    ok.type = MsgType::kHelloAck;
+    ok.codec = port->id();  // the identity the hub filed this client under
+    try {
+      conn->send_message(ok);
+    } catch (const std::exception&) {
+      hub_.disconnect_client(*port);
+      return;
+    }
+  }
+  // Reader: acks, heartbeats and control events from the viewer.
+  std::thread reader([&] {
+    while (running_.load()) {
+      std::optional<NetMessage> msg;
+      try {
+        msg = conn->recv_message();
+      } catch (const std::exception&) {
+        return;
+      }
+      if (!msg) return;
+      switch (msg->type) {
+        case MsgType::kAck:
+          port->ack(msg->frame_index);
+          break;
+        case MsgType::kHeartbeat:
+          port->heartbeat();
+          break;
+        case MsgType::kControl:
+          port->send_control(net::ControlEvent::deserialize(msg->payload));
+          break;
+        default:
+          break;
+      }
+    }
+  });
+  // Writer: the client's queue onto the socket. Runs past running_ going
+  // false so a shutdown flushes the queue tail (next() returns nullptr once
+  // the port is closed *and* drained).
+  for (;;) {
+    auto msg = port->next();
+    if (!msg) break;
+    try {
+      conn->send_message(*msg);
+    } catch (const std::exception&) {
+      break;
+    }
+  }
+  // Socket gone or port closed: detach without forgetting, so this id can
+  // reconnect and resume from its last acked step.
+  hub_.disconnect_client(*port);
+  conn->shutdown();
+  reader.join();
+}
+
+// -------------------------------------------------------- HubTcpViewer ----
+
+HubTcpViewer::HubTcpViewer(int port) : HubTcpViewer(port, Options()) {}
+
+HubTcpViewer::HubTcpViewer(int port, Options options)
+    : conn_(TcpConnection::connect_local(port)) {
+  HelloInfo info;
+  info.role = "display";
+  info.client_id = options.client_id;
+  info.last_acked_step = options.last_acked_step;
+  info.queue_frames = options.queue_frames;
+  info.wants_heartbeat = options.heartbeat_interval_ms > 0;
+  conn_->send_message(net::make_hello(info));
+  auto reply = conn_->recv_message();
+  if (!reply)
+    throw std::runtime_error("hub: server closed during handshake");
+  if (reply->type == MsgType::kError)
+    throw std::runtime_error("hub: refused: " + net::error_text(*reply));
+  if (reply->type != MsgType::kHelloAck)
+    throw std::runtime_error("hub: unexpected handshake reply");
+  assigned_id_ = reply->codec;
+  if (options.heartbeat_interval_ms > 0) {
+    const auto interval =
+        std::chrono::milliseconds(options.heartbeat_interval_ms);
+    heartbeat_thread_ = std::thread([this, interval] {
+      while (open_.load()) {
+        {
+          std::lock_guard lock(send_mutex_);
+          if (!open_.load()) break;
+          NetMessage beat;
+          beat.type = MsgType::kHeartbeat;
+          try {
+            conn_->send_message(beat);
+          } catch (const std::exception&) {
+            return;
+          }
+        }
+        std::this_thread::sleep_for(interval);
+      }
+    });
+  }
+}
+
+HubTcpViewer::~HubTcpViewer() { close(); }
+
+void HubTcpViewer::ack(int step) {
+  std::lock_guard lock(send_mutex_);
+  if (!open_.load()) return;
+  NetMessage msg;
+  msg.type = MsgType::kAck;
+  msg.frame_index = step;
+  conn_->send_message(msg);
+}
+
+void HubTcpViewer::send_control(const net::ControlEvent& event) {
+  std::lock_guard lock(send_mutex_);
+  if (!open_.load()) return;
+  NetMessage msg;
+  msg.type = MsgType::kControl;
+  msg.payload = event.serialize();
+  conn_->send_message(msg);
+}
+
+void HubTcpViewer::close() {
+  if (!open_.exchange(false)) return;
+  if (conn_) conn_->shutdown();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+}  // namespace tvviz::hub

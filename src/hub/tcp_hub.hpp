@@ -1,0 +1,92 @@
+// The FrameHub behind a listening socket: the wide-area deployment of the
+// multi-client broker. Renderer processes connect exactly as they do to the
+// single-client TcpDaemonServer (v1 hellos still work); display clients
+// speak the v2 capability handshake, carrying a stable client id, a resume
+// point, and queue preferences, and get back a kHelloAck (or a kError frame
+// explaining why they were refused).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hub/hub.hpp"
+#include "net/tcp.hpp"
+
+namespace tvviz::hub {
+
+/// FrameHub served over TCP on 127.0.0.1.
+class HubTcpServer {
+ public:
+  /// Listen on `port` (0 = ephemeral; see port()).
+  explicit HubTcpServer(int port = 0, HubConfig config = {});
+  ~HubTcpServer();
+
+  int port() const noexcept { return port_; }
+  FrameHub& hub() noexcept { return hub_; }
+
+  /// Stop accepting, flush queued frames to the display sockets, close
+  /// every connection, join all threads.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void serve_renderer(std::shared_ptr<net::TcpConnection> conn);
+  void serve_display(std::shared_ptr<net::TcpConnection> conn,
+                     net::HelloInfo info);
+
+  FrameHub hub_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<net::TcpConnection>> renderer_conns_;
+  std::vector<std::shared_ptr<net::TcpConnection>> display_conns_;
+};
+
+/// Display-side endpoint speaking the v2 hub handshake. Compare
+/// net::TcpDisplayLink, the v1 single-client form (which the hub also
+/// accepts, minus resume/acks).
+class HubTcpViewer {
+ public:
+  struct Options {
+    std::string client_id;       ///< Empty = let the hub assign one.
+    int last_acked_step = -1;    ///< Resume after this step; -1 = live only.
+    std::uint32_t queue_frames = 0;  ///< Requested bound; 0 = hub default.
+    /// Send kHeartbeat beacons from a background thread every this many
+    /// milliseconds; 0 = no heartbeat thread.
+    int heartbeat_interval_ms = 0;
+  };
+
+  /// Connects and completes the handshake. Throws std::runtime_error on
+  /// refusal, with the server's kError text.
+  explicit HubTcpViewer(int port);
+  HubTcpViewer(int port, Options options);
+  ~HubTcpViewer();
+
+  /// The identity the hub filed this client under (echoed or assigned).
+  const std::string& assigned_id() const noexcept { return assigned_id_; }
+
+  /// Blocking receive; std::nullopt when the hub closes.
+  std::optional<net::NetMessage> next() { return conn_->recv_message(); }
+
+  /// Acknowledge a displayed step (the resume point for a reconnect).
+  void ack(int step);
+  void send_control(const net::ControlEvent& event);
+
+  void close();
+
+ private:
+  std::unique_ptr<net::TcpConnection> conn_;
+  std::string assigned_id_;
+  std::atomic<bool> open_{true};
+  std::mutex send_mutex_;  ///< Heartbeat thread vs ack/control senders.
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace tvviz::hub

@@ -67,6 +67,11 @@ void DisplayDaemon::set_wan_throttle(LinkModel link, double time_scale) {
 void DisplayDaemon::shutdown() {
   if (!running_.exchange(false)) return;
   inbox_.close();
+  // Flush before closing the ports: the relay thread keeps draining the
+  // (closed) inbox, so every frame a renderer already handed over reaches
+  // the display buffers. Closing the display queues first raced that drain
+  // and silently dropped the tail frames of a run.
+  if (relay_thread_.joinable()) relay_thread_.join();
   std::lock_guard lock(ports_mutex_);
   for (auto& d : displays_) d->frames_.close();
   for (auto& r : renderers_) r->control_.close();
@@ -116,7 +121,15 @@ void DisplayDaemon::relay_loop() {
     if (whole_frame) frames_ctr.add(1);
     bytes_ctr.add(wire);
     for (auto& d : displays) {
-      d->frames_.push(msg);
+      // Blocking push in bounded slices: normal operation waits for buffer
+      // space exactly like a plain push, but once shutdown begins (inbox
+      // closed) the drain must terminate even if this display stopped
+      // consuming — after a grace period its frame is skipped so the flush
+      // can reach the displays that are still listening.
+      for (;;) {
+        if (d->frames_.push_for(msg, std::chrono::milliseconds(50))) break;
+        if (d->frames_.closed() || inbox_.closed()) break;
+      }
       buffer_depth.update_max(static_cast<std::int64_t>(d->frames_.size()));
     }
   }

@@ -4,6 +4,67 @@
 
 namespace tvviz::net {
 
+util::Bytes HelloInfo::serialize() const {
+  util::ByteWriter w;
+  w.u32(version);
+  w.str(role);
+  w.str(client_id);
+  w.u32(static_cast<std::uint32_t>(last_acked_step));
+  w.u32(queue_frames);
+  w.u8(wants_heartbeat ? 1 : 0);
+  return w.take();
+}
+
+HelloInfo HelloInfo::deserialize(std::span<const std::uint8_t> payload) {
+  try {
+    util::ByteReader r(payload);
+    HelloInfo info;
+    info.version = r.u32();
+    info.role = r.str();
+    info.client_id = r.str();
+    info.last_acked_step = static_cast<std::int32_t>(r.u32());
+    info.queue_frames = r.u32();
+    info.wants_heartbeat = r.u8() != 0;
+    // Ignore trailing bytes: a *newer* client may append capabilities this
+    // build does not know; the version field governs compatibility.
+    return info;
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("net: truncated hello capability payload");
+  }
+}
+
+HelloInfo parse_hello(const NetMessage& msg) {
+  if (msg.type != MsgType::kHello)
+    throw std::runtime_error("net: parse_hello on a non-hello message");
+  if (msg.payload.empty()) {
+    // Legacy v1 hello: the role travels in the codec field.
+    HelloInfo info;
+    info.version = 1;
+    info.role = msg.codec;
+    return info;
+  }
+  return HelloInfo::deserialize(msg.payload);
+}
+
+NetMessage make_hello(const HelloInfo& info) {
+  NetMessage msg;
+  msg.type = MsgType::kHello;
+  msg.codec = info.role;
+  msg.payload = info.serialize();
+  return msg;
+}
+
+NetMessage make_error(const std::string& message) {
+  NetMessage msg;
+  msg.type = MsgType::kError;
+  msg.payload.assign(message.begin(), message.end());
+  return msg;
+}
+
+std::string error_text(const NetMessage& msg) {
+  return std::string(msg.payload.begin(), msg.payload.end());
+}
+
 util::Bytes serialize_message(const NetMessage& msg) {
   util::ByteWriter w(msg.payload.size() + msg.codec.size() + 24);
   w.u8(static_cast<std::uint8_t>(msg.type));
@@ -24,7 +85,7 @@ NetMessage deserialize_message(std::span<const std::uint8_t> data) {
     util::ByteReader r(data);
     NetMessage msg;
     const std::uint8_t raw_type = r.u8();
-    if (raw_type > static_cast<std::uint8_t>(MsgType::kShutdown))
+    if (raw_type > kMaxMsgType)
       throw std::runtime_error("net: invalid message type " +
                                std::to_string(raw_type));
     msg.type = static_cast<MsgType>(raw_type);

@@ -11,12 +11,45 @@
 namespace tvviz::net {
 
 enum class MsgType : std::uint8_t {
-  kHello = 0,        ///< Endpoint registration (payload: role string).
+  kHello = 0,        ///< Endpoint registration (payload: role string or HelloInfo).
   kFrame = 1,        ///< Complete compressed frame for one time step.
   kSubImage = 2,     ///< One compressed sub-image piece (parallel compression).
   kControl = 3,      ///< User-control event toward the renderer.
   kShutdown = 4,     ///< Orderly teardown.
+  // Protocol v2 (the multi-client frame hub). A v1 endpoint never sends or
+  // receives these; v2 servers keep speaking v1 to legacy single-client
+  // viewers, so the additions are strictly backward compatible.
+  kHelloAck = 5,     ///< Server accepts a hello (payload: HelloInfo echo).
+  kHeartbeat = 6,    ///< Client liveness beacon (empty payload).
+  kAck = 7,          ///< Client acknowledges display of frame_index.
+  kError = 8,        ///< Descriptive failure (payload: UTF-8 message), then close.
 };
+
+/// Highest MsgType value a well-formed frame may carry (wire validation).
+inline constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::kError);
+
+/// Version of the hello/capability handshake this build speaks. v1 is the
+/// legacy role-string hello ("renderer"/"display" in the codec field); v2
+/// adds the HelloInfo payload (client identity, resume point, heartbeats).
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Capability payload of a v2 kHello (and the server's kHelloAck echo).
+/// A v1 hello has an empty payload; deserialize_hello maps it to version 1
+/// with the role taken from the message's codec field, so one parse path
+/// serves both generations.
+struct HelloInfo {
+  std::uint32_t version = kProtocolVersion;
+  std::string role;            ///< "renderer" or "display".
+  std::string client_id;       ///< Stable viewer identity; empty = assign one.
+  std::int32_t last_acked_step = -1;  ///< Resume point; -1 = from live stream.
+  std::uint32_t queue_frames = 0;     ///< Requested send-queue bound; 0 = default.
+  bool wants_heartbeat = false;       ///< Client will send kHeartbeat beacons.
+
+  util::Bytes serialize() const;
+  static HelloInfo deserialize(std::span<const std::uint8_t> payload);
+};
+
 
 /// User-control events the display client can send (§5). They are buffered
 /// by the renderer and applied to the *next* frame; in-flight rendering is
@@ -74,5 +107,22 @@ struct NetMessage {
 /// Flat wire encoding of a NetMessage (the TCP transport's frame body).
 util::Bytes serialize_message(const NetMessage& msg);
 NetMessage deserialize_message(std::span<const std::uint8_t> data);
+
+/// Parse a kHello message of either generation: v2 from the HelloInfo
+/// payload, v1 from the legacy role-in-codec form (empty payload, mapped to
+/// version 1). Throws std::runtime_error on a malformed v2 payload.
+/// Validates nothing about the version itself — callers decide what to
+/// reject (and should answer an unsupported version with a kError frame).
+HelloInfo parse_hello(const NetMessage& msg);
+
+/// Build a v2 kHello carrying `info` (role mirrored into the codec field so
+/// v1 servers still understand the registration).
+NetMessage make_hello(const HelloInfo& info);
+
+/// Build a kError frame whose payload is the UTF-8 `message`.
+NetMessage make_error(const std::string& message);
+
+/// The payload of a kError frame as a string.
+std::string error_text(const NetMessage& msg);
 
 }  // namespace tvviz::net

@@ -3,6 +3,7 @@
 // an image buffer to cope with faster rendering rates").
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -34,10 +35,41 @@ class BlockingQueue {
     return true;
   }
 
+  /// Bounded-wait push: give up after `timeout` instead of blocking
+  /// indefinitely. Returns false if the queue is closed or still full when
+  /// the timeout expires. Used by flush paths that must make progress even
+  /// when a consumer has vanished.
+  bool push_for(T item, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return closed_ || queue_.size() < capacity_;
+        }))
+      return false;
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Block until an item is available. std::nullopt once closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Bounded-wait pop: std::nullopt if nothing arrived within `timeout` (or
+  /// the queue is closed and drained — check closed() to tell the cases
+  /// apart). Lets periodic housekeeping (liveness reaping) share the
+  /// consumer thread without a busy poll.
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();

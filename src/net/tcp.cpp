@@ -188,11 +188,41 @@ void TcpDaemonServer::accept_loop() {
       continue;  // drop
     }
     if (!first || first->type != MsgType::kHello) continue;  // drop
+    // Version/capability check. An endpoint from the future (or a corrupt
+    // hello) is told *why* it is being refused with a kError frame instead
+    // of a silent close, so the operator of the newer viewer sees
+    // "unsupported protocol version 7" rather than a dead socket.
+    static obs::Counter& rejected = obs::counter("net.tcp.hello_rejected");
+    const auto refuse = [&](const std::string& reason) {
+      rejected.add(1);
+      try {
+        conn->send_message(make_error(reason));
+      } catch (const std::exception&) {
+      }
+    };
+    HelloInfo info;
+    try {
+      info = parse_hello(*first);
+    } catch (const std::exception& e) {
+      refuse(std::string("malformed hello: ") + e.what());
+      continue;
+    }
+    if (info.version == 0 || info.version > kProtocolVersion) {
+      refuse("unsupported protocol version " + std::to_string(info.version) +
+             " (this daemon speaks 1.." + std::to_string(kProtocolVersion) +
+             ")");
+      continue;
+    }
+    if (info.role != "renderer" && info.role != "display") {
+      refuse("unknown endpoint role '" + info.role +
+             "' (expected 'renderer' or 'display')");
+      continue;
+    }
     std::lock_guard lock(threads_mutex_);
     connections_.push_back(conn);
-    if (first->codec == "renderer")
+    if (info.role == "renderer")
       workers_.emplace_back([this, conn] { serve_renderer(conn); });
-    else if (first->codec == "display")
+    else
       workers_.emplace_back([this, conn] { serve_display(conn); });
   }
 }

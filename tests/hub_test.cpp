@@ -1,0 +1,495 @@
+// Tests for the multi-client session hub: the reference-counted frame
+// cache, fan-out with per-client backpressure, liveness/reaping,
+// reconnect-with-resume, the versioned hello handshake, and the hub served
+// over real TCP sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/session.hpp"
+#include "field/generators.hpp"
+#include "hub/frame_cache.hpp"
+#include "hub/hub.hpp"
+#include "hub/tcp_hub.hpp"
+#include "net/protocol.hpp"
+#include "render/image.hpp"
+
+namespace tvviz {
+namespace {
+
+using hub::ClientOptions;
+using hub::FrameCache;
+using hub::FrameHub;
+using hub::HubConfig;
+using net::MsgType;
+using net::NetMessage;
+
+NetMessage frame_msg(int step, std::initializer_list<std::uint8_t> payload) {
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = step;
+  msg.codec = "raw";
+  msg.payload = payload;
+  return msg;
+}
+
+NetMessage shutdown_msg() {
+  NetMessage msg;
+  msg.type = MsgType::kShutdown;
+  return msg;
+}
+
+// ---------------------------------------------------------- FrameCache ----
+
+TEST(FrameCache, EvictsByStepAge) {
+  FrameCache cache(3);
+  for (int s = 0; s < 5; ++s) cache.insert(s, frame_msg(s, {1}));
+  EXPECT_EQ(cache.occupancy(), 3u);
+  EXPECT_EQ(cache.oldest_step(), 2);
+  EXPECT_EQ(cache.newest_step(), 4);
+  EXPECT_TRUE(cache.lookup(0).empty());   // evicted
+  EXPECT_EQ(cache.lookup(4).size(), 1u);  // cached
+}
+
+TEST(FrameCache, SharedBuffersSurviveEviction) {
+  FrameCache cache(1);
+  const auto kept = cache.insert(0, frame_msg(0, {42}));
+  cache.insert(1, frame_msg(1, {43}));  // evicts step 0
+  EXPECT_TRUE(cache.lookup(0).empty());
+  EXPECT_EQ(kept->payload[0], 42);  // a queue's reference keeps it alive
+}
+
+TEST(FrameCache, MessagesAfterReturnsStepOrderedTail) {
+  FrameCache cache(8);
+  for (int s = 0; s < 6; ++s) {
+    cache.insert(s, frame_msg(s, {static_cast<std::uint8_t>(s)}));
+    cache.insert(s, frame_msg(s, {static_cast<std::uint8_t>(s + 100)}));
+  }
+  const auto tail = cache.messages_after(3);
+  ASSERT_EQ(tail.size(), 4u);  // steps 4 and 5, two messages each
+  EXPECT_EQ(tail[0]->frame_index, 4);
+  EXPECT_EQ(tail[1]->frame_index, 4);
+  EXPECT_EQ(tail[3]->frame_index, 5);
+  EXPECT_TRUE(cache.messages_after(5).empty());
+}
+
+TEST(FrameCache, AccumulatesBytes) {
+  FrameCache cache(2);
+  cache.insert(0, frame_msg(0, {1, 2, 3}));
+  const auto b1 = cache.bytes();
+  EXPECT_GT(b1, 0u);
+  cache.insert(1, frame_msg(1, {1, 2, 3}));
+  cache.insert(2, frame_msg(2, {1, 2, 3}));  // evicts step 0
+  EXPECT_EQ(cache.bytes(), 2 * b1);
+}
+
+// ------------------------------------------------------------ handshake ----
+
+TEST(Hello, CapabilityRoundTrip) {
+  net::HelloInfo info;
+  info.role = "display";
+  info.client_id = "viewer-7";
+  info.last_acked_step = 41;
+  info.queue_frames = 12;
+  info.wants_heartbeat = true;
+  const auto out = net::parse_hello(net::make_hello(info));
+  EXPECT_EQ(out.version, net::kProtocolVersion);
+  EXPECT_EQ(out.role, "display");
+  EXPECT_EQ(out.client_id, "viewer-7");
+  EXPECT_EQ(out.last_acked_step, 41);
+  EXPECT_EQ(out.queue_frames, 12u);
+  EXPECT_TRUE(out.wants_heartbeat);
+}
+
+TEST(Hello, LegacyEmptyPayloadParsesAsVersionOne) {
+  // v1 endpoints say hello with the role in the codec field and no
+  // capability payload; they must keep working against v2 servers.
+  NetMessage msg;
+  msg.type = MsgType::kHello;
+  msg.codec = "renderer";
+  const auto info = net::parse_hello(msg);
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.role, "renderer");
+  EXPECT_TRUE(info.client_id.empty());
+  EXPECT_EQ(info.last_acked_step, -1);
+}
+
+TEST(Hello, TruncatedCapabilityPayloadThrows) {
+  net::HelloInfo info;
+  info.role = "display";
+  auto msg = net::make_hello(info);
+  msg.payload.resize(2);  // cuts into the version field
+  EXPECT_THROW(net::parse_hello(msg), std::runtime_error);
+}
+
+TEST(Hello, ErrorFrameRoundTrip) {
+  const auto err = net::make_error("that was rude");
+  EXPECT_EQ(err.type, MsgType::kError);
+  EXPECT_EQ(net::error_text(err), "that was rude");
+}
+
+// ------------------------------------------------------------- fan-out ----
+
+TEST(Hub, FanOutToEightClientsBitIdentical) {
+  HubConfig cfg;
+  cfg.client_queue_frames = 64;  // roomy: this test is about fidelity
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+  std::vector<std::shared_ptr<FrameHub::ClientPort>> clients;
+  for (int k = 0; k < 8; ++k) clients.push_back(hub.connect_client());
+  EXPECT_EQ(hub.connected_clients(), 8u);
+
+  const int kSteps = 16;
+  std::vector<std::thread> threads;
+  std::vector<int> received(8, 0);
+  std::atomic<bool> mismatch{false};
+  for (int k = 0; k < 8; ++k) {
+    threads.emplace_back([&, k] {
+      while (auto msg = clients[static_cast<std::size_t>(k)]->next()) {
+        if (msg->type == MsgType::kShutdown) break;
+        const auto expect = static_cast<std::uint8_t>(msg->frame_index * 3);
+        if (msg->payload.size() != 5 || msg->payload[0] != expect)
+          mismatch.store(true);
+        ++received[static_cast<std::size_t>(k)];
+      }
+    });
+  }
+  for (int s = 0; s < kSteps; ++s) {
+    NetMessage msg = frame_msg(s, {});
+    msg.payload = util::Bytes(5, static_cast<std::uint8_t>(s * 3));
+    renderer->send(std::move(msg));
+  }
+  renderer->send(shutdown_msg());
+  for (auto& t : threads) t.join();
+  hub.shutdown();
+
+  // Plenty of queue for 8 fast consumers: nobody should have dropped.
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(received[k], kSteps) << "client " << k;
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(hub.steps_relayed(), static_cast<std::uint64_t>(kSteps));
+}
+
+TEST(Hub, SlowClientDropsWithoutStallingFastClient) {
+  HubConfig cfg;
+  cfg.client_queue_frames = 4;
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+
+  ClientOptions slow_opts;
+  slow_opts.id = "slow";
+  // Every delivery to the slow client costs ~20 ms against a ~1 ms frame
+  // period: its bounded queue must overflow and drop whole steps.
+  slow_opts.link = net::LinkModel{"crawl", 0.020, 1e12};
+  slow_opts.link_time_scale = 1.0;
+  auto slow = hub.connect_client(slow_opts);
+  ClientOptions fast_opts;
+  fast_opts.id = "fast";
+  // Roomy bound: this client must keep every frame even when the test
+  // machine deschedules its consumer thread for a few milliseconds.
+  fast_opts.queue_frames = 64;
+  auto fast = hub.connect_client(fast_opts);
+
+  const int kSteps = 40;
+  std::atomic<int> fast_seen{0};
+  std::atomic<int> slow_seen{0};
+  std::thread fast_thread([&] {
+    while (auto msg = fast->next()) {
+      if (msg->type == MsgType::kShutdown) break;
+      fast_seen.fetch_add(1);
+    }
+  });
+  std::thread slow_thread([&] {
+    while (auto msg = slow->next()) {
+      if (msg->type == MsgType::kShutdown) break;
+      slow_seen.fetch_add(1);
+    }
+  });
+  for (int s = 0; s < kSteps; ++s) {
+    renderer->send(frame_msg(s, {9}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  renderer->send(shutdown_msg());
+  fast_thread.join();
+  slow_thread.join();
+  hub.shutdown();
+
+  // The fast client saw everything; the slow one lost steps, and the loss
+  // is visible in its counters — nobody blocked the relay.
+  EXPECT_EQ(fast_seen.load(), kSteps);
+  EXPECT_EQ(hub.stats_for("fast").steps_skipped, 0u);
+  EXPECT_LT(slow_seen.load(), kSteps);
+  EXPECT_GT(hub.stats_for("slow").steps_skipped, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(slow_seen.load()) +
+                hub.stats_for("slow").steps_skipped,
+            static_cast<std::uint64_t>(kSteps));
+}
+
+TEST(Hub, ShutdownFlushesQueuedFrames) {
+  // Same flush guarantee as the daemon: frames accepted before shutdown()
+  // must land in the client queues and stay drainable.
+  FrameHub hub;
+  auto renderer = hub.connect_renderer();
+  auto client = hub.connect_client();
+  for (int s = 0; s < 5; ++s) renderer->send(frame_msg(s, {1}));
+  hub.shutdown();
+  int seen = 0;
+  while (auto msg = client->next()) ++seen;
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(Hub, ControlEventsReachEveryRenderer) {
+  FrameHub hub;
+  auto r1 = hub.connect_renderer();
+  auto r2 = hub.connect_renderer();
+  auto client = hub.connect_client();
+  net::ControlEvent e;
+  e.kind = net::ControlKind::kSetCodec;
+  e.name = "jpeg";
+  client->send_control(e);
+  const auto wait_for = [](FrameHub::RendererPort& port) {
+    for (int i = 0; i < 500; ++i) {
+      if (auto ev = port.poll_control()) return ev;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return std::optional<net::ControlEvent>{};
+  };
+  const auto e1 = wait_for(*r1);
+  const auto e2 = wait_for(*r2);
+  ASSERT_TRUE(e1 && e2);
+  EXPECT_EQ(e1->name, "jpeg");
+  EXPECT_EQ(e2->name, "jpeg");
+}
+
+TEST(Hub, RejectsClientsBeyondCapacity) {
+  HubConfig cfg;
+  cfg.max_clients = 2;
+  FrameHub hub(cfg);
+  auto a = hub.connect_client();
+  auto b = hub.connect_client();
+  EXPECT_THROW(hub.connect_client(), std::runtime_error);
+  hub.disconnect_client(*a);
+  EXPECT_NO_THROW(hub.connect_client());
+}
+
+// --------------------------------------------------- reconnect / resume ----
+
+TEST(Hub, ReconnectResumesFromLastAckedStep) {
+  FrameHub hub;
+  auto renderer = hub.connect_renderer();
+  auto first = hub.connect_client(ClientOptions{.id = "viewer"});
+  for (int s = 0; s < 6; ++s) renderer->send(frame_msg(s, {7}));
+  // Wait until all six steps crossed the relay (and thus the cache), so
+  // the disconnect below happens with the full history replayable.
+  for (int i = 0; i < 2000 && hub.steps_relayed() < 6; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(hub.steps_relayed(), 6u);
+
+  // Consume and ack the first three steps, then vanish.
+  for (int s = 0; s < 3; ++s) {
+    auto msg = first->next();
+    ASSERT_TRUE(msg);
+    first->ack(msg->frame_index);
+  }
+  hub.disconnect_client(*first);
+
+  // Same identity returns: steps 3..5 are replayed from the cache.
+  auto back = hub.connect_client(ClientOptions{.id = "viewer"});
+  std::vector<int> resumed;
+  for (int i = 0; i < 3; ++i) {
+    auto msg = back->next_for(std::chrono::milliseconds(500));
+    ASSERT_TRUE(msg) << "resume message " << i;
+    resumed.push_back(msg->frame_index);
+  }
+  EXPECT_EQ(resumed, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(hub.stats_for("viewer").messages_resumed, 3u);
+
+  // And the live stream continues on top of the replay.
+  renderer->send(frame_msg(6, {7}));
+  auto live = back->next_for(std::chrono::milliseconds(500));
+  ASSERT_TRUE(live);
+  EXPECT_EQ(live->frame_index, 6);
+  hub.shutdown();
+}
+
+TEST(Hub, ReconnectTakesOverALiveStalePort) {
+  // A client whose old connection is still half-open reconnects: the hub
+  // must close the stale port (takeover) rather than double-deliver.
+  FrameHub hub;
+  auto renderer = hub.connect_renderer();
+  auto stale = hub.connect_client(ClientOptions{.id = "v"});
+  auto fresh = hub.connect_client(ClientOptions{.id = "v"});
+  EXPECT_EQ(hub.connected_clients(), 1u);
+  renderer->send(frame_msg(0, {1}));
+  auto got = fresh->next_for(std::chrono::milliseconds(500));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->frame_index, 0);
+  // The stale port is closed and drained.
+  EXPECT_EQ(stale->next_for(std::chrono::milliseconds(50)), nullptr);
+  EXPECT_TRUE(stale->closed());
+  hub.shutdown();
+}
+
+// ------------------------------------------------------------- liveness ----
+
+TEST(Hub, HeartbeatTimeoutReapsDeadClients) {
+  HubConfig cfg;
+  cfg.heartbeat_timeout_s = 0.05;
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+  auto dead = hub.connect_client(ClientOptions{.id = "dead"});
+  auto alive = hub.connect_client(ClientOptions{.id = "alive"});
+
+  // "alive" beats; "dead" goes silent. The reaper needs relay activity or
+  // ticks, both of which the pop_for tick provides.
+  for (int i = 0; i < 10; ++i) {
+    alive->heartbeat();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (hub.clients_reaped() > 0) break;
+  }
+  EXPECT_EQ(hub.clients_reaped(), 1u);
+  EXPECT_TRUE(dead->closed());
+  EXPECT_FALSE(alive->closed());
+  EXPECT_EQ(hub.connected_clients(), 1u);
+
+  // A reaped client can come back (reconnect path).
+  auto back = hub.connect_client(ClientOptions{.id = "dead"});
+  EXPECT_FALSE(back->closed());
+  hub.shutdown();
+}
+
+// ------------------------------------------------------------- over TCP ----
+
+TEST(HubTcp, HandshakeAssignsAndEchoesIdentity) {
+  hub::HubTcpServer server;
+  hub::HubTcpViewer::Options named;
+  named.client_id = "alice";
+  hub::HubTcpViewer alice(server.port(), named);
+  EXPECT_EQ(alice.assigned_id(), "alice");
+  hub::HubTcpViewer anon(server.port());
+  EXPECT_FALSE(anon.assigned_id().empty());
+  server.shutdown();
+}
+
+TEST(HubTcp, RefusesFutureProtocolVersion) {
+  hub::HubTcpServer server;
+  auto conn = net::TcpConnection::connect_local(server.port());
+  net::HelloInfo info;
+  info.version = 9;
+  info.role = "display";
+  conn->send_message(net::make_hello(info));
+  const auto reply = conn->recv_message();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kError);
+  EXPECT_NE(net::error_text(*reply).find("unsupported protocol version 9"),
+            std::string::npos);
+  server.shutdown();
+}
+
+TEST(HubTcp, FansOutOverSocketsBitIdentical) {
+  hub::HubTcpServer server;
+  constexpr int kClients = 4;
+  constexpr int kSteps = 6;
+  std::vector<std::unique_ptr<hub::HubTcpViewer>> viewers;
+  for (int k = 0; k < kClients; ++k)
+    viewers.push_back(std::make_unique<hub::HubTcpViewer>(server.port()));
+
+  net::TcpRendererLink renderer(server.port());  // legacy v1 hello
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (int s = 0; s < kSteps; ++s) {
+    NetMessage msg = frame_msg(s, {});
+    msg.payload = util::Bytes(64, static_cast<std::uint8_t>(s + 1));
+    renderer.send(msg);
+  }
+  for (auto& v : viewers) {
+    for (int s = 0; s < kSteps; ++s) {
+      const auto got = v->next();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->frame_index, s);
+      EXPECT_EQ(got->payload,
+                util::Bytes(64, static_cast<std::uint8_t>(s + 1)));
+      v->ack(s);
+    }
+  }
+  server.shutdown();
+}
+
+TEST(HubTcp, ReconnectOverSocketsResumes) {
+  hub::HubTcpServer server;
+  net::TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  int last_acked = -1;
+  {
+    hub::HubTcpViewer::Options o;
+    o.client_id = "roamer";
+    hub::HubTcpViewer viewer(server.port(), o);
+    for (int s = 0; s < 5; ++s) renderer.send(frame_msg(s, {5}));
+    for (int s = 0; s < 2; ++s) {
+      const auto got = viewer.next();
+      ASSERT_TRUE(got.has_value());
+      viewer.ack(got->frame_index);
+      last_acked = got->frame_index;
+    }
+    // Give the ack a moment to cross the socket before vanishing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    viewer.close();
+  }
+
+  hub::HubTcpViewer::Options o;
+  o.client_id = "roamer";
+  o.last_acked_step = last_acked;
+  hub::HubTcpViewer viewer(server.port(), o);
+  std::vector<int> resumed;
+  for (int i = 0; i < 3; ++i) {
+    const auto got = viewer.next();
+    ASSERT_TRUE(got.has_value()) << "resume message " << i;
+    resumed.push_back(got->frame_index);
+  }
+  EXPECT_EQ(resumed, (std::vector<int>{2, 3, 4}));
+  server.shutdown();
+}
+
+// --------------------------------------------------------- full session ----
+
+TEST(HubSession, MatchesSingleClientPipelineLosslessly) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 6, 4);
+  cfg.processors = 4;
+  cfg.groups = 2;
+  cfg.image_width = cfg.image_height = 40;
+  cfg.codec = "lzo";
+  cfg.keep_frames = true;
+  const auto single = core::run_session(cfg);
+  cfg.use_hub = true;
+  cfg.hub_clients = 3;
+  const auto fanned = core::run_session(cfg);
+  ASSERT_EQ(single.displayed.size(), fanned.displayed.size());
+  for (std::size_t i = 0; i < single.displayed.size(); ++i)
+    EXPECT_TRUE(
+        std::isinf(render::psnr(single.displayed[i], fanned.displayed[i])));
+  // The primary plus two auxiliary viewers, all fully served.
+  ASSERT_EQ(fanned.hub_client_stats.size(), 3u);
+  for (const auto& c : fanned.hub_client_stats) {
+    EXPECT_EQ(c.steps_skipped, 0u) << c.id;
+    EXPECT_EQ(c.last_acked_step, 3) << c.id;
+  }
+}
+
+TEST(HubSession, RunsOverTcpWithSlowClientInProcess) {
+  core::SessionConfig cfg;
+  cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 3);
+  cfg.processors = 2;
+  cfg.groups = 1;
+  cfg.image_width = cfg.image_height = 24;
+  cfg.codec = "raw";
+  cfg.use_hub = true;
+  cfg.use_tcp = true;
+  cfg.hub_clients = 2;
+  const auto result = core::run_session(cfg);
+  EXPECT_EQ(result.frames.size(), 3u);
+  ASSERT_EQ(result.hub_client_stats.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tvviz

@@ -327,6 +327,33 @@ TEST(Protocol, RejectsTrailingGarbage) {
   EXPECT_THROW(net::deserialize_message(wire), std::runtime_error);
 }
 
+TEST(Daemon, ShutdownFlushesQueuedTailFrames) {
+  // Regression: shutdown() used to close the display queues before the
+  // relay thread finished draining the inbox, racing the drain and
+  // silently dropping the tail frames of a run. Everything the renderers
+  // handed over before shutdown must reach the display.
+  for (int round = 0; round < 20; ++round) {
+    DisplayDaemon daemon;
+    auto renderer = daemon.connect_renderer();
+    auto display = daemon.connect_display();
+    for (int i = 0; i < 5; ++i) {
+      NetMessage msg;
+      msg.type = MsgType::kFrame;
+      msg.frame_index = i;
+      renderer->send(msg);
+    }
+    daemon.shutdown();  // must flush, not truncate
+    int seen = 0;
+    int last = -1;
+    while (auto msg = display->next()) {
+      last = msg->frame_index;
+      ++seen;
+    }
+    EXPECT_EQ(seen, 5) << "round " << round;
+    EXPECT_EQ(last, 4) << "round " << round;
+  }
+}
+
 TEST(Daemon, ThrottleDelaysForwarding) {
   DisplayDaemon daemon;
   // 1 kB payload at 10 kB/s, scaled 1:1 -> ~0.1 s delay.

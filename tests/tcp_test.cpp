@@ -227,6 +227,82 @@ TEST(Tcp, MalformedHandshakeDoesNotKillServer) {
   server.shutdown();
 }
 
+TEST(Tcp, UnknownProtocolVersionGetsDescriptiveError) {
+  // An endpoint from the future must be told why it is refused — a kError
+  // frame naming the version range — not just see a dead socket.
+  TcpDaemonServer server;
+  auto conn = net::TcpConnection::connect_local(server.port());
+  net::HelloInfo info;
+  info.version = 7;
+  info.role = "display";
+  conn->send_message(net::make_hello(info));
+  const auto reply = conn->recv_message();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kError);
+  const std::string text = net::error_text(*reply);
+  EXPECT_NE(text.find("unsupported protocol version 7"), std::string::npos)
+      << text;
+  server.shutdown();
+}
+
+TEST(Tcp, UnknownRoleGetsDescriptiveError) {
+  TcpDaemonServer server;
+  auto conn = net::TcpConnection::connect_local(server.port());
+  net::HelloInfo info;
+  info.role = "espresso-machine";
+  conn->send_message(net::make_hello(info));
+  const auto reply = conn->recv_message();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kError);
+  EXPECT_NE(net::error_text(*reply).find("unknown endpoint role"),
+            std::string::npos);
+  server.shutdown();
+}
+
+TEST(Tcp, HelloFuzzDoesNotKillServer) {
+  // Throw random framed bytes and random hello capability payloads at the
+  // handshake: every one must be refused or dropped connection-locally,
+  // and a well-behaved pair must still be served afterwards.
+  TcpDaemonServer server;
+  util::Rng rng(20260805);
+  for (int i = 0; i < 40; ++i) {
+    auto bad = net::TcpConnection::connect_local(server.port());
+    const std::size_t len = rng() % 64;
+    util::Bytes body(len);
+    for (auto& b : body) b = static_cast<std::uint8_t>(rng());
+    const std::uint8_t header[4] = {static_cast<std::uint8_t>(len), 0, 0, 0};
+    ::send(bad->fd(), header, 4, MSG_NOSIGNAL);
+    if (len) ::send(bad->fd(), body.data(), len, MSG_NOSIGNAL);
+  }
+  for (int i = 0; i < 20; ++i) {
+    // Structurally valid kHello frames with garbage capability payloads:
+    // exercise HelloInfo::deserialize's truncation/value handling.
+    auto bad = net::TcpConnection::connect_local(server.port());
+    NetMessage msg;
+    msg.type = MsgType::kHello;
+    msg.codec = "display";
+    msg.payload.resize(rng() % 24);
+    for (auto& b : msg.payload) b = static_cast<std::uint8_t>(rng());
+    try {
+      bad->send_message(msg);
+    } catch (const std::exception&) {
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  TcpDisplayLink display(server.port());
+  TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = 23;
+  renderer.send(msg);
+  const auto got = display.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->frame_index, 23);
+  server.shutdown();
+}
+
 TEST(Tcp, SessionOverRealSockets) {
   // The flagship path with use_tcp: every frame and control event crosses
   // localhost TCP. Results must match the in-process transport exactly for

@@ -9,6 +9,7 @@
 //                     [--renderer shearwarp] [--azimuth 0.6] [--elevation 0.35]
 //   tvviz play        --dataset jet --processors 6 --groups 2 --steps 8
 //                     [--codec jpeg+lzo] [--size 128] [--outdir frames]
+//   tvviz hub         --dataset jet --clients 3 [--tcp] [--slow-client 10]
 //   tvviz sweep       --processors 32 [--machine rwcp|o2k] [--steps 128]
 //   tvviz analyze     --dataset jet --steps 32 [--budget 8]
 //   tvviz codecs      [--size 256] [--quality 75]
@@ -210,6 +211,48 @@ int cmd_play(const util::Flags& flags) {
   return 0;
 }
 
+int cmd_hub(const util::Flags& flags) {
+  core::SessionConfig cfg;
+  cfg.dataset = dataset_from_flags(flags);
+  cfg.processors = static_cast<int>(flags.get_int("processors", 4));
+  cfg.groups = static_cast<int>(flags.get_int("groups", 2));
+  cfg.image_width = cfg.image_height =
+      static_cast<int>(flags.get_int("size", 128));
+  cfg.codec = flags.get("codec", "jpeg+lzo");
+  cfg.jpeg_quality = static_cast<int>(flags.get_int("quality", 75));
+  cfg.use_hub = true;
+  cfg.use_tcp = flags.get_bool("tcp", false);
+  cfg.hub_clients = static_cast<int>(flags.get_int("clients", 3));
+  cfg.hub_cache_steps =
+      static_cast<std::size_t>(flags.get_int("cache-steps", 32));
+  cfg.hub_queue_frames =
+      static_cast<std::size_t>(flags.get_int("queue-frames", 8));
+  cfg.hub_heartbeat_timeout_s = flags.get_double("heartbeat-timeout", 0.0);
+  cfg.hub_slow_client_scale = flags.get_double("slow-client", 0.0);
+  cfg.adaptive_target_frame_s = flags.get_double("adaptive", 0.0);
+
+  const auto result = core::run_session(cfg);
+  std::printf("frames: %zu | startup %.3f s | overall %.3f s | "
+              "inter-frame %.3f s (%.1f fps) | wire %.1f kB\n",
+              result.frames.size(), result.metrics.startup_latency,
+              result.metrics.overall_time, result.metrics.inter_frame_delay,
+              result.metrics.frames_per_second(),
+              static_cast<double>(result.wire_bytes) / 1024.0);
+  std::printf("%-12s %-10s %10s %10s %10s %10s\n", "client", "state",
+              "delivered", "skipped", "resumed", "last-ack");
+  for (const auto& c : result.hub_client_stats)
+    std::printf("%-12s %-10s %10llu %10llu %10llu %10d\n", c.id.c_str(),
+                c.connected ? "connected" : "gone",
+                static_cast<unsigned long long>(c.messages_delivered),
+                static_cast<unsigned long long>(c.steps_skipped),
+                static_cast<unsigned long long>(c.messages_resumed),
+                c.last_acked_step);
+  if (cfg.adaptive_target_frame_s > 0.0)
+    std::printf("adaptive codec switches: %d\n",
+                result.adaptive_codec_switches);
+  return 0;
+}
+
 int cmd_sweep(const util::Flags& flags) {
   core::PipelineConfig cfg;
   cfg.processors = static_cast<int>(flags.get_int("processors", 32));
@@ -298,6 +341,10 @@ void usage() {
       "  materialize   write a dataset's time steps to a (striped) store\n"
       "  render        render one time step to a PPM\n"
       "  play          run the full remote pipeline and report §3 metrics\n"
+      "  hub           play through the multi-client hub: --clients N,\n"
+      "                [--tcp] [--slow-client SCALE] [--cache-steps N]\n"
+      "                [--queue-frames N] [--heartbeat-timeout S]\n"
+      "                [--adaptive SECONDS-PER-FRAME]\n"
       "  sweep         sweep the processor partitioning (Figure 6 tool)\n"
       "  analyze       temporal summary + preview plan (§7.1)\n"
       "  codecs        compare the compressors on a rendered frame\n"
@@ -345,6 +392,8 @@ int main(int argc, char** argv) {
       rc = cmd_render(flags);
     else if (command == "play")
       rc = cmd_play(flags);
+    else if (command == "hub")
+      rc = cmd_hub(flags);
     else if (command == "sweep")
       rc = cmd_sweep(flags);
     else if (command == "analyze")

@@ -39,6 +39,14 @@ struct FrameHub::ClientState {
   mutable std::mutex mutex;
   std::condition_variable cv;
   std::deque<FramePtr> queue;
+  /// Messages still queued from the connect-time replay (plus a possible
+  /// end-of-stream marker). They sit at the front of the queue and extend
+  /// the backpressure bound one-for-one, so the configured capacity is
+  /// restored automatically as the history drains (or is dropped).
+  std::size_t replay_pending = 0;
+  /// Step whose remaining pieces must be dropped because the step was
+  /// chosen as a drop victim while its own pieces were being delivered.
+  int suppressed_step = -1;
   bool closed = false;
   bool connected = true;
   std::uint64_t delivered = 0;
@@ -51,6 +59,24 @@ struct FrameHub::ClientState {
   obs::Counter* delivered_ctr = nullptr;
   obs::Counter* skipped_steps_ctr = nullptr;
 };
+
+namespace {
+
+/// Erase every queued image piece of `step` (caller holds client->mutex),
+/// keeping the replay allowance in sync with the replayed entries removed.
+void erase_step_locked(FrameHub::ClientState& client, int step) {
+  std::size_t pos = 0;
+  std::size_t removed_replay = 0;
+  std::erase_if(client.queue, [&](const FramePtr& m) {
+    const bool kill = droppable(m) && m->frame_index == step;
+    if (kill && pos < client.replay_pending) ++removed_replay;
+    ++pos;
+    return kill;
+  });
+  client.replay_pending -= removed_replay;
+}
+
+}  // namespace
 
 // --------------------------------------------------------- RendererPort ----
 
@@ -80,6 +106,7 @@ FramePtr FrameHub::ClientPort::next_for(std::chrono::milliseconds timeout) {
     if (state_->queue.empty()) return nullptr;  // timed out or closed+drained
     msg = std::move(state_->queue.front());
     state_->queue.pop_front();
+    if (state_->replay_pending > 0) --state_->replay_pending;
     ++state_->delivered;
     if (state_->delivered_ctr) state_->delivered_ctr->add(1);
   }
@@ -197,11 +224,6 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
     auto cached = cache_.messages_after(resume_after);
     state->resumed = cached.size();
     for (auto& m : cached) state->queue.push_back(std::move(m));
-    // Let the preload exceed the steady-state bound: backpressure applies
-    // to the live stream, not to the history the client explicitly asked
-    // to catch up on.
-    state->capacity = std::max(state->capacity,
-                               state->queue.size() + config_.client_queue_frames);
     static obs::Counter& resumes = obs::counter("net.hub.resumes");
     resumes.add(1);
   }
@@ -213,8 +235,12 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
     net::NetMessage bye;
     bye.type = net::MsgType::kShutdown;
     state->queue.push_back(std::make_shared<const net::NetMessage>(bye));
-    state->capacity = std::max(state->capacity, state->queue.size());
   }
+  // The preload may exceed the steady-state bound: backpressure applies to
+  // the live stream, not to the history the client explicitly asked to
+  // catch up on. The allowance drains with the queue, so the configured
+  // bound is back in force once the history has been consumed.
+  state->replay_pending = state->queue.size();
 
   if (slot)
     *slot = state;
@@ -307,20 +333,35 @@ void FrameHub::deliver(const std::shared_ptr<ClientState>& client,
     std::lock_guard lock(client->mutex);
     if (client->closed) return;
     if (image) {
+      const int step = msg->frame_index;
+      // A step already chosen as a drop victim loses its remaining pieces
+      // too (counted once, when it was victimised): whole steps or nothing.
+      if (step == client->suppressed_step) return;
       // Newest-frame-wins: make room by dropping the oldest queued *step*
       // (all of its sub-image pieces together, so the client never sees a
-      // partially-dropped frame). Non-droppable messages are kept.
-      while (client->queue.size() >= client->capacity) {
-        const auto victim_it =
-            std::find_if(client->queue.begin(), client->queue.end(), droppable);
+      // partially-dropped frame). Non-droppable messages are kept, and so
+      // is the replayed-history prefix — the bound applies to the live
+      // stream, so the victim search starts past the replay allowance.
+      while (client->queue.size() >=
+             client->capacity + client->replay_pending) {
+        const auto victim_it = std::find_if(
+            client->queue.begin() +
+                static_cast<std::ptrdiff_t>(client->replay_pending),
+            client->queue.end(), droppable);
         if (victim_it == client->queue.end()) break;
         const int victim_step = (*victim_it)->frame_index;
-        std::erase_if(client->queue, [&](const FramePtr& m) {
-          return droppable(m) && m->frame_index == victim_step;
-        });
+        erase_step_locked(*client, victim_step);
         ++client->steps_skipped;
         if (client->skipped_steps_ctr) client->skipped_steps_ctr->add(1);
         skipped_ctr().add(1);
+        if (victim_step == step) {
+          // The oldest droppable step is the one being delivered right now
+          // (its piece count exceeds the queue bound). Enqueuing this piece
+          // after evicting its siblings would hand the client a partial
+          // frame, so the incoming piece goes down with the rest.
+          client->suppressed_step = step;
+          return;
+        }
       }
     }
     client->queue.push_back(std::move(msg));
@@ -376,7 +417,7 @@ void FrameHub::relay_loop() {
     }
 
     net::NetMessage& msg = item->msg;
-    if (msg.type == net::MsgType::kShutdown) stream_ended_.store(true);
+    const bool is_shutdown = msg.type == net::MsgType::kShutdown;
     const bool image = msg.type == net::MsgType::kFrame ||
                        msg.type == net::MsgType::kSubImage;
     const bool whole_frame =
@@ -387,16 +428,20 @@ void FrameHub::relay_loop() {
     bytes_ctr.add(msg.wire_size());
 
     // One insert, N reference-counted deliveries: the frame was encoded
-    // exactly once upstream and is never re-encoded or copied here.
+    // exactly once upstream and is never re-encoded or copied here. The
+    // cache insert and the fan-out snapshot share one critical section with
+    // connect_client (which reads the cache under the same lock), so a
+    // client connecting concurrently either sees this message in its replay
+    // — and is not in this snapshot — or receives it live, never both.
     FramePtr shared;
-    if (image)
-      shared = cache_.insert(msg.frame_index, std::move(msg));
-    else
-      shared = std::make_shared<const net::NetMessage>(std::move(msg));
-
     std::vector<std::shared_ptr<ClientState>> targets;
     {
       std::lock_guard lock(clients_mutex_);
+      if (is_shutdown) stream_ended_.store(true);
+      if (image)
+        shared = cache_.insert(msg.frame_index, std::move(msg));
+      else
+        shared = std::make_shared<const net::NetMessage>(std::move(msg));
       for (auto& c : clients_)
         if (c->connected) targets.push_back(c);
     }

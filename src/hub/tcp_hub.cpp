@@ -137,7 +137,15 @@ void HubTcpServer::serve_renderer(std::shared_ptr<TcpConnection> conn) {
     }
   });
   while (running_.load()) {
-    auto msg = conn->recv_message();
+    std::optional<NetMessage> msg;
+    try {
+      msg = conn->recv_message();
+    } catch (const std::exception&) {
+      // Malformed wire data or a socket error mid-stream: treat it as a
+      // disconnect. An uncaught throw here would std::terminate the whole
+      // hub process on one misbehaving renderer.
+      break;
+    }
     if (!msg) break;
     port->send(std::move(*msg));
   }

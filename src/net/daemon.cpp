@@ -124,11 +124,21 @@ void DisplayDaemon::relay_loop() {
       // Blocking push in bounded slices: normal operation waits for buffer
       // space exactly like a plain push, but once shutdown begins (inbox
       // closed) the drain must terminate even if this display stopped
-      // consuming — after a grace period its frame is skipped so the flush
-      // can reach the displays that are still listening.
+      // consuming. A slow-but-alive display keeps its tail frames: the
+      // frame is only skipped once its buffer has stayed full with no pops
+      // for the whole grace period.
+      int stalled = 0;
+      std::size_t last_depth = d->frames_.size();
       for (;;) {
         if (d->frames_.push_for(msg, std::chrono::milliseconds(50))) break;
-        if (d->frames_.closed() || inbox_.closed()) break;
+        if (d->frames_.closed()) break;
+        if (!inbox_.closed()) continue;
+        const std::size_t depth = d->frames_.size();
+        if (depth < last_depth)
+          stalled = 0;  // the consumer is draining; keep flushing
+        else if (++stalled >= 4)
+          break;  // full and idle for ~200 ms: the display is gone
+        last_depth = depth;
       }
       buffer_depth.update_max(static_cast<std::int64_t>(d->frames_.size()));
     }

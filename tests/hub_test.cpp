@@ -4,7 +4,10 @@
 // over real TCP sockets.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <map>
 #include <thread>
 
 #include "core/session.hpp"
@@ -37,6 +40,17 @@ NetMessage frame_msg(int step, std::initializer_list<std::uint8_t> payload) {
 NetMessage shutdown_msg() {
   NetMessage msg;
   msg.type = MsgType::kShutdown;
+  return msg;
+}
+
+NetMessage sub_msg(int step, int piece, int piece_count) {
+  NetMessage msg;
+  msg.type = MsgType::kSubImage;
+  msg.frame_index = step;
+  msg.piece = piece;
+  msg.piece_count = piece_count;
+  msg.codec = "raw";
+  msg.payload = {static_cast<std::uint8_t>(step)};
   return msg;
 }
 
@@ -225,6 +239,32 @@ TEST(Hub, SlowClientDropsWithoutStallingFastClient) {
             static_cast<std::uint64_t>(kSteps));
 }
 
+TEST(Hub, OversizedSubImageStepNeverDeliversPartialFrame) {
+  // Regression: when a step's piece count exceeded the client's queue
+  // bound, making room for a late piece evicted the step's own earlier
+  // pieces and then enqueued the newcomer — the client received a partial
+  // frame that could never reassemble. The whole step must drop instead.
+  HubConfig cfg;
+  cfg.client_queue_frames = 2;
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+  auto client = hub.connect_client(ClientOptions{.id = "narrow"});
+  // The client is not consuming: 4 pieces of step 0 cannot fit 2 slots.
+  for (int p = 0; p < 4; ++p) renderer->send(sub_msg(0, p, 4));
+  // Step 1's 2 pieces fit exactly and must arrive complete.
+  for (int p = 0; p < 2; ++p) renderer->send(sub_msg(1, p, 2));
+  hub.shutdown();
+
+  std::map<int, int> pieces_seen;
+  while (auto msg = client->next()) {
+    if (msg->type == MsgType::kSubImage) ++pieces_seen[msg->frame_index];
+  }
+  EXPECT_EQ(pieces_seen.count(0), 0u);  // whole step dropped, no orphans
+  ASSERT_EQ(pieces_seen.count(1), 1u);
+  EXPECT_EQ(pieces_seen[1], 2);
+  EXPECT_EQ(hub.stats_for("narrow").steps_skipped, 1u);
+}
+
 TEST(Hub, ShutdownFlushesQueuedFrames) {
   // Same flush guarantee as the daemon: frames accepted before shutdown()
   // must land in the client queues and stay drainable.
@@ -312,6 +352,79 @@ TEST(Hub, ReconnectResumesFromLastAckedStep) {
   hub.shutdown();
 }
 
+TEST(Hub, ResumeAllowanceRestoresConfiguredBound) {
+  // Regression: the connect-time replay used to raise the client's queue
+  // capacity permanently (history size + bound), so a reconnected client
+  // kept an inflated backpressure window forever. The allowance must drain
+  // with the history and give the configured bound back.
+  HubConfig cfg;
+  cfg.client_queue_frames = 4;
+  cfg.cache_steps = 64;
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+  for (int s = 0; s < 12; ++s) renderer->send(frame_msg(s, {1}));
+  for (int i = 0; i < 2000 && hub.steps_relayed() < 12; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(hub.steps_relayed(), 12u);
+
+  ClientOptions opts;
+  opts.id = "returner";
+  opts.replay_cache = true;
+  auto client = hub.connect_client(opts);
+  // The replay itself may exceed the bound — that is the point of resume.
+  EXPECT_EQ(client->buffered(), 12u);
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE(client->next_for(std::chrono::milliseconds(500))) << i;
+
+  // History consumed: the live stream is bounded at the configured 4 again.
+  for (int s = 12; s < 32; ++s) renderer->send(frame_msg(s, {1}));
+  for (int i = 0; i < 2000 && hub.steps_relayed() < 32; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(hub.steps_relayed(), 32u);
+  EXPECT_LE(client->buffered(), 4u);
+  EXPECT_GT(hub.stats_for("returner").steps_skipped, 0u);
+  hub.shutdown();
+}
+
+TEST(Hub, ReconnectDuringLiveStreamNeverDuplicatesSteps) {
+  // Regression: the relay inserted a frame into the cache before taking the
+  // fan-out snapshot; a reconnect landing between the two both replayed
+  // that frame from the cache and received it live. With every message
+  // acked, the step sequence a client identity observes across takeovers
+  // must be strictly increasing.
+  HubConfig cfg;
+  cfg.client_queue_frames = 256;
+  cfg.cache_steps = 512;
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+  std::atomic<bool> done{false};
+  std::thread feeder([&] {
+    for (int s = 0; s < 300 && !done.load(); ++s) {
+      renderer->send(frame_msg(s, {1}));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    done.store(true);
+  });
+
+  bool duplicate = false;
+  int last_seen = -1;
+  auto port = hub.connect_client(ClientOptions{.id = "roamer"});
+  for (int round = 0; round < 50 && !done.load(); ++round) {
+    for (int i = 0; i < 3; ++i) {
+      auto msg = port->next_for(std::chrono::milliseconds(100));
+      if (!msg || msg->type != MsgType::kFrame) continue;
+      if (msg->frame_index <= last_seen) duplicate = true;
+      last_seen = msg->frame_index;
+      port->ack(msg->frame_index);
+    }
+    port = hub.connect_client(ClientOptions{.id = "roamer"});  // takeover
+  }
+  done.store(true);
+  feeder.join();
+  hub.shutdown();
+  EXPECT_FALSE(duplicate);
+}
+
 TEST(Hub, ReconnectTakesOverALiveStalePort) {
   // A client whose old connection is still half-open reconnects: the hub
   // must close the stale port (takeover) rather than double-deliver.
@@ -383,6 +496,40 @@ TEST(HubTcp, RefusesFutureProtocolVersion) {
   ASSERT_EQ(reply->type, MsgType::kError);
   EXPECT_NE(net::error_text(*reply).find("unsupported protocol version 9"),
             std::string::npos);
+  server.shutdown();
+}
+
+TEST(HubTcp, MalformedRendererStreamDoesNotKillServer) {
+  // Regression: serve_renderer's read loop had no try/catch, so malformed
+  // wire data *after* a valid handshake threw out of the worker thread and
+  // std::terminate'd the whole hub. It must count as a disconnect.
+  hub::HubTcpServer server;
+  {
+    auto bad = net::TcpConnection::connect_local(server.port());
+    net::HelloInfo hello;
+    hello.role = "renderer";
+    bad->send_message(net::make_hello(hello));
+    // A well-framed body whose type byte is not a MsgType.
+    auto body = net::serialize_message(frame_msg(0, {1, 2, 3}));
+    body[0] = 0xEE;
+    const auto len = static_cast<std::uint32_t>(body.size());
+    const std::uint8_t header[4] = {
+        static_cast<std::uint8_t>(len & 0xFF),
+        static_cast<std::uint8_t>((len >> 8) & 0xFF),
+        static_cast<std::uint8_t>((len >> 16) & 0xFF),
+        static_cast<std::uint8_t>((len >> 24) & 0xFF)};
+    ::send(bad->fd(), header, 4, MSG_NOSIGNAL);
+    ::send(bad->fd(), body.data(), body.size(), MSG_NOSIGNAL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // The hub survived: a fresh viewer and a healthy renderer still work.
+  hub::HubTcpViewer viewer(server.port());
+  net::TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  renderer.send(frame_msg(7, {9}));
+  const auto got = viewer.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->frame_index, 7);
   server.shutdown();
 }
 

@@ -354,6 +354,33 @@ TEST(Daemon, ShutdownFlushesQueuedTailFrames) {
   }
 }
 
+TEST(Daemon, ShutdownKeepsFlushingToSlowButAliveDisplay) {
+  // Regression: the shutdown drain gave each display a single 50 ms grace
+  // per frame and then dropped it, so a display that was still consuming —
+  // just slowly — lost tail frames once its small buffer filled. As long
+  // as the consumer makes progress, the flush must keep going.
+  DisplayDaemon daemon(2);  // tiny buffer: the drain must wait on the consumer
+  auto renderer = daemon.connect_renderer();
+  auto display = daemon.connect_display();
+  constexpr int kFrames = 6;
+  std::atomic<int> seen{0};
+  std::thread consumer([&] {
+    while (display->next()) {
+      seen.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+  });
+  for (int i = 0; i < kFrames; ++i) {
+    NetMessage msg;
+    msg.type = MsgType::kFrame;
+    msg.frame_index = i;
+    renderer->send(msg);
+  }
+  daemon.shutdown();  // must flush every frame to the slow-but-live display
+  consumer.join();
+  EXPECT_EQ(seen.load(), kFrames);
+}
+
 TEST(Daemon, ThrottleDelaysForwarding) {
   DisplayDaemon daemon;
   // 1 kB payload at 10 kB/s, scaled 1:1 -> ~0.1 s delay.

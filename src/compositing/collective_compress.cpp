@@ -17,11 +17,13 @@ std::vector<std::uint64_t> to_counts(const std::vector<double>& reduced) {
     counts[i] = static_cast<std::uint64_t>(reduced[i] + 0.5);
   return counts;
 }
-}  // namespace
 
-util::Bytes collective_jpeg_encode(const vmp::Communicator& comm,
-                                   const render::Image& my_strip, int y0,
-                                   int width, int height, int quality) {
+/// Phases 1..4; `pool` selects where the root's assembly buffer comes from
+/// (nullptr = plain heap vector). Returns the encoded frame at rank 0, {}
+/// elsewhere.
+util::Bytes encode_impl(const vmp::Communicator& comm,
+                        const render::Image& my_strip, int y0, int width,
+                        int height, int quality, util::BufferPool* pool) {
   namespace jd = codec::detail;
   std::uint16_t luma_q[64], chroma_q[64];
   jd::build_quant_tables(quality, luma_q, chroma_q);
@@ -63,25 +65,31 @@ util::Bytes collective_jpeg_encode(const vmp::Communicator& comm,
   const codec::HuffmanCode ac_code = codec::HuffmanCode::from_frequencies(ac_all);
 
   // Phase 3: every rank entropy-codes its strip with the shared tables.
-  util::ByteWriter strip_out;
-  strip_out.u32(static_cast<std::uint32_t>(y0));
-  strip_out.u32(static_cast<std::uint32_t>(has_strip ? my_strip.height() : 0));
+  util::Bytes strip_payload;
   if (has_strip) {
     util::BitWriter bits;
     for (const auto& stream : streams)
       jd::emit_stream(bits, stream, dc_code, ac_code);
-    const util::Bytes payload = bits.finish();
-    strip_out.varint(payload.size());
-    strip_out.raw(payload);
-  } else {
-    strip_out.varint(0);
+    strip_payload = bits.finish();
   }
+  util::ByteWriter strip_out(8 + util::varint_size(strip_payload.size()) +
+                             strip_payload.size());
+  strip_out.u32(static_cast<std::uint32_t>(y0));
+  strip_out.u32(static_cast<std::uint32_t>(has_strip ? my_strip.height() : 0));
+  strip_out.varint(strip_payload.size());
+  strip_out.raw(strip_payload);
 
   // Phase 4: assemble at the root.
   auto gathered = comm.gather(0, strip_out.take());
   if (comm.rank() != 0) return {};
 
-  util::ByteWriter out;
+  // Header + quant tables + Huffman lengths are bounded; the strips
+  // dominate. A slight over-estimate only costs pool-bucket rounding.
+  std::size_t estimate = 1024;
+  for (const auto& g : gathered) estimate += g.size();
+  util::ByteWriter out = pool != nullptr
+                             ? util::ByteWriter(pool->acquire(estimate))
+                             : util::ByteWriter(estimate);
   out.u32(kMagic);
   out.u32(static_cast<std::uint32_t>(width));
   out.u32(static_cast<std::uint32_t>(height));
@@ -112,6 +120,26 @@ util::Bytes collective_jpeg_encode(const vmp::Communicator& comm,
     out.raw(payload);
   }
   return out.take();
+}
+
+}  // namespace
+
+util::Bytes collective_jpeg_encode(const vmp::Communicator& comm,
+                                   const render::Image& my_strip, int y0,
+                                   int width, int height, int quality) {
+  return encode_impl(comm, my_strip, y0, width, height, quality, nullptr);
+}
+
+util::SharedBytes collective_jpeg_encode_shared(const vmp::Communicator& comm,
+                                                const render::Image& my_strip,
+                                                int y0, int width, int height,
+                                                int quality,
+                                                util::BufferPool& pool) {
+  util::Bytes out =
+      encode_impl(comm, my_strip, y0, width, height, quality, &pool);
+  // Non-roots never drew a buffer; only the root's result is pool-backed.
+  if (comm.rank() != 0) return {};
+  return util::SharedBytes::adopt_pooled(std::move(out), pool);
 }
 
 render::Image collective_jpeg_decode(std::span<const std::uint8_t> data) {

@@ -26,6 +26,16 @@ util::Bytes collective_jpeg_encode(const vmp::Communicator& comm,
                                    const render::Image& my_strip, int y0,
                                    int width, int height, int quality = 75);
 
+/// Same collective encode, but the root assembles the frame in a buffer
+/// drawn from `pool` and returns it as an immutable SharedBytes that every
+/// downstream hop (daemon, hub, viewers) shares without copying; the buffer
+/// recycles when the last reference drops. Non-roots return {}.
+util::SharedBytes collective_jpeg_encode_shared(const vmp::Communicator& comm,
+                                                const render::Image& my_strip,
+                                                int y0, int width, int height,
+                                                int quality,
+                                                util::BufferPool& pool);
+
 /// Decode a collectively-encoded frame (stand-alone; the display client
 /// needs no communicator).
 render::Image collective_jpeg_decode(std::span<const std::uint8_t> data);

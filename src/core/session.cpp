@@ -530,9 +530,9 @@ SessionResult run_session(const SessionConfig& cfg) {
             };
             own.set(x, y, q(px.r), q(px.g), q(px.b), 255);
           }
-        util::Bytes encoded = compositing::collective_jpeg_encode(
+        util::SharedBytes encoded = compositing::collective_jpeg_encode_shared(
             group, own, slice.row0, cfg.image_width, cfg.image_height,
-            cfg.jpeg_quality);
+            cfg.jpeg_quality, util::BufferPool::global());
         compress_span.end();
         if (leader) {
           obs::Span send_span("send", step, g);
@@ -566,9 +566,9 @@ SessionResult run_session(const SessionConfig& cfg) {
         }
         compress_span.end();
         obs::Span send_span("send", step, g);
-        const auto gathered = group.gather(0, piece);
+        const auto gathered = group.gather(0, std::move(piece));
         if (leader) {
-          std::vector<const util::Bytes*> nonempty;
+          std::vector<const util::SharedBytes*> nonempty;
           for (const auto& p : gathered)
             if (!p.empty()) nonempty.push_back(&p);
           for (std::size_t i = 0; i < nonempty.size(); ++i) {
@@ -578,7 +578,7 @@ SessionResult run_session(const SessionConfig& cfg) {
             msg.piece = static_cast<int>(i);
             msg.piece_count = static_cast<int>(nonempty.size());
             msg.codec = view.codec;
-            msg.payload = *nonempty[i];
+            msg.payload = *nonempty[i];  // refcount bump, not a byte copy
             wire_bytes.fetch_add(msg.payload.size());
             ports[static_cast<std::size_t>(g)]->send(std::move(msg));
           }
@@ -594,7 +594,8 @@ SessionResult run_session(const SessionConfig& cfg) {
           msg.type = net::MsgType::kFrame;
           msg.frame_index = step;
           msg.codec = view.codec;
-          msg.payload = image_codec->encode(frame);
+          msg.payload =
+              image_codec->encode_shared(frame, util::BufferPool::global());
           compress_span.end();
           obs::Span send_span("send", step, g);
           wire_bytes.fetch_add(msg.payload.size());

@@ -1,11 +1,14 @@
 #include "net/protocol.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace tvviz::net {
 
 util::Bytes HelloInfo::serialize() const {
-  util::ByteWriter w;
+  util::ByteWriter w(4 + util::varint_size(role.size()) + role.size() +
+                     util::varint_size(client_id.size()) + client_id.size() +
+                     4 + 4 + 1);
   w.u32(version);
   w.str(role);
   w.str(client_id);
@@ -57,7 +60,8 @@ NetMessage make_hello(const HelloInfo& info) {
 NetMessage make_error(const std::string& message) {
   NetMessage msg;
   msg.type = MsgType::kError;
-  msg.payload.assign(message.begin(), message.end());
+  msg.payload = util::SharedBytes::copy_of(
+      {reinterpret_cast<const std::uint8_t*>(message.data()), message.size()});
   return msg;
 }
 
@@ -65,25 +69,32 @@ std::string error_text(const NetMessage& msg) {
   return std::string(msg.payload.begin(), msg.payload.end());
 }
 
-util::Bytes serialize_message(const NetMessage& msg) {
-  util::ByteWriter w(msg.payload.size() + msg.codec.size() + 24);
+std::size_t header_wire_size(const NetMessage& msg) noexcept {
+  return 1 + 4 + 4 + 4 + util::varint_size(msg.codec.size()) +
+         msg.codec.size() + util::varint_size(msg.payload.size());
+}
+
+namespace {
+
+void write_header(util::ByteWriter& w, const NetMessage& msg) {
   w.u8(static_cast<std::uint8_t>(msg.type));
   w.u32(static_cast<std::uint32_t>(msg.frame_index));
   w.u32(static_cast<std::uint32_t>(msg.piece));
   w.u32(static_cast<std::uint32_t>(msg.piece_count));
   w.str(msg.codec);
   w.varint(msg.payload.size());
-  w.raw(msg.payload);
-  return w.take();
 }
 
-NetMessage deserialize_message(std::span<const std::uint8_t> data) {
+/// Shared validating parse: fills every header field of `msg` and returns
+/// the payload's [offset, length) within `data`. Copying vs. viewing the
+/// payload slice is the caller's choice.
+std::pair<std::size_t, std::size_t> parse_frame(
+    std::span<const std::uint8_t> data, NetMessage& msg) {
   // A corrupt or truncated WAN frame must fail loudly and descriptively, not
   // produce an out-of-range enum or trigger an over-long read. Every length
   // is validated against the bytes actually present before it is trusted.
   try {
     util::ByteReader r(data);
-    NetMessage msg;
     const std::uint8_t raw_type = r.u8();
     if (raw_type > kMaxMsgType)
       throw std::runtime_error("net: invalid message type " +
@@ -106,15 +117,43 @@ NetMessage deserialize_message(std::span<const std::uint8_t> data) {
           "net: payload length " + std::to_string(len) + " exceeds the " +
           std::to_string(r.remaining()) + " bytes remaining in the frame");
     const auto s = r.raw(len);
-    msg.payload.assign(s.begin(), s.end());
     if (!r.done())
       throw std::runtime_error("net: " + std::to_string(r.remaining()) +
                                " trailing bytes after message payload");
-    return msg;
+    return {static_cast<std::size_t>(s.data() - data.data()), len};
   } catch (const std::out_of_range& e) {
     throw std::runtime_error(std::string("net: truncated message frame (") +
                              e.what() + ")");
   }
+}
+
+}  // namespace
+
+util::Bytes serialize_header(const NetMessage& msg) {
+  util::ByteWriter w(header_wire_size(msg));
+  write_header(w, msg);
+  return w.take();
+}
+
+util::Bytes serialize_message(const NetMessage& msg) {
+  util::ByteWriter w(header_wire_size(msg) + msg.payload.size());
+  write_header(w, msg);
+  w.raw(msg.payload);
+  return w.take();
+}
+
+NetMessage deserialize_message(std::span<const std::uint8_t> data) {
+  NetMessage msg;
+  const auto [offset, len] = parse_frame(data, msg);
+  msg.payload = util::SharedBytes::copy_of(data.subspan(offset, len));
+  return msg;
+}
+
+NetMessage deserialize_frame(util::SharedBytes body) {
+  NetMessage msg;
+  const auto [offset, len] = parse_frame(body, msg);
+  msg.payload = body.view(offset, len);
+  return msg;
 }
 
 }  // namespace tvviz::net

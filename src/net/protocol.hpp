@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace tvviz::net {
 
@@ -96,7 +97,9 @@ struct NetMessage {
   std::int32_t piece = 0;         ///< Sub-image index within the frame.
   std::int32_t piece_count = 1;   ///< Total sub-images for this frame.
   std::string codec;              ///< Codec name the payload was encoded with.
-  util::Bytes payload;
+  /// Refcounted: copying a NetMessage (hub fan-out, cache, resume replay)
+  /// shares the payload allocation instead of duplicating it.
+  util::SharedBytes payload;
 
   std::size_t wire_size() const noexcept {
     // Framing overhead: type + indices + codec-name + length prefix.
@@ -105,8 +108,23 @@ struct NetMessage {
 };
 
 /// Flat wire encoding of a NetMessage (the TCP transport's frame body).
+/// Reserved to the exact output size — never reallocates mid-frame.
 util::Bytes serialize_message(const NetMessage& msg);
+
+/// Just the header fields — everything before the payload bytes, including
+/// the payload-length varint. The scatter-gather send path hands this small
+/// buffer plus the payload view to one writev; concatenated they equal
+/// serialize_message(msg).
+util::Bytes serialize_header(const NetMessage& msg);
+
+/// Exact size of serialize_header's output.
+std::size_t header_wire_size(const NetMessage& msg) noexcept;
+
 NetMessage deserialize_message(std::span<const std::uint8_t> data);
+
+/// Zero-copy parse of a whole frame body: the returned message's payload is
+/// an aliasing view into `body` (which stays alive as long as the payload).
+NetMessage deserialize_frame(util::SharedBytes body);
 
 /// Parse a kHello message of either generation: v2 from the HelloInfo
 /// payload, v1 from the legacy role-in-codec form (empty payload, mapped to

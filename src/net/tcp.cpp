@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -91,20 +92,63 @@ bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
   return true;
 }
 
+void TcpConnection::writev_all(iovec* iov, int iov_count) {
+  // Scatter-gather send: the whole frame (length prefix + header + payload
+  // view) goes down in one sendmsg() in the common case; short writes only
+  // happen once the frame exceeds the free socket-buffer space, and then the
+  // iovec array is advanced in place and retried.
+  static obs::Counter& syscalls = obs::counter("net.tcp.send_syscalls");
+  msghdr mh{};
+  mh.msg_iov = iov;
+  mh.msg_iovlen = static_cast<std::size_t>(iov_count);
+  while (mh.msg_iovlen > 0) {
+    const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+    syscalls.add(1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendmsg");
+    }
+    if (n == 0) throw std::runtime_error("tcp: send made no progress");
+    auto advance = static_cast<std::size_t>(n);
+    while (mh.msg_iovlen > 0 && advance >= mh.msg_iov[0].iov_len) {
+      advance -= mh.msg_iov[0].iov_len;
+      ++mh.msg_iov;
+      --mh.msg_iovlen;
+    }
+    if (mh.msg_iovlen > 0) {
+      mh.msg_iov[0].iov_base =
+          static_cast<std::uint8_t*>(mh.msg_iov[0].iov_base) + advance;
+      mh.msg_iov[0].iov_len -= advance;
+    }
+  }
+}
+
 void TcpConnection::send_message(const NetMessage& msg) {
   static obs::Counter& msgs = obs::counter("net.tcp.messages_sent");
   static obs::Counter& bytes = obs::counter("net.tcp.bytes_sent");
-  const util::Bytes body = serialize_message(msg);
+  // Scatter-gather: the payload is never copied into a frame buffer; only
+  // the small header fields are serialized, and the payload's own bytes are
+  // handed to the kernel directly from the (shared, immutable) buffer.
+  const util::Bytes header_body = serialize_header(msg);
+  const auto len =
+      static_cast<std::uint32_t>(header_body.size() + msg.payload.size());
   msgs.add(1);
-  bytes.add(body.size() + 4);
-  std::uint8_t header[4];
-  const auto len = static_cast<std::uint32_t>(body.size());
-  header[0] = static_cast<std::uint8_t>(len);
-  header[1] = static_cast<std::uint8_t>(len >> 8);
-  header[2] = static_cast<std::uint8_t>(len >> 16);
-  header[3] = static_cast<std::uint8_t>(len >> 24);
-  write_all(header, 4);
-  write_all(body.data(), body.size());
+  bytes.add(len + 4u);
+  std::uint8_t prefix[4];
+  prefix[0] = static_cast<std::uint8_t>(len);
+  prefix[1] = static_cast<std::uint8_t>(len >> 8);
+  prefix[2] = static_cast<std::uint8_t>(len >> 16);
+  prefix[3] = static_cast<std::uint8_t>(len >> 24);
+  iovec iov[3];
+  iov[0] = {prefix, sizeof prefix};
+  iov[1] = {const_cast<std::uint8_t*>(header_body.data()), header_body.size()};
+  int count = 2;
+  if (!msg.payload.empty()) {
+    iov[2] = {const_cast<std::uint8_t*>(msg.payload.data()),
+              msg.payload.size()};
+    count = 3;
+  }
+  writev_all(iov, count);
 }
 
 std::optional<NetMessage> TcpConnection::recv_message() {
@@ -115,13 +159,20 @@ std::optional<NetMessage> TcpConnection::recv_message() {
                             (static_cast<std::uint32_t>(header[2]) << 16) |
                             (static_cast<std::uint32_t>(header[3]) << 24);
   if (len > (1u << 30)) throw std::runtime_error("tcp: absurd frame length");
-  util::Bytes body(len);
-  if (!read_all(body.data(), body.size())) return std::nullopt;
+  // The body lands in a pooled buffer that becomes the message payload's
+  // backing storage (deserialize_frame takes a view) — one read, no copy,
+  // and the buffer returns to the pool when the last payload reference drops.
+  auto& pool = util::BufferPool::global();
+  util::Bytes body = pool.acquire(len);
+  if (!read_all(body.data(), body.size())) {
+    pool.release(std::move(body));
+    return std::nullopt;
+  }
   static obs::Counter& msgs = obs::counter("net.tcp.messages_received");
   static obs::Counter& bytes = obs::counter("net.tcp.bytes_received");
   msgs.add(1);
   bytes.add(body.size() + 4);
-  return deserialize_message(body);
+  return deserialize_frame(util::SharedBytes::adopt_pooled(std::move(body), pool));
 }
 
 void TcpConnection::shutdown() {

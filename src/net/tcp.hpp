@@ -18,6 +18,8 @@
 #include "net/daemon.hpp"
 #include "net/protocol.hpp"
 
+struct iovec;  // <sys/uio.h>
+
 namespace tvviz::net {
 
 /// Blocking, length-framed message socket (RAII over the fd).
@@ -31,7 +33,10 @@ class TcpConnection {
   /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
   static std::unique_ptr<TcpConnection> connect_local(int port);
 
-  /// Send one framed message (full write; throws on error).
+  /// Send one framed message (full write; throws on error). Scatter-gather:
+  /// length prefix, header fields, and the payload view go down in a single
+  /// sendmsg() unless the socket buffer forces a short write
+  /// (net.tcp.send_syscalls counts the actual syscalls).
   void send_message(const NetMessage& msg);
 
   /// Receive one framed message. std::nullopt on orderly peer close.
@@ -44,6 +49,7 @@ class TcpConnection {
 
  private:
   void write_all(const std::uint8_t* data, std::size_t len);
+  void writev_all(iovec* iov, int iov_count);
   bool read_all(std::uint8_t* data, std::size_t len);
 
   int fd_;

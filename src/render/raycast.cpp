@@ -70,7 +70,10 @@ Rgba RayCaster::march(const util::Ray& ray, double t0, double t1,
     }
     const double value = sub.sample_global(p.x, p.y, p.z);
     ++samples_;
-    const auto cp = tf.sample(value);
+    // LUT lookup: the per-sample binary search over control points is the
+    // hot loop's dominant scalar cost; space-leap classification uses the
+    // same LUT (max_alpha_lut), so leaping stays bit-identical.
+    const auto cp = tf.sample_lut(value);
     if (cp.alpha <= 0.0) continue;
     // Opacity correction: control-point alpha is per unit sample distance.
     const double alpha = 1.0 - std::pow(1.0 - cp.alpha, step);

@@ -22,7 +22,10 @@ BlockVisibility::BlockVisibility(const field::VolumeF& volume,
     for (int by = 0; by < dims.ny; ++by)
       for (int bx = 0; bx < dims.nx; ++bx, ++i) {
         const auto [lo, hi] = grid_.range(bx, by, bz);
-        visible_[i] = max_alpha_in_range(tf, lo, hi) > 0.0;
+        // Classify with the marcher's own LUT (not the exact control-point
+        // max): a block is skipped only when sample_lut is identically zero
+        // over its value range, keeping leap/no-leap images bit-identical.
+        visible_[i] = tf.max_alpha_lut(lo, hi) > 0.0;
       }
 }
 

@@ -1,6 +1,7 @@
 #include "render/transfer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace tvviz::render {
@@ -14,6 +15,40 @@ TransferFunction::TransferFunction(std::vector<ControlPoint> points)
                         return a.value < b.value;
                       }))
     throw std::invalid_argument("TransferFunction: control points unsorted");
+  lut_.reserve(static_cast<std::size_t>(kLutSize));
+  for (int i = 0; i < kLutSize; ++i)
+    lut_.push_back(sample(static_cast<double>(i) / (kLutSize - 1)));
+}
+
+TransferFunction::ControlPoint TransferFunction::sample_lut(
+    double v) const noexcept {
+  const double x = std::clamp(v, 0.0, 1.0) * (kLutSize - 1);
+  const auto i = static_cast<std::size_t>(x);
+  if (i >= static_cast<std::size_t>(kLutSize - 1)) return lut_.back();
+  const double t = x - static_cast<double>(i);
+  const ControlPoint& lo = lut_[i];
+  const ControlPoint& hi = lut_[i + 1];
+  return {v,
+          lo.r + t * (hi.r - lo.r),
+          lo.g + t * (hi.g - lo.g),
+          lo.b + t * (hi.b - lo.b),
+          lo.alpha + t * (hi.alpha - lo.alpha)};
+}
+
+double TransferFunction::max_alpha_lut(double lo, double hi) const noexcept {
+  lo = std::clamp(lo, 0.0, 1.0);
+  hi = std::clamp(hi, 0.0, 1.0);
+  if (hi < lo) std::swap(lo, hi);
+  // Every sample_lut(v) for v in [lo, hi] interpolates between entries in
+  // [i0, i1], so the max over those entries bounds it (and equals 0 exactly
+  // when all of them are 0 — the property space-leaping relies on).
+  const auto i0 = static_cast<std::size_t>(lo * (kLutSize - 1));
+  const auto i1 = static_cast<std::size_t>(
+      std::min<double>(kLutSize - 1, std::ceil(hi * (kLutSize - 1))));
+  double best = 0.0;
+  for (std::size_t i = i0; i <= i1; ++i)
+    best = std::max(best, lut_[i].alpha);
+  return best;
 }
 
 TransferFunction::ControlPoint TransferFunction::sample(double v) const noexcept {

@@ -16,11 +16,30 @@ class TransferFunction {
     double alpha = 0.0;  ///< Opacity per unit of (reference) sample distance.
   };
 
+  /// Resolution of the precomputed lookup table behind sample_lut().
+  static constexpr int kLutSize = 1024;
+
   /// Control points must be sorted by `value`; endpoints are clamped.
+  /// Builds the LUT once, so editing a transfer function means
+  /// constructing a new one — which is how the control paths already work.
   explicit TransferFunction(std::vector<ControlPoint> points);
 
-  /// Non-premultiplied color + opacity at scalar `v`.
+  /// Non-premultiplied color + opacity at scalar `v`. Exact piecewise-linear
+  /// evaluation over the control points (binary search per call) — the
+  /// reference the LUT is checked against in exactness tests.
   ControlPoint sample(double v) const noexcept;
+
+  /// LUT evaluation of sample(): linear interpolation between kLutSize
+  /// precomputed entries. This is what the ray-march hot loop uses; it can
+  /// differ from sample() only inside the 1/(kLutSize-1)-wide cell around a
+  /// control point, and is exactly 0 wherever all covering entries are 0.
+  ControlPoint sample_lut(double v) const noexcept;
+
+  /// Upper bound of sample_lut(v).alpha over v in [lo, hi] (max over the
+  /// covering LUT entries). Space-leaping classifies blocks with THIS, so a
+  /// skipped block is one where the marcher's own lookup is identically
+  /// zero — the leap stays bit-identical.
+  double max_alpha_lut(double lo, double hi) const noexcept;
 
   const std::vector<ControlPoint>& points() const noexcept { return points_; }
 
@@ -38,6 +57,7 @@ class TransferFunction {
 
  private:
   std::vector<ControlPoint> points_;
+  std::vector<ControlPoint> lut_;  ///< kLutSize samples over [0, 1].
 };
 
 }  // namespace tvviz::render

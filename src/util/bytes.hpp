@@ -14,11 +14,29 @@ namespace tvviz::util {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Encoded size of ByteWriter::varint(v) / ByteReader::varint, for exact
+/// up-front reserves (a frame serialized into an exactly-reserved buffer
+/// never reallocates mid-frame).
+constexpr std::size_t varint_size(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Append-only little-endian byte sink.
 class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  /// Reuse `backing`'s allocation as the output buffer (the pooled-buffer
+  /// encode path): contents are discarded, capacity is kept.
+  explicit ByteWriter(Bytes&& backing) : buf_(std::move(backing)) {
+    buf_.clear();
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { le(v); }

@@ -1,0 +1,149 @@
+// Zero-copy buffer management for the frame path. Two pieces:
+//
+//  * SharedBytes — an immutable, reference-counted byte buffer with cheap
+//    aliasing views. A compressed frame is produced once (by a codec or a
+//    ByteWriter), wrapped, and then every hop of renderer -> hub -> N
+//    viewers shares the same allocation; "copying" a SharedBytes bumps a
+//    refcount. view() carves out a sub-range (e.g. the payload slice of a
+//    received wire frame) that keeps the whole backing buffer alive.
+//
+//  * BufferPool — a size-bucketed free list of byte vectors. The TCP
+//    receive path and the encode-into-pooled-buffer codec entry points
+//    draw their buffers here so steady-state streaming allocates nothing.
+//    A SharedBytes created with adopt_pooled() returns its storage to the
+//    pool when the last reference (message, cache entry, or view) drops.
+//
+// Ownership rules (see DESIGN.md §11): whoever fills a buffer owns it
+// mutably exactly until it is wrapped in a SharedBytes; from then on the
+// bytes are immutable and ownership is collective. Nobody frees by hand.
+//
+// Counters/gauges: util.pool.{hits,misses,bytes_pooled,outstanding} and
+// util.shared_bytes.{copies,copy_bytes} (every deep copy is counted, so a
+// "zero-copy path" is checkable by assertion).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace tvviz::util {
+
+class BufferPool;
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Adopt a byte vector without copying — the writer -> wire hop.
+  SharedBytes(Bytes&& bytes);  // NOLINT(google-explicit-constructor)
+
+  /// Deep copy of a borrowed vector (counted; prefer std::move).
+  SharedBytes(const Bytes& bytes);  // NOLINT(google-explicit-constructor)
+
+  SharedBytes(std::initializer_list<std::uint8_t> init);
+
+  /// Deep copy of arbitrary borrowed bytes (counted in
+  /// util.shared_bytes.copy_bytes).
+  static SharedBytes copy_of(std::span<const std::uint8_t> data);
+
+  /// Adopt a (typically pool-drawn) buffer whose storage goes back to
+  /// `pool` when the last reference — including every view — drops.
+  static SharedBytes adopt_pooled(Bytes&& bytes, BufferPool& pool);
+
+  /// Aliasing sub-view [offset, offset + len): shares storage, no copy.
+  /// Throws std::out_of_range past the end.
+  SharedBytes view(std::size_t offset, std::size_t len) const;
+
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::span<const std::uint8_t> span() const noexcept {
+    return {data_, size_};
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): SharedBytes stands in for
+  // span<const uint8_t> at every parse/decode call site.
+  operator std::span<const std::uint8_t>() const noexcept { return span(); }
+  const std::uint8_t* begin() const noexcept { return data_; }
+  const std::uint8_t* end() const noexcept { return data_ + size_; }
+  std::uint8_t operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Handles (messages, cache entries, views) sharing this storage.
+  long use_count() const noexcept { return storage_.use_count(); }
+
+  /// True when both handles alias one underlying allocation.
+  bool shares_storage_with(const SharedBytes& other) const noexcept {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+  /// Mutable copy-out (deep copy, counted).
+  Bytes to_bytes() const;
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) noexcept {
+    return a.size_ == b.size_ &&
+           (a.data_ == b.data_ || std::equal(a.begin(), a.end(), b.begin()));
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) noexcept {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Bytes& a, const SharedBytes& b) noexcept {
+    return b == a;
+  }
+
+ private:
+  struct Storage;
+
+  std::shared_ptr<const Storage> storage_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Thread-safe, size-bucketed free list of byte vectors (buckets are
+/// powers of two). acquire() returns a vector resized to the request with
+/// bucket-rounded capacity; release() (or the destruction of a SharedBytes
+/// made with adopt_pooled) files it for reuse. Buffers beyond
+/// max_buffer_bytes, or landing in a full bucket, are simply freed.
+class BufferPool {
+ public:
+  struct Config {
+    std::size_t min_bucket_bytes = 256;        ///< Smallest bucket size.
+    std::size_t max_buffer_bytes = 64u << 20;  ///< Larger buffers bypass.
+    std::size_t max_buffers_per_bucket = 32;
+  };
+
+  BufferPool();
+  explicit BufferPool(Config config);
+
+  /// Process-wide pool of the frame path (never destroyed, so buffers held
+  /// across static teardown stay safe to release).
+  static BufferPool& global();
+
+  /// A buffer of exactly `size` bytes; contents are unspecified.
+  Bytes acquire(std::size_t size);
+
+  /// File a buffer for reuse (by capacity bucket).
+  void release(Bytes&& buffer);
+
+  std::size_t pooled_bytes() const;
+  std::size_t pooled_buffers() const;
+
+ private:
+  std::size_t bucket_of(std::size_t capacity) const noexcept;
+
+  Config config_;
+  /// acquire() minus release(); mirrored into util.pool.outstanding.
+  std::atomic<std::int64_t> outstanding_{0};
+  mutable std::mutex mutex_;
+  /// bucket index -> free buffers of that capacity.
+  std::vector<std::vector<Bytes>> buckets_;
+  std::size_t pooled_bytes_ = 0;
+};
+
+}  // namespace tvviz::util

@@ -52,7 +52,7 @@ util::Bytes pack_doubles(const std::vector<double>& v) {
   return w.take();
 }
 
-std::vector<double> unpack_doubles(const util::Bytes& b) {
+std::vector<double> unpack_doubles(std::span<const std::uint8_t> b) {
   util::ByteReader r(b);
   std::vector<double> v(r.varint());
   for (auto& x : v) x = r.f64();
@@ -96,7 +96,7 @@ int Communicator::local_rank_of_global(int global) const {
   return static_cast<int>(it - ranks_.begin());
 }
 
-void Communicator::send(int dest, int tag, util::Bytes payload) const {
+void Communicator::send(int dest, int tag, util::SharedBytes payload) const {
   static obs::Counter& msgs = obs::counter("vmp.messages_sent");
   static obs::Counter& bytes = obs::counter("vmp.bytes_sent");
   msgs.add(1);
@@ -109,9 +109,13 @@ void Communicator::send(int dest, int tag, util::Bytes payload) const {
       .push(Message(global_rank(rank_), tag, context_, std::move(payload)));
 }
 
+void Communicator::send(int dest, int tag, util::Bytes payload) const {
+  send(dest, tag, util::SharedBytes(std::move(payload)));
+}
+
 void Communicator::send(int dest, int tag,
                         std::span<const std::uint8_t> payload) const {
-  send(dest, tag, util::Bytes(payload.begin(), payload.end()));
+  send(dest, tag, util::SharedBytes::copy_of(payload));
 }
 
 Message Communicator::recv(int source, int tag) const {
@@ -133,7 +137,8 @@ std::optional<Message> Communicator::try_recv(int source, int tag) const {
   return msg;
 }
 
-Message Communicator::sendrecv(int peer, int tag, util::Bytes payload) const {
+Message Communicator::sendrecv(int peer, int tag,
+                               util::SharedBytes payload) const {
   // Mailboxes buffer eagerly, so a plain send-then-recv cannot deadlock.
   send(peer, tag, std::move(payload));
   return recv(peer, tag);
@@ -150,7 +155,8 @@ void Communicator::barrier() const {
   }
 }
 
-util::Bytes Communicator::bcast(int root, util::Bytes payload) const {
+util::SharedBytes Communicator::bcast(int root,
+                                      util::SharedBytes payload) const {
   // Binomial tree rotated so that `root` maps to virtual rank 0. Every rank
   // receives from a deterministic parent (exact-source match), so two
   // back-to-back broadcasts on the same communicator cannot cross-talk.
@@ -172,11 +178,12 @@ util::Bytes Communicator::bcast(int root, util::Bytes payload) const {
   return payload;
 }
 
-std::vector<util::Bytes> Communicator::gather(int root, util::Bytes payload) const {
+std::vector<util::SharedBytes> Communicator::gather(
+    int root, util::SharedBytes payload) const {
   // Flat gather with per-source receives: correct under repeated gathers
   // because mailbox delivery is FIFO per (source, context, tag).
   if (rank_ == root) {
-    std::vector<util::Bytes> out(static_cast<std::size_t>(size()));
+    std::vector<util::SharedBytes> out(static_cast<std::size_t>(size()));
     out[static_cast<std::size_t>(root)] = std::move(payload);
     for (int src = 0; src < size(); ++src) {
       if (src == root) continue;
@@ -188,8 +195,8 @@ std::vector<util::Bytes> Communicator::gather(int root, util::Bytes payload) con
   return {};
 }
 
-util::Bytes Communicator::scatter(int root,
-                                  std::vector<util::Bytes> payloads) const {
+util::SharedBytes Communicator::scatter(
+    int root, std::vector<util::SharedBytes> payloads) const {
   constexpr int kScatterTag = -1004;
   if (rank_ == root) {
     if (payloads.size() != static_cast<std::size_t>(size()))
@@ -203,12 +210,24 @@ util::Bytes Communicator::scatter(int root,
   return recv(root, kScatterTag).payload;
 }
 
-std::vector<util::Bytes> Communicator::allgather(util::Bytes payload) const {
-  // Gather at rank 0, then broadcast the packed table.
+util::SharedBytes Communicator::scatter(int root,
+                                        std::vector<util::Bytes> payloads) const {
+  std::vector<util::SharedBytes> shared;
+  shared.reserve(payloads.size());
+  for (auto& b : payloads) shared.emplace_back(std::move(b));
+  return scatter(root, std::move(shared));
+}
+
+std::vector<util::SharedBytes> Communicator::allgather(
+    util::SharedBytes payload) const {
+  // Gather at rank 0, then broadcast the packed table. Every rank's result
+  // entries are aliasing views into the one broadcast table buffer.
   auto all = gather(0, std::move(payload));
-  util::Bytes table;
+  util::SharedBytes table;
   if (rank_ == 0) {
-    util::ByteWriter w;
+    std::size_t total = util::varint_size(all.size());
+    for (const auto& b : all) total += util::varint_size(b.size()) + b.size();
+    util::ByteWriter w(total);
     w.varint(all.size());
     for (const auto& b : all) {
       w.varint(b.size());
@@ -218,11 +237,11 @@ std::vector<util::Bytes> Communicator::allgather(util::Bytes payload) const {
   }
   table = bcast(0, std::move(table));
   util::ByteReader r(table);
-  std::vector<util::Bytes> out(r.varint());
+  std::vector<util::SharedBytes> out(r.varint());
   for (auto& b : out) {
     const std::size_t len = r.varint();
     const auto s = r.raw(len);
-    b.assign(s.begin(), s.end());
+    b = table.view(static_cast<std::size_t>(s.data() - table.data()), len);
   }
   return out;
 }
@@ -255,7 +274,7 @@ std::vector<double> Communicator::allreduce(std::vector<double> values,
 }
 
 std::uint32_t Communicator::allocate_contexts(int count) const {
-  util::Bytes packed;
+  util::SharedBytes packed;
   if (rank_ == 0) {
     util::ByteWriter w;
     w.u32(world_->allocate_contexts(static_cast<std::uint32_t>(count)));
@@ -289,9 +308,9 @@ Communicator Communicator::split(int color) const {
   util::ByteWriter w;
   w.u32(static_cast<std::uint32_t>(color));
   auto all = gather(0, w.take());
-  util::Bytes table;
+  util::SharedBytes table;
   if (rank_ == 0) {
-    util::ByteWriter tw;
+    util::ByteWriter tw(all.size() * 4);
     for (const auto& b : all) tw.u32(util::ByteReader(b).u32());
     table = tw.take();
   }

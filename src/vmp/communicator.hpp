@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 #include "vmp/mailbox.hpp"
 
 namespace tvviz::obs {
@@ -33,7 +34,9 @@ class Communicator {
   // -- point to point ------------------------------------------------------
 
   /// Send bytes to `dest` (rank within this communicator) with `tag`.
-  /// Non-blocking in the eager-buffered sense: copies into the mailbox.
+  /// Non-blocking in the eager-buffered sense: the mailbox shares the
+  /// refcounted payload, so sending never copies the bytes.
+  void send(int dest, int tag, util::SharedBytes payload) const;
   void send(int dest, int tag, util::Bytes payload) const;
   void send(int dest, int tag, std::span<const std::uint8_t> payload) const;
 
@@ -46,7 +49,7 @@ class Communicator {
   std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag) const;
 
   /// Combined exchange (deadlock-free pairwise swap, as in binary-swap).
-  Message sendrecv(int peer, int tag, util::Bytes payload) const;
+  Message sendrecv(int peer, int tag, util::SharedBytes payload) const;
 
   // -- typed convenience wrappers -----------------------------------------
 
@@ -75,18 +78,22 @@ class Communicator {
   void barrier() const;
 
   /// Binomial-tree broadcast from `root`; returns the broadcast bytes.
-  util::Bytes bcast(int root, util::Bytes payload) const;
+  /// Interior nodes forward the very buffer they received (refcount bump).
+  util::SharedBytes bcast(int root, util::SharedBytes payload) const;
 
   /// Gather each rank's bytes at `root` (index = rank). Non-roots get {}.
-  std::vector<util::Bytes> gather(int root, util::Bytes payload) const;
+  std::vector<util::SharedBytes> gather(int root,
+                                        util::SharedBytes payload) const;
 
   /// Scatter: `root` provides one payload per rank (size() entries, ignored
   /// elsewhere); every rank returns its own.
-  util::Bytes scatter(int root, std::vector<util::Bytes> payloads) const;
+  util::SharedBytes scatter(int root,
+                            std::vector<util::SharedBytes> payloads) const;
+  util::SharedBytes scatter(int root, std::vector<util::Bytes> payloads) const;
 
   /// Allgather: every rank contributes bytes and receives everyone's,
-  /// indexed by rank.
-  std::vector<util::Bytes> allgather(util::Bytes payload) const;
+  /// indexed by rank. The results are views into one broadcast table.
+  std::vector<util::SharedBytes> allgather(util::SharedBytes payload) const;
 
   /// Element-wise reduction of equal-length double vectors at `root`.
   std::vector<double> reduce(int root, std::vector<double> values,

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <utility>
 
-#include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace tvviz::vmp {
 
@@ -16,10 +16,11 @@ struct Message {
   int source = 0;       ///< Sending rank within the communicator's world.
   int tag = 0;          ///< Application tag.
   std::uint32_t context = 0;  ///< Communicator context id (isolates traffic).
-  util::Bytes payload;
+  /// Refcounted: forwarding a message between ranks shares the allocation.
+  util::SharedBytes payload;
 
   Message() = default;
-  Message(int src, int tag_, std::uint32_t ctx, util::Bytes data)
+  Message(int src, int tag_, std::uint32_t ctx, util::SharedBytes data)
       : source(src), tag(tag_), context(ctx), payload(std::move(data)) {}
 };
 

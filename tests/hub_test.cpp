@@ -16,6 +16,7 @@
 #include "hub/hub.hpp"
 #include "hub/tcp_hub.hpp"
 #include "net/protocol.hpp"
+#include "obs/counters.hpp"
 #include "render/image.hpp"
 
 namespace tvviz {
@@ -133,7 +134,7 @@ TEST(Hello, TruncatedCapabilityPayloadThrows) {
   net::HelloInfo info;
   info.role = "display";
   auto msg = net::make_hello(info);
-  msg.payload.resize(2);  // cuts into the version field
+  msg.payload = msg.payload.view(0, 2);  // cuts into the version field
   EXPECT_THROW(net::parse_hello(msg), std::runtime_error);
 }
 
@@ -182,6 +183,37 @@ TEST(Hub, FanOutToEightClientsBitIdentical) {
   for (int k = 0; k < 8; ++k) EXPECT_EQ(received[k], kSteps) << "client " << k;
   EXPECT_FALSE(mismatch.load());
   EXPECT_EQ(hub.steps_relayed(), static_cast<std::uint64_t>(kSteps));
+}
+
+TEST(Hub, FanOutSharesOnePayloadBufferAcrossClients) {
+  HubConfig cfg;
+  cfg.client_queue_frames = 64;
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+  std::vector<std::shared_ptr<FrameHub::ClientPort>> clients;
+  for (int k = 0; k < 8; ++k) clients.push_back(hub.connect_client());
+
+  NetMessage msg = frame_msg(0, {});
+  msg.payload = util::Bytes(64 * 1024, 0xab);
+  const util::SharedBytes alias = msg.payload;  // refcount bump, no copy
+
+  auto& copies = obs::counter("util.shared_bytes.copy_bytes");
+  const auto before = copies.value();
+  renderer->send(std::move(msg));
+  renderer->send(shutdown_msg());
+
+  for (int k = 0; k < 8; ++k) {
+    int frames = 0;
+    while (auto got = clients[static_cast<std::size_t>(k)]->next()) {
+      if (got->type == MsgType::kShutdown) break;
+      // Every client sees the renderer's own buffer, not a duplicate.
+      EXPECT_TRUE(got->payload.shares_storage_with(alias)) << "client " << k;
+      ++frames;
+    }
+    EXPECT_EQ(frames, 1) << "client " << k;
+  }
+  hub.shutdown();
+  EXPECT_EQ(copies.value(), before);
 }
 
 TEST(Hub, SlowClientDropsWithoutStallingFastClient) {

@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "obs/counters.hpp"
 #include "net/daemon.hpp"
 #include "net/link.hpp"
 #include "net/protocol.hpp"
@@ -325,6 +326,94 @@ TEST(Protocol, RejectsTrailingGarbage) {
   auto wire = net::serialize_message(msg);
   wire.push_back(0x00);
   EXPECT_THROW(net::deserialize_message(wire), std::runtime_error);
+}
+
+
+TEST(Protocol, ScatterGatherHeaderPlusPayloadEqualsFullFrame) {
+  NetMessage msg;
+  msg.type = MsgType::kSubImage;
+  msg.frame_index = 17;
+  msg.piece = 2;
+  msg.piece_count = 4;
+  msg.codec = "jpeg+lzo";
+  msg.payload = util::Bytes(300, 0x5C);
+  const auto full = net::serialize_message(msg);
+  auto header = net::serialize_header(msg);
+  EXPECT_EQ(header.size(), net::header_wire_size(msg));
+  header.insert(header.end(), msg.payload.begin(), msg.payload.end());
+  EXPECT_EQ(header, full);
+}
+
+TEST(Protocol, SerializeReservesExactlyOnce) {
+  // Regression: serialize_message / serialize_header / HelloInfo::serialize
+  // under-reserving means the frame reallocates mid-write; with the exact
+  // reserve the output vector's capacity equals its size.
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = 123456;
+  msg.codec = "collective-jpeg";
+  msg.payload = util::Bytes(100000, 0x42);  // varint length > 1 byte
+  const auto wire = net::serialize_message(msg);
+  EXPECT_EQ(wire.capacity(), wire.size());
+  const auto header = net::serialize_header(msg);
+  EXPECT_EQ(header.capacity(), header.size());
+
+  net::HelloInfo info;
+  info.role = "display";
+  info.client_id = "viewer-with-a-long-stable-identity-string";
+  info.queue_frames = 32;
+  info.wants_heartbeat = true;
+  const auto hello = info.serialize();
+  EXPECT_EQ(hello.capacity(), hello.size());
+}
+
+TEST(Protocol, FrameRoundTripNeverDuplicatesPayloadBytes) {
+  // Property test over sizes straddling the pool buckets: once a frame body
+  // exists as a SharedBytes, parsing it must not copy the payload — the
+  // message payload is a view into the body, byte-for-byte identical, and
+  // the deep-copy counter stays flat.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{255},
+                              std::size_t{4096}, std::size_t{100000}}) {
+    NetMessage msg;
+    msg.type = MsgType::kFrame;
+    msg.frame_index = static_cast<int>(n);
+    msg.codec = "raw";
+    util::Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i);
+    const util::Bytes expect = data;
+    msg.payload = std::move(data);
+
+    const util::SharedBytes body(net::serialize_message(msg));
+    const auto copies_before =
+        obs::counter("util.shared_bytes.copy_bytes").value();
+    const NetMessage out = net::deserialize_frame(body);
+    EXPECT_EQ(obs::counter("util.shared_bytes.copy_bytes").value(),
+              copies_before)
+        << "payload bytes were duplicated for n=" << n;
+    EXPECT_EQ(out.payload, expect);
+    if (n > 0) {
+      EXPECT_TRUE(out.payload.shares_storage_with(body));
+      EXPECT_GE(out.payload.data(), body.data());
+    }
+  }
+}
+
+TEST(Protocol, DeserializeFrameValidatesLikeDeserializeMessage) {
+  NetMessage msg;
+  msg.type = MsgType::kControl;
+  msg.payload = {7, 7};
+  auto wire = net::serialize_message(msg);
+  wire.push_back(0x00);
+  EXPECT_THROW(net::deserialize_frame(util::SharedBytes(std::move(wire))),
+               std::runtime_error);
+  auto wire2 = net::serialize_message(msg);
+  wire2[0] = 0xEE;
+  EXPECT_THROW(net::deserialize_frame(util::SharedBytes(std::move(wire2))),
+               std::runtime_error);
+  auto wire3 = net::serialize_message(msg);
+  wire3.resize(wire3.size() - 1);
+  EXPECT_THROW(net::deserialize_frame(util::SharedBytes(std::move(wire3))),
+               std::runtime_error);
 }
 
 TEST(Daemon, ShutdownFlushesQueuedTailFrames) {

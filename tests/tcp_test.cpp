@@ -11,6 +11,7 @@
 #include "core/session.hpp"
 #include "field/generators.hpp"
 #include "net/tcp.hpp"
+#include "obs/counters.hpp"
 #include "render/image.hpp"
 #include "util/rng.hpp"
 
@@ -76,9 +77,10 @@ TEST(Tcp, LargePayloadIntegrity) {
   util::Rng rng(7);
   NetMessage msg;
   msg.type = MsgType::kFrame;
-  msg.payload.resize(3 << 20);  // 3 MB: spans many TCP segments
-  for (auto& b : msg.payload) b = static_cast<std::uint8_t>(rng());
-  const util::Bytes sent = msg.payload;
+  util::Bytes big(3 << 20);  // 3 MB: spans many TCP segments
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng());
+  const util::Bytes sent = big;
+  msg.payload = std::move(big);
   renderer.send(msg);
   const auto got = display.next();
   ASSERT_TRUE(got.has_value());
@@ -281,8 +283,9 @@ TEST(Tcp, HelloFuzzDoesNotKillServer) {
     NetMessage msg;
     msg.type = MsgType::kHello;
     msg.codec = "display";
-    msg.payload.resize(rng() % 24);
-    for (auto& b : msg.payload) b = static_cast<std::uint8_t>(rng());
+    util::Bytes garbage(rng() % 24);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    msg.payload = std::move(garbage);
     try {
       bad->send_message(msg);
     } catch (const std::exception&) {
@@ -321,6 +324,57 @@ TEST(Tcp, SessionOverRealSockets) {
   for (std::size_t i = 0; i < local.displayed.size(); ++i)
     EXPECT_TRUE(std::isinf(render::psnr(local.displayed[i], tcp.displayed[i])));
   EXPECT_EQ(local.wire_bytes, tcp.wire_bytes);
+}
+
+TEST(Tcp, SendMessageIssuesOneSendSyscall) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::TcpConnection sender(fds[0]);
+  net::TcpConnection receiver(fds[1]);
+
+  util::Bytes body(32 * 1024);
+  for (std::size_t i = 0; i < body.size(); ++i)
+    body[i] = static_cast<std::uint8_t>(i * 31);
+  NetMessage msg;
+  msg.type = MsgType::kSubImage;
+  msg.frame_index = 5;
+  msg.codec = "raw";
+  msg.payload = std::move(body);
+
+  auto& syscalls = obs::counter("net.tcp.send_syscalls");
+  const auto before = syscalls.value();
+  sender.send_message(msg);
+  // Length prefix + header + 32 KiB payload fit the socket buffer, so the
+  // whole scatter-gather frame must go down in a single sendmsg().
+  EXPECT_EQ(syscalls.value() - before, 1u);
+
+  const auto got = receiver.recv_message();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, msg.payload);
+}
+
+TEST(Tcp, RecvMessageNeverCopiesThePayload) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::TcpConnection sender(fds[0]);
+  net::TcpConnection receiver(fds[1]);
+
+  util::Bytes body(64 * 1024);
+  for (std::size_t i = 0; i < body.size(); ++i)
+    body[i] = static_cast<std::uint8_t>(i);
+  NetMessage msg;
+  msg.type = MsgType::kSubImage;
+  msg.codec = "raw";
+  msg.payload = std::move(body);
+  sender.send_message(msg);
+
+  auto& copies = obs::counter("util.shared_bytes.copy_bytes");
+  const auto before = copies.value();
+  const auto got = receiver.recv_message();
+  ASSERT_TRUE(got.has_value());
+  // The payload is a view into the pooled receive buffer, not a copy.
+  EXPECT_EQ(copies.value(), before);
+  EXPECT_EQ(got->payload, msg.payload);
 }
 
 TEST(Tcp, SessionControlEventsOverSockets) {

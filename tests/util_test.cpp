@@ -5,9 +5,16 @@
 #include <cmath>
 #include <set>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
 #include "util/bytes.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/shared_bytes.hpp"
 #include "util/stats.hpp"
 #include "util/vecmath.hpp"
 
@@ -18,8 +25,10 @@ using util::BitReader;
 using util::BitWriter;
 using util::ByteReader;
 using util::Bytes;
+using util::BufferPool;
 using util::ByteWriter;
 using util::Rng;
+using util::SharedBytes;
 
 // ---------------------------------------------------------------- rng ----
 
@@ -303,6 +312,181 @@ TEST(VecMath, Clamp01) {
   EXPECT_DOUBLE_EQ(util::clamp01(-1.0), 0.0);
   EXPECT_DOUBLE_EQ(util::clamp01(0.5), 0.5);
   EXPECT_DOUBLE_EQ(util::clamp01(2.0), 1.0);
+}
+
+
+// -------------------------------------------------------- shared bytes ----
+
+TEST(SharedBytes, AdoptingAVectorDoesNotCopyTheBytes) {
+  Bytes src{1, 2, 3, 4};
+  const std::uint8_t* raw = src.data();
+  const auto copies_before = obs::counter("util.shared_bytes.copies").value();
+  const SharedBytes shared(std::move(src));
+  EXPECT_EQ(shared.data(), raw);  // same allocation, just new ownership
+  EXPECT_EQ(shared.size(), 4u);
+  EXPECT_EQ(obs::counter("util.shared_bytes.copies").value(), copies_before);
+}
+
+TEST(SharedBytes, HandleCopiesAliasOneAllocation) {
+  const SharedBytes a(Bytes{10, 20, 30});
+  const SharedBytes b = a;  // NOLINT(performance-unnecessary-copy-...)
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(SharedBytes, ViewAliasesAndKeepsStorageAlive) {
+  SharedBytes whole(Bytes{0, 1, 2, 3, 4, 5, 6, 7});
+  SharedBytes tail = whole.view(5, 3);
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0], 5);
+  EXPECT_EQ(tail.data(), whole.data() + 5);
+  EXPECT_TRUE(tail.shares_storage_with(whole));
+  whole = {};  // dropping the original handle must not free the buffer
+  EXPECT_EQ(tail[2], 7);
+  EXPECT_EQ(tail.use_count(), 1);
+}
+
+TEST(SharedBytes, ViewPastEndThrows) {
+  const SharedBytes b(Bytes{1, 2, 3});
+  EXPECT_THROW((void)b.view(1, 3), std::out_of_range);
+  EXPECT_THROW((void)b.view(4, 0), std::out_of_range);
+  EXPECT_NO_THROW((void)b.view(3, 0));
+  EXPECT_NO_THROW((void)b.view(0, 3));
+}
+
+TEST(SharedBytes, BorrowedCopiesAreCounted) {
+  const Bytes src{1, 2, 3, 4, 5};
+  const auto copies_before = obs::counter("util.shared_bytes.copies").value();
+  const auto bytes_before = obs::counter("util.shared_bytes.copy_bytes").value();
+  const SharedBytes copied(src);  // lvalue: must deep-copy, and count it
+  EXPECT_NE(copied.data(), src.data());
+  EXPECT_EQ(copied, src);
+  EXPECT_EQ(obs::counter("util.shared_bytes.copies").value(), copies_before + 1);
+  EXPECT_EQ(obs::counter("util.shared_bytes.copy_bytes").value(),
+            bytes_before + 5);
+}
+
+TEST(SharedBytes, EmptyHandlesHoldNoStorage) {
+  const SharedBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ(SharedBytes(Bytes{}).use_count(), 0);
+  EXPECT_EQ(empty, SharedBytes{});
+}
+
+// --------------------------------------------------------- buffer pool ----
+
+TEST(BufferPool, RoundTripReusesTheAllocation) {
+  BufferPool pool;
+  Bytes first = pool.acquire(1000);
+  const std::uint8_t* raw = first.data();
+  EXPECT_EQ(first.size(), 1000u);
+  { const SharedBytes held = SharedBytes::adopt_pooled(std::move(first), pool); }
+  EXPECT_EQ(pool.pooled_buffers(), 1u);
+  Bytes again = pool.acquire(900);  // same power-of-two bucket
+  EXPECT_EQ(again.data(), raw);
+  EXPECT_EQ(again.size(), 900u);
+  EXPECT_EQ(pool.pooled_buffers(), 0u);
+  pool.release(std::move(again));
+}
+
+TEST(BufferPool, HitAndMissCountersTrackReuse) {
+  BufferPool pool;
+  const auto hits0 = obs::counter("util.pool.hits").value();
+  const auto misses0 = obs::counter("util.pool.misses").value();
+  pool.release(pool.acquire(4096));  // miss, then banked
+  Bytes b = pool.acquire(4096);      // hit
+  EXPECT_EQ(obs::counter("util.pool.hits").value(), hits0 + 1);
+  EXPECT_EQ(obs::counter("util.pool.misses").value(), misses0 + 1);
+  pool.release(std::move(b));
+}
+
+TEST(BufferPool, OversizeRequestsBypassTheFreeList) {
+  BufferPool::Config cfg;
+  cfg.max_buffer_bytes = 1024;
+  BufferPool pool(cfg);
+  Bytes big = pool.acquire(4096);
+  EXPECT_EQ(big.size(), 4096u);
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.pooled_buffers(), 0u);  // never banked
+  EXPECT_EQ(pool.pooled_bytes(), 0u);
+}
+
+TEST(BufferPool, FullBucketsFreeInsteadOfGrowing) {
+  BufferPool::Config cfg;
+  cfg.max_buffers_per_bucket = 2;
+  BufferPool pool(cfg);
+  std::vector<Bytes> out;
+  for (int i = 0; i < 4; ++i) out.push_back(pool.acquire(512));
+  for (auto& b : out) pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled_buffers(), 2u);
+}
+
+TEST(BufferPool, PooledSharedBytesReturnOnLastReferenceOnly) {
+  BufferPool pool;
+  SharedBytes a = SharedBytes::adopt_pooled(pool.acquire(256), pool);
+  SharedBytes view = a.view(10, 100);
+  a = {};
+  EXPECT_EQ(pool.pooled_buffers(), 0u);  // the view still pins the buffer
+  EXPECT_EQ(view.size(), 100u);
+  view = {};
+  EXPECT_EQ(pool.pooled_buffers(), 1u);  // last reference filed it back
+}
+
+TEST(BufferPool, ConcurrentCheckoutKeepsBuffersDistinct) {
+  // Hammer one pool from several threads; every thread writes a tag through
+  // its whole buffer and verifies it after a rescheduling point. Overlapping
+  // handouts or double-banked buffers would corrupt the tags. Run under
+  // TSan via tools/verify_tsan.sh.
+  BufferPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      const auto tag = static_cast<std::uint8_t>(tid + 1);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t n = 64 + static_cast<std::size_t>(tid) * 700 +
+                              static_cast<std::size_t>(round % 3) * 150;
+        Bytes buf = pool.acquire(n);
+        std::fill(buf.begin(), buf.end(), tag);
+        std::this_thread::yield();
+        SharedBytes held = SharedBytes::adopt_pooled(std::move(buf), pool);
+        for (std::size_t i = 0; i < held.size(); ++i)
+          if (held[i] != tag) {
+            corrupt.fetch_add(1);
+            break;
+          }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(corrupt.load(), 0);
+}
+
+TEST(ByteWriter, BackingBufferConstructorReusesCapacity) {
+  Bytes backing;
+  backing.reserve(1 << 12);
+  const std::uint8_t* raw = backing.data();
+  ByteWriter w(std::move(backing));
+  for (int i = 0; i < 1 << 10; ++i) w.u32(static_cast<std::uint32_t>(i));
+  const Bytes out = w.take();
+  EXPECT_EQ(out.data(), raw);  // never outgrew the reserved capacity
+  EXPECT_EQ(out.size(), std::size_t{4} << 10);
+}
+
+TEST(VarintSize, MatchesEncodedLengthAtBoundaries) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 42, ~std::uint64_t{0}}) {
+    ByteWriter w;
+    w.varint(v);
+    EXPECT_EQ(util::varint_size(v), w.size()) << v;
+  }
 }
 
 }  // namespace

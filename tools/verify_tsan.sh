@@ -1,7 +1,8 @@
 #!/bin/sh
 # Build the tree with ThreadSanitizer and run the concurrency-heavy suites:
 # the vmp messaging layer, the network daemon/queues, the TCP transport,
-# the multi-client hub, and the observability registries.
+# the multi-client hub, the observability registries, and the shared-buffer
+# pool (concurrent checkout/return).
 # Usage: tools/verify_tsan.sh [build-dir]
 set -e
 
@@ -10,7 +11,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DTVVIZ_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target \
-  vmp_test net_test obs_test tcp_test hub_test
+  vmp_test net_test obs_test tcp_test hub_test util_test
 
 cd "$BUILD_DIR"
-ctest -L 'vmp_test|net_test|obs_test|tcp_test|hub_test' --output-on-failure -j 4
+ctest -L 'vmp_test|net_test|obs_test|tcp_test|hub_test|util_test' --output-on-failure -j 4

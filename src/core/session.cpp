@@ -14,6 +14,7 @@
 #include "field/decompose.hpp"
 #include "field/store.hpp"
 #include "field/preview.hpp"
+#include "fault/fault.hpp"
 #include "field/striped.hpp"
 #include "hub/hub.hpp"
 #include "hub/tcp_hub.hpp"
@@ -104,6 +105,11 @@ SessionResult run_session(const SessionConfig& cfg) {
       throw std::invalid_argument("session: step_map entry out of range");
   const Partition partition(cfg.processors, cfg.groups);
   const int steps = cfg.effective_steps();
+  // Session-scoped chaos: latency-only faults (seeded delays and stalls on
+  // every TCP connection), so the run is perturbed but never lossy.
+  std::optional<fault::ScopedFaultPlan> chaos;
+  if (cfg.fault_seed != 0)
+    chaos.emplace(fault::FaultPlan::latency_chaos(cfg.fault_seed));
   const std::size_t pixels =
       static_cast<std::size_t>(cfg.image_width) * cfg.image_height;
 

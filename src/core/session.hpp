@@ -103,6 +103,12 @@ struct SessionConfig {
   /// per-frame display budget and feeds its codec switches back to the
   /// renderers (per-client quality downgrade under backpressure).
   double adaptive_target_frame_s = 0.0;
+  /// When != 0, install fault::FaultPlan::latency_chaos(fault_seed) for the
+  /// whole session: every TCP connection suffers seeded, replayable send
+  /// delays and receive stalls (latency only — no frame is ever lost, so
+  /// results stay correct; timings shift). The chaos-testing knob behind
+  /// `tvviz --fault-seed`.
+  std::uint64_t fault_seed = 0;
 };
 
 struct SessionResult {

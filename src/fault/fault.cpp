@@ -1,0 +1,337 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/counters.hpp"
+
+namespace tvviz::fault {
+
+namespace {
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+obs::Counter& kind_counter(FaultKind kind) {
+  // Resolved once per kind; the registry reference is stable for the
+  // process lifetime.
+  static obs::Counter& refused = obs::counter("net.fault.refused_connects");
+  static obs::Counter& drops = obs::counter("net.fault.drops");
+  static obs::Counter& delays = obs::counter("net.fault.delays");
+  static obs::Counter& truncations = obs::counter("net.fault.truncations");
+  static obs::Counter& corruptions = obs::counter("net.fault.corruptions");
+  static obs::Counter& stalls = obs::counter("net.fault.stalls");
+  switch (kind) {
+    case FaultKind::kRefuseConnect: return refused;
+    case FaultKind::kDropAfterBytes: return drops;
+    case FaultKind::kDelaySend: return delays;
+    case FaultKind::kTruncateFrame: return truncations;
+    case FaultKind::kCorruptFrame: return corruptions;
+    case FaultKind::kStallRecv: return stalls;
+  }
+  return delays;
+}
+
+std::mutex g_injector_mutex;
+std::shared_ptr<FaultInjector> g_injector;
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kRefuseConnect: return "refuse_connect";
+    case FaultKind::kDropAfterBytes: return "drop_after_bytes";
+    case FaultKind::kDelaySend: return "delay_send";
+    case FaultKind::kTruncateFrame: return "truncate_frame";
+    case FaultKind::kCorruptFrame: return "corrupt_frame";
+    case FaultKind::kStallRecv: return "stall_recv";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ FaultPlan ----
+
+FaultPlan& FaultPlan::refuse_connects(int n) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kRefuseConnect;
+  spec.count = n;
+  specs.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_after_bytes(std::size_t bytes, int conn) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDropAfterBytes;
+  spec.after_bytes = bytes;
+  spec.conn = conn;
+  specs.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_send_ms(double ms, int frame, int conn) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelaySend;
+  spec.delay_ms = ms;
+  spec.frame = frame;
+  spec.conn = conn;
+  specs.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::truncate_frame(int frame, int conn) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTruncateFrame;
+  spec.frame = frame;
+  spec.conn = conn;
+  specs.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_frame(int frame, int conn) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCorruptFrame;
+  spec.frame = frame;
+  spec.conn = conn;
+  specs.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall_recv_ms(double ms, int frame, int conn) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kStallRecv;
+  spec.delay_ms = ms;
+  spec.frame = frame;
+  spec.conn = conn;
+  specs.push_back(spec);
+  return *this;
+}
+
+FaultPlan FaultPlan::latency_chaos(std::uint64_t seed, double rate,
+                                   double max_ms) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.send_delay_rate = rate;
+  plan.send_delay_max_ms = max_ms;
+  plan.recv_stall_rate = rate * 0.5;
+  plan.recv_stall_max_ms = max_ms;
+  return plan;
+}
+
+// -------------------------------------------------------- InjectedEvent ----
+
+std::string InjectedEvent::to_string() const {
+  std::string line = fault_kind_name(kind);
+  line += " conn=" + std::to_string(conn);
+  line += " seq=" + std::to_string(seq);
+  line += " op=" + std::to_string(op);
+  if (!detail.empty()) {
+    line += ' ';
+    line += detail;
+  }
+  return line;
+}
+
+// ----------------------------------------------------- ConnectionFaults ----
+
+bool ConnectionFaults::matches(const FaultSpec& spec, int op) const noexcept {
+  return (spec.conn < 0 || spec.conn == index_) &&
+         (spec.frame < 0 || spec.frame == op);
+}
+
+void ConnectionFaults::record(FaultKind kind, int op, std::string detail) {
+  InjectedEvent event;
+  event.kind = kind;
+  event.conn = index_;
+  event.seq = seq_++;
+  event.op = op;
+  event.detail = std::move(detail);
+  owner_->record(std::move(event));
+}
+
+SendFault ConnectionFaults::before_send(std::size_t frame_bytes,
+                                        std::size_t mutable_prefix) {
+  std::lock_guard lock(mutex_);
+  const int op = sends_++;
+  SendFault fault;
+  const auto corrupt_one = [&] {
+    // Flip one bit somewhere in the prefix+header scratch region. Offset
+    // and mask come from the forked stream, so they replay identically.
+    const std::size_t off = rng_.below(std::max<std::size_t>(1, mutable_prefix));
+    const auto mask = static_cast<std::uint8_t>(1u << rng_.below(8));
+    fault.corrupt.emplace_back(off, mask);
+    record(FaultKind::kCorruptFrame, op,
+           "off=" + std::to_string(off) + " mask=" + std::to_string(mask));
+  };
+  for (const auto& spec : owner_->plan().specs) {
+    if (!matches(spec, op)) continue;
+    switch (spec.kind) {
+      case FaultKind::kDelaySend:
+        fault.delay_ms += spec.delay_ms;
+        record(spec.kind, op, "delay_ms=" + fmt_ms(spec.delay_ms));
+        break;
+      case FaultKind::kCorruptFrame:
+        corrupt_one();
+        break;
+      case FaultKind::kTruncateFrame: {
+        // Cut somewhere strictly inside the frame: a partial length prefix
+        // when the draw lands under 4 bytes, a partial body otherwise.
+        const std::size_t keep =
+            1 + rng_.below(std::max<std::size_t>(1, frame_bytes - 1));
+        fault.truncate_to = std::min(fault.truncate_to, keep);
+        record(spec.kind, op, "sent=" + std::to_string(keep) + "/" +
+                                  std::to_string(frame_bytes));
+        break;
+      }
+      case FaultKind::kDropAfterBytes:
+        if (!byte_drop_fired_ &&
+            sent_bytes_ + frame_bytes > spec.after_bytes) {
+          byte_drop_fired_ = true;
+          if (sent_bytes_ >= spec.after_bytes) {
+            fault.drop_before = true;
+          } else {
+            fault.truncate_to =
+                std::min(fault.truncate_to, spec.after_bytes - sent_bytes_);
+          }
+          record(spec.kind, op,
+                 "after=" + std::to_string(spec.after_bytes) +
+                     " sent=" + std::to_string(sent_bytes_));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Probabilistic chaos, in a fixed draw order so replays stay aligned.
+  const auto& p = owner_->plan();
+  if (p.send_drop_rate > 0.0 && rng_.uniform() < p.send_drop_rate) {
+    fault.drop_before = true;
+    record(FaultKind::kDropAfterBytes, op, "rate_drop");
+  }
+  if (p.send_corrupt_rate > 0.0 && rng_.uniform() < p.send_corrupt_rate)
+    corrupt_one();
+  if (p.send_delay_rate > 0.0 && rng_.uniform() < p.send_delay_rate) {
+    const double ms = rng_.uniform(0.0, p.send_delay_max_ms);
+    fault.delay_ms += ms;
+    record(FaultKind::kDelaySend, op, "delay_ms=" + fmt_ms(ms));
+  }
+  if (fault.drop_before) {
+    // Nothing goes out.
+  } else if (fault.truncate_to != SendFault::kNoTruncate) {
+    sent_bytes_ += std::min(frame_bytes, fault.truncate_to);
+  } else {
+    sent_bytes_ += frame_bytes;
+  }
+  return fault;
+}
+
+RecvFault ConnectionFaults::before_recv() {
+  std::lock_guard lock(mutex_);
+  const int op = recvs_++;
+  RecvFault fault;
+  for (const auto& spec : owner_->plan().specs) {
+    if (spec.kind != FaultKind::kStallRecv || !matches(spec, op)) continue;
+    fault.stall_ms += spec.delay_ms;
+    record(spec.kind, op, "stall_ms=" + fmt_ms(spec.delay_ms));
+  }
+  const auto& p = owner_->plan();
+  if (p.recv_stall_rate > 0.0 && rng_.uniform() < p.recv_stall_rate) {
+    const double ms = rng_.uniform(0.0, p.recv_stall_max_ms);
+    fault.stall_ms += ms;
+    record(FaultKind::kStallRecv, op, "stall_ms=" + fmt_ms(ms));
+  }
+  return fault;
+}
+
+// --------------------------------------------------------- FaultInjector ----
+
+std::shared_ptr<ConnectionFaults> FaultInjector::attach_connection() {
+  int index;
+  {
+    std::lock_guard lock(mutex_);
+    index = next_conn_++;
+  }
+  // Fork a per-connection stream: seed mixed with the index through
+  // splitmix64, so streams are independent and replay by index.
+  std::uint64_t mix = plan_.seed + 0x9e3779b97f4a7c15ULL *
+                                       (static_cast<std::uint64_t>(index) + 1);
+  const util::Rng rng(util::splitmix64(mix));
+  return std::shared_ptr<ConnectionFaults>(
+      new ConnectionFaults(shared_from_this(), index, rng));
+}
+
+bool FaultInjector::refuse_connect() {
+  int attempt;
+  int total = 0;
+  {
+    std::lock_guard lock(mutex_);
+    attempt = connect_attempts_++;
+    for (const auto& spec : plan_.specs)
+      if (spec.kind == FaultKind::kRefuseConnect) total += spec.count;
+    if (refusals_done_ >= total) return false;
+    ++refusals_done_;
+  }
+  InjectedEvent event;
+  event.kind = FaultKind::kRefuseConnect;
+  event.conn = -1;
+  event.seq = attempt;
+  event.op = attempt;
+  record(std::move(event));
+  return true;
+}
+
+void FaultInjector::record(InjectedEvent event) {
+  static obs::Counter& injected = obs::counter("net.fault.injected");
+  injected.add(1);
+  kind_counter(event.kind).add(1);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<InjectedEvent> FaultInjector::events() const {
+  std::vector<InjectedEvent> out;
+  {
+    std::lock_guard lock(mutex_);
+    out = events_;
+  }
+  // Canonical order: by connection then per-connection sequence, so the log
+  // does not depend on how threads of different connections interleaved.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const InjectedEvent& a, const InjectedEvent& b) {
+                     if (a.conn != b.conn) return a.conn < b.conn;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+std::string FaultInjector::event_log() const {
+  std::string log;
+  for (const auto& event : events()) {
+    log += event.to_string();
+    log += '\n';
+  }
+  return log;
+}
+
+// -------------------------------------------------------- global install ----
+
+std::shared_ptr<FaultInjector> install(FaultPlan plan) {
+  auto injector = std::make_shared<FaultInjector>(std::move(plan));
+  std::lock_guard lock(g_injector_mutex);
+  g_injector = injector;
+  return injector;
+}
+
+void uninstall() {
+  std::lock_guard lock(g_injector_mutex);
+  g_injector.reset();
+}
+
+std::shared_ptr<FaultInjector> active() {
+  std::lock_guard lock(g_injector_mutex);
+  return g_injector;
+}
+
+}  // namespace tvviz::fault

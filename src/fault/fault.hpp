@@ -1,0 +1,211 @@
+// Deterministic fault injection for the socket transport. A FaultPlan is a
+// seeded PRNG plus a declarative schedule — refuse the next N connects, drop
+// a connection after B bytes, delay or corrupt or truncate the K-th frame,
+// stall a receive — installed process-wide and consulted by every
+// TcpConnection (src/net/tcp.cpp) at its syscall choke points. The same
+// plan with the same seed replays bit-identically: every random draw comes
+// from a stream forked from (seed, connection index), never from wall
+// clock, and the injector keeps a canonical log of what it did so two runs
+// can be compared event-for-event (tests/fault_test.cpp does exactly that).
+//
+// Connections are addressed by their creation index since install (0, 1,
+// ...), which is deterministic whenever the scenario itself is (one client
+// connecting at a time: client conn, then the server's accepted conn).
+// Corruption only ever touches the frame's length prefix and header bytes —
+// the per-send scratch region — never the shared immutable payload buffer,
+// so an injected corrupt frame cannot poison the sender's frame cache.
+//
+// Injected faults count under net.fault.* and surface as spans on the
+// injecting thread's lane, so a chaos run's trace shows every fault next to
+// the recovery it provoked (net.retry.* — see fault/retry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tvviz::fault {
+
+enum class FaultKind : std::uint8_t {
+  kRefuseConnect = 0,  ///< Fail a connect() attempt outright.
+  kDropAfterBytes,     ///< Kill the connection after B sent bytes (mid-frame).
+  kDelaySend,          ///< Sleep before a send (WAN latency spike).
+  kTruncateFrame,      ///< Send a prefix of the frame, then kill the socket.
+  kCorruptFrame,       ///< Flip header bits of one frame (stream desync).
+  kStallRecv,          ///< Sleep before a receive (stalled link).
+};
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// One declarative entry of a plan's schedule. `conn` and `frame` select
+/// where it fires: the connection's creation index and the per-connection
+/// send index (receive index for kStallRecv), -1 meaning "every".
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDelaySend;
+  int conn = -1;
+  int frame = -1;
+  std::size_t after_bytes = 0;  ///< kDropAfterBytes threshold.
+  double delay_ms = 0.0;        ///< kDelaySend / kStallRecv.
+  int count = 1;                ///< kRefuseConnect: attempts to refuse.
+};
+
+/// A seeded PRNG plus the schedule. Probabilistic chaos rates ride along
+/// for soak-style tests: each send/recv draws against them from the
+/// connection's forked stream, so they too replay bit-identically.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+
+  double send_delay_rate = 0.0;   ///< P(send is delayed).
+  double send_delay_max_ms = 0.0; ///< Delay drawn uniform in (0, max].
+  double recv_stall_rate = 0.0;   ///< P(recv is stalled).
+  double recv_stall_max_ms = 0.0;
+  double send_drop_rate = 0.0;    ///< P(send kills the connection instead).
+  double send_corrupt_rate = 0.0; ///< P(send's header is corrupted).
+
+  FaultPlan& refuse_connects(int n);
+  FaultPlan& drop_after_bytes(std::size_t bytes, int conn = -1);
+  FaultPlan& delay_send_ms(double ms, int frame = -1, int conn = -1);
+  FaultPlan& truncate_frame(int frame, int conn = -1);
+  FaultPlan& corrupt_frame(int frame, int conn = -1);
+  FaultPlan& stall_recv_ms(double ms, int frame = -1, int conn = -1);
+
+  /// Latency-only chaos (delays and stalls, never a lost byte): safe to
+  /// install under a whole session (tvviz --fault-seed) because every
+  /// frame still arrives — just not on time.
+  static FaultPlan latency_chaos(std::uint64_t seed, double rate = 0.2,
+                                 double max_ms = 3.0);
+};
+
+/// One injected fault, as recorded in the injector's log. Contains no wall
+/// -clock data: two runs of the same plan over the same scenario produce
+/// byte-identical logs.
+struct InjectedEvent {
+  FaultKind kind = FaultKind::kDelaySend;
+  int conn = -1;  ///< Connection index; -1 for connect-time faults.
+  int seq = 0;    ///< Per-connection injection sequence number.
+  int op = 0;     ///< Send/recv/connect-attempt index the fault hit.
+  std::string detail;  ///< Deterministic parameters ("delay_ms=1.25", ...).
+
+  std::string to_string() const;
+};
+
+/// What the transport should do to the frame it is about to send.
+struct SendFault {
+  static constexpr std::size_t kNoTruncate =
+      std::numeric_limits<std::size_t>::max();
+  double delay_ms = 0.0;
+  bool drop_before = false;          ///< Kill the socket; send nothing.
+  std::size_t truncate_to = kNoTruncate;  ///< Send this many bytes, then kill.
+  /// XOR masks at wire offsets, all within the mutable prefix+header bytes.
+  std::vector<std::pair<std::size_t, std::uint8_t>> corrupt;
+};
+
+struct RecvFault {
+  double stall_ms = 0.0;
+  bool drop = false;  ///< Kill the socket instead of receiving.
+};
+
+class FaultInjector;
+
+/// A connection's private view of the plan: its forked PRNG, its send/recv
+/// indices, its byte count. Thread-safe (a connection's send and recv run
+/// on different threads).
+class ConnectionFaults {
+ public:
+  /// Decide the fate of the next send. `frame_bytes` is the full wire size,
+  /// `mutable_prefix` the number of leading bytes corruption may touch.
+  SendFault before_send(std::size_t frame_bytes, std::size_t mutable_prefix);
+
+  /// Decide the fate of the next receive.
+  RecvFault before_recv();
+
+  int index() const noexcept { return index_; }
+
+ private:
+  friend class FaultInjector;
+  ConnectionFaults(std::shared_ptr<FaultInjector> owner, int index,
+                   util::Rng rng)
+      : owner_(std::move(owner)), index_(index), rng_(rng) {}
+
+  bool matches(const FaultSpec& spec, int op) const noexcept;
+  void record(FaultKind kind, int op, std::string detail);
+
+  std::shared_ptr<FaultInjector> owner_;
+  int index_;
+  util::Rng rng_;
+  std::mutex mutex_;
+  int sends_ = 0;
+  int recvs_ = 0;
+  int seq_ = 0;
+  std::size_t sent_bytes_ = 0;
+  bool byte_drop_fired_ = false;
+};
+
+/// The process-wide engine consuming one plan. Owns the canonical event
+/// log; hands a ConnectionFaults to every TcpConnection created while
+/// installed.
+class FaultInjector : public std::enable_shared_from_this<FaultInjector> {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Called by the transport for each new connection.
+  std::shared_ptr<ConnectionFaults> attach_connection();
+
+  /// Called by the transport before a real connect(). True = refuse this
+  /// attempt (the caller throws net::SocketError).
+  bool refuse_connect();
+
+  /// Every injected event so far, in canonical (conn, seq) order —
+  /// independent of cross-connection thread interleaving.
+  std::vector<InjectedEvent> events() const;
+
+  /// events(), one line each: the replay-comparison form.
+  std::string event_log() const;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  friend class ConnectionFaults;
+  void record(InjectedEvent event);
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::vector<InjectedEvent> events_;
+  int next_conn_ = 0;
+  int connect_attempts_ = 0;
+  int refusals_done_ = 0;
+};
+
+/// Install `plan` as the process-wide injector (replacing any previous
+/// one). Connections created from now on feel it.
+std::shared_ptr<FaultInjector> install(FaultPlan plan);
+
+/// Remove the process-wide injector. Live connections keep their attached
+/// ConnectionFaults (shared ownership) until they close.
+void uninstall();
+
+/// The installed injector, or nullptr.
+std::shared_ptr<FaultInjector> active();
+
+/// RAII install/uninstall, for tests and scoped chaos runs.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) : injector_(install(std::move(plan))) {}
+  ~ScopedFaultPlan() { uninstall(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  FaultInjector& injector() noexcept { return *injector_; }
+
+ private:
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+}  // namespace tvviz::fault

@@ -1,0 +1,41 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace tvviz::fault {
+
+double RetryPolicy::backoff_ms(int attempt, util::Rng& rng) const noexcept {
+  if (attempt <= 1) return 0.0;
+  double delay = base_delay_ms;
+  for (int i = 2; i < attempt && delay < max_delay_ms; ++i) delay *= 2.0;
+  delay = std::min(delay, max_delay_ms);
+  if (jitter > 0.0)
+    delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  return std::max(0.0, delay);
+}
+
+bool Backoff::next() {
+  static obs::Counter& attempts = obs::counter("net.retry.attempts");
+  static obs::Counter& waited = obs::counter("net.retry.backoff_wait_ms");
+  static obs::Counter& giveups = obs::counter("net.retry.giveups");
+  if (attempt_ >= policy_.max_attempts) {
+    giveups.add(1);
+    return false;
+  }
+  ++attempt_;
+  const double delay = policy_.backoff_ms(attempt_, rng_);
+  if (delay > 0.0) {
+    obs::Span span("net.retry.backoff");
+    waited.add(static_cast<std::uint64_t>(delay));
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+  }
+  attempts.add(1);
+  return true;
+}
+
+}  // namespace tvviz::fault

@@ -35,6 +35,9 @@ struct FrameHub::ClientState {
   std::size_t capacity = 8;
   net::LinkModel link{};
   double link_scale = 0.0;
+  /// Per-client stream for the link's fault events (loss/stall sampling),
+  /// seeded from the client id so a named client replays identically.
+  util::Rng link_rng{1};
 
   mutable std::mutex mutex;
   std::condition_variable cv;
@@ -115,8 +118,15 @@ FramePtr FrameHub::ClientPort::next_for(std::chrono::milliseconds timeout) {
   // without occupying the relay thread, so one slow link never delays the
   // fan-out to anybody else.
   if (state_->link_scale > 0.0) {
-    const double s =
-        state_->link.transfer_seconds(msg->wire_size()) * state_->link_scale;
+    double s;
+    {
+      // The fault draw consumes the per-client stream; serialize it so
+      // concurrent next_for callers cannot tear the PRNG state.
+      std::lock_guard lock(state_->mutex);
+      s = state_->link.transfer_seconds_faulty(msg->wire_size(), 1,
+                                               state_->link_rng) *
+          state_->link_scale;
+    }
     if (s > 0.0)
       std::this_thread::sleep_for(std::chrono::duration<double>(s));
   }
@@ -212,6 +222,14 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
                                               : config_.client_queue_frames;
   state->link = options.link;
   state->link_scale = options.link_time_scale;
+  {
+    // FNV-1a over the id: implementation-independent (unlike std::hash),
+    // so a named client's fault stream replays across builds.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char ch : state->id)
+      h = (h ^ static_cast<std::uint8_t>(ch)) * 0x100000001b3ULL;
+    state->link_rng = util::Rng(util::splitmix64(h));
+  }
   state->last_acked.store(carried_ack);
   state->last_seen_s.store(now_s());
   state->delivered_ctr = &obs::counter("net.hub.client." + state->id +

@@ -43,6 +43,11 @@ struct HubConfig {
   std::size_t max_clients = 64;
   /// Reap a client idle (no pop/ack/heartbeat) longer than this. 0 = never.
   double heartbeat_timeout_s = 0.0;
+  /// Highest protocol version this hub's TCP front end accepts (see
+  /// hub/tcp_hub.hpp). Lowering it below net::kProtocolVersion simulates an
+  /// older server, which newer viewers must downgrade to (handshake
+  /// renegotiation) — exercised by the chaos suite.
+  std::uint32_t max_protocol_version = net::kProtocolVersion;
 };
 
 struct ClientOptions {

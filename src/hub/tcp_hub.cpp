@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace tvviz::hub {
 
@@ -17,7 +18,8 @@ using net::MsgType;
 using net::NetMessage;
 using net::TcpConnection;
 
-HubTcpServer::HubTcpServer(int port, HubConfig config) : hub_(config) {
+HubTcpServer::HubTcpServer(int port, HubConfig config)
+    : hub_(config), max_version_(config.max_protocol_version) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("hub: socket() failed");
   const int one = 1;
@@ -91,10 +93,9 @@ void HubTcpServer::accept_loop() {
       refuse(std::string("malformed hello: ") + e.what());
       continue;
     }
-    if (info.version == 0 || info.version > net::kProtocolVersion) {
+    if (info.version == 0 || info.version > max_version_) {
       refuse("unsupported protocol version " + std::to_string(info.version) +
-             " (this hub speaks 1.." + std::to_string(net::kProtocolVersion) +
-             ")");
+             " (this hub speaks 1.." + std::to_string(max_version_) + ")");
       continue;
     }
     if (info.role != "renderer" && info.role != "display") {
@@ -235,25 +236,40 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
 HubTcpViewer::HubTcpViewer(int port) : HubTcpViewer(port, Options()) {}
 
 HubTcpViewer::HubTcpViewer(int port, Options options)
-    : conn_(TcpConnection::connect_local(port)) {
-  HelloInfo info;
-  info.role = "display";
-  info.client_id = options.client_id;
-  info.last_acked_step = options.last_acked_step;
-  info.queue_frames = options.queue_frames;
-  info.wants_heartbeat = options.heartbeat_interval_ms > 0;
-  conn_->send_message(net::make_hello(info));
-  auto reply = conn_->recv_message();
-  if (!reply)
-    throw std::runtime_error("hub: server closed during handshake");
-  if (reply->type == MsgType::kError)
-    throw std::runtime_error("hub: refused: " + net::error_text(*reply));
-  if (reply->type != MsgType::kHelloAck)
-    throw std::runtime_error("hub: unexpected handshake reply");
-  assigned_id_ = reply->codec;
-  if (options.heartbeat_interval_ms > 0) {
+    : port_(port), options_(std::move(options)) {
+  last_acked_.store(options_.last_acked_step);
+  {
+    // Seed the jitter stream from the requested identity so a named
+    // viewer's backoff schedule replays deterministically.
+    std::uint64_t h = 0x76696577ULL;
+    for (const char ch : options_.client_id)
+      h = (h ^ static_cast<std::uint8_t>(ch)) * 0x100000001b3ULL;
+    retry_rng_ = util::Rng(util::splitmix64(h));
+  }
+  if (options_.auto_reconnect) {
+    // First contact under the policy too: an injected refused connect (or a
+    // hub still starting up) is ridden out here rather than thrown.
+    fault::Backoff backoff(options_.retry, retry_rng_.fork());
+    std::exception_ptr last;
+    std::shared_ptr<TcpConnection> conn;
+    while (!conn && backoff.next()) {
+      try {
+        conn = connect_and_handshake();
+      } catch (const net::SocketError&) {
+        last = std::current_exception();
+      }
+    }
+    if (!conn) {
+      if (last) std::rethrow_exception(last);
+      throw net::SocketError("hub: viewer connect attempts exhausted");
+    }
+    conn_ = std::move(conn);
+  } else {
+    conn_ = connect_and_handshake();
+  }
+  if (options_.heartbeat_interval_ms > 0) {
     const auto interval =
-        std::chrono::milliseconds(options.heartbeat_interval_ms);
+        std::chrono::milliseconds(options_.heartbeat_interval_ms);
     heartbeat_thread_ = std::thread([this, interval] {
       while (open_.load()) {
         {
@@ -264,7 +280,9 @@ HubTcpViewer::HubTcpViewer(int port, Options options)
           try {
             conn_->send_message(beat);
           } catch (const std::exception&) {
-            return;
+            // With auto_reconnect the next() loop is (or will be) swapping
+            // the socket; keep beating on whatever is installed next.
+            if (!options_.auto_reconnect) return;
           }
         }
         std::this_thread::sleep_for(interval);
@@ -273,15 +291,123 @@ HubTcpViewer::HubTcpViewer(int port, Options options)
   }
 }
 
+std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
+  auto conn = std::shared_ptr<TcpConnection>(
+      TcpConnection::connect_local(port_).release());
+  if (options_.retry.io_timeout_ms > 0.0)
+    conn->set_io_timeout_ms(options_.retry.io_timeout_ms);
+  HelloInfo info;
+  info.role = "display";
+  // A reconnect reclaims the identity the hub assigned on first contact and
+  // resumes after the newest step this viewer acked.
+  info.client_id = assigned_id_.empty() ? options_.client_id : assigned_id_;
+  info.last_acked_step = last_acked_.load();
+  info.queue_frames = options_.queue_frames;
+  info.wants_heartbeat = options_.heartbeat_interval_ms > 0;
+  conn->send_message(net::make_hello(info));
+  auto reply = conn->recv_message();
+  if (!reply)
+    throw net::SocketError("hub: server closed during handshake");
+  if (reply->type == MsgType::kError) {
+    const std::string text = net::error_text(*reply);
+    if (options_.allow_downgrade &&
+        text.find("unsupported protocol version") != std::string::npos) {
+      // The server is older than this viewer: renegotiate with the legacy
+      // v1 hello (role in the codec field, no capability payload — so no
+      // identity and no resume point either).
+      static obs::Counter& downgrades = obs::counter("net.retry.downgrades");
+      downgrades.add(1);
+      downgraded_.store(true);
+      conn = std::shared_ptr<TcpConnection>(
+          TcpConnection::connect_local(port_).release());
+      if (options_.retry.io_timeout_ms > 0.0)
+        conn->set_io_timeout_ms(options_.retry.io_timeout_ms);
+      NetMessage legacy;
+      legacy.type = MsgType::kHello;
+      legacy.codec = "display";
+      conn->send_message(legacy);
+      reply = conn->recv_message();
+      if (!reply)
+        throw net::SocketError("hub: server closed during v1 handshake");
+    }
+  }
+  if (reply->type == MsgType::kError)
+    throw std::runtime_error("hub: refused: " + net::error_text(*reply));
+  if (reply->type != MsgType::kHelloAck)
+    throw std::runtime_error("hub: unexpected handshake reply");
+  assigned_id_ = reply->codec;
+  return conn;
+}
+
+bool HubTcpViewer::reconnect() {
+  obs::Span span("net.retry.reconnect");
+  fault::Backoff backoff(options_.retry, retry_rng_.fork());
+  while (open_.load() && backoff.next()) {
+    std::shared_ptr<TcpConnection> fresh;
+    try {
+      fresh = connect_and_handshake();
+    } catch (const std::exception&) {
+      continue;
+    }
+    {
+      std::lock_guard lock(send_mutex_);
+      if (conn_) conn_->shutdown();
+      conn_ = std::move(fresh);
+    }
+    static obs::Counter& reconnects = obs::counter("net.retry.reconnects");
+    reconnects.add(1);
+    return true;
+  }
+  return false;
+}
+
+std::shared_ptr<TcpConnection> HubTcpViewer::current() const {
+  std::lock_guard lock(send_mutex_);
+  return conn_;
+}
+
+std::string HubTcpViewer::assigned_id() const {
+  std::lock_guard lock(send_mutex_);
+  return assigned_id_;
+}
+
+std::optional<NetMessage> HubTcpViewer::next() {
+  for (;;) {
+    auto conn = current();
+    if (!conn || !open_.load()) return std::nullopt;
+    try {
+      auto msg = conn->recv_message();
+      if (msg) return msg;
+      // Orderly close at a frame boundary: the hub went away cleanly.
+    } catch (const std::exception&) {
+      if (!options_.auto_reconnect || !open_.load()) throw;
+      // Mid-frame death (WireError), socket error, or expired deadline:
+      // the partially received frame was never surfaced — recover and let
+      // the resume replay it whole.
+    }
+    if (!options_.auto_reconnect) return std::nullopt;
+    if (!reconnect()) return std::nullopt;
+  }
+}
+
 HubTcpViewer::~HubTcpViewer() { close(); }
 
 void HubTcpViewer::ack(int step) {
+  int prev = last_acked_.load();
+  while (step > prev && !last_acked_.compare_exchange_weak(prev, step)) {
+  }
   std::lock_guard lock(send_mutex_);
   if (!open_.load()) return;
   NetMessage msg;
   msg.type = MsgType::kAck;
   msg.frame_index = step;
-  conn_->send_message(msg);
+  try {
+    conn_->send_message(msg);
+  } catch (const std::exception&) {
+    // The resume point is already recorded locally; a reconnecting viewer
+    // re-announces it in the next hello. Fail-fast viewers keep throwing.
+    if (!options_.auto_reconnect) throw;
+  }
 }
 
 void HubTcpViewer::send_control(const net::ControlEvent& event) {
@@ -290,12 +416,19 @@ void HubTcpViewer::send_control(const net::ControlEvent& event) {
   NetMessage msg;
   msg.type = MsgType::kControl;
   msg.payload = event.serialize();
-  conn_->send_message(msg);
+  try {
+    conn_->send_message(msg);
+  } catch (const std::exception&) {
+    if (!options_.auto_reconnect) throw;
+  }
 }
 
 void HubTcpViewer::close() {
   if (!open_.exchange(false)) return;
-  if (conn_) conn_->shutdown();
+  {
+    std::lock_guard lock(send_mutex_);
+    if (conn_) conn_->shutdown();
+  }
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
 }
 

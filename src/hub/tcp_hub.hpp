@@ -4,6 +4,12 @@
 // speak the v2 capability handshake, carrying a stable client id, a resume
 // point, and queue preferences, and get back a kHelloAck (or a kError frame
 // explaining why they were refused).
+//
+// The viewer endpoint owns the WAN recovery story: with auto_reconnect it
+// rides out refused connects, mid-frame disconnects and handshake version
+// mismatches (downgrading to the v1 hello when the server is older), and
+// resumes the stream from its last acked step — the §4.1 display never shows
+// a partial frame and never restarts the animation from zero.
 #pragma once
 
 #include <atomic>
@@ -13,8 +19,10 @@
 #include <thread>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "hub/hub.hpp"
 #include "net/tcp.hpp"
+#include "util/rng.hpp"
 
 namespace tvviz::hub {
 
@@ -39,6 +47,7 @@ class HubTcpServer {
                      net::HelloInfo info);
 
   FrameHub hub_;
+  std::uint32_t max_version_ = net::kProtocolVersion;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{true};
@@ -61,6 +70,20 @@ class HubTcpViewer {
     /// Send kHeartbeat beacons from a background thread every this many
     /// milliseconds; 0 = no heartbeat thread.
     int heartbeat_interval_ms = 0;
+    /// Survive refused connects and mid-stream disconnects: next() silently
+    /// reconnects under `retry` and resumes after the last acked step
+    /// (net.retry.reconnects counts each recovery). Off by default — the
+    /// pre-fault-injection fail-fast behavior.
+    bool auto_reconnect = false;
+    /// Backoff/timeout policy for connects and reconnects (its io_timeout_ms
+    /// is installed on the socket, so a stalled hub surfaces as a
+    /// TimeoutError instead of a hang).
+    fault::RetryPolicy retry{};
+    /// When the server refuses the v2 hello with "unsupported protocol
+    /// version", renegotiate with the legacy v1 hello instead of failing
+    /// (net.retry.downgrades). The v1 handshake carries no identity or
+    /// resume point.
+    bool allow_downgrade = true;
   };
 
   /// Connects and completes the handshake. Throws std::runtime_error on
@@ -70,10 +93,15 @@ class HubTcpViewer {
   ~HubTcpViewer();
 
   /// The identity the hub filed this client under (echoed or assigned).
-  const std::string& assigned_id() const noexcept { return assigned_id_; }
+  /// Resolved under the send lock: a concurrent reconnect may reassign it.
+  std::string assigned_id() const;
 
-  /// Blocking receive; std::nullopt when the hub closes.
-  std::optional<net::NetMessage> next() { return conn_->recv_message(); }
+  /// True once the handshake fell back to the v1 hello.
+  bool downgraded() const noexcept { return downgraded_.load(); }
+
+  /// Blocking receive. std::nullopt when the hub closes (with
+  /// auto_reconnect: only once reconnection attempts are exhausted).
+  std::optional<net::NetMessage> next();
 
   /// Acknowledge a displayed step (the resume point for a reconnect).
   void ack(int step);
@@ -82,10 +110,22 @@ class HubTcpViewer {
   void close();
 
  private:
-  std::unique_ptr<net::TcpConnection> conn_;
+  /// One connect + handshake attempt (including the v1 downgrade leg).
+  /// Returns the connected socket; updates assigned_id_/downgraded_.
+  std::shared_ptr<net::TcpConnection> connect_and_handshake();
+  /// Backoff loop over connect_and_handshake; swaps conn_ on success.
+  bool reconnect();
+  std::shared_ptr<net::TcpConnection> current() const;
+
+  int port_ = 0;
+  Options options_;
+  std::shared_ptr<net::TcpConnection> conn_;
   std::string assigned_id_;
+  std::atomic<int> last_acked_{-1};
   std::atomic<bool> open_{true};
-  std::mutex send_mutex_;  ///< Heartbeat thread vs ack/control senders.
+  std::atomic<bool> downgraded_{false};
+  util::Rng retry_rng_{0x76696577ULL};  ///< Jitter stream for reconnects.
+  mutable std::mutex send_mutex_;  ///< Guards conn_/assigned_id_ + senders.
   std::thread heartbeat_thread_;
 };
 

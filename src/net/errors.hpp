@@ -1,0 +1,39 @@
+// Error taxonomy of the socket transport. Everything derives from
+// std::runtime_error so pre-existing catch sites keep working, but callers
+// that care (retry loops, the hub's serve threads, the reconnecting viewer)
+// can tell the three failure classes apart:
+//
+//   SocketError  — the connection itself failed: a syscall error, a refused
+//                  connect, a peer reset, or an injected drop. Retrying the
+//                  operation on the same socket is pointless; reconnect.
+//   WireError    — the byte stream ended or desynchronized mid-frame: a
+//                  peer died inside a length prefix or frame body, or a
+//                  corrupt header failed validation. The socket may still
+//                  be open but the framing is unrecoverable; reconnect.
+//   TimeoutError — a per-op I/O deadline expired (poll-based; see
+//                  TcpConnection::set_io_timeout_ms). The peer may merely
+//                  be slow: this is the one class worth retrying in place,
+//                  with backoff.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tvviz::net {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace tvviz::net

@@ -1,5 +1,7 @@
 #include "net/protocol.hpp"
 
+#include "net/errors.hpp"
+
 #include <stdexcept>
 #include <utility>
 
@@ -32,13 +34,13 @@ HelloInfo HelloInfo::deserialize(std::span<const std::uint8_t> payload) {
     // build does not know; the version field governs compatibility.
     return info;
   } catch (const std::out_of_range&) {
-    throw std::runtime_error("net: truncated hello capability payload");
+    throw WireError("net: truncated hello capability payload");
   }
 }
 
 HelloInfo parse_hello(const NetMessage& msg) {
   if (msg.type != MsgType::kHello)
-    throw std::runtime_error("net: parse_hello on a non-hello message");
+    throw WireError("net: parse_hello on a non-hello message");
   if (msg.payload.empty()) {
     // Legacy v1 hello: the role travels in the codec field.
     HelloInfo info;
@@ -97,7 +99,7 @@ std::pair<std::size_t, std::size_t> parse_frame(
     util::ByteReader r(data);
     const std::uint8_t raw_type = r.u8();
     if (raw_type > kMaxMsgType)
-      throw std::runtime_error("net: invalid message type " +
+      throw WireError("net: invalid message type " +
                                std::to_string(raw_type));
     msg.type = static_cast<MsgType>(raw_type);
     msg.frame_index = static_cast<std::int32_t>(r.u32());
@@ -105,7 +107,7 @@ std::pair<std::size_t, std::size_t> parse_frame(
     msg.piece_count = static_cast<std::int32_t>(r.u32());
     const std::size_t codec_len = r.varint();
     if (codec_len > r.remaining())
-      throw std::runtime_error(
+      throw WireError(
           "net: codec name length " + std::to_string(codec_len) +
           " exceeds the " + std::to_string(r.remaining()) +
           " bytes remaining in the frame");
@@ -113,16 +115,16 @@ std::pair<std::size_t, std::size_t> parse_frame(
     msg.codec.assign(codec_bytes.begin(), codec_bytes.end());
     const std::size_t len = r.varint();
     if (len > r.remaining())
-      throw std::runtime_error(
+      throw WireError(
           "net: payload length " + std::to_string(len) + " exceeds the " +
           std::to_string(r.remaining()) + " bytes remaining in the frame");
     const auto s = r.raw(len);
     if (!r.done())
-      throw std::runtime_error("net: " + std::to_string(r.remaining()) +
+      throw WireError("net: " + std::to_string(r.remaining()) +
                                " trailing bytes after message payload");
     return {static_cast<std::size_t>(s.data() - data.data()), len};
   } catch (const std::out_of_range& e) {
-    throw std::runtime_error(std::string("net: truncated message frame (") +
+    throw WireError(std::string("net: truncated message frame (") +
                              e.what() + ")");
   }
 }

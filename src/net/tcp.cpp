@@ -3,21 +3,26 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace tvviz::net {
 
 namespace {
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error("tcp: " + what + ": " + std::strerror(errno));
+  throw SocketError("tcp: " + what + ": " + std::strerror(errno));
 }
 
 sockaddr_in loopback(int port) {
@@ -34,22 +39,40 @@ NetMessage hello(const char* role) {
   msg.codec = role;
   return msg;
 }
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void fault_sleep_ms(const char* span_name, double ms) {
+  obs::Span span(span_name);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
 }  // namespace
 
 // ------------------------------------------------------- TcpConnection ----
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) {
+  if (auto injector = fault::active()) faults_ = injector->attach_connection();
+}
 
 TcpConnection::~TcpConnection() {
   if (fd_ >= 0) ::close(fd_);
 }
 
 std::unique_ptr<TcpConnection> TcpConnection::connect_local(int port) {
+  if (auto injector = fault::active(); injector && injector->refuse_connect())
+    throw SocketError("tcp: connect to 127.0.0.1:" + std::to_string(port) +
+                      " refused (injected fault)");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("tcp: socket() failed");
+  if (fd < 0) throw SocketError("tcp: socket() failed");
   const sockaddr_in addr = loopback(port);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
     ::close(fd);
-    throw std::runtime_error("tcp: connect to 127.0.0.1:" +
-                             std::to_string(port) + " failed");
+    throw SocketError("tcp: connect to 127.0.0.1:" + std::to_string(port) +
+                      " failed");
   }
   const int one = 1;
   if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) != 0) {
@@ -59,40 +82,90 @@ std::unique_ptr<TcpConnection> TcpConnection::connect_local(int port) {
   return std::make_unique<TcpConnection>(fd);
 }
 
-void TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
+std::unique_ptr<TcpConnection> TcpConnection::connect_local_retry(
+    int port, const fault::RetryPolicy& policy, util::Rng rng) {
+  fault::Backoff backoff(policy, rng);
+  std::exception_ptr last;
+  while (backoff.next()) {
+    try {
+      auto conn = connect_local(port);
+      if (policy.io_timeout_ms > 0.0)
+        conn->set_io_timeout_ms(policy.io_timeout_ms);
+      return conn;
+    } catch (const SocketError&) {
+      last = std::current_exception();
+    }
+  }
+  if (last) std::rethrow_exception(last);
+  throw SocketError("tcp: connect to 127.0.0.1:" + std::to_string(port) +
+                    " never attempted (empty retry policy)");
+}
+
+double TcpConnection::op_deadline_ms() const noexcept {
+  return io_timeout_ms_ > 0.0 ? steady_now_ms() + io_timeout_ms_ : -1.0;
+}
+
+void TcpConnection::wait_ready(short events, double deadline_ms) {
+  if (deadline_ms < 0.0) return;
+  static obs::Counter& timeouts = obs::counter("net.tcp.io_timeouts");
+  for (;;) {
+    const double remaining = deadline_ms - steady_now_ms();
+    if (remaining <= 0.0) {
+      timeouts.add(1);
+      throw TimeoutError("tcp: I/O deadline of " +
+                         std::to_string(io_timeout_ms_) + " ms expired");
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = events;
+    const int r = ::poll(&pfd, 1, static_cast<int>(std::ceil(remaining)));
+    if (r > 0) return;  // ready (or HUP/ERR: let the syscall surface it)
+    if (r == 0) continue;  // deadline re-checked at the top
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+void TcpConnection::write_all(const std::uint8_t* data, std::size_t len,
+                              double deadline_ms) {
   // Loop over short writes (framed messages routinely exceed the socket
   // buffer); retry interrupted syscalls; surface real errors with errno.
   while (len > 0) {
+    wait_ready(POLLOUT, deadline_ms);
     const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("send");
     }
-    if (n == 0) throw std::runtime_error("tcp: send made no progress");
+    if (n == 0) throw SocketError("tcp: send made no progress");
     data += n;
     len -= static_cast<std::size_t>(n);
   }
 }
 
-bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
-  // Loop over short reads. Only an orderly close (recv() == 0) or a peer
-  // reset maps to "connection ended"; other errors are real failures and
-  // throw instead of masquerading as a clean shutdown.
-  while (len > 0) {
-    const ssize_t n = ::recv(fd_, data, len, 0);
-    if (n == 0) return false;  // orderly close
+std::size_t TcpConnection::read_exact(std::uint8_t* data, std::size_t len,
+                                      double deadline_ms) {
+  // Loop over short reads until `len` bytes arrived or the stream ended.
+  // An orderly close (recv() == 0) or a peer reset reports how many bytes
+  // made it — the caller decides whether a partial read is a clean EOF
+  // (zero bytes, frame boundary) or a WireError (mid-frame). Other errors
+  // are real failures and throw instead of masquerading as a shutdown.
+  std::size_t got = 0;
+  while (got < len) {
+    wait_ready(POLLIN, deadline_ms);
+    const ssize_t n = ::recv(fd_, data + got, len - got, 0);
+    if (n == 0) return got;  // orderly close
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == ECONNRESET) return false;  // peer vanished mid-stream
+      if (errno == ECONNRESET) return got;  // peer vanished mid-stream
       throw_errno("recv");
     }
-    data += n;
-    len -= static_cast<std::size_t>(n);
+    got += static_cast<std::size_t>(n);
   }
-  return true;
+  return got;
 }
 
-void TcpConnection::writev_all(iovec* iov, int iov_count) {
+void TcpConnection::writev_all(iovec* iov, int iov_count, double deadline_ms) {
   // Scatter-gather send: the whole frame (length prefix + header + payload
   // view) goes down in one sendmsg() in the common case; short writes only
   // happen once the frame exceeds the free socket-buffer space, and then the
@@ -102,13 +175,14 @@ void TcpConnection::writev_all(iovec* iov, int iov_count) {
   mh.msg_iov = iov;
   mh.msg_iovlen = static_cast<std::size_t>(iov_count);
   while (mh.msg_iovlen > 0) {
+    wait_ready(POLLOUT, deadline_ms);
     const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     syscalls.add(1);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("sendmsg");
     }
-    if (n == 0) throw std::runtime_error("tcp: send made no progress");
+    if (n == 0) throw SocketError("tcp: send made no progress");
     auto advance = static_cast<std::size_t>(n);
     while (mh.msg_iovlen > 0 && advance >= mh.msg_iov[0].iov_len) {
       advance -= mh.msg_iov[0].iov_len;
@@ -129,44 +203,100 @@ void TcpConnection::send_message(const NetMessage& msg) {
   // Scatter-gather: the payload is never copied into a frame buffer; only
   // the small header fields are serialized, and the payload's own bytes are
   // handed to the kernel directly from the (shared, immutable) buffer.
-  const util::Bytes header_body = serialize_header(msg);
+  util::Bytes header_body = serialize_header(msg);
   const auto len =
       static_cast<std::uint32_t>(header_body.size() + msg.payload.size());
-  msgs.add(1);
-  bytes.add(len + 4u);
   std::uint8_t prefix[4];
   prefix[0] = static_cast<std::uint8_t>(len);
   prefix[1] = static_cast<std::uint8_t>(len >> 8);
   prefix[2] = static_cast<std::uint8_t>(len >> 16);
   prefix[3] = static_cast<std::uint8_t>(len >> 24);
+  const double deadline = op_deadline_ms();
+  if (faults_) {
+    const auto fault = faults_->before_send(4 + header_body.size() +
+                                                msg.payload.size(),
+                                            4 + header_body.size());
+    if (fault.delay_ms > 0.0) fault_sleep_ms("net.fault.delay", fault.delay_ms);
+    // Corruption only touches the per-send scratch bytes (prefix + header),
+    // never the shared immutable payload buffer.
+    for (const auto& [off, mask] : fault.corrupt) {
+      if (off < 4)
+        prefix[off] ^= mask;
+      else if (off - 4 < header_body.size())
+        header_body[off - 4] ^= mask;
+    }
+    if (fault.drop_before) {
+      shutdown();
+      throw SocketError("tcp: connection dropped (injected fault)");
+    }
+    if (fault.truncate_to != fault::SendFault::kNoTruncate) {
+      const std::uint8_t* regions[3] = {prefix, header_body.data(),
+                                        msg.payload.data()};
+      const std::size_t sizes[3] = {4, header_body.size(), msg.payload.size()};
+      std::size_t remaining = fault.truncate_to;
+      for (int i = 0; i < 3 && remaining > 0; ++i) {
+        const std::size_t n = std::min(remaining, sizes[i]);
+        if (n > 0) write_all(regions[i], n, deadline);
+        remaining -= n;
+      }
+      shutdown();
+      throw SocketError("tcp: frame truncated mid-send (injected fault)");
+    }
+  }
+  msgs.add(1);
+  bytes.add(len + 4u);
   iovec iov[3];
   iov[0] = {prefix, sizeof prefix};
-  iov[1] = {const_cast<std::uint8_t*>(header_body.data()), header_body.size()};
+  iov[1] = {header_body.data(), header_body.size()};
   int count = 2;
   if (!msg.payload.empty()) {
     iov[2] = {const_cast<std::uint8_t*>(msg.payload.data()),
               msg.payload.size()};
     count = 3;
   }
-  writev_all(iov, count);
+  writev_all(iov, count, deadline);
 }
 
 std::optional<NetMessage> TcpConnection::recv_message() {
+  if (faults_) {
+    const auto fault = faults_->before_recv();
+    if (fault.stall_ms > 0.0) fault_sleep_ms("net.fault.stall", fault.stall_ms);
+    if (fault.drop) {
+      shutdown();
+      throw SocketError("tcp: connection dropped (injected fault)");
+    }
+  }
+  const double deadline = op_deadline_ms();
   std::uint8_t header[4];
-  if (!read_all(header, 4)) return std::nullopt;
+  const std::size_t prefix_got = read_exact(header, 4, deadline);
+  if (prefix_got == 0) return std::nullopt;  // clean EOF at a frame boundary
+  if (prefix_got < 4) {
+    // Regression guard: a peer dying inside the 4-byte length prefix used
+    // to be folded into "orderly close"; a half-received frame must be a
+    // loud, distinct wire error.
+    static obs::Counter& partial = obs::counter("net.wire.partial_prefix");
+    partial.add(1);
+    throw WireError("tcp: peer closed inside the length prefix (got " +
+                    std::to_string(prefix_got) + " of 4 bytes)");
+  }
   const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
                             (static_cast<std::uint32_t>(header[1]) << 8) |
                             (static_cast<std::uint32_t>(header[2]) << 16) |
                             (static_cast<std::uint32_t>(header[3]) << 24);
-  if (len > (1u << 30)) throw std::runtime_error("tcp: absurd frame length");
+  if (len > (1u << 30)) throw WireError("tcp: absurd frame length");
   // The body lands in a pooled buffer that becomes the message payload's
   // backing storage (deserialize_frame takes a view) — one read, no copy,
   // and the buffer returns to the pool when the last payload reference drops.
   auto& pool = util::BufferPool::global();
   util::Bytes body = pool.acquire(len);
-  if (!read_all(body.data(), body.size())) {
+  const std::size_t body_got = read_exact(body.data(), body.size(), deadline);
+  if (body_got < body.size()) {
+    static obs::Counter& partial = obs::counter("net.wire.partial_frame");
+    partial.add(1);
     pool.release(std::move(body));
-    return std::nullopt;
+    throw WireError("tcp: peer closed mid-frame (got " +
+                    std::to_string(body_got) + " of " + std::to_string(len) +
+                    " body bytes)");
   }
   static obs::Counter& msgs = obs::counter("net.tcp.messages_received");
   static obs::Counter& bytes = obs::counter("net.tcp.bytes_received");
@@ -184,7 +314,7 @@ void TcpConnection::shutdown() {
 TcpDaemonServer::TcpDaemonServer(int port, std::size_t display_buffer_frames)
     : daemon_(display_buffer_frames) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("tcp: socket() failed");
+  if (listen_fd_ < 0) throw SocketError("tcp: socket() failed");
   const int one = 1;
   if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) !=
       0) {
@@ -195,14 +325,14 @@ TcpDaemonServer::TcpDaemonServer(int port, std::size_t display_buffer_frames)
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0) {
     ::close(listen_fd_);
-    throw std::runtime_error("tcp: bind failed");
+    throw SocketError("tcp: bind failed");
   }
   socklen_t len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
   if (::listen(listen_fd_, 16) != 0) {
     ::close(listen_fd_);
-    throw std::runtime_error("tcp: listen failed");
+    throw SocketError("tcp: listen failed");
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -300,9 +430,16 @@ void TcpDaemonServer::serve_renderer(std::shared_ptr<TcpConnection> conn) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   });
-  // Reader: frames from the renderer into the daemon.
+  // Reader: frames from the renderer into the daemon. A renderer dying
+  // mid-frame (WireError) or a socket failure is a disconnect, not a
+  // std::terminate of the whole server.
   while (running_.load()) {
-    auto msg = conn->recv_message();
+    std::optional<NetMessage> msg;
+    try {
+      msg = conn->recv_message();
+    } catch (const std::exception&) {
+      break;
+    }
     if (!msg) break;
     port->send(std::move(*msg));
   }
@@ -312,24 +449,49 @@ void TcpDaemonServer::serve_renderer(std::shared_ptr<TcpConnection> conn) {
 
 void TcpDaemonServer::serve_display(std::shared_ptr<TcpConnection> conn) {
   auto port = daemon_.connect_display();
-  // Reader: control events from the display client.
+  if (display_retry_.io_timeout_ms > 0.0)
+    conn->set_io_timeout_ms(display_retry_.io_timeout_ms);
+  // Reader: control events from the display client (exceptions = client
+  // disconnected; the writer notices the broken socket on its next frame).
   std::thread reader([&] {
     while (running_.load()) {
-      auto msg = conn->recv_message();
+      std::optional<NetMessage> msg;
+      try {
+        msg = conn->recv_message();
+      } catch (const TimeoutError&) {
+        continue;  // control traffic is sparse; idle is not a disconnect
+      } catch (const std::exception&) {
+        return;
+      }
       if (!msg) return;
       if (msg->type == MsgType::kControl)
         port->send_control(ControlEvent::deserialize(msg->payload));
     }
   });
-  // Writer: relay frames to the display client.
-  while (running_.load()) {
+  // Writer: relay frames to the display client. A stalled client (per-op
+  // deadline expired) gets the policy's backoff-and-retry before the frame
+  // — and the client — is given up on; a broken socket ends the relay
+  // immediately.
+  util::Rng retry_rng(0xd15f1a6ULL ^ static_cast<std::uint64_t>(conn->fd()));
+  bool socket_alive = true;
+  while (socket_alive && running_.load()) {
     auto msg = port->next();
     if (!msg) break;  // daemon shut down
-    try {
-      conn->send_message(*msg);
-    } catch (const std::exception&) {
-      break;
+    fault::Backoff backoff(display_retry_, retry_rng.fork());
+    bool sent = false;
+    while (!sent && backoff.next()) {
+      try {
+        conn->send_message(*msg);
+        sent = true;
+      } catch (const TimeoutError&) {
+        static obs::Counter& stalls = obs::counter("net.retry.display_stalls");
+        stalls.add(1);
+      } catch (const std::exception&) {
+        socket_alive = false;
+        break;
+      }
     }
+    if (!sent) break;  // attempts exhausted or socket gone
   }
   conn->shutdown();  // unblock the reader
   reader.join();
@@ -342,7 +504,12 @@ TcpRendererLink::TcpRendererLink(int port)
   conn_->send_message(hello("renderer"));
   reader_ = std::thread([this] {
     while (true) {
-      auto msg = conn_->recv_message();
+      std::optional<NetMessage> msg;
+      try {
+        msg = conn_->recv_message();
+      } catch (const std::exception&) {
+        return;  // daemon gone or stream desynchronized: stop polling
+      }
       if (!msg) return;
       if (msg->type != MsgType::kControl) continue;
       std::lock_guard lock(mutex_);

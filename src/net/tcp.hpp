@@ -7,6 +7,13 @@
 // Wire protocol: each frame is [u32 little-endian length][NetMessage body
 // per serialize_message]. The first message on every connection must be a
 // kHello whose codec field carries the role: "renderer" or "display".
+//
+// Failure behavior (see net/errors.hpp): syscall failures throw
+// SocketError, a peer dying mid-frame throws WireError, and an expired
+// per-op deadline (set_io_timeout_ms; poll-based) throws TimeoutError.
+// Every connection consults the process-wide fault injector
+// (fault/fault.hpp) at its syscall choke points, so a seeded FaultPlan can
+// drop, delay, corrupt, truncate or refuse deterministically.
 #pragma once
 
 #include <atomic>
@@ -15,23 +22,37 @@
 #include <thread>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "net/daemon.hpp"
+#include "net/errors.hpp"
 #include "net/protocol.hpp"
 
 struct iovec;  // <sys/uio.h>
+
+namespace tvviz::fault {
+class ConnectionFaults;
+}
 
 namespace tvviz::net {
 
 /// Blocking, length-framed message socket (RAII over the fd).
 class TcpConnection {
  public:
-  explicit TcpConnection(int fd) : fd_(fd) {}
+  explicit TcpConnection(int fd);
   ~TcpConnection();
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
 
-  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
+  /// Connect to 127.0.0.1:port. Throws SocketError on failure (including a
+  /// fault-injected refusal).
   static std::unique_ptr<TcpConnection> connect_local(int port);
+
+  /// connect_local under `policy`: refused attempts back off and retry (the
+  /// jitter drawn from `rng`), and the policy's io_timeout_ms is installed
+  /// on the resulting connection. Throws the last SocketError once the
+  /// attempts are exhausted.
+  static std::unique_ptr<TcpConnection> connect_local_retry(
+      int port, const fault::RetryPolicy& policy, util::Rng rng);
 
   /// Send one framed message (full write; throws on error). Scatter-gather:
   /// length prefix, header fields, and the payload view go down in a single
@@ -39,8 +60,15 @@ class TcpConnection {
   /// (net.tcp.send_syscalls counts the actual syscalls).
   void send_message(const NetMessage& msg);
 
-  /// Receive one framed message. std::nullopt on orderly peer close.
+  /// Receive one framed message. std::nullopt on orderly peer close at a
+  /// frame boundary; WireError when the peer dies inside a length prefix
+  /// or frame body (a partial frame is never surfaced as a clean EOF).
   std::optional<NetMessage> recv_message();
+
+  /// Per-op deadline for send_message/recv_message, enforced with poll()
+  /// before each blocking syscall. 0 disables (block forever). Expiry
+  /// throws TimeoutError and leaves the connection open.
+  void set_io_timeout_ms(double ms) noexcept { io_timeout_ms_ = ms; }
 
   /// Shut down both directions (unblocks a reader in another thread).
   void shutdown();
@@ -48,11 +76,20 @@ class TcpConnection {
   int fd() const noexcept { return fd_; }
 
  private:
-  void write_all(const std::uint8_t* data, std::size_t len);
-  void writev_all(iovec* iov, int iov_count);
-  bool read_all(std::uint8_t* data, std::size_t len);
+  /// -1 = no deadline; otherwise the op's absolute poll deadline in
+  /// steady-clock milliseconds.
+  double op_deadline_ms() const noexcept;
+  void wait_ready(short events, double deadline_ms);
+  void write_all(const std::uint8_t* data, std::size_t len, double deadline_ms);
+  void writev_all(iovec* iov, int iov_count, double deadline_ms);
+  /// Read exactly `len` bytes unless the stream ends first; returns the
+  /// bytes actually read (== len unless the peer closed/reset mid-read).
+  std::size_t read_exact(std::uint8_t* data, std::size_t len,
+                         double deadline_ms);
 
   int fd_;
+  double io_timeout_ms_ = 0.0;
+  std::shared_ptr<fault::ConnectionFaults> faults_;
 };
 
 /// The display daemon behind a listening socket. Accepts any number of
@@ -67,6 +104,15 @@ class TcpDaemonServer {
   int port() const noexcept { return port_; }
   DisplayDaemon& daemon() noexcept { return daemon_; }
 
+  /// Recovery policy of the renderer->display pump: a display socket too
+  /// slow to accept a frame within the policy's io_timeout_ms is retried
+  /// with backoff instead of dropped on the first stall (and dropped for
+  /// real once the attempts are exhausted). The default policy has no
+  /// timeout, i.e. the pre-fault-injection blocking behavior.
+  void set_display_retry(const fault::RetryPolicy& policy) {
+    display_retry_ = policy;
+  }
+
   /// Stop accepting, close every connection, join all threads.
   void shutdown();
 
@@ -78,6 +124,7 @@ class TcpDaemonServer {
   DisplayDaemon daemon_;
   int listen_fd_ = -1;
   int port_ = 0;
+  fault::RetryPolicy display_retry_{};
   std::atomic<bool> running_{true};
   std::thread accept_thread_;
   std::mutex threads_mutex_;

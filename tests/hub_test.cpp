@@ -7,10 +7,13 @@
 #include <sys/socket.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
+#include <set>
 #include <thread>
 
 #include "core/session.hpp"
+#include "fault/fault.hpp"
 #include "field/generators.hpp"
 #include "hub/frame_cache.hpp"
 #include "hub/hub.hpp"
@@ -626,6 +629,151 @@ TEST(HubTcp, ReconnectOverSocketsResumes) {
     resumed.push_back(got->frame_index);
   }
   EXPECT_EQ(resumed, (std::vector<int>{2, 3, 4}));
+  server.shutdown();
+}
+
+TEST(HubTcp, ReconnectDowngradesWhenServerSpeaksOlderProtocol) {
+  // The hub restarts on the same port speaking only protocol v1 (an older
+  // deployment rolled back underneath a live viewer). The auto-reconnect
+  // viewer's v2 capability hello is refused with "unsupported protocol
+  // version"; it must renegotiate with the legacy v1 hello and keep
+  // receiving frames — as a fresh identity, since v1 carries no resume
+  // point.
+  static obs::Counter& downgrades = obs::counter("net.retry.downgrades");
+  const auto downgrades_before = downgrades.value();
+
+  hub::HubTcpViewer::Options o;
+  o.client_id = "timelord";
+  o.auto_reconnect = true;
+  o.retry.max_attempts = 8;
+  o.retry.base_delay_ms = 5.0;
+  o.retry.max_delay_ms = 100.0;
+  int port = 0;
+  std::unique_ptr<hub::HubTcpViewer> viewer;
+  {
+    hub::HubTcpServer modern;
+    port = modern.port();
+    viewer = std::make_unique<hub::HubTcpViewer>(port, o);
+    EXPECT_EQ(viewer->assigned_id(), "timelord");
+    EXPECT_FALSE(viewer->downgraded());
+    modern.shutdown();
+  }
+
+  hub::HubConfig cfg;
+  cfg.max_protocol_version = 1;
+  hub::HubTcpServer legacy(port, cfg);
+  std::atomic<bool> stop{false};
+  std::thread pump([&] {
+    auto renderer = legacy.hub().connect_renderer();
+    int s = 0;
+    while (!stop.load()) {
+      renderer->send(frame_msg(s++, {42}));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  const auto got = viewer->next();  // EOF -> reconnect -> refused -> v1
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, util::Bytes{42});
+  EXPECT_TRUE(viewer->downgraded());
+  EXPECT_GE(downgrades.value(), downgrades_before + 1);
+
+  stop.store(true);
+  pump.join();
+  viewer->close();
+  legacy.shutdown();
+}
+
+// ------------------------------------------------------------ seeded chaos --
+
+TEST(HubChaos, LatencyChaosFanOutStaysLossless) {
+  // Latency-only chaos over the whole TCP hub: handshakes, fan-out sends
+  // and acks all get delayed, but every viewer still sees every step in
+  // order and bit-intact. The CI chaos job replays this under several
+  // TVVIZ_FAULT_SEED values.
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("TVVIZ_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::latency_chaos(seed, /*rate=*/0.5, /*max_ms=*/2.0));
+
+  hub::HubTcpServer server;
+  constexpr int kSteps = 6;
+  hub::HubTcpViewer::Options o;
+  o.queue_frames = 2 * kSteps;
+  std::vector<std::unique_ptr<hub::HubTcpViewer>> viewers;
+  for (int k = 0; k < 2; ++k)
+    viewers.push_back(std::make_unique<hub::HubTcpViewer>(server.port(), o));
+
+  net::TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (int s = 0; s < kSteps; ++s) {
+    NetMessage msg = frame_msg(s, {});
+    msg.payload = util::Bytes(64, static_cast<std::uint8_t>(s + 1));
+    renderer.send(msg);
+  }
+  for (auto& v : viewers) {
+    for (int s = 0; s < kSteps; ++s) {
+      const auto got = v->next();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->frame_index, s);
+      EXPECT_EQ(got->payload, util::Bytes(64, static_cast<std::uint8_t>(s + 1)));
+      v->ack(s);
+    }
+  }
+  server.shutdown();
+}
+
+TEST(HubChaos, DropChaosAutoReconnectViewerCollectsEveryStep) {
+  // Probabilistic connection drops on every send: connections (including
+  // reconnected ones) keep dying mid-stream, and the auto-reconnect viewer
+  // must still assemble the complete run from resume replays.
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("TVVIZ_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.send_drop_rate = 0.05;
+  fault::ScopedFaultPlan scoped(plan);
+
+  constexpr int kSteps = 12;
+  hub::HubTcpServer server;
+
+  hub::HubTcpViewer::Options o;
+  o.client_id = "chaosbird";
+  o.auto_reconnect = true;
+  o.retry.max_attempts = 8;
+  o.retry.base_delay_ms = 2.0;
+  o.retry.max_delay_ms = 50.0;
+  o.retry.io_timeout_ms = 2000.0;
+  o.queue_frames = 2 * kSteps;
+  hub::HubTcpViewer viewer(server.port(), o);
+
+  auto renderer = server.hub().connect_renderer();
+  for (int s = 0; s < kSteps; ++s) {
+    NetMessage msg = frame_msg(s, {});
+    msg.payload = util::Bytes(64, static_cast<std::uint8_t>(s + 1));
+    renderer->send(msg);
+  }
+
+  std::set<int> seen;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (seen.size() < static_cast<std::size_t>(kSteps) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const auto msg = viewer.next();
+    ASSERT_TRUE(msg.has_value()) << "stream ended before every step arrived";
+    if (msg->type != MsgType::kFrame) continue;
+    ASSERT_EQ(msg->payload.size(), 64u);
+    for (const auto byte : msg->payload)
+      ASSERT_EQ(byte, static_cast<std::uint8_t>(msg->frame_index + 1));
+    seen.insert(msg->frame_index);
+    viewer.ack(msg->frame_index);
+  }
+  for (int s = 0; s < kSteps; ++s)
+    EXPECT_TRUE(seen.count(s)) << "step " << s << " never displayed";
+
+  viewer.close();
   server.shutdown();
 }
 

@@ -7,9 +7,13 @@
 
 #include <thread>
 
+#include <cstdlib>
+
 #include "codec/image_codec.hpp"
 #include "core/session.hpp"
+#include "fault/fault.hpp"
 #include "field/generators.hpp"
+#include "net/errors.hpp"
 #include "net/tcp.hpp"
 #include "obs/counters.hpp"
 #include "render/image.hpp"
@@ -398,6 +402,81 @@ TEST(Tcp, SessionControlEventsOverSockets) {
   const auto result = core::run_session(cfg);
   EXPECT_EQ(result.frames.size(), 8u);
   EXPECT_GT(result.control_events_applied, 0);
+}
+
+// ------------------------------------------------- wire-desync regressions --
+
+TEST(Tcp, PartialLengthPrefixIsAWireErrorNotCleanEof) {
+  // Regression: a peer dying inside the 4-byte length prefix used to be
+  // folded into "orderly close", so a mid-frame disconnect looked like a
+  // clean end-of-stream and the half-received frame vanished silently.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::TcpConnection conn(sv[0]);
+  static obs::Counter& partial = obs::counter("net.wire.partial_prefix");
+  const auto before = partial.value();
+  const std::uint8_t half[2] = {0x10, 0x00};
+  ASSERT_EQ(::send(sv[1], half, sizeof half, 0), 2);
+  ::close(sv[1]);
+  EXPECT_THROW(conn.recv_message(), net::WireError);
+  EXPECT_EQ(partial.value(), before + 1);
+}
+
+TEST(Tcp, PartialFrameBodyIsAWireError) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::TcpConnection conn(sv[0]);
+  static obs::Counter& partial = obs::counter("net.wire.partial_frame");
+  const auto before = partial.value();
+  // A prefix promising a 100-byte body, 10 bytes of it, then death.
+  std::uint8_t wire[14] = {100, 0, 0, 0};
+  ASSERT_EQ(::send(sv[1], wire, sizeof wire, 0),
+            static_cast<ssize_t>(sizeof wire));
+  ::close(sv[1]);
+  EXPECT_THROW(conn.recv_message(), net::WireError);
+  EXPECT_EQ(partial.value(), before + 1);
+}
+
+// ------------------------------------------------------------ seeded chaos --
+
+TEST(TcpChaos, LatencyChaosDeliversEveryFrameIntact) {
+  // Latency-only chaos (the CI chaos job re-runs this under several
+  // TVVIZ_FAULT_SEED values): every send is delayed and receives may stall,
+  // but no byte is ever lost — so the whole daemon pipeline must still
+  // deliver every frame bit-identical, just late.
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("TVVIZ_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::latency_chaos(seed, /*rate=*/1.0, /*max_ms=*/2.0));
+
+  TcpDaemonServer server;
+  TcpDisplayLink display(server.port());
+  TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  util::Rng payload_rng(seed);
+  std::vector<util::Bytes> sent;
+  for (int i = 0; i < 5; ++i) {
+    NetMessage msg;
+    msg.type = MsgType::kFrame;
+    msg.frame_index = i;
+    msg.codec = "raw";
+    util::Bytes body(512);
+    for (auto& b : body) b = static_cast<std::uint8_t>(payload_rng());
+    sent.push_back(body);
+    msg.payload = std::move(body);
+    renderer.send(msg);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto got = display.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->frame_index, i);
+    EXPECT_EQ(util::Bytes(got->payload.begin(), got->payload.end()), sent[i]);
+  }
+  // rate=1.0 guarantees the plan actually fired on every send.
+  EXPECT_GE(scoped.injector().events().size(), 10u);
+  server.shutdown();
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares a fresh ablation_zero_copy JSON report against the committed
+baseline (BENCH_zero_copy.json) and fails when the single-client
+inter-frame delay regressed by more than the allowed fraction.
+
+Raw millisecond numbers are machine-dependent (CI runners are not the
+machine the baseline was recorded on), so the gated metric is the
+within-run ratio zero/seed (`single_client_delay_ratio`): both paths run
+on the same machine in the same process, so their ratio cancels host
+speed and isolates the zero-copy path's relative cost. A regression in
+the frame path shows up as this ratio creeping up.
+
+Usage:
+    bench_gate.py --fresh out.json --baseline BENCH_zero_copy.json \
+                  [--max-regression 0.25]
+
+Exit status: 0 = within budget, 1 = regression (or malformed input).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="JSON report from this run's ablation_zero_copy")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (BENCH_zero_copy.json)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional increase of the "
+                             "single-client delay ratio (default 0.25)")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    for name, report in (("fresh", fresh), ("baseline", baseline)):
+        if "single_client_delay_ratio" not in report:
+            print(f"bench_gate: {name} report has no "
+                  "single_client_delay_ratio", file=sys.stderr)
+            sys.exit(1)
+
+    # Sanity: every run in the fresh report actually delivered frames.
+    for run in fresh.get("runs", []):
+        if run.get("frames", 0) <= 0:
+            print(f"bench_gate: fresh run delivered no frames: {run}",
+                  file=sys.stderr)
+            sys.exit(1)
+
+    fresh_ratio = float(fresh["single_client_delay_ratio"])
+    base_ratio = float(baseline["single_client_delay_ratio"])
+    if base_ratio <= 0.0:
+        print(f"bench_gate: baseline ratio {base_ratio} is not positive",
+              file=sys.stderr)
+        sys.exit(1)
+
+    regression = fresh_ratio / base_ratio - 1.0
+    verdict = "OK" if regression <= args.max_regression else "REGRESSION"
+    print(f"bench_gate: single_client_delay_ratio fresh={fresh_ratio:.4f} "
+          f"baseline={base_ratio:.4f} change={regression:+.1%} "
+          f"(budget +{args.max_regression:.0%}) -> {verdict}")
+    if verdict != "OK":
+        print("bench_gate: the zero-copy path's single-client inter-frame "
+              "delay regressed past the budget; investigate before merging.",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

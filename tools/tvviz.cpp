@@ -19,6 +19,7 @@
 
 #include "codec/image_codec.hpp"
 #include "core/perfmodel.hpp"
+#include "fault/fault.hpp"
 #include "core/pipesim.hpp"
 #include "core/session.hpp"
 #include "field/preview.hpp"
@@ -351,7 +352,12 @@ void usage() {
       "observability (any command):\n"
       "  --trace <file>          record pipeline spans, write Chrome\n"
       "                          trace_event JSON (Perfetto-loadable)\n"
-      "  --counters-json <file>  dump the counter registry as JSON\n");
+      "  --counters-json <file>  dump the counter registry as JSON\n"
+      "chaos testing (any command):\n"
+      "  --fault-seed <N>        inject seeded latency faults (send delays,\n"
+      "                          receive stalls) into every TCP connection;\n"
+      "                          the same seed replays the same faults\n"
+      "                          (counted under net.fault.*)\n");
 }
 
 }  // namespace
@@ -366,6 +372,13 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.get("trace", "");
   const std::string counters_out = flags.get("counters-json", "");
   if (!trace_out.empty()) obs::enable_tracing(true);
+  // Seeded latency-only chaos for any command that opens TCP connections
+  // (play --tcp, hub --tcp): frames are delayed/stalled, never lost.
+  std::optional<fault::ScopedFaultPlan> chaos;
+  const auto fault_seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  if (fault_seed != 0)
+    chaos.emplace(fault::FaultPlan::latency_chaos(fault_seed));
   const auto dump_observability = [&] {
     if (!trace_out.empty()) {
       if (obs::write_chrome_trace_file(trace_out))

@@ -278,7 +278,7 @@ HubTcpViewer::HubTcpViewer(int port, Options options)
           NetMessage beat;
           beat.type = MsgType::kHeartbeat;
           try {
-            conn_->send_message(beat);
+            current()->send_message(beat);
           } catch (const std::exception&) {
             // With auto_reconnect the next() loop is (or will be) swapping
             // the socket; keep beating on whatever is installed next.
@@ -299,8 +299,13 @@ std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
   HelloInfo info;
   info.role = "display";
   // A reconnect reclaims the identity the hub assigned on first contact and
-  // resumes after the newest step this viewer acked.
-  info.client_id = assigned_id_.empty() ? options_.client_id : assigned_id_;
+  // resumes after the newest step this viewer acked. assigned_id_ is shared
+  // with assigned_id() callers on other threads, so snapshot it under the
+  // state lock.
+  {
+    std::lock_guard lock(state_mutex_);
+    info.client_id = assigned_id_.empty() ? options_.client_id : assigned_id_;
+  }
   info.last_acked_step = last_acked_.load();
   info.queue_frames = options_.queue_frames;
   info.wants_heartbeat = options_.heartbeat_interval_ms > 0;
@@ -335,7 +340,10 @@ std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
     throw std::runtime_error("hub: refused: " + net::error_text(*reply));
   if (reply->type != MsgType::kHelloAck)
     throw std::runtime_error("hub: unexpected handshake reply");
-  assigned_id_ = reply->codec;
+  {
+    std::lock_guard lock(state_mutex_);
+    assigned_id_ = reply->codec;
+  }
   return conn;
 }
 
@@ -349,11 +357,16 @@ bool HubTcpViewer::reconnect() {
     } catch (const std::exception&) {
       continue;
     }
+    std::shared_ptr<TcpConnection> old;
     {
-      std::lock_guard lock(send_mutex_);
-      if (conn_) conn_->shutdown();
+      std::lock_guard lock(state_mutex_);
+      old = std::move(conn_);
       conn_ = std::move(fresh);
     }
+    // Shut the old socket down outside the lock: if a sender is blocked
+    // inside send_message() on it (holding send_mutex_), this is what
+    // unblocks them — they fail over to the fresh connection on retry.
+    if (old) old->shutdown();
     static obs::Counter& reconnects = obs::counter("net.retry.reconnects");
     reconnects.add(1);
     return true;
@@ -362,12 +375,12 @@ bool HubTcpViewer::reconnect() {
 }
 
 std::shared_ptr<TcpConnection> HubTcpViewer::current() const {
-  std::lock_guard lock(send_mutex_);
+  std::lock_guard lock(state_mutex_);
   return conn_;
 }
 
 std::string HubTcpViewer::assigned_id() const {
-  std::lock_guard lock(send_mutex_);
+  std::lock_guard lock(state_mutex_);
   return assigned_id_;
 }
 
@@ -402,7 +415,7 @@ void HubTcpViewer::ack(int step) {
   msg.type = MsgType::kAck;
   msg.frame_index = step;
   try {
-    conn_->send_message(msg);
+    current()->send_message(msg);
   } catch (const std::exception&) {
     // The resume point is already recorded locally; a reconnecting viewer
     // re-announces it in the next hello. Fail-fast viewers keep throwing.
@@ -417,7 +430,7 @@ void HubTcpViewer::send_control(const net::ControlEvent& event) {
   msg.type = MsgType::kControl;
   msg.payload = event.serialize();
   try {
-    conn_->send_message(msg);
+    current()->send_message(msg);
   } catch (const std::exception&) {
     if (!options_.auto_reconnect) throw;
   }
@@ -425,10 +438,12 @@ void HubTcpViewer::send_control(const net::ControlEvent& event) {
 
 void HubTcpViewer::close() {
   if (!open_.exchange(false)) return;
-  {
-    std::lock_guard lock(send_mutex_);
-    if (conn_) conn_->shutdown();
-  }
+  // Shut the socket down WITHOUT taking send_mutex_: a sender blocked inside
+  // send_message() (the default policy has no io_timeout) holds that lock
+  // and can only be unblocked by this very shutdown — waiting for the lock
+  // here would deadlock. The pointer snapshot is safe under state_mutex_,
+  // which is never held across I/O.
+  if (auto conn = current()) conn->shutdown();
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
 }
 

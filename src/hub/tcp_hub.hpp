@@ -93,7 +93,7 @@ class HubTcpViewer {
   ~HubTcpViewer();
 
   /// The identity the hub filed this client under (echoed or assigned).
-  /// Resolved under the send lock: a concurrent reconnect may reassign it.
+  /// Resolved under the state lock: a concurrent reconnect may reassign it.
   std::string assigned_id() const;
 
   /// True once the handshake fell back to the v1 hello.
@@ -125,7 +125,14 @@ class HubTcpViewer {
   std::atomic<bool> open_{true};
   std::atomic<bool> downgraded_{false};
   util::Rng retry_rng_{0x76696577ULL};  ///< Jitter stream for reconnects.
-  mutable std::mutex send_mutex_;  ///< Guards conn_/assigned_id_ + senders.
+  /// Serializes the senders (ack/control/heartbeat). May be held for as long
+  /// as a send blocks, so close() must never wait on it.
+  mutable std::mutex send_mutex_;
+  /// Guards the conn_ pointer and assigned_id_ — held only for snapshots and
+  /// swaps, never across I/O, so close() and reconnect() can always reach the
+  /// live socket even while a sender is blocked holding send_mutex_.
+  /// Lock order where both are taken: send_mutex_ then state_mutex_.
+  mutable std::mutex state_mutex_;
   std::thread heartbeat_thread_;
 };
 

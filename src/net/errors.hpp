@@ -11,9 +11,14 @@
 //                  corrupt header failed validation. The socket may still
 //                  be open but the framing is unrecoverable; reconnect.
 //   TimeoutError — a per-op I/O deadline expired (poll-based; see
-//                  TcpConnection::set_io_timeout_ms). The peer may merely
-//                  be slow: this is the one class worth retrying in place,
-//                  with backoff.
+//                  TcpConnection::set_io_timeout_ms) before any byte of the
+//                  frame crossed the wire. The peer may merely be slow: this
+//                  is the one class worth retrying in place, with backoff,
+//                  and the transport guarantees the retry is framing-safe —
+//                  a deadline that expires after partial progress is
+//                  surfaced as SocketError (send side, connection closed) or
+//                  WireError (recv side) instead, because the byte stream is
+//                  desynchronized and only a reconnect recovers it.
 #pragma once
 
 #include <stdexcept>

@@ -1,6 +1,7 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -101,6 +102,19 @@ std::unique_ptr<TcpConnection> TcpConnection::connect_local_retry(
                     " never attempted (empty retry policy)");
 }
 
+void TcpConnection::set_io_timeout_ms(double ms) noexcept {
+  io_timeout_ms_ = ms;
+  // Deadlines need a non-blocking fd: poll() only guards *entering* a
+  // syscall, and a blocking send/recv whose data exceeds the free socket
+  // buffer sleeps in the kernel until the peer drains it — indefinitely for
+  // a stalled peer. Non-blocking, the syscall returns its partial progress
+  // (or EAGAIN) and the loop re-enters wait_ready, where the deadline fires.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return;  // best effort: poll-only enforcement remains
+  const int want = ms > 0.0 ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags) ::fcntl(fd_, F_SETFL, want);
+}
+
 double TcpConnection::op_deadline_ms() const noexcept {
   return io_timeout_ms_ > 0.0 ? steady_now_ms() + io_timeout_ms_ : -1.0;
 }
@@ -130,14 +144,28 @@ void TcpConnection::write_all(const std::uint8_t* data, std::size_t len,
                               double deadline_ms) {
   // Loop over short writes (framed messages routinely exceed the socket
   // buffer); retry interrupted syscalls; surface real errors with errno.
+  // Same partial-progress rule as writev_all: a deadline that expires once
+  // bytes have gone out is a desynchronized stream, not a retryable timeout.
+  std::size_t sent = 0;
   while (len > 0) {
-    wait_ready(POLLOUT, deadline_ms);
+    try {
+      wait_ready(POLLOUT, deadline_ms);
+    } catch (const TimeoutError&) {
+      if (sent == 0) throw;
+      static obs::Counter& partial = obs::counter("net.wire.partial_send");
+      partial.add(1);
+      shutdown();
+      throw SocketError("tcp: I/O deadline expired after " +
+                        std::to_string(sent) +
+                        " bytes of a frame were sent; stream desynchronized");
+    }
     const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       throw_errno("send");
     }
     if (n == 0) throw SocketError("tcp: send made no progress");
+    sent += static_cast<std::size_t>(n);
     data += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -150,13 +178,26 @@ std::size_t TcpConnection::read_exact(std::uint8_t* data, std::size_t len,
   // made it — the caller decides whether a partial read is a clean EOF
   // (zero bytes, frame boundary) or a WireError (mid-frame). Other errors
   // are real failures and throw instead of masquerading as a shutdown.
+  // A deadline that expires with bytes already consumed into the (discarded)
+  // destination buffer leaves the stream pointing mid-frame; retrying the
+  // receive would misparse from there. Only a zero-progress timeout is
+  // surfaced as the retryable TimeoutError.
   std::size_t got = 0;
   while (got < len) {
-    wait_ready(POLLIN, deadline_ms);
+    try {
+      wait_ready(POLLIN, deadline_ms);
+    } catch (const TimeoutError&) {
+      if (got == 0) throw;
+      static obs::Counter& desync = obs::counter("net.wire.desync_timeouts");
+      desync.add(1);
+      throw WireError("tcp: I/O deadline expired after " + std::to_string(got) +
+                      " of " + std::to_string(len) +
+                      " bytes were consumed; stream desynchronized");
+    }
     const ssize_t n = ::recv(fd_, data + got, len - got, 0);
     if (n == 0) return got;  // orderly close
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       if (errno == ECONNRESET) return got;  // peer vanished mid-stream
       throw_errno("recv");
     }
@@ -174,15 +215,31 @@ void TcpConnection::writev_all(iovec* iov, int iov_count, double deadline_ms) {
   msghdr mh{};
   mh.msg_iov = iov;
   mh.msg_iovlen = static_cast<std::size_t>(iov_count);
+  std::size_t sent = 0;
   while (mh.msg_iovlen > 0) {
-    wait_ready(POLLOUT, deadline_ms);
+    try {
+      wait_ready(POLLOUT, deadline_ms);
+    } catch (const TimeoutError&) {
+      if (sent == 0) throw;  // nothing on the wire yet: safe to retry in place
+      // Part of the frame is already on the wire; a retried send would start
+      // over at the length prefix and permanently desynchronize the
+      // receiver's framing. Fail the connection instead of surfacing a
+      // retryable timeout.
+      static obs::Counter& partial = obs::counter("net.wire.partial_send");
+      partial.add(1);
+      shutdown();
+      throw SocketError("tcp: I/O deadline expired after " +
+                        std::to_string(sent) +
+                        " bytes of a frame were sent; stream desynchronized");
+    }
     const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     syscalls.add(1);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       throw_errno("sendmsg");
     }
     if (n == 0) throw SocketError("tcp: send made no progress");
+    sent += static_cast<std::size_t>(n);
     auto advance = static_cast<std::size_t>(n);
     while (mh.msg_iovlen > 0 && advance >= mh.msg_iov[0].iov_len) {
       advance -= mh.msg_iov[0].iov_len;
@@ -234,10 +291,15 @@ void TcpConnection::send_message(const NetMessage& msg) {
                                         msg.payload.data()};
       const std::size_t sizes[3] = {4, header_body.size(), msg.payload.size()};
       std::size_t remaining = fault.truncate_to;
-      for (int i = 0; i < 3 && remaining > 0; ++i) {
-        const std::size_t n = std::min(remaining, sizes[i]);
-        if (n > 0) write_all(regions[i], n, deadline);
-        remaining -= n;
+      try {
+        for (int i = 0; i < 3 && remaining > 0; ++i) {
+          const std::size_t n = std::min(remaining, sizes[i]);
+          if (n > 0) write_all(regions[i], n, deadline);
+          remaining -= n;
+        }
+      } catch (const TimeoutError&) {
+        // A stalled peer while injecting the truncation yields the same
+        // outcome the fault wanted: a frame cut short and a dead connection.
       }
       shutdown();
       throw SocketError("tcp: frame truncated mid-send (injected fault)");
@@ -289,7 +351,23 @@ std::optional<NetMessage> TcpConnection::recv_message() {
   // and the buffer returns to the pool when the last payload reference drops.
   auto& pool = util::BufferPool::global();
   util::Bytes body = pool.acquire(len);
-  const std::size_t body_got = read_exact(body.data(), body.size(), deadline);
+  std::size_t body_got = 0;
+  try {
+    body_got = read_exact(body.data(), body.size(), deadline);
+  } catch (const TimeoutError&) {
+    // Even a zero-progress body timeout is past the point of no return: the
+    // 4-byte prefix is consumed, so a retried recv_message would parse body
+    // bytes as a fresh prefix. Same desync as a mid-read timeout.
+    static obs::Counter& desync = obs::counter("net.wire.desync_timeouts");
+    desync.add(1);
+    pool.release(std::move(body));
+    throw WireError(
+        "tcp: I/O deadline expired between length prefix and frame body; "
+        "stream desynchronized");
+  } catch (...) {
+    pool.release(std::move(body));
+    throw;
+  }
   if (body_got < body.size()) {
     static obs::Counter& partial = obs::counter("net.wire.partial_frame");
     partial.add(1);
@@ -459,7 +537,10 @@ void TcpDaemonServer::serve_display(std::shared_ptr<TcpConnection> conn) {
       try {
         msg = conn->recv_message();
       } catch (const TimeoutError&) {
-        continue;  // control traffic is sparse; idle is not a disconnect
+        // Control traffic is sparse; idle is not a disconnect. Safe to retry:
+        // recv_message only surfaces TimeoutError when zero bytes of the
+        // frame were consumed (partial progress is a WireError instead).
+        continue;
       } catch (const std::exception&) {
         return;
       }
@@ -471,7 +552,10 @@ void TcpDaemonServer::serve_display(std::shared_ptr<TcpConnection> conn) {
   // Writer: relay frames to the display client. A stalled client (per-op
   // deadline expired) gets the policy's backoff-and-retry before the frame
   // — and the client — is given up on; a broken socket ends the relay
-  // immediately.
+  // immediately. Retrying the same frame is safe because send_message only
+  // surfaces TimeoutError when zero bytes of it reached the wire — a
+  // deadline expiring mid-frame closes the connection with a SocketError
+  // (the receiver's framing would desynchronize on a resend).
   util::Rng retry_rng(0xd15f1a6ULL ^ static_cast<std::uint64_t>(conn->fd()));
   bool socket_alive = true;
   while (socket_alive && running_.load()) {

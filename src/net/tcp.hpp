@@ -65,10 +65,15 @@ class TcpConnection {
   /// or frame body (a partial frame is never surfaced as a clean EOF).
   std::optional<NetMessage> recv_message();
 
-  /// Per-op deadline for send_message/recv_message, enforced with poll()
-  /// before each blocking syscall. 0 disables (block forever). Expiry
-  /// throws TimeoutError and leaves the connection open.
-  void set_io_timeout_ms(double ms) noexcept { io_timeout_ms_ = ms; }
+  /// Per-op deadline for send_message/recv_message, enforced with poll() +
+  /// non-blocking syscalls (a blocking send larger than the free socket
+  /// buffer would otherwise sleep in the kernel past any deadline). 0
+  /// disables (block forever, fd restored to blocking). Expiry with zero
+  /// bytes of the frame transferred throws TimeoutError and leaves the
+  /// connection open (the op is safely retryable); expiry after partial
+  /// progress desynchronizes the framing and is surfaced as SocketError
+  /// (send, connection shut down) or WireError (recv) instead.
+  void set_io_timeout_ms(double ms) noexcept;
 
   /// Shut down both directions (unblocks a reader in another thread).
   void shutdown();

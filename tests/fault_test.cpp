@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <set>
@@ -345,6 +346,80 @@ TEST(FaultRecovery, StalledPeerTripsTheIoDeadline) {
   const auto got = pair.b->recv_message();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->frame_index, 1);
+}
+
+TEST(FaultRecovery, MidPrefixRecvTimeoutIsAWireErrorNotRetryable) {
+  // A peer that sends 2 of the 4 length-prefix bytes and then stalls: the
+  // expired deadline must NOT surface as a retryable TimeoutError — the two
+  // consumed bytes are gone, so a retried recv_message would misparse the
+  // stream from mid-prefix. Regression for the serve_display reader, which
+  // retries recv_message in place on TimeoutError.
+  ConnPair pair;
+  pair.b->set_io_timeout_ms(30.0);
+  static obs::Counter& desync = obs::counter("net.wire.desync_timeouts");
+  const auto before = desync.value();
+  const std::uint8_t half_prefix[2] = {0x10, 0x00};
+  ASSERT_EQ(::send(pair.a->fd(), half_prefix, sizeof half_prefix, 0),
+            static_cast<ssize_t>(sizeof half_prefix));
+  EXPECT_THROW(pair.b->recv_message(), WireError);
+  EXPECT_GT(desync.value(), before);
+}
+
+TEST(FaultRecovery, BodyTimeoutAfterPrefixIsAWireError) {
+  // The whole prefix arrives but the body never does: the prefix is already
+  // consumed, so even a zero-progress body timeout would make a retried
+  // recv_message parse body bytes as a fresh prefix. Must be WireError.
+  ConnPair pair;
+  pair.b->set_io_timeout_ms(30.0);
+  const std::uint8_t prefix[4] = {100, 0, 0, 0};  // "100-byte body follows"
+  ASSERT_EQ(::send(pair.a->fd(), prefix, sizeof prefix, 0),
+            static_cast<ssize_t>(sizeof prefix));
+  EXPECT_THROW(pair.b->recv_message(), WireError);
+}
+
+TEST(FaultRecovery, MidFrameSendTimeoutFailsTheConnection) {
+  // A stalled receiver with a full socket buffer: the first sendmsg() pushes
+  // part of the frame to the wire, then the deadline expires. Retrying the
+  // send would resend the length prefix mid-frame and desynchronize the
+  // receiver, so the transport must fail the connection (SocketError), not
+  // surface a retryable TimeoutError. Regression for the display pump's
+  // backoff-and-retry loop.
+  ConnPair pair;
+  const int tiny = 1;  // clamped up to the kernel minimum — still far
+                       // smaller than the frame below
+  ASSERT_EQ(::setsockopt(pair.a->fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof tiny),
+            0);
+  pair.a->set_io_timeout_ms(30.0);
+  static obs::Counter& partial = obs::counter("net.wire.partial_send");
+  const auto before = partial.value();
+  EXPECT_THROW(pair.a->send_message(frame_msg(0, 4u << 20)), SocketError);
+  EXPECT_GT(partial.value(), before);
+}
+
+TEST(FaultRecovery, SendTimeoutWithNothingSentStaysRetryable) {
+  // The buffer is already full when send_message starts, so zero bytes of
+  // the frame go out: this is the one send-timeout shape that stays a
+  // retryable TimeoutError, and the connection survives it.
+  ConnPair pair;
+  const int tiny = 1;
+  ASSERT_EQ(::setsockopt(pair.a->fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof tiny),
+            0);
+  // Fill the send buffer below the framing layer (the receiver never reads),
+  // then top it off byte by byte so zero space remains — a few free bytes
+  // would let the frame make partial progress, which is the *other* test.
+  std::uint8_t junk[1024] = {};
+  while (::send(pair.a->fd(), junk, sizeof junk, MSG_DONTWAIT) > 0) {
+  }
+  while (::send(pair.a->fd(), junk, 1, MSG_DONTWAIT) > 0) {
+  }
+  ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+  pair.a->set_io_timeout_ms(30.0);
+  EXPECT_THROW(pair.a->send_message(frame_msg(0, 64)), TimeoutError);
+  // Still open: a second attempt times out again rather than reporting a
+  // shut-down socket.
+  EXPECT_THROW(pair.a->send_message(frame_msg(0, 64)), TimeoutError);
 }
 
 TEST(FaultRecovery, TimeoutsRetryUnderBackoffThenGiveUp) {

@@ -4,7 +4,10 @@
 // over real TCP sockets.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdlib>
@@ -682,6 +685,73 @@ TEST(HubTcp, ReconnectDowngradesWhenServerSpeaksOlderProtocol) {
   pump.join();
   viewer->close();
   legacy.shutdown();
+}
+
+TEST(HubTcp, CloseUnblocksASenderStalledOnAFullSocket) {
+  // Regression: close() used to take send_mutex_ before shutting the socket
+  // down. A sender blocked inside send_message() on a full socket buffer
+  // (the default policy has no io_timeout) holds that lock until the very
+  // shutdown() close() was waiting to issue — a deadlock, with the stalled
+  // hub unreachable forever. close() must shut the socket down without the
+  // send lock. On regression this test hangs (ctest timeout).
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &alen),
+            0);
+  const int port = ntohs(addr.sin_port);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+
+  // A hub that completes the handshake and then goes silent: it never reads
+  // again, so the viewer's sends pile up until the socket buffers are full.
+  std::atomic<bool> release{false};
+  std::thread server([&] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    net::TcpConnection conn(fd);
+    try {
+      (void)conn.recv_message();  // the viewer's hello
+      NetMessage ok;
+      ok.type = MsgType::kHelloAck;
+      ok.codec = "wedged";
+      conn.send_message(ok);
+    } catch (const std::exception&) {
+    }
+    while (!release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+
+  hub::HubTcpViewer viewer(port);
+  std::atomic<bool> sender_done{false};
+  std::thread sender([&] {
+    net::ControlEvent big;
+    big.name = std::string(1 << 16, 'x');
+    try {
+      // Far more than any auto-tuned socket buffering: the loop wedges
+      // inside send_message() long before it completes.
+      for (int i = 0; i < 4096; ++i) viewer.send_control(big);
+    } catch (const std::exception&) {
+      // close() shut the socket down under the sender: expected.
+    }
+    sender_done.store(true);
+  });
+  // Let the sender actually wedge into the full buffer before closing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(sender_done.load()) << "sender never blocked; test is vacuous";
+  viewer.close();  // must not deadlock against the blocked sender
+  sender.join();
+  EXPECT_TRUE(sender_done.load());
+  release.store(true);
+  server.join();
+  ::close(listen_fd);
 }
 
 // ------------------------------------------------------------ seeded chaos --

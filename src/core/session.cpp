@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -22,6 +21,7 @@
 #include "net/link.hpp"
 #include "net/tcp.hpp"
 #include "obs/trace.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 #include "vmp/communicator.hpp"
 
@@ -294,7 +294,7 @@ SessionResult run_session(const SessionConfig& cfg) {
   }
 
   util::WallTimer clock;
-  std::mutex records_mutex;
+  util::Mutex records_mutex;
   std::map<int, FrameRecord> records;  // keyed by step
   std::atomic<int> adaptive_switches{0};
 
@@ -373,7 +373,7 @@ SessionResult run_session(const SessionConfig& cfg) {
 
       const double now = clock.seconds();
       {
-        std::lock_guard lock(records_mutex);
+        util::LockGuard lock(records_mutex);
         records[msg->frame_index].displayed = now;
         records[msg->frame_index].step = msg->frame_index;
       }
@@ -611,7 +611,7 @@ SessionResult run_session(const SessionConfig& cfg) {
 
       if (leader) {
         const double sent = clock.seconds();
-        std::lock_guard lock(records_mutex);
+        util::LockGuard lock(records_mutex);
         auto& rec = records[step];
         rec.step = step;
         rec.group = g;

@@ -35,8 +35,8 @@ obs::Counter& kind_counter(FaultKind kind) {
   return delays;
 }
 
-std::mutex g_injector_mutex;
-std::shared_ptr<FaultInjector> g_injector;
+util::Mutex g_injector_mutex;
+std::shared_ptr<FaultInjector> g_injector TVVIZ_GUARDED_BY(g_injector_mutex);
 
 }  // namespace
 
@@ -153,7 +153,7 @@ void ConnectionFaults::record(FaultKind kind, int op, std::string detail) {
 
 SendFault ConnectionFaults::before_send(std::size_t frame_bytes,
                                         std::size_t mutable_prefix) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const int op = sends_++;
   SendFault fault;
   const auto corrupt_one = [&] {
@@ -228,7 +228,7 @@ SendFault ConnectionFaults::before_send(std::size_t frame_bytes,
 }
 
 RecvFault ConnectionFaults::before_recv() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const int op = recvs_++;
   RecvFault fault;
   for (const auto& spec : owner_->plan().specs) {
@@ -250,7 +250,7 @@ RecvFault ConnectionFaults::before_recv() {
 std::shared_ptr<ConnectionFaults> FaultInjector::attach_connection() {
   int index;
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     index = next_conn_++;
   }
   // Fork a per-connection stream: seed mixed with the index through
@@ -266,7 +266,7 @@ bool FaultInjector::refuse_connect() {
   int attempt;
   int total = 0;
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     attempt = connect_attempts_++;
     for (const auto& spec : plan_.specs)
       if (spec.kind == FaultKind::kRefuseConnect) total += spec.count;
@@ -286,14 +286,14 @@ void FaultInjector::record(InjectedEvent event) {
   static obs::Counter& injected = obs::counter("net.fault.injected");
   injected.add(1);
   kind_counter(event.kind).add(1);
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<InjectedEvent> FaultInjector::events() const {
   std::vector<InjectedEvent> out;
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     out = events_;
   }
   // Canonical order: by connection then per-connection sequence, so the log
@@ -319,18 +319,18 @@ std::string FaultInjector::event_log() const {
 
 std::shared_ptr<FaultInjector> install(FaultPlan plan) {
   auto injector = std::make_shared<FaultInjector>(std::move(plan));
-  std::lock_guard lock(g_injector_mutex);
+  util::LockGuard lock(g_injector_mutex);
   g_injector = injector;
   return injector;
 }
 
 void uninstall() {
-  std::lock_guard lock(g_injector_mutex);
+  util::LockGuard lock(g_injector_mutex);
   g_injector.reset();
 }
 
 std::shared_ptr<FaultInjector> active() {
-  std::lock_guard lock(g_injector_mutex);
+  util::LockGuard lock(g_injector_mutex);
   return g_injector;
 }
 

@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace tvviz::fault {
@@ -121,10 +121,11 @@ class ConnectionFaults {
  public:
   /// Decide the fate of the next send. `frame_bytes` is the full wire size,
   /// `mutable_prefix` the number of leading bytes corruption may touch.
-  SendFault before_send(std::size_t frame_bytes, std::size_t mutable_prefix);
+  SendFault before_send(std::size_t frame_bytes, std::size_t mutable_prefix)
+      TVVIZ_EXCLUDES(mutex_);
 
   /// Decide the fate of the next receive.
-  RecvFault before_recv();
+  RecvFault before_recv() TVVIZ_EXCLUDES(mutex_);
 
   int index() const noexcept { return index_; }
 
@@ -135,17 +136,20 @@ class ConnectionFaults {
       : owner_(std::move(owner)), index_(index), rng_(rng) {}
 
   bool matches(const FaultSpec& spec, int op) const noexcept;
-  void record(FaultKind kind, int op, std::string detail);
+  /// Appends to the injector's log; caller holds mutex_ (for seq_). Lock
+  /// order: ConnectionFaults::mutex_, then FaultInjector::mutex_.
+  void record(FaultKind kind, int op, std::string detail)
+      TVVIZ_REQUIRES(mutex_);
 
   std::shared_ptr<FaultInjector> owner_;
   int index_;
-  util::Rng rng_;
-  std::mutex mutex_;
-  int sends_ = 0;
-  int recvs_ = 0;
-  int seq_ = 0;
-  std::size_t sent_bytes_ = 0;
-  bool byte_drop_fired_ = false;
+  util::Rng rng_ TVVIZ_GUARDED_BY(mutex_);
+  util::Mutex mutex_;
+  int sends_ TVVIZ_GUARDED_BY(mutex_) = 0;
+  int recvs_ TVVIZ_GUARDED_BY(mutex_) = 0;
+  int seq_ TVVIZ_GUARDED_BY(mutex_) = 0;
+  std::size_t sent_bytes_ TVVIZ_GUARDED_BY(mutex_) = 0;
+  bool byte_drop_fired_ TVVIZ_GUARDED_BY(mutex_) = false;
 };
 
 /// The process-wide engine consuming one plan. Owns the canonical event
@@ -156,15 +160,15 @@ class FaultInjector : public std::enable_shared_from_this<FaultInjector> {
   explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
 
   /// Called by the transport for each new connection.
-  std::shared_ptr<ConnectionFaults> attach_connection();
+  std::shared_ptr<ConnectionFaults> attach_connection() TVVIZ_EXCLUDES(mutex_);
 
   /// Called by the transport before a real connect(). True = refuse this
   /// attempt (the caller throws net::SocketError).
-  bool refuse_connect();
+  bool refuse_connect() TVVIZ_EXCLUDES(mutex_);
 
   /// Every injected event so far, in canonical (conn, seq) order —
   /// independent of cross-connection thread interleaving.
-  std::vector<InjectedEvent> events() const;
+  std::vector<InjectedEvent> events() const TVVIZ_EXCLUDES(mutex_);
 
   /// events(), one line each: the replay-comparison form.
   std::string event_log() const;
@@ -173,14 +177,14 @@ class FaultInjector : public std::enable_shared_from_this<FaultInjector> {
 
  private:
   friend class ConnectionFaults;
-  void record(InjectedEvent event);
+  void record(InjectedEvent event) TVVIZ_EXCLUDES(mutex_);
 
   FaultPlan plan_;
-  mutable std::mutex mutex_;
-  std::vector<InjectedEvent> events_;
-  int next_conn_ = 0;
-  int connect_attempts_ = 0;
-  int refusals_done_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<InjectedEvent> events_ TVVIZ_GUARDED_BY(mutex_);
+  int next_conn_ TVVIZ_GUARDED_BY(mutex_) = 0;
+  int connect_attempts_ TVVIZ_GUARDED_BY(mutex_) = 0;
+  int refusals_done_ TVVIZ_GUARDED_BY(mutex_) = 0;
 };
 
 /// Install `plan` as the process-wide injector (replacing any previous

@@ -36,7 +36,7 @@ FrameCache::FrameCache(std::size_t capacity_steps)
 
 FramePtr FrameCache::insert(int step, net::NetMessage msg) {
   auto shared = std::make_shared<const net::NetMessage>(std::move(msg));
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& entry = steps_[step];
   entry.step = step;
   entry.bytes += shared->wire_size();
@@ -58,7 +58,7 @@ FramePtr FrameCache::insert(int step, net::NetMessage msg) {
 }
 
 std::vector<FramePtr> FrameCache::lookup(int step) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto it = steps_.find(step);
   if (it == steps_.end()) {
     misses_ctr().add(1);
@@ -69,7 +69,7 @@ std::vector<FramePtr> FrameCache::lookup(int step) {
 }
 
 std::vector<FramePtr> FrameCache::messages_after(int after_step) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<FramePtr> out;
   if (!steps_.empty()) {
     // Steps the caller needed but the ring has already forgotten.
@@ -88,23 +88,23 @@ std::vector<FramePtr> FrameCache::messages_after(int after_step) {
 void FrameCache::note_fanout_hits(std::uint64_t n) { hits_ctr().add(n); }
 
 std::size_t FrameCache::occupancy() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return steps_.size();
 }
 
 std::size_t FrameCache::bytes() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return bytes_;
 }
 
 std::optional<int> FrameCache::oldest_step() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (steps_.empty()) return std::nullopt;
   return steps_.begin()->first;
 }
 
 std::optional<int> FrameCache::newest_step() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (steps_.empty()) return std::nullopt;
   return steps_.rbegin()->first;
 }

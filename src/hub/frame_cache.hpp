@@ -10,11 +10,11 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "util/mutex.hpp"
 
 namespace tvviz::hub {
 
@@ -40,32 +40,33 @@ class FrameCache {
 
   /// Append one message to `step`'s entry (creating it, evicting the oldest
   /// step beyond capacity) and return the shared handle for fan-out.
-  FramePtr insert(int step, net::NetMessage msg);
+  FramePtr insert(int step, net::NetMessage msg) TVVIZ_EXCLUDES(mutex_);
 
   /// All messages of one cached step (empty if evicted or never seen).
   /// Counts a hit or miss.
-  std::vector<FramePtr> lookup(int step);
+  std::vector<FramePtr> lookup(int step) TVVIZ_EXCLUDES(mutex_);
 
   /// Messages of every cached step strictly greater than `after_step`, in
   /// step order — the resume path. Steps in (after_step, oldest) that were
   /// already evicted are counted as misses; each returned step is a hit.
-  std::vector<FramePtr> messages_after(int after_step);
+  std::vector<FramePtr> messages_after(int after_step)
+      TVVIZ_EXCLUDES(mutex_);
 
   /// Record `n` deliveries served from shared cached buffers (the hub's
   /// fan-out path calls this; resume paths are counted internally).
   void note_fanout_hits(std::uint64_t n);
 
-  std::size_t occupancy() const;
-  std::size_t bytes() const;
+  std::size_t occupancy() const TVVIZ_EXCLUDES(mutex_);
+  std::size_t bytes() const TVVIZ_EXCLUDES(mutex_);
   /// Oldest / newest cached step; nullopt while empty.
-  std::optional<int> oldest_step() const;
-  std::optional<int> newest_step() const;
+  std::optional<int> oldest_step() const TVVIZ_EXCLUDES(mutex_);
+  std::optional<int> newest_step() const TVVIZ_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<int, CachedStep> steps_;
+  mutable util::Mutex mutex_;
+  std::map<int, CachedStep> steps_ TVVIZ_GUARDED_BY(mutex_);
   std::size_t capacity_;
-  std::size_t bytes_ = 0;
+  std::size_t bytes_ TVVIZ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tvviz::hub

@@ -39,22 +39,26 @@ struct FrameHub::ClientState {
   /// seeded from the client id so a named client replays identically.
   util::Rng link_rng{1};
 
-  mutable std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<FramePtr> queue;
+  mutable util::Mutex mutex;
+  util::CondVar cv;
+  std::deque<FramePtr> queue TVVIZ_GUARDED_BY(mutex);
   /// Messages still queued from the connect-time replay (plus a possible
   /// end-of-stream marker). They sit at the front of the queue and extend
   /// the backpressure bound one-for-one, so the configured capacity is
   /// restored automatically as the history drains (or is dropped).
-  std::size_t replay_pending = 0;
+  std::size_t replay_pending TVVIZ_GUARDED_BY(mutex) = 0;
   /// Step whose remaining pieces must be dropped because the step was
   /// chosen as a drop victim while its own pieces were being delivered.
-  int suppressed_step = -1;
-  bool closed = false;
-  bool connected = true;
-  std::uint64_t delivered = 0;
-  std::uint64_t steps_skipped = 0;
-  std::uint64_t resumed = 0;
+  int suppressed_step TVVIZ_GUARDED_BY(mutex) = -1;
+  bool closed TVVIZ_GUARDED_BY(mutex) = false;
+  /// Atomic, not mutex-guarded: reap_idle_clients flips it through
+  /// close_client holding only this client's mutex, while the hub reads it
+  /// under clients_mutex_ — no single lock covers both sides (this was a
+  /// real cross-mutex race; see hub_test "ReapRacesWithStatsPolling").
+  std::atomic<bool> connected{true};
+  std::uint64_t delivered TVVIZ_GUARDED_BY(mutex) = 0;
+  std::uint64_t steps_skipped TVVIZ_GUARDED_BY(mutex) = 0;
+  std::uint64_t resumed TVVIZ_GUARDED_BY(mutex) = 0;
 
   std::atomic<int> last_acked{-1};
   std::atomic<double> last_seen_s{0.0};
@@ -65,9 +69,10 @@ struct FrameHub::ClientState {
 
 namespace {
 
-/// Erase every queued image piece of `step` (caller holds client->mutex),
-/// keeping the replay allowance in sync with the replayed entries removed.
-void erase_step_locked(FrameHub::ClientState& client, int step) {
+/// Erase every queued image piece of `step`, keeping the replay allowance
+/// in sync with the replayed entries removed.
+void erase_step_locked(FrameHub::ClientState& client, int step)
+    TVVIZ_REQUIRES(client.mutex) {
   std::size_t pos = 0;
   std::size_t removed_replay = 0;
   std::erase_if(client.queue, [&](const FramePtr& m) {
@@ -100,12 +105,15 @@ FramePtr FrameHub::ClientPort::next() {
 }
 
 FramePtr FrameHub::ClientPort::next_for(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   FramePtr msg;
   {
-    std::unique_lock lock(state_->mutex);
-    state_->cv.wait_for(lock, timeout, [&] {
-      return state_->closed || !state_->queue.empty();
-    });
+    util::LockGuard lock(state_->mutex);
+    while (!state_->closed && state_->queue.empty()) {
+      if (state_->cv.wait_until(state_->mutex, deadline) ==
+          std::cv_status::timeout)
+        break;
+    }
     if (state_->queue.empty()) return nullptr;  // timed out or closed+drained
     msg = std::move(state_->queue.front());
     state_->queue.pop_front();
@@ -122,7 +130,7 @@ FramePtr FrameHub::ClientPort::next_for(std::chrono::milliseconds timeout) {
     {
       // The fault draw consumes the per-client stream; serialize it so
       // concurrent next_for callers cannot tear the PRNG state.
-      std::lock_guard lock(state_->mutex);
+      util::LockGuard lock(state_->mutex);
       s = state_->link.transfer_seconds_faulty(msg->wire_size(), 1,
                                                state_->link_rng) *
           state_->link_scale;
@@ -155,12 +163,12 @@ void FrameHub::ClientPort::send_control(const net::ControlEvent& event) {
 const std::string& FrameHub::ClientPort::id() const { return state_->id; }
 
 bool FrameHub::ClientPort::closed() const {
-  std::lock_guard lock(state_->mutex);
+  util::LockGuard lock(state_->mutex);
   return state_->closed;
 }
 
 std::size_t FrameHub::ClientPort::buffered() const {
-  std::lock_guard lock(state_->mutex);
+  util::LockGuard lock(state_->mutex);
   return state_->queue.size();
 }
 
@@ -174,7 +182,7 @@ FrameHub::FrameHub(HubConfig config)
 FrameHub::~FrameHub() { shutdown(); }
 
 std::shared_ptr<FrameHub::RendererPort> FrameHub::connect_renderer() {
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   auto port = std::shared_ptr<RendererPort>(new RendererPort(this));
   renderers_.push_back(port);
   return port;
@@ -182,7 +190,7 @@ std::shared_ptr<FrameHub::RendererPort> FrameHub::connect_renderer() {
 
 std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
     ClientOptions options) {
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   if (!running_.load())
     throw std::runtime_error("hub: connect_client after shutdown");
 
@@ -196,8 +204,8 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
 
   std::size_t connected = 0;
   for (const auto& c : clients_)
-    if (c->connected) ++connected;
-  if ((!slot || !(*slot)->connected) && connected >= config_.max_clients)
+    if (c->connected.load()) ++connected;
+  if ((!slot || !(*slot)->connected.load()) && connected >= config_.max_clients)
     throw std::runtime_error(
         "hub: at capacity (" + std::to_string(config_.max_clients) +
         " clients)");
@@ -237,28 +245,34 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
   state->skipped_steps_ctr =
       &obs::counter("net.hub.client." + state->id + ".steps_skipped");
 
-  if (replay) {
-    obs::Span resume_span("resume", resume_after);
-    auto cached = cache_.messages_after(resume_after);
-    state->resumed = cached.size();
-    for (auto& m : cached) state->queue.push_back(std::move(m));
-    static obs::Counter& resumes = obs::counter("net.hub.resumes");
-    resumes.add(1);
-  }
+  {
+    // The fresh state is not published yet, so this lock is uncontended —
+    // it exists so the guarded-queue writes happen inside a critical
+    // section the analysis can see.
+    util::LockGuard state_lock(state->mutex);
+    if (replay) {
+      obs::Span resume_span("resume", resume_after);
+      auto cached = cache_.messages_after(resume_after);
+      state->resumed = cached.size();
+      for (auto& m : cached) state->queue.push_back(std::move(m));
+      static obs::Counter& resumes = obs::counter("net.hub.resumes");
+      resumes.add(1);
+    }
 
-  // A client joining after the renderer already signed off would otherwise
-  // wait forever on a live stream that is never coming: replay ends with
-  // the end-of-stream marker the client missed.
-  if (stream_ended_.load()) {
-    net::NetMessage bye;
-    bye.type = net::MsgType::kShutdown;
-    state->queue.push_back(std::make_shared<const net::NetMessage>(bye));
+    // A client joining after the renderer already signed off would
+    // otherwise wait forever on a live stream that is never coming: replay
+    // ends with the end-of-stream marker the client missed.
+    if (stream_ended_.load()) {
+      net::NetMessage bye;
+      bye.type = net::MsgType::kShutdown;
+      state->queue.push_back(std::make_shared<const net::NetMessage>(bye));
+    }
+    // The preload may exceed the steady-state bound: backpressure applies
+    // to the live stream, not to the history the client explicitly asked to
+    // catch up on. The allowance drains with the queue, so the configured
+    // bound is back in force once the history has been consumed.
+    state->replay_pending = state->queue.size();
   }
-  // The preload may exceed the steady-state bound: backpressure applies to
-  // the live stream, not to the history the client explicitly asked to
-  // catch up on. The allowance drains with the queue, so the configured
-  // bound is back in force once the history has been consumed.
-  state->replay_pending = state->queue.size();
 
   if (slot)
     *slot = state;
@@ -267,25 +281,25 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
 
   std::size_t now_connected = 0;
   for (const auto& c : clients_)
-    if (c->connected) ++now_connected;
+    if (c->connected.load()) ++now_connected;
   clients_gauge().set(static_cast<std::int64_t>(now_connected));
   return std::shared_ptr<ClientPort>(new ClientPort(this, state));
 }
 
 void FrameHub::disconnect_client(ClientPort& port) {
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   close_client(port.state_);
   std::size_t connected = 0;
   for (const auto& c : clients_)
-    if (c->connected) ++connected;
+    if (c->connected.load()) ++connected;
   clients_gauge().set(static_cast<std::int64_t>(connected));
 }
 
 void FrameHub::close_client(const std::shared_ptr<ClientState>& client) {
   {
-    std::lock_guard lock(client->mutex);
+    util::LockGuard lock(client->mutex);
     client->closed = true;
-    client->connected = false;
+    client->connected.store(false);
   }
   client->cv.notify_all();
 }
@@ -297,31 +311,31 @@ void FrameHub::shutdown() {
   // deliveries never block (drop policy), so every frame the renderers
   // already handed over lands in a queue before any port closes.
   if (relay_thread_.joinable()) relay_thread_.join();
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   for (auto& c : clients_) close_client(c);
   for (auto& r : renderers_) r->control_.close();
   clients_gauge().set(0);
 }
 
 std::size_t FrameHub::connected_clients() const {
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   std::size_t n = 0;
   for (const auto& c : clients_)
-    if (c->connected) ++n;
+    if (c->connected.load()) ++n;
   return n;
 }
 
 std::vector<ClientStats> FrameHub::client_stats() const {
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   std::vector<ClientStats> out;
   out.reserve(clients_.size());
   for (const auto& c : clients_) {
     ClientStats s;
     s.id = c->id;
     s.last_acked_step = c->last_acked.load();
+    s.connected = c->connected.load();
     {
-      std::lock_guard state_lock(c->mutex);
-      s.connected = c->connected;
+      util::LockGuard state_lock(c->mutex);
       s.messages_delivered = c->delivered;
       s.steps_skipped = c->steps_skipped;
       s.messages_resumed = c->resumed;
@@ -340,7 +354,7 @@ ClientStats FrameHub::stats_for(const std::string& id) const {
 void FrameHub::broadcast_control(const net::ControlEvent& event) {
   static obs::Counter& controls = obs::counter("net.hub.controls_broadcast");
   controls.add(1);
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   for (auto& r : renderers_) r->control_.push(event);
 }
 
@@ -348,7 +362,7 @@ void FrameHub::deliver(const std::shared_ptr<ClientState>& client,
                        FramePtr msg) {
   const bool image = droppable(msg);
   {
-    std::lock_guard lock(client->mutex);
+    util::LockGuard lock(client->mutex);
     if (client->closed) return;
     if (image) {
       const int step = msg->frame_index;
@@ -392,9 +406,10 @@ void FrameHub::reap_idle_clients() {
   const double cutoff = now_s() - config_.heartbeat_timeout_s;
   std::vector<std::shared_ptr<ClientState>> dead;
   {
-    std::lock_guard lock(clients_mutex_);
+    util::LockGuard lock(clients_mutex_);
     for (auto& c : clients_)
-      if (c->connected && c->last_seen_s.load() < cutoff) dead.push_back(c);
+      if (c->connected.load() && c->last_seen_s.load() < cutoff)
+        dead.push_back(c);
   }
   if (dead.empty()) return;
   static obs::Counter& reaped = obs::counter("net.hub.clients_reaped");
@@ -403,10 +418,10 @@ void FrameHub::reap_idle_clients() {
     reaped.add(1);
     clients_reaped_.fetch_add(1);
   }
-  std::lock_guard lock(clients_mutex_);
+  util::LockGuard lock(clients_mutex_);
   std::size_t connected = 0;
   for (const auto& c : clients_)
-    if (c->connected) ++connected;
+    if (c->connected.load()) ++connected;
   clients_gauge().set(static_cast<std::int64_t>(connected));
 }
 
@@ -454,14 +469,14 @@ void FrameHub::relay_loop() {
     FramePtr shared;
     std::vector<std::shared_ptr<ClientState>> targets;
     {
-      std::lock_guard lock(clients_mutex_);
+      util::LockGuard lock(clients_mutex_);
       if (is_shutdown) stream_ended_.store(true);
       if (image)
         shared = cache_.insert(msg.frame_index, std::move(msg));
       else
         shared = std::make_shared<const net::NetMessage>(std::move(msg));
       for (auto& c : clients_)
-        if (c->connected) targets.push_back(c);
+        if (c->connected.load()) targets.push_back(c);
     }
     for (auto& c : targets) deliver(c, shared);
     fanout_ctr.add(targets.size());

@@ -20,10 +20,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,6 +31,7 @@
 #include "net/link.hpp"
 #include "net/protocol.hpp"
 #include "net/queue.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace tvviz::hub {
@@ -125,25 +124,27 @@ class FrameHub {
   FrameHub(const FrameHub&) = delete;
   FrameHub& operator=(const FrameHub&) = delete;
 
-  std::shared_ptr<RendererPort> connect_renderer();
+  std::shared_ptr<RendererPort> connect_renderer()
+      TVVIZ_EXCLUDES(clients_mutex_);
 
   /// Attach a client. If `options.id` names a client seen before, this is a
   /// reconnect: the new port is resumed from the cache starting after the
   /// client's last acked step (a still-open old port is closed — takeover).
   /// Throws std::runtime_error at max_clients.
-  std::shared_ptr<ClientPort> connect_client(ClientOptions options = {});
+  std::shared_ptr<ClientPort> connect_client(ClientOptions options = {})
+      TVVIZ_EXCLUDES(clients_mutex_);
 
   /// Detach without forgetting: the client's last acked step is kept so a
   /// later connect_client with the same id resumes where it left off.
-  void disconnect_client(ClientPort& port);
+  void disconnect_client(ClientPort& port) TVVIZ_EXCLUDES(clients_mutex_);
 
   /// Orderly shutdown: drain every frame already accepted from the
   /// renderers into the client queues (the flush guarantee), then close
   /// all ports and wake every blocked endpoint.
-  void shutdown();
+  void shutdown() TVVIZ_EXCLUDES(clients_mutex_);
 
-  std::size_t connected_clients() const;
-  std::vector<ClientStats> client_stats() const;
+  std::size_t connected_clients() const TVVIZ_EXCLUDES(clients_mutex_);
+  std::vector<ClientStats> client_stats() const TVVIZ_EXCLUDES(clients_mutex_);
   ClientStats stats_for(const std::string& id) const;
   std::uint64_t steps_relayed() const noexcept { return steps_relayed_.load(); }
   std::uint64_t clients_reaped() const noexcept { return clients_reaped_.load(); }
@@ -156,10 +157,16 @@ class FrameHub {
     net::ControlEvent control;
   };
 
-  void relay_loop();
-  void broadcast_control(const net::ControlEvent& event);
-  void deliver(const std::shared_ptr<ClientState>& client, FramePtr msg);
-  void reap_idle_clients();
+  void relay_loop() TVVIZ_EXCLUDES(clients_mutex_);
+  void broadcast_control(const net::ControlEvent& event)
+      TVVIZ_EXCLUDES(clients_mutex_);
+  /// Fan-out delivery happens strictly outside the clients_mutex_ snapshot
+  /// section: it takes the per-client lock and must never nest inside.
+  void deliver(const std::shared_ptr<ClientState>& client, FramePtr msg)
+      TVVIZ_EXCLUDES(clients_mutex_);
+  void reap_idle_clients() TVVIZ_EXCLUDES(clients_mutex_);
+  /// Takes only the per-client lock; callers may or may not hold
+  /// clients_mutex_ (reap does not).
   void close_client(const std::shared_ptr<ClientState>& client);
   double now_s() const { return clock_.seconds(); }
 
@@ -168,12 +175,14 @@ class FrameHub {
   util::WallTimer clock_;
   net::BlockingQueue<Inbound> inbox_{4096};
 
-  mutable std::mutex clients_mutex_;
+  mutable util::Mutex clients_mutex_;
   /// Every client ever seen, connected or not (the "not" keep last_acked
   /// for resume). Ordered by insertion for deterministic stats output.
-  std::vector<std::shared_ptr<ClientState>> clients_;
-  std::vector<std::shared_ptr<RendererPort>> renderers_;
-  int next_auto_id_ = 0;
+  std::vector<std::shared_ptr<ClientState>> clients_
+      TVVIZ_GUARDED_BY(clients_mutex_);
+  std::vector<std::shared_ptr<RendererPort>> renderers_
+      TVVIZ_GUARDED_BY(clients_mutex_);
+  int next_auto_id_ TVVIZ_GUARDED_BY(clients_mutex_) = 0;
 
   std::atomic<std::uint64_t> steps_relayed_{0};
   std::atomic<std::uint64_t> clients_reaped_{0};

@@ -55,12 +55,12 @@ void HubTcpServer::shutdown() {
   // workers — their writers flush those queues over the still-open sockets
   // before closing them.
   {
-    std::lock_guard lock(threads_mutex_);
+    util::LockGuard lock(threads_mutex_);
     for (auto& c : renderer_conns_) c->shutdown();
   }
   hub_.shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard lock(threads_mutex_);
+  util::LockGuard lock(threads_mutex_);
   for (auto& t : workers_)
     if (t.joinable()) t.join();
   for (auto& c : display_conns_) c->shutdown();
@@ -103,7 +103,7 @@ void HubTcpServer::accept_loop() {
              "' (expected 'renderer' or 'display')");
       continue;
     }
-    std::lock_guard lock(threads_mutex_);
+    util::LockGuard lock(threads_mutex_);
     if (info.role == "renderer") {
       renderer_conns_.push_back(conn);
       workers_.emplace_back([this, conn] { serve_renderer(conn); });
@@ -263,9 +263,14 @@ HubTcpViewer::HubTcpViewer(int port, Options options)
       if (last) std::rethrow_exception(last);
       throw net::SocketError("hub: viewer connect attempts exhausted");
     }
+    util::LockGuard lock(state_mutex_);
     conn_ = std::move(conn);
   } else {
-    conn_ = connect_and_handshake();
+    // Handshake first (it does I/O and excludes state_mutex_), then install
+    // the socket under the — still uncontended — state lock.
+    auto conn = connect_and_handshake();
+    util::LockGuard lock(state_mutex_);
+    conn_ = std::move(conn);
   }
   if (options_.heartbeat_interval_ms > 0) {
     const auto interval =
@@ -273,7 +278,7 @@ HubTcpViewer::HubTcpViewer(int port, Options options)
     heartbeat_thread_ = std::thread([this, interval] {
       while (open_.load()) {
         {
-          std::lock_guard lock(send_mutex_);
+          util::LockGuard lock(send_mutex_);
           if (!open_.load()) break;
           NetMessage beat;
           beat.type = MsgType::kHeartbeat;
@@ -303,7 +308,7 @@ std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
   // with assigned_id() callers on other threads, so snapshot it under the
   // state lock.
   {
-    std::lock_guard lock(state_mutex_);
+    util::LockGuard lock(state_mutex_);
     info.client_id = assigned_id_.empty() ? options_.client_id : assigned_id_;
   }
   info.last_acked_step = last_acked_.load();
@@ -341,7 +346,7 @@ std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
   if (reply->type != MsgType::kHelloAck)
     throw std::runtime_error("hub: unexpected handshake reply");
   {
-    std::lock_guard lock(state_mutex_);
+    util::LockGuard lock(state_mutex_);
     assigned_id_ = reply->codec;
   }
   return conn;
@@ -359,7 +364,7 @@ bool HubTcpViewer::reconnect() {
     }
     std::shared_ptr<TcpConnection> old;
     {
-      std::lock_guard lock(state_mutex_);
+      util::LockGuard lock(state_mutex_);
       old = std::move(conn_);
       conn_ = std::move(fresh);
     }
@@ -375,12 +380,12 @@ bool HubTcpViewer::reconnect() {
 }
 
 std::shared_ptr<TcpConnection> HubTcpViewer::current() const {
-  std::lock_guard lock(state_mutex_);
+  util::LockGuard lock(state_mutex_);
   return conn_;
 }
 
 std::string HubTcpViewer::assigned_id() const {
-  std::lock_guard lock(state_mutex_);
+  util::LockGuard lock(state_mutex_);
   return assigned_id_;
 }
 
@@ -409,7 +414,7 @@ void HubTcpViewer::ack(int step) {
   int prev = last_acked_.load();
   while (step > prev && !last_acked_.compare_exchange_weak(prev, step)) {
   }
-  std::lock_guard lock(send_mutex_);
+  util::LockGuard lock(send_mutex_);
   if (!open_.load()) return;
   NetMessage msg;
   msg.type = MsgType::kAck;
@@ -424,7 +429,7 @@ void HubTcpViewer::ack(int step) {
 }
 
 void HubTcpViewer::send_control(const net::ControlEvent& event) {
-  std::lock_guard lock(send_mutex_);
+  util::LockGuard lock(send_mutex_);
   if (!open_.load()) return;
   NetMessage msg;
   msg.type = MsgType::kControl;

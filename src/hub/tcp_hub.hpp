@@ -14,7 +14,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +21,7 @@
 #include "fault/retry.hpp"
 #include "hub/hub.hpp"
 #include "net/tcp.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace tvviz::hub {
@@ -38,10 +38,10 @@ class HubTcpServer {
 
   /// Stop accepting, flush queued frames to the display sockets, close
   /// every connection, join all threads.
-  void shutdown();
+  void shutdown() TVVIZ_EXCLUDES(threads_mutex_);
 
  private:
-  void accept_loop();
+  void accept_loop() TVVIZ_EXCLUDES(threads_mutex_);
   void serve_renderer(std::shared_ptr<net::TcpConnection> conn);
   void serve_display(std::shared_ptr<net::TcpConnection> conn,
                      net::HelloInfo info);
@@ -52,10 +52,12 @@ class HubTcpServer {
   int port_ = 0;
   std::atomic<bool> running_{true};
   std::thread accept_thread_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> workers_;
-  std::vector<std::shared_ptr<net::TcpConnection>> renderer_conns_;
-  std::vector<std::shared_ptr<net::TcpConnection>> display_conns_;
+  util::Mutex threads_mutex_;
+  std::vector<std::thread> workers_ TVVIZ_GUARDED_BY(threads_mutex_);
+  std::vector<std::shared_ptr<net::TcpConnection>> renderer_conns_
+      TVVIZ_GUARDED_BY(threads_mutex_);
+  std::vector<std::shared_ptr<net::TcpConnection>> display_conns_
+      TVVIZ_GUARDED_BY(threads_mutex_);
 };
 
 /// Display-side endpoint speaking the v2 hub handshake. Compare
@@ -94,45 +96,53 @@ class HubTcpViewer {
 
   /// The identity the hub filed this client under (echoed or assigned).
   /// Resolved under the state lock: a concurrent reconnect may reassign it.
-  std::string assigned_id() const;
+  std::string assigned_id() const TVVIZ_EXCLUDES(state_mutex_);
 
   /// True once the handshake fell back to the v1 hello.
   bool downgraded() const noexcept { return downgraded_.load(); }
 
   /// Blocking receive. std::nullopt when the hub closes (with
   /// auto_reconnect: only once reconnection attempts are exhausted).
-  std::optional<net::NetMessage> next();
+  std::optional<net::NetMessage> next()
+      TVVIZ_EXCLUDES(send_mutex_, state_mutex_);
 
   /// Acknowledge a displayed step (the resume point for a reconnect).
-  void ack(int step);
-  void send_control(const net::ControlEvent& event);
+  void ack(int step) TVVIZ_EXCLUDES(send_mutex_);
+  void send_control(const net::ControlEvent& event)
+      TVVIZ_EXCLUDES(send_mutex_);
 
-  void close();
+  /// Contract (PR 4 review): close() must never wait on send_mutex_ — a
+  /// sender blocked inside send_message() holds it and is unblocked only by
+  /// the socket shutdown close() performs.
+  void close() TVVIZ_EXCLUDES(send_mutex_);
 
  private:
   /// One connect + handshake attempt (including the v1 downgrade leg).
-  /// Returns the connected socket; updates assigned_id_/downgraded_.
-  std::shared_ptr<net::TcpConnection> connect_and_handshake();
+  /// Returns the connected socket; updates assigned_id_/downgraded_. Does
+  /// I/O, so state_mutex_ must not be held on entry.
+  std::shared_ptr<net::TcpConnection> connect_and_handshake()
+      TVVIZ_EXCLUDES(state_mutex_);
   /// Backoff loop over connect_and_handshake; swaps conn_ on success.
-  bool reconnect();
-  std::shared_ptr<net::TcpConnection> current() const;
+  bool reconnect() TVVIZ_EXCLUDES(send_mutex_, state_mutex_);
+  std::shared_ptr<net::TcpConnection> current() const
+      TVVIZ_EXCLUDES(state_mutex_);
 
   int port_ = 0;
   Options options_;
-  std::shared_ptr<net::TcpConnection> conn_;
-  std::string assigned_id_;
+  std::shared_ptr<net::TcpConnection> conn_ TVVIZ_GUARDED_BY(state_mutex_);
+  std::string assigned_id_ TVVIZ_GUARDED_BY(state_mutex_);
   std::atomic<int> last_acked_{-1};
   std::atomic<bool> open_{true};
   std::atomic<bool> downgraded_{false};
   util::Rng retry_rng_{0x76696577ULL};  ///< Jitter stream for reconnects.
   /// Serializes the senders (ack/control/heartbeat). May be held for as long
   /// as a send blocks, so close() must never wait on it.
-  mutable std::mutex send_mutex_;
+  mutable util::Mutex send_mutex_ TVVIZ_ACQUIRED_BEFORE(state_mutex_);
   /// Guards the conn_ pointer and assigned_id_ — held only for snapshots and
   /// swaps, never across I/O, so close() and reconnect() can always reach the
   /// live socket even while a sender is blocked holding send_mutex_.
   /// Lock order where both are taken: send_mutex_ then state_mutex_.
-  mutable std::mutex state_mutex_;
+  mutable util::Mutex state_mutex_;
   std::thread heartbeat_thread_;
 };
 

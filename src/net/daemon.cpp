@@ -44,14 +44,14 @@ DisplayDaemon::~DisplayDaemon() {
 }
 
 std::shared_ptr<DisplayDaemon::RendererPort> DisplayDaemon::connect_renderer() {
-  std::lock_guard lock(ports_mutex_);
+  util::LockGuard lock(ports_mutex_);
   auto port = std::shared_ptr<RendererPort>(new RendererPort(this));
   renderers_.push_back(port);
   return port;
 }
 
 std::shared_ptr<DisplayDaemon::DisplayPort> DisplayDaemon::connect_display() {
-  std::lock_guard lock(ports_mutex_);
+  util::LockGuard lock(ports_mutex_);
   auto port = std::shared_ptr<DisplayPort>(
       new DisplayPort(this, display_buffer_frames_));
   displays_.push_back(port);
@@ -59,7 +59,7 @@ std::shared_ptr<DisplayDaemon::DisplayPort> DisplayDaemon::connect_display() {
 }
 
 void DisplayDaemon::set_wan_throttle(LinkModel link, double time_scale) {
-  std::lock_guard lock(ports_mutex_);
+  util::LockGuard lock(ports_mutex_);
   throttle_link_ = link;
   throttle_scale_ = time_scale;
 }
@@ -72,13 +72,13 @@ void DisplayDaemon::shutdown() {
   // the display buffers. Closing the display queues first raced that drain
   // and silently dropped the tail frames of a run.
   if (relay_thread_.joinable()) relay_thread_.join();
-  std::lock_guard lock(ports_mutex_);
+  util::LockGuard lock(ports_mutex_);
   for (auto& d : displays_) d->frames_.close();
   for (auto& r : renderers_) r->control_.close();
 }
 
 void DisplayDaemon::broadcast_control(const ControlEvent& event) {
-  std::lock_guard lock(ports_mutex_);
+  util::LockGuard lock(ports_mutex_);
   for (auto& r : renderers_) r->control_.push(event);
 }
 
@@ -105,7 +105,7 @@ void DisplayDaemon::relay_loop() {
     double throttle_s = 0.0;
     std::vector<std::shared_ptr<DisplayPort>> displays;
     {
-      std::lock_guard lock(ports_mutex_);
+      util::LockGuard lock(ports_mutex_);
       displays = displays_;
       if (throttle_scale_ > 0.0)
         throttle_s = throttle_link_.transfer_seconds(wire) * throttle_scale_;

@@ -10,13 +10,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/link.hpp"
 #include "net/protocol.hpp"
 #include "net/queue.hpp"
+#include "util/mutex.hpp"
 
 namespace tvviz::net {
 
@@ -78,22 +78,27 @@ class DisplayDaemon {
   DisplayDaemon(const DisplayDaemon&) = delete;
   DisplayDaemon& operator=(const DisplayDaemon&) = delete;
 
-  std::shared_ptr<RendererPort> connect_renderer();
-  std::shared_ptr<DisplayPort> connect_display();
+  std::shared_ptr<RendererPort> connect_renderer()
+      TVVIZ_EXCLUDES(ports_mutex_);
+  std::shared_ptr<DisplayPort> connect_display() TVVIZ_EXCLUDES(ports_mutex_);
 
   /// Throttle daemon->display forwarding against `link`, with virtual time
   /// scaled by `time_scale` (0 disables; 0.1 = 10x faster than real).
-  void set_wan_throttle(LinkModel link, double time_scale);
+  void set_wan_throttle(LinkModel link, double time_scale)
+      TVVIZ_EXCLUDES(ports_mutex_);
 
   /// Orderly shutdown: stop relaying, wake all blocked endpoints.
-  void shutdown();
+  void shutdown() TVVIZ_EXCLUDES(ports_mutex_);
 
   std::uint64_t frames_relayed() const noexcept { return frames_relayed_.load(); }
   std::uint64_t bytes_relayed() const noexcept { return bytes_relayed_.load(); }
 
  private:
-  void relay_loop();
-  void broadcast_control(const ControlEvent& event);
+  /// May sleep (WAN throttle) and block on display buffers: never called
+  /// with ports_mutex_ held.
+  void relay_loop() TVVIZ_EXCLUDES(ports_mutex_);
+  void broadcast_control(const ControlEvent& event)
+      TVVIZ_EXCLUDES(ports_mutex_);
 
   struct Inbound {
     bool is_control = false;
@@ -102,12 +107,14 @@ class DisplayDaemon {
   };
 
   BlockingQueue<Inbound> inbox_{4096};
-  std::mutex ports_mutex_;
-  std::vector<std::shared_ptr<RendererPort>> renderers_;
-  std::vector<std::shared_ptr<DisplayPort>> displays_;
+  util::Mutex ports_mutex_;
+  std::vector<std::shared_ptr<RendererPort>> renderers_
+      TVVIZ_GUARDED_BY(ports_mutex_);
+  std::vector<std::shared_ptr<DisplayPort>> displays_
+      TVVIZ_GUARDED_BY(ports_mutex_);
   std::size_t display_buffer_frames_;
-  LinkModel throttle_link_{};
-  double throttle_scale_ = 0.0;
+  LinkModel throttle_link_ TVVIZ_GUARDED_BY(ports_mutex_){};
+  double throttle_scale_ TVVIZ_GUARDED_BY(ports_mutex_) = 0.0;
   std::atomic<std::uint64_t> frames_relayed_{0};
   std::atomic<std::uint64_t> bytes_relayed_{0};
   std::atomic<bool> running_{true};

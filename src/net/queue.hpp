@@ -4,10 +4,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "util/mutex.hpp"
 
 namespace tvviz::net {
 
@@ -26,9 +26,9 @@ class BlockingQueue {
 
   /// Block until space is available, then enqueue. Returns false if the
   /// queue was closed.
-  bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  bool push(T item) TVVIZ_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
+    while (!closed_ && queue_.size() >= capacity_) not_full_.wait(mutex_);
     if (closed_) return false;
     queue_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -39,12 +39,15 @@ class BlockingQueue {
   /// indefinitely. Returns false if the queue is closed or still full when
   /// the timeout expires. Used by flush paths that must make progress even
   /// when a consumer has vanished.
-  bool push_for(T item, std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mutex_);
-    if (!not_full_.wait_for(lock, timeout, [&] {
-          return closed_ || queue_.size() < capacity_;
-        }))
-      return false;
+  bool push_for(T item, std::chrono::milliseconds timeout)
+      TVVIZ_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    util::LockGuard lock(mutex_);
+    while (!closed_ && queue_.size() >= capacity_) {
+      if (not_full_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
+          !closed_ && queue_.size() >= capacity_)
+        return false;
+    }
     if (closed_) return false;
     queue_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -52,9 +55,9 @@ class BlockingQueue {
   }
 
   /// Block until an item is available. std::nullopt once closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  std::optional<T> pop() TVVIZ_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
+    while (!closed_ && queue_.empty()) not_empty_.wait(mutex_);
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
@@ -66,10 +69,14 @@ class BlockingQueue {
   /// the queue is closed and drained — check closed() to tell the cases
   /// apart). Lets periodic housekeeping (liveness reaping) share the
   /// consumer thread without a busy poll.
-  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return closed_ || !queue_.empty(); });
+  std::optional<T> pop_for(std::chrono::milliseconds timeout)
+      TVVIZ_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    util::LockGuard lock(mutex_);
+    while (!closed_ && queue_.empty()) {
+      if (not_empty_.wait_until(mutex_, deadline) == std::cv_status::timeout)
+        break;
+    }
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
@@ -79,8 +86,8 @@ class BlockingQueue {
 
   /// Non-blocking pop. kItem fills `out`; kEmpty means retry later; kClosed
   /// means the queue was closed and every item has been drained.
-  TryPopResult try_pop(T& out) {
-    std::lock_guard lock(mutex_);
+  TryPopResult try_pop(T& out) TVVIZ_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     if (queue_.empty())
       return closed_ ? TryPopResult::kClosed : TryPopResult::kEmpty;
     out = std::move(queue_.front());
@@ -92,8 +99,8 @@ class BlockingQueue {
   /// Non-blocking pop, optional form. Cannot distinguish "empty" from
   /// "closed and drained" — pollers that must terminate on close should use
   /// the TryPopResult overload.
-  std::optional<T> try_pop() {
-    std::lock_guard lock(mutex_);
+  std::optional<T> try_pop() TVVIZ_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
@@ -102,31 +109,31 @@ class BlockingQueue {
   }
 
   /// Close: pushes fail, pops drain then return nullopt.
-  void close() {
+  void close() TVVIZ_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      util::LockGuard lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mutex_);
+  std::size_t size() const TVVIZ_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     return queue_.size();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mutex_);
+  bool closed() const TVVIZ_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_, not_full_;
-  std::deque<T> queue_;
+  mutable util::Mutex mutex_;
+  util::CondVar not_empty_, not_full_;
+  std::deque<T> queue_ TVVIZ_GUARDED_BY(mutex_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ TVVIZ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tvviz::net

@@ -424,11 +424,11 @@ void TcpDaemonServer::shutdown() {
   ::close(listen_fd_);
   daemon_.shutdown();
   {
-    std::lock_guard lock(threads_mutex_);
+    util::LockGuard lock(threads_mutex_);
     for (auto& c : connections_) c->shutdown();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard lock(threads_mutex_);
+  util::LockGuard lock(threads_mutex_);
   for (auto& t : workers_)
     if (t.joinable()) t.join();
 }
@@ -477,7 +477,7 @@ void TcpDaemonServer::accept_loop() {
              "' (expected 'renderer' or 'display')");
       continue;
     }
-    std::lock_guard lock(threads_mutex_);
+    util::LockGuard lock(threads_mutex_);
     connections_.push_back(conn);
     if (info.role == "renderer")
       workers_.emplace_back([this, conn] { serve_renderer(conn); });
@@ -596,14 +596,14 @@ TcpRendererLink::TcpRendererLink(int port)
       }
       if (!msg) return;
       if (msg->type != MsgType::kControl) continue;
-      std::lock_guard lock(mutex_);
+      util::LockGuard lock(mutex_);
       pending_.push_back(ControlEvent::deserialize(msg->payload));
     }
   });
 }
 
 std::optional<ControlEvent> TcpRendererLink::poll_control() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (pending_.empty()) return std::nullopt;
   ControlEvent event = pending_.front();
   pending_.erase(pending_.begin());

@@ -26,6 +26,7 @@
 #include "net/daemon.hpp"
 #include "net/errors.hpp"
 #include "net/protocol.hpp"
+#include "util/mutex.hpp"
 
 struct iovec;  // <sys/uio.h>
 
@@ -118,11 +119,13 @@ class TcpDaemonServer {
     display_retry_ = policy;
   }
 
-  /// Stop accepting, close every connection, join all threads.
-  void shutdown();
+  /// Stop accepting, close every connection, join all threads. Joins
+  /// worker threads, so the lock is taken and released around each wait —
+  /// never held while joining.
+  void shutdown() TVVIZ_EXCLUDES(threads_mutex_);
 
  private:
-  void accept_loop();
+  void accept_loop() TVVIZ_EXCLUDES(threads_mutex_);
   void serve_renderer(std::shared_ptr<TcpConnection> conn);
   void serve_display(std::shared_ptr<TcpConnection> conn);
 
@@ -132,9 +135,10 @@ class TcpDaemonServer {
   fault::RetryPolicy display_retry_{};
   std::atomic<bool> running_{true};
   std::thread accept_thread_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> workers_;
-  std::vector<std::shared_ptr<TcpConnection>> connections_;
+  util::Mutex threads_mutex_;
+  std::vector<std::thread> workers_ TVVIZ_GUARDED_BY(threads_mutex_);
+  std::vector<std::shared_ptr<TcpConnection>> connections_
+      TVVIZ_GUARDED_BY(threads_mutex_);
 };
 
 /// Renderer-side endpoint over TCP: send frames, poll control events.
@@ -146,7 +150,7 @@ class TcpRendererLink {
 
   /// Non-blocking-ish control poll: events the daemon pushed since the
   /// last call (drained by a background reader thread).
-  std::optional<ControlEvent> poll_control();
+  std::optional<ControlEvent> poll_control() TVVIZ_EXCLUDES(mutex_);
 
   void close();
   ~TcpRendererLink();
@@ -154,8 +158,8 @@ class TcpRendererLink {
  private:
   std::unique_ptr<TcpConnection> conn_;
   std::thread reader_;
-  std::mutex mutex_;
-  std::vector<ControlEvent> pending_;
+  util::Mutex mutex_;
+  std::vector<ControlEvent> pending_ TVVIZ_GUARDED_BY(mutex_);
 };
 
 /// Display-side endpoint over TCP.

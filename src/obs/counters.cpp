@@ -4,7 +4,8 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace tvviz::obs {
 
@@ -13,9 +14,10 @@ namespace {
 /// std::map keeps node addresses stable across inserts, so references handed
 /// out by counter()/gauge() stay valid forever.
 struct CounterRegistry {
-  std::mutex mutex;
-  std::map<std::string, Counter, std::less<>> counters;
-  std::map<std::string, Gauge, std::less<>> gauges;
+  util::Mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters
+      TVVIZ_GUARDED_BY(mutex);
+  std::map<std::string, Gauge, std::less<>> gauges TVVIZ_GUARDED_BY(mutex);
 };
 
 CounterRegistry& registry() {
@@ -34,7 +36,7 @@ void json_escaped(std::ostream& out, const std::string& s) {
 
 Counter& counter(std::string_view name) {
   CounterRegistry& reg = registry();
-  std::lock_guard lock(reg.mutex);
+  util::LockGuard lock(reg.mutex);
   const auto it = reg.counters.find(name);
   if (it != reg.counters.end()) return it->second;
   return reg.counters.emplace(std::piecewise_construct,
@@ -45,7 +47,7 @@ Counter& counter(std::string_view name) {
 
 Gauge& gauge(std::string_view name) {
   CounterRegistry& reg = registry();
-  std::lock_guard lock(reg.mutex);
+  util::LockGuard lock(reg.mutex);
   const auto it = reg.gauges.find(name);
   if (it != reg.gauges.end()) return it->second;
   return reg.gauges.emplace(std::piecewise_construct,
@@ -56,7 +58,7 @@ Gauge& gauge(std::string_view name) {
 
 std::vector<CounterSample> counters_snapshot() {
   CounterRegistry& reg = registry();
-  std::lock_guard lock(reg.mutex);
+  util::LockGuard lock(reg.mutex);
   std::vector<CounterSample> out;
   out.reserve(reg.counters.size() + reg.gauges.size());
   for (const auto& [name, c] : reg.counters) {
@@ -115,7 +117,7 @@ bool write_counters_json_file(const std::string& path) {
 
 void reset_counters() {
   CounterRegistry& reg = registry();
-  std::lock_guard lock(reg.mutex);
+  util::LockGuard lock(reg.mutex);
   for (auto& [name, c] : reg.counters) c.reset();
   for (auto& [name, g] : reg.gauges) g.reset();
 }

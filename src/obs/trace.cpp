@@ -5,8 +5,9 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.hpp"
 
 namespace tvviz::obs {
 
@@ -21,8 +22,8 @@ std::atomic<bool> g_enabled{false};
 struct Lane {
   Lane(int id_in, std::string name_in) : id(id_in), name(std::move(name_in)) {}
 
-  void push(const TraceEvent& e) {
-    std::lock_guard lock(mutex);
+  void push(const TraceEvent& e) TVVIZ_EXCLUDES(mutex) {
+    util::LockGuard lock(mutex);
     if (events.size() < kLaneCapacity) {
       events.push_back(e);
     } else {
@@ -34,20 +35,22 @@ struct Lane {
 
   const int id;
   const std::string name;
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  std::size_t wrap = 0;  ///< Oldest slot, once full.
-  std::uint64_t dropped = 0;
+  util::Mutex mutex;
+  std::vector<TraceEvent> events TVVIZ_GUARDED_BY(mutex);
+  std::size_t wrap TVVIZ_GUARDED_BY(mutex) = 0;  ///< Oldest slot, once full.
+  std::uint64_t dropped TVVIZ_GUARDED_BY(mutex) = 0;
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<Lane>> lanes;                    // by id order
-  std::unordered_map<std::string, std::shared_ptr<Lane>> named;
-  int next_id = 1;
+  util::Mutex mutex;
+  std::vector<std::shared_ptr<Lane>> lanes TVVIZ_GUARDED_BY(mutex);  // by id
+  std::unordered_map<std::string, std::shared_ptr<Lane>> named
+      TVVIZ_GUARDED_BY(mutex);
+  int next_id TVVIZ_GUARDED_BY(mutex) = 1;
 
-  std::shared_ptr<Lane> lane_for(const std::string& name) {
-    std::lock_guard lock(mutex);
+  std::shared_ptr<Lane> lane_for(const std::string& name)
+      TVVIZ_EXCLUDES(mutex) {
+    util::LockGuard lock(mutex);
     auto it = named.find(name);
     if (it != named.end()) return it->second;
     auto lane = std::make_shared<Lane>(next_id++, name);
@@ -127,7 +130,7 @@ void record_span(int lane, const char* name, double start_s, double end_s,
   std::shared_ptr<Lane> target;
   {
     Registry& reg = registry();
-    std::lock_guard lock(reg.mutex);
+    util::LockGuard lock(reg.mutex);
     for (const auto& l : reg.lanes)
       if (l->id == lane) {
         target = l;
@@ -158,7 +161,7 @@ std::vector<LaneSnapshot> snapshot_trace() {
   std::vector<std::shared_ptr<Lane>> lanes;
   {
     Registry& reg = registry();
-    std::lock_guard lock(reg.mutex);
+    util::LockGuard lock(reg.mutex);
     lanes = reg.lanes;
   }
   std::vector<LaneSnapshot> out;
@@ -167,7 +170,7 @@ std::vector<LaneSnapshot> snapshot_trace() {
     LaneSnapshot snap;
     snap.id = lane->id;
     snap.name = lane->name;
-    std::lock_guard lock(lane->mutex);
+    util::LockGuard lock(lane->mutex);
     snap.events = lane->events;
     snap.dropped = lane->dropped;
     out.push_back(std::move(snap));
@@ -213,11 +216,11 @@ void clear_trace() {
   std::vector<std::shared_ptr<Lane>> lanes;
   {
     Registry& reg = registry();
-    std::lock_guard lock(reg.mutex);
+    util::LockGuard lock(reg.mutex);
     lanes = reg.lanes;
   }
   for (const auto& lane : lanes) {
-    std::lock_guard lock(lane->mutex);
+    util::LockGuard lock(lane->mutex);
     lane->events.clear();
     lane->wrap = 0;
     lane->dropped = 0;

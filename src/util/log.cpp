@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace tvviz::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes fprintf so lines never interleave
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +27,7 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard lock(g_mutex);
+  LockGuard lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

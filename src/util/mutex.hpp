@@ -1,0 +1,95 @@
+// Annotated mutex / condition-variable wrappers. This header is the ONLY
+// place in src/ allowed to name std::mutex / std::condition_variable /
+// std::lock_guard directly (enforced by tools/lint_invariants.py); all
+// guarded state declares util::Mutex and takes util::LockGuard so the
+// clang thread-safety analysis (thread_annotations.hpp, DESIGN.md §13)
+// can see every acquisition.
+//
+// CondVar deliberately has no predicate overloads: waits are written as
+// explicit `while (!pred) cv_.wait(mutex_);` loops at the call site, which
+// keeps the guarded reads inside a region the analysis can check (a
+// predicate lambda would be analyzed without the lock held).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace tvviz::util {
+
+/// std::mutex with capability annotations.
+class TVVIZ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TVVIZ_ACQUIRE() { m_.lock(); }
+  void unlock() TVVIZ_RELEASE() { m_.unlock(); }
+  bool try_lock() TVVIZ_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  /// The underlying handle, for CondVar only: handing it out any wider
+  /// would let callers lock behind the analysis's back.
+  std::mutex& native() noexcept { return m_; }
+
+  std::mutex m_;
+};
+
+/// RAII lock for util::Mutex (the std::lock_guard replacement).
+class TVVIZ_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) TVVIZ_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() TVVIZ_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable bound to util::Mutex. Every wait requires the mutex
+/// held (and returns with it held), matching std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& m) TVVIZ_REQUIRES(m) {
+    // Adopt the already-held mutex for the duration of the wait; release()
+    // afterwards so the unique_lock dtor does not unlock it a second time.
+    std::unique_lock<std::mutex> lk(m.native(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& m,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      TVVIZ_REQUIRES(m) {
+    std::unique_lock<std::mutex> lk(m.native(), std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lk, tp);
+    lk.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& m,
+                          const std::chrono::duration<Rep, Period>& dur)
+      TVVIZ_REQUIRES(m) {
+    return wait_until(m, std::chrono::steady_clock::now() + dur);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tvviz::util

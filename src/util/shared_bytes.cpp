@@ -145,7 +145,7 @@ Bytes BufferPool::acquire(std::size_t size) {
   }
   const std::size_t idx = bucket_of(size);
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     auto& bucket = buckets_[idx];
     if (!bucket.empty()) {
       Bytes buf = std::move(bucket.back());
@@ -173,7 +173,7 @@ void BufferPool::release(Bytes&& buffer) {
   if (buffer.capacity() == 0 || buffer.capacity() > config_.max_buffer_bytes)
     return;  // too small or too large to be worth keeping
   const std::size_t idx = bucket_of(buffer.capacity());
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   auto& bucket = buckets_[idx];
   if (bucket.size() >= config_.max_buffers_per_bucket) return;  // full: free
   pooled_bytes_ += buffer.capacity();
@@ -182,12 +182,12 @@ void BufferPool::release(Bytes&& buffer) {
 }
 
 std::size_t BufferPool::pooled_bytes() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return pooled_bytes_;
 }
 
 std::size_t BufferPool::pooled_buffers() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::size_t n = 0;
   for (const auto& bucket : buckets_) n += bucket.size();
   return n;

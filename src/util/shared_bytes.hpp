@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/mutex.hpp"
 
 namespace tvviz::util {
 
@@ -126,13 +126,13 @@ class BufferPool {
   static BufferPool& global();
 
   /// A buffer of exactly `size` bytes; contents are unspecified.
-  Bytes acquire(std::size_t size);
+  Bytes acquire(std::size_t size) TVVIZ_EXCLUDES(mutex_);
 
   /// File a buffer for reuse (by capacity bucket).
-  void release(Bytes&& buffer);
+  void release(Bytes&& buffer) TVVIZ_EXCLUDES(mutex_);
 
-  std::size_t pooled_bytes() const;
-  std::size_t pooled_buffers() const;
+  std::size_t pooled_bytes() const TVVIZ_EXCLUDES(mutex_);
+  std::size_t pooled_buffers() const TVVIZ_EXCLUDES(mutex_);
 
  private:
   std::size_t bucket_of(std::size_t capacity) const noexcept;
@@ -140,10 +140,10 @@ class BufferPool {
   Config config_;
   /// acquire() minus release(); mirrored into util.pool.outstanding.
   std::atomic<std::int64_t> outstanding_{0};
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// bucket index -> free buffers of that capacity.
-  std::vector<std::vector<Bytes>> buckets_;
-  std::size_t pooled_bytes_ = 0;
+  std::vector<std::vector<Bytes>> buckets_ TVVIZ_GUARDED_BY(mutex_);
+  std::size_t pooled_bytes_ TVVIZ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tvviz::util

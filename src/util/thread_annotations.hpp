@@ -1,0 +1,91 @@
+// Portable Clang Thread Safety Analysis attributes (the compile-time
+// concurrency-contract layer; see DESIGN.md §13). Under clang the macros
+// expand to the thread-safety attributes checked by -Wthread-safety (the
+// TVVIZ_THREAD_SAFETY build turns them into hard errors); under any other
+// compiler they expand to nothing, so the annotated tree builds everywhere.
+//
+// The macros annotate three kinds of declarations:
+//
+//  * data:      TVVIZ_GUARDED_BY(mutex_) on a member says every access
+//               must hold mutex_;
+//  * functions: TVVIZ_REQUIRES(mutex_) says the caller must already hold
+//               it, TVVIZ_EXCLUDES(mutex_) says the caller must NOT hold
+//               it (the encoding of "this function blocks / does I/O /
+//               takes the lock itself");
+//  * lock types: TVVIZ_CAPABILITY / TVVIZ_SCOPED_CAPABILITY plus
+//               TVVIZ_ACQUIRE / TVVIZ_RELEASE teach the analysis what a
+//               mutex wrapper does (util/mutex.hpp is the only user).
+//
+// Always annotate through these macros, never with raw __attribute__:
+// tools/lint_invariants.py bans raw std::mutex outside util/mutex.hpp, and
+// the negative-compile suite in tests/static/ checks the macros do fail
+// the build when a contract is violated.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TVVIZ_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TVVIZ_THREAD_ANNOTATION
+#define TVVIZ_THREAD_ANNOTATION(x)  // not clang: contracts are documentation
+#endif
+
+/// A type that is a lockable capability ("mutex" names it in diagnostics).
+#define TVVIZ_CAPABILITY(x) TVVIZ_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability at construction and releases it
+/// at destruction (util::LockGuard).
+#define TVVIZ_SCOPED_CAPABILITY TVVIZ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member: every read or write must hold the given capability.
+#define TVVIZ_GUARDED_BY(x) TVVIZ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointed-to data (not the pointer) is guarded.
+#define TVVIZ_PT_GUARDED_BY(x) TVVIZ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function contract: the caller must hold the capability on entry (and
+/// still holds it on exit). Use for *_locked helpers.
+#define TVVIZ_REQUIRES(...) \
+  TVVIZ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function contract: the caller must hold at least a shared capability.
+#define TVVIZ_REQUIRES_SHARED(...) \
+  TVVIZ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function effect: acquires the capability (held on exit, not on entry).
+#define TVVIZ_ACQUIRE(...) \
+  TVVIZ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function effect: releases the capability (held on entry, not on exit).
+#define TVVIZ_RELEASE(...) \
+  TVVIZ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function effect: acquires the capability iff the return value equals the
+/// first argument (e.g. TVVIZ_TRY_ACQUIRE(true)).
+#define TVVIZ_TRY_ACQUIRE(...) \
+  TVVIZ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function contract: the caller must NOT hold the capability. This is how
+/// the reviewed-in-blood invariants are encoded ("send_mutex_ is never
+/// waited on by close()", "state_mutex_ is never held across I/O"): a call
+/// site holding the excluded lock is a compile error under clang.
+#define TVVIZ_EXCLUDES(...) TVVIZ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Documented lock-ordering edges (checked under -Wthread-safety-beta).
+#define TVVIZ_ACQUIRED_BEFORE(...) \
+  TVVIZ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TVVIZ_ACQUIRED_AFTER(...) \
+  TVVIZ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the given capability (accessor).
+#define TVVIZ_RETURN_CAPABILITY(x) TVVIZ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trust, don't analyze).
+#define TVVIZ_ASSERT_CAPABILITY(x) \
+  TVVIZ_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for code the analysis cannot follow. Every use needs a
+/// comment explaining why the contract holds anyway.
+#define TVVIZ_NO_THREAD_SAFETY_ANALYSIS \
+  TVVIZ_THREAD_ANNOTATION(no_thread_safety_analysis)

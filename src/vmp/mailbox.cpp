@@ -9,7 +9,7 @@ namespace tvviz::vmp {
 void Mailbox::push(Message msg) {
   static obs::Gauge& depth = obs::gauge("vmp.mailbox.depth");
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     queue_.push_back(std::move(msg));
     depth.update_max(static_cast<std::int64_t>(queue_.size()));
   }
@@ -29,17 +29,17 @@ std::optional<Message> Mailbox::extract_locked(std::uint32_t context, int source
 }
 
 Message Mailbox::pop(std::uint32_t context, int source, int tag) {
-  std::unique_lock lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (;;) {
     if (auto msg = extract_locked(context, source, tag)) return std::move(*msg);
     if (poisoned_)
       throw std::runtime_error("vmp: world poisoned while waiting for message");
-    cv_.wait(lock);
+    cv_.wait(mutex_);
   }
 }
 
 bool Mailbox::probe(std::uint32_t context, int source, int tag) const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (const auto& m : queue_)
     if (matches(m, context, source, tag)) return true;
   return false;
@@ -47,20 +47,20 @@ bool Mailbox::probe(std::uint32_t context, int source, int tag) const {
 
 std::optional<Message> Mailbox::try_pop(std::uint32_t context, int source,
                                         int tag) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return extract_locked(context, source, tag);
 }
 
 void Mailbox::poison() {
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     poisoned_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return queue_.size();
 }
 

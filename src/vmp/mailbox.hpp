@@ -2,11 +2,10 @@
 // (context, tag, source). One mailbox per virtual processor node.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "util/mutex.hpp"
 #include "vmp/message.hpp"
 
 namespace tvviz::vmp {
@@ -14,23 +13,26 @@ namespace tvviz::vmp {
 class Mailbox {
  public:
   /// Enqueue a message (called by any sender thread).
-  void push(Message msg);
+  void push(Message msg) TVVIZ_EXCLUDES(mutex_);
 
   /// Block until a message matching (context, tag, source) is available and
   /// remove it. tag/source may be kAnyTag/kAnySource.
   /// Throws std::runtime_error if the world was poisoned (a peer died).
-  Message pop(std::uint32_t context, int source, int tag);
+  Message pop(std::uint32_t context, int source, int tag)
+      TVVIZ_EXCLUDES(mutex_);
 
   /// Non-blocking probe: true if a matching message is queued.
-  bool probe(std::uint32_t context, int source, int tag) const;
+  bool probe(std::uint32_t context, int source, int tag) const
+      TVVIZ_EXCLUDES(mutex_);
 
   /// Non-blocking receive; std::nullopt when no match is queued.
-  std::optional<Message> try_pop(std::uint32_t context, int source, int tag);
+  std::optional<Message> try_pop(std::uint32_t context, int source, int tag)
+      TVVIZ_EXCLUDES(mutex_);
 
   /// Wake all blocked receivers with an error (peer rank failed).
-  void poison();
+  void poison() TVVIZ_EXCLUDES(mutex_);
 
-  std::size_t pending() const;
+  std::size_t pending() const TVVIZ_EXCLUDES(mutex_);
 
  private:
   static bool matches(const Message& m, std::uint32_t context, int source,
@@ -39,12 +41,12 @@ class Mailbox {
            (tag == kAnyTag || m.tag == tag);
   }
   std::optional<Message> extract_locked(std::uint32_t context, int source,
-                                        int tag);
+                                        int tag) TVVIZ_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool poisoned_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Message> queue_ TVVIZ_GUARDED_BY(mutex_);
+  bool poisoned_ TVVIZ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tvviz::vmp

@@ -509,6 +509,41 @@ TEST(Hub, HeartbeatTimeoutReapsDeadClients) {
   hub.shutdown();
 }
 
+// Regression: ClientState::connected used to be a plain bool written by the
+// reaper under only the per-client mutex while connect/stats/relay read it
+// under only clients_mutex_ — a cross-mutex data race (TSan-visible under
+// tools/verify_tsan.sh). It is atomic now; this test drives the reaper
+// against concurrent stats polling so the race would fire if reintroduced.
+TEST(Hub, ReapRacesWithStatsPolling) {
+  HubConfig cfg;
+  cfg.heartbeat_timeout_s = 0.02;
+  FrameHub hub(cfg);
+  auto renderer = hub.connect_renderer();
+
+  std::atomic<bool> polling{true};
+  std::thread poller([&] {
+    while (polling.load()) {
+      (void)hub.connected_clients();
+      for (const auto& s : hub.client_stats()) (void)s.connected;
+    }
+  });
+  // Churn: clients connect, go silent, get reaped — every reap is a
+  // connected-flag write concurrent with the poller's reads.
+  for (int round = 0; round < 5; ++round) {
+    auto a = hub.connect_client(ClientOptions{.id = "churn-a"});
+    auto b = hub.connect_client(ClientOptions{.id = "churn-b"});
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (hub.clients_reaped() < static_cast<std::uint64_t>(2 * (round + 1)) &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  polling.store(false);
+  poller.join();
+  EXPECT_GE(hub.clients_reaped(), 10u);
+  hub.shutdown();
+}
+
 // ------------------------------------------------------------- over TCP ----
 
 TEST(HubTcp, HandshakeAssignsAndEchoesIdentity) {

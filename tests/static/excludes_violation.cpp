@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: `close` is
+// TVVIZ_EXCLUDES(send_mutex_) — the HubTcpViewer contract from the PR 4
+// review ("close() must never wait on send_mutex_: the sender it would wait
+// for is unblocked only by close() itself") — and is called while holding
+// that very lock. Expected diagnostic: "while mutex ... is held".
+#include "util/mutex.hpp"
+
+namespace {
+
+class Viewer {
+ public:
+  void send_then_close() {
+    tvviz::util::LockGuard lock(send_mutex_);
+    close();  // BAD: close() excludes send_mutex_, which is held here
+  }
+
+  void close() TVVIZ_EXCLUDES(send_mutex_) {}
+
+ private:
+  tvviz::util::Mutex send_mutex_;
+};
+
+}  // namespace
+
+int main() {
+  Viewer viewer;
+  viewer.send_then_close();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE (any compiler): util::LockGuard is a scoped capability
+// and must not be copyable — a copy would double-unlock in the destructors.
+// Expected diagnostic: "deleted".
+#include "util/mutex.hpp"
+
+int main() {
+  tvviz::util::Mutex mutex;
+  tvviz::util::LockGuard lock(mutex);
+  tvviz::util::LockGuard copy = lock;  // BAD: copy ctor is deleted
+  (void)copy;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE (any compiler): util::Mutex is a capability and must not
+// be copyable — a copied mutex silently stops guarding the original's
+// state. Expected diagnostic: "deleted".
+#include "util/mutex.hpp"
+
+int main() {
+  tvviz::util::Mutex a;
+  tvviz::util::Mutex b = a;  // BAD: copy ctor is deleted
+  (void)b;
+  return 0;
+}

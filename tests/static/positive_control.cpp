@@ -1,0 +1,41 @@
+// MUST COMPILE (tests/static positive control). Correctly annotated code:
+// every guarded access holds the right lock, the REQUIRES helper is called
+// under the lock, and the EXCLUDES function is called lock-free. If this
+// snippet ever fails, the harness — not the contracts — is broken, and the
+// expected-failure results of the sibling snippets mean nothing.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) TVVIZ_EXCLUDES(mutex_) {
+    tvviz::util::LockGuard lock(mutex_);
+    add_locked(amount);
+  }
+
+  int balance() const TVVIZ_EXCLUDES(mutex_) {
+    tvviz::util::LockGuard lock(mutex_);
+    return balance_;
+  }
+
+  void wait_nonzero() TVVIZ_EXCLUDES(mutex_) {
+    tvviz::util::LockGuard lock(mutex_);
+    while (balance_ == 0) cv_.wait(mutex_);
+  }
+
+ private:
+  void add_locked(int amount) TVVIZ_REQUIRES(mutex_) { balance_ += amount; }
+
+  mutable tvviz::util::Mutex mutex_;
+  tvviz::util::CondVar cv_;
+  int balance_ TVVIZ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

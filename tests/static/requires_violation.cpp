@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: `add_locked` is
+// TVVIZ_REQUIRES(mutex_) — the *_locked helper pattern used across src/ —
+// and is called without the lock held. Expected diagnostic: "requires
+// holding mutex".
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) { add_locked(amount); }  // BAD: lock not taken
+
+ private:
+  void add_locked(int amount) TVVIZ_REQUIRES(mutex_) { balance_ += amount; }
+
+  tvviz::util::Mutex mutex_;
+  int balance_ TVVIZ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: `balance_` is
+// TVVIZ_GUARDED_BY(mutex_) and is read without the lock. Expected
+// diagnostic: "requires holding mutex".
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  int balance() const { return balance_; }  // BAD: no lock held
+
+ private:
+  mutable tvviz::util::Mutex mutex_;
+  int balance_ TVVIZ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  return account.balance();
+}

@@ -9,13 +9,25 @@
 //     client stays within 10% of the single-client baseline, and the slow
 //     client's loss shows up as counted step skips, not as stalls.
 //
+// The same workload runs on any of the hub's three client transports
+// (--transport): `inproc` attaches ClientPorts directly (the original
+// form), `tcp-epoll` and `tcp-threads` put a real HubTcpServer in front and
+// attach HubTcpViewer sockets, selecting the readiness-loop or the legacy
+// thread-per-connection accept path — the apples-to-apples ablation for
+// DESIGN.md §14. Over TCP the slow client is simulated by stalling its
+// read loop for the modeled link time (its identity and skip accounting
+// still live server-side).
+//
 //   ./ablation_hub_fanout [--steps 60] [--period-ms 4] [--bytes 16384]
+//                         [--transport inproc|tcp-epoll|tcp-threads]
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "hub/hub.hpp"
+#include "hub/tcp_hub.hpp"
 #include "obs/counters.hpp"
 #include "util/flags.hpp"
 #include "util/timer.hpp"
@@ -23,6 +35,8 @@
 using namespace tvviz;
 
 namespace {
+
+enum class Transport { kInproc, kTcpEpoll, kTcpThreads };
 
 struct ClientRun {
   std::string id;
@@ -40,46 +54,100 @@ struct RunResult {
 
 /// One fan-out run: `clients` viewers, the last throttled by `slow_link`
 /// when given, a producer pacing `steps` frames `period_s` apart.
-RunResult run_fanout(int clients, int steps, double period_s,
-                     std::size_t frame_bytes,
+RunResult run_fanout(Transport transport, int clients, int steps,
+                     double period_s, std::size_t frame_bytes,
                      const net::LinkModel* slow_link) {
   obs::reset_counters();
   hub::HubConfig cfg;
   cfg.cache_steps = 16;
   cfg.client_queue_frames = 6;
-  hub::FrameHub hub(cfg);
+  cfg.tcp_transport = transport == Transport::kTcpThreads
+                          ? hub::HubConfig::TcpTransport::kThreadPerConnection
+                          : hub::HubConfig::TcpTransport::kEpoll;
+
+  std::unique_ptr<hub::FrameHub> local;
+  std::unique_ptr<hub::HubTcpServer> server;
+  if (transport == Transport::kInproc)
+    local = std::make_unique<hub::FrameHub>(cfg);
+  else
+    server = std::make_unique<hub::HubTcpServer>(0, cfg);
+  hub::FrameHub& hub = local ? *local : server->hub();
   auto renderer = hub.connect_renderer();
 
   RunResult result;
   std::vector<std::thread> threads;
   std::mutex result_mutex;
   for (int k = 0; k < clients; ++k) {
-    hub::ClientOptions options;
-    options.id = "c" + std::to_string(k);
-    if (slow_link && k == clients - 1) {
-      options.link = *slow_link;
-      options.link_time_scale = 1.0;
+    const bool slow = slow_link && k == clients - 1;
+    if (transport == Transport::kInproc) {
+      hub::ClientOptions options;
+      options.id = "c" + std::to_string(k);
+      if (slow) {
+        options.link = *slow_link;
+        options.link_time_scale = 1.0;
+      }
+      auto port = hub.connect_client(options);
+      threads.emplace_back([port, &result, &result_mutex] {
+        ClientRun run;
+        run.id = port->id();
+        util::WallTimer clock;
+        double first = -1.0, last = -1.0;
+        while (auto msg = port->next()) {
+          if (msg->type == net::MsgType::kShutdown) break;
+          port->ack(msg->frame_index);
+          last = clock.seconds();
+          if (first < 0.0) first = last;
+          ++run.frames;
+        }
+        if (run.frames > 1) {
+          run.inter_frame_s = (last - first) / (run.frames - 1);
+          run.fps = 1.0 / run.inter_frame_s;
+        }
+        std::lock_guard lock(result_mutex);
+        result.clients.push_back(std::move(run));
+      });
+    } else {
+      // Real socket path: the slow link becomes a read-loop stall of the
+      // modeled transfer time (backpressure arrives via the socket, the
+      // skip accounting stays server-side exactly as in-process).
+      const double stall_s =
+          slow ? slow_link->transfer_seconds(frame_bytes) : 0.0;
+      const int port = server->port();
+      threads.emplace_back([port, k, stall_s, &result, &result_mutex] {
+        hub::HubTcpViewer::Options options;
+        options.client_id = "c" + std::to_string(k);
+        hub::HubTcpViewer viewer(port, options);
+        ClientRun run;
+        run.id = viewer.assigned_id();
+        util::WallTimer clock;
+        double first = -1.0, last = -1.0;
+        while (auto msg = viewer.next()) {
+          if (msg->type == net::MsgType::kShutdown) break;
+          if (msg->type != net::MsgType::kFrame) continue;
+          viewer.ack(msg->frame_index);
+          if (stall_s > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(stall_s));
+          last = clock.seconds();
+          if (first < 0.0) first = last;
+          ++run.frames;
+        }
+        if (run.frames > 1) {
+          run.inter_frame_s = (last - first) / (run.frames - 1);
+          run.fps = 1.0 / run.inter_frame_s;
+        }
+        std::lock_guard lock(result_mutex);
+        result.clients.push_back(std::move(run));
+      });
     }
-    auto port = hub.connect_client(options);
-    threads.emplace_back([port, &result, &result_mutex] {
-      ClientRun run;
-      run.id = port->id();
-      util::WallTimer clock;
-      double first = -1.0, last = -1.0;
-      while (auto msg = port->next()) {
-        if (msg->type == net::MsgType::kShutdown) break;
-        port->ack(msg->frame_index);
-        last = clock.seconds();
-        if (first < 0.0) first = last;
-        ++run.frames;
-      }
-      if (run.frames > 1) {
-        run.inter_frame_s = (last - first) / (run.frames - 1);
-        run.fps = 1.0 / run.inter_frame_s;
-      }
-      std::lock_guard lock(result_mutex);
-      result.clients.push_back(std::move(run));
-    });
+  }
+  if (server) {
+    // Streaming before every handshake lands would hand early viewers a
+    // head start; wait until the hub has filed all of them.
+    util::WallTimer settle;
+    while (hub.connected_clients() < static_cast<std::size_t>(clients) &&
+           settle.seconds() < 10.0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
   // Paced producer: one message per step, the payload "encoded" exactly
@@ -99,7 +167,10 @@ RunResult run_fanout(int clients, int steps, double period_s,
   renderer->send(std::move(bye));
 
   for (auto& t : threads) t.join();
-  hub.shutdown();
+  if (server)
+    server->shutdown();
+  else
+    hub.shutdown();
   for (const auto& s : hub.client_stats())
     for (auto& run : result.clients)
       if (run.id == s.id) run.skipped = s.steps_skipped;
@@ -119,6 +190,21 @@ int main(int argc, char** argv) {
   const double period_s = flags.get_double("period-ms", 4.0) / 1e3;
   const auto frame_bytes =
       static_cast<std::size_t>(flags.get_int("bytes", 16384));
+  const std::string transport_name = flags.get("transport", "inproc");
+  Transport transport;
+  if (transport_name == "inproc") {
+    transport = Transport::kInproc;
+  } else if (transport_name == "tcp-epoll") {
+    transport = Transport::kTcpEpoll;
+  } else if (transport_name == "tcp-threads") {
+    transport = Transport::kTcpThreads;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --transport %s (inproc|tcp-epoll|tcp-threads)\n",
+                 transport_name.c_str());
+    return 1;
+  }
+  std::printf("transport: %s\n", transport_name.c_str());
 
   // The slow client's link makes each delivery cost ~10 producer periods.
   net::LinkModel slow;
@@ -126,7 +212,8 @@ int main(int argc, char** argv) {
   slow.latency_s = 10.0 * period_s;
   slow.bandwidth_bytes_per_s = 1e12;
 
-  const auto baseline = run_fanout(1, steps, period_s, frame_bytes, nullptr);
+  const auto baseline =
+      run_fanout(transport, 1, steps, period_s, frame_bytes, nullptr);
   const double baseline_fps = baseline.clients[0].fps;
   std::printf("baseline (1 client): %.1f fps, inter-frame %.2f ms\n\n",
               baseline_fps, baseline.clients[0].inter_frame_s * 1e3);
@@ -135,7 +222,7 @@ int main(int argc, char** argv) {
               "frames", "fps", "inter-frame", "skipped", "inserts", "hits");
   for (const bool inject_slow : {false, true}) {
     for (const int n : {2, 4, 8}) {
-      const auto r = run_fanout(n, steps, period_s, frame_bytes,
+      const auto r = run_fanout(transport, n, steps, period_s, frame_bytes,
                                 inject_slow ? &slow : nullptr);
       for (std::size_t k = 0; k < r.clients.size(); ++k) {
         const auto& c = r.clients[k];

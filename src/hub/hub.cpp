@@ -63,8 +63,21 @@ struct FrameHub::ClientState {
   std::atomic<int> last_acked{-1};
   std::atomic<double> last_seen_s{0.0};
 
+  /// Event-loop transport hook: fired after a push and on close. Copied out
+  /// under the lock, invoked outside it (it schedules work; must not block).
+  std::function<void()> ready_cb TVVIZ_GUARDED_BY(mutex);
+
   obs::Counter* delivered_ctr = nullptr;
   obs::Counter* skipped_steps_ctr = nullptr;
+
+  void notify_ready() TVVIZ_EXCLUDES(mutex) {
+    std::function<void()> cb;
+    {
+      util::LockGuard lock(mutex);
+      cb = ready_cb;
+    }
+    if (cb) cb();
+  }
 };
 
 namespace {
@@ -96,6 +109,20 @@ void FrameHub::RendererPort::send(net::NetMessage msg) {
 
 std::optional<net::ControlEvent> FrameHub::RendererPort::poll_control() {
   return control_.try_pop();
+}
+
+void FrameHub::RendererPort::set_control_callback(std::function<void()> cb) {
+  util::LockGuard lock(cb_mutex_);
+  control_cb_ = std::move(cb);
+}
+
+void FrameHub::RendererPort::notify_control() {
+  std::function<void()> cb;
+  {
+    util::LockGuard lock(cb_mutex_);
+    cb = control_cb_;
+  }
+  if (cb) cb();
 }
 
 // ----------------------------------------------------------- ClientPort ----
@@ -139,6 +166,15 @@ FramePtr FrameHub::ClientPort::next_for(std::chrono::milliseconds timeout) {
       std::this_thread::sleep_for(std::chrono::duration<double>(s));
   }
   return msg;
+}
+
+FramePtr FrameHub::ClientPort::try_next() {
+  return next_for(std::chrono::milliseconds(0));
+}
+
+void FrameHub::ClientPort::set_ready_callback(std::function<void()> cb) {
+  util::LockGuard lock(state_->mutex);
+  state_->ready_cb = std::move(cb);
 }
 
 void FrameHub::ClientPort::ack(int step) {
@@ -186,6 +222,26 @@ std::shared_ptr<FrameHub::RendererPort> FrameHub::connect_renderer() {
   auto port = std::shared_ptr<RendererPort>(new RendererPort(this));
   renderers_.push_back(port);
   return port;
+}
+
+void FrameHub::disconnect_renderer(RendererPort& port) {
+  std::shared_ptr<RendererPort> victim;
+  {
+    util::LockGuard lock(clients_mutex_);
+    for (auto it = renderers_.begin(); it != renderers_.end(); ++it)
+      if (it->get() == &port) {
+        victim = std::move(*it);
+        renderers_.erase(it);
+        break;
+      }
+  }
+  // Close outside clients_mutex_ (it wakes the control callback) and keep
+  // the victim alive past the erase so a concurrent broadcast snapshot can
+  // still push into the now-closed queue harmlessly.
+  if (victim) {
+    victim->control_.close();
+    victim->notify_control();
+  }
 }
 
 std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
@@ -302,6 +358,9 @@ void FrameHub::close_client(const std::shared_ptr<ClientState>& client) {
     client->connected.store(false);
   }
   client->cv.notify_all();
+  // Wake the event-loop transport too: its drain observes closed+drained
+  // and evicts the session (or flushes the tail first on shutdown).
+  client->notify_ready();
 }
 
 void FrameHub::shutdown() {
@@ -311,10 +370,22 @@ void FrameHub::shutdown() {
   // deliveries never block (drop policy), so every frame the renderers
   // already handed over lands in a queue before any port closes.
   if (relay_thread_.joinable()) relay_thread_.join();
-  util::LockGuard lock(clients_mutex_);
-  for (auto& c : clients_) close_client(c);
-  for (auto& r : renderers_) r->control_.close();
-  clients_gauge().set(0);
+  // Snapshot, then close outside clients_mutex_: close wakes the ready /
+  // control callbacks, which schedule flush work and must not run with hub
+  // locks held.
+  std::vector<std::shared_ptr<ClientState>> clients;
+  std::vector<std::shared_ptr<RendererPort>> renderers;
+  {
+    util::LockGuard lock(clients_mutex_);
+    clients = clients_;
+    renderers = renderers_;
+    clients_gauge().set(0);
+  }
+  for (auto& c : clients) close_client(c);
+  for (auto& r : renderers) {
+    r->control_.close();
+    r->notify_control();
+  }
 }
 
 std::size_t FrameHub::connected_clients() const {
@@ -354,8 +425,18 @@ ClientStats FrameHub::stats_for(const std::string& id) const {
 void FrameHub::broadcast_control(const net::ControlEvent& event) {
   static obs::Counter& controls = obs::counter("net.hub.controls_broadcast");
   controls.add(1);
-  util::LockGuard lock(clients_mutex_);
-  for (auto& r : renderers_) r->control_.push(event);
+  // Snapshot under the lock, push outside it: the push can wake a control
+  // callback that schedules work, and a bounded queue can block — neither
+  // belongs inside clients_mutex_.
+  std::vector<std::shared_ptr<RendererPort>> targets;
+  {
+    util::LockGuard lock(clients_mutex_);
+    targets = renderers_;
+  }
+  for (auto& r : targets) {
+    r->control_.push(event);
+    r->notify_control();
+  }
 }
 
 void FrameHub::deliver(const std::shared_ptr<ClientState>& client,
@@ -399,6 +480,7 @@ void FrameHub::deliver(const std::shared_ptr<ClientState>& client,
     client->queue.push_back(std::move(msg));
   }
   client->cv.notify_one();
+  client->notify_ready();
 }
 
 void FrameHub::reap_idle_clients() {

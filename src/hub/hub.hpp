@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -47,6 +48,19 @@ struct HubConfig {
   /// older server, which newer viewers must downgrade to (handshake
   /// renegotiation) — exercised by the chaos suite.
   std::uint32_t max_protocol_version = net::kProtocolVersion;
+
+  /// TCP front-end architecture (hub/tcp_hub.hpp). kEpoll is the default:
+  /// one readiness loop plus a fixed worker pool, O(1) threads for any
+  /// client count. kThreadPerConnection is the legacy shape, kept for the
+  /// apples-to-apples ablation (bench/ablation_hub_fanout --transport).
+  enum class TcpTransport { kEpoll, kThreadPerConnection };
+  TcpTransport tcp_transport = TcpTransport::kEpoll;
+  /// I/O deadline installed on accepted hub sockets; a display that stops
+  /// reading long enough to stall a worker mid-send is evicted
+  /// (net.hub.stalled_evictions) instead of wedging the pool. 0 = none.
+  double tcp_io_timeout_ms = 0.0;
+  /// Worker threads behind the epoll loop. 0 = auto (min(4, hardware)).
+  std::size_t tcp_workers = 0;
 };
 
 struct ClientOptions {
@@ -80,11 +94,21 @@ class FrameHub {
     void send(net::NetMessage msg);
     std::optional<net::ControlEvent> poll_control();
 
+    /// Invoked (from the hub's broadcast path) after control events become
+    /// available via poll_control(), and once when the hub shuts the control
+    /// queue. Runs outside hub locks; must not block. Used by the event-loop
+    /// transport to schedule a control drain instead of polling.
+    void set_control_callback(std::function<void()> cb)
+        TVVIZ_EXCLUDES(cb_mutex_);
+
    private:
     friend class FrameHub;
     explicit RendererPort(FrameHub* hub) : hub_(hub) {}
+    void notify_control() TVVIZ_EXCLUDES(cb_mutex_);
     FrameHub* hub_;
     net::BlockingQueue<net::ControlEvent> control_{1024};
+    mutable util::Mutex cb_mutex_;
+    std::function<void()> control_cb_ TVVIZ_GUARDED_BY(cb_mutex_);
   };
 
   struct ClientState;  // opaque; defined in hub.cpp's view of this header
@@ -97,6 +121,16 @@ class FrameHub {
     FramePtr next();
     /// Bounded-wait variant; nullptr on timeout or closed (check closed()).
     FramePtr next_for(std::chrono::milliseconds timeout);
+    /// Non-blocking pop: nullptr when the queue is momentarily empty (or
+    /// closed and drained — distinguish with closed()). The event-loop
+    /// transport drains queues with this instead of parking a thread.
+    FramePtr try_next();
+
+    /// Invoked after a message lands in this client's queue and once when
+    /// the port is closed. Runs outside the per-client lock on the hub's
+    /// delivery path; must not block. Replaces the dedicated writer thread
+    /// in the event-loop transport.
+    void set_ready_callback(std::function<void()> cb);
 
     /// Acknowledge that `step` was displayed (the resume point after a
     /// disconnect). Also counts as liveness.
@@ -126,6 +160,10 @@ class FrameHub {
 
   std::shared_ptr<RendererPort> connect_renderer()
       TVVIZ_EXCLUDES(clients_mutex_);
+
+  /// Detach a renderer interface: closes its control queue and drops the
+  /// hub's reference so churned renderer connections do not accumulate.
+  void disconnect_renderer(RendererPort& port) TVVIZ_EXCLUDES(clients_mutex_);
 
   /// Attach a client. If `options.id` names a client seen before, this is a
   /// reconnect: the new port is resumed from the cache starting after the

@@ -1,10 +1,12 @@
 #include "hub/tcp_hub.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -18,8 +20,102 @@ using net::MsgType;
 using net::NetMessage;
 using net::TcpConnection;
 
+namespace {
+
+obs::Gauge& sessions_gauge() {
+  static obs::Gauge& g = obs::gauge("net.hub.epoll.sessions");
+  return g;
+}
+
+obs::Counter& accept_errors_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.accept_errors");
+  return c;
+}
+
+obs::Counter& stalled_evictions_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.stalled_evictions");
+  return c;
+}
+
+/// Shared hello validation for both transports: refusals get a kError frame
+/// and count net.hub.hello_rejected; a non-hello first message is dropped
+/// silently (exactly the legacy behavior).
+std::optional<HelloInfo> validate_hello(TcpConnection& conn,
+                                        const NetMessage& first,
+                                        std::uint32_t max_version) {
+  if (first.type != MsgType::kHello) return std::nullopt;
+  static obs::Counter& rejected = obs::counter("net.hub.hello_rejected");
+  const auto refuse = [&](const std::string& reason) {
+    rejected.add(1);
+    try {
+      conn.send_message(net::make_error(reason));
+    } catch (const std::exception&) {
+    }
+  };
+  HelloInfo info;
+  try {
+    info = net::parse_hello(first);
+  } catch (const std::exception& e) {
+    refuse(std::string("malformed hello: ") + e.what());
+    return std::nullopt;
+  }
+  if (info.version == 0 || info.version > max_version) {
+    refuse("unsupported protocol version " + std::to_string(info.version) +
+           " (this hub speaks 1.." + std::to_string(max_version) + ")");
+    return std::nullopt;
+  }
+  if (info.role != "renderer" && info.role != "display") {
+    refuse("unknown endpoint role '" + info.role +
+           "' (expected 'renderer' or 'display')");
+    return std::nullopt;
+  }
+  return info;
+}
+
+}  // namespace
+
+/// Epoll-mode per-connection record. `role` and the port pointers are
+/// written only inside the serialized read chain (one-shot arm -> worker
+/// job -> rearm): consecutive reads of one socket are ordered through the
+/// job queue, so they need no lock of their own. `role` is additionally
+/// atomic because shutdown() classifies sessions from another thread, and
+/// the drain chain reads the port pointers only after the ready/control
+/// callback install (whose internal lock publishes them).
+struct HubTcpServer::Session {
+  Session(int fd_in, std::shared_ptr<TcpConnection> conn_in)
+      : fd(fd_in), conn(std::move(conn_in)) {}
+
+  enum class Role { kHandshake, kRenderer, kDisplay };
+
+  const int fd;
+  const std::shared_ptr<TcpConnection> conn;
+  std::atomic<Role> role{Role::kHandshake};
+  std::shared_ptr<FrameHub::RendererPort> renderer_port;
+  std::shared_ptr<FrameHub::ClientPort> client_port;
+  /// First evict wins; everything downstream of the exchange is idempotent.
+  std::atomic<bool> dead{false};
+  /// Collapses ready-callback storms into at most one queued drain job.
+  std::atomic<bool> drain_scheduled{false};
+  std::atomic<bool> control_scheduled{false};
+};
+
+/// Legacy-mode per-connection record (std::list keeps nodes stable while
+/// the serve thread runs). `done` is the reap signal: the accept thread
+/// joins and erases finished sessions between accepts.
+struct HubTcpServer::ThreadSession {
+  explicit ThreadSession(std::shared_ptr<TcpConnection> conn_in)
+      : conn(std::move(conn_in)) {}
+  std::shared_ptr<TcpConnection> conn;
+  std::atomic<bool> done{false};
+  /// Display sockets stay open through shutdown's flush; see shutdown().
+  std::atomic<bool> is_display{false};
+  std::thread thread;
+};
+
 HubTcpServer::HubTcpServer(int port, HubConfig config)
-    : hub_(config), max_version_(config.max_protocol_version) {
+    : hub_(config),
+      config_(config),
+      max_version_(config.max_protocol_version) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("hub: socket() failed");
   const int one = 1;
@@ -36,85 +132,360 @@ HubTcpServer::HubTcpServer(int port, HubConfig config)
   socklen_t len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) != 0) {
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
     ::close(listen_fd_);
     throw std::runtime_error("hub: listen failed");
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.tcp_transport == HubConfig::TcpTransport::kEpoll)
+    start_epoll();
+  else
+    accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 HubTcpServer::~HubTcpServer() { shutdown(); }
 
-void HubTcpServer::shutdown() {
-  if (!running_.exchange(false)) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  // Order matters for the flush guarantee: first unblock the renderer
-  // readers (everything they received is already in the hub inbox), then
-  // drain the hub into the client queues, and only then join the display
-  // workers — their writers flush those queues over the still-open sockets
-  // before closing them.
-  {
-    util::LockGuard lock(threads_mutex_);
-    for (auto& c : renderer_conns_) c->shutdown();
+std::size_t HubTcpServer::active_sessions() const {
+  if (loop_) {
+    util::LockGuard lock(sessions_mutex_);
+    return sessions_.size();
   }
-  hub_.shutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
   util::LockGuard lock(threads_mutex_);
-  for (auto& t : workers_)
-    if (t.joinable()) t.join();
-  for (auto& c : display_conns_) c->shutdown();
+  std::size_t n = 0;
+  for (const auto& s : thread_sessions_)
+    if (!s.done.load()) ++n;
+  return n;
 }
 
-void HubTcpServer::accept_loop() {
+// ------------------------------------------------- epoll transport ----
+
+void HubTcpServer::start_epoll() {
+  // The loop thread must never block in accept(): drain with non-blocking
+  // accepts until EAGAIN, then re-arm. Accepted sockets stay blocking
+  // (TcpConnection's deadline machinery handles them).
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  loop_ = net::EventLoop::make_epoll();
+  loop_->add(listen_fd_, net::kEventRead,
+             [this](std::uint32_t) { on_accept_ready(); });
+  std::size_t n = config_.tcp_workers;
+  if (n == 0)
+    n = std::min<std::size_t>(
+        4, std::max(1u, std::thread::hardware_concurrency()));
+  pool_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pool_.emplace_back([this] { worker_loop(); });
+  loop_thread_ = std::thread([this] { loop_->run(); });
+}
+
+void HubTcpServer::worker_loop() {
+  obs::set_thread_lane("hub worker");
+  static obs::Counter& jobs_ctr = obs::counter("net.hub.epoll.jobs");
+  while (auto job = jobs_.pop()) {
+    jobs_ctr.add(1);
+    (*job)();
+  }
+}
+
+void HubTcpServer::on_accept_ready() {
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // listener closed
-    auto conn = std::make_shared<TcpConnection>(fd);
-    std::optional<NetMessage> first;
-    try {
-      first = conn->recv_message();
-    } catch (const std::exception&) {
-      continue;  // malformed first frame: drop the connection, keep serving
-    }
-    if (!first || first->type != MsgType::kHello) continue;
-    static obs::Counter& rejected = obs::counter("net.hub.hello_rejected");
-    const auto refuse = [&](const std::string& reason) {
-      rejected.add(1);
-      try {
-        conn->send_message(net::make_error(reason));
-      } catch (const std::exception&) {
+    if (fd < 0) {
+      const int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK) break;  // backlog drained
+      if (!running_.load()) return;
+      if (!net::accept_should_retry(err)) return;  // listener is gone
+      accept_errors_ctr().add(1);
+      if (net::accept_error_needs_backoff(err)) {
+        // Descriptor/buffer exhaustion: an instant retry would spin on the
+        // same error. Leave the listener disarmed and re-enter after a
+        // capped exponential backoff; a successful accept resets it.
+        accept_backoff_ms_ = std::min(accept_backoff_ms_ * 2.0 + 1.0, 100.0);
+        loop_->post_after(accept_backoff_ms_, [this] {
+          if (running_.load()) on_accept_ready();
+        });
+        return;
       }
-    };
-    HelloInfo info;
+      continue;  // EINTR / ECONNABORTED: just try again
+    }
+    accept_backoff_ms_ = 0.0;
+    auto conn = std::make_shared<TcpConnection>(fd);
+    if (config_.tcp_io_timeout_ms > 0.0)
+      conn->set_io_timeout_ms(config_.tcp_io_timeout_ms);
+    auto session = std::make_shared<Session>(fd, std::move(conn));
+    {
+      util::LockGuard lock(sessions_mutex_);
+      sessions_[fd] = session;
+      sessions_gauge().set(static_cast<std::int64_t>(sessions_.size()));
+    }
+    loop_->add(fd, net::kEventRead,
+               [this, ws = std::weak_ptr<Session>(session)](std::uint32_t) {
+                 if (auto s = ws.lock()) schedule_read(s);
+               });
+  }
+  if (running_.load()) loop_->rearm(listen_fd_, net::kEventRead);
+}
+
+void HubTcpServer::schedule_read(const std::shared_ptr<Session>& session) {
+  if (session->dead.load()) return;
+  jobs_.push([this, session] { on_readable(session); });
+}
+
+void HubTcpServer::on_readable(const std::shared_ptr<Session>& session) {
+  if (session->dead.load()) return;
+  std::optional<NetMessage> msg;
+  try {
+    msg = session->conn->recv_message();
+  } catch (const net::TimeoutError&) {
+    // Readable but unable to complete a frame within the deadline: a
+    // slow-loris handshake or a peer stalled mid-frame. Evict rather than
+    // park a worker on it again.
+    stalled_evictions_ctr().add(1);
+    evict(session);
+    return;
+  } catch (const std::exception&) {
+    evict(session);
+    return;
+  }
+  if (!msg) {
+    evict(session);
+    return;
+  }
+  switch (session->role.load()) {
+    case Session::Role::kHandshake:
+      handle_hello(session, std::move(*msg));
+      return;  // rearms (or evicts) itself
+    case Session::Role::kRenderer:
+      session->renderer_port->send(std::move(*msg));
+      break;
+    case Session::Role::kDisplay:
+      switch (msg->type) {
+        case MsgType::kAck:
+          session->client_port->ack(msg->frame_index);
+          break;
+        case MsgType::kHeartbeat:
+          session->client_port->heartbeat();
+          break;
+        case MsgType::kControl:
+          session->client_port->send_control(
+              net::ControlEvent::deserialize(msg->payload));
+          break;
+        default:
+          break;
+      }
+      break;
+  }
+  loop_->rearm(session->fd, net::kEventRead);
+}
+
+void HubTcpServer::handle_hello(const std::shared_ptr<Session>& session,
+                                NetMessage first) {
+  auto info = validate_hello(*session->conn, first, max_version_);
+  if (!info) {
+    evict(session);
+    return;
+  }
+  std::weak_ptr<Session> ws = session;
+  if (info->role == "renderer") {
+    session->renderer_port = hub_.connect_renderer();
+    session->renderer_port->set_control_callback([this, ws] {
+      if (auto s = ws.lock()) schedule_control_drain(s);
+    });
+    session->role.store(Session::Role::kRenderer);
+    loop_->rearm(session->fd, net::kEventRead);
+    return;
+  }
+  ClientOptions options;
+  options.id = info->client_id;
+  options.queue_frames = info->queue_frames;
+  if (info->last_acked_step >= 0) {
+    // An explicit resume point also applies to ids the hub has never seen
+    // (e.g. the hub restarted and lost its registry but the cache refilled).
+    options.replay_cache = true;
+    options.replay_after_step = info->last_acked_step;
+  }
+  std::shared_ptr<FrameHub::ClientPort> port;
+  try {
+    port = hub_.connect_client(std::move(options));
+  } catch (const std::exception& e) {
     try {
-      info = net::parse_hello(*first);
-    } catch (const std::exception& e) {
-      refuse(std::string("malformed hello: ") + e.what());
-      continue;
+      session->conn->send_message(net::make_error(e.what()));
+    } catch (const std::exception&) {
     }
-    if (info.version == 0 || info.version > max_version_) {
-      refuse("unsupported protocol version " + std::to_string(info.version) +
-             " (this hub speaks 1.." + std::to_string(max_version_) + ")");
-      continue;
-    }
-    if (info.role != "renderer" && info.role != "display") {
-      refuse("unknown endpoint role '" + info.role +
-             "' (expected 'renderer' or 'display')");
-      continue;
-    }
-    util::LockGuard lock(threads_mutex_);
-    if (info.role == "renderer") {
-      renderer_conns_.push_back(conn);
-      workers_.emplace_back([this, conn] { serve_renderer(conn); });
-    } else {
-      display_conns_.push_back(conn);
-      workers_.emplace_back(
-          [this, conn, info = std::move(info)]() mutable {
-            serve_display(conn, std::move(info));
-          });
+    evict(session);
+    return;
+  }
+  if (info->last_acked_step >= 0) port->ack(info->last_acked_step);
+  {
+    NetMessage ok;
+    ok.type = MsgType::kHelloAck;
+    ok.codec = port->id();  // the identity the hub filed this client under
+    try {
+      session->conn->send_message(ok);
+    } catch (const std::exception&) {
+      hub_.disconnect_client(*port);
+      evict(session);
+      return;
     }
   }
+  session->client_port = std::move(port);
+  session->role.store(Session::Role::kDisplay);
+  session->client_port->set_ready_callback([this, ws] {
+    if (auto s = ws.lock()) schedule_drain(s);
+  });
+  // The connect-time replay may already be queued; drain it now rather
+  // than waiting for the next live delivery.
+  schedule_drain(session);
+  loop_->rearm(session->fd, net::kEventRead);
+}
+
+void HubTcpServer::schedule_drain(const std::shared_ptr<Session>& session) {
+  if (session->dead.load()) return;
+  if (session->drain_scheduled.exchange(true)) return;
+  if (!jobs_.push([this, session] { drain_display(session); }))
+    session->drain_scheduled.store(false);  // shutting down; flush job lost
+}
+
+void HubTcpServer::drain_display(const std::shared_ptr<Session>& session) {
+  // Clear-then-drain: a delivery landing after the clear schedules a fresh
+  // job; one landing before it is picked up by this loop. No lost wakeups.
+  session->drain_scheduled.store(false);
+  if (session->dead.load()) return;
+  auto port = session->client_port;
+  if (!port) return;
+  while (auto msg = port->try_next()) {
+    try {
+      session->conn->send_message(*msg);
+    } catch (const net::TimeoutError&) {
+      // Zero bytes accepted within the deadline: the viewer stopped
+      // reading. Evict it instead of letting it pin a worker.
+      stalled_evictions_ctr().add(1);
+      evict(session);
+      return;
+    } catch (const net::SendDeadlineError&) {
+      // Same stall, caught mid-frame: the connection is already shut
+      // (stream desynchronized), but the cause is still a stalled reader.
+      stalled_evictions_ctr().add(1);
+      evict(session);
+      return;
+    } catch (const std::exception&) {
+      evict(session);
+      return;
+    }
+  }
+  // Closed and fully flushed (hub shutdown, reap, or reconnect takeover):
+  // this drain is the last act of the session.
+  if (port->closed() && port->buffered() == 0) evict(session);
+}
+
+void HubTcpServer::schedule_control_drain(
+    const std::shared_ptr<Session>& session) {
+  if (session->dead.load()) return;
+  if (session->control_scheduled.exchange(true)) return;
+  if (!jobs_.push([this, session] { drain_renderer_control(session); }))
+    session->control_scheduled.store(false);
+}
+
+void HubTcpServer::drain_renderer_control(
+    const std::shared_ptr<Session>& session) {
+  session->control_scheduled.store(false);
+  if (session->dead.load()) return;
+  auto port = session->renderer_port;
+  if (!port) return;
+  while (auto event = port->poll_control()) {
+    NetMessage msg;
+    msg.type = MsgType::kControl;
+    msg.payload = event->serialize();
+    try {
+      session->conn->send_message(msg);
+    } catch (const std::exception&) {
+      evict(session);
+      return;
+    }
+  }
+}
+
+void HubTcpServer::evict(const std::shared_ptr<Session>& session) {
+  if (session->dead.exchange(true)) return;
+  loop_->remove(session->fd);
+  if (session->client_port) hub_.disconnect_client(*session->client_port);
+  if (session->renderer_port)
+    hub_.disconnect_renderer(*session->renderer_port);
+  session->conn->shutdown();
+  util::LockGuard lock(sessions_mutex_);
+  sessions_.erase(session->fd);
+  sessions_gauge().set(static_cast<std::int64_t>(sessions_.size()));
+}
+
+// ------------------------------------- legacy thread-per-connection ----
+
+void HubTcpServer::accept_loop() {
+  double backoff_ms = 1.0;
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      const int err = errno;
+      // Only a dead listener (shutdown, EBADF/EINVAL) stops the loop;
+      // transient failures are counted and retried — EMFILE-class ones
+      // after a capped backoff so the retry doesn't spin.
+      if (!running_.load() || !net::accept_should_retry(err)) return;
+      accept_errors_ctr().add(1);
+      if (net::accept_error_needs_backoff(err)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, 100.0);
+      }
+      continue;
+    }
+    backoff_ms = 1.0;
+    reap_finished_sessions();
+    auto conn = std::make_shared<TcpConnection>(fd);
+    if (config_.tcp_io_timeout_ms > 0.0)
+      conn->set_io_timeout_ms(config_.tcp_io_timeout_ms);
+    util::LockGuard lock(threads_mutex_);
+    ThreadSession& session = thread_sessions_.emplace_back(std::move(conn));
+    // The handshake (a blocking read) runs on the serve thread, never here:
+    // a client that connects and goes silent must not block the next
+    // accept.
+    session.thread = std::thread([this, &session] { serve_connection(session); });
+  }
+}
+
+void HubTcpServer::reap_finished_sessions() {
+  std::vector<std::thread> finished;
+  {
+    util::LockGuard lock(threads_mutex_);
+    for (auto it = thread_sessions_.begin(); it != thread_sessions_.end();) {
+      if (it->done.load()) {
+        finished.push_back(std::move(it->thread));
+        it = thread_sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& t : finished)
+    if (t.joinable()) t.join();
+}
+
+void HubTcpServer::serve_connection(ThreadSession& session) {
+  const auto conn = session.conn;
+  std::optional<NetMessage> first;
+  try {
+    first = conn->recv_message();
+  } catch (const std::exception&) {
+    first.reset();  // malformed first frame: drop, keep serving others
+  }
+  if (first) {
+    if (auto info = validate_hello(*conn, *first, max_version_)) {
+      if (info->role == "renderer") {
+        serve_renderer(conn);
+      } else {
+        session.is_display.store(true);
+        serve_display(conn, std::move(*info));
+      }
+    }
+  }
+  session.done.store(true);
 }
 
 void HubTcpServer::serve_renderer(std::shared_ptr<TcpConnection> conn) {
@@ -152,6 +523,7 @@ void HubTcpServer::serve_renderer(std::shared_ptr<TcpConnection> conn) {
   }
   reading.store(false);
   writer.join();
+  hub_.disconnect_renderer(*port);
 }
 
 void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
@@ -187,16 +559,24 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
       return;
     }
   }
-  // Reader: acks, heartbeats and control events from the viewer.
+  // Reader: acks, heartbeats and control events from the viewer. A dead
+  // socket detaches the port here so the writer's blocking next() wakes up
+  // — otherwise an idle disconnected session would linger until the next
+  // frame tried to flow (the churn regression). Shutdown is the exception:
+  // the port must stay open for the writer's flush of the queue tail.
   std::thread reader([&] {
     while (running_.load()) {
       std::optional<NetMessage> msg;
       try {
         msg = conn->recv_message();
       } catch (const std::exception&) {
+        if (running_.load()) hub_.disconnect_client(*port);
         return;
       }
-      if (!msg) return;
+      if (!msg) {
+        if (running_.load()) hub_.disconnect_client(*port);
+        return;
+      }
       switch (msg->type) {
         case MsgType::kAck:
           port->ack(msg->frame_index);
@@ -229,6 +609,66 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
   hub_.disconnect_client(*port);
   conn->shutdown();
   reader.join();
+}
+
+// -------------------------------------------------------- shutdown ----
+
+void HubTcpServer::shutdown() {
+  if (!running_.exchange(false)) return;
+  if (loop_) loop_->remove(listen_fd_);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (loop_) {
+    // Order matters for the flush guarantee: first stop the inflow by
+    // shutting the renderer (and still-handshaking) sockets, then drain the
+    // hub into the client queues — closing each port fires its ready
+    // callback, queueing a final flush drain — and only then retire the
+    // workers: jobs_.close() lets them finish every queued flush over the
+    // still-open display sockets before exiting.
+    std::vector<std::shared_ptr<Session>> snapshot;
+    {
+      util::LockGuard lock(sessions_mutex_);
+      snapshot.reserve(sessions_.size());
+      for (auto& [fd, s] : sessions_) snapshot.push_back(s);
+    }
+    for (auto& s : snapshot)
+      if (s->role.load() != Session::Role::kDisplay) s->conn->shutdown();
+    hub_.shutdown();
+    jobs_.close();
+    for (auto& t : pool_)
+      if (t.joinable()) t.join();
+    loop_->stop();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    // Anything not evicted by its flush drain (e.g. a socket that was
+    // already broken): close it now.
+    snapshot.clear();
+    {
+      util::LockGuard lock(sessions_mutex_);
+      for (auto& [fd, s] : sessions_) snapshot.push_back(s);
+      sessions_.clear();
+      sessions_gauge().set(0);
+    }
+    for (auto& s : snapshot) s->conn->shutdown();
+    return;
+  }
+  // Legacy: same ordering with per-connection threads. Display sockets stay
+  // open so their writer loops can flush the queue tails.
+  {
+    util::LockGuard lock(threads_mutex_);
+    for (auto& s : thread_sessions_)
+      if (!s.is_display.load()) s.conn->shutdown();
+  }
+  hub_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::list<ThreadSession> rest;
+  {
+    util::LockGuard lock(threads_mutex_);
+    rest.splice(rest.begin(), thread_sessions_);
+  }
+  for (auto& s : rest) {
+    if (s.thread.joinable()) s.thread.join();
+    s.conn->shutdown();
+  }
 }
 
 // -------------------------------------------------------- HubTcpViewer ----

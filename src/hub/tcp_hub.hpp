@@ -5,6 +5,15 @@
 // point, and queue preferences, and get back a kHelloAck (or a kError frame
 // explaining why they were refused).
 //
+// Transport architecture (HubConfig::tcp_transport, DESIGN.md §14): the
+// default is a readiness-based core — one epoll loop thread owns the
+// listening socket and every connection, and a small fixed worker pool does
+// the blocking work (hello parsing, fan-out sends), so thread count is O(1)
+// in the client count and a stalled or silent client can never occupy the
+// accept path. The legacy thread-per-connection shape is kept behind
+// kThreadPerConnection for the apples-to-apples ablation
+// (bench/ablation_hub_fanout --transport).
+//
 // The viewer endpoint owns the WAN recovery story: with auto_reconnect it
 // rides out refused connects, mid-frame disconnects and handshake version
 // mismatches (downgrading to the v1 hello when the server is older), and
@@ -13,13 +22,18 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <list>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/retry.hpp"
 #include "hub/hub.hpp"
+#include "net/event_loop.hpp"
+#include "net/queue.hpp"
 #include "net/tcp.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
@@ -36,28 +50,76 @@ class HubTcpServer {
   int port() const noexcept { return port_; }
   FrameHub& hub() noexcept { return hub_; }
 
+  /// Transport sessions currently tracked (sockets not yet evicted). The
+  /// churn regression test asserts this stays bounded — disconnected
+  /// clients are reaped, not accumulated until shutdown.
+  std::size_t active_sessions() const
+      TVVIZ_EXCLUDES(sessions_mutex_, threads_mutex_);
+
   /// Stop accepting, flush queued frames to the display sockets, close
   /// every connection, join all threads.
-  void shutdown() TVVIZ_EXCLUDES(threads_mutex_);
+  void shutdown() TVVIZ_EXCLUDES(sessions_mutex_, threads_mutex_);
 
  private:
+  // ----- epoll transport (default) -----------------------------------
+  /// Per-connection record. `role` and the ports are written only by the
+  /// serialized read chain (one-shot arm -> worker job -> rearm); `role` is
+  /// atomic because shutdown() classifies sessions from another thread.
+  struct Session;
+
+  void start_epoll();
+  void worker_loop();
+  /// Listener readiness (loop thread): accept until EAGAIN; transient
+  /// errors retry (net.hub.accept_errors), fd-exhaustion re-arms after a
+  /// capped backoff, and only a dead listener stops accepting.
+  void on_accept_ready();
+  void schedule_read(const std::shared_ptr<Session>& session);
+  void on_readable(const std::shared_ptr<Session>& session);
+  void handle_hello(const std::shared_ptr<Session>& session,
+                    net::NetMessage first);
+  void schedule_drain(const std::shared_ptr<Session>& session);
+  void drain_display(const std::shared_ptr<Session>& session);
+  void schedule_control_drain(const std::shared_ptr<Session>& session);
+  void drain_renderer_control(const std::shared_ptr<Session>& session);
+  /// Idempotent teardown: deregister from the loop, detach from the hub,
+  /// shut the socket down, drop the session record.
+  void evict(const std::shared_ptr<Session>& session)
+      TVVIZ_EXCLUDES(sessions_mutex_);
+
+  // ----- legacy thread-per-connection transport -----------------------
+  struct ThreadSession;
+
   void accept_loop() TVVIZ_EXCLUDES(threads_mutex_);
+  void serve_connection(ThreadSession& session);
   void serve_renderer(std::shared_ptr<net::TcpConnection> conn);
   void serve_display(std::shared_ptr<net::TcpConnection> conn,
                      net::HelloInfo info);
+  /// Join and erase sessions whose serve thread has finished (called from
+  /// the accept thread between accepts — the reap that keeps churn bounded).
+  void reap_finished_sessions() TVVIZ_EXCLUDES(threads_mutex_);
 
   FrameHub hub_;
+  HubConfig config_;
   std::uint32_t max_version_ = net::kProtocolVersion;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{true};
+
+  // Epoll transport state.
+  std::unique_ptr<net::EventLoop> loop_;
+  std::thread loop_thread_;
+  net::BlockingQueue<std::function<void()>> jobs_;
+  std::vector<std::thread> pool_;
+  mutable util::Mutex sessions_mutex_;
+  std::unordered_map<int, std::shared_ptr<Session>> sessions_
+      TVVIZ_GUARDED_BY(sessions_mutex_);
+  /// Loop-thread only: current listener re-arm backoff after fd exhaustion.
+  double accept_backoff_ms_ = 0.0;
+
+  // Legacy transport state.
   std::thread accept_thread_;
-  util::Mutex threads_mutex_;
-  std::vector<std::thread> workers_ TVVIZ_GUARDED_BY(threads_mutex_);
-  std::vector<std::shared_ptr<net::TcpConnection>> renderer_conns_
-      TVVIZ_GUARDED_BY(threads_mutex_);
-  std::vector<std::shared_ptr<net::TcpConnection>> display_conns_
-      TVVIZ_GUARDED_BY(threads_mutex_);
+  mutable util::Mutex threads_mutex_;
+  std::list<ThreadSession> thread_sessions_ TVVIZ_GUARDED_BY(threads_mutex_);
 };
 
 /// Display-side endpoint speaking the v2 hub handshake. Compare

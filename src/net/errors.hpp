@@ -31,6 +31,17 @@ class SocketError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The SocketError flavor thrown when a *send* deadline expires after
+/// partial progress. Recovery-wise it is exactly a SocketError (stream
+/// desynchronized, connection closed, reconnect to recover) — but the
+/// cause is a peer that stopped reading, which eviction policies want to
+/// tell apart from a peer reset (the hub counts both this and TimeoutError
+/// as net.hub.stalled_evictions).
+class SendDeadlineError : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
 class WireError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;

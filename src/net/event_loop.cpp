@@ -1,0 +1,281 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/mutex.hpp"
+
+namespace tvviz::net {
+
+bool accept_should_retry(int errno_value) noexcept {
+  switch (errno_value) {
+    case EINTR:
+    case ECONNABORTED:
+    case EPROTO:
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool accept_error_needs_backoff(int errno_value) noexcept {
+  switch (errno_value) {
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class EpollEventLoop final : public EventLoop {
+ public:
+  EpollEventLoop() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0)
+      throw std::runtime_error(std::string("event_loop: epoll_create1: ") +
+                               std::strerror(errno));
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      ::close(epoll_fd_);
+      throw std::runtime_error(std::string("event_loop: eventfd: ") +
+                               std::strerror(errno));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;  // level-triggered, not one-shot: never disarmed
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      ::close(wake_fd_);
+      ::close(epoll_fd_);
+      throw std::runtime_error(std::string("event_loop: epoll_ctl(wake): ") +
+                               std::strerror(errno));
+    }
+  }
+
+  ~EpollEventLoop() override {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+  }
+
+  void add(int fd, std::uint32_t interest, Callback cb) override {
+    std::uint32_t generation;
+    bool replace;
+    {
+      util::LockGuard lock(mutex_);
+      generation = ++next_generation_;
+      replace = registrations_.count(fd) > 0;
+      registrations_[fd] = Registration{generation, std::move(cb)};
+    }
+    epoll_event ev{};
+    ev.events = to_epoll(interest) | EPOLLONESHOT;
+    ev.data.u64 = pack(fd, generation);
+    const int op = replace ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+    if (::epoll_ctl(epoll_fd_, op, fd, &ev) != 0)
+      throw std::runtime_error(std::string("event_loop: epoll_ctl(add): ") +
+                               std::strerror(errno));
+  }
+
+  void rearm(int fd, std::uint32_t interest) override {
+    std::uint32_t generation;
+    {
+      util::LockGuard lock(mutex_);
+      auto it = registrations_.find(fd);
+      if (it == registrations_.end()) return;  // removed meanwhile: no-op
+      generation = it->second.generation;
+    }
+    epoll_event ev{};
+    ev.events = to_epoll(interest) | EPOLLONESHOT;
+    ev.data.u64 = pack(fd, generation);
+    // ENOENT: removed between the lookup and the ctl — harmless.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void remove(int fd) override {
+    {
+      util::LockGuard lock(mutex_);
+      registrations_.erase(fd);
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  void post(std::function<void()> fn) override {
+    {
+      util::LockGuard lock(mutex_);
+      posted_.push_back(std::move(fn));
+    }
+    wake();
+  }
+
+  void post_after(double delay_ms, std::function<void()> fn) override {
+    {
+      util::LockGuard lock(mutex_);
+      timers_.push_back(
+          Timer{steady_now_ms() + std::max(0.0, delay_ms), std::move(fn)});
+    }
+    wake();  // recompute the epoll_wait timeout with the new deadline
+  }
+
+  void run() override {
+    static obs::Counter& wakeups = obs::counter("net.hub.epoll.wakeups");
+    static obs::Counter& dispatched = obs::counter("net.hub.epoll.events");
+    static obs::Counter& timers_fired = obs::counter("net.hub.epoll.timers");
+    epoll_event events[64];
+    while (!stopped_.load()) {
+      const int timeout = next_timeout_ms();
+      const int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("event_loop: epoll_wait: ") +
+                                 std::strerror(errno));
+      }
+      wakeups.add(1);
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.u64 == kWakeTag) {
+          std::uint64_t drained;
+          while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+          }
+          continue;
+        }
+        const int fd = unpack_fd(events[i].data.u64);
+        const std::uint32_t generation = unpack_generation(events[i].data.u64);
+        Callback cb;
+        {
+          util::LockGuard lock(mutex_);
+          auto it = registrations_.find(fd);
+          // A stale generation means the fd was removed (and possibly the
+          // number reused by a new connection) after this event was fetched:
+          // dispatching it would hand one session's readiness to another.
+          if (it == registrations_.end() ||
+              it->second.generation != generation)
+            continue;
+          cb = it->second.callback;
+        }
+        dispatched.add(1);
+        cb(from_epoll(events[i].events));
+      }
+      // Posted functions and due timers run after the readiness batch, on
+      // this same thread — post() is the cross-thread serialization point.
+      std::vector<std::function<void()>> run_now;
+      {
+        util::LockGuard lock(mutex_);
+        run_now.swap(posted_);
+        const double now = steady_now_ms();
+        for (std::size_t i = 0; i < timers_.size();) {
+          if (timers_[i].deadline_ms <= now) {
+            run_now.push_back(std::move(timers_[i].fn));
+            timers_[i] = std::move(timers_.back());
+            timers_.pop_back();
+            timers_fired.add(1);
+          } else {
+            ++i;
+          }
+        }
+      }
+      for (auto& fn : run_now) fn();
+    }
+  }
+
+  void stop() override {
+    stopped_.store(true);
+    wake();
+  }
+
+ private:
+  struct Registration {
+    std::uint32_t generation = 0;
+    Callback callback;
+  };
+  struct Timer {
+    double deadline_ms = 0.0;
+    std::function<void()> fn;
+  };
+
+  static constexpr std::uint64_t kWakeTag = ~0ull;
+
+  static std::uint64_t pack(int fd, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fd)) << 32) |
+           generation;
+  }
+  static int unpack_fd(std::uint64_t tag) {
+    return static_cast<int>(tag >> 32);
+  }
+  static std::uint32_t unpack_generation(std::uint64_t tag) {
+    return static_cast<std::uint32_t>(tag & 0xffffffffu);
+  }
+
+  static std::uint32_t to_epoll(std::uint32_t interest) {
+    std::uint32_t out = 0;
+    if (interest & kEventRead) out |= EPOLLIN;
+    if (interest & kEventWrite) out |= EPOLLOUT;
+    return out;
+  }
+  static std::uint32_t from_epoll(std::uint32_t events) {
+    std::uint32_t out = 0;
+    if (events & EPOLLIN) out |= kEventRead;
+    if (events & EPOLLOUT) out |= kEventWrite;
+    if (events & (EPOLLERR | EPOLLHUP)) out |= kEventError;
+    return out;
+  }
+
+  int next_timeout_ms() {
+    util::LockGuard lock(mutex_);
+    if (!posted_.empty()) return 0;
+    if (timers_.empty()) return 500;  // periodic stop_ re-check
+    double nearest = timers_[0].deadline_ms;
+    for (const auto& t : timers_) nearest = std::min(nearest, t.deadline_ms);
+    const double remaining = nearest - steady_now_ms();
+    if (remaining <= 0.0) return 0;
+    return static_cast<int>(std::ceil(std::min(remaining, 500.0)));
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopped_{false};
+  util::Mutex mutex_;
+  std::unordered_map<int, Registration> registrations_
+      TVVIZ_GUARDED_BY(mutex_);
+  std::vector<std::function<void()>> posted_ TVVIZ_GUARDED_BY(mutex_);
+  std::vector<Timer> timers_ TVVIZ_GUARDED_BY(mutex_);
+  std::uint32_t next_generation_ TVVIZ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EventLoop> EventLoop::make_epoll() {
+  return std::make_unique<EpollEventLoop>();
+}
+
+}  // namespace tvviz::net

@@ -1,0 +1,84 @@
+// Readiness-based event loop behind the hub's TCP front end. One loop
+// thread owns a set of file descriptors and dispatches their readiness
+// events to registered callbacks; the callbacks run on the loop thread and
+// must never block — blocking work (message parsing, fan-out sends) is
+// handed to a worker pool by the caller (see hub/tcp_hub.cpp).
+//
+// Registrations are one-shot: after a callback fires, the descriptor stays
+// registered but disarmed until rearm(), so at most one readiness event per
+// descriptor is ever in flight — a worker can finish consuming the socket
+// and rearm it without racing a second dispatch for the same bytes.
+//
+// The interface is deliberately backend-shaped: make_epoll() is the only
+// factory today, but the contract (one-shot readiness + post/post_after
+// serialization onto the loop thread) is exactly what an io_uring or kqueue
+// backend would also provide.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace tvviz::net {
+
+/// Readiness interest / result bits (backend-neutral; mapped to
+/// EPOLLIN/EPOLLOUT/EPOLLERR|EPOLLHUP by the epoll backend).
+enum : std::uint32_t {
+  kEventRead = 1u << 0,
+  kEventWrite = 1u << 1,
+  /// Reported on error/hangup even when not requested; never requestable.
+  kEventError = 1u << 2,
+};
+
+class EventLoop {
+ public:
+  /// Runs on the loop thread with the ready bits. Must not block.
+  using Callback = std::function<void(std::uint32_t ready)>;
+
+  virtual ~EventLoop() = default;
+
+  /// Register `fd` for one-shot readiness on `interest`. The callback fires
+  /// at most once per arm; call rearm() to listen again. Replaces any
+  /// previous registration of the same descriptor.
+  virtual void add(int fd, std::uint32_t interest, Callback cb) = 0;
+
+  /// Re-arm a registered descriptor after its one-shot event fired.
+  /// Callable from any thread (workers rearm after consuming the socket).
+  /// A rearm for a descriptor that was removed in the meantime is a no-op.
+  virtual void rearm(int fd, std::uint32_t interest) = 0;
+
+  /// Deregister `fd`. Events already fetched but not yet dispatched are
+  /// discarded (stale generations are never delivered), so after remove()
+  /// returns no new callback invocation for this registration will start.
+  virtual void remove(int fd) = 0;
+
+  /// Run `fn` on the loop thread as soon as possible. Thread-safe.
+  virtual void post(std::function<void()> fn) = 0;
+
+  /// Run `fn` on the loop thread once `delay_ms` has elapsed (single-shot
+  /// timer; used e.g. to re-arm a listener after an EMFILE backoff).
+  virtual void post_after(double delay_ms, std::function<void()> fn) = 0;
+
+  /// Dispatch until stop(). Call from exactly one thread.
+  virtual void run() = 0;
+
+  /// Make run() return after the current dispatch batch. Thread-safe.
+  virtual void stop() = 0;
+
+  /// The epoll backend (Linux). Counters: net.hub.epoll.wakeups / .events /
+  /// .timers (see DESIGN.md §14).
+  static std::unique_ptr<EventLoop> make_epoll();
+};
+
+/// True when an accept(2) failure is transient — the listener must retry
+/// instead of dying (EINTR, ECONNABORTED, EPROTO, EAGAIN, and the
+/// descriptor/buffer exhaustion family). False for real listener failures
+/// (EBADF/EINVAL after close).
+bool accept_should_retry(int errno_value) noexcept;
+
+/// True when the transient accept error is resource exhaustion
+/// (EMFILE/ENFILE/ENOBUFS/ENOMEM): retrying immediately would spin, so the
+/// caller should back off first.
+bool accept_error_needs_backoff(int errno_value) noexcept;
+
+}  // namespace tvviz::net

@@ -9,6 +9,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -16,6 +17,7 @@
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "net/event_loop.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -155,9 +157,10 @@ void TcpConnection::write_all(const std::uint8_t* data, std::size_t len,
       static obs::Counter& partial = obs::counter("net.wire.partial_send");
       partial.add(1);
       shutdown();
-      throw SocketError("tcp: I/O deadline expired after " +
-                        std::to_string(sent) +
-                        " bytes of a frame were sent; stream desynchronized");
+      throw SendDeadlineError("tcp: I/O deadline expired after " +
+                              std::to_string(sent) +
+                              " bytes of a frame were sent; stream "
+                              "desynchronized");
     }
     const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
     if (n < 0) {
@@ -228,9 +231,10 @@ void TcpConnection::writev_all(iovec* iov, int iov_count, double deadline_ms) {
       static obs::Counter& partial = obs::counter("net.wire.partial_send");
       partial.add(1);
       shutdown();
-      throw SocketError("tcp: I/O deadline expired after " +
-                        std::to_string(sent) +
-                        " bytes of a frame were sent; stream desynchronized");
+      throw SendDeadlineError("tcp: I/O deadline expired after " +
+                              std::to_string(sent) +
+                              " bytes of a frame were sent; stream "
+                              "desynchronized");
     }
     const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     syscalls.add(1);
@@ -434,9 +438,26 @@ void TcpDaemonServer::shutdown() {
 }
 
 void TcpDaemonServer::accept_loop() {
+  double backoff_ms = 1.0;
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // listener closed
+    if (fd < 0) {
+      const int err = errno;
+      // Only a dead listener (shutdown, EBADF) stops the loop. Transient
+      // failures — a connection aborted in the backlog, a signal, or fd
+      // exhaustion — are counted and retried, the EMFILE-class ones after a
+      // capped backoff so the retry doesn't spin at 100% CPU.
+      if (!running_.load() || !accept_should_retry(err)) return;
+      static obs::Counter& errors = obs::counter("net.tcp.accept_errors");
+      errors.add(1);
+      if (accept_error_needs_backoff(err)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, 100.0);
+      }
+      continue;
+    }
+    backoff_ms = 1.0;
     auto conn = std::make_shared<TcpConnection>(fd);
     // Role handshake. A malformed first frame now throws; drop the
     // connection rather than the whole accept loop.

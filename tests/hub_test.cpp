@@ -10,10 +10,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "core/session.hpp"
 #include "fault/fault.hpp"
@@ -789,6 +791,123 @@ TEST(HubTcp, CloseUnblocksASenderStalledOnAFullSocket) {
   ::close(listen_fd);
 }
 
+// ------------------------------------------------ accept-path regressions --
+
+/// Spin until `done` or the deadline; returns whether `done` held.
+template <typename Pred>
+bool eventually(Pred done, double timeout_s = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+constexpr hub::HubConfig::TcpTransport kBothTransports[] = {
+    hub::HubConfig::TcpTransport::kEpoll,
+    hub::HubConfig::TcpTransport::kThreadPerConnection};
+
+TEST(HubTcp, SilentClientDoesNotBlockHandshake) {
+  // Regression: the accept path used to read the hello synchronously, so a
+  // client that connected and then said nothing wedged every later connect
+  // behind it. The handshake now happens off the accept path on both
+  // transports; a silent peer costs a session slot, never the listener.
+  for (const auto transport : kBothTransports) {
+    HubConfig cfg;
+    cfg.tcp_transport = transport;
+    hub::HubTcpServer server(0, cfg);
+    auto silent = net::TcpConnection::connect_local(server.port());
+    const auto start = std::chrono::steady_clock::now();
+    hub::HubTcpViewer viewer(server.port());
+    const std::chrono::duration<double> took =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_LT(took.count(), 5.0);
+    EXPECT_FALSE(viewer.assigned_id().empty());
+    server.shutdown();
+  }
+}
+
+TEST(HubTcp, ListenerSurvivesFdExhaustion) {
+  // Regression: any accept() failure used to kill the accept loop for good,
+  // so the first EMFILE burst permanently deafened the hub. Exhaustion must
+  // count (net.hub.accept_errors), back off, and recover once descriptors
+  // free up — only a closed listener stops the loop.
+  hub::HubTcpServer server;
+  const auto errors_before = obs::counter("net.hub.accept_errors").value();
+
+  // Reserve the client's descriptor first, then hoard every remaining slot
+  // so the server's accept() has nothing left to allocate.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  std::vector<int> hoard;
+  for (;;) {
+    const int fd = ::dup(probe);
+    if (fd < 0) break;
+    hoard.push_back(fd);
+  }
+  ASSERT_FALSE(hoard.empty());
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  // The kernel completes the TCP handshake in the listen backlog; the
+  // server-side accept() of it fails with EMFILE until the hoard is freed.
+  ASSERT_EQ(::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const bool counted = eventually([&] {
+    return obs::counter("net.hub.accept_errors").value() > errors_before;
+  });
+  for (const int fd : hoard) ::close(fd);
+  ASSERT_TRUE(counted) << "accept never reported the exhaustion";
+
+  // The backed-off listener must pick the queued connection up and complete
+  // a normal v2 handshake on it.
+  net::TcpConnection conn(probe);
+  conn.set_io_timeout_ms(10000.0);
+  net::HelloInfo hello;
+  hello.role = "display";
+  hello.client_id = "survivor";
+  conn.send_message(net::make_hello(hello));
+  const auto ack = conn.recv_message();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, MsgType::kHelloAck);
+  server.shutdown();
+}
+
+TEST(HubTcp, ConnectionChurnKeepsStateBounded) {
+  // Regression: per-connection state (threads, renderer/display lists) grew
+  // monotonically — disconnects were only reaped at shutdown, so a
+  // connect/disconnect churn leaked a thread per visit. Both transports
+  // must reap as they go.
+  for (const auto transport : kBothTransports) {
+    HubConfig cfg;
+    cfg.tcp_transport = transport;
+    hub::HubTcpServer server(0, cfg);
+    constexpr int kCycles = 1000;
+    for (int i = 0; i < kCycles; ++i) {
+      hub::HubTcpViewer::Options options;
+      options.client_id = "churn" + std::to_string(i % 4);
+      hub::HubTcpViewer viewer(server.port(), options);
+      viewer.close();
+      if (i % 100 == 99) {
+        // Reaping lags a disconnect by at most the in-flight sessions, never
+        // by the visit count.
+        EXPECT_LE(server.active_sessions(), 64u) << "cycle " << i;
+        EXPECT_LE(server.hub().connected_clients(), 8u) << "cycle " << i;
+      }
+    }
+    EXPECT_TRUE(eventually([&] { return server.active_sessions() == 0; }))
+        << "sessions never drained: " << server.active_sessions();
+    EXPECT_TRUE(
+        eventually([&] { return server.hub().connected_clients() == 0; }));
+    server.shutdown();
+  }
+}
+
 // ------------------------------------------------------------ seeded chaos --
 
 TEST(HubChaos, LatencyChaosFanOutStaysLossless) {
@@ -878,6 +997,186 @@ TEST(HubChaos, DropChaosAutoReconnectViewerCollectsEveryStep) {
   for (int s = 0; s < kSteps; ++s)
     EXPECT_TRUE(seen.count(s)) << "step " << s << " never displayed";
 
+  viewer.close();
+  server.shutdown();
+}
+
+TEST(HubChaos, MidHandshakeDeathDoesNotWedgeHub) {
+  // The first connection dies mid-hello (its first frame is truncated and
+  // the socket killed): the server must treat the partial hello as a
+  // disconnect, not an accept-path failure — the auto-reconnect viewer
+  // retries onto a healthy connection and the hub keeps serving others.
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("TVVIZ_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.truncate_frame(/*frame=*/0, /*conn=*/0);
+  fault::ScopedFaultPlan scoped(plan);
+
+  hub::HubTcpServer server;
+  constexpr int kSteps = 6;
+  hub::HubTcpViewer::Options o;
+  o.client_id = "phoenix";
+  o.auto_reconnect = true;
+  o.retry.max_attempts = 8;
+  o.retry.base_delay_ms = 2.0;
+  o.retry.max_delay_ms = 50.0;
+  o.retry.io_timeout_ms = 2000.0;
+  o.queue_frames = 2 * kSteps;
+  hub::HubTcpViewer viewer(server.port(), o);
+
+  auto renderer = server.hub().connect_renderer();
+  for (int s = 0; s < kSteps; ++s) {
+    NetMessage msg = frame_msg(s, {});
+    msg.payload = util::Bytes(64, static_cast<std::uint8_t>(s + 1));
+    renderer->send(msg);
+  }
+  std::set<int> seen;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (seen.size() < static_cast<std::size_t>(kSteps) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const auto msg = viewer.next();
+    ASSERT_TRUE(msg.has_value()) << "stream ended before every step arrived";
+    if (msg->type != MsgType::kFrame) continue;
+    seen.insert(msg->frame_index);
+    viewer.ack(msg->frame_index);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kSteps));
+  // The hub is not wedged: a second, unrelated viewer still handshakes.
+  hub::HubTcpViewer bystander(server.port());
+  EXPECT_FALSE(bystander.assigned_id().empty());
+  viewer.close();
+  server.shutdown();
+}
+
+TEST(HubChaos, StalledReaderIsEvictedNotBlocking) {
+  // A client that completes the handshake and then never reads again fills
+  // its socket buffer; the per-connection I/O deadline must convert the
+  // blocked fan-out send into an eviction (net.hub.stalled_evictions) while
+  // a healthy viewer alongside stays lossless.
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("TVVIZ_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::latency_chaos(seed, /*rate=*/0.1, /*max_ms=*/1.0));
+
+  HubConfig cfg;
+  // Long enough that a healthy-but-scheduler-starved reader (TSan, loaded
+  // CI) is not mistaken for a stalled one; the truly stalled socket still
+  // hits it within the test deadline.
+  cfg.tcp_io_timeout_ms = 500.0;
+  cfg.tcp_workers = 2;
+  cfg.client_queue_frames = 4;
+  hub::HubTcpServer server(0, cfg);
+  const auto evictions_before =
+      obs::counter("net.hub.stalled_evictions").value();
+
+  auto stalled = net::TcpConnection::connect_local(server.port());
+  {
+    net::HelloInfo hello;
+    hello.role = "display";
+    hello.client_id = "molasses";
+    stalled->send_message(net::make_hello(hello));
+    const auto ack = stalled->recv_message();
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->type, MsgType::kHelloAck);
+  }  // ...and from here on, never reads again.
+
+  constexpr int kSteps = 12;
+  hub::HubTcpViewer::Options o;
+  o.client_id = "healthy";
+  o.queue_frames = 2 * kSteps;
+  // If a loaded machine does get the healthy viewer evicted too, it must
+  // recover by the normal means: reconnect and resume from its last ack.
+  o.auto_reconnect = true;
+  o.retry.max_attempts = 8;
+  o.retry.base_delay_ms = 2.0;
+  o.retry.max_delay_ms = 50.0;
+  o.retry.io_timeout_ms = 5000.0;
+  hub::HubTcpViewer viewer(server.port(), o);
+
+  auto renderer = server.hub().connect_renderer();
+  for (int s = 0; s < kSteps; ++s) {
+    NetMessage msg = frame_msg(s, {});
+    // Sized so blocking is guaranteed by byte conservation: the 4-deep
+    // drop-oldest client queue means at least the final 4 frames are
+    // attempted, and 4 x 2 MiB exceeds what a never-reading peer can
+    // absorb (sndbuf autotunes to tcp_wmem max 4 MiB; the receive window
+    // stays near its 128 KiB initial size when the peer never reads).
+    msg.payload = util::Bytes(1 << 21, static_cast<std::uint8_t>(seed + s));
+    renderer->send(msg);
+  }
+  std::set<int> seen;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (seen.size() < static_cast<std::size_t>(kSteps) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const auto got = viewer.next();
+    ASSERT_TRUE(got.has_value()) << "stream ended before every step arrived";
+    if (got->type != MsgType::kFrame) continue;
+    seen.insert(got->frame_index);
+    viewer.ack(got->frame_index);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kSteps));
+  EXPECT_TRUE(eventually([&] {
+    return obs::counter("net.hub.stalled_evictions").value() >
+           evictions_before;
+  })) << "the stalled reader was never evicted";
+  EXPECT_TRUE(
+      eventually([&] { return server.hub().connected_clients() == 1; }));
+  viewer.close();
+  server.shutdown();
+}
+
+TEST(HubChaos, ReconnectWithResumeThroughEpoll) {
+  // Every connection dies after a fixed byte budget — enough for the
+  // handshake plus a few frames, so the run can only complete through
+  // repeated reconnect-with-resume cycles over the epoll transport.
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("TVVIZ_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_after_bytes(800);
+  fault::ScopedFaultPlan scoped(plan);
+  const auto reconnects_before = obs::counter("net.retry.reconnects").value();
+
+  constexpr int kSteps = 12;
+  hub::HubTcpServer server;
+  hub::HubTcpViewer::Options o;
+  o.client_id = "resumer";
+  o.auto_reconnect = true;
+  o.retry.max_attempts = 8;
+  o.retry.base_delay_ms = 2.0;
+  o.retry.max_delay_ms = 50.0;
+  o.retry.io_timeout_ms = 2000.0;
+  o.queue_frames = 2 * kSteps;
+  hub::HubTcpViewer viewer(server.port(), o);
+
+  auto renderer = server.hub().connect_renderer();
+  for (int s = 0; s < kSteps; ++s) {
+    NetMessage msg = frame_msg(s, {});
+    msg.payload = util::Bytes(64, static_cast<std::uint8_t>(s + 1));
+    renderer->send(msg);
+  }
+  std::set<int> seen;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (seen.size() < static_cast<std::size_t>(kSteps) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const auto msg = viewer.next();
+    ASSERT_TRUE(msg.has_value()) << "stream ended before every step arrived";
+    if (msg->type != MsgType::kFrame) continue;
+    for (const auto byte : msg->payload)
+      ASSERT_EQ(byte, static_cast<std::uint8_t>(msg->frame_index + 1));
+    seen.insert(msg->frame_index);
+    viewer.ack(msg->frame_index);
+  }
+  for (int s = 0; s < kSteps; ++s)
+    EXPECT_TRUE(seen.count(s)) << "step " << s << " never displayed";
+  EXPECT_GT(obs::counter("net.retry.reconnects").value(), reconnects_before);
   viewer.close();
   server.shutdown();
 }

@@ -4,7 +4,10 @@
 #include <fcntl.h>
 #include <gtest/gtest.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <thread>
 
 #include <cstdlib>
@@ -14,6 +17,7 @@
 #include "fault/fault.hpp"
 #include "field/generators.hpp"
 #include "net/errors.hpp"
+#include "net/event_loop.hpp"
 #include "net/tcp.hpp"
 #include "obs/counters.hpp"
 #include "render/image.hpp"
@@ -477,6 +481,99 @@ TEST(TcpChaos, LatencyChaosDeliversEveryFrameIntact) {
   // rate=1.0 guarantees the plan actually fired on every send.
   EXPECT_GE(scoped.injector().events().size(), 10u);
   server.shutdown();
+}
+
+// ------------------------------------------------------------ event loop ---
+
+/// EventLoop running on its own thread, stopped and joined on scope exit.
+struct LoopFixture {
+  std::unique_ptr<net::EventLoop> loop = net::EventLoop::make_epoll();
+  std::thread thread{[this] { loop->run(); }};
+  ~LoopFixture() {
+    loop->stop();
+    thread.join();
+  }
+};
+
+/// Spin until `done` or the deadline; returns whether `done` held.
+template <typename Pred>
+bool eventually(Pred done, double timeout_s = 5.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(EventLoop, ReadinessIsOneShotUntilRearmed) {
+  LoopFixture fx;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<int> fired{0};
+  fx.loop->add(fds[0], net::kEventRead,
+               [&](std::uint32_t) { fired.fetch_add(1); });
+
+  char byte = 'x';
+  ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+  EXPECT_TRUE(eventually([&] { return fired.load() == 1; }));
+
+  // One-shot: the byte is still unread, but without a rearm the callback
+  // must not fire again (this is what serializes the hub's read chain).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fired.load(), 1);
+
+  fx.loop->rearm(fds[0], net::kEventRead);
+  EXPECT_TRUE(eventually([&] { return fired.load() == 2; }));
+  fx.loop->remove(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, RemoveStopsDispatchEvenWithDataPending) {
+  LoopFixture fx;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<int> fired{0};
+  fx.loop->add(fds[0], net::kEventRead,
+               [&](std::uint32_t) { fired.fetch_add(1); });
+  fx.loop->remove(fds[0]);
+  char byte = 'x';
+  ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fired.load(), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, PostRunsOnLoopThreadAndTimersFireInOrder) {
+  LoopFixture fx;
+  std::atomic<bool> posted{false};
+  fx.loop->post([&] { posted.store(true); });
+  EXPECT_TRUE(eventually([&] { return posted.load(); }));
+
+  // post_after: the 5 ms timer must not run before the posted marker that
+  // precedes it, and both must run without any fd activity (wakeup path).
+  std::atomic<int> order{0};
+  std::atomic<int> timer_saw{-1};
+  fx.loop->post([&] { order.store(1); });
+  fx.loop->post_after(5.0, [&] { timer_saw.store(order.load()); });
+  EXPECT_TRUE(eventually([&] { return timer_saw.load() != -1; }));
+  EXPECT_EQ(timer_saw.load(), 1);
+}
+
+TEST(EventLoop, AcceptErrorClassifier) {
+  // Transient conditions retry; EMFILE-class exhaustion retries *with*
+  // backoff; anything else (a closed listener above all) stops the loop.
+  for (const int err : {EINTR, ECONNABORTED, EAGAIN, EMFILE, ENFILE})
+    EXPECT_TRUE(net::accept_should_retry(err)) << err;
+  for (const int err : {EBADF, EINVAL, ENOTSOCK})
+    EXPECT_FALSE(net::accept_should_retry(err)) << err;
+  for (const int err : {EMFILE, ENFILE, ENOBUFS})
+    EXPECT_TRUE(net::accept_error_needs_backoff(err)) << err;
+  for (const int err : {EINTR, ECONNABORTED})
+    EXPECT_FALSE(net::accept_error_needs_backoff(err)) << err;
 }
 
 }  // namespace

@@ -1,19 +1,33 @@
 #!/usr/bin/env python3
 """Bench-regression gate for CI.
 
-Compares a fresh ablation_zero_copy JSON report against the committed
-baseline (BENCH_zero_copy.json) and fails when the single-client
-inter-frame delay regressed by more than the allowed fraction.
+Compares a fresh ablation JSON report against a committed baseline and
+fails when the gated metric regressed by more than the allowed fraction.
 
 Raw millisecond numbers are machine-dependent (CI runners are not the
-machine the baseline was recorded on), so the gated metric is the
-within-run ratio zero/seed (`single_client_delay_ratio`): both paths run
-on the same machine in the same process, so their ratio cancels host
-speed and isolates the zero-copy path's relative cost. A regression in
-the frame path shows up as this ratio creeping up.
+machine the baseline was recorded on), so every gated metric is a
+within-run ratio: both sides of the ratio run on the same machine in the
+same process, so host speed cancels and the metric isolates the relative
+cost of the path under test.
+
+Supported metrics (--metric):
+
+  single_client_delay_ratio   ablation_zero_copy vs BENCH_zero_copy.json:
+                              zero-copy / seed single-client inter-frame
+                              delay.  A frame-path regression shows up as
+                              this ratio creeping up.
+
+  fanout_scaling_ratio        ablation_hub_epoll vs BENCH_hub_epoll.json:
+                              per-client fan-out cost at the large client
+                              count divided by the same cost at the small
+                              count.  Epoll-hub scaling regressions (e.g.
+                              an O(clients) scan sneaking into the accept
+                              or drain path) show up here while absolute
+                              us/client stays host-independent.
 
 Usage:
     bench_gate.py --fresh out.json --baseline BENCH_zero_copy.json \
+                  [--metric single_client_delay_ratio] \
                   [--max-regression 0.25]
 
 Exit status: 0 = within budget, 1 = regression (or malformed input).
@@ -22,6 +36,8 @@ Exit status: 0 = within budget, 1 = regression (or malformed input).
 import argparse
 import json
 import sys
+
+METRICS = ("single_client_delay_ratio", "fanout_scaling_ratio")
 
 
 def load(path):
@@ -33,35 +49,47 @@ def load(path):
         sys.exit(1)
 
 
+def sanity_check_runs(fresh, metric):
+    """Every run in the fresh report must have actually delivered frames."""
+    for run in fresh.get("runs", []):
+        if run.get("frames", 0) <= 0:
+            print(f"bench_gate: fresh run delivered no frames: {run}",
+                  file=sys.stderr)
+            sys.exit(1)
+        if metric == "fanout_scaling_ratio" and not run.get("lossless", True):
+            print(f"bench_gate: fresh fan-out run lost frames: {run}",
+                  file=sys.stderr)
+            sys.exit(1)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fresh", required=True,
-                        help="JSON report from this run's ablation_zero_copy")
+                        help="JSON report from this run's ablation binary")
     parser.add_argument("--baseline", required=True,
-                        help="committed baseline JSON (BENCH_zero_copy.json)")
+                        help="committed baseline JSON")
+    parser.add_argument("--metric", default="single_client_delay_ratio",
+                        choices=METRICS,
+                        help="which within-run ratio to gate "
+                             "(default: single_client_delay_ratio)")
     parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional increase of the "
-                             "single-client delay ratio (default 0.25)")
+                        help="allowed fractional increase of the gated "
+                             "ratio (default 0.25)")
     args = parser.parse_args()
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
 
     for name, report in (("fresh", fresh), ("baseline", baseline)):
-        if "single_client_delay_ratio" not in report:
-            print(f"bench_gate: {name} report has no "
-                  "single_client_delay_ratio", file=sys.stderr)
-            sys.exit(1)
-
-    # Sanity: every run in the fresh report actually delivered frames.
-    for run in fresh.get("runs", []):
-        if run.get("frames", 0) <= 0:
-            print(f"bench_gate: fresh run delivered no frames: {run}",
+        if args.metric not in report:
+            print(f"bench_gate: {name} report has no {args.metric}",
                   file=sys.stderr)
             sys.exit(1)
 
-    fresh_ratio = float(fresh["single_client_delay_ratio"])
-    base_ratio = float(baseline["single_client_delay_ratio"])
+    sanity_check_runs(fresh, args.metric)
+
+    fresh_ratio = float(fresh[args.metric])
+    base_ratio = float(baseline[args.metric])
     if base_ratio <= 0.0:
         print(f"bench_gate: baseline ratio {base_ratio} is not positive",
               file=sys.stderr)
@@ -69,13 +97,12 @@ def main():
 
     regression = fresh_ratio / base_ratio - 1.0
     verdict = "OK" if regression <= args.max_regression else "REGRESSION"
-    print(f"bench_gate: single_client_delay_ratio fresh={fresh_ratio:.4f} "
+    print(f"bench_gate: {args.metric} fresh={fresh_ratio:.4f} "
           f"baseline={base_ratio:.4f} change={regression:+.1%} "
           f"(budget +{args.max_regression:.0%}) -> {verdict}")
     if verdict != "OK":
-        print("bench_gate: the zero-copy path's single-client inter-frame "
-              "delay regressed past the budget; investigate before merging.",
-              file=sys.stderr)
+        print(f"bench_gate: {args.metric} regressed past the budget; "
+              "investigate before merging.", file=sys.stderr)
         sys.exit(1)
 
 

@@ -21,6 +21,14 @@ obs::Counter& misses_ctr() {
   static obs::Counter& c = obs::counter("net.hub.cache.misses");
   return c;
 }
+obs::Counter& content_hits_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.cache.content_hits");
+  return c;
+}
+obs::Counter& content_misses_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.cache.content_misses");
+  return c;
+}
 obs::Gauge& occupancy_gauge() {
   static obs::Gauge& g = obs::gauge("net.hub.cache.occupancy_steps");
   return g;
@@ -29,32 +37,59 @@ obs::Gauge& bytes_gauge() {
   static obs::Gauge& g = obs::gauge("net.hub.cache.bytes");
   return g;
 }
+
+/// Steps in (after_step, oldest) the ring has already forgotten. Widened
+/// arithmetic: `after_step + 1` overflows int at INT_MAX (a viewer that
+/// acked the last representable step asking for "anything newer"), and
+/// `oldest - after_step` overflows for a very negative resume point.
+std::uint64_t evicted_gap(int after_step, int oldest) noexcept {
+  const long long gap =
+      static_cast<long long>(oldest) - static_cast<long long>(after_step) - 1;
+  return gap > 0 ? static_cast<std::uint64_t>(gap) : 0;
+}
+
 }  // namespace
 
 FrameCache::FrameCache(std::size_t capacity_steps)
     : capacity_(capacity_steps == 0 ? 1 : capacity_steps) {}
 
-FramePtr FrameCache::insert(int step, net::NetMessage msg) {
+void FrameCache::evict_oldest_locked() {
+  auto oldest = steps_.begin();
+  bytes_ -= oldest->second.bytes;
+  // Unpin each message from the content index; an id shared with a step
+  // still cached (identical payload at two steps) keeps its entry.
+  for (const auto& m : oldest->second.messages) {
+    auto it = by_content_.find(m.content);
+    if (it != by_content_.end() && --it->second.refs == 0)
+      by_content_.erase(it);
+  }
+  steps_.erase(oldest);
+  evictions_ctr().add(1);
+}
+
+CachedMessage FrameCache::insert(int step, net::NetMessage msg) {
   auto shared = std::make_shared<const net::NetMessage>(std::move(msg));
+  // Hashed exactly once per cached message, outside the lock.
+  const net::ContentId content = net::content_id_of(*shared);
   util::LockGuard lock(mutex_);
   auto& entry = steps_[step];
   entry.step = step;
   entry.bytes += shared->wire_size();
   bytes_ += shared->wire_size();
-  entry.messages.push_back(shared);
+  entry.messages.push_back(CachedMessage{shared, content});
+  auto& slot = by_content_[content];
+  if (slot.refs++ == 0) slot.frame = shared;
   inserts_ctr().add(1);
   // Evict by step age until back within the ring capacity. The evicted
   // buffers stay alive for any client queue still holding them — eviction
-  // only forgets the cache's own reference.
-  while (steps_.size() > capacity_) {
-    auto oldest = steps_.begin();
-    bytes_ -= oldest->second.bytes;
-    steps_.erase(oldest);
-    evictions_ctr().add(1);
-  }
+  // only forgets the cache's own reference. Note the ring is strictly
+  // age-ordered: inserting a step older than everything cached while full
+  // evicts that same step right back out (the return value still carries
+  // the shared handle for the in-flight fan-out).
+  while (steps_.size() > capacity_) evict_oldest_locked();
   occupancy_gauge().set(static_cast<std::int64_t>(steps_.size()));
   bytes_gauge().set(static_cast<std::int64_t>(bytes_));
-  return shared;
+  return CachedMessage{std::move(shared), content};
 }
 
 std::vector<FramePtr> FrameCache::lookup(int step) {
@@ -65,24 +100,46 @@ std::vector<FramePtr> FrameCache::lookup(int step) {
     return {};
   }
   hits_ctr().add(it->second.messages.size());
-  return it->second.messages;
+  std::vector<FramePtr> out;
+  out.reserve(it->second.messages.size());
+  for (const auto& m : it->second.messages) out.push_back(m.frame);
+  return out;
 }
 
 std::vector<FramePtr> FrameCache::messages_after(int after_step) {
   util::LockGuard lock(mutex_);
   std::vector<FramePtr> out;
-  if (!steps_.empty()) {
-    // Steps the caller needed but the ring has already forgotten.
-    const int oldest = steps_.begin()->first;
-    if (after_step + 1 < oldest)
-      misses_ctr().add(static_cast<std::uint64_t>(oldest - after_step - 1));
+  if (!steps_.empty())
+    misses_ctr().add(evicted_gap(after_step, steps_.begin()->first));
+  for (auto it = steps_.upper_bound(after_step); it != steps_.end(); ++it) {
+    hits_ctr().add(it->second.messages.size());
+    for (const auto& m : it->second.messages) out.push_back(m.frame);
   }
+  return out;
+}
+
+std::vector<CachedMessage> FrameCache::entries_after(int after_step) {
+  util::LockGuard lock(mutex_);
+  std::vector<CachedMessage> out;
+  if (!steps_.empty())
+    misses_ctr().add(evicted_gap(after_step, steps_.begin()->first));
   for (auto it = steps_.upper_bound(after_step); it != steps_.end(); ++it) {
     hits_ctr().add(it->second.messages.size());
     out.insert(out.end(), it->second.messages.begin(),
                it->second.messages.end());
   }
   return out;
+}
+
+FramePtr FrameCache::lookup_content(net::ContentId content) {
+  util::LockGuard lock(mutex_);
+  const auto it = by_content_.find(content);
+  if (it == by_content_.end()) {
+    content_misses_ctr().add(1);
+    return nullptr;
+  }
+  content_hits_ctr().add(1);
+  return it->second.frame;
 }
 
 void FrameCache::note_fanout_hits(std::uint64_t n) { hits_ctr().add(n); }
@@ -95,6 +152,11 @@ std::size_t FrameCache::occupancy() const {
 std::size_t FrameCache::bytes() const {
   util::LockGuard lock(mutex_);
   return bytes_;
+}
+
+std::size_t FrameCache::content_entries() const {
+  util::LockGuard lock(mutex_);
+  return by_content_.size();
 }
 
 std::optional<int> FrameCache::oldest_step() const {

@@ -5,12 +5,20 @@
 // Eviction is by step age — a ring of the most recent `capacity_steps`
 // steps — so a reconnecting client can be resumed from its last
 // acknowledged step without ever re-encoding.
+//
+// Every inserted message also carries a ContentId (util::fnv1a over codec +
+// payload, computed exactly once, at insert) and the cache keeps a second,
+// content-addressed index over the same buffers. That index is what makes
+// the relay tree cheap: an edge hub that already holds a payload answers a
+// kFrameRef from lookup_content() instead of re-fetching it over the WAN,
+// and identical frames cached at different steps resolve to one entry.
 #pragma once
 
 #include <cstddef>
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/protocol.hpp"
@@ -22,25 +30,33 @@ namespace tvviz::hub {
 /// the cache hold the same buffer; the payload is never copied on fan-out.
 using FramePtr = std::shared_ptr<const net::NetMessage>;
 
+/// One cached message plus its content identity (hashed once, at insert).
+struct CachedMessage {
+  FramePtr frame;
+  net::ContentId content = 0;
+};
+
 /// Everything cached for one time step: a single kFrame message, or the
 /// kSubImage pieces of a parallel-compressed frame, in arrival order.
 struct CachedStep {
   int step = -1;
-  std::vector<FramePtr> messages;
+  std::vector<CachedMessage> messages;
   std::size_t bytes = 0;  ///< Sum of wire sizes.
 };
 
 /// Thread-safe ring of the most recent steps. Counters/gauges (registered
 /// under net.hub.cache.*): inserts, evictions, hits (deliveries served from
 /// a shared cached buffer), misses (resume requests for evicted steps),
-/// occupancy_steps and bytes gauges.
+/// content_hits / content_misses (the content-addressed index), and the
+/// occupancy_steps / bytes gauges.
 class FrameCache {
  public:
   explicit FrameCache(std::size_t capacity_steps);
 
   /// Append one message to `step`'s entry (creating it, evicting the oldest
-  /// step beyond capacity) and return the shared handle for fan-out.
-  FramePtr insert(int step, net::NetMessage msg) TVVIZ_EXCLUDES(mutex_);
+  /// step beyond capacity) and return the shared handle plus the ContentId
+  /// computed for it — the only place the payload is ever hashed.
+  CachedMessage insert(int step, net::NetMessage msg) TVVIZ_EXCLUDES(mutex_);
 
   /// All messages of one cached step (empty if evicted or never seen).
   /// Counts a hit or miss.
@@ -52,19 +68,44 @@ class FrameCache {
   std::vector<FramePtr> messages_after(int after_step)
       TVVIZ_EXCLUDES(mutex_);
 
+  /// Same walk, but with the ContentId of each message — the ref-replay
+  /// path: a resuming edge is sent kFrameRef advertisements built from
+  /// these instead of the full bodies.
+  std::vector<CachedMessage> entries_after(int after_step)
+      TVVIZ_EXCLUDES(mutex_);
+
+  /// The cached message with this content identity, from any step still in
+  /// the ring (identical payloads at several steps share one index entry).
+  /// Counts net.hub.cache.content_hits / content_misses.
+  FramePtr lookup_content(net::ContentId content) TVVIZ_EXCLUDES(mutex_);
+
   /// Record `n` deliveries served from shared cached buffers (the hub's
   /// fan-out path calls this; resume paths are counted internally).
   void note_fanout_hits(std::uint64_t n);
 
   std::size_t occupancy() const TVVIZ_EXCLUDES(mutex_);
   std::size_t bytes() const TVVIZ_EXCLUDES(mutex_);
+  /// Distinct ContentIds currently indexed (<= total cached messages).
+  std::size_t content_entries() const TVVIZ_EXCLUDES(mutex_);
   /// Oldest / newest cached step; nullopt while empty.
   std::optional<int> oldest_step() const TVVIZ_EXCLUDES(mutex_);
   std::optional<int> newest_step() const TVVIZ_EXCLUDES(mutex_);
 
  private:
+  /// One entry of the content index. `refs` counts how many cached step
+  /// messages share this id, so evicting one step of a duplicated frame
+  /// does not forget the payload the other step still advertises.
+  struct ContentEntry {
+    FramePtr frame;
+    std::size_t refs = 0;
+  };
+
+  void evict_oldest_locked() TVVIZ_REQUIRES(mutex_);
+
   mutable util::Mutex mutex_;
   std::map<int, CachedStep> steps_ TVVIZ_GUARDED_BY(mutex_);
+  std::unordered_map<net::ContentId, ContentEntry> by_content_
+      TVVIZ_GUARDED_BY(mutex_);
   std::size_t capacity_;
   std::size_t bytes_ TVVIZ_GUARDED_BY(mutex_) = 0;
 };

@@ -5,6 +5,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/hash.hpp"
 
 namespace tvviz::hub {
 
@@ -12,9 +13,13 @@ namespace {
 
 bool droppable(const FramePtr& msg) {
   // Only image traffic participates in newest-frame-wins; control-plane
-  // messages (kShutdown in particular) must always reach the client.
+  // messages (kShutdown in particular) must always reach the client. A
+  // kFrameRef stands in for the frame it advertises (same frame_index), so
+  // it drops like one; a kFrameData answers an explicit fetch and must
+  // always arrive — dropping it would strand the requester's pending ref.
   return msg->type == net::MsgType::kFrame ||
-         msg->type == net::MsgType::kSubImage;
+         msg->type == net::MsgType::kSubImage ||
+         msg->type == net::MsgType::kFrameRef;
 }
 
 obs::Gauge& clients_gauge() {
@@ -35,6 +40,9 @@ struct FrameHub::ClientState {
   std::size_t capacity = 8;
   net::LinkModel link{};
   double link_scale = 0.0;
+  /// Immutable after connect: image traffic goes out as kFrameRef
+  /// advertisements instead of full frames (protocol v3 relay peers).
+  bool wants_refs = false;
   /// Per-client stream for the link's fault events (loss/stall sampling),
   /// seeded from the client id so a named client replays identically.
   util::Rng link_rng{1};
@@ -61,6 +69,12 @@ struct FrameHub::ClientState {
   std::uint64_t resumed TVVIZ_GUARDED_BY(mutex) = 0;
 
   std::atomic<int> last_acked{-1};
+  /// Steps at or below this were declared displayed at connect time (the
+  /// resume point): live fan-out never delivers them. Fixed at connect —
+  /// unlike last_acked it does NOT advance with live acks, because a
+  /// pipelined renderer may emit steps out of order and an ack for a newer
+  /// step must not drop an older one still in flight.
+  std::atomic<int> resume_floor{-1};
   std::atomic<double> last_seen_s{0.0};
 
   /// Event-loop transport hook: fired after a push and on close. Copied out
@@ -196,6 +210,11 @@ void FrameHub::ClientPort::send_control(const net::ControlEvent& event) {
   hub_->inbox_.push(Inbound{true, {}, event});
 }
 
+void FrameHub::ClientPort::request_content(net::ContentId content) {
+  state_->last_seen_s.store(hub_->now_s());  // a fetch is liveness too
+  hub_->serve_fetch(state_, content);
+}
+
 const std::string& FrameHub::ClientPort::id() const { return state_->id; }
 
 bool FrameHub::ClientPort::closed() const {
@@ -286,15 +305,19 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
                                               : config_.client_queue_frames;
   state->link = options.link;
   state->link_scale = options.link_time_scale;
-  {
-    // FNV-1a over the id: implementation-independent (unlike std::hash),
-    // so a named client's fault stream replays across builds.
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const char ch : state->id)
-      h = (h ^ static_cast<std::uint8_t>(ch)) * 0x100000001b3ULL;
-    state->link_rng = util::Rng(util::splitmix64(h));
-  }
+  state->wants_refs = options.wants_frame_refs;
+  // FNV-1a over the id: implementation-independent (unlike std::hash),
+  // so a named client's fault stream replays across builds.
+  std::uint64_t link_seed = util::fnv1a(state->id);
+  state->link_rng = util::Rng(util::splitmix64(link_seed));
+  // A requested resume point declares everything up to it displayed: fix
+  // the floor here, inside the same critical section the fan-out snapshots
+  // under, so a step the client already saw elsewhere (viewer following a
+  // restarted relay edge) can't slip through live between connect and the
+  // handshake's explicit ack. last_acked itself carries only real acks.
   state->last_acked.store(carried_ack);
+  state->resume_floor.store(replay ? std::max(resume_after, carried_ack)
+                                   : carried_ack);
   state->last_seen_s.store(now_s());
   state->delivered_ctr = &obs::counter("net.hub.client." + state->id +
                                        ".messages_delivered");
@@ -308,9 +331,20 @@ std::shared_ptr<FrameHub::ClientPort> FrameHub::connect_client(
     util::LockGuard state_lock(state->mutex);
     if (replay) {
       obs::Span resume_span("resume", resume_after);
-      auto cached = cache_.messages_after(resume_after);
-      state->resumed = cached.size();
-      for (auto& m : cached) state->queue.push_back(std::move(m));
+      if (state->wants_refs) {
+        // Resume-through-the-tree dedup: a reconnecting edge is replayed
+        // advertisements, not bodies — it fetches only the steps its own
+        // cache actually lost.
+        auto cached = cache_.entries_after(resume_after);
+        state->resumed = cached.size();
+        for (const auto& m : cached)
+          state->queue.push_back(std::make_shared<const net::NetMessage>(
+              net::make_frame_ref(*m.frame, m.content)));
+      } else {
+        auto cached = cache_.messages_after(resume_after);
+        state->resumed = cached.size();
+        for (auto& m : cached) state->queue.push_back(std::move(m));
+      }
       static obs::Counter& resumes = obs::counter("net.hub.resumes");
       resumes.add(1);
     }
@@ -422,6 +456,23 @@ ClientStats FrameHub::stats_for(const std::string& id) const {
   throw std::runtime_error("hub: unknown client '" + id + "'");
 }
 
+void FrameHub::serve_fetch(const std::shared_ptr<ClientState>& client,
+                           net::ContentId content) {
+  static obs::Counter& served = obs::counter("net.relay.fetches_served");
+  static obs::Counter& missed = obs::counter("net.relay.fetch_misses");
+  auto frame = cache_.lookup_content(content);
+  if (!frame) {
+    // Advertised, then evicted before the fetch landed: the requester skips
+    // that step, the same outcome as a backpressure drop. Nothing to send —
+    // a kFrameData must carry the bytes its ContentId hashes to.
+    missed.add(1);
+    return;
+  }
+  deliver(client, std::make_shared<const net::NetMessage>(
+                      net::make_frame_data(*frame)));
+  served.add(1);
+}
+
 void FrameHub::broadcast_control(const net::ControlEvent& event) {
   static obs::Counter& controls = obs::counter("net.hub.controls_broadcast");
   controls.add(1);
@@ -445,7 +496,13 @@ void FrameHub::deliver(const std::shared_ptr<ClientState>& client,
   {
     util::LockGuard lock(client->mutex);
     if (client->closed) return;
-    if (image) {
+    // Newest-frame-wins never applies to a relay peer: its queue IS the
+    // stream, and the edge's dedup watermark assumes a gapless prefix — a
+    // step dropped here would be skipped as "already seen" by every later
+    // resume replay, punching a permanent hole in the whole subtree. The
+    // queue rides out bursts unbounded instead; refs are ~a hundred bytes
+    // and a dead edge is reaped by the idle timeout like any client.
+    if (image && !client->wants_refs) {
       const int step = msg->frame_index;
       // A step already chosen as a drop victim loses its remaining pieces
       // too (counted once, when it was victimised): whole steps or nothing.
@@ -549,18 +606,43 @@ void FrameHub::relay_loop() {
     // client connecting concurrently either sees this message in its replay
     // — and is not in this snapshot — or receives it live, never both.
     FramePtr shared;
+    net::ContentId content = 0;
     std::vector<std::shared_ptr<ClientState>> targets;
     {
       util::LockGuard lock(clients_mutex_);
       if (is_shutdown) stream_ended_.store(true);
-      if (image)
-        shared = cache_.insert(msg.frame_index, std::move(msg));
-      else
+      if (image) {
+        auto cached = cache_.insert(msg.frame_index, std::move(msg));
+        shared = std::move(cached.frame);
+        content = cached.content;
+      } else {
         shared = std::make_shared<const net::NetMessage>(std::move(msg));
+      }
       for (auto& c : clients_)
         if (c->connected.load()) targets.push_back(c);
     }
-    for (auto& c : targets) deliver(c, shared);
+    // Relay peers get the advertisement, everyone else the frame itself.
+    // One ref message serves every such peer (built only if one is
+    // attached); it carries the frame's header fields, so the drop policy
+    // above treats it exactly like the frame it stands for.
+    FramePtr ref;
+    for (auto& c : targets) {
+      // A step at or below the client's connect-time resume point is never
+      // re-delivered: a restarted relay edge re-injects history it
+      // recovered from upstream, and viewers that followed the edge across
+      // the restart must not see those steps twice. The floor is frozen at
+      // connect — comparing against the live ack instead would drop
+      // legitimate out-of-order steps from a pipelined renderer.
+      if (image && shared->frame_index <= c->resume_floor.load()) continue;
+      if (image && c->wants_refs) {
+        if (!ref)
+          ref = std::make_shared<const net::NetMessage>(
+              net::make_frame_ref(*shared, content));
+        deliver(c, ref);
+      } else {
+        deliver(c, shared);
+      }
+    }
     fanout_ctr.add(targets.size());
     if (image && !targets.empty())
       cache_.note_fanout_hits(targets.size() - 1);  // beyond the first copy

@@ -74,6 +74,11 @@ struct ClientOptions {
   /// resume): every cached step > replay_after_step is queued on connect.
   bool replay_cache = false;
   int replay_after_step = -1;
+  /// Frame-by-reference delivery (protocol v3, the relay tree): this client
+  /// keeps its own content-addressed cache, so image traffic — live and
+  /// replayed — is queued as kFrameRef advertisements; the client answers
+  /// with request_content() only on a cache miss.
+  bool wants_frame_refs = false;
 };
 
 struct ClientStats {
@@ -139,6 +144,12 @@ class FrameHub {
     void heartbeat();
     /// User-control event toward every renderer interface.
     void send_control(const net::ControlEvent& event);
+    /// Cache-miss follow-up to a kFrameRef (wants_frame_refs clients): the
+    /// hub answers with a kFrameData on this client's own queue — through
+    /// the normal delivery path, so it never interleaves with an in-flight
+    /// send — or counts net.relay.fetch_misses if the content was evicted
+    /// (the edge skips that step, exactly like a backpressure drop).
+    void request_content(net::ContentId content);
 
     const std::string& id() const;
     bool closed() const;
@@ -196,6 +207,10 @@ class FrameHub {
   };
 
   void relay_loop() TVVIZ_EXCLUDES(clients_mutex_);
+  /// Answer one client's kFrameFetch from the content index (see
+  /// ClientPort::request_content).
+  void serve_fetch(const std::shared_ptr<ClientState>& client,
+                   net::ContentId content) TVVIZ_EXCLUDES(clients_mutex_);
   void broadcast_control(const net::ControlEvent& event)
       TVVIZ_EXCLUDES(clients_mutex_);
   /// Fan-out delivery happens strictly outside the clients_mutex_ snapshot

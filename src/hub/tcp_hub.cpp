@@ -12,6 +12,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/hash.hpp"
 
 namespace tvviz::hub {
 
@@ -269,6 +270,17 @@ void HubTcpServer::on_readable(const std::shared_ptr<Session>& session) {
           session->client_port->send_control(
               net::ControlEvent::deserialize(msg->payload));
           break;
+        case MsgType::kFrameFetch:
+          // The reply rides the client's own queue (normal drain path), so
+          // it can never interleave with an in-flight worker send.
+          try {
+            session->client_port->request_content(
+                net::parse_frame_fetch(*msg));
+          } catch (const std::exception&) {
+            evict(session);  // malformed fetch: treat like any wire error
+            return;
+          }
+          break;
         default:
           break;
       }
@@ -297,6 +309,10 @@ void HubTcpServer::handle_hello(const std::shared_ptr<Session>& session,
   ClientOptions options;
   options.id = info->client_id;
   options.queue_frames = info->queue_frames;
+  // The capability byte is only meaningful from a peer that actually
+  // speaks the v3 exchange; a v2 hello with stray trailing bytes must not
+  // switch its stream to advertisements it cannot resolve.
+  options.wants_frame_refs = info->wants_frame_refs && info->version >= 3;
   if (info->last_acked_step >= 0) {
     // An explicit resume point also applies to ids the hub has never seen
     // (e.g. the hub restarted and lost its registry but the cache refilled).
@@ -531,6 +547,7 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
   ClientOptions options;
   options.id = info.client_id;
   options.queue_frames = info.queue_frames;
+  options.wants_frame_refs = info.wants_frame_refs && info.version >= 3;
   if (info.last_acked_step >= 0) {
     // An explicit resume point also applies to ids the hub has never seen
     // (e.g. the hub restarted and lost its registry but the cache refilled).
@@ -586,6 +603,14 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
           break;
         case MsgType::kControl:
           port->send_control(net::ControlEvent::deserialize(msg->payload));
+          break;
+        case MsgType::kFrameFetch:
+          try {
+            port->request_content(net::parse_frame_fetch(*msg));
+          } catch (const std::exception&) {
+            if (running_.load()) hub_.disconnect_client(*port);
+            return;  // malformed fetch: same exit as any wire error
+          }
           break;
         default:
           break;
@@ -678,14 +703,11 @@ HubTcpViewer::HubTcpViewer(int port) : HubTcpViewer(port, Options()) {}
 HubTcpViewer::HubTcpViewer(int port, Options options)
     : port_(port), options_(std::move(options)) {
   last_acked_.store(options_.last_acked_step);
-  {
-    // Seed the jitter stream from the requested identity so a named
-    // viewer's backoff schedule replays deterministically.
-    std::uint64_t h = 0x76696577ULL;
-    for (const char ch : options_.client_id)
-      h = (h ^ static_cast<std::uint8_t>(ch)) * 0x100000001b3ULL;
-    retry_rng_ = util::Rng(util::splitmix64(h));
-  }
+  // Seed the jitter stream from the requested identity so a named viewer's
+  // backoff schedule replays deterministically. The 'view' tag keeps the
+  // stream distinct from the hub's link_rng for the same id.
+  std::uint64_t jitter_seed = util::fnv1a(options_.client_id, 0x76696577ULL);
+  retry_rng_ = util::Rng(util::splitmix64(jitter_seed));
   if (options_.auto_reconnect) {
     // First contact under the policy too: an injected refused connect (or a
     // hub still starting up) is ridden out here rather than thrown.
@@ -737,59 +759,75 @@ HubTcpViewer::HubTcpViewer(int port, Options options)
 }
 
 std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
-  auto conn = std::shared_ptr<TcpConnection>(
-      TcpConnection::connect_local(port_).release());
-  if (options_.retry.io_timeout_ms > 0.0)
-    conn->set_io_timeout_ms(options_.retry.io_timeout_ms);
-  HelloInfo info;
-  info.role = "display";
-  // A reconnect reclaims the identity the hub assigned on first contact and
-  // resumes after the newest step this viewer acked. assigned_id_ is shared
-  // with assigned_id() callers on other threads, so snapshot it under the
-  // state lock.
-  {
-    util::LockGuard lock(state_mutex_);
-    info.client_id = assigned_id_.empty() ? options_.client_id : assigned_id_;
-  }
-  info.last_acked_step = last_acked_.load();
-  info.queue_frames = options_.queue_frames;
-  info.wants_heartbeat = options_.heartbeat_interval_ms > 0;
-  conn->send_message(net::make_hello(info));
-  auto reply = conn->recv_message();
-  if (!reply)
-    throw net::SocketError("hub: server closed during handshake");
-  if (reply->type == MsgType::kError) {
-    const std::string text = net::error_text(*reply);
-    if (options_.allow_downgrade &&
-        text.find("unsupported protocol version") != std::string::npos) {
-      // The server is older than this viewer: renegotiate with the legacy
-      // v1 hello (role in the codec field, no capability payload — so no
-      // identity and no resume point either).
-      static obs::Counter& downgrades = obs::counter("net.retry.downgrades");
-      downgrades.add(1);
-      downgraded_.store(true);
-      conn = std::shared_ptr<TcpConnection>(
-          TcpConnection::connect_local(port_).release());
-      if (options_.retry.io_timeout_ms > 0.0)
-        conn->set_io_timeout_ms(options_.retry.io_timeout_ms);
+  // The downgrade ladder: each "unsupported protocol version" refusal steps
+  // hello_version_ down one generation and retries on a fresh socket (the
+  // server closes after a kError). v3 -> v2 loses only the frame-ref
+  // capability and is always taken; v2 -> v1 loses identity and resume, so
+  // it is gated on allow_downgrade. The settled rung is sticky: later
+  // reconnects to the same server start where the ladder ended.
+  for (;;) {
+    auto conn = std::shared_ptr<TcpConnection>(
+        TcpConnection::connect_local(port_).release());
+    if (options_.retry.io_timeout_ms > 0.0)
+      conn->set_io_timeout_ms(options_.retry.io_timeout_ms);
+    const std::uint32_t version = hello_version_.load();
+    if (version >= 2) {
+      HelloInfo info;
+      info.version = version;
+      info.role = "display";
+      // A reconnect reclaims the identity the hub assigned on first contact
+      // and resumes after the newest step this viewer acked. assigned_id_
+      // is shared with assigned_id() callers on other threads, so snapshot
+      // it under the state lock.
+      {
+        util::LockGuard lock(state_mutex_);
+        info.client_id =
+            assigned_id_.empty() ? options_.client_id : assigned_id_;
+      }
+      info.last_acked_step = last_acked_.load();
+      info.queue_frames = options_.queue_frames;
+      info.wants_heartbeat = options_.heartbeat_interval_ms > 0;
+      info.wants_frame_refs = options_.wants_frame_refs && version >= 3;
+      conn->send_message(net::make_hello(info));
+    } else {
+      // Legacy v1 hello: role in the codec field, no capability payload.
       NetMessage legacy;
       legacy.type = MsgType::kHello;
       legacy.codec = "display";
       conn->send_message(legacy);
-      reply = conn->recv_message();
-      if (!reply)
-        throw net::SocketError("hub: server closed during v1 handshake");
     }
+    auto reply = conn->recv_message();
+    if (!reply)
+      throw net::SocketError("hub: server closed during handshake");
+    if (reply->type == MsgType::kError) {
+      const std::string text = net::error_text(*reply);
+      const bool version_refusal =
+          text.find("unsupported protocol version") != std::string::npos;
+      if (version_refusal && version > 2) {
+        static obs::Counter& downgrades =
+            obs::counter("net.retry.downgrades");
+        downgrades.add(1);
+        hello_version_.store(2);
+        continue;
+      }
+      if (version_refusal && version == 2 && options_.allow_downgrade) {
+        static obs::Counter& downgrades =
+            obs::counter("net.retry.downgrades");
+        downgrades.add(1);
+        downgraded_.store(true);
+        hello_version_.store(1);
+        continue;
+      }
+      throw std::runtime_error("hub: refused: " + text);
+    }
+    if (reply->type != MsgType::kHelloAck)
+      throw std::runtime_error("hub: unexpected handshake reply");
+    {
+      util::LockGuard lock(state_mutex_);
+      assigned_id_ = reply->codec;
+    }
+    return conn;
   }
-  if (reply->type == MsgType::kError)
-    throw std::runtime_error("hub: refused: " + net::error_text(*reply));
-  if (reply->type != MsgType::kHelloAck)
-    throw std::runtime_error("hub: unexpected handshake reply");
-  {
-    util::LockGuard lock(state_mutex_);
-    assigned_id_ = reply->codec;
-  }
-  return conn;
 }
 
 bool HubTcpViewer::reconnect() {
@@ -814,6 +852,7 @@ bool HubTcpViewer::reconnect() {
     if (old) old->shutdown();
     static obs::Counter& reconnects = obs::counter("net.retry.reconnects");
     reconnects.add(1);
+    reconnects_.fetch_add(1);
     return true;
   }
   return false;
@@ -835,7 +874,10 @@ std::optional<NetMessage> HubTcpViewer::next() {
     if (!conn || !open_.load()) return std::nullopt;
     try {
       auto msg = conn->recv_message();
-      if (msg) return msg;
+      if (msg) {
+        bytes_received_.fetch_add(msg->wire_size());
+        return msg;
+      }
       // Orderly close at a frame boundary: the hub went away cleanly.
     } catch (const std::exception&) {
       if (!options_.auto_reconnect || !open_.load()) throw;
@@ -864,6 +906,18 @@ void HubTcpViewer::ack(int step) {
   } catch (const std::exception&) {
     // The resume point is already recorded locally; a reconnecting viewer
     // re-announces it in the next hello. Fail-fast viewers keep throwing.
+    if (!options_.auto_reconnect) throw;
+  }
+}
+
+void HubTcpViewer::request_frame(net::ContentId content) {
+  util::LockGuard lock(send_mutex_);
+  if (!open_.load()) return;
+  try {
+    current()->send_message(net::make_frame_fetch(content));
+  } catch (const std::exception&) {
+    // The pending ref stays unresolved; the reconnect's resume replays the
+    // advertisement and the edge asks again. Fail-fast endpoints throw.
     if (!options_.auto_reconnect) throw;
   }
 }

@@ -143,11 +143,17 @@ class HubTcpViewer {
     /// is installed on the socket, so a stalled hub surfaces as a
     /// TimeoutError instead of a hang).
     fault::RetryPolicy retry{};
-    /// When the server refuses the v2 hello with "unsupported protocol
-    /// version", renegotiate with the legacy v1 hello instead of failing
-    /// (net.retry.downgrades). The v1 handshake carries no identity or
-    /// resume point.
+    /// When the server refuses the hello with "unsupported protocol
+    /// version", renegotiate down the ladder instead of failing
+    /// (net.retry.downgrades): v3 drops to v2 unconditionally (only the
+    /// frame-ref capability is lost); v2 drops to the legacy v1 hello only
+    /// with this set, because v1 carries no identity or resume point.
     bool allow_downgrade = true;
+    /// Announce the v3 frame-ref capability: the hub sends kFrameRef
+    /// advertisements instead of frame bodies and answers request_frame()
+    /// with kFrameData. For relay edges (hub/relay.hpp), not end viewers —
+    /// whoever sets this owns a content cache to resolve refs against.
+    bool wants_frame_refs = false;
   };
 
   /// Connects and completes the handshake. Throws std::runtime_error on
@@ -163,6 +169,23 @@ class HubTcpViewer {
   /// True once the handshake fell back to the v1 hello.
   bool downgraded() const noexcept { return downgraded_.load(); }
 
+  /// Hello generation the last handshake settled on (3 unless the server
+  /// pushed the negotiation down the ladder).
+  std::uint32_t negotiated_version() const noexcept {
+    return hello_version_.load();
+  }
+
+  /// Successful mid-stream recoveries so far (mirrors net.retry.reconnects
+  /// for this endpoint; the relay layer folds deltas into
+  /// net.relay.upstream_reconnects).
+  std::uint64_t reconnects() const noexcept { return reconnects_.load(); }
+
+  /// Wire bytes this endpoint has received via next() — an edge's measure
+  /// of the upstream (root-egress) traffic it cost.
+  std::uint64_t bytes_received() const noexcept {
+    return bytes_received_.load();
+  }
+
   /// Blocking receive. std::nullopt when the hub closes (with
   /// auto_reconnect: only once reconnection attempts are exhausted).
   std::optional<net::NetMessage> next()
@@ -172,6 +195,11 @@ class HubTcpViewer {
   void ack(int step) TVVIZ_EXCLUDES(send_mutex_);
   void send_control(const net::ControlEvent& event)
       TVVIZ_EXCLUDES(send_mutex_);
+  /// Cache-miss reply to a kFrameRef: ask the hub for the body; it arrives
+  /// as a kFrameData on the normal next() stream. Requires a v3 handshake
+  /// with wants_frame_refs. A send failure under auto_reconnect is
+  /// swallowed — the reconnect replays the ref and the edge re-requests.
+  void request_frame(net::ContentId content) TVVIZ_EXCLUDES(send_mutex_);
 
   /// Contract (PR 4 review): close() must never wait on send_mutex_ — a
   /// sender blocked inside send_message() holds it and is unblocked only by
@@ -196,6 +224,12 @@ class HubTcpViewer {
   std::atomic<int> last_acked_{-1};
   std::atomic<bool> open_{true};
   std::atomic<bool> downgraded_{false};
+  /// Hello generation for the next handshake; written only by the ladder in
+  /// connect_and_handshake, sticky across reconnects (a server that refused
+  /// v3 once is not offered it again).
+  std::atomic<std::uint32_t> hello_version_{net::kProtocolVersion};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
   util::Rng retry_rng_{0x76696577ULL};  ///< Jitter stream for reconnects.
   /// Serializes the senders (ack/control/heartbeat). May be held for as long
   /// as a send blocks, so close() must never wait on it.

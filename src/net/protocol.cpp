@@ -1,6 +1,7 @@
 #include "net/protocol.hpp"
 
 #include "net/errors.hpp"
+#include "util/hash.hpp"
 
 #include <stdexcept>
 #include <utility>
@@ -10,13 +11,15 @@ namespace tvviz::net {
 util::Bytes HelloInfo::serialize() const {
   util::ByteWriter w(4 + util::varint_size(role.size()) + role.size() +
                      util::varint_size(client_id.size()) + client_id.size() +
-                     4 + 4 + 1);
+                     4 + 4 + 1 + 1);
   w.u32(version);
   w.str(role);
   w.str(client_id);
   w.u32(static_cast<std::uint32_t>(last_acked_step));
   w.u32(queue_frames);
   w.u8(wants_heartbeat ? 1 : 0);
+  // v3 capability, strictly appended: v2 parsers ignore trailing bytes.
+  w.u8(wants_frame_refs ? 1 : 0);
   return w.take();
 }
 
@@ -30,6 +33,8 @@ HelloInfo HelloInfo::deserialize(std::span<const std::uint8_t> payload) {
     info.last_acked_step = static_cast<std::int32_t>(r.u32());
     info.queue_frames = r.u32();
     info.wants_heartbeat = r.u8() != 0;
+    // Appended v3 capability; absent from a v2 sender's payload.
+    info.wants_frame_refs = r.remaining() > 0 && r.u8() != 0;
     // Ignore trailing bytes: a *newer* client may append capabilities this
     // build does not know; the version field governs compatibility.
     return info;
@@ -156,6 +161,85 @@ NetMessage deserialize_frame(util::SharedBytes body) {
   const auto [offset, len] = parse_frame(body, msg);
   msg.payload = body.view(offset, len);
   return msg;
+}
+
+// ------------------------------------------------ frame-by-reference (v3) --
+
+ContentId content_id_of(const NetMessage& msg) noexcept {
+  return util::fnv1a(msg.payload, util::fnv1a(msg.codec));
+}
+
+util::Bytes FrameRefInfo::serialize() const {
+  util::ByteWriter w(1 + 8 + util::varint_size(payload_bytes));
+  w.u8(static_cast<std::uint8_t>(frame_type));
+  w.u64(content);
+  w.varint(payload_bytes);
+  return w.take();
+}
+
+FrameRefInfo FrameRefInfo::deserialize(std::span<const std::uint8_t> payload) {
+  try {
+    util::ByteReader r(payload);
+    FrameRefInfo info;
+    const std::uint8_t raw_type = r.u8();
+    if (raw_type != static_cast<std::uint8_t>(MsgType::kFrame) &&
+        raw_type != static_cast<std::uint8_t>(MsgType::kSubImage))
+      throw WireError("net: frame ref advertises non-image type " +
+                      std::to_string(raw_type));
+    info.frame_type = static_cast<MsgType>(raw_type);
+    info.content = r.u64();
+    info.payload_bytes = r.varint();
+    return info;
+  } catch (const std::out_of_range&) {
+    throw WireError("net: truncated frame-ref payload");
+  }
+}
+
+NetMessage make_frame_ref(const NetMessage& frame, ContentId content) {
+  FrameRefInfo info;
+  info.frame_type = frame.type;
+  info.content = content;
+  info.payload_bytes = frame.payload.size();
+  NetMessage ref;
+  ref.type = MsgType::kFrameRef;
+  ref.frame_index = frame.frame_index;
+  ref.piece = frame.piece;
+  ref.piece_count = frame.piece_count;
+  ref.codec = frame.codec;
+  ref.payload = info.serialize();
+  return ref;
+}
+
+FrameRefInfo parse_frame_ref(const NetMessage& msg) {
+  if (msg.type != MsgType::kFrameRef)
+    throw WireError("net: parse_frame_ref on a non-ref message");
+  return FrameRefInfo::deserialize(msg.payload);
+}
+
+NetMessage make_frame_fetch(ContentId content) {
+  util::ByteWriter w(8);
+  w.u64(content);
+  NetMessage msg;
+  msg.type = MsgType::kFrameFetch;
+  msg.payload = w.take();
+  return msg;
+}
+
+ContentId parse_frame_fetch(const NetMessage& msg) {
+  if (msg.type != MsgType::kFrameFetch)
+    throw WireError("net: parse_frame_fetch on a non-fetch message");
+  try {
+    util::ByteReader r(msg.payload);
+    return r.u64();
+  } catch (const std::out_of_range&) {
+    throw WireError("net: truncated frame-fetch payload");
+  }
+}
+
+NetMessage make_frame_data(const NetMessage& frame) {
+  NetMessage data = frame;  // payload is refcounted, never copied
+  data.type = MsgType::kFrameData;
+  return data;
 }
 
 }  // namespace tvviz::net

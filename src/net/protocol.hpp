@@ -24,16 +24,34 @@ enum class MsgType : std::uint8_t {
   kHeartbeat = 6,    ///< Client liveness beacon (empty payload).
   kAck = 7,          ///< Client acknowledges display of frame_index.
   kError = 8,        ///< Descriptive failure (payload: UTF-8 message), then close.
+  // Protocol v3 (the relay tree). Frames travel by reference between hubs
+  // that keep content-addressed caches: the upstream hub advertises a frame
+  // with kFrameRef (step + ContentId + size, no payload bytes); the
+  // downstream edge answers kFrameFetch only when its cache misses and the
+  // payload itself crosses the wire once, as kFrameData. Sent only to peers
+  // that announced wants_frame_refs in a v3 hello, so v1/v2 endpoints never
+  // see them.
+  kFrameRef = 9,     ///< Frame advertisement by content id (FrameRefInfo payload).
+  kFrameFetch = 10,  ///< Cache-miss request for a ContentId (8-byte payload).
+  kFrameData = 11,   ///< Fetched frame body; header mirrors the original frame.
 };
 
 /// Highest MsgType value a well-formed frame may carry (wire validation).
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kError);
+    static_cast<std::uint8_t>(MsgType::kFrameData);
 
 /// Version of the hello/capability handshake this build speaks. v1 is the
 /// legacy role-string hello ("renderer"/"display" in the codec field); v2
-/// adds the HelloInfo payload (client identity, resume point, heartbeats).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// adds the HelloInfo payload (client identity, resume point, heartbeats);
+/// v3 adds frame-by-reference transport (wants_frame_refs capability and
+/// the kFrameRef/kFrameFetch/kFrameData exchange).
+inline constexpr std::uint32_t kProtocolVersion = 3;
+
+/// Stable identity of one encoded frame payload: FNV-1a over the codec-name
+/// bytes then the payload bytes (see content_id_of). Computed once at cache
+/// insert; any peer can recompute it from a received frame, which doubles as
+/// an integrity check on fetched bodies.
+using ContentId = std::uint64_t;
 
 /// Capability payload of a v2 kHello (and the server's kHelloAck echo).
 /// A v1 hello has an empty payload; deserialize_hello maps it to version 1
@@ -46,6 +64,10 @@ struct HelloInfo {
   std::int32_t last_acked_step = -1;  ///< Resume point; -1 = from live stream.
   std::uint32_t queue_frames = 0;     ///< Requested send-queue bound; 0 = default.
   bool wants_heartbeat = false;       ///< Client will send kHeartbeat beacons.
+  /// v3 capability, appended as a trailing byte (v2 parsers ignore trailing
+  /// bytes by contract): this display keeps a content-addressed cache and
+  /// wants frames advertised as kFrameRef instead of shipped in full.
+  bool wants_frame_refs = false;
 
   util::Bytes serialize() const;
   static HelloInfo deserialize(std::span<const std::uint8_t> payload);
@@ -142,5 +164,45 @@ NetMessage make_error(const std::string& message);
 
 /// The payload of a kError frame as a string.
 std::string error_text(const NetMessage& msg);
+
+// ------------------------------------------------ frame-by-reference (v3) --
+
+/// The ContentId of a frame message: util::fnv1a over the codec-name bytes,
+/// chained over the payload bytes. Including the codec keeps two encodings
+/// of the same bitstream distinct; hashing only wire-visible bytes means a
+/// receiver can recompute the id from a kFrameData it just parsed.
+ContentId content_id_of(const NetMessage& msg) noexcept;
+
+/// Body of a kFrameRef: everything an edge needs to reconstruct the frame
+/// once it has (or fetches) the payload. The ref message's header fields
+/// (frame_index/piece/piece_count/codec) mirror the original frame's, so
+/// step-level drop policies treat refs exactly like the frames they stand
+/// for.
+struct FrameRefInfo {
+  MsgType frame_type = MsgType::kFrame;  ///< kFrame or kSubImage.
+  ContentId content = 0;
+  std::uint64_t payload_bytes = 0;  ///< Size of the advertised payload.
+
+  util::Bytes serialize() const;
+  static FrameRefInfo deserialize(std::span<const std::uint8_t> payload);
+};
+
+/// Advertise `frame` by reference: a kFrameRef with `frame`'s header fields
+/// and a FrameRefInfo payload (no frame bytes).
+NetMessage make_frame_ref(const NetMessage& frame, ContentId content);
+
+/// Parse a kFrameRef body. Throws WireError on a non-ref or malformed
+/// message.
+FrameRefInfo parse_frame_ref(const NetMessage& msg);
+
+/// Cache-miss request for one ContentId.
+NetMessage make_frame_fetch(ContentId content);
+ContentId parse_frame_fetch(const NetMessage& msg);
+
+/// Ship a cached frame in answer to a fetch: same header fields and (shared,
+/// never copied) payload as `frame`, with the type swapped to kFrameData so
+/// the receiver knows to match it against its pending fetches by recomputed
+/// ContentId rather than display it directly.
+NetMessage make_frame_data(const NetMessage& frame);
 
 }  // namespace tvviz::net

@@ -80,7 +80,7 @@ TEST(FrameCache, SharedBuffersSurviveEviction) {
   const auto kept = cache.insert(0, frame_msg(0, {42}));
   cache.insert(1, frame_msg(1, {43}));  // evicts step 0
   EXPECT_TRUE(cache.lookup(0).empty());
-  EXPECT_EQ(kept->payload[0], 42);  // a queue's reference keeps it alive
+  EXPECT_EQ(kept.frame->payload[0], 42);  // a queue's reference keeps it alive
 }
 
 TEST(FrameCache, MessagesAfterReturnsStepOrderedTail) {

@@ -25,6 +25,15 @@ Supported metrics (--metric):
                               or drain path) show up here while absolute
                               us/client stays host-independent.
 
+  root_egress_ratio           ablation_relay_tree vs BENCH_relay_tree.json:
+                              root egress bytes with the relay tree at the
+                              large viewer count divided by the same bytes
+                              at the small count.  ~1.0 while the edges
+                              dedup correctly (root pays per edge, not per
+                              viewer); a relay regression that re-ships
+                              payloads per viewer drags it toward the
+                              direct-attach ratio (viewers_large/small).
+
 Usage:
     bench_gate.py --fresh out.json --baseline BENCH_zero_copy.json \
                   [--metric single_client_delay_ratio] \
@@ -37,7 +46,12 @@ import argparse
 import json
 import sys
 
-METRICS = ("single_client_delay_ratio", "fanout_scaling_ratio")
+METRICS = ("single_client_delay_ratio", "fanout_scaling_ratio",
+           "root_egress_ratio")
+
+# Metrics that are meaningless when frames were lost (a dropped frame
+# shrinks egress and fan-out cost alike, flattering the ratio).
+LOSSLESS_METRICS = ("fanout_scaling_ratio", "root_egress_ratio")
 
 
 def load(path):
@@ -56,7 +70,7 @@ def sanity_check_runs(fresh, metric):
             print(f"bench_gate: fresh run delivered no frames: {run}",
                   file=sys.stderr)
             sys.exit(1)
-        if metric == "fanout_scaling_ratio" and not run.get("lossless", True):
+        if metric in LOSSLESS_METRICS and not run.get("lossless", True):
             print(f"bench_gate: fresh fan-out run lost frames: {run}",
                   file=sys.stderr)
             sys.exit(1)

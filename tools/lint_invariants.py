@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant linter: checks the contracts the compiler can't.
 
-Three checks, each a build-breaking invariant of this repository:
+Four checks, each a build-breaking invariant of this repository:
 
 1. counter-registry  Every metric name passed to ``obs::counter()`` /
                      ``obs::gauge()`` in ``src/`` must appear in the
@@ -29,6 +29,13 @@ Three checks, each a build-breaking invariant of this repository:
                      there.  ``steady_clock`` deadlines and ``sleep_for``
                      (which *spend* time but don't *branch* on it) are
                      allowed.
+
+4. fnv-constants     The FNV-1a magic numbers may appear in ``src/`` only
+                     inside ``util/hash.hpp``.  A ContentId computed by one
+                     build must match the one another build recomputes from
+                     the same bytes, so every payload hash goes through
+                     ``util::fnv1a`` — a stray re-implementation forks the
+                     hash the moment someone "fixes" one copy.
 
 Run directly (``tools/lint_invariants.py [--repo PATH]``) or via ctest /
 CI, where it is registered as the ``lint_invariants`` test.  Exit status is
@@ -280,6 +287,31 @@ def check_fault_wall_clock(repo: pathlib.Path, out: Violations) -> None:
 
 
 # --------------------------------------------------------------------------
+# Check 4: FNV-1a constants banned outside the canonical hash header
+
+FNV_CONSTANT = re.compile(
+    r"0x0*cbf29ce484222325\b|0x0*100000001b3\b", re.IGNORECASE
+)
+
+
+def check_fnv_constants(repo: pathlib.Path, out: Violations) -> None:
+    canonical = repo / "src" / "util" / "hash.hpp"
+    for path in source_files(repo / "src"):
+        if path == canonical:
+            continue
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(text.splitlines(), 1):
+            match = FNV_CONSTANT.search(line)
+            if match:
+                out.report(
+                    f"{path.relative_to(repo)}:{lineno}",
+                    f"raw FNV constant `{match.group(0)}` — hash through "
+                    "util::fnv1a (util/hash.hpp) so ContentIds and replay "
+                    "streams stay identical across every build",
+                )
+
+
+# --------------------------------------------------------------------------
 
 
 def main() -> int:
@@ -299,7 +331,8 @@ def main() -> int:
     out = Violations()
     before = out.count
     classes_failed = 0
-    for check in (check_counter_registry, check_raw_mutex, check_fault_wall_clock):
+    for check in (check_counter_registry, check_raw_mutex,
+                  check_fault_wall_clock, check_fnv_constants):
         check(repo, out)
         if out.count > before:
             classes_failed += 1
@@ -312,8 +345,8 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    print("lint_invariants: counter registry, mutex wrappers, and fault "
-          "determinism all clean")
+    print("lint_invariants: counter registry, mutex wrappers, fault "
+          "determinism, and hash canonicalization all clean")
     return 0
 
 

@@ -10,12 +10,15 @@
 //   tvviz play        --dataset jet --processors 6 --groups 2 --steps 8
 //                     [--codec jpeg+lzo] [--size 128] [--outdir frames]
 //   tvviz hub         --dataset jet --clients 3 [--tcp] [--slow-client 10]
+//   tvviz relay       --upstream-port P [--listen-port P] [--edge-id NAME]
 //   tvviz sweep       --processors 32 [--machine rwcp|o2k] [--steps 128]
 //   tvviz analyze     --dataset jet --steps 32 [--budget 8]
 //   tvviz codecs      [--size 256] [--quality 75]
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "codec/image_codec.hpp"
 #include "core/perfmodel.hpp"
@@ -28,6 +31,7 @@
 #include "field/striped.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "relay/relay.hpp"
 #include "render/shearwarp.hpp"
 #include "util/flags.hpp"
 #include "util/timer.hpp"
@@ -254,6 +258,48 @@ int cmd_hub(const util::Flags& flags) {
   return 0;
 }
 
+int cmd_relay(const util::Flags& flags) {
+  const int upstream = static_cast<int>(flags.get_int("upstream-port", 0));
+  if (upstream <= 0) {
+    std::fprintf(stderr,
+                 "tvviz relay: --upstream-port is required (the root hub's "
+                 "viewer port)\n");
+    return 2;
+  }
+  relay::EdgeHubConfig cfg;
+  cfg.upstream_port = upstream;
+  cfg.listen_port = static_cast<int>(flags.get_int("listen-port", 0));
+  cfg.edge_id = flags.get("edge-id", "edge");
+  cfg.tree_depth = static_cast<int>(flags.get_int("depth", 1));
+  cfg.hub.cache_steps =
+      static_cast<std::size_t>(flags.get_int("cache-steps", 32));
+  cfg.hub.client_queue_frames =
+      static_cast<std::size_t>(flags.get_int("queue-frames", 8));
+  relay::EdgeHub edge(cfg);
+  std::printf("edge '%s' up: upstream 127.0.0.1:%d -> viewers on port %d\n",
+              edge.upstream_id().c_str(), upstream, edge.port());
+
+  // Serve until the root signs off (or --duration seconds, for scripting).
+  const double duration = flags.get_double("duration", 0.0);
+  util::WallTimer clock;
+  while (!edge.stream_ended() &&
+         (duration <= 0.0 || clock.seconds() < duration))
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const auto s = edge.stats();
+  std::printf("refs %llu (hits %llu, misses %llu) | saved %.1f kB | "
+              "forwarded %llu | upstream %.1f kB, %llu reconnects\n",
+              static_cast<unsigned long long>(s.refs_seen),
+              static_cast<unsigned long long>(s.ref_hits),
+              static_cast<unsigned long long>(s.ref_misses),
+              static_cast<double>(s.fetch_bytes_saved) / 1024.0,
+              static_cast<unsigned long long>(s.frames_forwarded),
+              static_cast<double>(s.upstream_bytes) / 1024.0,
+              static_cast<unsigned long long>(s.upstream_reconnects));
+  edge.shutdown();
+  return 0;
+}
+
 int cmd_sweep(const util::Flags& flags) {
   core::PipelineConfig cfg;
   cfg.processors = static_cast<int>(flags.get_int("processors", 32));
@@ -346,6 +392,10 @@ void usage() {
       "                [--tcp] [--slow-client SCALE] [--cache-steps N]\n"
       "                [--queue-frames N] [--heartbeat-timeout S]\n"
       "                [--adaptive SECONDS-PER-FRAME]\n"
+      "  relay         run an edge hub of the relay tree: subscribe to\n"
+      "                --upstream-port, serve viewers from the edge cache\n"
+      "                [--listen-port P] [--edge-id NAME] [--depth N]\n"
+      "                [--cache-steps N] [--queue-frames N] [--duration S]\n"
       "  sweep         sweep the processor partitioning (Figure 6 tool)\n"
       "  analyze       temporal summary + preview plan (§7.1)\n"
       "  codecs        compare the compressors on a rendered frame\n"
@@ -407,6 +457,8 @@ int main(int argc, char** argv) {
       rc = cmd_play(flags);
     else if (command == "hub")
       rc = cmd_hub(flags);
+    else if (command == "relay")
+      rc = cmd_relay(flags);
     else if (command == "sweep")
       rc = cmd_sweep(flags);
     else if (command == "analyze")

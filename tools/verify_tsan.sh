@@ -1,8 +1,8 @@
 #!/bin/sh
 # Build the tree with ThreadSanitizer and run the concurrency-heavy suites:
 # the vmp messaging layer, the network daemon/queues, the TCP transport,
-# the multi-client hub, the observability registries, and the shared-buffer
-# pool (concurrent checkout/return).
+# the multi-client hub, the relay tree, the observability registries, and
+# the shared-buffer pool (concurrent checkout/return).
 #
 # Usage: tools/verify_tsan.sh [--static] [build-dir]
 #   --static  preflight the compile-time concurrency contracts first
@@ -31,7 +31,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DTVVIZ_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target \
-  vmp_test net_test obs_test tcp_test hub_test util_test
+  vmp_test net_test obs_test tcp_test hub_test relay_test util_test
 
 cd "$BUILD_DIR"
-ctest -L 'vmp_test|net_test|obs_test|tcp_test|hub_test|util_test' --output-on-failure -j 4
+ctest -L 'vmp_test|net_test|obs_test|tcp_test|hub_test|relay_test|util_test' --output-on-failure -j 4

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "codec/huffman.hpp"
+#include "codec/tile_pool.hpp"
 
 namespace tvviz::codec {
 
@@ -194,13 +195,16 @@ BwtCodec::BwtCodec(std::size_t block_size) : block_size_(block_size) {
 }
 
 util::Bytes BwtCodec::encode(std::span<const std::uint8_t> input) const {
-  util::ByteWriter out(input.size() / 2 + 64);
-  out.varint(input.size());
-  std::size_t offset = 0;
-  while (offset < input.size()) {
+  // Every block's section (header + entropy payload) is self-contained, so
+  // blocks compress independently on the TilePool and concatenate in block
+  // order — byte-identical to the old serial loop.
+  const std::size_t blocks =
+      input.empty() ? 0 : (input.size() + block_size_ - 1) / block_size_;
+  std::vector<util::Bytes> sections(blocks);
+  TilePool::global().run(blocks, [&](std::size_t b) {
+    const std::size_t offset = b * block_size_;
     const std::size_t len = std::min(block_size_, input.size() - offset);
     const auto block = input.subspan(offset, len);
-    offset += len;
 
     std::uint32_t primary = 0;
     const util::Bytes last = bwt_forward(block, primary);
@@ -215,13 +219,21 @@ util::Bytes BwtCodec::encode(std::span<const std::uint8_t> input) const {
     for (std::uint16_t s : symbols) code.encode(bits, s);
     const util::Bytes payload = bits.finish();
 
-    out.varint(len);
-    out.u32(primary);
-    code.write_lengths(out);
-    out.varint(symbols.size());
-    out.varint(payload.size());
-    out.raw(payload);
-  }
+    util::ByteWriter section(payload.size() + 96);
+    section.varint(len);
+    section.u32(primary);
+    code.write_lengths(section);
+    section.varint(symbols.size());
+    section.varint(payload.size());
+    section.raw(payload);
+    sections[b] = section.take();
+  });
+
+  std::size_t total = util::varint_size(input.size());
+  for (const auto& s : sections) total += s.size();
+  util::ByteWriter out(total);
+  out.varint(input.size());
+  for (const auto& s : sections) out.raw(s);
   return out.take();
 }
 

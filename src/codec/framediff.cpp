@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace tvviz::codec {
 
 namespace {
@@ -42,8 +44,8 @@ util::Bytes FrameDiffEncoder::encode_frame(const render::Image& frame) {
   util::Bytes payload = rgb_of(frame);
   if (!key) {
     const util::Bytes prev = rgb_of(*previous_);
-    for (std::size_t i = 0; i < payload.size(); ++i)
-      payload[i] = static_cast<std::uint8_t>(payload[i] - prev[i]);
+    util::simd::sub_u8(payload.data(), payload.data(), prev.data(),
+                       payload.size());
   }
   const util::Bytes packed = inner_->encode(payload);
 
@@ -74,8 +76,8 @@ render::Image FrameDiffDecoder::decode_frame(std::span<const std::uint8_t> data)
     if (!previous_ || previous_->width() != w || previous_->height() != h)
       throw std::runtime_error("framediff: delta without matching key frame");
     const util::Bytes prev = rgb_of(*previous_);
-    for (std::size_t i = 0; i < payload.size(); ++i)
-      payload[i] = static_cast<std::uint8_t>(payload[i] + prev[i]);
+    util::simd::add_u8(payload.data(), payload.data(), prev.data(),
+                       payload.size());
   } else if (kind != kKeyFrame) {
     throw std::runtime_error("framediff: unknown frame kind");
   }

@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "codec/jpeg_detail.hpp"
+#include "codec/tile_pool.hpp"
+#include "util/simd.hpp"
 
 namespace tvviz::codec {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x54504a31;  // "1JPT"
+constexpr std::uint32_t kMagic = 0x54504a32;  // "2JPT": strip-framed container
+
+/// Strips are multiples of 16 luma rows (except the last), so a 4:2:0
+/// chroma block row (8 chroma rows = 16 luma rows) never straddles strips
+/// and strip-count choice cannot change any decoded sample.
+constexpr int kStripAlign = 16;
 
 // ITU-T T.81 Annex K quantization tables (quality 50 reference).
 constexpr int kLumaBase[64] = {
@@ -32,8 +40,16 @@ constexpr int kZigzag[64] = {
     35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
     58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
 
+/// Inverse map: natural (row * 8 + col) index -> zigzag position.
+constexpr std::array<int, 64> kZigzagPos = [] {
+  std::array<int, 64> pos{};
+  for (int i = 0; i < 64; ++i) pos[static_cast<std::size_t>(kZigzag[i])] = i;
+  return pos;
+}();
+
 /// Orthonormal 8-point DCT basis: A[u][x]; 2D DCT = A * g * A^T. This
-/// normalization coincides with the JPEG fDCT definition.
+/// normalization coincides with the JPEG fDCT definition. Double precision:
+/// the decode-side IDCT and the reference encoder still use it.
 struct DctBasis {
   double a[8][8];
   DctBasis() {
@@ -46,7 +62,7 @@ struct DctBasis {
 };
 const DctBasis kDct;
 
-void fdct8x8(const double in[64], double out[64]) {
+void fdct8x8_ref(const double in[64], double out[64]) {
   double tmp[64];
   for (int u = 0; u < 8; ++u)
     for (int y = 0; y < 8; ++y) {
@@ -113,7 +129,583 @@ float Plane::at(int x, int y) const {
   return data[static_cast<std::size_t>(y) * w + x];
 }
 
+namespace {
+
+/// Color-convert image rows [y0, y0+rows) into strip-local planes using the
+/// dispatched float kernels. The 2x2 chroma average stays shared scalar
+/// code (float accumulation, fixed order) so every ISA tier agrees; with
+/// 16-row-aligned strips the cells never straddle strips, so the result is
+/// also independent of the strip layout.
+/// Scalar 2x2 average for cells clipped by the right/bottom edge. The
+/// interior takes the simd::avg2x2 kernel; n == 4 cells agree with it
+/// because /4 and *0.25f are the same exact scale.
+void avg_cell_edge(const std::vector<float>& src, int w, int rows, int cx,
+                   int cy, float* out) {
+  float sum = 0.0f;
+  int n = 0;
+  for (int dy = 0; dy < 2; ++dy)
+    for (int dx = 0; dx < 2; ++dx) {
+      const int sx = 2 * cx + dx, sy = 2 * cy + dy;
+      if (sx >= w || sy >= rows) continue;
+      sum += src[static_cast<std::size_t>(sy) * w + sx];
+      ++n;
+    }
+  *out = sum / static_cast<float>(n);
+}
+
+/// Color-convert image rows [y0, y0+rows) into strip-local planes using the
+/// dispatched float kernels, reusing the caller's buffers across calls so a
+/// streaming encoder touches only cache-resident memory. The 2x2 chroma
+/// average is the fixed-order avg2x2 kernel (scalar fallback at ragged
+/// edges); with 16-row-aligned strips the cells never straddle strips, so
+/// the result is also independent of the strip layout.
+void convert_rows_into(const render::Image& img, bool subsample, int y0,
+                       int rows, Planes& p, std::vector<float>& cb,
+                       std::vector<float>& cr) {
+  const int w = img.width();
+  p.y.w = w;
+  p.y.h = rows;
+  p.y.data.resize(static_cast<std::size_t>(w) * rows);
+  cb.resize(p.y.data.size());
+  cr.resize(p.y.data.size());
+  if (w > 0)
+    for (int r = 0; r < rows; ++r)
+      util::simd::rgb_to_ycbcr(img.pixel(0, y0 + r),
+                               static_cast<std::size_t>(w),
+                               &p.y.data[static_cast<std::size_t>(r) * w],
+                               &cb[static_cast<std::size_t>(r) * w],
+                               &cr[static_cast<std::size_t>(r) * w]);
+  if (subsample) {
+    p.cb.w = (w + 1) / 2;
+    p.cb.h = (rows + 1) / 2;
+    p.cr.w = p.cb.w;
+    p.cr.h = p.cb.h;
+    p.cb.data.resize(static_cast<std::size_t>(p.cb.w) * p.cb.h);
+    p.cr.data.resize(p.cb.data.size());
+    const std::size_t full = static_cast<std::size_t>(w / 2);  // complete cells
+    for (int cy = 0; cy < p.cb.h; ++cy) {
+      const int sy0 = 2 * cy, sy1 = 2 * cy + 1;
+      const std::size_t o = static_cast<std::size_t>(cy) * p.cb.w;
+      if (sy1 < rows) {
+        const float* cb0 = &cb[static_cast<std::size_t>(sy0) * w];
+        const float* cb1 = &cb[static_cast<std::size_t>(sy1) * w];
+        const float* cr0 = &cr[static_cast<std::size_t>(sy0) * w];
+        const float* cr1 = &cr[static_cast<std::size_t>(sy1) * w];
+        util::simd::avg2x2(cb0, cb1, full, &p.cb.data[o]);
+        util::simd::avg2x2(cr0, cr1, full, &p.cr.data[o]);
+        for (int cx = static_cast<int>(full); cx < p.cb.w; ++cx) {
+          avg_cell_edge(cb, w, rows, cx, cy, &p.cb.data[o + cx]);
+          avg_cell_edge(cr, w, rows, cx, cy, &p.cr.data[o + cx]);
+        }
+      } else {
+        for (int cx = 0; cx < p.cb.w; ++cx) {
+          avg_cell_edge(cb, w, rows, cx, cy, &p.cb.data[o + cx]);
+          avg_cell_edge(cr, w, rows, cx, cy, &p.cr.data[o + cx]);
+        }
+      }
+    }
+  } else {
+    p.cb.w = p.cr.w = w;
+    p.cb.h = p.cr.h = rows;
+    p.cb.data.assign(cb.begin(), cb.end());
+    p.cr.data.assign(cr.begin(), cr.end());
+  }
+}
+
+Planes convert_rows(const render::Image& img, bool subsample, int y0,
+                    int rows) {
+  Planes p;
+  std::vector<float> cb, cr;
+  convert_rows_into(img, subsample, y0, rows, p, cb, cr);
+  return p;
+}
+
+/// Gather one 8x8 block, replicating edge samples like Plane::at; interior
+/// blocks take the contiguous memcpy path.
+void extract_block(const Plane& p, int bx, int by, float out[64]) {
+  const int x0 = bx * 8, y0 = by * 8;
+  if (x0 + 8 <= p.w && y0 + 8 <= p.h) {
+    for (int y = 0; y < 8; ++y)
+      std::memcpy(out + y * 8,
+                  &p.data[static_cast<std::size_t>(y0 + y) * p.w + x0],
+                  8 * sizeof(float));
+  } else {
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x) out[y * 8 + x] = p.at(x0 + x, y0 + y);
+  }
+}
+
+/// Serial float-kernel forward transform of block rows [by0, by1) into
+/// `out` (indexed by*bw + bx over the whole plane).
+void quantize_block_rows(const Plane& plane, const float quant_nat[64],
+                         int by0, int by1, std::array<int, 64>* out) {
+  const int bw = (plane.w + 7) / 8;
+  float raw[64], freq[64];
+  std::int32_t q[64];
+  for (int by = by0; by < by1; ++by)
+    for (int bx = 0; bx < bw; ++bx) {
+      extract_block(plane, bx, by, raw);
+      util::simd::fdct8x8(raw, freq);
+      util::simd::quantize64(freq, quant_nat, q);
+      auto& zz = out[static_cast<std::size_t>(by) * bw + bx];
+      for (int i = 0; i < 64; ++i)
+        zz[static_cast<std::size_t>(i)] = q[kZigzag[i]];
+    }
+}
+
+}  // namespace
+
 Planes to_planes(const render::Image& img, bool subsample) {
+  return convert_rows(img, subsample, 0, img.height());
+}
+
+render::Image from_planes(const Planes& p, bool subsample) {
+  render::Image img(p.y.w, p.y.h);
+  for (int yy = 0; yy < p.y.h; ++yy)
+    for (int xx = 0; xx < p.y.w; ++xx) {
+      const double lum = p.y.at(xx, yy) + 128.0;
+      const int cx = subsample ? xx / 2 : xx;
+      const int cy = subsample ? yy / 2 : yy;
+      const double cb = p.cb.at(cx, cy);
+      const double cr = p.cr.at(cx, cy);
+      const auto q = [](double v) {
+        return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+      };
+      img.set(xx, yy, q(lum + 1.402 * cr),
+              q(lum - 0.344136 * cb - 0.714136 * cr), q(lum + 1.772 * cb),
+              255);
+    }
+  return img;
+}
+
+void build_quant_tables(int quality, std::uint16_t luma[64],
+                        std::uint16_t chroma[64]) {
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  for (int i = 0; i < 64; ++i) {
+    luma[i] = static_cast<std::uint16_t>(
+        std::clamp((kLumaBase[kZigzag[i]] * scale + 50) / 100, 1, 255));
+    chroma[i] = static_cast<std::uint16_t>(
+        std::clamp((kChromaBase[kZigzag[i]] * scale + 50) / 100, 1, 255));
+  }
+}
+
+const QuantTables& quant_tables_for(int quality) {
+  if (quality < 1 || quality > 100)
+    throw std::invalid_argument("jpeg: quality must be 1..100");
+  // All 100 entries cost ~50KB built once; per-encode table rebuilds (the
+  // old per-call build_quant_tables pattern) disappear entirely.
+  static const auto* cache = [] {
+    auto* c = new std::array<QuantTables, 100>();
+    for (int q = 1; q <= 100; ++q) {
+      QuantTables& t = (*c)[static_cast<std::size_t>(q - 1)];
+      build_quant_tables(q, t.luma_zz, t.chroma_zz);
+      for (int i = 0; i < 64; ++i) {
+        t.luma_nat[kZigzag[i]] = static_cast<float>(t.luma_zz[i]);
+        t.chroma_nat[kZigzag[i]] = static_cast<float>(t.chroma_zz[i]);
+      }
+    }
+    return c;
+  }();
+  return (*cache)[static_cast<std::size_t>(quality - 1)];
+}
+
+std::vector<std::array<int, 64>> quantize_plane(const Plane& plane,
+                                                const std::uint16_t quant[64]) {
+  const int bw = (plane.w + 7) / 8, bh = (plane.h + 7) / 8;
+  std::vector<std::array<int, 64>> blocks;
+  blocks.reserve(static_cast<std::size_t>(bw) * bh);
+  double raw[64], freq[64];
+  for (int by = 0; by < bh; ++by)
+    for (int bx = 0; bx < bw; ++bx) {
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          raw[y * 8 + x] = plane.at(bx * 8 + x, by * 8 + y);
+      fdct8x8_ref(raw, freq);
+      std::array<int, 64> zz;
+      for (int i = 0; i < 64; ++i) {
+        const double q = freq[kZigzag[i]] / quant[i];
+        zz[static_cast<std::size_t>(i)] =
+            static_cast<int>(q >= 0 ? q + 0.5 : q - 0.5);
+      }
+      blocks.push_back(zz);
+    }
+  return blocks;
+}
+
+std::vector<std::array<int, 64>> quantize_plane_fast(
+    const Plane& plane, const float quant_nat[64]) {
+  const int bw = (plane.w + 7) / 8, bh = (plane.h + 7) / 8;
+  std::vector<std::array<int, 64>> blocks(static_cast<std::size_t>(bw) * bh);
+  if (blocks.empty()) return blocks;
+  TilePool::global().run(static_cast<std::size_t>(bh), [&](std::size_t by) {
+    quantize_block_rows(plane, quant_nat, static_cast<int>(by),
+                        static_cast<int>(by) + 1, blocks.data());
+  });
+  return blocks;
+}
+
+Plane dequantize_plane(const std::vector<std::array<int, 64>>& blocks, int w,
+                       int h, const std::uint16_t quant[64]) {
+  Plane plane;
+  plane.w = w;
+  plane.h = h;
+  plane.data.assign(static_cast<std::size_t>(w) * h, 0.0f);
+  const int bw = (w + 7) / 8;
+  double freq[64], raw[64];
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const int bx = static_cast<int>(b) % bw;
+    const int by = static_cast<int>(b) / bw;
+    std::fill(std::begin(freq), std::end(freq), 0.0);
+    for (int i = 0; i < 64; ++i)
+      freq[kZigzag[i]] =
+          static_cast<double>(blocks[b][static_cast<std::size_t>(i)]) * quant[i];
+    idct8x8(freq, raw);
+    for (int y = 0; y < 8; ++y) {
+      const int py = by * 8 + y;
+      if (py >= h) continue;
+      for (int x = 0; x < 8; ++x) {
+        const int px = bx * 8 + x;
+        if (px >= w) continue;
+        plane.data[static_cast<std::size_t>(py) * w + px] =
+            static_cast<float>(raw[y * 8 + x]);
+      }
+    }
+  }
+  return plane;
+}
+
+namespace {
+
+/// Ensure the stream has a leading ac_start sentinel before the first block.
+inline void seed_stream(SymbolStream& s) {
+  if (s.ac_start.empty()) s.ac_start.push_back(0);
+}
+
+/// Tokenize one zigzag-ordered coefficient block into `s`, threading the
+/// plane's DC predictor.
+void append_block_tokens_zz(const int* zz, int& prev_dc, SymbolStream& s) {
+  const int diff = zz[0] - prev_dc;
+  prev_dc = zz[0];
+  const int dsize = category(diff);
+  s.dc.push_back({dsize, magnitude_bits(diff, dsize)});
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    const int v = zz[i];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      s.ac.push_back({0xF0, 0, 0});
+      run -= 16;
+    }
+    const int size = category(v);
+    s.ac.push_back({run * 16 + size, size, magnitude_bits(v, size)});
+    run = 0;
+  }
+  if (run > 0) s.ac.push_back({0x00, 0, 0});  // EOB
+  s.ac_start.push_back(static_cast<std::uint32_t>(s.ac.size()));
+}
+
+}  // namespace
+
+SymbolStream tokenize(const std::vector<std::array<int, 64>>& blocks) {
+  SymbolStream s;
+  s.dc.reserve(blocks.size());
+  s.ac.reserve(blocks.size() * 4);
+  s.ac_start.reserve(blocks.size() + 1);
+  seed_stream(s);
+  int prev_dc = 0;
+  for (const auto& zz : blocks) append_block_tokens_zz(zz.data(), prev_dc, s);
+  return s;
+}
+
+void accumulate_frequencies(const SymbolStream& stream,
+                            std::vector<std::uint64_t>& dc_freq,
+                            std::vector<std::uint64_t>& ac_freq) {
+  dc_freq.resize(16, 0);
+  ac_freq.resize(256, 0);
+  for (const auto& d : stream.dc) ++dc_freq[static_cast<std::size_t>(d.size)];
+  for (const auto& a : stream.ac) ++ac_freq[static_cast<std::size_t>(a.symbol)];
+}
+
+void emit_stream(util::BitWriter& bits, const SymbolStream& stream,
+                 const HuffmanCode& dc, const HuffmanCode& ac) {
+  for (std::size_t b = 0; b < stream.dc.size(); ++b) {
+    const auto& d = stream.dc[b];
+    dc.encode(bits, d.size);
+    if (d.size > 0) bits.bits(d.bits, d.size);
+    for (std::uint32_t i = stream.ac_start[b]; i < stream.ac_start[b + 1];
+         ++i) {
+      const auto& a = stream.ac[i];
+      ac.encode(bits, a.symbol);
+      if (a.size > 0) bits.bits(a.bits, a.size);
+    }
+  }
+}
+
+namespace {
+
+/// Tokenize one NATURAL-order quantized block (the simd::quantize64 output)
+/// without materializing the zigzag array: a nonzero bitmask bounds the
+/// zigzag scan at the last nonzero coefficient, so smooth blocks cost a
+/// handful of iterations instead of 63. Token-for-token identical to
+/// append_block_tokens_zz on the zigzag-scattered copy.
+void append_block_tokens_nat(const std::int32_t q[64], int& prev_dc,
+                             SymbolStream& s) {
+  const int diff = q[0] - prev_dc;
+  prev_dc = q[0];
+  const int dsize = category(diff);
+  s.dc.push_back({dsize, magnitude_bits(diff, dsize)});
+
+  int last = 0;  // highest zigzag position holding a nonzero AC
+  for (std::uint64_t m = util::simd::nonzero_mask64(q) & ~std::uint64_t{1};
+       m != 0; m &= m - 1)
+    last = std::max(last,
+                    kZigzagPos[static_cast<std::size_t>(__builtin_ctzll(m))]);
+  int run = 0;
+  for (int i = 1; i <= last; ++i) {
+    const int v = q[kZigzag[i]];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      s.ac.push_back({0xF0, 0, 0});
+      run -= 16;
+    }
+    const int size = category(v);
+    s.ac.push_back({run * 16 + size, size, magnitude_bits(v, size)});
+    run = 0;
+  }
+  if (last < 63) s.ac.push_back({0x00, 0, 0});  // EOB
+  s.ac_start.push_back(static_cast<std::uint32_t>(s.ac.size()));
+}
+
+}  // namespace
+
+void transform_append(const Plane& plane, const float quant_nat[64],
+                      int& prev_dc, SymbolStream& s) {
+  const int bw = (plane.w + 7) / 8, bh = (plane.h + 7) / 8;
+  s.dc.reserve(s.dc.size() + static_cast<std::size_t>(bw) * bh);
+  s.ac_start.reserve(s.ac_start.size() + static_cast<std::size_t>(bw) * bh);
+  seed_stream(s);
+  float raw[64], freq[64];
+  std::int32_t q[64];
+  for (int by = 0; by < bh; ++by)
+    for (int bx = 0; bx < bw; ++bx) {
+      extract_block(plane, bx, by, raw);
+      util::simd::fdct8x8(raw, freq);
+      util::simd::quantize64(freq, quant_nat, q);
+      append_block_tokens_nat(q, prev_dc, s);
+    }
+}
+
+std::vector<std::array<int, 64>> decode_blocks(util::BitReader& bits,
+                                               std::size_t count,
+                                               const HuffmanCode& dc,
+                                               const HuffmanCode& ac) {
+  std::vector<std::array<int, 64>> blocks(count);
+  int prev_dc = 0;
+  for (auto& zz : blocks) {
+    zz.fill(0);
+    const int dsize = dc.decode(bits);
+    const int diff = dsize > 0 ? magnitude_value(bits.bits(dsize), dsize) : 0;
+    prev_dc += diff;
+    zz[0] = prev_dc;
+    int i = 1;
+    while (i < 64) {
+      const int sym = ac.decode(bits);
+      if (sym == 0x00) break;  // EOB
+      if (sym == 0xF0) {       // ZRL
+        i += 16;
+        continue;
+      }
+      const int run = sym >> 4;
+      const int size = sym & 0xF;
+      i += run;
+      if (i >= 64) throw std::runtime_error("jpeg: AC index overflow");
+      zz[static_cast<std::size_t>(i)] = magnitude_value(bits.bits(size), size);
+      ++i;
+    }
+  }
+  return blocks;
+}
+
+}  // namespace detail
+
+// ----------------------------------------------------------- JpegCodec ----
+
+using detail::Plane;
+using detail::Planes;
+using detail::SymbolStream;
+
+namespace {
+
+struct StripLayout {
+  int y0, h;
+};
+
+/// Split `h` rows into up to `strips` spans, every boundary a multiple of
+/// kStripAlign. The layout is a pure function of (h, strips).
+std::vector<StripLayout> strip_layout(int h, int strips) {
+  const int groups = (h + kStripAlign - 1) / kStripAlign;
+  if (groups <= 0) return {{0, 0}};
+  const int n = std::clamp(strips, 1, groups);
+  std::vector<StripLayout> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const int base = groups / n, extra = groups % n;
+  int y = 0;
+  for (int i = 0; i < n; ++i) {
+    const int g = base + (i < extra ? 1 : 0);
+    const int y1 = std::min(h, y + g * kStripAlign);
+    out.push_back({y, y1 - y});
+    y = y1;
+  }
+  return out;
+}
+
+/// Strip-local chroma height matching the encoder's convert_rows output.
+int chroma_rows(int luma_rows, bool subsample) {
+  return subsample ? (luma_rows + 1) / 2 : luma_rows;
+}
+
+/// One strip's pass-1 products and pass-2 payload.
+struct StripJob {
+  int y0 = 0, h = 0;
+  SymbolStream streams[3];
+  std::vector<std::uint64_t> dc_freq, ac_freq;
+  util::Bytes payload;
+};
+
+util::Bytes assemble_container(int w, int h, int quality, bool subsample,
+                               const detail::QuantTables& qt,
+                               const HuffmanCode& dc_code,
+                               const HuffmanCode& ac_code,
+                               const std::vector<StripJob>& jobs,
+                               util::BufferPool* pool) {
+  util::ByteWriter head(640);
+  head.u32(kMagic);
+  head.u32(static_cast<std::uint32_t>(w));
+  head.u32(static_cast<std::uint32_t>(h));
+  head.u8(static_cast<std::uint8_t>(quality));
+  head.u8(subsample ? 1 : 0);
+  for (int i = 0; i < 64; ++i) head.u16(qt.luma_zz[i]);
+  for (int i = 0; i < 64; ++i) head.u16(qt.chroma_zz[i]);
+  dc_code.write_lengths(head);
+  ac_code.write_lengths(head);
+  head.u32(static_cast<std::uint32_t>(jobs.size()));
+  const util::Bytes head_bytes = head.take();
+
+  std::size_t total = head_bytes.size();
+  for (const StripJob& j : jobs)
+    total += 8 + util::varint_size(j.payload.size()) + j.payload.size();
+
+  util::Bytes backing;
+  if (pool)
+    backing = pool->acquire(total);
+  else
+    backing.reserve(total);
+  util::ByteWriter out(std::move(backing));
+  out.raw(head_bytes);
+  for (const StripJob& j : jobs) {
+    out.u32(static_cast<std::uint32_t>(j.y0));
+    out.u32(static_cast<std::uint32_t>(j.h));
+    out.varint(j.payload.size());
+    out.raw(j.payload);
+  }
+  return out.take();
+}
+
+}  // namespace
+
+JpegCodec::JpegCodec(int quality, bool subsample_chroma, int strips)
+    : quality_(quality),
+      subsample_(subsample_chroma),
+      strips_(strips),
+      tables_(&detail::quant_tables_for(quality)) {
+  if (strips < 0) throw std::invalid_argument("JpegCodec: negative strips");
+}
+
+util::Bytes JpegCodec::encode_impl(const render::Image& image,
+                                   util::BufferPool* pool) const {
+  TilePool& tiles = TilePool::global();
+  const int want = strips_ > 0 ? strips_ : tiles.workers();
+  const std::vector<StripLayout> layout = strip_layout(image.height(), want);
+
+  std::vector<StripJob> jobs(layout.size());
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    jobs[i].y0 = layout[i].y0;
+    jobs[i].h = layout[i].h;
+  }
+
+  const float* quants[3] = {tables_->luma_nat, tables_->chroma_nat,
+                            tables_->chroma_nat};
+
+  // Pass 1 (parallel per strip): stream 16-row groups through
+  // convert -> DCT -> quantize -> tokenize so every intermediate stays
+  // cache-resident — no full-strip planes, no materialized coefficient
+  // arrays. Group boundaries are block-aligned (16 luma = 2 block rows,
+  // 8 chroma = 1), so the token sequence is identical to a whole-strip
+  // transform; the DC predictors thread across groups per plane.
+  tiles.run(jobs.size(), [&](std::size_t s) {
+    StripJob& j = jobs[s];
+    detail::Planes p;
+    std::vector<float> cb_tmp, cr_tmp;
+    int prev_dc[3] = {0, 0, 0};
+    for (int r0 = 0; r0 < j.h; r0 += kStripAlign) {
+      const int rows = std::min(kStripAlign, j.h - r0);
+      detail::convert_rows_into(image, subsample_, j.y0 + r0, rows, p, cb_tmp,
+                                cr_tmp);
+      const Plane* planes[3] = {&p.y, &p.cb, &p.cr};
+      for (int c = 0; c < 3; ++c)
+        detail::transform_append(*planes[c], quants[c], prev_dc[c],
+                                 j.streams[c]);
+    }
+    for (int c = 0; c < 3; ++c)
+      detail::accumulate_frequencies(j.streams[c], j.dc_freq, j.ac_freq);
+  });
+
+  // Merge statistics in strip order so the tables cover the whole frame and
+  // are independent of the execution schedule.
+  std::vector<std::uint64_t> dc_freq(16, 0), ac_freq(256, 0);
+  for (const StripJob& j : jobs) {
+    for (std::size_t i = 0; i < dc_freq.size(); ++i) dc_freq[i] += j.dc_freq[i];
+    for (std::size_t i = 0; i < ac_freq.size(); ++i) ac_freq[i] += j.ac_freq[i];
+  }
+  const HuffmanCode dc_code = HuffmanCode::from_frequencies(dc_freq);
+  const HuffmanCode ac_code = HuffmanCode::from_frequencies(ac_freq);
+
+  // Pass 2 (parallel per strip): entropy-code each strip's tokens with the
+  // shared tables into its own byte-aligned payload.
+  tiles.run(jobs.size(), [&](std::size_t s) {
+    util::BitWriter bits;
+    for (const auto& stream : jobs[s].streams)
+      detail::emit_stream(bits, stream, dc_code, ac_code);
+    jobs[s].payload = bits.finish();
+  });
+
+  // Single stitch pass: sizes are exact, so the output (pooled or not) is
+  // written once with no reallocation.
+  return assemble_container(image.width(), image.height(), quality_,
+                            subsample_, *tables_, dc_code, ac_code, jobs,
+                            pool);
+}
+
+util::Bytes JpegCodec::encode(const render::Image& image) const {
+  return encode_impl(image, nullptr);
+}
+
+util::SharedBytes JpegCodec::encode_shared(const render::Image& image,
+                                           util::BufferPool& pool) const {
+  return util::SharedBytes::adopt_pooled(encode_impl(image, &pool), pool);
+}
+
+namespace {
+
+/// Legacy double-precision RGB->YCbCr, kept verbatim as the reference
+/// encoder's conversion stage.
+Planes to_planes_reference(const render::Image& img, bool subsample) {
   Planes p;
   p.y.w = img.width();
   p.y.h = img.height();
@@ -161,253 +753,104 @@ Planes to_planes(const render::Image& img, bool subsample) {
   return p;
 }
 
-render::Image from_planes(const Planes& p, bool subsample) {
-  render::Image img(p.y.w, p.y.h);
-  for (int yy = 0; yy < p.y.h; ++yy)
-    for (int xx = 0; xx < p.y.w; ++xx) {
-      const double lum = p.y.at(xx, yy) + 128.0;
-      const int cx = subsample ? xx / 2 : xx;
-      const int cy = subsample ? yy / 2 : yy;
-      const double cb = p.cb.at(cx, cy);
-      const double cr = p.cr.at(cx, cy);
-      const auto q = [](double v) {
-        return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
-      };
-      img.set(xx, yy, q(lum + 1.402 * cr),
-              q(lum - 0.344136 * cb - 0.714136 * cr), q(lum + 1.772 * cb),
-              255);
-    }
-  return img;
-}
+}  // namespace
 
-void build_quant_tables(int quality, std::uint16_t luma[64],
-                        std::uint16_t chroma[64]) {
-  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
-  for (int i = 0; i < 64; ++i) {
-    luma[i] = static_cast<std::uint16_t>(
-        std::clamp((kLumaBase[kZigzag[i]] * scale + 50) / 100, 1, 255));
-    chroma[i] = static_cast<std::uint16_t>(
-        std::clamp((kChromaBase[kZigzag[i]] * scale + 50) / 100, 1, 255));
-  }
-}
-
-std::vector<std::array<int, 64>> quantize_plane(const Plane& plane,
-                                                const std::uint16_t quant[64]) {
-  const int bw = (plane.w + 7) / 8, bh = (plane.h + 7) / 8;
-  std::vector<std::array<int, 64>> blocks;
-  blocks.reserve(static_cast<std::size_t>(bw) * bh);
-  double raw[64], freq[64];
-  for (int by = 0; by < bh; ++by)
-    for (int bx = 0; bx < bw; ++bx) {
-      for (int y = 0; y < 8; ++y)
-        for (int x = 0; x < 8; ++x)
-          raw[y * 8 + x] = plane.at(bx * 8 + x, by * 8 + y);
-      fdct8x8(raw, freq);
-      std::array<int, 64> zz;
-      for (int i = 0; i < 64; ++i) {
-        const double q = freq[kZigzag[i]] / quant[i];
-        zz[static_cast<std::size_t>(i)] =
-            static_cast<int>(q >= 0 ? q + 0.5 : q - 0.5);
-      }
-      blocks.push_back(zz);
-    }
-  return blocks;
-}
-
-Plane dequantize_plane(const std::vector<std::array<int, 64>>& blocks, int w,
-                       int h, const std::uint16_t quant[64]) {
-  Plane plane;
-  plane.w = w;
-  plane.h = h;
-  plane.data.assign(static_cast<std::size_t>(w) * h, 0.0f);
-  const int bw = (w + 7) / 8;
-  double freq[64], raw[64];
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    const int bx = static_cast<int>(b) % bw;
-    const int by = static_cast<int>(b) / bw;
-    std::fill(std::begin(freq), std::end(freq), 0.0);
-    for (int i = 0; i < 64; ++i)
-      freq[kZigzag[i]] =
-          static_cast<double>(blocks[b][static_cast<std::size_t>(i)]) * quant[i];
-    idct8x8(freq, raw);
-    for (int y = 0; y < 8; ++y) {
-      const int py = by * 8 + y;
-      if (py >= h) continue;
-      for (int x = 0; x < 8; ++x) {
-        const int px = bx * 8 + x;
-        if (px >= w) continue;
-        plane.data[static_cast<std::size_t>(py) * w + px] =
-            static_cast<float>(raw[y * 8 + x]);
-      }
-    }
-  }
-  return plane;
-}
-
-SymbolStream tokenize(const std::vector<std::array<int, 64>>& blocks) {
-  SymbolStream s;
-  s.dc.reserve(blocks.size());
-  s.ac.reserve(blocks.size());
-  int prev_dc = 0;
-  for (const auto& zz : blocks) {
-    const int diff = zz[0] - prev_dc;
-    prev_dc = zz[0];
-    const int dsize = category(diff);
-    s.dc.push_back({dsize, magnitude_bits(diff, dsize)});
-
-    std::vector<SymbolStream::AcSym> ac;
-    int run = 0;
-    for (int i = 1; i < 64; ++i) {
-      const int v = zz[static_cast<std::size_t>(i)];
-      if (v == 0) {
-        ++run;
-        continue;
-      }
-      while (run >= 16) {
-        ac.push_back({0xF0, 0, 0});
-        run -= 16;
-      }
-      const int size = category(v);
-      ac.push_back({run * 16 + size, size, magnitude_bits(v, size)});
-      run = 0;
-    }
-    if (run > 0) ac.push_back({0x00, 0, 0});  // EOB
-    s.ac.push_back(std::move(ac));
-  }
-  return s;
-}
-
-void accumulate_frequencies(const SymbolStream& stream,
-                            std::vector<std::uint64_t>& dc_freq,
-                            std::vector<std::uint64_t>& ac_freq) {
-  dc_freq.resize(16, 0);
-  ac_freq.resize(256, 0);
-  for (const auto& d : stream.dc) ++dc_freq[static_cast<std::size_t>(d.size)];
-  for (const auto& per_block : stream.ac)
-    for (const auto& a : per_block) ++ac_freq[static_cast<std::size_t>(a.symbol)];
-}
-
-void emit_stream(util::BitWriter& bits, const SymbolStream& stream,
-                 const HuffmanCode& dc, const HuffmanCode& ac) {
-  for (std::size_t b = 0; b < stream.dc.size(); ++b) {
-    const auto& d = stream.dc[b];
-    dc.encode(bits, d.size);
-    if (d.size > 0) bits.bits(d.bits, d.size);
-    for (const auto& a : stream.ac[b]) {
-      ac.encode(bits, a.symbol);
-      if (a.size > 0) bits.bits(a.bits, a.size);
-    }
-  }
-}
-
-std::vector<std::array<int, 64>> decode_blocks(util::BitReader& bits,
-                                               std::size_t count,
-                                               const HuffmanCode& dc,
-                                               const HuffmanCode& ac) {
-  std::vector<std::array<int, 64>> blocks(count);
-  int prev_dc = 0;
-  for (auto& zz : blocks) {
-    zz.fill(0);
-    const int dsize = dc.decode(bits);
-    const int diff = dsize > 0 ? magnitude_value(bits.bits(dsize), dsize) : 0;
-    prev_dc += diff;
-    zz[0] = prev_dc;
-    int i = 1;
-    while (i < 64) {
-      const int sym = ac.decode(bits);
-      if (sym == 0x00) break;  // EOB
-      if (sym == 0xF0) {       // ZRL
-        i += 16;
-        continue;
-      }
-      const int run = sym >> 4;
-      const int size = sym & 0xF;
-      i += run;
-      if (i >= 64) throw std::runtime_error("jpeg: AC index overflow");
-      zz[static_cast<std::size_t>(i)] = magnitude_value(bits.bits(size), size);
-      ++i;
-    }
-  }
-  return blocks;
-}
-
-}  // namespace detail
-
-// ----------------------------------------------------------- JpegCodec ----
-
-using detail::Plane;
-using detail::Planes;
-using detail::SymbolStream;
-
-JpegCodec::JpegCodec(int quality, bool subsample_chroma)
-    : quality_(quality), subsample_(subsample_chroma) {
-  if (quality < 1 || quality > 100)
-    throw std::invalid_argument("JpegCodec: quality must be 1..100");
-  detail::build_quant_tables(quality, luma_quant_, chroma_quant_);
-}
-
-util::Bytes JpegCodec::encode(const render::Image& image) const {
-  const Planes planes = detail::to_planes(image, subsample_);
+util::Bytes JpegCodec::encode_reference(const render::Image& image) const {
+  const Planes planes = to_planes_reference(image, subsample_);
   const Plane* plane_ptrs[3] = {&planes.y, &planes.cb, &planes.cr};
-  const std::uint16_t* quants[3] = {luma_quant_, chroma_quant_, chroma_quant_};
+  const std::uint16_t* quants[3] = {tables_->luma_zz, tables_->chroma_zz,
+                                    tables_->chroma_zz};
 
-  // Pass 1: quantize + tokenize, gathering Huffman statistics.
-  SymbolStream streams[3];
+  std::vector<StripJob> jobs(1);
+  jobs[0].y0 = 0;
+  jobs[0].h = image.height();
   std::vector<std::uint64_t> dc_freq, ac_freq;
   for (int c = 0; c < 3; ++c) {
     const auto blocks = detail::quantize_plane(*plane_ptrs[c], quants[c]);
-    streams[c] = detail::tokenize(blocks);
-    detail::accumulate_frequencies(streams[c], dc_freq, ac_freq);
+    jobs[0].streams[c] = detail::tokenize(blocks);
+    detail::accumulate_frequencies(jobs[0].streams[c], dc_freq, ac_freq);
   }
   const HuffmanCode dc_code = HuffmanCode::from_frequencies(dc_freq);
   const HuffmanCode ac_code = HuffmanCode::from_frequencies(ac_freq);
 
-  // Pass 2: emit.
   util::BitWriter bits;
-  for (const auto& stream : streams)
+  for (const auto& stream : jobs[0].streams)
     detail::emit_stream(bits, stream, dc_code, ac_code);
-  const util::Bytes payload = bits.finish();
+  jobs[0].payload = bits.finish();
 
-  util::ByteWriter out(payload.size() + 256);
-  out.u32(kMagic);
-  out.u32(static_cast<std::uint32_t>(image.width()));
-  out.u32(static_cast<std::uint32_t>(image.height()));
-  out.u8(static_cast<std::uint8_t>(quality_));
-  out.u8(subsample_ ? 1 : 0);
-  for (int i = 0; i < 64; ++i) out.u16(luma_quant_[i]);
-  for (int i = 0; i < 64; ++i) out.u16(chroma_quant_[i]);
-  dc_code.write_lengths(out);
-  ac_code.write_lengths(out);
-  out.varint(payload.size());
-  out.raw(payload);
-  return out.take();
+  return assemble_container(image.width(), image.height(), quality_,
+                            subsample_, *tables_, dc_code, ac_code, jobs,
+                            nullptr);
 }
 
 namespace {
-/// Entropy-decoded stream: quantized zigzag blocks of every plane plus the
-/// header metadata, shared by full and fast reconstruction.
+
+/// Parsed strip-framed container: header metadata plus per-strip payload
+/// views into the caller's buffer.
 struct ParsedStream {
+  ParsedStream(HuffmanCode dc, HuffmanCode ac)
+      : dc_code(std::move(dc)), ac_code(std::move(ac)) {}
+
   int w = 0, h = 0;
   bool subsample = false;
   std::uint16_t luma_q[64], chroma_q[64];
-  std::vector<std::array<int, 64>> blocks[3];
+  HuffmanCode dc_code, ac_code;
+  struct Strip {
+    int y0, h;
+    std::span<const std::uint8_t> payload;
+  };
+  std::vector<Strip> strips;
   int plane_w[3], plane_h[3];
 };
 
 ParsedStream parse_stream(std::span<const std::uint8_t> data) {
-  ParsedStream s;
   util::ByteReader in(data);
   if (in.u32() != kMagic) throw std::runtime_error("jpeg: bad magic");
-  s.w = static_cast<int>(in.u32());
-  s.h = static_cast<int>(in.u32());
+  const int w = static_cast<int>(in.u32());
+  const int h = static_cast<int>(in.u32());
+  // The decoder allocates full planes before reading a single coefficient,
+  // so dimensions must be sane first — corrupted headers would otherwise
+  // drive multi-terabyte zero-fills instead of a clean throw.
+  if (w < 0 || h < 0 || w > (1 << 16) || h > (1 << 16) ||
+      static_cast<std::int64_t>(w) * h > (std::int64_t{1} << 26))
+    throw std::runtime_error("jpeg: implausible dimensions");
   (void)in.u8();  // quality (informational; tables are explicit)
-  s.subsample = in.u8() != 0;
-  for (auto& q : s.luma_q) q = in.u16();
-  for (auto& q : s.chroma_q) q = in.u16();
-  const HuffmanCode dc_code = HuffmanCode::read_lengths(in);
-  const HuffmanCode ac_code = HuffmanCode::read_lengths(in);
-  const std::size_t payload_len = in.varint();
-  util::BitReader bits(in.raw(payload_len));
+  const bool subsample = in.u8() != 0;
+  std::uint16_t luma_q[64], chroma_q[64];
+  for (auto& q : luma_q) q = in.u16();
+  for (auto& q : chroma_q) q = in.u16();
+  HuffmanCode dc_code = HuffmanCode::read_lengths(in);
+  HuffmanCode ac_code = HuffmanCode::read_lengths(in);
+  ParsedStream s(std::move(dc_code), std::move(ac_code));
+  s.w = w;
+  s.h = h;
+  s.subsample = subsample;
+  std::copy(std::begin(luma_q), std::end(luma_q), std::begin(s.luma_q));
+  std::copy(std::begin(chroma_q), std::end(chroma_q), std::begin(s.chroma_q));
+
+  const std::uint32_t strip_count = in.u32();
+  const int max_strips =
+      s.h <= 0 ? 1 : (s.h + kStripAlign - 1) / kStripAlign;
+  if (strip_count == 0 || strip_count > static_cast<std::uint32_t>(max_strips))
+    throw std::runtime_error("jpeg: implausible strip count");
+
+  int next_y = 0;
+  s.strips.reserve(strip_count);
+  for (std::uint32_t i = 0; i < strip_count; ++i) {
+    ParsedStream::Strip strip;
+    strip.y0 = static_cast<int>(in.u32());
+    strip.h = static_cast<int>(in.u32());
+    const std::size_t payload_len = in.varint();
+    strip.payload = in.raw(payload_len);
+    if (strip.y0 != next_y || strip.h < 0 || strip.y0 + strip.h > s.h ||
+        (strip.h == 0 && s.h != 0))
+      throw std::runtime_error("jpeg: bad strip layout");
+    if (i + 1 < strip_count && strip.h % kStripAlign != 0)
+      throw std::runtime_error("jpeg: unaligned interior strip");
+    next_y += strip.h;
+    s.strips.push_back(strip);
+  }
+  if (next_y != s.h) throw std::runtime_error("jpeg: strip layout short");
 
   const int cw = s.subsample ? (s.w + 1) / 2 : s.w;
   const int ch = s.subsample ? (s.h + 1) / 2 : s.h;
@@ -415,12 +858,65 @@ ParsedStream parse_stream(std::span<const std::uint8_t> data) {
   s.plane_h[0] = s.h;
   s.plane_w[1] = s.plane_w[2] = cw;
   s.plane_h[1] = s.plane_h[2] = ch;
-
-  for (int c = 0; c < 3; ++c)
-    s.blocks[c] = detail::decode_blocks(
-        bits, detail::block_count(s.plane_w[c], s.plane_h[c]), dc_code,
-        ac_code);
   return s;
+}
+
+Plane dequantize_plane_scaled(const std::vector<std::array<int, 64>>& blocks,
+                              int w, int h, const std::uint16_t quant[64],
+                              int scale);
+
+/// Entropy-decode and dequantize one strip into the full-frame planes
+/// (disjoint row spans per strip, so strips decode in parallel).
+template <typename Dequant>
+void decode_strip_into(const ParsedStream& s, const ParsedStream::Strip& strip,
+                       Plane* outs[3], const std::uint16_t* quants[3],
+                       int scale, const Dequant& dequant) {
+  util::BitReader bits(strip.payload);
+  for (int c = 0; c < 3; ++c) {
+    const int pw = s.plane_w[c];
+    const int rows = c == 0 ? strip.h : chroma_rows(strip.h, s.subsample);
+    const int row0 = c == 0 ? strip.y0
+                            : (s.subsample ? strip.y0 / 2 : strip.y0);
+    const auto blocks = detail::decode_blocks(
+        bits, detail::block_count(pw, rows), s.dc_code, s.ac_code);
+    const Plane sp = dequant(blocks, pw, rows, quants[c]);
+    // sp covers this strip's rows at 1/scale resolution; splice them in.
+    const int dst_row0 = row0 / scale;
+    for (int r = 0; r < sp.h; ++r)
+      std::copy(sp.data.begin() + static_cast<std::ptrdiff_t>(r) * sp.w,
+                sp.data.begin() + static_cast<std::ptrdiff_t>(r + 1) * sp.w,
+                outs[c]->data.begin() +
+                    static_cast<std::ptrdiff_t>(dst_row0 + r) * sp.w);
+  }
+}
+
+render::Image decode_common(std::span<const std::uint8_t> data, int scale) {
+  const ParsedStream s = parse_stream(data);
+  const std::uint16_t* quants[3] = {s.luma_q, s.chroma_q, s.chroma_q};
+  Planes planes;
+  Plane* outs[3] = {&planes.y, &planes.cb, &planes.cr};
+  for (int c = 0; c < 3; ++c) {
+    outs[c]->w = (s.plane_w[c] + scale - 1) / scale;
+    outs[c]->h = (s.plane_h[c] + scale - 1) / scale;
+    outs[c]->data.assign(
+        static_cast<std::size_t>(outs[c]->w) * outs[c]->h, 0.0f);
+  }
+  TilePool::global().run(s.strips.size(), [&](std::size_t i) {
+    if (scale == 1)
+      decode_strip_into(s, s.strips[i], outs, quants, 1,
+                        [](const auto& blocks, int w, int h,
+                           const std::uint16_t* q) {
+                          return detail::dequantize_plane(blocks, w, h, q);
+                        });
+    else
+      decode_strip_into(s, s.strips[i], outs, quants, scale,
+                        [scale](const auto& blocks, int w, int h,
+                                const std::uint16_t* q) {
+                          return dequantize_plane_scaled(blocks, w, h, q,
+                                                         scale);
+                        });
+  });
+  return detail::from_planes(planes, s.subsample);
 }
 
 /// Orthonormal m-point DCT basis for the reduced-resolution inverse.
@@ -492,14 +988,7 @@ Plane dequantize_plane_scaled(const std::vector<std::array<int, 64>>& blocks,
 }  // namespace
 
 render::Image JpegCodec::decode(std::span<const std::uint8_t> data) const {
-  ParsedStream s = parse_stream(data);
-  const std::uint16_t* quants[3] = {s.luma_q, s.chroma_q, s.chroma_q};
-  Planes planes;
-  Plane* outs[3] = {&planes.y, &planes.cb, &planes.cr};
-  for (int c = 0; c < 3; ++c)
-    *outs[c] = detail::dequantize_plane(s.blocks[c], s.plane_w[c],
-                                        s.plane_h[c], quants[c]);
-  return detail::from_planes(planes, s.subsample);
+  return decode_common(data, 1);
 }
 
 render::Image JpegCodec::decode_fast(std::span<const std::uint8_t> data,
@@ -507,14 +996,7 @@ render::Image JpegCodec::decode_fast(std::span<const std::uint8_t> data,
   if (scale == 1) return decode(data);
   if (scale != 2 && scale != 4 && scale != 8)
     throw std::invalid_argument("jpeg: decode_fast scale must be 1/2/4/8");
-  ParsedStream s = parse_stream(data);
-  const std::uint16_t* quants[3] = {s.luma_q, s.chroma_q, s.chroma_q};
-  Planes planes;
-  Plane* outs[3] = {&planes.y, &planes.cb, &planes.cr};
-  for (int c = 0; c < 3; ++c)
-    *outs[c] = dequantize_plane_scaled(s.blocks[c], s.plane_w[c],
-                                       s.plane_h[c], quants[c], scale);
-  return detail::from_planes(planes, s.subsample);
+  return decode_common(data, scale);
 }
 
 }  // namespace tvviz::codec

@@ -34,16 +34,41 @@ render::Image from_planes(const Planes& planes, bool subsample);
 void build_quant_tables(int quality, std::uint16_t luma[64],
                         std::uint16_t chroma[64]);
 
+/// Quality-scaled quantization tables in both layouts the engine needs:
+/// zigzag u16 (the wire format) and natural-order float (the SIMD kernel's
+/// divisors). Built once per quality and cached — quantize loops must never
+/// rebuild tables per call.
+struct QuantTables {
+  std::uint16_t luma_zz[64];
+  std::uint16_t chroma_zz[64];
+  float luma_nat[64];
+  float chroma_nat[64];
+};
+
+/// Cached per-quality tables (quality 1..100; throws otherwise).
+const QuantTables& quant_tables_for(int quality);
+
 /// Forward path: 8x8 DCT + quantization -> zigzag coefficient blocks.
+/// Double-precision matrix-DCT reference implementation — the committed
+/// scalar baseline the SIMD ablation measures against. New code should use
+/// quantize_plane_fast.
 std::vector<std::array<int, 64>> quantize_plane(const Plane& plane,
                                                 const std::uint16_t quant[64]);
+
+/// Forward path on the dispatched float kernels (util/simd.hpp): separable
+/// float DCT + vectorized quantize, block rows fanned out on the TilePool.
+/// `quant_nat` is QuantTables::{luma,chroma}_nat. Output decodes
+/// bit-identically under every ISA tier.
+std::vector<std::array<int, 64>> quantize_plane_fast(const Plane& plane,
+                                                     const float quant_nat[64]);
 
 /// Inverse path.
 Plane dequantize_plane(const std::vector<std::array<int, 64>>& blocks, int w,
                        int h, const std::uint16_t quant[64]);
 
 /// Entropy symbols of a plane's blocks: differential DC (size, bits) and
-/// run/size AC pairs.
+/// run/size AC pairs. AC tokens are stored flat (one allocation per plane,
+/// not per block); block b's tokens are ac[ac_start[b] .. ac_start[b+1]).
 struct SymbolStream {
   struct DcSym {
     int size;
@@ -55,7 +80,8 @@ struct SymbolStream {
     std::uint32_t bits;
   };
   std::vector<DcSym> dc;
-  std::vector<std::vector<AcSym>> ac;  ///< Per block.
+  std::vector<AcSym> ac;                ///< All blocks, concatenated.
+  std::vector<std::uint32_t> ac_start;  ///< dc.size() + 1 offsets into ac.
 };
 
 SymbolStream tokenize(const std::vector<std::array<int, 64>>& blocks);

@@ -1,7 +1,11 @@
 #include "codec/lz.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "codec/tile_pool.hpp"
+#include "util/simd.hpp"
 
 namespace tvviz::codec {
 
@@ -10,6 +14,9 @@ constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxOffset = 65535;
 constexpr int kHashBits = 16;
 constexpr std::size_t kHashSize = 1u << kHashBits;
+/// Blocks below this gain nothing from a private dictionary; auto block
+/// selection never splits finer.
+constexpr std::size_t kMinBlock = 128 * 1024;
 
 std::uint32_t hash4(const std::uint8_t* p) noexcept {
   std::uint32_t v;
@@ -54,29 +61,21 @@ void emit_match(util::Bytes& out, std::size_t length, std::size_t offset) {
   out.push_back(static_cast<std::uint8_t>(offset & 0xff));
   out.push_back(static_cast<std::uint8_t>(offset >> 8));
 }
-}  // namespace
 
-LzCodec::LzCodec(int level) : level_(level) {
-  if (level < 1 || level > 9)
-    throw std::invalid_argument("LzCodec: level must be 1..9");
-  max_chain_ = 1 << (level - 1);  // 1 .. 256 probes
-}
-
-util::Bytes LzCodec::encode(std::span<const std::uint8_t> input) const {
+/// Compress one independent block into an op stream. Matches only reach
+/// back within the block, so concatenated block streams decode as one
+/// ordinary stream (every offset lands in already-produced output).
+util::Bytes encode_block(std::span<const std::uint8_t> input, int level,
+                         int max_chain) {
   util::Bytes out;
   out.reserve(input.size() / 2 + 16);
-  {
-    util::ByteWriter header;
-    header.varint(input.size());
-    const auto h = header.take();
-    out.insert(out.end(), h.begin(), h.end());
-  }
   if (input.empty()) return out;
 
   // head[h]: most recent position with hash h; prev[i & mask]: previous
   // position in the chain for position i (window-limited).
   std::vector<std::int64_t> head(kHashSize, -1);
-  std::vector<std::int64_t> prev(std::min<std::size_t>(input.size(), kMaxOffset + 1));
+  std::vector<std::int64_t> prev(
+      std::min<std::size_t>(input.size(), kMaxOffset + 1));
   const std::size_t prev_mask = prev.size();
 
   const std::uint8_t* base = input.data();
@@ -96,13 +95,13 @@ util::Bytes LzCodec::encode(std::span<const std::uint8_t> input) const {
     std::size_t best_len = 0, best_off = 0;
     const std::uint32_t h = hash4(base + pos);
     std::int64_t cand = head[h];
-    int chain = max_chain_;
+    int chain = max_chain;
     while (cand >= 0 && chain-- > 0) {
       const std::size_t cpos = static_cast<std::size_t>(cand);
       if (pos - cpos > kMaxOffset) break;
       const std::size_t limit = n - pos;
-      std::size_t len = 0;
-      while (len < limit && base[cpos + len] == base[pos + len]) ++len;
+      const std::size_t len =
+          util::simd::match_length(base + cpos, base + pos, limit);
       if (len > best_len) {
         best_len = len;
         best_off = pos - cpos;
@@ -116,7 +115,7 @@ util::Bytes LzCodec::encode(std::span<const std::uint8_t> input) const {
       emit_match(out, best_len, best_off);
       // Index the positions the match covers (sparsely for speed at low
       // levels, densely at high levels).
-      const std::size_t stride = level_ >= 7 ? 1 : (level_ >= 4 ? 2 : 4);
+      const std::size_t stride = level >= 7 ? 1 : (level >= 4 ? 2 : 4);
       for (std::size_t p = pos; p < pos + best_len; p += stride) insert_pos(p);
       pos += best_len;
       literal_start = pos;
@@ -126,6 +125,58 @@ util::Bytes LzCodec::encode(std::span<const std::uint8_t> input) const {
     }
   }
   emit_literals(out, base + literal_start, base + n);
+  return out;
+}
+}  // namespace
+
+LzCodec::LzCodec(int level, int blocks) : level_(level), blocks_(blocks) {
+  if (level < 1 || level > 9)
+    throw std::invalid_argument("LzCodec: level must be 1..9");
+  if (blocks < 0) throw std::invalid_argument("LzCodec: negative blocks");
+  max_chain_ = 1 << (level - 1);  // 1 .. 256 probes
+}
+
+util::Bytes LzCodec::encode(std::span<const std::uint8_t> input) const {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  {
+    util::ByteWriter header;
+    header.varint(input.size());
+    const auto h = header.take();
+    out.insert(out.end(), h.begin(), h.end());
+  }
+  if (input.empty()) return out;
+
+  const std::size_t n = input.size();
+  std::size_t want = blocks_ > 0
+                         ? static_cast<std::size_t>(blocks_)
+                         : static_cast<std::size_t>(TilePool::global().workers());
+  want = std::clamp<std::size_t>(want, 1, std::max<std::size_t>(n / kMinBlock, 1));
+
+  if (want == 1) {
+    const util::Bytes ops = encode_block(input, level_, max_chain_);
+    out.insert(out.end(), ops.begin(), ops.end());
+    return out;
+  }
+
+  const std::size_t base_len = n / want, extra = n % want;
+  std::vector<util::Bytes> parts(want);
+  std::vector<std::size_t> starts(want);
+  std::size_t off = 0;
+  for (std::size_t b = 0; b < want; ++b) {
+    starts[b] = off;
+    off += base_len + (b < extra ? 1 : 0);
+  }
+  TilePool::global().run(want, [&](std::size_t b) {
+    const std::size_t end = b + 1 < want ? starts[b + 1] : n;
+    parts[b] =
+        encode_block(input.subspan(starts[b], end - starts[b]), level_,
+                     max_chain_);
+  });
+  std::size_t total = out.size();
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
   return out;
 }
 
@@ -161,6 +212,8 @@ util::Bytes LzCodec::decode(std::span<const std::uint8_t> input) const {
       if (op == 127) len += read_varint();
       if (len == 0) throw std::runtime_error("lz: zero literal run");
       if (i + len > input.size()) throw std::runtime_error("lz: truncated literals");
+      if (out.size() + len > expected)
+        throw std::runtime_error("lz: output exceeds declared size");
       out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
                  input.begin() + static_cast<std::ptrdiff_t>(i + len));
       i += len;
@@ -175,12 +228,22 @@ util::Bytes LzCodec::decode(std::span<const std::uint8_t> input) const {
       i += 2;
       if (offset == 0 || offset > out.size())
         throw std::runtime_error("lz: bad match offset");
-      // Byte-wise copy handles overlapping matches (run replication).
-      std::size_t src = out.size() - offset;
-      for (std::size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+      if (out.size() + len > expected)
+        throw std::runtime_error("lz: output exceeds declared size");
+      const std::size_t src = out.size() - offset;
+      const std::size_t dst = out.size();
+      out.resize(dst + len);
+      if (offset >= len) {
+        // Non-overlapping: one bulk copy (the common case — long matches
+        // with distant sources dominate image payloads).
+        std::memcpy(out.data() + dst, out.data() + src, len);
+      } else {
+        // Overlapping run replication must copy byte-wise, in order.
+        std::uint8_t* d = out.data() + dst;
+        const std::uint8_t* s = out.data() + src;
+        for (std::size_t k = 0; k < len; ++k) d[k] = s[k];
+      }
     }
-    if (out.size() > expected)
-      throw std::runtime_error("lz: output exceeds declared size");
   }
   if (out.size() != expected)
     throw std::runtime_error("lz: size mismatch after decode");

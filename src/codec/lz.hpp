@@ -1,5 +1,12 @@
 // LZO-style byte-oriented LZ77: moderate compression, cheap encoding, very
 // fast allocation-free decoding — the properties §4.2 selects LZO for.
+//
+// The encoder splits large inputs into independent blocks (own hash-chain
+// dictionary each, matches never reach across a boundary) compressed in
+// parallel on the shared codec::TilePool; the concatenated op streams form
+// one ordinary stream, so the decoder is block-agnostic. Match lengths are
+// measured with the util/simd.hpp kernel, which returns byte-loop-identical
+// results on every ISA tier.
 #pragma once
 
 #include "codec/byte_codec.hpp"
@@ -10,10 +17,14 @@ class LzCodec final : public ByteCodec {
  public:
   /// `level` 1..9 trades encode speed for ratio (match-chain search depth),
   /// mirroring LZO's slower-but-tighter levels. Decode speed is unaffected.
-  explicit LzCodec(int level = 5);
+  /// `blocks` pins the parallel block count; 0 = auto (one per pool worker,
+  /// capped so blocks stay >= 128 KiB — tiny inputs stay single-block).
+  /// Block splitting is a ratio/speed trade, not a format change.
+  explicit LzCodec(int level = 5, int blocks = 0);
 
   std::string name() const override { return "lzo"; }
   int level() const noexcept { return level_; }
+  int blocks() const noexcept { return blocks_; }
 
   util::Bytes encode(std::span<const std::uint8_t> input) const override;
   util::Bytes decode(std::span<const std::uint8_t> input) const override;
@@ -21,6 +32,7 @@ class LzCodec final : public ByteCodec {
  private:
   int level_;
   int max_chain_;
+  int blocks_;
 };
 
 }  // namespace tvviz::codec

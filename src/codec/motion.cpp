@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "codec/jpeg_detail.hpp"
+#include "codec/tile_pool.hpp"
+#include "util/simd.hpp"
 
 namespace tvviz::codec {
 
@@ -22,16 +24,33 @@ struct MotionVector {
 int macroblocks_along(int extent, int mb) { return (extent + mb - 1) / mb; }
 
 /// Sum of absolute differences between a cur macroblock at (x0, y0) and the
-/// reference block displaced by (dx, dy); border samples clamp.
+/// reference block displaced by (dx, dy); border samples clamp. Interior
+/// blocks take the vectorized row kernel; the clamped fallback performs the
+/// same accumulation sequence, so either path is ISA-independent.
 double block_sad(const jd::Plane& cur, const jd::Plane& ref, int x0, int y0,
                  int mb, int dx, int dy, double bail_out) {
+  const bool interior = x0 >= 0 && y0 >= 0 && x0 + mb <= cur.w &&
+                        y0 + mb <= cur.h && x0 + dx >= 0 && y0 + dy >= 0 &&
+                        x0 + mb + dx <= ref.w && y0 + mb + dy <= ref.h;
   double sad = 0.0;
+  if (interior) {
+    for (int y = 0; y < mb; ++y) {
+      sad += util::simd::sad_f32(
+          &cur.data[static_cast<std::size_t>(y0 + y) * cur.w + x0],
+          &ref.data[static_cast<std::size_t>(y0 + y + dy) * ref.w + x0 + dx],
+          static_cast<std::size_t>(mb));
+      if (sad >= bail_out) return sad;  // early exit
+    }
+    return sad;
+  }
+  std::vector<float> a(static_cast<std::size_t>(mb)),
+      b(static_cast<std::size_t>(mb));
   for (int y = 0; y < mb; ++y) {
     for (int x = 0; x < mb; ++x) {
-      const float a = cur.at(x0 + x, y0 + y);
-      const float b = ref.at(x0 + x + dx, y0 + y + dy);
-      sad += std::abs(static_cast<double>(a) - b);
+      a[static_cast<std::size_t>(x)] = cur.at(x0 + x, y0 + y);
+      b[static_cast<std::size_t>(x)] = ref.at(x0 + x + dx, y0 + y + dy);
     }
+    sad += util::simd::sad_f32(a.data(), b.data(), static_cast<std::size_t>(mb));
     if (sad >= bail_out) return sad;  // early exit
   }
   return sad;
@@ -44,7 +63,9 @@ std::vector<MotionVector> estimate_motion(const jd::Plane& cur,
   const int mbx = macroblocks_along(cur.w, mb);
   const int mby = macroblocks_along(cur.h, mb);
   std::vector<MotionVector> mvs(static_cast<std::size_t>(mbx) * mby);
-  for (int j = 0; j < mby; ++j)
+  // Each macroblock's search is independent; fan rows out on the TilePool.
+  TilePool::global().run(static_cast<std::size_t>(mby), [&](std::size_t row) {
+    const int j = static_cast<int>(row);
     for (int i = 0; i < mbx; ++i) {
       const int x0 = i * mb, y0 = j * mb;
       MotionVector best;
@@ -61,6 +82,7 @@ std::vector<MotionVector> estimate_motion(const jd::Plane& cur,
         }
       mvs[static_cast<std::size_t>(j) * mbx + i] = best;
     }
+  });
   return mvs;
 }
 
@@ -87,24 +109,28 @@ jd::Plane predict(const jd::Plane& ref, const std::vector<MotionVector>& mvs,
 
 jd::Plane subtract(const jd::Plane& a, const jd::Plane& b) {
   jd::Plane out = a;
-  for (std::size_t i = 0; i < out.data.size(); ++i) out.data[i] -= b.data[i];
+  util::simd::sub_f32(out.data.data(), a.data.data(), b.data.data(),
+                      out.data.size());
   return out;
 }
 
 jd::Plane add(const jd::Plane& a, const jd::Plane& b) {
   jd::Plane out = a;
-  for (std::size_t i = 0; i < out.data.size(); ++i) out.data[i] += b.data[i];
+  util::simd::add_f32(out.data.data(), a.data.data(), b.data.data(),
+                      out.data.size());
   return out;
 }
 
 /// Quantize + entropy-code three residual planes into `out`.
 void encode_residual(util::ByteWriter& out, const jd::Planes& residual,
-                     const std::uint16_t* quants[3]) {
+                     const jd::QuantTables& tables) {
   const jd::Plane* planes[3] = {&residual.y, &residual.cb, &residual.cr};
+  const float* quants[3] = {tables.luma_nat, tables.chroma_nat,
+                            tables.chroma_nat};
   jd::SymbolStream streams[3];
   std::vector<std::uint64_t> dc_freq, ac_freq;
   for (int c = 0; c < 3; ++c) {
-    const auto blocks = jd::quantize_plane(*planes[c], quants[c]);
+    const auto blocks = jd::quantize_plane_fast(*planes[c], quants[c]);
     streams[c] = jd::tokenize(blocks);
     jd::accumulate_frequencies(streams[c], dc_freq, ac_freq);
   }
@@ -126,7 +152,9 @@ void encode_residual(util::ByteWriter& out, const jd::Planes& residual,
 /// Inverse of encode_residual; plane dims supplied by the caller.
 jd::Planes decode_residual(util::ByteReader& in, const int plane_w[3],
                            const int plane_h[3],
-                           const std::uint16_t* quants[3]) {
+                           const jd::QuantTables& tables) {
+  const std::uint16_t* quants[3] = {tables.luma_zz, tables.chroma_zz,
+                                    tables.chroma_zz};
   const HuffmanCode dc = HuffmanCode::read_lengths(in);
   const HuffmanCode ac = HuffmanCode::read_lengths(in);
   const std::size_t payload_len = in.varint();
@@ -144,7 +172,9 @@ jd::Planes decode_residual(util::ByteReader& in, const int plane_w[3],
 }  // namespace
 
 MotionEncoder::MotionEncoder(MotionCodecOptions options)
-    : options_(options), intra_(options.quality, true) {
+    : options_(options),
+      intra_(options.quality, true),
+      tables_(&jd::quant_tables_for(options.quality)) {
   if (options.macroblock % 8 != 0 || options.macroblock < 8)
     throw std::invalid_argument("MotionEncoder: macroblock must be 8k");
   if (options.gop < 1) throw std::invalid_argument("MotionEncoder: gop");
@@ -186,10 +216,6 @@ util::Bytes MotionEncoder::encode_frame(const render::Image& frame) {
   residual.cb = subtract(cur.cb, prediction.cb);
   residual.cr = subtract(cur.cr, prediction.cr);
 
-  std::uint16_t luma_q[64], chroma_q[64];
-  jd::build_quant_tables(options_.quality, luma_q, chroma_q);
-  const std::uint16_t* quants[3] = {luma_q, chroma_q, chroma_q};
-
   out.u8(kPFrame);
   out.u32(static_cast<std::uint32_t>(frame.width()));
   out.u32(static_cast<std::uint32_t>(frame.height()));
@@ -197,7 +223,7 @@ util::Bytes MotionEncoder::encode_frame(const render::Image& frame) {
     out.u8(static_cast<std::uint8_t>(mv.dx + 128));
     out.u8(static_cast<std::uint8_t>(mv.dy + 128));
   }
-  encode_residual(out, residual, quants);
+  encode_residual(out, residual, *tables_);
 
   // Reconstruct exactly as the decoder will, from quantized residuals.
   util::Bytes packed = out.take();
@@ -212,7 +238,7 @@ util::Bytes MotionEncoder::encode_frame(const render::Image& frame) {
     }
     const int plane_w[3] = {cur.y.w, cur.cb.w, cur.cr.w};
     const int plane_h[3] = {cur.y.h, cur.cb.h, cur.cr.h};
-    const jd::Planes dq = decode_residual(in, plane_w, plane_h, quants);
+    const jd::Planes dq = decode_residual(in, plane_w, plane_h, *tables_);
     jd::Planes recon;
     recon.y = add(prediction.y, dq.y);
     recon.cb = add(prediction.cb, dq.cb);
@@ -223,7 +249,9 @@ util::Bytes MotionEncoder::encode_frame(const render::Image& frame) {
 }
 
 MotionDecoder::MotionDecoder(MotionCodecOptions options)
-    : options_(options), intra_(options.quality, true) {}
+    : options_(options),
+      intra_(options.quality, true),
+      tables_(&jd::quant_tables_for(options.quality)) {}
 
 render::Image MotionDecoder::decode_frame(std::span<const std::uint8_t> data) {
   util::ByteReader in(data);
@@ -257,12 +285,9 @@ render::Image MotionDecoder::decode_frame(std::span<const std::uint8_t> data) {
   prediction.cb = predict(ref.cb, mvs, mbx, mb / 2, 2);
   prediction.cr = predict(ref.cr, mvs, mbx, mb / 2, 2);
 
-  std::uint16_t luma_q[64], chroma_q[64];
-  jd::build_quant_tables(options_.quality, luma_q, chroma_q);
-  const std::uint16_t* quants[3] = {luma_q, chroma_q, chroma_q};
   const int plane_w[3] = {ref.y.w, ref.cb.w, ref.cr.w};
   const int plane_h[3] = {ref.y.h, ref.cb.h, ref.cr.h};
-  const jd::Planes residual = decode_residual(in, plane_w, plane_h, quants);
+  const jd::Planes residual = decode_residual(in, plane_w, plane_h, *tables_);
 
   jd::Planes recon;
   recon.y = add(prediction.y, residual.y);

@@ -43,6 +43,7 @@ class MotionEncoder {
  private:
   MotionCodecOptions options_;
   JpegCodec intra_;
+  const detail::QuantTables* tables_;  ///< Per-quality cache entry (borrowed).
   int frames_since_i_ = -1;  ///< -1 = no reference yet.
   std::optional<render::Image> reference_;  ///< Last reconstructed frame.
 };
@@ -60,6 +61,7 @@ class MotionDecoder {
  private:
   MotionCodecOptions options_;
   JpegCodec intra_;
+  const detail::QuantTables* tables_;  ///< Per-quality cache entry (borrowed).
   std::optional<render::Image> reference_;
 };
 

@@ -1,0 +1,110 @@
+#include "codec/tile_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/counters.hpp"
+
+namespace tvviz::codec {
+
+namespace {
+
+int auto_workers() {
+  if (const char* env = std::getenv("TVVIZ_CODEC_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return std::min(v, 64);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 64u));
+}
+
+}  // namespace
+
+/// One parallel invocation: a job cursor the claiming side races on and a
+/// completion count + first-error slot the waiting side sleeps on.
+struct TilePool::Batch {
+  std::size_t jobs = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+
+  util::Mutex mutex;
+  util::CondVar done_cv;
+  std::size_t done TVVIZ_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error TVVIZ_GUARDED_BY(mutex);
+};
+
+TilePool::TilePool(int workers)
+    : workers_(workers > 0 ? std::min(workers, 64) : auto_workers()) {
+  obs::gauge("codec.pool.workers").update_max(workers_);
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+TilePool::~TilePool() {
+  queue_.close();
+  for (auto& t : threads_) t.join();
+}
+
+void TilePool::worker_loop() {
+  while (auto batch = queue_.pop()) work_on(**batch);
+}
+
+void TilePool::work_on(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.jobs) return;
+    std::exception_ptr err;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    util::LockGuard lock(batch.mutex);
+    if (err && !batch.error) batch.error = err;
+    if (++batch.done == batch.jobs) batch.done_cv.notify_all();
+  }
+}
+
+void TilePool::run(std::size_t jobs,
+                   const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  static obs::Counter& batches = obs::counter("codec.pool.batches");
+  static obs::Counter& job_count = obs::counter("codec.pool.jobs");
+  batches.add(1);
+  job_count.add(jobs);
+  if (workers_ <= 1 || jobs == 1) {
+    static obs::Counter& inline_batches =
+        obs::counter("codec.pool.inline_batches");
+    inline_batches.add(1);
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->jobs = jobs;
+  batch->fn = &fn;
+  const std::size_t helpers = std::min(threads_.size(), jobs - 1);
+  for (std::size_t i = 0; i < helpers; ++i) queue_.push(batch);
+
+  work_on(*batch);  // the caller is a worker too
+
+  std::exception_ptr err;
+  {
+    util::LockGuard lock(batch->mutex);
+    while (batch->done < jobs) batch->done_cv.wait(batch->mutex);
+    err = batch->error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+TilePool& TilePool::global() {
+  // Intentionally leaked: codec encodes may still be in flight on other
+  // threads during static destruction, and the pointer stays reachable.
+  static TilePool* pool = new TilePool(0);
+  return *pool;
+}
+
+}  // namespace tvviz::codec

@@ -1,0 +1,58 @@
+// Shared worker pool for tile-parallel encoding. Every parallel codec stage
+// (JPEG MCU strips, LZ blocks, BWT blocks, motion search rows) funnels
+// through one process-wide pool so concurrent encodes time-share a bounded
+// worker set instead of oversubscribing the host.
+//
+// run(jobs, fn) executes fn(0..jobs-1) with the caller participating: job
+// indices are claimed from a shared atomic cursor, so a batch makes progress
+// even with zero pool threads and callers never deadlock on a busy pool.
+// Job order within a batch is unspecified; callers must make jobs
+// independent and deterministic by index (the parity suite relies on the
+// output being a pure function of the inputs, not of the schedule).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace tvviz::codec {
+
+class TilePool {
+ public:
+  /// `workers` is the total parallelism including the calling thread;
+  /// 0 = auto (TVVIZ_CODEC_WORKERS env, else hardware_concurrency).
+  explicit TilePool(int workers = 0);
+  ~TilePool();
+
+  TilePool(const TilePool&) = delete;
+  TilePool& operator=(const TilePool&) = delete;
+
+  int workers() const noexcept { return workers_; }
+
+  /// Run fn(i) for i in [0, jobs). Blocks until every job finished; the
+  /// first exception thrown by any job is rethrown here after the batch
+  /// drains (remaining jobs still run — partial batches never leak).
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized by TVVIZ_CODEC_WORKERS (else the hardware
+  /// thread count, capped at 64). Created on first use, never destroyed.
+  static TilePool& global();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void work_on(Batch& batch);
+
+  int workers_;
+  std::vector<std::thread> threads_;
+  net::BlockingQueue<std::shared_ptr<Batch>> queue_;
+};
+
+}  // namespace tvviz::codec

@@ -25,19 +25,20 @@ util::Bytes encode_impl(const vmp::Communicator& comm,
                         const render::Image& my_strip, int y0, int width,
                         int height, int quality, util::BufferPool* pool) {
   namespace jd = codec::detail;
-  std::uint16_t luma_q[64], chroma_q[64];
-  jd::build_quant_tables(quality, luma_q, chroma_q);
+  const jd::QuantTables& tables = jd::quant_tables_for(quality);
 
-  // Phase 1: local transform + tokenization, local symbol statistics.
+  // Phase 1: local transform + tokenization (on the SIMD float kernels,
+  // block rows fanned out on the TilePool), local symbol statistics.
   jd::SymbolStream streams[3];
   std::vector<std::uint64_t> dc_freq(16, 0), ac_freq(256, 0);
   const bool has_strip = my_strip.height() > 0 && my_strip.width() > 0;
   if (has_strip) {
     const jd::Planes planes = jd::to_planes(my_strip, kSubsample);
     const jd::Plane* plane_ptrs[3] = {&planes.y, &planes.cb, &planes.cr};
-    const std::uint16_t* quants[3] = {luma_q, chroma_q, chroma_q};
+    const float* quants[3] = {tables.luma_nat, tables.chroma_nat,
+                              tables.chroma_nat};
     for (int c = 0; c < 3; ++c) {
-      const auto blocks = jd::quantize_plane(*plane_ptrs[c], quants[c]);
+      const auto blocks = jd::quantize_plane_fast(*plane_ptrs[c], quants[c]);
       streams[c] = jd::tokenize(blocks);
       jd::accumulate_frequencies(streams[c], dc_freq, ac_freq);
     }
@@ -95,8 +96,8 @@ util::Bytes encode_impl(const vmp::Communicator& comm,
   out.u32(static_cast<std::uint32_t>(height));
   out.u8(static_cast<std::uint8_t>(quality));
   out.u8(kSubsample ? 1 : 0);
-  for (int i = 0; i < 64; ++i) out.u16(luma_q[i]);
-  for (int i = 0; i < 64; ++i) out.u16(chroma_q[i]);
+  for (int i = 0; i < 64; ++i) out.u16(tables.luma_zz[i]);
+  for (int i = 0; i < 64; ++i) out.u16(tables.chroma_zz[i]);
   dc_code.write_lengths(out);
   ac_code.write_lengths(out);
   // Count non-empty strips.

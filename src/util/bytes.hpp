@@ -150,33 +150,36 @@ class ByteReader {
 /// MSB-first bit sink (entropy coder output).
 class BitWriter {
  public:
-  void bit(bool b) {
-    acc_ = static_cast<std::uint8_t>((acc_ << 1) | (b ? 1 : 0));
-    if (++nbits_ == 8) flush_byte();
-  }
+  void bit(bool b) { bits(b ? 1u : 0u, 1); }
 
   /// Write the low `count` bits of `v`, most-significant first. count <= 32.
+  /// A 64-bit accumulator takes whole symbols per call and flushes full
+  /// bytes, instead of looping bit by bit (the entropy-coder hot path).
   void bits(std::uint32_t v, int count) {
-    for (int i = count - 1; i >= 0; --i) bit(((v >> i) & 1u) != 0);
+    const std::uint32_t masked =
+        count >= 32 ? v : (v & ((1u << count) - 1u));
+    acc_ = (acc_ << count) | masked;
+    nbits_ += count;
+    while (nbits_ >= 8) {
+      nbits_ -= 8;
+      buf_.push_back(static_cast<std::uint8_t>(acc_ >> nbits_));
+    }
   }
 
   /// Pad the final partial byte with ones (JPEG convention) and return buffer.
   Bytes finish() {
-    while (nbits_ != 0) bit(true);
+    if (nbits_ != 0) bits(0xffffffffu, 8 - nbits_);
     return std::move(buf_);
   }
 
-  std::size_t bit_count() const noexcept { return buf_.size() * 8 + nbits_; }
+  std::size_t bit_count() const noexcept {
+    return buf_.size() * 8 + static_cast<std::size_t>(nbits_);
+  }
 
  private:
-  void flush_byte() {
-    buf_.push_back(acc_);
-    acc_ = 0;
-    nbits_ = 0;
-  }
   Bytes buf_;
-  std::uint8_t acc_ = 0;
-  int nbits_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;  ///< Pending bits in acc_; < 8 between calls.
 };
 
 /// MSB-first bit source. Throws std::out_of_range past end of stream.

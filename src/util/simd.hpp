@@ -1,0 +1,802 @@
+// Portable SIMD kernel dispatch for the codec hot paths (§4.2): the ONLY
+// translation unit in the tree allowed to name vendor intrinsics
+// (lint_invariants.py check 5 enforces this).
+//
+// Contract:
+//   * Every kernel has a scalar reference implementation, and every vector
+//     implementation performs the IDENTICAL IEEE-754 arithmetic sequence per
+//     element (same operations, same association, no FMA contraction), so a
+//     bitstream produced under any ISA decodes bit-identically to the scalar
+//     path. The differential parity suite in tests/codec_test.cpp asserts
+//     this; treat any reassociation as a format break.
+//   * The active ISA is resolved once at first use: compile-time availability
+//     (SSE2/AVX2/NEON) intersected with runtime CPUID, overridable by the
+//     TVVIZ_SIMD environment knob (scalar|sse2|avx2|neon|auto) and
+//     programmatically by force_isa() / ScopedIsa for tests and ablations.
+//   * Dispatch is a single acquire-load of a kernel-table pointer per call —
+//     cheap enough for per-block use; batch kernels amortize it anyway.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/counters.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__SSE2__)
+#define TVVIZ_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#elif defined(__ARM_NEON)
+#define TVVIZ_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace tvviz::util::simd {
+
+/// Instruction-set tiers, ordered weakest to strongest per architecture.
+enum class Isa : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+inline const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+namespace detail {
+
+/// float cast of the orthonormal 8-point DCT basis used by codec::JpegCodec
+/// (A[u][x] = alpha(u) cos((2x+1) u pi / 16)); computed once in double and
+/// narrowed so every ISA sees the same constants.
+inline const float* dct_basis8() {
+  static const auto table = [] {
+    struct T { float a[64]; } t{};
+    for (int u = 0; u < 8; ++u) {
+      const double alpha =
+          u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x)
+        t.a[u * 8 + x] = static_cast<float>(
+            alpha * std::cos((2 * x + 1) * u * 3.14159265358979323846 / 16.0));
+    }
+    return t;
+  }();
+  return table.a;
+}
+
+// ------------------------------------------------------------- scalar ----
+// Reference implementations. These define the arithmetic contract; the
+// vector paths below mirror them operation for operation.
+
+/// Separable 8x8 forward DCT, float. out[u*8+v] = sum_x sum_y A[u][x]
+/// A[v][y] in[x*8+y], accumulated x (then y) ascending — the exact order the
+/// vector paths reproduce lane-wise.
+inline void fdct8x8_scalar(const float* in, float* out) {
+  const float* A = dct_basis8();
+  float tmp[64];
+  for (int u = 0; u < 8; ++u)
+    for (int c = 0; c < 8; ++c) {
+      float acc = A[u * 8] * in[c];
+      for (int x = 1; x < 8; ++x) acc += A[u * 8 + x] * in[x * 8 + c];
+      tmp[u * 8 + c] = acc;
+    }
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u) {
+      float acc = A[v * 8] * tmp[u * 8];
+      for (int y = 1; y < 8; ++y) acc += A[v * 8 + y] * tmp[u * 8 + y];
+      out[u * 8 + v] = acc;
+    }
+}
+
+/// freq / quant rounded half away from zero, truncating cast — matches the
+/// vector div + or-signed-half + cvtt sequence bit for bit.
+inline void quantize64_scalar(const float* freq, const float* quant,
+                              std::int32_t* out) {
+  for (int i = 0; i < 64; ++i) {
+    const float t = freq[i] / quant[i];
+    const float half = std::signbit(t) ? -0.5f : 0.5f;
+    out[i] = static_cast<std::int32_t>(t + half);
+  }
+}
+
+/// One RGBA pixel -> level-shifted Y and centered Cb/Cr (BT.601 as in
+/// codec::detail::to_planes). Left-associated sums; no contraction.
+inline void rgb_px_scalar(const std::uint8_t* px, float* y, float* cb,
+                          float* cr) {
+  const float r = static_cast<float>(px[0]);
+  const float g = static_cast<float>(px[1]);
+  const float b = static_cast<float>(px[2]);
+  *y = ((0.299f * r + 0.587f * g) + 0.114f * b) - 128.0f;
+  *cb = (-0.168736f * r + -0.331264f * g) + 0.5f * b;
+  *cr = (0.5f * r + -0.418688f * g) + -0.081312f * b;
+}
+
+/// Eight consecutive RGBA pixels.
+inline void rgb_block8_scalar(const std::uint8_t* rgba, float* y, float* cb,
+                              float* cr) {
+  for (int i = 0; i < 8; ++i)
+    rgb_px_scalar(rgba + 4 * i, y + i, cb + i, cr + i);
+}
+
+inline std::size_t match_length_scalar(const std::uint8_t* a,
+                                       const std::uint8_t* b,
+                                       std::size_t max_len) {
+  std::size_t i = 0;
+  while (i < max_len && a[i] == b[i]) ++i;
+  return i;
+}
+
+inline void add_u8_scalar(std::uint8_t* dst, const std::uint8_t* a,
+                          const std::uint8_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = static_cast<std::uint8_t>(a[i] + b[i]);
+}
+
+inline void sub_u8_scalar(std::uint8_t* dst, const std::uint8_t* a,
+                          const std::uint8_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = static_cast<std::uint8_t>(a[i] - b[i]);
+}
+
+inline void add_f32_scalar(float* dst, const float* a, const float* b,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+inline void sub_f32_scalar(float* dst, const float* a, const float* b,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+/// Sum of |a[i]-b[i]| over 8 lanes with a FIXED pairwise reduction tree:
+/// ((d0+d1)+(d2+d3)) + ((d4+d5)+(d6+d7)). The vector paths use the same
+/// tree (hadd twice + final add), so the float result is bit-identical.
+inline float sad8_scalar(const float* a, const float* b) {
+  float d[8];
+  for (int i = 0; i < 8; ++i) d[i] = std::fabs(a[i] - b[i]);
+  return ((d[0] + d[1]) + (d[2] + d[3])) + ((d[4] + d[5]) + (d[6] + d[7]));
+}
+
+/// 4:2:0 chroma downsample of `pairs` complete 2x2 cells:
+/// out[k] = (((r0[2k] + r0[2k+1]) + r1[2k]) + r1[2k+1]) * 0.25f.
+/// Fixed add order; *0.25f is an exact scale, so every tier agrees bit for
+/// bit. Partial edge cells are the caller's problem.
+inline void avg2x2_scalar(const float* r0, const float* r1, std::size_t pairs,
+                          float* out) {
+  for (std::size_t k = 0; k < pairs; ++k)
+    out[k] =
+        (((r0[2 * k] + r0[2 * k + 1]) + r1[2 * k]) + r1[2 * k + 1]) * 0.25f;
+}
+
+/// Bit i set iff v[i] != 0 — the tokenizer's end-of-block scan. Integer
+/// compares, exact on every tier.
+inline std::uint64_t nonzero_mask64_scalar(const std::int32_t* v) {
+  std::uint64_t m = 0;
+  for (int i = 0; i < 64; ++i)
+    if (v[i] != 0) m |= std::uint64_t{1} << i;
+  return m;
+}
+
+/// Kernel table: one entry per hot operation. Batch entries own their tail
+/// handling; fixed-width entries (fdct, quantize64, rgb_block8, sad8,
+/// nonzero_mask64) are composed by ISA-independent wrappers below.
+struct Kernels {
+  Isa isa;
+  void (*fdct8x8)(const float*, float*);
+  void (*quantize64)(const float*, const float*, std::int32_t*);
+  void (*rgb_block8)(const std::uint8_t*, float*, float*, float*);
+  std::size_t (*match_length)(const std::uint8_t*, const std::uint8_t*,
+                              std::size_t);
+  void (*add_u8)(std::uint8_t*, const std::uint8_t*, const std::uint8_t*,
+                 std::size_t);
+  void (*sub_u8)(std::uint8_t*, const std::uint8_t*, const std::uint8_t*,
+                 std::size_t);
+  void (*add_f32)(float*, const float*, const float*, std::size_t);
+  void (*sub_f32)(float*, const float*, const float*, std::size_t);
+  float (*sad8)(const float*, const float*);
+  void (*avg2x2)(const float*, const float*, std::size_t, float*);
+  std::uint64_t (*nonzero_mask64)(const std::int32_t*);
+};
+
+inline const Kernels& scalar_table() {
+  static const Kernels k = {Isa::kScalar,     fdct8x8_scalar,
+                            quantize64_scalar, rgb_block8_scalar,
+                            match_length_scalar, add_u8_scalar,
+                            sub_u8_scalar,     add_f32_scalar,
+                            sub_f32_scalar,    sad8_scalar,
+                            avg2x2_scalar,     nonzero_mask64_scalar};
+  return k;
+}
+
+// --------------------------------------------------------------- SSE2 ----
+#if defined(TVVIZ_SIMD_X86)
+
+inline std::size_t match_length_sse2(const std::uint8_t* a,
+                                     const std::uint8_t* b,
+                                     std::size_t max_len) {
+  std::size_t i = 0;
+  while (i + 16 <= max_len) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned m =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (m != 0xffffu)
+      return i + static_cast<std::size_t>(__builtin_ctz(~m & 0xffffu));
+    i += 16;
+  }
+  while (i < max_len && a[i] == b[i]) ++i;
+  return i;
+}
+
+inline void add_u8_sse2(std::uint8_t* dst, const std::uint8_t* a,
+                        const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_add_epi8(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(a[i] + b[i]);
+}
+
+inline void sub_u8_sse2(std::uint8_t* dst, const std::uint8_t* a,
+                        const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_sub_epi8(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(a[i] - b[i]);
+}
+
+inline void add_f32_sse2(float* dst, const float* a, const float* b,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm_storeu_ps(dst + i, _mm_add_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+inline void sub_f32_sse2(float* dst, const float* a, const float* b,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm_storeu_ps(dst + i, _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+inline void quantize64_sse2(const float* freq, const float* quant,
+                            std::int32_t* out) {
+  const __m128 sign_mask = _mm_set1_ps(-0.0f);
+  const __m128 half = _mm_set1_ps(0.5f);
+  for (int i = 0; i < 64; i += 4) {
+    const __m128 t = _mm_div_ps(_mm_loadu_ps(freq + i), _mm_loadu_ps(quant + i));
+    const __m128 signed_half = _mm_or_ps(half, _mm_and_ps(t, sign_mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_cvttps_epi32(_mm_add_ps(t, signed_half)));
+  }
+}
+
+/// shuffle_ps pair-split keeps lane order sequential within 128 bits, so
+/// each output lane sees exactly the scalar cell's add order.
+inline void avg2x2_sse2(const float* r0, const float* r1, std::size_t pairs,
+                        float* out) {
+  const __m128 quarter = _mm_set1_ps(0.25f);
+  std::size_t k = 0;
+  for (; k + 4 <= pairs; k += 4) {
+    const __m128 a0 = _mm_loadu_ps(r0 + 2 * k);
+    const __m128 a1 = _mm_loadu_ps(r0 + 2 * k + 4);
+    const __m128 b0 = _mm_loadu_ps(r1 + 2 * k);
+    const __m128 b1 = _mm_loadu_ps(r1 + 2 * k + 4);
+    const __m128 ae = _mm_shuffle_ps(a0, a1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 ao = _mm_shuffle_ps(a0, a1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m128 be = _mm_shuffle_ps(b0, b1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 bo = _mm_shuffle_ps(b0, b1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m128 sum = _mm_add_ps(_mm_add_ps(_mm_add_ps(ae, ao), be), bo);
+    _mm_storeu_ps(out + k, _mm_mul_ps(sum, quarter));
+  }
+  if (k < pairs) avg2x2_scalar(r0 + 2 * k, r1 + 2 * k, pairs - k, out + k);
+}
+
+inline std::uint64_t nonzero_mask64_sse2(const std::int32_t* v) {
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t m = 0;
+  for (int i = 0; i < 64; i += 4) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const int z = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(x, zero)));
+    m |= static_cast<std::uint64_t>(~z & 0xf) << i;
+  }
+  return m;
+}
+
+inline const Kernels& sse2_table() {
+  // Shuffle-heavy kernels (DCT transposes, RGBA deinterleave, hadd trees)
+  // want SSSE3/SSE3; the SSE2 tier keeps those scalar and vectorizes the
+  // element-wise ones, which is where pre-AVX2 hosts spend their time.
+  static const Kernels k = {Isa::kSse2,       fdct8x8_scalar,
+                            quantize64_sse2,   rgb_block8_scalar,
+                            match_length_sse2, add_u8_sse2,
+                            sub_u8_sse2,       add_f32_sse2,
+                            sub_f32_sse2,      sad8_scalar,
+                            avg2x2_sse2,       nonzero_mask64_sse2};
+  return k;
+}
+
+// --------------------------------------------------------------- AVX2 ----
+// Compiled with a per-function target attribute so this header builds
+// without -mavx2; the dispatcher only installs the table after a CPUID
+// check.
+
+__attribute__((target("avx2"))) inline void transpose8x8_avx2(__m256 r[8]) {
+  const __m256 t0 = _mm256_unpacklo_ps(r[0], r[1]);
+  const __m256 t1 = _mm256_unpackhi_ps(r[0], r[1]);
+  const __m256 t2 = _mm256_unpacklo_ps(r[2], r[3]);
+  const __m256 t3 = _mm256_unpackhi_ps(r[2], r[3]);
+  const __m256 t4 = _mm256_unpacklo_ps(r[4], r[5]);
+  const __m256 t5 = _mm256_unpackhi_ps(r[4], r[5]);
+  const __m256 t6 = _mm256_unpacklo_ps(r[6], r[7]);
+  const __m256 t7 = _mm256_unpackhi_ps(r[6], r[7]);
+  const __m256 s0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+  r[0] = _mm256_permute2f128_ps(s0, s4, 0x20);
+  r[1] = _mm256_permute2f128_ps(s1, s5, 0x20);
+  r[2] = _mm256_permute2f128_ps(s2, s6, 0x20);
+  r[3] = _mm256_permute2f128_ps(s3, s7, 0x20);
+  r[4] = _mm256_permute2f128_ps(s0, s4, 0x31);
+  r[5] = _mm256_permute2f128_ps(s1, s5, 0x31);
+  r[6] = _mm256_permute2f128_ps(s2, s6, 0x31);
+  r[7] = _mm256_permute2f128_ps(s3, s7, 0x31);
+}
+
+/// Lane c of pass 1 is exactly the scalar column-c accumulation; transposes
+/// are pure data movement, so every output element sees the scalar
+/// operation sequence. No FMA: "avx2" does not enable contraction.
+__attribute__((target("avx2"))) inline void fdct8x8_avx2(const float* in,
+                                                         float* out) {
+  const float* A = dct_basis8();
+  __m256 rows[8];
+  for (int x = 0; x < 8; ++x) rows[x] = _mm256_loadu_ps(in + x * 8);
+  __m256 tmp[8];
+  for (int u = 0; u < 8; ++u) {
+    __m256 acc = _mm256_mul_ps(_mm256_set1_ps(A[u * 8]), rows[0]);
+    for (int x = 1; x < 8; ++x)
+      acc = _mm256_add_ps(acc,
+                          _mm256_mul_ps(_mm256_set1_ps(A[u * 8 + x]), rows[x]));
+    tmp[u] = acc;
+  }
+  transpose8x8_avx2(tmp);  // tmp[y] lane u = pass-1 value (u, y)
+  __m256 res[8];
+  for (int v = 0; v < 8; ++v) {
+    __m256 acc = _mm256_mul_ps(_mm256_set1_ps(A[v * 8]), tmp[0]);
+    for (int y = 1; y < 8; ++y)
+      acc = _mm256_add_ps(acc,
+                          _mm256_mul_ps(_mm256_set1_ps(A[v * 8 + y]), tmp[y]));
+    res[v] = acc;  // lane u = out[u][v]
+  }
+  transpose8x8_avx2(res);
+  for (int u = 0; u < 8; ++u) _mm256_storeu_ps(out + u * 8, res[u]);
+}
+
+__attribute__((target("avx2"))) inline void quantize64_avx2(
+    const float* freq, const float* quant, std::int32_t* out) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  for (int i = 0; i < 64; i += 8) {
+    const __m256 t =
+        _mm256_div_ps(_mm256_loadu_ps(freq + i), _mm256_loadu_ps(quant + i));
+    const __m256 signed_half = _mm256_or_ps(half, _mm256_and_ps(t, sign_mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_cvttps_epi32(_mm256_add_ps(t, signed_half)));
+  }
+}
+
+__attribute__((target("avx2"))) inline void rgb_block8_avx2(
+    const std::uint8_t* rgba, float* y, float* cb, float* cr) {
+  const __m256i px =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rgba));
+  const __m256i byte_mask = _mm256_set1_epi32(0xff);
+  const __m256 r = _mm256_cvtepi32_ps(_mm256_and_si256(px, byte_mask));
+  const __m256 g = _mm256_cvtepi32_ps(
+      _mm256_and_si256(_mm256_srli_epi32(px, 8), byte_mask));
+  const __m256 b = _mm256_cvtepi32_ps(
+      _mm256_and_si256(_mm256_srli_epi32(px, 16), byte_mask));
+  const __m256 yv = _mm256_sub_ps(
+      _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(0.299f), r),
+                                  _mm256_mul_ps(_mm256_set1_ps(0.587f), g)),
+                    _mm256_mul_ps(_mm256_set1_ps(0.114f), b)),
+      _mm256_set1_ps(128.0f));
+  const __m256 cbv = _mm256_add_ps(
+      _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(-0.168736f), r),
+                    _mm256_mul_ps(_mm256_set1_ps(-0.331264f), g)),
+      _mm256_mul_ps(_mm256_set1_ps(0.5f), b));
+  const __m256 crv = _mm256_add_ps(
+      _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), r),
+                    _mm256_mul_ps(_mm256_set1_ps(-0.418688f), g)),
+      _mm256_mul_ps(_mm256_set1_ps(-0.081312f), b));
+  _mm256_storeu_ps(y, yv);
+  _mm256_storeu_ps(cb, cbv);
+  _mm256_storeu_ps(cr, crv);
+}
+
+__attribute__((target("avx2"))) inline std::size_t match_length_avx2(
+    const std::uint8_t* a, const std::uint8_t* b, std::size_t max_len) {
+  std::size_t i = 0;
+  while (i + 32 <= max_len) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (m != 0xffffffffu)
+      return i + static_cast<std::size_t>(__builtin_ctz(~m));
+    i += 32;
+  }
+  while (i < max_len && a[i] == b[i]) ++i;
+  return i;
+}
+
+__attribute__((target("avx2"))) inline void add_u8_avx2(std::uint8_t* dst,
+                                                        const std::uint8_t* a,
+                                                        const std::uint8_t* b,
+                                                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi8(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(a[i] + b[i]);
+}
+
+__attribute__((target("avx2"))) inline void sub_u8_avx2(std::uint8_t* dst,
+                                                        const std::uint8_t* a,
+                                                        const std::uint8_t* b,
+                                                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_sub_epi8(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(a[i] - b[i]);
+}
+
+__attribute__((target("avx2"))) inline void add_f32_avx2(float* dst,
+                                                         const float* a,
+                                                         const float* b,
+                                                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(dst + i,
+                     _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+__attribute__((target("avx2"))) inline void sub_f32_avx2(float* dst,
+                                                         const float* a,
+                                                         const float* b,
+                                                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(dst + i,
+                     _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+/// hadd(lo,hi) -> [d0+d1, d2+d3, d4+d5, d6+d7]; hadd again pairs those;
+/// final add_ss reproduces the scalar reduction tree exactly.
+__attribute__((target("avx2"))) inline float sad8_avx2(const float* a,
+                                                       const float* b) {
+  const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(a), _mm256_loadu_ps(b));
+  const __m256 ad = _mm256_andnot_ps(_mm256_set1_ps(-0.0f), diff);
+  const __m128 lo = _mm256_castps256_ps128(ad);
+  const __m128 hi = _mm256_extractf128_ps(ad, 1);
+  const __m128 h1 = _mm_hadd_ps(lo, hi);
+  const __m128 h2 = _mm_hadd_ps(h1, h1);
+  return _mm_cvtss_f32(
+      _mm_add_ss(h2, _mm_shuffle_ps(h2, h2, _MM_SHUFFLE(1, 1, 1, 1))));
+}
+
+/// Per-128-lane shuffles scramble the output order; the sum is permuted
+/// back once before the store, after arithmetic identical to the scalar
+/// cell order.
+__attribute__((target("avx2"))) inline void avg2x2_avx2(const float* r0,
+                                                        const float* r1,
+                                                        std::size_t pairs,
+                                                        float* out) {
+  const __m256 quarter = _mm256_set1_ps(0.25f);
+  const __m256i fixup = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  std::size_t k = 0;
+  for (; k + 8 <= pairs; k += 8) {
+    const __m256 a0 = _mm256_loadu_ps(r0 + 2 * k);
+    const __m256 a1 = _mm256_loadu_ps(r0 + 2 * k + 8);
+    const __m256 b0 = _mm256_loadu_ps(r1 + 2 * k);
+    const __m256 b1 = _mm256_loadu_ps(r1 + 2 * k + 8);
+    const __m256 ae = _mm256_shuffle_ps(a0, a1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m256 ao = _mm256_shuffle_ps(a0, a1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m256 be = _mm256_shuffle_ps(b0, b1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m256 bo = _mm256_shuffle_ps(b0, b1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m256 sum = _mm256_add_ps(_mm256_add_ps(_mm256_add_ps(ae, ao), be), bo);
+    _mm256_storeu_ps(out + k, _mm256_permutevar8x32_ps(
+                                  _mm256_mul_ps(sum, quarter), fixup));
+  }
+  if (k < pairs) avg2x2_scalar(r0 + 2 * k, r1 + 2 * k, pairs - k, out + k);
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t nonzero_mask64_avx2(
+    const std::int32_t* v) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t m = 0;
+  for (int i = 0; i < 64; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const int z =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(x, zero)));
+    m |= static_cast<std::uint64_t>(~z & 0xff) << i;
+  }
+  return m;
+}
+
+inline const Kernels& avx2_table() {
+  static const Kernels k = {Isa::kAvx2,       fdct8x8_avx2,
+                            quantize64_avx2,   rgb_block8_avx2,
+                            match_length_avx2, add_u8_avx2,
+                            sub_u8_avx2,       add_f32_avx2,
+                            sub_f32_avx2,      sad8_avx2,
+                            avg2x2_avx2,       nonzero_mask64_avx2};
+  return k;
+}
+
+#endif  // TVVIZ_SIMD_X86
+
+// --------------------------------------------------------------- NEON ----
+#if defined(TVVIZ_SIMD_NEON)
+
+inline std::size_t match_length_neon(const std::uint8_t* a,
+                                     const std::uint8_t* b,
+                                     std::size_t max_len) {
+  std::size_t i = 0;
+  while (i + 16 <= max_len) {
+    const uint8x16_t eq = vceqq_u8(vld1q_u8(a + i), vld1q_u8(b + i));
+    if (vminvq_u8(eq) != 0xff) break;  // first mismatch inside this chunk
+    i += 16;
+  }
+  while (i < max_len && a[i] == b[i]) ++i;
+  return i;
+}
+
+inline void add_u8_neon(std::uint8_t* dst, const std::uint8_t* a,
+                        const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    vst1q_u8(dst + i, vaddq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(a[i] + b[i]);
+}
+
+inline void sub_u8_neon(std::uint8_t* dst, const std::uint8_t* a,
+                        const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    vst1q_u8(dst + i, vsubq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(a[i] - b[i]);
+}
+
+inline const Kernels& neon_table() {
+  // Float kernels stay scalar on NEON: aarch64 compilers contract mul+add
+  // to fused ops aggressively, which would break the cross-ISA bit-parity
+  // contract. Integer byte ops and the match finder are exact.
+  static const Kernels k = {Isa::kNeon,       fdct8x8_scalar,
+                            quantize64_scalar, rgb_block8_scalar,
+                            match_length_neon, add_u8_neon,
+                            sub_u8_neon,       add_f32_scalar,
+                            sub_f32_scalar,    sad8_scalar,
+                            avg2x2_scalar,     nonzero_mask64_scalar};
+  return k;
+}
+
+#endif  // TVVIZ_SIMD_NEON
+
+inline const Kernels& table_for(Isa isa) {
+#if defined(TVVIZ_SIMD_X86)
+  if (isa == Isa::kAvx2) return avx2_table();
+  if (isa == Isa::kSse2) return sse2_table();
+#endif
+#if defined(TVVIZ_SIMD_NEON)
+  if (isa == Isa::kNeon) return neon_table();
+#endif
+  (void)isa;
+  return scalar_table();
+}
+
+inline Isa best_available() {
+#if defined(TVVIZ_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  return Isa::kSse2;
+#elif defined(TVVIZ_SIMD_NEON)
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+/// Clamp a requested tier to what this host can actually run.
+inline Isa clamp_available(Isa want) {
+  const Isa best = best_available();
+#if defined(TVVIZ_SIMD_X86)
+  if (want == Isa::kNeon) return best;
+  if (static_cast<int>(want) > static_cast<int>(best)) return best;
+  return want;
+#else
+  if (want == Isa::kScalar) return Isa::kScalar;
+  return best;
+#endif
+}
+
+inline std::atomic<const Kernels*>& kernel_slot() {
+  static std::atomic<const Kernels*> slot{nullptr};
+  return slot;
+}
+
+inline Isa initial_isa() {
+  Isa isa = best_available();
+  if (const char* env = std::getenv("TVVIZ_SIMD")) {
+    const std::string v(env);
+    if (v == "scalar") isa = Isa::kScalar;
+    else if (v == "sse2") isa = clamp_available(Isa::kSse2);
+    else if (v == "avx2") isa = clamp_available(Isa::kAvx2);
+    else if (v == "neon") isa = clamp_available(Isa::kNeon);
+    else if (!v.empty() && v != "auto")
+      obs::counter("codec.simd.bad_override").add(1);
+    if (isa != best_available()) obs::counter("codec.simd.overrides").add(1);
+  }
+  return isa;
+}
+
+inline const Kernels& kernels() {
+  auto& slot = kernel_slot();
+  const Kernels* k = slot.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    const Kernels* fresh = &table_for(initial_isa());
+    // Racing first calls resolve the same environment; either store wins.
+    if (slot.compare_exchange_strong(k, fresh, std::memory_order_acq_rel))
+      k = fresh;
+    obs::gauge("codec.simd.level").set(static_cast<int>(k->isa));
+  }
+  return *k;
+}
+
+}  // namespace detail
+
+/// ISA the dispatcher currently routes to.
+inline Isa active_isa() { return detail::kernels().isa; }
+
+/// Strongest tier this host supports (compile-time ∩ CPUID).
+inline Isa best_available_isa() { return detail::best_available(); }
+
+/// Force the dispatch tier (clamped to what the host supports); returns the
+/// previously active tier. Scalar is always honored — that is the fallback
+/// guarantee ablations and the parity tests rely on.
+inline Isa force_isa(Isa isa) {
+  const Isa prev = active_isa();
+  const detail::Kernels* table = &detail::table_for(detail::clamp_available(isa));
+  detail::kernel_slot().store(table, std::memory_order_release);
+  obs::gauge("codec.simd.level").set(static_cast<int>(table->isa));
+  obs::counter("codec.simd.overrides").add(1);
+  return prev;
+}
+
+/// RAII ISA override for tests: forces `isa` for the scope, restores after.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa) : prev_(force_isa(isa)) {}
+  ~ScopedIsa() { force_isa(prev_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  Isa prev_;
+};
+
+// ------------------------------------------------------------ wrappers ----
+
+/// Separable 8x8 forward DCT (JPEG normalization), row-major in/out.
+inline void fdct8x8(const float in[64], float out[64]) {
+  detail::kernels().fdct8x8(in, out);
+}
+
+/// out[i] = round_half_away(freq[i] / quant[i]); natural (row-major) order.
+inline void quantize64(const float freq[64], const float quant[64],
+                       std::int32_t out[64]) {
+  detail::kernels().quantize64(freq, quant, out);
+}
+
+/// `n` RGBA pixels -> level-shifted Y (-128) and centered Cb/Cr planes.
+inline void rgb_to_ycbcr(const std::uint8_t* rgba, std::size_t n, float* y,
+                         float* cb, float* cr) {
+  const detail::Kernels& k = detail::kernels();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) k.rgb_block8(rgba + 4 * i, y + i, cb + i, cr + i);
+  for (; i < n; ++i) detail::rgb_px_scalar(rgba + 4 * i, y + i, cb + i, cr + i);
+}
+
+/// Length of the common prefix of a and b, capped at max_len.
+inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                std::size_t max_len) {
+  return detail::kernels().match_length(a, b, max_len);
+}
+
+/// Element-wise wrapping byte add/sub (frame-diff residuals).
+inline void add_u8(std::uint8_t* dst, const std::uint8_t* a,
+                   const std::uint8_t* b, std::size_t n) {
+  detail::kernels().add_u8(dst, a, b, n);
+}
+inline void sub_u8(std::uint8_t* dst, const std::uint8_t* a,
+                   const std::uint8_t* b, std::size_t n) {
+  detail::kernels().sub_u8(dst, a, b, n);
+}
+
+/// Element-wise float add/sub (motion-compensation residuals).
+inline void add_f32(float* dst, const float* a, const float* b,
+                    std::size_t n) {
+  detail::kernels().add_f32(dst, a, b, n);
+}
+inline void sub_f32(float* dst, const float* a, const float* b,
+                    std::size_t n) {
+  detail::kernels().sub_f32(dst, a, b, n);
+}
+
+/// 4:2:0 chroma average of `pairs` complete 2x2 cells drawn from two rows:
+/// out[k] = mean of {row0,row1} x {2k, 2k+1}. Callers handle ragged edges.
+inline void avg2x2(const float* row0, const float* row1, std::size_t pairs,
+                   float* out) {
+  detail::kernels().avg2x2(row0, row1, pairs, out);
+}
+
+/// Bitmask of the nonzero entries of a 64-coefficient block (bit i = v[i]).
+inline std::uint64_t nonzero_mask64(const std::int32_t v[64]) {
+  return detail::kernels().nonzero_mask64(v);
+}
+
+/// Sum of absolute differences, accumulated in double per fixed-tree
+/// 8-lane chunk (then a scalar tail) — identical across every ISA tier.
+inline double sad_f32(const float* a, const float* b, std::size_t n) {
+  const detail::Kernels& k = detail::kernels();
+  double total = 0.0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    total += static_cast<double>(k.sad8(a + i, b + i));
+  for (; i < n; ++i)
+    total += static_cast<double>(std::fabs(a[i] - b[i]));
+  return total;
+}
+
+}  // namespace tvviz::util::simd

@@ -1,9 +1,14 @@
 // Tests for the compression substrate: byte codecs (RLE / LZ / BWT),
-// Huffman coding, the JPEG-style image codec, codec chaining, and frame
-// differencing. Property-style roundtrips run as parameterized suites.
+// Huffman coding, the JPEG-style image codec, codec chaining, frame
+// differencing, the shared TilePool, and the SIMD kernel dispatch (parity
+// suites assert that every ISA tier and strip count produces bit-identical
+// results). Property-style roundtrips run as parameterized suites.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "codec/bwt.hpp"
 #include "codec/byte_codec.hpp"
@@ -12,13 +17,24 @@
 #include "codec/image_codec.hpp"
 #include "codec/jpeg.hpp"
 #include "codec/lz.hpp"
+#include "codec/tile_pool.hpp"
 #include "field/generators.hpp"
 #include "render/raycast.hpp"
 #include "render/transfer.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace tvviz {
 namespace {
+
+// Force a real worker pool even on single-core CI runners, so the tiled
+// paths genuinely run multi-threaded under these tests. Must happen before
+// the first TilePool::global() touch; a namespace-scope initializer runs
+// long before any test body.
+const int kForcedWorkers = [] {
+  ::setenv("TVVIZ_CODEC_WORKERS", "4", /*overwrite=*/0);
+  return 4;
+}();
 
 using codec::BwtCodec;
 using codec::ByteCodec;
@@ -454,6 +470,388 @@ TEST(FrameDiff, ResetForcesNewKey) {
   const auto packed = enc.encode_frame(img);
   codec::FrameDiffDecoder dec(inner);
   EXPECT_NO_THROW(dec.decode_frame(packed));  // decodable without history
+}
+
+// ------------------------------------------------------------ tile pool ----
+
+TEST(TilePool, RunsEveryJobExactlyOnce) {
+  codec::TilePool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TilePool, ZeroAndSingleJobShapes) {
+  codec::TilePool pool(4);
+  pool.run(0, [](std::size_t) { FAIL() << "no jobs to run"; });
+  int calls = 0;
+  pool.run(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TilePool, PropagatesFirstException) {
+  codec::TilePool pool(4);
+  EXPECT_THROW(pool.run(64,
+                        [](std::size_t i) {
+                          if (i % 7 == 3) throw std::runtime_error("job boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST(TilePool, ConcurrentTopLevelRunsComplete) {
+  codec::TilePool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t)
+    callers.emplace_back([&] {
+      for (int round = 0; round < 10; ++round)
+        pool.run(25, [&](std::size_t) { total.fetch_add(1); });
+    });
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4 * 10 * 25);
+}
+
+TEST(TilePool, SerialFallbackWithOneWorker) {
+  codec::TilePool pool(1);
+  std::vector<int> order;
+  pool.run(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ----------------------------------------------------- simd kernel parity ----
+
+namespace simd = util::simd;
+
+std::vector<simd::Isa> testable_isas() {
+  // force_isa clamps to what the host supports; keep only tiers that
+  // actually engage when forced.
+  std::vector<simd::Isa> engaged;
+  for (auto isa : {simd::Isa::kScalar, simd::Isa::kSse2, simd::Isa::kAvx2,
+                   simd::Isa::kNeon}) {
+    simd::ScopedIsa scoped(isa);
+    if (simd::active_isa() == isa) engaged.push_back(isa);
+  }
+  return engaged;
+}
+
+TEST(SimdDispatch, ForceIsaClampsAndRestores) {
+  const auto before = simd::active_isa();
+  {
+    simd::ScopedIsa scalar(simd::Isa::kScalar);
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  }
+  EXPECT_EQ(simd::active_isa(), before);
+  // A tier above what the host supports clamps rather than crashing.
+  const auto prev = simd::force_isa(simd::Isa::kAvx2);
+  EXPECT_LE(static_cast<int>(simd::active_isa()),
+            static_cast<int>(simd::best_available_isa()));
+  simd::force_isa(prev);
+}
+
+TEST(SimdKernels, AllTiersMatchScalarBitForBit) {
+  util::Rng rng(321);
+  // Inputs shaped like real codec data: level-shifted samples, RGBA pixels,
+  // byte streams with runs.
+  float block[64], quant[64];
+  for (auto& v : block) v = static_cast<float>(rng.uniform() * 255.0 - 128.0);
+  for (auto& q : quant) q = static_cast<float>(1 + (rng() % 120));
+  std::vector<std::uint8_t> rgba(8 * 4 * 33);
+  for (auto& b : rgba) b = static_cast<std::uint8_t>(rng());
+  std::vector<std::uint8_t> bytes_a(300), bytes_b(300);
+  for (std::size_t i = 0; i < bytes_a.size(); ++i) {
+    bytes_a[i] = static_cast<std::uint8_t>(rng() % 7);
+    bytes_b[i] = i < 180 ? bytes_a[i] : static_cast<std::uint8_t>(rng());
+  }
+  std::vector<float> fa(301), fb(301);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    fa[i] = static_cast<float>(rng.uniform() * 100.0 - 50.0);
+    fb[i] = static_cast<float>(rng.uniform() * 100.0 - 50.0);
+  }
+  const std::size_t kPairs = 37;  // odd: exercises the vector tail
+  std::vector<float> row0(2 * kPairs), row1(2 * kPairs);
+  for (std::size_t i = 0; i < row0.size(); ++i) {
+    row0[i] = static_cast<float>(rng.uniform() * 255.0 - 128.0);
+    row1[i] = static_cast<float>(rng.uniform() * 255.0 - 128.0);
+  }
+  std::int32_t sparse[64] = {};
+  for (int i = 0; i < 64; ++i)
+    if (rng() % 3 == 0) sparse[i] = static_cast<std::int32_t>(rng() % 200) - 100;
+  const std::size_t npx = rgba.size() / 4;
+
+  // Scalar reference results.
+  float ref_dct[64];
+  std::int32_t ref_q[64];
+  std::vector<float> ref_y(npx), ref_cb(npx), ref_cr(npx);
+  std::size_t ref_match;
+  std::vector<std::uint8_t> ref_add(bytes_a.size()), ref_sub(bytes_a.size());
+  std::vector<float> ref_addf(fa.size()), ref_subf(fa.size());
+  std::vector<float> ref_avg(kPairs);
+  std::uint64_t ref_mask;
+  double ref_sad;
+  {
+    simd::ScopedIsa scoped(simd::Isa::kScalar);
+    simd::fdct8x8(block, ref_dct);
+    simd::quantize64(block, quant, ref_q);
+    simd::rgb_to_ycbcr(rgba.data(), npx, ref_y.data(), ref_cb.data(),
+                       ref_cr.data());
+    ref_match = simd::match_length(bytes_a.data(), bytes_b.data(),
+                                   bytes_a.size());
+    simd::add_u8(ref_add.data(), bytes_a.data(), bytes_b.data(),
+                 bytes_a.size());
+    simd::sub_u8(ref_sub.data(), bytes_a.data(), bytes_b.data(),
+                 bytes_a.size());
+    simd::add_f32(ref_addf.data(), fa.data(), fb.data(), fa.size());
+    simd::sub_f32(ref_subf.data(), fa.data(), fb.data(), fa.size());
+    simd::avg2x2(row0.data(), row1.data(), kPairs, ref_avg.data());
+    ref_mask = simd::nonzero_mask64(sparse);
+    ref_sad = simd::sad_f32(fa.data(), fb.data(), fa.size());
+  }
+
+  for (const auto isa : testable_isas()) {
+    SCOPED_TRACE(simd::isa_name(isa));
+    simd::ScopedIsa scoped(isa);
+    float dct[64];
+    std::int32_t q[64];
+    simd::fdct8x8(block, dct);
+    simd::quantize64(block, quant, q);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(dct[i], ref_dct[i]) << "fdct lane " << i;
+      EXPECT_EQ(q[i], ref_q[i]) << "quant lane " << i;
+    }
+    std::vector<float> y(npx), cb(npx), cr(npx);
+    simd::rgb_to_ycbcr(rgba.data(), npx, y.data(), cb.data(), cr.data());
+    EXPECT_EQ(y, ref_y);
+    EXPECT_EQ(cb, ref_cb);
+    EXPECT_EQ(cr, ref_cr);
+    EXPECT_EQ(simd::match_length(bytes_a.data(), bytes_b.data(),
+                                 bytes_a.size()),
+              ref_match);
+    std::vector<std::uint8_t> add(bytes_a.size()), sub(bytes_a.size());
+    simd::add_u8(add.data(), bytes_a.data(), bytes_b.data(), bytes_a.size());
+    simd::sub_u8(sub.data(), bytes_a.data(), bytes_b.data(), bytes_a.size());
+    EXPECT_EQ(add, ref_add);
+    EXPECT_EQ(sub, ref_sub);
+    std::vector<float> addf(fa.size()), subf(fa.size());
+    simd::add_f32(addf.data(), fa.data(), fb.data(), fa.size());
+    simd::sub_f32(subf.data(), fa.data(), fb.data(), fa.size());
+    EXPECT_EQ(addf, ref_addf);
+    EXPECT_EQ(subf, ref_subf);
+    std::vector<float> avg(kPairs);
+    simd::avg2x2(row0.data(), row1.data(), kPairs, avg.data());
+    EXPECT_EQ(avg, ref_avg);
+    EXPECT_EQ(simd::nonzero_mask64(sparse), ref_mask);
+    EXPECT_EQ(simd::sad_f32(fa.data(), fb.data(), fa.size()), ref_sad);
+  }
+}
+
+// ------------------------------------------- differential parity suites ----
+//
+// The contract the SIMD/tiled engine must keep: for a fixed strip/block
+// configuration, every ISA tier emits the byte-identical stream; and any
+// strip count decodes to the bit-identical image.
+
+TEST(SimdParity, JpegBitstreamIdenticalAcrossIsaTiers) {
+  for (const int size : {128, 96}) {
+    const Image frame = test_frame(size);
+    for (const int strips : {1, 3}) {
+      const JpegCodec codec(80, true, strips);
+      Bytes scalar_stream, simd_stream;
+      {
+        simd::ScopedIsa scoped(simd::Isa::kScalar);
+        scalar_stream = codec.encode(frame);
+      }
+      {
+        simd::ScopedIsa scoped(simd::best_available_isa());
+        simd_stream = codec.encode(frame);
+      }
+      EXPECT_EQ(scalar_stream, simd_stream)
+          << "size " << size << " strips " << strips;
+    }
+  }
+}
+
+TEST(SimdParity, LzBitstreamIdenticalAcrossIsaTiers) {
+  for (const int kind : {1, 3, 4}) {
+    const Bytes payload = pattern_bytes(40000, kind);
+    const LzCodec codec(6, 3);
+    Bytes scalar_stream, simd_stream;
+    {
+      simd::ScopedIsa scoped(simd::Isa::kScalar);
+      scalar_stream = codec.encode(payload);
+    }
+    {
+      simd::ScopedIsa scoped(simd::best_available_isa());
+      simd_stream = codec.encode(payload);
+    }
+    EXPECT_EQ(scalar_stream, simd_stream) << "pattern " << kind;
+    EXPECT_EQ(codec.decode(simd_stream), payload);
+  }
+}
+
+TEST(SimdParity, FrameDiffBitstreamIdenticalAcrossIsaTiers) {
+  const Image a = test_frame(96);
+  const Image b = test_frame(96, "vortex");
+  const auto encode_pair = [&](simd::Isa isa) {
+    simd::ScopedIsa scoped(isa);
+    codec::FrameDiffEncoder enc(std::make_shared<LzCodec>(5, 2));
+    Bytes all = enc.encode_frame(a);
+    const Bytes delta = enc.encode_frame(b);
+    all.insert(all.end(), delta.begin(), delta.end());
+    return all;
+  };
+  EXPECT_EQ(encode_pair(simd::Isa::kScalar),
+            encode_pair(simd::best_available_isa()));
+}
+
+TEST(SimdParity, JpegStripCountsDecodeBitIdentically) {
+  for (const int size : {128, 75, 53}) {
+    const Image frame = test_frame(size);
+    const JpegCodec one(80, true, 1);
+    const Image base = one.decode(one.encode(frame));
+    for (const int strips : {2, 3, 8}) {
+      const JpegCodec tiled(80, true, strips);
+      const Image out = tiled.decode(tiled.encode(frame));
+      EXPECT_EQ(out, base) << "size " << size << " strips " << strips;
+    }
+  }
+}
+
+TEST(SimdParity, JpegAutoStripsMatchesExplicit) {
+  const Image frame = test_frame(96);
+  const JpegCodec auto_strips(80, true, 0);
+  const JpegCodec one(80, true, 1);
+  const Image a = auto_strips.decode(auto_strips.encode(frame));
+  const Image b = one.decode(one.encode(frame));
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------- strip engine specifics ----
+
+TEST(JpegEngine, EncodeSharedMatchesEncode) {
+  const Image frame = test_frame(96);
+  const JpegCodec codec(80, true, 3);
+  util::BufferPool pool;
+  const auto shared = codec.encode_shared(frame, pool);
+  const auto plain = codec.encode(frame);
+  ASSERT_EQ(shared.size(), plain.size());
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), shared.span().begin()));
+}
+
+TEST(JpegEngine, ReferenceEncoderInterchangeable) {
+  const Image frame = test_frame(128);
+  const JpegCodec codec(80);
+  const Bytes ref_stream = codec.encode_reference(frame);
+  const Image out = codec.decode(ref_stream);
+  EXPECT_EQ(out.width(), frame.width());
+  EXPECT_EQ(out.height(), frame.height());
+  EXPECT_GT(render::psnr(frame, out), 30.0);
+  // The engine and the reference agree to normal lossy-codec tolerance
+  // (different DCT arithmetic, same algorithm).
+  const Image engine_out = codec.decode(codec.encode(frame));
+  EXPECT_GT(render::psnr(engine_out, out), 40.0);
+}
+
+TEST(JpegEngine, DecodeFastWorksOnStripedStreams) {
+  const Image frame = test_frame(128);
+  const JpegCodec codec(80, true, 4);
+  const auto packed = codec.encode(frame);
+  for (const int scale : {2, 4, 8}) {
+    const Image small = codec.decode_fast(packed, scale);
+    EXPECT_EQ(small.width(), (frame.width() + scale - 1) / scale);
+    EXPECT_EQ(small.height(), (frame.height() + scale - 1) / scale);
+  }
+}
+
+TEST(JpegEngine, RejectsCorruptStripLayouts) {
+  const Image frame = test_frame(64);
+  const JpegCodec codec(80, true, 2);
+  Bytes packed = codec.encode(frame);
+  // Strip count lives right after the Huffman tables; easier to corrupt the
+  // strip y0 (first strip must start at row 0). Find it: magic(4) w(4) h(4)
+  // quality(1) subsample(1) qtables(256) + huffman lengths + count(4); the
+  // first strip header is the 4 bytes after the count. Flip the last strip
+  // byte instead: truncating the stream must throw, not crash.
+  EXPECT_THROW(codec.decode(std::span<const std::uint8_t>(packed.data(),
+                                                          packed.size() - 7)),
+               std::exception);
+  Bytes zeroed = packed;
+  std::fill(zeroed.begin() + 4, zeroed.begin() + 12, 0xee);  // absurd w/h
+  EXPECT_THROW(codec.decode(zeroed), std::exception);
+}
+
+// ------------------------------------------------------- lz decoder paths ----
+
+TEST(Lz, OverlappingRunReplicationStaysByteExact) {
+  // Period-1 and period-3 repetitions force matches whose offset is smaller
+  // than their length — the overlap path the decoder must copy byte-wise.
+  Bytes runs(5000, 'A');
+  Bytes period3;
+  for (int i = 0; i < 4000; ++i)
+    period3.push_back(static_cast<std::uint8_t>("xyz"[i % 3]));
+  for (const Bytes& payload : {runs, period3}) {
+    for (const int level : {1, 5, 9}) {
+      const LzCodec codec(level);
+      const Bytes packed = codec.encode(payload);
+      EXPECT_LT(packed.size(), payload.size() / 8);  // runs must compress
+      EXPECT_EQ(codec.decode(packed), payload);
+    }
+  }
+}
+
+TEST(Lz, BlockedStreamsDecodeWithPlainDecoder) {
+  const Bytes payload = pattern_bytes(300000, 3);
+  const LzCodec serial(5, 1);
+  for (const int blocks : {2, 3, 7}) {
+    const LzCodec blocked(5, blocks);
+    const Bytes packed = blocked.encode(payload);
+    // Any LzCodec instance decodes any block layout.
+    EXPECT_EQ(serial.decode(packed), payload);
+  }
+  EXPECT_THROW(LzCodec(5, -1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- chaos ----
+
+// Run under TSan in CI: many threads encode/decode through every tiled
+// codec simultaneously, hammering the shared TilePool from concurrent
+// top-level runs while results stay deterministic.
+TEST(CodecChaos, ConcurrentTiledEncodesStayDeterministic) {
+  const Image frame = test_frame(96);
+  const Bytes payload = pattern_bytes(150000, 4);
+  const JpegCodec jpeg(80, true, 3);
+  const LzCodec lz(5, 3);
+  const BwtCodec bwt(1 << 14);
+  const Bytes jpeg_expected = jpeg.encode(frame);
+  const Bytes lz_expected = lz.encode(payload);
+  const Bytes bwt_expected = bwt.encode(payload);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t)
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 4; ++round) {
+        switch ((t + round) % 3) {
+          case 0:
+            if (jpeg.encode(frame) != jpeg_expected) mismatches.fetch_add(1);
+            break;
+          case 1:
+            if (lz.encode(payload) != lz_expected) mismatches.fetch_add(1);
+            break;
+          default:
+            if (bwt.encode(payload) != bwt_expected) mismatches.fetch_add(1);
+            break;
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(jpeg.decode(jpeg_expected).width(), 96);
+  EXPECT_EQ(lz.decode(lz_expected), payload);
+  EXPECT_EQ(bwt.decode(bwt_expected), payload);
 }
 
 }  // namespace

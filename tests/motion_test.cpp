@@ -7,6 +7,7 @@
 #include "field/generators.hpp"
 #include "render/raycast.hpp"
 #include "render/transfer.hpp"
+#include "util/simd.hpp"
 
 namespace tvviz {
 namespace {
@@ -151,6 +152,27 @@ TEST(MotionCodec, RejectsBadOptions) {
   opt = {};
   opt.search_range = 200;
   EXPECT_THROW(MotionEncoder{opt}, std::invalid_argument);
+}
+
+TEST(MotionCodec, BitstreamIdenticalAcrossIsaTiers) {
+  // The vectorized SAD search and quantizer must produce the byte-identical
+  // stream the scalar kernels do — motion vectors, residuals, everything.
+  const auto frames = animation(3, 96, 0.05);
+  MotionCodecOptions opt;
+  opt.gop = 100;
+  opt.search_range = 6;
+  const auto encode_all = [&](util::simd::Isa isa) {
+    util::simd::ScopedIsa scoped(isa);
+    MotionEncoder enc(opt);
+    util::Bytes all;
+    for (const auto& frame : frames) {
+      const auto packed = enc.encode_frame(frame);
+      all.insert(all.end(), packed.begin(), packed.end());
+    }
+    return all;
+  };
+  EXPECT_EQ(encode_all(util::simd::Isa::kScalar),
+            encode_all(util::simd::best_available_isa()));
 }
 
 TEST(MotionCodec, BeatsIndependentJpegOnCoherentAnimation) {

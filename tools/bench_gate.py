@@ -34,10 +34,20 @@ Supported metrics (--metric):
                               payloads per viewer drags it toward the
                               direct-attach ratio (viewers_large/small).
 
+  jpeg_encode_speedup         ablation_codec_simd vs BENCH_codec_simd.json:
+                              MB/s of the tiled SIMD JPEG engine divided by
+                              MB/s of the retained scalar double-precision
+                              reference, both timed in the same process.
+                              Higher is better: the gate fails when the
+                              fresh speedup falls more than the budget
+                              below the baseline, or (with --min-value)
+                              below an absolute floor such as the 3.0x
+                              claim.
+
 Usage:
     bench_gate.py --fresh out.json --baseline BENCH_zero_copy.json \
                   [--metric single_client_delay_ratio] \
-                  [--max-regression 0.25]
+                  [--max-regression 0.25] [--min-value 3.0]
 
 Exit status: 0 = within budget, 1 = regression (or malformed input).
 """
@@ -47,11 +57,14 @@ import json
 import sys
 
 METRICS = ("single_client_delay_ratio", "fanout_scaling_ratio",
-           "root_egress_ratio")
+           "root_egress_ratio", "jpeg_encode_speedup")
 
 # Metrics that are meaningless when frames were lost (a dropped frame
 # shrinks egress and fan-out cost alike, flattering the ratio).
 LOSSLESS_METRICS = ("fanout_scaling_ratio", "root_egress_ratio")
+
+# Metrics where bigger numbers are good (speedups); the rest are costs.
+HIGHER_IS_BETTER = ("jpeg_encode_speedup",)
 
 
 def load(path):
@@ -87,9 +100,17 @@ def main():
                         help="which within-run ratio to gate "
                              "(default: single_client_delay_ratio)")
     parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional increase of the gated "
+                        help="allowed fractional worsening of the gated "
                              "ratio (default 0.25)")
+    parser.add_argument("--min-value", type=float, default=None,
+                        help="absolute floor the fresh metric must meet "
+                             "(higher-is-better metrics only)")
     args = parser.parse_args()
+
+    if args.min_value is not None and args.metric not in HIGHER_IS_BETTER:
+        print(f"bench_gate: --min-value only applies to higher-is-better "
+              f"metrics, not {args.metric}", file=sys.stderr)
+        sys.exit(1)
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
@@ -109,13 +130,27 @@ def main():
               file=sys.stderr)
         sys.exit(1)
 
-    regression = fresh_ratio / base_ratio - 1.0
+    # For cost ratios a regression is the fresh ratio rising; for speedups
+    # it is the fresh value falling.  Either way, positive = worse.
+    if args.metric in HIGHER_IS_BETTER:
+        if fresh_ratio <= 0.0:
+            print(f"bench_gate: fresh value {fresh_ratio} is not positive",
+                  file=sys.stderr)
+            sys.exit(1)
+        regression = base_ratio / fresh_ratio - 1.0
+    else:
+        regression = fresh_ratio / base_ratio - 1.0
     verdict = "OK" if regression <= args.max_regression else "REGRESSION"
+    floor_note = ""
+    if args.min_value is not None:
+        floor_note = f" floor={args.min_value:.2f}"
+        if fresh_ratio < args.min_value:
+            verdict = "BELOW FLOOR"
     print(f"bench_gate: {args.metric} fresh={fresh_ratio:.4f} "
           f"baseline={base_ratio:.4f} change={regression:+.1%} "
-          f"(budget +{args.max_regression:.0%}) -> {verdict}")
+          f"(budget +{args.max_regression:.0%}{floor_note}) -> {verdict}")
     if verdict != "OK":
-        print(f"bench_gate: {args.metric} regressed past the budget; "
+        print(f"bench_gate: {args.metric} {verdict.lower()}; "
               "investigate before merging.", file=sys.stderr)
         sys.exit(1)
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-invariant linter: checks the contracts the compiler can't.
 
-Four checks, each a build-breaking invariant of this repository:
+Five checks, each a build-breaking invariant of this repository:
 
 1. counter-registry  Every metric name passed to ``obs::counter()`` /
                      ``obs::gauge()`` in ``src/`` must appear in the
@@ -36,6 +36,15 @@ Four checks, each a build-breaking invariant of this repository:
                      the same bytes, so every payload hash goes through
                      ``util::fnv1a`` — a stray re-implementation forks the
                      hash the moment someone "fixes" one copy.
+
+5. simd-intrinsics   CPU intrinsics (``<immintrin.h>`` and friends,
+                     ``_mm*_...`` / ``v...q_...`` calls) may appear in
+                     ``src/`` only inside ``util/simd.hpp``.  Every other
+                     file calls the dispatched wrappers, which keep the
+                     scalar tier bit-identical and runtime-selectable
+                     (``TVVIZ_SIMD=scalar``); a stray intrinsic call site
+                     silently escapes both the parity tests and the
+                     dispatch override.
 
 Run directly (``tools/lint_invariants.py [--repo PATH]``) or via ctest /
 CI, where it is registered as the ``lint_invariants`` test.  Exit status is
@@ -312,6 +321,37 @@ def check_fnv_constants(repo: pathlib.Path, out: Violations) -> None:
 
 
 # --------------------------------------------------------------------------
+# Check 5: CPU intrinsics banned outside the dispatch header
+
+SIMD_INTRINSIC = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|x86gprintrin|emmintrin|xmmintrin|"
+    r"pmmintrin|tmmintrin|smmintrin|nmmintrin|wmmintrin|ammintrin|"
+    r"arm_neon|arm_sve)\.h>"
+    r"|\b_mm\d*_[a-z0-9_]+\s*\("  # _mm_add_ps(, _mm256_loadu_si256(, ...
+    r"|\b__m(?:64|128|256|512)[a-z]*\b"  # __m128, __m256i, __m512d, ...
+    r"|\b(?:u?int|float|poly)(?:8|16|32|64)x\d+(?:x\d+)?_t\b"  # NEON vectors
+)
+
+
+def check_simd_intrinsics(repo: pathlib.Path, out: Violations) -> None:
+    dispatch = repo / "src" / "util" / "simd.hpp"
+    for path in source_files(repo / "src"):
+        if path == dispatch:
+            continue
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(text.splitlines(), 1):
+            match = SIMD_INTRINSIC.search(line)
+            if match:
+                out.report(
+                    f"{path.relative_to(repo)}:{lineno}",
+                    f"CPU intrinsic `{match.group(0).strip()}` outside "
+                    "util/simd.hpp — call the dispatched wrapper instead so "
+                    "the scalar tier stays selectable and bit-identical "
+                    "(DESIGN.md §16)",
+                )
+
+
+# --------------------------------------------------------------------------
 
 
 def main() -> int:
@@ -332,7 +372,8 @@ def main() -> int:
     before = out.count
     classes_failed = 0
     for check in (check_counter_registry, check_raw_mutex,
-                  check_fault_wall_clock, check_fnv_constants):
+                  check_fault_wall_clock, check_fnv_constants,
+                  check_simd_intrinsics):
         check(repo, out)
         if out.count > before:
             classes_failed += 1
@@ -346,7 +387,8 @@ def main() -> int:
         )
         return 1
     print("lint_invariants: counter registry, mutex wrappers, fault "
-          "determinism, and hash canonicalization all clean")
+          "determinism, hash canonicalization, and SIMD intrinsic "
+          "containment all clean")
     return 0
 
 

@@ -73,6 +73,23 @@ std::optional<HelloInfo> validate_hello(TcpConnection& conn,
   return info;
 }
 
+obs::Counter& depth_stripped_ctr() {
+  static obs::Counter& c = obs::counter("net.hub.depth_stripped");
+  return c;
+}
+
+/// Depth-container frames leave the hub intact only toward viewers that
+/// announced the v4 wants_depth capability; everyone else gets the color
+/// half (a zero-copy payload view, no re-encode). kFrameData is never
+/// rewritten — fetched bodies must still hash to the advertised ContentId
+/// at the receiving edge.
+NetMessage outbound_frame(const NetMessage& msg, bool wants_depth) {
+  if (wants_depth || msg.type != MsgType::kFrame || !net::is_depth_frame(msg))
+    return msg;
+  depth_stripped_ctr().add(1);
+  return net::strip_depth(msg);
+}
+
 }  // namespace
 
 /// Epoll-mode per-connection record. `role` and the port pointers are
@@ -98,6 +115,9 @@ struct HubTcpServer::Session {
   /// Collapses ready-callback storms into at most one queued drain job.
   std::atomic<bool> drain_scheduled{false};
   std::atomic<bool> control_scheduled{false};
+  /// v4 capability: frames keep their depth plane on the way out. Written
+  /// once in handle_hello before the first drain, read by drain jobs.
+  std::atomic<bool> wants_depth{false};
 };
 
 /// Legacy-mode per-connection record (std::list keeps nodes stable while
@@ -313,6 +333,8 @@ void HubTcpServer::handle_hello(const std::shared_ptr<Session>& session,
   // speaks the v3 exchange; a v2 hello with stray trailing bytes must not
   // switch its stream to advertisements it cannot resolve.
   options.wants_frame_refs = info->wants_frame_refs && info->version >= 3;
+  // v4 capability, same rule: only honored from a peer that speaks v4.
+  session->wants_depth.store(info->wants_depth && info->version >= 4);
   if (info->last_acked_step >= 0) {
     // An explicit resume point also applies to ids the hub has never seen
     // (e.g. the hub restarted and lost its registry but the cache refilled).
@@ -368,9 +390,10 @@ void HubTcpServer::drain_display(const std::shared_ptr<Session>& session) {
   if (session->dead.load()) return;
   auto port = session->client_port;
   if (!port) return;
+  const bool wants_depth = session->wants_depth.load();
   while (auto msg = port->try_next()) {
     try {
-      session->conn->send_message(*msg);
+      session->conn->send_message(outbound_frame(*msg, wants_depth));
     } catch (const net::TimeoutError&) {
       // Zero bytes accepted within the deadline: the viewer stopped
       // reading. Evict it instead of letting it pin a worker.
@@ -548,6 +571,7 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
   options.id = info.client_id;
   options.queue_frames = info.queue_frames;
   options.wants_frame_refs = info.wants_frame_refs && info.version >= 3;
+  const bool wants_depth = info.wants_depth && info.version >= 4;
   if (info.last_acked_step >= 0) {
     // An explicit resume point also applies to ids the hub has never seen
     // (e.g. the hub restarted and lost its registry but the cache refilled).
@@ -624,7 +648,7 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
     auto msg = port->next();
     if (!msg) break;
     try {
-      conn->send_message(*msg);
+      conn->send_message(outbound_frame(*msg, wants_depth));
     } catch (const std::exception&) {
       break;
     }
@@ -761,10 +785,11 @@ HubTcpViewer::HubTcpViewer(int port, Options options)
 std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
   // The downgrade ladder: each "unsupported protocol version" refusal steps
   // hello_version_ down one generation and retries on a fresh socket (the
-  // server closes after a kError). v3 -> v2 loses only the frame-ref
-  // capability and is always taken; v2 -> v1 loses identity and resume, so
-  // it is gated on allow_downgrade. The settled rung is sticky: later
-  // reconnects to the same server start where the ladder ended.
+  // server closes after a kError). v4 -> v3 loses only the depth plane and
+  // v3 -> v2 only the frame-ref capability — both always taken; v2 -> v1
+  // loses identity and resume, so it is gated on allow_downgrade. The
+  // settled rung is sticky: later reconnects to the same server start where
+  // the ladder ended.
   for (;;) {
     auto conn = std::shared_ptr<TcpConnection>(
         TcpConnection::connect_local(port_).release());
@@ -788,6 +813,7 @@ std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
       info.queue_frames = options_.queue_frames;
       info.wants_heartbeat = options_.heartbeat_interval_ms > 0;
       info.wants_frame_refs = options_.wants_frame_refs && version >= 3;
+      info.wants_depth = options_.wants_depth && version >= 4;
       conn->send_message(net::make_hello(info));
     } else {
       // Legacy v1 hello: role in the codec field, no capability payload.
@@ -807,7 +833,9 @@ std::shared_ptr<TcpConnection> HubTcpViewer::connect_and_handshake() {
         static obs::Counter& downgrades =
             obs::counter("net.retry.downgrades");
         downgrades.add(1);
-        hello_version_.store(2);
+        // One rung at a time (v4 -> v3 -> v2): a v3 hub refuses v4 but
+        // happily speaks v3, and the capability bytes degrade gracefully.
+        hello_version_.store(version - 1);
         continue;
       }
       if (version_refusal && version == 2 && options_.allow_downgrade) {

@@ -154,6 +154,11 @@ class HubTcpViewer {
     /// with kFrameData. For relay edges (hub/relay.hpp), not end viewers —
     /// whoever sets this owns a content cache to resolve refs against.
     bool wants_frame_refs = false;
+    /// Announce the v4 depth capability: depth-container frames arrive
+    /// intact (for the render::Warper) instead of being stripped to their
+    /// color half at the hub. Silently dropped when the ladder settles
+    /// below v4.
+    bool wants_depth = false;
   };
 
   /// Connects and completes the handshake. Throws std::runtime_error on
@@ -169,7 +174,7 @@ class HubTcpViewer {
   /// True once the handshake fell back to the v1 hello.
   bool downgraded() const noexcept { return downgraded_.load(); }
 
-  /// Hello generation the last handshake settled on (3 unless the server
+  /// Hello generation the last handshake settled on (4 unless the server
   /// pushed the negotiation down the ladder).
   std::uint32_t negotiated_version() const noexcept {
     return hello_version_.load();

@@ -11,7 +11,7 @@ namespace tvviz::net {
 util::Bytes HelloInfo::serialize() const {
   util::ByteWriter w(4 + util::varint_size(role.size()) + role.size() +
                      util::varint_size(client_id.size()) + client_id.size() +
-                     4 + 4 + 1 + 1);
+                     4 + 4 + 1 + 1 + 1);
   w.u32(version);
   w.str(role);
   w.str(client_id);
@@ -20,6 +20,8 @@ util::Bytes HelloInfo::serialize() const {
   w.u8(wants_heartbeat ? 1 : 0);
   // v3 capability, strictly appended: v2 parsers ignore trailing bytes.
   w.u8(wants_frame_refs ? 1 : 0);
+  // v4 capability, one more trailing byte; v3 parsers ignore it.
+  w.u8(wants_depth ? 1 : 0);
   return w.take();
 }
 
@@ -35,6 +37,8 @@ HelloInfo HelloInfo::deserialize(std::span<const std::uint8_t> payload) {
     info.wants_heartbeat = r.u8() != 0;
     // Appended v3 capability; absent from a v2 sender's payload.
     info.wants_frame_refs = r.remaining() > 0 && r.u8() != 0;
+    // Appended v4 capability; absent from a v2/v3 sender's payload.
+    info.wants_depth = r.remaining() > 0 && r.u8() != 0;
     // Ignore trailing bytes: a *newer* client may append capabilities this
     // build does not know; the version field governs compatibility.
     return info;
@@ -240,6 +244,73 @@ NetMessage make_frame_data(const NetMessage& frame) {
   NetMessage data = frame;  // payload is refcounted, never copied
   data.type = MsgType::kFrameData;
   return data;
+}
+
+// ------------------------------------------------------ depth planes (v4) --
+
+namespace {
+
+const std::string kDepthPrefixStr = kDepthCodecPrefix;
+
+/// Parse a depth container's payload: returns {color_offset, color_len}.
+/// Depth bytes are everything after the color slice.
+std::pair<std::size_t, std::size_t> parse_depth_container(
+    const NetMessage& msg) {
+  if (!is_depth_frame(msg))
+    throw WireError("net: not a depth-container frame (codec '" + msg.codec +
+                    "')");
+  try {
+    util::ByteReader r(msg.payload);
+    const std::size_t color_len = r.varint();
+    if (color_len > r.remaining())
+      throw WireError("net: depth container advertises " +
+                      std::to_string(color_len) + " color bytes but only " +
+                      std::to_string(r.remaining()) + " remain");
+    const auto s = r.raw(color_len);
+    return {static_cast<std::size_t>(s.data() - msg.payload.data()),
+            color_len};
+  } catch (const std::out_of_range&) {
+    throw WireError("net: truncated depth-container payload");
+  }
+}
+
+}  // namespace
+
+bool is_depth_frame(const NetMessage& msg) noexcept {
+  return (msg.type == MsgType::kFrame || msg.type == MsgType::kFrameData) &&
+         msg.codec.compare(0, kDepthPrefixStr.size(), kDepthPrefixStr) == 0;
+}
+
+NetMessage make_depth_frame(const NetMessage& color,
+                            std::span<const std::uint8_t> depth_plane) {
+  util::ByteWriter w(util::varint_size(color.payload.size()) +
+                     color.payload.size() + depth_plane.size());
+  w.varint(color.payload.size());
+  w.raw(color.payload);
+  w.raw(depth_plane);
+  NetMessage msg = color;
+  msg.codec = kDepthPrefixStr + color.codec;
+  msg.payload = w.take();
+  return msg;
+}
+
+NetMessage strip_depth(const NetMessage& msg) {
+  const auto [offset, len] = parse_depth_container(msg);
+  NetMessage color = msg;
+  color.codec = msg.codec.substr(kDepthPrefixStr.size());
+  color.payload = msg.payload.view(offset, len);
+  return color;
+}
+
+DepthFrameParts split_depth_frame(const NetMessage& msg) {
+  const auto [offset, len] = parse_depth_container(msg);
+  DepthFrameParts parts;
+  parts.color = msg;
+  parts.color.codec = msg.codec.substr(kDepthPrefixStr.size());
+  parts.color.payload = msg.payload.view(offset, len);
+  parts.depth_plane =
+      msg.payload.view(offset + len, msg.payload.size() - offset - len);
+  return parts;
 }
 
 }  // namespace tvviz::net

@@ -44,8 +44,10 @@ inline constexpr std::uint8_t kMaxMsgType =
 /// legacy role-string hello ("renderer"/"display" in the codec field); v2
 /// adds the HelloInfo payload (client identity, resume point, heartbeats);
 /// v3 adds frame-by-reference transport (wants_frame_refs capability and
-/// the kFrameRef/kFrameFetch/kFrameData exchange).
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// the kFrameRef/kFrameFetch/kFrameData exchange); v4 adds the depth-plane
+/// extension (wants_depth capability and the kFrame depth container) for
+/// the image-warping viewer.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Stable identity of one encoded frame payload: FNV-1a over the codec-name
 /// bytes then the payload bytes (see content_id_of). Computed once at cache
@@ -68,6 +70,10 @@ struct HelloInfo {
   /// bytes by contract): this display keeps a content-addressed cache and
   /// wants frames advertised as kFrameRef instead of shipped in full.
   bool wants_frame_refs = false;
+  /// v4 capability, appended the same way (one more trailing byte): this
+  /// display runs a render::Warper and wants 2.5D depth-container frames.
+  /// Servers strip the depth plane for peers that did not announce it.
+  bool wants_depth = false;
 
   util::Bytes serialize() const;
   static HelloInfo deserialize(std::span<const std::uint8_t> payload);
@@ -204,5 +210,44 @@ ContentId parse_frame_fetch(const NetMessage& msg);
 /// the receiver knows to match it against its pending fetches by recomputed
 /// ContentId rather than display it directly.
 NetMessage make_frame_data(const NetMessage& frame);
+
+// ------------------------------------------------------ depth planes (v4) --
+//
+// A 2.5D frame travels as an ordinary kFrame whose payload is a container:
+//
+//   varint(color_len) | color bytes (inner image codec) | depth-plane bytes
+//
+// and whose codec name is the inner codec's prefixed with kDepthCodecPrefix
+// ("zd4+jpeg75", "zd4+raw", ...). Riding *inside* the payload — rather than
+// as trailing frame bytes — keeps parse_frame's no-trailing-bytes contract
+// intact and lets relays treat the container as an opaque cached body
+// (ContentId covers codec + payload as usual). A hub strips the plane for
+// any viewer that did not announce wants_depth, so pre-v4 decoders never
+// see the container codec name.
+
+/// Codec-name prefix marking a depth-container frame.
+inline constexpr const char* kDepthCodecPrefix = "zd4+";
+
+/// True when `msg` is a kFrame (or kFrameData) whose codec carries the
+/// depth-container prefix.
+bool is_depth_frame(const NetMessage& msg) noexcept;
+
+/// Wrap a color frame and an encoded depth plane (codec/depth_plane.hpp)
+/// into a depth-container kFrame. Header fields mirror `color`'s.
+NetMessage make_depth_frame(const NetMessage& color,
+                            std::span<const std::uint8_t> depth_plane);
+
+/// The color frame inside a depth container, with the inner codec name
+/// restored and the payload an aliasing view (no copy) of `msg`'s. Throws
+/// WireError if `msg` is not a well-formed depth container.
+NetMessage strip_depth(const NetMessage& msg);
+
+/// Both halves of a depth container: the color frame (as strip_depth) plus
+/// an aliasing view of the encoded depth-plane bytes.
+struct DepthFrameParts {
+  NetMessage color;
+  util::SharedBytes depth_plane;
+};
+DepthFrameParts split_depth_frame(const NetMessage& msg);
 
 }  // namespace tvviz::net

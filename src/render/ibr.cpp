@@ -38,12 +38,19 @@ double ViewSet::azimuth_of(int index) const {
 
 Image ViewSet::reconstruct(double azimuth) const {
   const int n = view_count();
+  const double spacing = kTau / n;
   double a = std::fmod(azimuth, kTau);
   if (a < 0) a += kTau;
-  const double slot = a / kTau * n;
-  const int lo = static_cast<int>(slot) % n;
+  // Bracket the azimuth by its two angular neighbours and weight by the
+  // angular distance to each. Written in angle space (not index space) so
+  // the wrap segment [azimuth_of(n-1), tau) — which exists for every n and
+  // is the only segment whose upper neighbour sits across the 2*pi seam —
+  // visibly blends by the same rule as the interior segments.
+  const int lo = std::min(static_cast<int>(a / spacing), n - 1);
   const int hi = (lo + 1) % n;
-  const double w = slot - std::floor(slot);
+  double delta = a - azimuth_of(lo);
+  if (delta < 0) delta += kTau;  // roundoff across the seam
+  const double w = std::min(delta / spacing, 1.0);
 
   const Image& left = images_[static_cast<std::size_t>(lo)];
   const Image& right = images_[static_cast<std::size_t>(hi)];

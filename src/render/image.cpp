@@ -65,7 +65,7 @@ Image Image::read_ppm(const std::filesystem::path& path) {
 }
 
 util::Bytes PartialImage::serialize() const {
-  util::ByteWriter w(pixels_.size() * 16 + 32);
+  util::ByteWriter w(pixels_.size() * 20 + 32);
   w.u32(static_cast<std::uint32_t>(x0_));
   w.u32(static_cast<std::uint32_t>(y0_));
   w.u32(static_cast<std::uint32_t>(width_));
@@ -77,6 +77,7 @@ util::Bytes PartialImage::serialize() const {
     w.f32(static_cast<float>(p.g));
     w.f32(static_cast<float>(p.b));
     w.f32(static_cast<float>(p.a));
+    w.f32(static_cast<float>(p.z));
   }
   return w.take();
 }
@@ -94,6 +95,7 @@ PartialImage PartialImage::deserialize(std::span<const std::uint8_t> data) {
     p.g = r.f32();
     p.b = r.f32();
     p.a = r.f32();
+    p.z = r.f32();
   }
   return img;
 }

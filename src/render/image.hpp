@@ -12,14 +12,21 @@
 
 namespace tvviz::render {
 
-/// Premultiplied RGBA color (compositing math operates on these).
+/// Premultiplied RGBA color (compositing math operates on these). The `z`
+/// channel is the opacity-weighted view depth (sum of w * camera-depth over
+/// the ray samples, exactly like the color channels): premultiplied like
+/// this, depth composes linearly under `over`, so binary-swap threads a
+/// correct 2.5D depth plane through unchanged. The display normalizes by
+/// alpha (z / a) to recover the ray's mean termination depth.
 struct Rgba {
   double r = 0.0, g = 0.0, b = 0.0, a = 0.0;
+  double z = 0.0;
 
   /// Front-to-back "over": this (front) over `back`.
   Rgba over(const Rgba& back) const noexcept {
     const double t = 1.0 - a;
-    return {r + t * back.r, g + t * back.g, b + t * back.b, a + t * back.a};
+    return {r + t * back.r, g + t * back.g, b + t * back.b, a + t * back.a,
+            z + t * back.z};
   }
 };
 

@@ -104,6 +104,10 @@ Rgba RayCaster::march(const util::Ray& ray, double t0, double t1,
     acc.g += w * g;
     acc.b += w * b;
     acc.a += w;
+    // Opacity-weighted view depth (the 2.5D plane the warping viewer
+    // reprojects). For the orthographic camera p.dot(view_dir) is simply
+    // origin.dot(dir) + t — no per-sample dot product needed.
+    acc.z += w * (ray.origin.dot(ray.direction) + t);
     if (acc.a >= options_.early_termination) break;
   }
   return acc;

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <thread>
 
 #include "codec/bwt.hpp"
 #include "codec/byte_codec.hpp"
+#include "codec/depth_plane.hpp"
 #include "codec/framediff.hpp"
 #include "codec/huffman.hpp"
 #include "codec/image_codec.hpp"
@@ -819,6 +822,97 @@ TEST(Lz, BlockedStreamsDecodeWithPlainDecoder) {
 // Run under TSan in CI: many threads encode/decode through every tiled
 // codec simultaneously, hammering the shared TilePool from concurrent
 // top-level runs while results stay deterministic.
+// ------------------------------------------------------- depth plane ----
+
+/// A smooth depth surface with a background margin — the shape a real
+/// opacity-weighted termination plane has.
+render::DepthImage smooth_depth(int w, int h) {
+  render::DepthImage depth(w, h);
+  for (int y = 2; y < h - 2; ++y)
+    for (int x = 2; x < w - 2; ++x)
+      depth.set(x, y,
+                40.0f + 0.3f * x + 0.2f * y +
+                    5.0f * std::sin(x * 0.2f) * std::cos(y * 0.15f));
+  return depth;
+}
+
+TEST(DepthPlane, RoundtripStaysWithinQuantizationBound) {
+  const auto depth = smooth_depth(48, 32);
+  const auto encoded = codec::encode_depth_plane(depth);
+  const auto back = codec::decode_depth_plane(encoded);
+  ASSERT_EQ(back.width(), depth.width());
+  ASSERT_EQ(back.height(), depth.height());
+  const double bound = codec::depth_plane_max_error(depth) + 1e-4;
+  for (int y = 0; y < depth.height(); ++y)
+    for (int x = 0; x < depth.width(); ++x) {
+      const float a = depth.at(x, y), b = back.at(x, y);
+      if (a == render::DepthImage::kEmpty) {
+        EXPECT_EQ(b, render::DepthImage::kEmpty) << x << "," << y;
+      } else {
+        EXPECT_NEAR(a, b, bound) << x << "," << y;
+      }
+    }
+}
+
+TEST(DepthPlane, SmoothPlanesCompressWellUnderRowDelta) {
+  // A planar depth field: successive rows differ by a constant, so the
+  // row-delta pass leaves LZ an almost perfectly repetitive stream.
+  render::DepthImage depth(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      depth.set(x, y, static_cast<float>(40.0 + 0.3 * x + 0.2 * y));
+  const auto encoded = codec::encode_depth_plane(depth);
+  // Raw u16 plane is w*h*2 bytes; the delta stream should beat it
+  // comfortably (and crush the 4-byte float form).
+  EXPECT_LT(encoded.size(), 64u * 64u * 2u / 2u);
+  // The wavy plane still has to beat raw u16, just less dramatically.
+  const auto wavy = codec::encode_depth_plane(smooth_depth(64, 64));
+  EXPECT_LT(wavy.size(), 64u * 64u * 2u);
+}
+
+TEST(DepthPlane, AllBackgroundRoundtrips) {
+  const render::DepthImage depth(16, 8);  // every pixel kEmpty
+  EXPECT_EQ(codec::depth_plane_max_error(depth), 0.0);
+  const auto back = codec::decode_depth_plane(codec::encode_depth_plane(depth));
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 16; ++x)
+      EXPECT_EQ(back.at(x, y), render::DepthImage::kEmpty);
+}
+
+TEST(DepthPlane, ConstantPlaneIsExact) {
+  render::DepthImage depth(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) depth.set(x, y, 123.25f);
+  const auto back = codec::decode_depth_plane(codec::encode_depth_plane(depth));
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(back.at(x, y), 123.25f);
+}
+
+TEST(DepthPlane, TruncatedAndCorruptStreamsFailLoudly) {
+  const auto encoded = codec::encode_depth_plane(smooth_depth(24, 24));
+  EXPECT_THROW(
+      codec::decode_depth_plane(std::span(encoded).subspan(0, 10)),
+      std::runtime_error);
+  auto bad_magic = encoded;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(codec::decode_depth_plane(bad_magic), std::runtime_error);
+}
+
+TEST(DepthPlane, EncodeIsIsaIndependent) {
+  // The row-delta filter runs through the dispatched SIMD kernels; every
+  // ISA tier must produce the identical byte stream.
+  const auto depth = smooth_depth(40, 24);
+  util::Bytes reference;
+  {
+    util::simd::ScopedIsa scalar(util::simd::Isa::kScalar);
+    reference = codec::encode_depth_plane(depth);
+  }
+  const auto native = codec::encode_depth_plane(depth);
+  EXPECT_EQ(native, reference);
+  const auto back = codec::decode_depth_plane(native);
+  EXPECT_EQ(back.at(10, 10), codec::decode_depth_plane(reference).at(10, 10));
+}
+
 TEST(CodecChaos, ConcurrentTiledEncodesStayDeterministic) {
   const Image frame = test_frame(96);
   const Bytes payload = pattern_bytes(150000, 4);

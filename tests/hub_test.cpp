@@ -1207,6 +1207,98 @@ TEST(HubSession, MatchesSingleClientPipelineLosslessly) {
   }
 }
 
+// ------------------------------------------------- protocol v4 (depth) ----
+
+/// A depth-container frame: "raw" color bytes wrapped with a fake encoded
+/// depth plane (the hub treats both halves as opaque).
+NetMessage depth_frame_msg(int step) {
+  NetMessage color = frame_msg(step, {1, 2, 3, 4});
+  return net::make_depth_frame(color, util::Bytes(16, 0xAB));
+}
+
+TEST(HubTcpDepth, DepthContainerReachesWantingViewerIntact) {
+  hub::HubTcpServer server;
+  hub::HubTcpViewer::Options o;
+  o.client_id = "warper";
+  o.wants_depth = true;
+  hub::HubTcpViewer viewer(server.port(), o);
+  net::TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  renderer.send(depth_frame_msg(0));
+  const auto got = viewer.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(net::is_depth_frame(*got));
+  const auto parts = net::split_depth_frame(*got);
+  EXPECT_EQ(parts.color.codec, "raw");
+  EXPECT_EQ(parts.color.payload, util::Bytes({1, 2, 3, 4}));
+  EXPECT_EQ(parts.depth_plane, util::Bytes(16, 0xAB));
+  server.shutdown();
+}
+
+TEST(HubTcpDepth, DepthStrippedForViewerWithoutCapability) {
+  // A viewer that never announced wants_depth must receive a plain frame an
+  // old decoder understands: inner codec name, color-only payload.
+  static obs::Counter& stripped = obs::counter("net.hub.depth_stripped");
+  const auto before = stripped.value();
+  hub::HubTcpServer server;
+  hub::HubTcpViewer viewer(server.port());  // defaults: no wants_depth
+  net::TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  renderer.send(depth_frame_msg(3));
+  const auto got = viewer.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(net::is_depth_frame(*got));
+  EXPECT_EQ(got->codec, "raw");
+  EXPECT_EQ(got->frame_index, 3);
+  EXPECT_EQ(got->payload, util::Bytes({1, 2, 3, 4}));
+  EXPECT_GE(stripped.value(), before + 1);
+  server.shutdown();
+}
+
+TEST(HubTcpDepth, V4RefusalDowngradesOneRungAndSticks) {
+  // Against a hub capped at v3, a v4 hello is refused once; the ladder must
+  // step exactly one rung (v4 -> v3, keeping wants_frame_refs alive) and
+  // stay there for later reconnects.
+  hub::HubConfig cfg;
+  cfg.max_protocol_version = 3;
+  hub::HubTcpServer server(0, cfg);
+  hub::HubTcpViewer::Options o;
+  o.client_id = "stepper";
+  o.wants_depth = true;
+  hub::HubTcpViewer viewer(server.port(), o);
+  EXPECT_EQ(viewer.negotiated_version(), 3u);
+  EXPECT_FALSE(viewer.downgraded());  // v2 -> v1 is the lossy rung; not taken
+  net::TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  renderer.send(depth_frame_msg(0));
+  const auto got = viewer.next();
+  ASSERT_TRUE(got.has_value());
+  // The v3 session has no depth capability, so the hub strips the plane.
+  EXPECT_FALSE(net::is_depth_frame(*got));
+  EXPECT_EQ(got->payload, util::Bytes({1, 2, 3, 4}));
+  server.shutdown();
+}
+
+TEST(HubTcpDepth, FullLadderStillReachesV1) {
+  // v4 -> v3 -> v2 -> v1 in one handshake loop against a v1-only hub.
+  hub::HubConfig cfg;
+  cfg.max_protocol_version = 1;
+  hub::HubTcpServer server(0, cfg);
+  hub::HubTcpViewer::Options o;
+  o.wants_depth = true;
+  o.allow_downgrade = true;
+  hub::HubTcpViewer viewer(server.port(), o);
+  EXPECT_EQ(viewer.negotiated_version(), 1u);
+  EXPECT_TRUE(viewer.downgraded());
+  net::TcpRendererLink renderer(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  renderer.send(depth_frame_msg(0));
+  const auto got = viewer.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(net::is_depth_frame(*got));
+  server.shutdown();
+}
+
 TEST(HubSession, RunsOverTcpWithSlowClientInProcess) {
   core::SessionConfig cfg;
   cfg.dataset = field::scaled(field::turbulent_jet_desc(), 8, 3);

@@ -52,6 +52,43 @@ TEST(ViewSet, ReconstructionWrapsAround) {
   EXPECT_GT(render::psnr(set.view(5), neg), 30.0);
 }
 
+TEST(ViewSet, OddViewCountBlendsAcrossTheWrapByAngle) {
+  // Regression for the wrap segment with an odd view count: azimuths in
+  // [azimuth_of(n-1), tau) must blend views n-1 and 0 weighted by angular
+  // distance, exactly like an interior segment — no index-space shortcut.
+  constexpr double kTau = 6.283185307179586;
+  const int n = 5;  // odd: the wrap segment is not mirrored by any symmetry
+  const auto set = ViewSet::capture(test_volume(),
+                                    render::TransferFunction::fire(), n, 48);
+  const double spacing = kTau / n;
+
+  // Exactly on the last key view: lossless.
+  EXPECT_TRUE(std::isinf(
+      render::psnr(set.view(n - 1), set.reconstruct(set.azimuth_of(n - 1)))));
+
+  // Halfway across the seam: the manual 50/50 blend of views n-1 and 0.
+  const double mid = set.azimuth_of(n - 1) + spacing / 2.0;
+  const Image rec = set.reconstruct(mid);
+  const Image& a = set.view(n - 1);
+  const Image& b = set.view(0);
+  Image manual(48, 48);
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 48; ++x) {
+      const auto* pa = a.pixel(x, y);
+      const auto* pb = b.pixel(x, y);
+      manual.set(x, y,
+                 static_cast<std::uint8_t>(0.5 * pa[0] + 0.5 * pb[0] + 0.5),
+                 static_cast<std::uint8_t>(0.5 * pa[1] + 0.5 * pb[1] + 0.5),
+                 static_cast<std::uint8_t>(0.5 * pa[2] + 0.5 * pb[2] + 0.5),
+                 static_cast<std::uint8_t>(0.5 * pa[3] + 0.5 * pb[3] + 0.5));
+    }
+  EXPECT_GT(render::psnr(manual, rec), 50.0);
+
+  // Approaching tau from below converges to view 0, not to a stale blend.
+  const Image near_wrap = set.reconstruct(kTau - 1e-9);
+  EXPECT_GT(render::psnr(set.view(0), near_wrap), 50.0);
+}
+
 TEST(ViewSet, MidpointReconstructionApproximatesTruth) {
   const field::VolumeF vol = test_volume();
   const auto tf = render::TransferFunction::fire();

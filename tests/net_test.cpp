@@ -7,6 +7,7 @@
 
 #include "obs/counters.hpp"
 #include "net/daemon.hpp"
+#include "net/errors.hpp"
 #include "net/link.hpp"
 #include "net/protocol.hpp"
 #include "net/queue.hpp"
@@ -414,6 +415,96 @@ TEST(Protocol, DeserializeFrameValidatesLikeDeserializeMessage) {
   wire3.resize(wire3.size() - 1);
   EXPECT_THROW(net::deserialize_frame(util::SharedBytes(std::move(wire3))),
                std::runtime_error);
+}
+
+// ----------------------------------------------------- protocol v4 ----
+
+TEST(ProtocolV4, HelloCarriesWantsDepthAndDegradesByTruncation) {
+  net::HelloInfo info;
+  info.role = "display";
+  info.wants_frame_refs = true;
+  info.wants_depth = true;
+  const auto echoed = net::parse_hello(net::make_hello(info));
+  EXPECT_EQ(echoed.version, 4u);
+  EXPECT_TRUE(echoed.wants_frame_refs);
+  EXPECT_TRUE(echoed.wants_depth);
+
+  // Trailing-byte contract: each older generation's payload is a strict
+  // prefix, and the missing capabilities default off.
+  auto hello = net::make_hello(info);
+  auto v3 = hello;
+  v3.payload = hello.payload.view(0, hello.payload.size() - 1);
+  EXPECT_TRUE(net::parse_hello(v3).wants_frame_refs);
+  EXPECT_FALSE(net::parse_hello(v3).wants_depth);
+  auto v2 = hello;
+  v2.payload = hello.payload.view(0, hello.payload.size() - 2);
+  EXPECT_FALSE(net::parse_hello(v2).wants_frame_refs);
+  EXPECT_FALSE(net::parse_hello(v2).wants_depth);
+}
+
+NetMessage color_frame(int step) {
+  NetMessage msg;
+  msg.type = MsgType::kFrame;
+  msg.frame_index = step;
+  msg.piece_count = 1;
+  msg.codec = "jpeg+lzo";
+  msg.payload = util::Bytes{10, 20, 30, 40, 50};
+  return msg;
+}
+
+TEST(ProtocolV4, DepthContainerSurvivesTheWire) {
+  const util::Bytes plane(32, 0x5A);
+  const NetMessage container = net::make_depth_frame(color_frame(7), plane);
+  EXPECT_TRUE(net::is_depth_frame(container));
+  EXPECT_EQ(container.codec, "zd4+jpeg+lzo");
+  EXPECT_EQ(container.frame_index, 7);
+
+  const auto wire = net::serialize_message(container);
+  const NetMessage back = net::deserialize_message(wire);
+  ASSERT_TRUE(net::is_depth_frame(back));
+  const auto parts = net::split_depth_frame(back);
+  EXPECT_EQ(parts.color.codec, "jpeg+lzo");
+  EXPECT_EQ(parts.color.frame_index, 7);
+  EXPECT_EQ(parts.color.payload, (util::Bytes{10, 20, 30, 40, 50}));
+  EXPECT_EQ(parts.depth_plane, plane);
+}
+
+TEST(ProtocolV4, StripDepthIsAZeroCopyView) {
+  const NetMessage container =
+      net::make_depth_frame(color_frame(0), util::Bytes(8, 1));
+  const NetMessage color = net::strip_depth(container);
+  EXPECT_FALSE(net::is_depth_frame(color));
+  EXPECT_EQ(color.codec, "jpeg+lzo");
+  // The stripped payload aliases the container's allocation.
+  EXPECT_GE(color.payload.data(), container.payload.data());
+  EXPECT_LE(color.payload.data() + color.payload.size(),
+            container.payload.data() + container.payload.size());
+}
+
+TEST(ProtocolV4, DepthContainerRidesFrameDataUnchanged) {
+  // Relay caches ship containers as kFrameData; the ContentId must cover
+  // the container bytes so the edge's integrity check still holds.
+  const NetMessage container =
+      net::make_depth_frame(color_frame(2), util::Bytes(8, 9));
+  const NetMessage data = net::make_frame_data(container);
+  EXPECT_TRUE(net::is_depth_frame(data));
+  EXPECT_EQ(net::content_id_of(data), net::content_id_of(container));
+}
+
+TEST(ProtocolV4, MalformedContainersFailLoudly) {
+  // Not a container at all.
+  EXPECT_THROW(net::strip_depth(color_frame(0)), net::WireError);
+  // Advertised color length exceeding the payload.
+  NetMessage bogus = color_frame(0);
+  bogus.codec = "zd4+raw";
+  util::ByteWriter w;
+  w.varint(1000);
+  w.raw(util::Bytes(4, 0));
+  bogus.payload = w.take();
+  EXPECT_THROW(net::split_depth_frame(bogus), net::WireError);
+  // Truncated before the varint completes.
+  bogus.payload = util::Bytes{0xFF};
+  EXPECT_THROW(net::split_depth_frame(bogus), net::WireError);
 }
 
 TEST(Daemon, ShutdownFlushesQueuedTailFrames) {

@@ -179,11 +179,19 @@ TEST(ProtocolV3, HelloCarriesWantsFrameRefsAndStaysV2Compatible) {
   EXPECT_TRUE(echoed.wants_frame_refs);
   EXPECT_EQ(echoed.version, net::kProtocolVersion);
 
-  // A v2 hello is one trailing byte shorter; the parser must default the
-  // capability off rather than reject the older payload.
+  // A v2 hello lacks both capability trailing bytes (v3 wants_frame_refs,
+  // v4 wants_depth); the parser must default the capabilities off rather
+  // than reject the older payload.
   auto v2 = net::make_hello(info);
-  v2.payload = v2.payload.view(0, v2.payload.size() - 1);
+  v2.payload = v2.payload.view(0, v2.payload.size() - 2);
   EXPECT_FALSE(net::parse_hello(v2).wants_frame_refs);
+  EXPECT_FALSE(net::parse_hello(v2).wants_depth);
+
+  // A v3 hello carries wants_frame_refs but stops short of wants_depth.
+  auto v3 = net::make_hello(info);
+  v3.payload = v3.payload.view(0, v3.payload.size() - 1);
+  EXPECT_TRUE(net::parse_hello(v3).wants_frame_refs);
+  EXPECT_FALSE(net::parse_hello(v3).wants_depth);
 }
 
 // --------------------------------------------------- FrameCache content ----

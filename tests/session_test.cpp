@@ -222,6 +222,32 @@ TEST(Session, InvalidConfigThrows) {
   EXPECT_THROW(core::run_session(cfg), std::invalid_argument);
 }
 
+TEST(Session, WarpViewerRecordsQuality) {
+  // The trans-Pacific orbit preset with the TCP transport swapped out for the
+  // in-process hub: depth containers reach the viewer intact and every frame
+  // after the first is predicted by reprojection before the real one lands.
+  SessionConfig cfg = core::trans_pacific_orbit_preset();
+  cfg.use_tcp = false;
+  cfg.dataset.steps = 4;
+  cfg.keep_frames = true;
+  const SessionResult result = core::run_session(cfg);
+  EXPECT_EQ(result.displayed.size(), 4u);
+  EXPECT_EQ(result.warp_frames, 3);
+  EXPECT_LE(result.warp_mean_hole_ratio, 0.15);
+  EXPECT_GT(result.warp_mean_psnr, 10.0);
+}
+
+TEST(Session, UseWarpRequiresHubAndAssembled) {
+  SessionConfig no_hub = small_config();
+  no_hub.use_warp = true;  // but use_hub stays false
+  EXPECT_THROW(core::run_session(no_hub), std::invalid_argument);
+
+  SessionConfig pieces = core::trans_pacific_orbit_preset();
+  pieces.use_tcp = false;
+  pieces.compression = SessionConfig::Compression::kParallelPieces;
+  EXPECT_THROW(core::run_session(pieces), std::invalid_argument);
+}
+
 TEST(Session, NonPowerOfTwoGroupSizes) {
   SessionConfig cfg = small_config();
   cfg.processors = 5;

@@ -30,6 +30,7 @@
 #include "hub/tcp_hub.hpp"
 #include "obs/counters.hpp"
 #include "util/flags.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 using namespace tvviz;
@@ -76,7 +77,7 @@ RunResult run_fanout(Transport transport, int clients, int steps,
 
   RunResult result;
   std::vector<std::thread> threads;
-  std::mutex result_mutex;
+  util::Mutex result_mutex;
   for (int k = 0; k < clients; ++k) {
     const bool slow = slow_link && k == clients - 1;
     if (transport == Transport::kInproc) {
@@ -103,7 +104,7 @@ RunResult run_fanout(Transport transport, int clients, int steps,
           run.inter_frame_s = (last - first) / (run.frames - 1);
           run.fps = 1.0 / run.inter_frame_s;
         }
-        std::lock_guard lock(result_mutex);
+        util::LockGuard lock(result_mutex);
         result.clients.push_back(std::move(run));
       });
     } else {
@@ -136,7 +137,7 @@ RunResult run_fanout(Transport transport, int clients, int steps,
           run.inter_frame_s = (last - first) / (run.frames - 1);
           run.fps = 1.0 / run.inter_frame_s;
         }
-        std::lock_guard lock(result_mutex);
+        util::LockGuard lock(result_mutex);
         result.clients.push_back(std::move(run));
       });
     }

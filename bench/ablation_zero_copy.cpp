@@ -20,7 +20,6 @@
 //                        [--json BENCH_zero_copy.json]
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "net/protocol.hpp"
 #include "obs/counters.hpp"
 #include "util/flags.hpp"
+#include "util/mutex.hpp"
 #include "util/shared_bytes.hpp"
 #include "util/timer.hpp"
 
@@ -87,7 +87,7 @@ Run run_path(const std::string& path, int clients, int steps, double period_s,
   run.path = path;
   run.clients = clients;
   std::vector<std::thread> threads;
-  std::mutex mutex;
+  util::Mutex mutex;
   double delay_sum = 0.0;
   int delay_count = 0;
   const bool zero = path == "zero";
@@ -108,7 +108,7 @@ Run run_path(const std::string& path, int clients, int steps, double period_s,
         if (first < 0.0) first = last;
         ++frames;
       }
-      std::lock_guard lock(mutex);
+      util::LockGuard lock(mutex);
       run.frames += frames;
       if (frames > 1) {
         delay_sum += (last - first) / (frames - 1);

@@ -91,11 +91,6 @@ class PipelineSim {
         cfg_.costs.input_seconds(vol_bytes, cfg_.groups, cfg_.io_servers);
     const double t_dist = cfg_.costs.distribute_seconds(vol_bytes);
 
-    FrameRecord rec;
-    rec.step = step;
-    rec.group = g;
-    rec.input_start = -1.0;  // patched when the disk job actually starts
-
     // Disk (shared, FIFO) then LAN distribution (shared).
     const double requested = sim_.now();
     disk_.use(t_read, [this, g, step, t_dist, requested, t_read] {

@@ -13,6 +13,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/hash.hpp"
+#include "util/log.hpp"
 
 namespace tvviz::hub {
 
@@ -187,6 +188,8 @@ void HubTcpServer::start_epoll() {
   ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
   loop_ = net::EventLoop::make_epoll();
   loop_->add(listen_fd_, net::kEventRead,
+             // tvviz-analyzer: allow(loop-this-capture): the server owns the
+             // loop; stop() joins the loop thread before `this` dies.
              [this](std::uint32_t) { on_accept_ready(); });
   std::size_t n = config_.tcp_workers;
   if (n == 0)
@@ -302,6 +305,12 @@ void HubTcpServer::on_readable(const std::shared_ptr<Session>& session) {
           }
           break;
         default:
+          // A display endpoint has no business sending frame/hello types;
+          // log rather than drop silently so a protocol-v5 sender is
+          // visible (wire-switch-default, DESIGN.md §18).
+          TVVIZ_LOG(kWarn) << "hub: ignoring unexpected message type "
+                           << static_cast<int>(msg->type)
+                           << " from display fd=" << session->fd;
           break;
       }
       break;
@@ -637,6 +646,11 @@ void HubTcpServer::serve_display(std::shared_ptr<TcpConnection> conn,
           }
           break;
         default:
+          // Same contract as the epoll path: never swallow an unknown
+          // message type silently (wire-switch-default, DESIGN.md §18).
+          TVVIZ_LOG(kWarn) << "hub: ignoring unexpected message type "
+                           << static_cast<int>(msg->type)
+                           << " from display client " << port->id();
           break;
       }
     }

@@ -36,9 +36,9 @@ HelloInfo HelloInfo::deserialize(std::span<const std::uint8_t> payload) {
     info.queue_frames = r.u32();
     info.wants_heartbeat = r.u8() != 0;
     // Appended v3 capability; absent from a v2 sender's payload.
-    info.wants_frame_refs = r.remaining() > 0 && r.u8() != 0;
+    info.wants_frame_refs = read_trailing_capability(r);
     // Appended v4 capability; absent from a v2/v3 sender's payload.
-    info.wants_depth = r.remaining() > 0 && r.u8() != 0;
+    info.wants_depth = read_trailing_capability(r);
     // Ignore trailing bytes: a *newer* client may append capabilities this
     // build does not know; the version field governs compatibility.
     return info;

@@ -55,6 +55,16 @@ inline constexpr std::uint32_t kProtocolVersion = 4;
 /// an integrity check on fetched bodies.
 using ContentId = std::uint64_t;
 
+/// Read one optional trailing capability byte of a hello payload: absent
+/// (an older sender stopped writing before it) reads as false, present
+/// reads as its boolean value. This is the single sanctioned way to probe
+/// trailing hello bytes — every capability added this way negotiates
+/// identically, and tvviz-analyzer's hello-trailing-bytes check flags
+/// hand-rolled remaining()/u8() probes (DESIGN.md §18).
+inline bool read_trailing_capability(util::ByteReader& r) {
+  return r.remaining() > 0 && r.u8() != 0;
+}
+
 /// Capability payload of a v2 kHello (and the server's kHelloAck echo).
 /// A v1 hello has an empty payload; deserialize_hello maps it to version 1
 /// with the role taken from the message's codec field, so one parse path

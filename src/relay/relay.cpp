@@ -5,6 +5,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 
 namespace tvviz::relay {
 
@@ -168,6 +169,11 @@ void EdgeHub::pump_loop() {
       case MsgType::kError:
         return;  // fatal refusal mid-stream
       default:
+        // A root never sends hello/ack/control types downstream; log so a
+        // protocol-v5 message is visible instead of vanishing into the
+        // pump (wire-switch-default, DESIGN.md §18).
+        TVVIZ_LOG(kWarn) << "relay: ignoring unexpected upstream message "
+                         << "type " << static_cast<int>(msg->type);
         break;
     }
     if (eos && queue_.empty()) {

@@ -1,0 +1,28 @@
+// expect-reject: hello-trailing-bytes
+// expect-reject: hello-trailing-bytes
+//
+// Hello-parsing code probing the reader directly for trailing capability
+// bytes. Every probe hand-rolls the "v2 parsers ignore trailing bytes"
+// contract one capability at a time; net::read_trailing_capability() is
+// the single sanctioned reader.
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace fixture {
+
+struct Caps {
+  bool wants_frame_refs = false;
+  bool wants_depth = false;
+};
+
+Caps parse_hello_caps(std::span<const std::uint8_t> payload) {
+  tvviz::util::ByteReader r(payload);
+  Caps caps;
+  caps.wants_frame_refs = r.remaining() > 0 && r.u8() != 0;  // flagged
+  caps.wants_depth = r.remaining() > 0 && r.u8() != 0;       // flagged
+  return caps;
+}
+
+}  // namespace fixture

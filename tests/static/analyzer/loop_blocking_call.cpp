@@ -1,0 +1,38 @@
+// expect-reject: loop-blocking-call
+// expect-reject: loop-blocking-call
+//
+// Blocking primitives inside callbacks registered on the event loop: a
+// BlockingQueue::pop (unbounded wait) posted to the loop thread, and a
+// CondVar::wait inside a readiness callback. Either one stalls every
+// descriptor the loop serves. The deadline-carrying forms (pop_for,
+// try_pop, wait_until) are the sanctioned replacements.
+#include <cstdint>
+
+#include "net/event_loop.hpp"
+#include "net/queue.hpp"
+#include "util/mutex.hpp"
+
+namespace fixture {
+
+void drain_on_loop(tvviz::net::EventLoop& loop,
+                   tvviz::net::BlockingQueue<int>& queue) {
+  loop.post([&queue] {
+    auto item = queue.pop();  // flagged: unbounded block on the loop thread
+    (void)item;
+  });
+}
+
+struct Waiter {
+  tvviz::util::Mutex mutex;
+  tvviz::util::CondVar ready;
+  bool signaled = false;
+};
+
+void arm(tvviz::net::EventLoop& loop, int fd, Waiter& waiter) {
+  loop.add(fd, tvviz::net::kEventRead, [&waiter](std::uint32_t) {
+    tvviz::util::LockGuard lock(waiter.mutex);
+    while (!waiter.signaled) waiter.ready.wait(waiter.mutex);  // flagged
+  });
+}
+
+}  // namespace fixture

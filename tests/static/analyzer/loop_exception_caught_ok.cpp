@@ -1,0 +1,29 @@
+// expect-clean
+//
+// The catch-and-evict pattern (DESIGN.md §14): a worker job parses inside
+// try/catch and turns a malformed frame into an eviction instead of
+// letting the exception unwind into the pool.
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+
+namespace fixture {
+
+void evict(int fd);
+
+void parse_on_loop(tvviz::net::EventLoop& loop, int fd,
+                   const std::vector<std::uint8_t>& bytes) {
+  loop.post([fd, bytes] {
+    try {
+      auto msg = tvviz::net::deserialize_message(bytes);  // ok: covered
+      (void)msg;
+    } catch (const std::exception&) {
+      evict(fd);
+    }
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// expect-reject: loop-exception-escape
+// expect-reject: loop-exception-escape
+//
+// Exceptions escaping a callback that runs on the loop thread or a worker:
+// the dispatch loop has no handler, so std::terminate takes the whole hub
+// down. Both a literal `throw` and a call into the throwing wire API
+// (deserialize_message) are flagged when no try within the lambda covers
+// them.
+#include <cstdint>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+
+namespace fixture {
+
+void parse_on_loop(tvviz::net::EventLoop& loop,
+                   const std::vector<std::uint8_t>& bytes) {
+  loop.post([bytes] {
+    if (bytes.empty()) throw 42;  // flagged: escapes into the dispatch loop
+    auto msg = tvviz::net::deserialize_message(bytes);  // flagged: can throw
+    (void)msg;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// expect-reject: loop-this-capture
+//
+// A persistent EventLoop::add registration captures `this` with no
+// std::weak_ptr guard captured alongside: the callback can fire after the
+// object is destroyed. (One-shot post/post_after closures are exempt; the
+// persistent listener is the dangerous one.)
+#include <cstdint>
+
+#include "net/event_loop.hpp"
+
+namespace fixture {
+
+class Listener {
+ public:
+  void arm(tvviz::net::EventLoop& loop, int fd) {
+    loop.add(fd, tvviz::net::kEventRead,
+             [this](std::uint32_t) { ++events_; });  // flagged
+  }
+
+ private:
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace fixture

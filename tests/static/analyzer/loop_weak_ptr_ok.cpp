@@ -1,0 +1,36 @@
+// expect-clean
+//
+// The established lifetime idiom for persistent registrations
+// (hub/tcp_hub.cpp): capture `this` for cheap access plus a
+// std::weak_ptr to the session that gates every use. One-shot post /
+// post_after closures may capture `this` freely — the registration does
+// not outlive the call that scheduled it.
+#include <cstdint>
+#include <memory>
+
+#include "net/event_loop.hpp"
+
+namespace fixture {
+
+struct Session {
+  std::uint64_t events = 0;
+};
+
+class Hub {
+ public:
+  void arm(tvviz::net::EventLoop& loop, int fd,
+           const std::shared_ptr<Session>& session) {
+    loop.add(fd, tvviz::net::kEventRead,
+             [this, ws = std::weak_ptr<Session>(session)](std::uint32_t) {
+               if (auto s = ws.lock()) on_ready(*s);
+             });
+    loop.post([this] { ++posts_; });  // one-shot: exempt
+  }
+
+ private:
+  void on_ready(Session& session) { ++session.events; }
+
+  std::uint64_t posts_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// expect-clean
+//
+// The suppression mechanism itself: a finding silenced by an allow-marker
+// with a justification, on the flagged line or the line above. A marker
+// names exactly one check id — it never blankets the file.
+#include "net/protocol.hpp"
+
+namespace fixture {
+
+int classify(tvviz::net::MsgType type) {
+  switch (type) {
+    case tvviz::net::MsgType::kFrame:
+      return 1;
+    // tvviz-analyzer: allow(wire-switch-default): suppression fixture
+    default:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace fixture

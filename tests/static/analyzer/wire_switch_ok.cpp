@@ -1,0 +1,40 @@
+// expect-clean
+//
+// The two sanctioned shapes: a fully-enumerated switch (the compiler's
+// -Wswitch then guards future additions), and a partial switch whose
+// default does something observable (here: throws).
+#include <stdexcept>
+
+#include "net/protocol.hpp"
+
+namespace fixture {
+
+const char* name_of(tvviz::net::MsgType type) {
+  using tvviz::net::MsgType;
+  switch (type) {  // ok: every enumerator handled, no default needed
+    case MsgType::kHello: return "hello";
+    case MsgType::kFrame: return "frame";
+    case MsgType::kSubImage: return "subimage";
+    case MsgType::kControl: return "control";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kAck: return "ack";
+    case MsgType::kError: return "error";
+    case MsgType::kFrameRef: return "frame_ref";
+    case MsgType::kFrameFetch: return "frame_fetch";
+    case MsgType::kFrameData: return "frame_data";
+  }
+  return "?";
+}
+
+int expect_frame(tvviz::net::MsgType type) {
+  switch (type) {
+    case tvviz::net::MsgType::kFrame:
+      return 1;
+    default:  // ok: unexpected types are reported, not swallowed
+      throw std::runtime_error("unexpected message type");
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// expect-reject: wire-switch-default
+//
+// A `default: break;` in a switch over net::MsgType silently swallows any
+// message type this build does not know — exactly the fallthrough that
+// hides a protocol-v5 sender behind a hung viewer.
+#include "net/protocol.hpp"
+
+namespace fixture {
+
+int classify(tvviz::net::MsgType type) {
+  switch (type) {
+    case tvviz::net::MsgType::kFrame:
+      return 1;
+    case tvviz::net::MsgType::kControl:
+      return 2;
+    default:  // flagged: silently drops unknown message types
+      break;
+  }
+  return 0;
+}
+
+}  // namespace fixture

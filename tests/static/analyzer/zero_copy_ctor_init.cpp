@@ -1,0 +1,21 @@
+// expect-reject: zero-copy-escape
+//
+// Same escape through a constructor initializer: the alias is created at
+// construction and the handle is dropped when the caller's argument dies.
+#include <cstdint>
+#include <span>
+
+#include "util/shared_bytes.hpp"
+
+namespace fixture {
+
+class SpanKeeper {
+ public:
+  explicit SpanKeeper(const tvviz::util::SharedBytes& frame)
+      : view_(frame.span()) {}  // flagged: span aliases freed storage
+
+ private:
+  std::span<const std::uint8_t> view_;
+};
+
+}  // namespace fixture

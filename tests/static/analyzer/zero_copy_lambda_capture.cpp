@@ -1,0 +1,20 @@
+// expect-reject: zero-copy-escape
+//
+// A lambda init-captures a raw pointer into a SharedBytes without also
+// capturing the handle by value; if the callback runs after the caller's
+// handle drops, the pointer dangles.
+#include <cstdint>
+#include <functional>
+
+#include "util/shared_bytes.hpp"
+
+namespace fixture {
+
+std::function<const std::uint8_t*()> defer_read(
+    const tvviz::util::SharedBytes& frame) {
+  return [p = frame.data()] {  // flagged: handle not captured alongside
+    return p;
+  };
+}
+
+}  // namespace fixture

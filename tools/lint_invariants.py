@@ -15,11 +15,13 @@ Five checks, each a build-breaking invariant of this repository:
 
 2. raw-mutex         ``std::mutex`` / ``std::lock_guard`` /
                      ``std::condition_variable`` (and friends) are banned in
-                     ``src/`` outside ``src/util/mutex.hpp``.  The wrapper
-                     types carry the Clang Thread Safety annotations
-                     (DESIGN.md §13); a raw mutex is invisible to the
-                     analysis and silently re-opens the holes this layer
-                     closed.
+                     ``src/``, ``bench/``, and ``tools/tvviz.cpp`` outside
+                     ``src/util/mutex.hpp``.  The wrapper types carry the
+                     Clang Thread Safety annotations (DESIGN.md §13); a raw
+                     mutex is invisible to the analysis and silently
+                     re-opens the holes this layer closed — and bench
+                     harnesses share fixtures with the library, so they are
+                     held to the same rule.
 
 3. fault-wall-clock  ``src/fault`` is the deterministic fault-injection
                      subsystem: decisions must depend only on the seeded RNG
@@ -252,7 +254,12 @@ RAW_MUTEX = re.compile(
 
 def check_raw_mutex(repo: pathlib.Path, out: Violations) -> None:
     wrapper = repo / "src" / "util" / "mutex.hpp"
-    for path in source_files(repo / "src"):
+    scanned = list(source_files(repo / "src"))
+    scanned += list(source_files(repo / "bench"))
+    tvviz_cli = repo / "tools" / "tvviz.cpp"
+    if tvviz_cli.is_file():
+        scanned.append(tvviz_cli)
+    for path in scanned:
         if path == wrapper:
             continue
         text = strip_comments(path.read_text(encoding="utf-8"))

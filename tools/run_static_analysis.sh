@@ -1,86 +1,165 @@
 #!/bin/sh
-# Run the clang-tidy gate (.clang-tidy) over every src/ translation unit in
-# compile_commands.json, then the project-invariant linter.
+# Static-analysis gates, in order: the project-invariant linter (regex,
+# always runs), the clang-tidy gate (.clang-tidy), and the tvviz-analyzer
+# gate (tools/analyzer — AST checks for the zero-copy / event-loop / wire
+# contracts, DESIGN.md §18). The clang-based gates run over every src/
+# translation unit in compile_commands.json.
 #
-# clang-tidy results are cached ccache-style: the key is a content hash of
-# the tool version, the .clang-tidy config, the full header set, and the
-# translation unit itself, so re-runs over an unchanged tree replay stored
-# verdicts instead of re-analyzing (the CI job persists the cache directory
+# Verdicts are cached ccache-style: the key is a content hash of the tool
+# (version or binary), its config, the full header set, and the translation
+# unit itself, so re-runs over an unchanged tree replay stored verdicts
+# instead of re-analyzing (the CI job persists both cache directories
 # across runs).
 #
 # Usage: tools/run_static_analysis.sh [build-dir]
-#   CLANG_TIDY=...       override the clang-tidy binary
-#   TIDY_CACHE_DIR=...   override the result cache (default <build-dir>/tidy-cache)
+#   CLANG_TIDY=...           override the clang-tidy binary
+#   TIDY_CACHE_DIR=...       override the tidy cache (default <build-dir>/tidy-cache)
+#   TVVIZ_ANALYZER=...       override the tvviz-analyzer binary
+#   ANALYZER_CACHE_DIR=...   override its cache (default <build-dir>/analyzer-cache)
 #
-# When clang-tidy is not installed this prints a notice and SKIPS the tidy
-# half (exit 0): the container toolchain is gcc-only, and the gate is
-# enforced by the CI static-analysis job, which installs clang. The
-# invariant linter needs only python3 and always runs.
+# A clang-based gate whose tool is not installed prints a notice and is
+# SKIPPED (not failed): the container toolchain is gcc-only, and both gates
+# are enforced by the CI static-analysis job, which installs clang + the
+# libclang dev packages. The invariant linter needs only python3.
 set -e
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tidy}"
+total_failures=0
 
 echo "== project-invariant linter =="
 python3 tools/lint_invariants.py --repo .
+
+# --------------------------------------------------------------- helpers --
+
+ensure_compile_commands() {
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    # Any configure exports compile_commands.json (CMakeLists.txt sets
+    # CMAKE_EXPORT_COMPILE_COMMANDS); clang is preferred so the commands
+    # carry flags the clang-based tools' bundled driver understands.
+    if command -v clang++ >/dev/null 2>&1; then
+      cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+    else
+      cmake -B "$BUILD_DIR" -S . >/dev/null
+    fi
+  fi
+}
+
+list_src_tus() {
+  python3 -c "
+import json, sys
+entries = json.load(open('$BUILD_DIR/compile_commands.json'))
+files = sorted({e['file'] for e in entries if '/src/' in e['file']})
+sys.stdout.write('\n'.join(files))
+"
+}
+
+# ---------------------------------------------------------- clang-tidy ----
 
 CLANG_TIDY="${CLANG_TIDY:-$(command -v clang-tidy || true)}"
 if [ -z "$CLANG_TIDY" ]; then
   echo "run_static_analysis: clang-tidy not found; skipping the tidy gate" \
        "(the CI static-analysis job enforces it)" >&2
-  exit 0
+else
+  ensure_compile_commands
+  CACHE_DIR="${TIDY_CACHE_DIR:-$BUILD_DIR/tidy-cache}"
+  mkdir -p "$CACHE_DIR"
+
+  # Everything a verdict depends on besides the TU itself: tool, config,
+  # and the project headers any TU may include.
+  GLOBAL_KEY=$({ "$CLANG_TIDY" --version
+                 cat .clang-tidy
+                 find src -name '*.hpp' -print | LC_ALL=C sort | xargs cat
+               } | sha256sum | cut -d' ' -f1)
+
+  FILES=$(list_src_tus)
+
+  echo "== clang-tidy gate ($("$CLANG_TIDY" --version | head -n1)) =="
+  failures=0 hits=0 misses=0
+  for f in $FILES; do
+    key=$({ echo "$GLOBAL_KEY"; echo "$f"; cat "$f"; } | sha256sum | cut -d' ' -f1)
+    status_file="$CACHE_DIR/$key.status"
+    log_file="$CACHE_DIR/$key.log"
+    if [ -f "$status_file" ]; then
+      hits=$((hits + 1))
+      status=$(cat "$status_file")
+    else
+      misses=$((misses + 1))
+      status=0
+      "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$f" >"$log_file" 2>&1 || status=$?
+      echo "$status" >"$status_file"
+    fi
+    if [ "$status" -ne 0 ]; then
+      failures=$((failures + 1))
+      echo "--- clang-tidy: $f (exit $status)"
+      cat "$log_file"
+    fi
+  done
+
+  echo "clang-tidy: $((hits + misses)) TUs, $hits cached, $misses analyzed," \
+       "$failures with findings"
+  total_failures=$((total_failures + failures))
 fi
 
-if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-  # Any configure exports compile_commands.json (CMakeLists.txt sets
-  # CMAKE_EXPORT_COMPILE_COMMANDS); clang is preferred so the commands carry
-  # flags clang-tidy's bundled driver understands.
-  if command -v clang++ >/dev/null 2>&1; then
-    cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_COMPILER=clang++ >/dev/null
-  else
-    cmake -B "$BUILD_DIR" -S . >/dev/null
-  fi
+# ------------------------------------------------------- tvviz-analyzer ---
+
+ANALYZER="${TVVIZ_ANALYZER:-}"
+if [ -z "$ANALYZER" ] && [ -x "$BUILD_DIR/tools/analyzer/tvviz-analyzer" ]; then
+  ANALYZER="$BUILD_DIR/tools/analyzer/tvviz-analyzer"
+fi
+if [ -z "$ANALYZER" ]; then
+  ANALYZER="$(command -v tvviz-analyzer || true)"
 fi
 
-CACHE_DIR="${TIDY_CACHE_DIR:-$BUILD_DIR/tidy-cache}"
-mkdir -p "$CACHE_DIR"
+if [ -z "$ANALYZER" ] || [ ! -x "$ANALYZER" ]; then
+  echo "run_static_analysis: tvviz-analyzer not built; skipping the AST" \
+       "gate (cmake builds it where libclang-dev is installed; the CI" \
+       "static-analysis job enforces it)" >&2
+else
+  ensure_compile_commands
+  A_CACHE_DIR="${ANALYZER_CACHE_DIR:-$BUILD_DIR/analyzer-cache}"
+  mkdir -p "$A_CACHE_DIR"
 
-# Everything a verdict depends on besides the TU itself: tool, config, and
-# the project headers any TU may include.
-GLOBAL_KEY=$({ "$CLANG_TIDY" --version
-               cat .clang-tidy
-               find src -name '*.hpp' -print | LC_ALL=C sort | xargs cat
-             } | sha256sum | cut -d' ' -f1)
-
-FILES=$(python3 -c "
-import json, sys
-entries = json.load(open('$BUILD_DIR/compile_commands.json'))
-files = sorted({e['file'] for e in entries if '/src/' in e['file']})
-sys.stdout.write('\n'.join(files))
-")
-
-echo "== clang-tidy gate ($("$CLANG_TIDY" --version | head -n1)) =="
-failures=0 hits=0 misses=0
-for f in $FILES; do
-  key=$({ echo "$GLOBAL_KEY"; echo "$f"; cat "$f"; } | sha256sum | cut -d' ' -f1)
-  status_file="$CACHE_DIR/$key.status"
-  log_file="$CACHE_DIR/$key.log"
-  if [ -f "$status_file" ]; then
-    hits=$((hits + 1))
-    status=$(cat "$status_file")
-  else
-    misses=$((misses + 1))
-    status=0
-    "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$f" >"$log_file" 2>&1 || status=$?
-    echo "$status" >"$status_file"
+  # The libTooling binary lives outside an LLVM prefix, so it cannot find
+  # the clang builtin headers (<stddef.h> & co.) on its own.
+  EXTRA_ARGS=""
+  if command -v clang >/dev/null 2>&1; then
+    EXTRA_ARGS="--extra-arg=-resource-dir=$(clang -print-resource-dir)"
   fi
-  if [ "$status" -ne 0 ]; then
-    failures=$((failures + 1))
-    echo "--- clang-tidy: $f (exit $status)"
-    cat "$log_file"
-  fi
-done
 
-echo "clang-tidy: $((hits + misses)) TUs, $hits cached, $misses analyzed," \
-     "$failures with findings"
-[ "$failures" -eq 0 ]
+  # The binary itself is the "version": any rebuilt check invalidates the
+  # cache, matching the tidy gate's tool-version + config hash.
+  A_GLOBAL_KEY=$({ cat "$ANALYZER"
+                   find src -name '*.hpp' -print | LC_ALL=C sort | xargs cat
+                 } | sha256sum | cut -d' ' -f1)
+
+  FILES=$(list_src_tus)
+
+  echo "== tvviz-analyzer gate ($ANALYZER) =="
+  failures=0 hits=0 misses=0
+  for f in $FILES; do
+    key=$({ echo "$A_GLOBAL_KEY"; echo "$f"; cat "$f"; } | sha256sum | cut -d' ' -f1)
+    status_file="$A_CACHE_DIR/$key.status"
+    log_file="$A_CACHE_DIR/$key.log"
+    if [ -f "$status_file" ]; then
+      hits=$((hits + 1))
+      status=$(cat "$status_file")
+    else
+      misses=$((misses + 1))
+      status=0
+      "$ANALYZER" -p "$BUILD_DIR" $EXTRA_ARGS "$f" >"$log_file" 2>&1 || status=$?
+      echo "$status" >"$status_file"
+    fi
+    if [ "$status" -ne 0 ]; then
+      failures=$((failures + 1))
+      echo "--- tvviz-analyzer: $f (exit $status)"
+      cat "$log_file"
+    fi
+  done
+
+  echo "tvviz-analyzer: $((hits + misses)) TUs, $hits cached, $misses" \
+       "analyzed, $failures with findings"
+  total_failures=$((total_failures + failures))
+fi
+
+[ "$total_failures" -eq 0 ]

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench_gate.py gating logic (registered as the
+``bench_gate_test`` ctest, so the CI gate itself is gated).
+
+Covers the pieces a silent bug would turn into a green-but-meaningless CI
+gate: --gate spec parsing (required keys, defaults, unknown keys, the
+min-value/higher-is-better restriction), lower- and higher-is-better
+regression arithmetic, min-value floors, lossless-run sanity checks, and
+the consolidated main() exit behavior."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_gate  # noqa: E402
+
+
+def write_report(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+@contextlib.contextmanager
+def captured_exit():
+    """Capture stderr and assert the wrapped code calls sys.exit(1)."""
+    err = io.StringIO()
+    with contextlib.redirect_stderr(err):
+        try:
+            yield err
+        except SystemExit as stop:
+            err.exit_code = stop.code  # type: ignore[attr-defined]
+            return
+    raise AssertionError("expected sys.exit, code ran to completion")
+
+
+class ParseGateSpecTest(unittest.TestCase):
+    def test_minimal_spec_applies_defaults(self):
+        spec = bench_gate.parse_gate_spec(
+            "metric=single_client_delay_ratio,fresh=f.json,baseline=b.json")
+        self.assertEqual(spec["metric"], "single_client_delay_ratio")
+        self.assertEqual(spec["fresh_path"], "f.json")
+        self.assertEqual(spec["baseline_path"], "b.json")
+        self.assertEqual(spec["max_regression"], 0.25)
+        self.assertIsNone(spec["min_value"])
+
+    def test_full_spec_with_floor(self):
+        spec = bench_gate.parse_gate_spec(
+            "metric=jpeg_encode_speedup,fresh=f.json,baseline=b.json,"
+            "max-regression=0.5,min-value=3.0")
+        self.assertEqual(spec["max_regression"], 0.5)
+        self.assertEqual(spec["min_value"], 3.0)
+
+    def test_spaces_around_fields_are_tolerated(self):
+        spec = bench_gate.parse_gate_spec(
+            " metric=perceived_delay_ratio, fresh=f.json, baseline=b.json")
+        self.assertEqual(spec["metric"], "perceived_delay_ratio")
+
+    def test_missing_required_key_exits(self):
+        with captured_exit() as err:
+            bench_gate.parse_gate_spec("metric=root_egress_ratio,fresh=f.json")
+        self.assertIn("missing 'baseline'", err.getvalue())
+
+    def test_unknown_key_exits(self):
+        with captured_exit() as err:
+            bench_gate.parse_gate_spec(
+                "metric=root_egress_ratio,fresh=f,baseline=b,budget=0.1")
+        self.assertIn("unknown --gate keys", err.getvalue())
+
+    def test_unknown_metric_exits(self):
+        with captured_exit() as err:
+            bench_gate.parse_gate_spec(
+                "metric=made_up_ratio,fresh=f,baseline=b")
+        self.assertIn("unknown metric", err.getvalue())
+
+    def test_malformed_field_exits(self):
+        with captured_exit() as err:
+            bench_gate.parse_gate_spec("metric=root_egress_ratio,oops")
+        self.assertIn("malformed --gate field", err.getvalue())
+
+    def test_min_value_rejected_for_cost_metrics(self):
+        # A floor on a lower-is-better ratio would invert its meaning.
+        with captured_exit() as err:
+            bench_gate.parse_gate_spec(
+                "metric=root_egress_ratio,fresh=f,baseline=b,min-value=1.0")
+        self.assertIn("min-value only applies", err.getvalue())
+
+
+class EvaluateGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def gate(self, metric, fresh_value, baseline_value, max_regression=0.25,
+             min_value=None, fresh_extra=None):
+        fresh = {metric: fresh_value, "runs": [{"frames": 10}]}
+        if fresh_extra:
+            fresh.update(fresh_extra)
+        fresh_path = write_report(self.tmp.name, "fresh.json", fresh)
+        base_path = write_report(self.tmp.name, "base.json",
+                                 {metric: baseline_value})
+        return bench_gate.evaluate_gate(metric, fresh_path, base_path,
+                                        max_regression, min_value)
+
+    def test_lower_is_better_within_budget(self):
+        row = self.gate("single_client_delay_ratio", 1.1, 1.0)
+        self.assertEqual(row["verdict"], "OK")
+        self.assertAlmostEqual(row["regression"], 0.1)
+
+    def test_lower_is_better_regression(self):
+        # Cost ratio rising past the budget: 1.0 -> 1.4 is +40% > 25%.
+        row = self.gate("single_client_delay_ratio", 1.4, 1.0)
+        self.assertEqual(row["verdict"], "REGRESSION")
+
+    def test_lower_is_better_improvement_is_negative_change(self):
+        row = self.gate("root_egress_ratio", 0.8, 1.0)
+        self.assertEqual(row["verdict"], "OK")
+        self.assertLess(row["regression"], 0.0)
+
+    def test_higher_is_better_regression_is_a_fall(self):
+        # Speedup falling 4.0 -> 3.0 is a +33% regression: the arithmetic
+        # must invert for higher-is-better metrics.
+        row = self.gate("jpeg_encode_speedup", 3.0, 4.0)
+        self.assertEqual(row["verdict"], "REGRESSION")
+        self.assertAlmostEqual(row["regression"], 4.0 / 3.0 - 1.0)
+
+    def test_higher_is_better_rise_is_ok(self):
+        row = self.gate("jpeg_encode_speedup", 5.0, 4.0)
+        self.assertEqual(row["verdict"], "OK")
+        self.assertLess(row["regression"], 0.0)
+
+    def test_min_value_floor_overrides_ok_budget(self):
+        # Baseline 2.0 -> fresh 2.4 is an improvement, but below the
+        # absolute 3.0x claim: the floor must still fail it.
+        row = self.gate("jpeg_encode_speedup", 2.4, 2.0, min_value=3.0)
+        self.assertEqual(row["verdict"], "BELOW FLOOR")
+
+    def test_min_value_met(self):
+        row = self.gate("jpeg_encode_speedup", 3.2, 3.0, min_value=3.0)
+        self.assertEqual(row["verdict"], "OK")
+
+    def test_zero_baseline_exits(self):
+        with captured_exit() as err:
+            self.gate("single_client_delay_ratio", 1.0, 0.0)
+        self.assertIn("not positive", err.getvalue())
+
+    def test_missing_metric_in_report_exits(self):
+        fresh_path = write_report(self.tmp.name, "fresh.json",
+                                  {"other": 1.0, "runs": []})
+        base_path = write_report(self.tmp.name, "base.json",
+                                 {"single_client_delay_ratio": 1.0})
+        with captured_exit() as err:
+            bench_gate.evaluate_gate("single_client_delay_ratio", fresh_path,
+                                     base_path, 0.25, None)
+        self.assertIn("has no single_client_delay_ratio", err.getvalue())
+
+    def test_frameless_run_exits(self):
+        fresh = {"single_client_delay_ratio": 1.0, "runs": [{"frames": 0}]}
+        fresh_path = write_report(self.tmp.name, "fresh.json", fresh)
+        base_path = write_report(self.tmp.name, "base.json",
+                                 {"single_client_delay_ratio": 1.0})
+        with captured_exit() as err:
+            bench_gate.evaluate_gate("single_client_delay_ratio", fresh_path,
+                                     base_path, 0.25, None)
+        self.assertIn("delivered no frames", err.getvalue())
+
+    def test_lossy_run_exits_for_lossless_metric(self):
+        fresh = {"fanout_scaling_ratio": 1.0,
+                 "runs": [{"frames": 10, "lossless": False}]}
+        fresh_path = write_report(self.tmp.name, "fresh.json", fresh)
+        base_path = write_report(self.tmp.name, "base.json",
+                                 {"fanout_scaling_ratio": 1.0})
+        with captured_exit() as err:
+            bench_gate.evaluate_gate("fanout_scaling_ratio", fresh_path,
+                                     base_path, 0.25, None)
+        self.assertIn("lost frames", err.getvalue())
+
+    def test_lossy_run_tolerated_for_cost_metric(self):
+        row = self.gate("single_client_delay_ratio", 1.0, 1.0,
+                        fresh_extra={"runs": [{"frames": 10,
+                                               "lossless": False}]})
+        self.assertEqual(row["verdict"], "OK")
+
+
+class MainConsolidatedTest(unittest.TestCase):
+    """main() with --gate: every gate evaluated, exit 1 if any failed."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_main(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        code = 0
+        old_argv = sys.argv
+        sys.argv = ["bench_gate.py"] + argv
+        try:
+            with contextlib.redirect_stdout(out), \
+                 contextlib.redirect_stderr(err):
+                try:
+                    bench_gate.main()
+                except SystemExit as stop:
+                    code = stop.code
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue(), err.getvalue()
+
+    def spec(self, metric, fresh_value, baseline_value, extra=""):
+        fresh = write_report(
+            self.tmp.name, f"fresh_{metric}.json",
+            {metric: fresh_value, "runs": [{"frames": 5}]})
+        base = write_report(self.tmp.name, f"base_{metric}.json",
+                            {metric: baseline_value})
+        return f"metric={metric},fresh={fresh},baseline={base}{extra}"
+
+    def test_all_gates_pass(self):
+        code, out, _ = self.run_main([
+            "--gate", self.spec("single_client_delay_ratio", 1.0, 1.0),
+            "--gate", self.spec("jpeg_encode_speedup", 4.0, 4.0,
+                                ",min-value=3.0"),
+        ])
+        self.assertEqual(code, 0)
+        self.assertEqual(out.count(" OK"), 2)
+
+    def test_one_failing_gate_fails_but_all_rows_print(self):
+        code, out, err = self.run_main([
+            "--gate", self.spec("single_client_delay_ratio", 2.0, 1.0),
+            "--gate", self.spec("jpeg_encode_speedup", 4.0, 4.0),
+        ])
+        self.assertEqual(code, 1)
+        # No short-circuit: the passing gate's row still prints.
+        self.assertIn("jpeg_encode_speedup", out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("single_client_delay_ratio regression", err)
+
+    def test_gate_and_legacy_flags_are_exclusive(self):
+        code, _, err = self.run_main([
+            "--gate", self.spec("single_client_delay_ratio", 1.0, 1.0),
+            "--fresh", "x.json",
+        ])
+        self.assertEqual(code, 1)
+        self.assertIn("not both", err)
+
+
+if __name__ == "__main__":
+    unittest.main()
